@@ -1,0 +1,30 @@
+//! E6 timing: intradomain emulation convergence (the §4.2 workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peering_emulation::build_from_pops;
+use peering_topology::{hurricane_electric, small_ring};
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emulation_convergence");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("ring", 8), |b| {
+        b.iter(|| {
+            let mut pe = build_from_pops(&small_ring(8), 64512, 1);
+            pe.converge(10_000_000);
+            assert_eq!(pe.reachability(), 1.0);
+            pe.emu.total_memory()
+        })
+    });
+    group.bench_function(BenchmarkId::new("hurricane_electric", 24), |b| {
+        b.iter(|| {
+            let mut pe = build_from_pops(&hurricane_electric(), 64600, 1);
+            pe.converge(10_000_000);
+            assert_eq!(pe.reachability(), 1.0);
+            pe.emu.total_memory()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E1 timing companion: how fast the router ingests tables of the sizes
+//! Figure 2 plots (the memory numbers themselves come from
+//! `repro -- fig2`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use peering_bench::fig2;
+
+fn bench_table_fill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_table_fill");
+    group.sample_size(10);
+    for &(peers, routes) in &[(1usize, 5_000usize), (5, 5_000), (10, 5_000), (5, 20_000)] {
+        group.throughput(Throughput::Elements((peers * routes) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("ingest", format!("{peers}peers_x_{routes}routes")),
+            &(peers, routes),
+            |b, &(p, r)| {
+                b.iter(|| {
+                    let point = fig2::measure(p, r);
+                    assert!(point.bytes_interned > 0);
+                    point
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table_fill);
+criterion_main!(benches);

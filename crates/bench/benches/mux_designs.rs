@@ -1,0 +1,38 @@
+//! E7 timing: route fan-out through the two mux designs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peering_core::{MuxDesign, MuxHarness};
+use peering_netsim::Prefix;
+
+fn bench_mux(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mux_fanout");
+    group.sample_size(10);
+    for design in [MuxDesign::PerPeerSessions, MuxDesign::AddPathMux] {
+        for &(upstreams, clients) in &[(5usize, 2usize), (20, 4)] {
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("{design:?}"),
+                    format!("{upstreams}up_{clients}cl"),
+                ),
+                &(upstreams, clients),
+                |b, &(u, cl)| {
+                    b.iter(|| {
+                        let mut h = MuxHarness::build(design, u, cl, 1);
+                        for i in 0..u {
+                            h.announce_from_upstream(
+                                i,
+                                Prefix::v4(30, 0, i as u8, 0, 24),
+                            );
+                        }
+                        assert!(h.client_paths(0, &Prefix::v4(30, 0, 0, 0, 24)) >= 1);
+                        h.stats()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mux);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Timing of valley-free propagation — the operation behind every
+//! announcement the testbed executes (E3/E4 and every scenario).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peering_netsim::Prefix;
+use peering_topology::routing::{propagate, Announcement};
+use peering_topology::{Internet, InternetConfig};
+
+fn bench_propagation(c: &mut Criterion) {
+    let small = Internet::build(InternetConfig::small(1));
+    let eval = Internet::build(InternetConfig::eval(1));
+    let mut group = c.benchmark_group("propagation");
+    for (name, net) in [("small_121as", &small), ("eval_6000as", &eval)] {
+        let origin = net.graph.indices().last().expect("non-empty");
+        let prefix = Prefix::v4(203, 0, 113, 0, 24);
+        group.bench_with_input(BenchmarkId::new("single_origin", name), net, |b, net| {
+            b.iter(|| {
+                let r = propagate(&net.graph, &[Announcement::simple(origin, prefix)]);
+                assert!(r.reach_count() > 0);
+                r
+            });
+        });
+        // Anycast / hijack: two competing announcements.
+        let second = net.graph.indices().next().expect("non-empty");
+        group.bench_with_input(BenchmarkId::new("two_origins", name), net, |b, net| {
+            b.iter(|| {
+                propagate(
+                    &net.graph,
+                    &[
+                        Announcement::simple(origin, prefix),
+                        Announcement::simple(second, prefix),
+                    ],
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cones(c: &mut Criterion) {
+    let eval = Internet::build(InternetConfig::eval(1));
+    c.bench_function("customer_cones_eval_6000as", |b| {
+        b.iter(|| peering_topology::cone::customer_cones(&eval.graph));
+    });
+}
+
+criterion_group!(benches, bench_propagation, bench_cones);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! End-to-end testbed operation timings: build, announce, measure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peering_core::{Testbed, TestbedConfig};
+use peering_netsim::SimDuration;
+
+fn bench_testbed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("testbed");
+    group.sample_size(10);
+    group.bench_function("build_small", |b| {
+        b.iter(|| Testbed::build(TestbedConfig::small(1)))
+    });
+    group.bench_function("announce_and_ping", |b| {
+        let mut tb = Testbed::build(TestbedConfig::small(1));
+        let id = tb.new_experiment("bench", "bench", &[0, 1]).expect("exp");
+        let client = tb.clients[&id].clone();
+        let vantage = peering_topology::AsIdx(40);
+        b.iter(|| {
+            tb.advance(SimDuration::from_secs(7200)); // keep damping quiet
+            let reach = tb.announce(id, client.announce_everywhere()).expect("announce");
+            let rtt = tb.ping(vantage, &client.prefix);
+            (reach, rtt)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_testbed);
+criterion_main!(benches);

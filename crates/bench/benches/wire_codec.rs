@@ -1,0 +1,60 @@
+//! Wire codec micro-benchmarks: the byte-level cost of a software
+//! router's front end.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use peering_bgp::wire::{decode_message, encode_message, encode_update_chunked, WireConfig};
+use peering_bgp::{AsPath, BgpMessage, Nlri, OpenMessage, PathAttributes, Prefix, UpdateMessage};
+use peering_netsim::Asn;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+fn sample_update(n_prefixes: usize) -> BgpMessage {
+    let attrs = Arc::new(PathAttributes {
+        as_path: AsPath::from_asns(&[Asn(47065), Asn(3356), Asn(1299), Asn(15169)]),
+        next_hop: Ipv4Addr::new(80, 249, 208, 1),
+        med: Some(10),
+        ..Default::default()
+    });
+    let nlri: Vec<Nlri> = (0..n_prefixes)
+        .map(|i| Nlri::plain(Prefix::v4(20, (i >> 8) as u8, i as u8, 0, 24)))
+        .collect();
+    BgpMessage::Update(UpdateMessage::announce(attrs, nlri))
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let cfg = WireConfig::default();
+    let update = sample_update(100);
+    let encoded = encode_message(&update, cfg).expect("encode");
+    let open = BgpMessage::Open(
+        OpenMessage::new(Asn(47065), 90, Ipv4Addr::new(1, 1, 1, 1)).with_add_path(true, true),
+    );
+    let open_bytes = encode_message(&open, cfg).expect("encode");
+
+    let mut group = c.benchmark_group("wire_codec");
+    group.throughput(Throughput::Elements(100));
+    group.bench_function("encode_update_100_nlri", |b| {
+        b.iter(|| encode_message(&update, cfg).expect("encode"))
+    });
+    group.bench_function("decode_update_100_nlri", |b| {
+        b.iter(|| decode_message(&encoded, cfg).expect("decode"))
+    });
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("encode_open", |b| {
+        b.iter(|| encode_message(&open, cfg).expect("encode"))
+    });
+    group.bench_function("decode_open", |b| {
+        b.iter(|| decode_message(&open_bytes, cfg).expect("decode"))
+    });
+    let big = match sample_update(5_000) {
+        BgpMessage::Update(u) => u,
+        _ => unreachable!(),
+    };
+    group.throughput(Throughput::Elements(5_000));
+    group.bench_function("encode_update_chunked_5000_nlri", |b| {
+        b.iter(|| encode_update_chunked(&big, cfg).expect("encode"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

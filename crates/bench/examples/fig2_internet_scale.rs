@@ -1,0 +1,19 @@
+//! Measure the paper's Internet-scale Figure 2 point: 500K prefixes.
+//! (Run standalone: `cargo run --release -p peering-bench --example
+//! fig2_internet_scale`.)
+use peering_bench::{fig2, fmt_bytes};
+fn main() {
+    for (peers, routes) in [(2usize, 500_000usize), (5, 500_000)] {
+        let t = std::time::Instant::now();
+        let p = fig2::measure(peers, routes);
+        println!(
+            "{} peers x {} routes: shared {}, naive {}, distinct attrs {} ({:?})",
+            p.peers,
+            p.routes,
+            fmt_bytes(p.bytes_interned),
+            fmt_bytes(p.bytes_uninterned),
+            p.distinct_attrs,
+            t.elapsed()
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! E7 — mux-design ablation: Quagga-style per-peer sessions vs the
+//! BIRD/ADD-PATH multiplexing the paper proposes.
+//!
+//! §3: "Quagga... requires a single connection between client and server
+//! for each upstream peer and thus cannot support large IXPs with many
+//! peers. We plan to substitute a more streamlined solution for
+//! multiplexing upstream sessions using the BIRD software router, which
+//! enables lightweight multiplexing by using BGP Additional Paths."
+
+use peering_core::{MuxDesign, MuxHarness};
+use peering_netsim::Prefix;
+use serde::{Deserialize, Serialize};
+
+/// One configuration's comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MuxPoint {
+    /// Upstream peer count.
+    pub upstreams: usize,
+    /// Client count.
+    pub clients: usize,
+    /// Routes announced per upstream.
+    pub routes: usize,
+    /// Server sessions, per-peer design.
+    pub sessions_per_peer_design: usize,
+    /// Server sessions, ADD-PATH design.
+    pub sessions_addpath_design: usize,
+    /// Server memory, per-peer design (bytes).
+    pub memory_per_peer_design: usize,
+    /// Server memory, ADD-PATH design (bytes).
+    pub memory_addpath_design: usize,
+    /// Server updates emitted, per-peer design.
+    pub updates_per_peer_design: u64,
+    /// Server updates emitted, ADD-PATH design.
+    pub updates_addpath_design: u64,
+    /// Paths each client ends with (must be equal across designs).
+    pub client_paths: usize,
+}
+
+/// The sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mux7Result {
+    /// Points in sweep order.
+    pub points: Vec<MuxPoint>,
+}
+
+fn one(upstreams: usize, clients: usize, routes: usize, seed: u64) -> MuxPoint {
+    let drive = |design: MuxDesign| {
+        let mut h = MuxHarness::build(design, upstreams, clients, seed);
+        for u in 0..upstreams {
+            for r in 0..routes {
+                let p = Prefix::v4(
+                    30 + (r >> 16) as u8,
+                    (r >> 8) as u8,
+                    r as u8,
+                    0,
+                    24,
+                );
+                h.announce_from_upstream(u, p);
+            }
+        }
+        let paths = h.client_paths(0, &Prefix::v4(30, 0, 0, 0, 24));
+        (h.stats(), paths)
+    };
+    let (pp, pp_paths) = drive(MuxDesign::PerPeerSessions);
+    let (ap, ap_paths) = drive(MuxDesign::AddPathMux);
+    assert_eq!(
+        pp_paths, ap_paths,
+        "both designs must deliver identical route visibility"
+    );
+    MuxPoint {
+        upstreams,
+        clients,
+        routes,
+        sessions_per_peer_design: pp.server_sessions,
+        sessions_addpath_design: ap.server_sessions,
+        memory_per_peer_design: pp.server_memory,
+        memory_addpath_design: ap.server_memory,
+        updates_per_peer_design: pp.server_updates_sent,
+        updates_addpath_design: ap.server_updates_sent,
+        client_paths: pp_paths,
+    }
+}
+
+/// Run the sweep over growing IXP sizes.
+pub fn run(seed: u64) -> Mux7Result {
+    let mut points = Vec::new();
+    for &(u, c) in &[(5usize, 2usize), (10, 4), (20, 4), (40, 8)] {
+        points.push(one(u, c, 20, seed));
+    }
+    Mux7Result { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addpath_scales_sessions_better() {
+        let p = one(10, 4, 5, 1);
+        assert_eq!(p.sessions_per_peer_design, 10 + 40);
+        assert_eq!(p.sessions_addpath_design, 10 + 4);
+        assert_eq!(p.client_paths, 10, "every upstream's path visible");
+    }
+
+    #[test]
+    fn sweep_shows_growing_gap() {
+        let r = run(2);
+        assert_eq!(r.points.len(), 4);
+        let first = &r.points[0];
+        let last = &r.points[r.points.len() - 1];
+        let gap_first =
+            first.sessions_per_peer_design as f64 / first.sessions_addpath_design as f64;
+        let gap_last = last.sessions_per_peer_design as f64 / last.sessions_addpath_design as f64;
+        assert!(
+            gap_last > gap_first,
+            "the session gap must widen with scale: {gap_first} -> {gap_last}"
+        );
+        for p in &r.points {
+            // Route visibility is identical; the state cost is not.
+            assert!(p.client_paths == p.upstreams);
+        }
+    }
+}

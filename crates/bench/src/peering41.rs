@@ -1,0 +1,121 @@
+//! E3 — §4.1 "Rich interdomain peering": the AMS-IX deployment numbers.
+//!
+//! Paper values: 669 members; 554 on the route servers; of the 115
+//! others 48 open / 12 closed / 40 case-by-case / 15 unlisted; requests
+//! sent to non-RS members were overwhelmingly accepted (one asked
+//! questions, a handful never replied); peers in 59 countries; peering
+//! with ≥13 of the top-50 and 27 of the top-100 ASes by customer cone.
+
+use peering_core::{Testbed, TestbedConfig};
+use serde::{Deserialize, Serialize};
+
+/// Measured §4.1 counters, paper values alongside.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Peering41Result {
+    /// AMS-IX total members (paper: 669).
+    pub members: usize,
+    /// Members on the route server (paper: 554).
+    pub rs_members: usize,
+    /// Policy mix of the rest (paper: 48/12/40/15).
+    pub open: usize,
+    /// Closed members.
+    pub closed: usize,
+    /// Case-by-case members.
+    pub case_by_case: usize,
+    /// Unlisted members.
+    pub unlisted: usize,
+    /// Bilateral requests sent.
+    pub requests_sent: usize,
+    /// Accepted outright.
+    pub accepted: usize,
+    /// Accepted after questions (paper: one AS asked questions).
+    pub accepted_after_questions: usize,
+    /// Never replied (paper: "a handful").
+    pub no_response: usize,
+    /// Declined.
+    pub declined: usize,
+    /// Total distinct peers across the testbed.
+    pub total_peers: usize,
+    /// Countries our peers span (paper: 59).
+    pub peer_countries: usize,
+    /// Of the top 50 ASes by cone, how many we peer with (paper: ≥13).
+    pub top50: usize,
+    /// Of the top 100 (paper: 27).
+    pub top100: usize,
+}
+
+/// Run E3 on the full-scale testbed (unscaled paper numbers).
+pub fn run(seed: u64) -> Peering41Result {
+    let tb = Testbed::build(TestbedConfig::full(seed));
+    measure(&tb)
+}
+
+/// Measure an already-built testbed (site 0 must be AMS-IX-like).
+pub fn measure(tb: &Testbed) -> Peering41Result {
+    let ixp = &tb.ixps[0];
+    let census = ixp.directory.policy_census();
+    let wf = tb.workflows.get(&0).expect("IXP site 0 has a workflow");
+    let tally = wf.tally(tb.now());
+    Peering41Result {
+        members: ixp.directory.len(),
+        rs_members: census.route_server,
+        open: census.open,
+        closed: census.closed,
+        case_by_case: census.case_by_case,
+        unlisted: census.unlisted,
+        requests_sent: wf.sent(),
+        accepted: tally.accepted,
+        accepted_after_questions: tally.accepted_after_questions,
+        no_response: tally.no_response,
+        declined: tally.declined,
+        total_peers: tb.all_peers().len(),
+        peer_countries: tb.peer_countries().len(),
+        top50: tb.top_cone_coverage(50),
+        top100: tb.top_cone_coverage(100),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ams_ix_counts_match_the_paper() {
+        let r = run(1);
+        assert_eq!(r.members, 669);
+        assert_eq!(r.rs_members, 554);
+        assert_eq!(r.open, 48);
+        assert_eq!(r.closed, 12);
+        assert_eq!(r.case_by_case, 40);
+        assert_eq!(r.unlisted, 15);
+        assert_eq!(r.requests_sent, 115);
+    }
+
+    #[test]
+    fn workflow_outcomes_match_the_papers_story() {
+        let r = run(1);
+        // Open members nearly all accept; closed decline; so acceptance
+        // lands near the open count but above it (case-by-case helps).
+        assert!(r.accepted + r.accepted_after_questions >= 45, "{r:?}");
+        assert!(r.no_response >= 3, "a handful never reply: {r:?}");
+        assert!(r.accepted_after_questions <= 10);
+        assert!(r.declined >= r.closed / 2);
+    }
+
+    #[test]
+    fn connectivity_is_rich_and_global() {
+        let r = run(1);
+        assert!(r.total_peers > 500, "hundreds of peers: {}", r.total_peers);
+        assert!(
+            (45..=64).contains(&r.peer_countries),
+            "peers span many countries (paper: 59): {}",
+            r.peer_countries
+        );
+        // Paper: >=13 of the top-50, 27 of the top-100. A sizable
+        // minority of the biggest ASes must be peers, but nowhere near
+        // all of them.
+        assert!((4..=25).contains(&r.top50), "top-50 coverage {}", r.top50);
+        assert!(r.top100 >= r.top50);
+        assert!((8..=50).contains(&r.top100), "top-100 coverage {}", r.top100);
+    }
+}

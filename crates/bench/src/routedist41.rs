@@ -1,0 +1,99 @@
+//! E5 — §4.2's peer route-count distribution.
+//!
+//! "For example, at AMS-IX, only our 5 largest peers give us more than
+//! 10K routes, and 307 give us fewer than 100 routes." A peer exports
+//! its customer cone, so the distribution is extremely heavy-tailed: a
+//! handful of transit-ish peers send big tables, most peers send almost
+//! nothing. We measure our AMS-IX server's per-peer Adj-RIB-In sizes and
+//! report both raw thresholds and thresholds scaled to the prefix-table
+//! scale factor.
+
+use peering_core::{Testbed, TestbedConfig};
+use serde::{Deserialize, Serialize};
+
+/// The measured distribution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RouteDist41Result {
+    /// Peers at the AMS-IX-like site.
+    pub peers: usize,
+    /// Routes-per-peer values, descending.
+    pub counts_desc: Vec<usize>,
+    /// The prefix-table scale factor relative to the paper's ~524k.
+    pub scale: f64,
+    /// Peers sending more than the scaled 10K threshold (paper: 5).
+    pub over_10k_scaled: usize,
+    /// Peers sending fewer than the scaled 100 threshold (paper: 307).
+    pub under_100_scaled: usize,
+    /// Median routes per peer.
+    pub median: usize,
+}
+
+/// Run E5 on the full-scale testbed (unscaled paper numbers).
+pub fn run(seed: u64) -> RouteDist41Result {
+    let tb = Testbed::build(TestbedConfig::full(seed));
+    measure(&tb)
+}
+
+/// Measure an already-built testbed (site 0 = the big IXP).
+pub fn measure(tb: &Testbed) -> RouteDist41Result {
+    let server = &tb.servers[0];
+    let mut counts: Vec<usize> = server
+        .peer_route_counts(tb.graph(), tb.cones())
+        .into_iter()
+        .map(|(_, c)| c)
+        .collect();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let scale = tb.graph().total_prefixes() as f64 / 524_000.0;
+    let hi = (10_000.0 * scale).max(1.0) as usize;
+    let lo = (100.0 * scale).max(1.0) as usize;
+    let over = counts.iter().filter(|&&c| c > hi).count();
+    let under = counts.iter().filter(|&&c| c < lo).count();
+    let median = if counts.is_empty() {
+        0
+    } else {
+        counts[counts.len() / 2]
+    };
+    RouteDist41Result {
+        peers: counts.len(),
+        over_10k_scaled: over,
+        under_100_scaled: under,
+        median,
+        scale,
+        counts_desc: counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_is_heavy_tailed() {
+        let r = run(1);
+        assert!(r.peers > 500);
+        // A small handful of peers send big tables (paper: 5)...
+        assert!(
+            (1..=15).contains(&r.over_10k_scaled),
+            "over: {} of {}",
+            r.over_10k_scaled,
+            r.peers
+        );
+        // ...while the bulk send very little (paper: 307 of ~560).
+        assert!(
+            r.under_100_scaled > r.peers / 2,
+            "under (paper: 307 of ~560): {} of {}",
+            r.under_100_scaled,
+            r.peers
+        );
+        // The biggest peer dwarfs the median.
+        assert!(r.counts_desc[0] > r.median * 20, "{} vs {}", r.counts_desc[0], r.median);
+    }
+
+    #[test]
+    fn counts_are_sorted_descending() {
+        let r = run(2);
+        for w in r.counts_desc.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! E8 — safety ablation: what the filters block, and what would escape
+//! without them.
+//!
+//! §3: "Clients cannot hijack or leak prefixes, and they cannot spoof
+//! traffic in uncontrolled ways." The experiment fires a battery of
+//! adversarial actions at the testbed with filters on, then computes the
+//! blast radius each *would* have had (by propagating the forbidden
+//! announcement on a shadow copy of reality).
+
+use peering_core::{AnnouncementSpec, Testbed, TestbedConfig, TestbedError, Violation};
+use peering_netsim::{Ipv4Net, Prefix, SimDuration};
+use peering_topology::routing::{propagate, Announcement};
+use serde::{Deserialize, Serialize};
+
+/// One adversarial action and its fate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SafetyCase {
+    /// What was attempted.
+    pub attack: String,
+    /// Was it blocked?
+    pub blocked: bool,
+    /// The violation reported, if blocked.
+    pub violation: Option<String>,
+    /// ASes the announcement would have polluted had it escaped.
+    pub would_have_polluted: usize,
+}
+
+/// The battery's results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Safety8Result {
+    /// All cases.
+    pub cases: Vec<SafetyCase>,
+    /// Legitimate actions that went through (sanity control group).
+    pub legitimate_allowed: usize,
+    /// Legitimate actions attempted.
+    pub legitimate_total: usize,
+}
+
+impl Safety8Result {
+    /// Every attack blocked?
+    pub fn all_blocked(&self) -> bool {
+        self.cases.iter().all(|c| c.blocked)
+    }
+}
+
+/// Run the battery on a small testbed.
+pub fn run(seed: u64) -> Safety8Result {
+    let mut tb = Testbed::build(TestbedConfig::small(seed));
+    let attacker = tb.new_experiment("attacker", "mallory", &[0, 1]).unwrap();
+    let victim = tb.new_experiment("victim", "alice", &[0]).unwrap();
+    let victim_prefix = tb.experiments[&victim].prefix;
+    let own = tb.experiments[&attacker].prefix;
+    let mut cases = Vec::new();
+
+    let mut attempt = |tb: &mut Testbed, attack: &str, spec: AnnouncementSpec| {
+        // Shadow blast radius: what full propagation would have done.
+        let shadow = propagate(
+            tb.graph(),
+            &[Announcement::simple(tb.node, Prefix::V4(spec.prefix))],
+        );
+        let would = shadow.reach_count().saturating_sub(1);
+        let outcome = tb.announce(attacker, spec);
+        let (blocked, violation) = match outcome {
+            Err(TestbedError::Safety(v)) => (true, Some(v.to_string())),
+            Err(e) => (true, Some(e.to_string())),
+            Ok(_) => (false, None),
+        };
+        cases.push(SafetyCase {
+            attack: attack.to_string(),
+            blocked,
+            violation,
+            would_have_polluted: would,
+        });
+    };
+
+    // 1. Hijack someone else's address space.
+    let foreign: Ipv4Net = "16.0.8.0/24".parse().unwrap();
+    attempt(&mut tb, "hijack foreign prefix", AnnouncementSpec::everywhere(foreign, vec![0]));
+    // 2. Stomp a concurrent experiment's prefix.
+    attempt(
+        &mut tb,
+        "announce another experiment's prefix",
+        AnnouncementSpec::everywhere(victim_prefix, vec![0]),
+    );
+    // 3. More-specific hijack of foreign space.
+    let foreign_sub: Ipv4Net = "16.0.8.128/25".parse().unwrap();
+    attempt(
+        &mut tb,
+        "more-specific foreign hijack",
+        AnnouncementSpec::everywhere(foreign_sub, vec![0]),
+    );
+    // 4. Absurd prepending (TE abuse).
+    attempt(
+        &mut tb,
+        "excessive prepending",
+        AnnouncementSpec::everywhere(own, vec![0]).prepended(50),
+    );
+    // 5. Mass poisoning.
+    attempt(
+        &mut tb,
+        "excessive poisoning",
+        AnnouncementSpec::everywhere(own, vec![0]).poisoned(
+            (1..=20).map(peering_netsim::Asn).collect(),
+        ),
+    );
+    // 6. Control-plane flapping: rapid announce/withdraw cycles.
+    let mut flap_blocked = false;
+    for i in 0..12 {
+        tb.advance(SimDuration::from_secs(20));
+        match tb.announce(attacker, AnnouncementSpec::everywhere(own, vec![0])) {
+            Ok(_) => {
+                tb.advance(SimDuration::from_secs(20));
+                let _ = tb.withdraw(attacker, own);
+            }
+            Err(TestbedError::Safety(Violation::Damped(_) | Violation::RateLimited)) => {
+                flap_blocked = true;
+                break;
+            }
+            Err(_) => {}
+        }
+        let _ = i;
+    }
+    cases.push(SafetyCase {
+        attack: "rapid flapping".to_string(),
+        blocked: flap_blocked,
+        violation: flap_blocked.then(|| "damped or rate-limited".to_string()),
+        would_have_polluted: 0,
+    });
+    // 7. Data-plane spoofing.
+    let spoof = tb.safety.check_packet_source(
+        attacker.0,
+        &own,
+        "9.9.9.9".parse().unwrap(),
+    );
+    cases.push(SafetyCase {
+        attack: "spoofed source address".to_string(),
+        blocked: !spoof.is_allowed(),
+        violation: (!spoof.is_allowed()).then(|| "spoofed source".to_string()),
+        would_have_polluted: 0,
+    });
+    // 8. Transit leak: re-exporting a foreign route.
+    let leak = tb.safety.check_reexport(attacker.0, &foreign);
+    cases.push(SafetyCase {
+        attack: "transit leak (re-export foreign route)".to_string(),
+        blocked: !leak.is_allowed(),
+        violation: (!leak.is_allowed()).then(|| "route leak".to_string()),
+        would_have_polluted: 0,
+    });
+
+    // Control group: legitimate behavior still works.
+    let mut legitimate_allowed = 0;
+    let legitimate_total = 3;
+    tb.advance(SimDuration::from_secs(6 * 3600));
+    if tb
+        .announce(victim, AnnouncementSpec::everywhere(victim_prefix, vec![0]))
+        .is_ok()
+    {
+        legitimate_allowed += 1;
+    }
+    tb.advance(SimDuration::from_secs(3600));
+    if tb
+        .announce(
+            victim,
+            AnnouncementSpec::everywhere(victim_prefix, vec![0]).prepended(3),
+        )
+        .is_ok()
+    {
+        legitimate_allowed += 1;
+    }
+    if tb
+        .safety
+        .check_packet_source(victim.0, &victim_prefix, victim_prefix.addr_at(7))
+        .is_allowed()
+    {
+        legitimate_allowed += 1;
+    }
+
+    Safety8Result {
+        cases,
+        legitimate_allowed,
+        legitimate_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_attack_is_blocked() {
+        let r = run(1);
+        assert_eq!(r.cases.len(), 8);
+        for c in &r.cases {
+            assert!(c.blocked, "escaped: {}", c.attack);
+        }
+        assert!(r.all_blocked());
+    }
+
+    #[test]
+    fn legitimate_traffic_still_flows() {
+        let r = run(1);
+        assert_eq!(r.legitimate_allowed, r.legitimate_total);
+    }
+
+    #[test]
+    fn blocked_hijacks_had_real_blast_radius() {
+        let r = run(2);
+        let hijack = r
+            .cases
+            .iter()
+            .find(|c| c.attack.contains("hijack foreign"))
+            .unwrap();
+        assert!(
+            hijack.would_have_polluted > 50,
+            "the blocked hijack would have polluted {} ASes",
+            hijack.would_have_polluted
+        );
+    }
+}

@@ -1,0 +1,449 @@
+//! BGP path attributes: ORIGIN, AS_PATH, NEXT_HOP, MED, LOCAL_PREF,
+//! ATOMIC_AGGREGATE, AGGREGATOR, COMMUNITY.
+//!
+//! `PathAttributes` is the unit PEERING clients manipulate to control
+//! interdomain routing: prepending and poisoning edit the AS_PATH,
+//! communities steer which peers an announcement reaches, and MED /
+//! LOCAL_PREF drive the decision process.
+
+use peering_netsim::Asn;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// The ORIGIN attribute (type 1). Lower is preferred by the decision
+/// process: IGP < EGP < INCOMPLETE.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Origin {
+    /// Learned from an interior protocol (`i`).
+    #[default]
+    Igp,
+    /// Learned via EGP (`e`, historical).
+    Egp,
+    /// Redistributed / unknown (`?`).
+    Incomplete,
+}
+
+impl Origin {
+    /// Wire encoding per RFC 4271.
+    pub fn code(self) -> u8 {
+        match self {
+            Origin::Igp => 0,
+            Origin::Egp => 1,
+            Origin::Incomplete => 2,
+        }
+    }
+
+    /// Decode from the wire value.
+    pub fn from_code(c: u8) -> Option<Origin> {
+        match c {
+            0 => Some(Origin::Igp),
+            1 => Some(Origin::Egp),
+            2 => Some(Origin::Incomplete),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Origin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Origin::Igp => write!(f, "i"),
+            Origin::Egp => write!(f, "e"),
+            Origin::Incomplete => write!(f, "?"),
+        }
+    }
+}
+
+/// One segment of an AS_PATH.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AsPathSegment {
+    /// Ordered sequence of traversed ASes (most recent first).
+    Sequence(Vec<Asn>),
+    /// Unordered set produced by aggregation; counts as one hop.
+    Set(Vec<Asn>),
+}
+
+impl AsPathSegment {
+    fn hop_count(&self) -> u32 {
+        match self {
+            AsPathSegment::Sequence(v) => v.len() as u32,
+            AsPathSegment::Set(_) => 1,
+        }
+    }
+}
+
+/// The AS_PATH attribute (type 2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct AsPath {
+    /// Path segments, head (most recently prepended) first.
+    pub segments: Vec<AsPathSegment>,
+}
+
+impl AsPath {
+    /// The empty path (a locally originated route).
+    pub fn empty() -> Self {
+        AsPath::default()
+    }
+
+    /// A pure sequence path, first element = most recent AS.
+    pub fn from_asns(asns: &[Asn]) -> Self {
+        if asns.is_empty() {
+            return AsPath::empty();
+        }
+        AsPath {
+            segments: vec![AsPathSegment::Sequence(asns.to_vec())],
+        }
+    }
+
+    /// Prepend `asn` `n` times (announcement traffic engineering).
+    pub fn prepend(&mut self, asn: Asn, n: usize) {
+        if n == 0 {
+            return;
+        }
+        match self.segments.first_mut() {
+            Some(AsPathSegment::Sequence(seq)) => {
+                for _ in 0..n {
+                    seq.insert(0, asn);
+                }
+            }
+            _ => {
+                self.segments
+                    .insert(0, AsPathSegment::Sequence(vec![asn; n]));
+            }
+        }
+    }
+
+    /// Path length as used by the decision process (sets count 1).
+    pub fn hop_count(&self) -> u32 {
+        self.segments.iter().map(AsPathSegment::hop_count).sum()
+    }
+
+    /// True if `asn` appears anywhere in the path (loop detection, and the
+    /// primitive behind LIFEGUARD-style poisoning: an AS that sees itself
+    /// in the path discards the route).
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.segments.iter().any(|s| match s {
+            AsPathSegment::Sequence(v) | AsPathSegment::Set(v) => v.contains(&asn),
+        })
+    }
+
+    /// The origin AS (rightmost), if the path is non-empty.
+    pub fn origin_as(&self) -> Option<Asn> {
+        for seg in self.segments.iter().rev() {
+            match seg {
+                AsPathSegment::Sequence(v) => {
+                    if let Some(a) = v.last() {
+                        return Some(*a);
+                    }
+                }
+                AsPathSegment::Set(v) => {
+                    if let Some(a) = v.first() {
+                        return Some(*a);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// The neighbor AS (leftmost), if the path is non-empty.
+    pub fn first_as(&self) -> Option<Asn> {
+        for seg in &self.segments {
+            match seg {
+                AsPathSegment::Sequence(v) => {
+                    if let Some(a) = v.first() {
+                        return Some(*a);
+                    }
+                }
+                AsPathSegment::Set(v) => {
+                    if let Some(a) = v.first() {
+                        return Some(*a);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// All ASNs in order of appearance (sets flattened in stored order).
+    pub fn asns(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.segments.iter().flat_map(|s| match s {
+            AsPathSegment::Sequence(v) | AsPathSegment::Set(v) => v.iter().copied(),
+        })
+    }
+
+    /// Remove private ASNs from the path, as PEERING does when emulated
+    /// domains use private ASNs "behind" the public PEERING ASN.
+    pub fn strip_private(&mut self) {
+        for seg in &mut self.segments {
+            match seg {
+                AsPathSegment::Sequence(v) | AsPathSegment::Set(v) => {
+                    v.retain(|a| !a.is_private());
+                }
+            }
+        }
+        self.segments.retain(|s| match s {
+            AsPathSegment::Sequence(v) | AsPathSegment::Set(v) => !v.is_empty(),
+        });
+    }
+}
+
+impl fmt::Display for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for seg in &self.segments {
+            if !first {
+                write!(f, " ")?;
+            }
+            first = false;
+            match seg {
+                AsPathSegment::Sequence(v) => {
+                    let parts: Vec<String> = v.iter().map(|a| a.0.to_string()).collect();
+                    write!(f, "{}", parts.join(" "))?;
+                }
+                AsPathSegment::Set(v) => {
+                    let parts: Vec<String> = v.iter().map(|a| a.0.to_string()).collect();
+                    write!(f, "{{{}}}", parts.join(","))?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A standard community (RFC 1997): 16-bit ASN, 16-bit value.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Community(pub u32);
+
+impl Community {
+    /// Well-known NO_EXPORT.
+    pub const NO_EXPORT: Community = Community(0xFFFF_FF01);
+    /// Well-known NO_ADVERTISE.
+    pub const NO_ADVERTISE: Community = Community(0xFFFF_FF02);
+    /// Well-known NO_EXPORT_SUBCONFED.
+    pub const NO_EXPORT_SUBCONFED: Community = Community(0xFFFF_FF03);
+
+    /// Build from `asn:value` halves.
+    pub fn new(asn: u16, value: u16) -> Self {
+        Community(((asn as u32) << 16) | value as u32)
+    }
+
+    /// The high 16 bits (conventionally an ASN).
+    pub fn asn(self) -> u16 {
+        (self.0 >> 16) as u16
+    }
+
+    /// The low 16 bits.
+    pub fn value(self) -> u16 {
+        (self.0 & 0xFFFF) as u16
+    }
+
+    /// True for the RFC 1997 well-known range.
+    pub fn is_well_known(self) -> bool {
+        self.asn() == 0xFFFF
+    }
+}
+
+impl fmt::Display for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Community::NO_EXPORT => write!(f, "no-export"),
+            Community::NO_ADVERTISE => write!(f, "no-advertise"),
+            Community::NO_EXPORT_SUBCONFED => write!(f, "no-export-subconfed"),
+            c => write!(f, "{}:{}", c.asn(), c.value()),
+        }
+    }
+}
+
+/// The full set of path attributes carried with a route.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PathAttributes {
+    /// ORIGIN (mandatory).
+    pub origin: Origin,
+    /// AS_PATH (mandatory).
+    pub as_path: AsPath,
+    /// NEXT_HOP (mandatory for v4 unicast).
+    pub next_hop: Ipv4Addr,
+    /// MULTI_EXIT_DISC (optional).
+    pub med: Option<u32>,
+    /// LOCAL_PREF (iBGP / route-server contexts).
+    pub local_pref: Option<u32>,
+    /// ATOMIC_AGGREGATE flag.
+    pub atomic_aggregate: bool,
+    /// AGGREGATOR (optional): aggregating AS and router.
+    pub aggregator: Option<(Asn, Ipv4Addr)>,
+    /// COMMUNITY values, kept sorted and deduplicated.
+    pub communities: Vec<Community>,
+}
+
+impl Default for PathAttributes {
+    fn default() -> Self {
+        PathAttributes {
+            origin: Origin::Igp,
+            as_path: AsPath::empty(),
+            next_hop: Ipv4Addr::UNSPECIFIED,
+            med: None,
+            local_pref: None,
+            atomic_aggregate: false,
+            aggregator: None,
+            communities: Vec::new(),
+        }
+    }
+}
+
+impl PathAttributes {
+    /// Attributes for a locally originated route with the given next hop.
+    pub fn originate(next_hop: Ipv4Addr) -> Self {
+        PathAttributes {
+            next_hop,
+            ..Default::default()
+        }
+    }
+
+    /// Add a community, keeping the list sorted and unique.
+    pub fn add_community(&mut self, c: Community) {
+        if let Err(pos) = self.communities.binary_search(&c) {
+            self.communities.insert(pos, c);
+        }
+    }
+
+    /// Remove a community if present.
+    pub fn remove_community(&mut self, c: Community) {
+        if let Ok(pos) = self.communities.binary_search(&c) {
+            self.communities.remove(pos);
+        }
+    }
+
+    /// True if the community is attached.
+    pub fn has_community(&self, c: Community) -> bool {
+        self.communities.binary_search(&c).is_ok()
+    }
+
+    /// Effective local preference (RFC default 100 when unset).
+    pub fn effective_local_pref(&self) -> u32 {
+        self.local_pref.unwrap_or(100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_roundtrip_and_order() {
+        for o in [Origin::Igp, Origin::Egp, Origin::Incomplete] {
+            assert_eq!(Origin::from_code(o.code()), Some(o));
+        }
+        assert_eq!(Origin::from_code(3), None);
+        assert!(Origin::Igp < Origin::Egp);
+        assert!(Origin::Egp < Origin::Incomplete);
+        assert_eq!(Origin::Incomplete.to_string(), "?");
+    }
+
+    #[test]
+    fn as_path_construction_and_length() {
+        let p = AsPath::from_asns(&[Asn(3), Asn(2), Asn(1)]);
+        assert_eq!(p.hop_count(), 3);
+        assert_eq!(p.origin_as(), Some(Asn(1)));
+        assert_eq!(p.first_as(), Some(Asn(3)));
+        assert!(p.contains(Asn(2)));
+        assert!(!p.contains(Asn(9)));
+        assert_eq!(p.to_string(), "3 2 1");
+        assert_eq!(AsPath::empty().hop_count(), 0);
+        assert_eq!(AsPath::empty().origin_as(), None);
+        assert_eq!(AsPath::from_asns(&[]), AsPath::empty());
+    }
+
+    #[test]
+    fn prepend_extends_head() {
+        let mut p = AsPath::from_asns(&[Asn(2), Asn(1)]);
+        p.prepend(Asn(5), 3);
+        assert_eq!(p.to_string(), "5 5 5 2 1");
+        assert_eq!(p.hop_count(), 5);
+        assert_eq!(p.first_as(), Some(Asn(5)));
+        assert_eq!(p.origin_as(), Some(Asn(1)));
+        p.prepend(Asn(7), 0);
+        assert_eq!(p.hop_count(), 5);
+    }
+
+    #[test]
+    fn prepend_onto_empty_and_onto_set() {
+        let mut p = AsPath::empty();
+        p.prepend(Asn(9), 1);
+        assert_eq!(p.to_string(), "9");
+        let mut q = AsPath {
+            segments: vec![AsPathSegment::Set(vec![Asn(1), Asn(2)])],
+        };
+        q.prepend(Asn(9), 2);
+        assert_eq!(q.to_string(), "9 9 {1,2}");
+        assert_eq!(q.hop_count(), 3); // set counts as one hop
+    }
+
+    #[test]
+    fn set_segment_semantics() {
+        let p = AsPath {
+            segments: vec![
+                AsPathSegment::Sequence(vec![Asn(10)]),
+                AsPathSegment::Set(vec![Asn(1), Asn(2), Asn(3)]),
+            ],
+        };
+        assert_eq!(p.hop_count(), 2);
+        assert!(p.contains(Asn(2)));
+        assert_eq!(p.origin_as(), Some(Asn(1)));
+        assert_eq!(p.asns().count(), 4);
+    }
+
+    #[test]
+    fn strip_private_removes_emulated_domains() {
+        // An emulated domain behind PEERING uses private ASN 65001.
+        let mut p = AsPath::from_asns(&[Asn(47065), Asn(65001), Asn(65002)]);
+        p.strip_private();
+        assert_eq!(p.to_string(), "47065");
+        // A path of only private ASNs becomes empty.
+        let mut q = AsPath::from_asns(&[Asn(65001)]);
+        q.strip_private();
+        assert_eq!(q, AsPath::empty());
+    }
+
+    #[test]
+    fn community_halves_and_well_known() {
+        let c = Community::new(47065, 100);
+        assert_eq!(c.asn(), 47065);
+        assert_eq!(c.value(), 100);
+        assert_eq!(c.to_string(), "47065:100");
+        assert!(Community::NO_EXPORT.is_well_known());
+        assert!(!c.is_well_known());
+        assert_eq!(Community::NO_EXPORT.to_string(), "no-export");
+    }
+
+    #[test]
+    fn attrs_community_set_semantics() {
+        let mut a = PathAttributes::default();
+        a.add_community(Community::new(1, 2));
+        a.add_community(Community::new(1, 1));
+        a.add_community(Community::new(1, 2)); // duplicate ignored
+        assert_eq!(a.communities.len(), 2);
+        assert!(a.communities.windows(2).all(|w| w[0] < w[1]));
+        assert!(a.has_community(Community::new(1, 1)));
+        a.remove_community(Community::new(1, 1));
+        assert!(!a.has_community(Community::new(1, 1)));
+        a.remove_community(Community::new(9, 9)); // absent: no-op
+        assert_eq!(a.communities.len(), 1);
+    }
+
+    #[test]
+    fn default_local_pref_is_100() {
+        let a = PathAttributes::default();
+        assert_eq!(a.effective_local_pref(), 100);
+        let b = PathAttributes {
+            local_pref: Some(200),
+            ..Default::default()
+        };
+        assert_eq!(b.effective_local_pref(), 200);
+    }
+}

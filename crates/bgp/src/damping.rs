@@ -1,0 +1,257 @@
+//! Route-flap damping (RFC 2439).
+//!
+//! PEERING applies flap damping to client announcements so that an
+//! experiment restarting in a loop cannot churn the global routing system:
+//! each flap adds a penalty that decays exponentially; above the suppress
+//! threshold the route is withheld until the penalty decays below the
+//! reuse threshold.
+
+use peering_netsim::{Prefix, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Damping parameters (defaults follow common vendor settings).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DampingConfig {
+    /// Penalty half-life.
+    pub half_life: SimDuration,
+    /// Penalty added per withdrawal (a "flap").
+    pub withdrawal_penalty: f64,
+    /// Penalty added per re-announcement / attribute change.
+    pub update_penalty: f64,
+    /// Suppress the route when penalty exceeds this.
+    pub suppress_threshold: f64,
+    /// Release the route when penalty decays below this.
+    pub reuse_threshold: f64,
+    /// Penalty ceiling.
+    pub max_penalty: f64,
+}
+
+impl Default for DampingConfig {
+    fn default() -> Self {
+        DampingConfig {
+            half_life: SimDuration::from_secs(15 * 60),
+            withdrawal_penalty: 1000.0,
+            update_penalty: 500.0,
+            suppress_threshold: 2000.0,
+            reuse_threshold: 750.0,
+            max_penalty: 16000.0,
+        }
+    }
+}
+
+/// Per-prefix damping bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct PenaltyEntry {
+    penalty: f64,
+    updated_at: SimTime,
+    suppressed: bool,
+}
+
+/// Damping state for one peer (typically one PEERING client).
+#[derive(Debug, Clone, Default)]
+pub struct DampingState {
+    entries: HashMap<Prefix, PenaltyEntry>,
+    /// Count of flap events observed.
+    pub flaps: u64,
+    /// Count of suppression transitions.
+    pub suppressions: u64,
+}
+
+impl DampingState {
+    /// Fresh state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn decayed(entry: &PenaltyEntry, now: SimTime, cfg: &DampingConfig) -> f64 {
+        let dt = now.since(entry.updated_at).as_secs_f64();
+        let hl = cfg.half_life.as_secs_f64().max(1e-9);
+        entry.penalty * 0.5_f64.powf(dt / hl)
+    }
+
+    fn bump(&mut self, prefix: Prefix, amount: f64, now: SimTime, cfg: &DampingConfig) -> bool {
+        self.flaps += 1;
+        let entry = self.entries.entry(prefix).or_insert(PenaltyEntry {
+            penalty: 0.0,
+            updated_at: now,
+            suppressed: false,
+        });
+        let decayed = Self::decayed(entry, now, cfg);
+        entry.penalty = (decayed + amount).min(cfg.max_penalty);
+        entry.updated_at = now;
+        if !entry.suppressed && entry.penalty > cfg.suppress_threshold {
+            entry.suppressed = true;
+            self.suppressions += 1;
+        }
+        entry.suppressed
+    }
+
+    /// Record a withdrawal. Returns `true` if the prefix is now suppressed.
+    pub fn on_withdraw(&mut self, prefix: Prefix, now: SimTime, cfg: &DampingConfig) -> bool {
+        self.bump(prefix, cfg.withdrawal_penalty, now, cfg)
+    }
+
+    /// Record a (re-)announcement. Returns `true` if suppressed.
+    pub fn on_announce(&mut self, prefix: Prefix, now: SimTime, cfg: &DampingConfig) -> bool {
+        self.bump(prefix, cfg.update_penalty, now, cfg)
+    }
+
+    /// Query (and update) the suppression state of a prefix.
+    pub fn is_suppressed(&mut self, prefix: &Prefix, now: SimTime, cfg: &DampingConfig) -> bool {
+        let Some(entry) = self.entries.get_mut(prefix) else {
+            return false;
+        };
+        let decayed = Self::decayed(entry, now, cfg);
+        entry.penalty = decayed;
+        entry.updated_at = now;
+        if entry.suppressed && decayed < cfg.reuse_threshold {
+            entry.suppressed = false;
+        }
+        if decayed < 1.0 && !entry.suppressed {
+            self.entries.remove(prefix);
+            return false;
+        }
+        entry.suppressed
+    }
+
+    /// Current penalty for a prefix (decayed to `now`), 0 if untracked.
+    pub fn penalty(&self, prefix: &Prefix, now: SimTime, cfg: &DampingConfig) -> f64 {
+        self.entries
+            .get(prefix)
+            .map(|e| Self::decayed(e, now, cfg))
+            .unwrap_or(0.0)
+    }
+
+    /// When a currently suppressed prefix will become reusable.
+    pub fn reuse_at(&self, prefix: &Prefix, cfg: &DampingConfig) -> Option<SimTime> {
+        let entry = self.entries.get(prefix)?;
+        if !entry.suppressed {
+            return None;
+        }
+        // penalty * 0.5^(dt/hl) = reuse  =>  dt = hl * log2(penalty/reuse)
+        let ratio = entry.penalty / cfg.reuse_threshold;
+        if ratio <= 1.0 {
+            return Some(entry.updated_at);
+        }
+        let dt = cfg.half_life.as_secs_f64() * ratio.log2();
+        Some(entry.updated_at + SimDuration::from_secs_f64(dt))
+    }
+
+    /// Number of tracked prefixes.
+    pub fn tracked(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> Prefix {
+        Prefix::v4(184, 164, 224, 0, 24)
+    }
+
+    #[test]
+    fn single_flap_does_not_suppress() {
+        let cfg = DampingConfig::default();
+        let mut d = DampingState::new();
+        assert!(!d.on_withdraw(p(), SimTime::ZERO, &cfg));
+        assert!(!d.is_suppressed(&p(), SimTime::ZERO, &cfg));
+        assert_eq!(d.flaps, 1);
+    }
+
+    #[test]
+    fn rapid_flaps_suppress() {
+        let cfg = DampingConfig::default();
+        let mut d = DampingState::new();
+        let mut now = SimTime::ZERO;
+        let mut suppressed = false;
+        for _ in 0..3 {
+            now += SimDuration::from_secs(10);
+            d.on_announce(p(), now, &cfg);
+            now += SimDuration::from_secs(10);
+            suppressed = d.on_withdraw(p(), now, &cfg);
+        }
+        assert!(suppressed, "penalty should exceed 2000 after 3 cycles");
+        assert!(d.is_suppressed(&p(), now, &cfg));
+        assert_eq!(d.suppressions, 1);
+    }
+
+    #[test]
+    fn penalty_decays_exponentially() {
+        let cfg = DampingConfig::default();
+        let mut d = DampingState::new();
+        d.on_withdraw(p(), SimTime::ZERO, &cfg);
+        let at_zero = d.penalty(&p(), SimTime::ZERO, &cfg);
+        assert!((at_zero - 1000.0).abs() < 1e-6);
+        let one_hl = SimTime::ZERO + cfg.half_life;
+        let decayed = d.penalty(&p(), one_hl, &cfg);
+        assert!((decayed - 500.0).abs() < 1.0, "decayed={decayed}");
+        let two_hl = one_hl + cfg.half_life;
+        let decayed2 = d.penalty(&p(), two_hl, &cfg);
+        assert!((decayed2 - 250.0).abs() < 1.0, "decayed2={decayed2}");
+    }
+
+    #[test]
+    fn suppression_releases_after_decay() {
+        let cfg = DampingConfig::default();
+        let mut d = DampingState::new();
+        let mut now = SimTime::ZERO;
+        for _ in 0..4 {
+            now += SimDuration::from_secs(5);
+            d.on_withdraw(p(), now, &cfg);
+        }
+        assert!(d.is_suppressed(&p(), now, &cfg));
+        let reuse = d.reuse_at(&p(), &cfg).expect("suppressed => reuse time");
+        assert!(reuse > now);
+        // Just before reuse: still suppressed.
+        assert!(d.is_suppressed(&p(), reuse - SimDuration::from_secs(60), &cfg));
+        // After reuse time: released.
+        assert!(!d.is_suppressed(&p(), reuse + SimDuration::from_secs(60), &cfg));
+        assert_eq!(d.reuse_at(&p(), &cfg), None);
+    }
+
+    #[test]
+    fn penalty_is_capped() {
+        let cfg = DampingConfig::default();
+        let mut d = DampingState::new();
+        for i in 0..100 {
+            d.on_withdraw(p(), SimTime::from_secs(i), &cfg);
+        }
+        assert!(d.penalty(&p(), SimTime::from_secs(100), &cfg) <= cfg.max_penalty);
+    }
+
+    #[test]
+    fn fully_decayed_entries_are_dropped() {
+        let cfg = DampingConfig::default();
+        let mut d = DampingState::new();
+        d.on_withdraw(p(), SimTime::ZERO, &cfg);
+        assert_eq!(d.tracked(), 1);
+        // 20 half-lives later the penalty is ~0.001; entry evicted on query.
+        let later = SimTime::ZERO + cfg.half_life * 20;
+        assert!(!d.is_suppressed(&p(), later, &cfg));
+        assert_eq!(d.tracked(), 0);
+    }
+
+    #[test]
+    fn untracked_prefix_is_not_suppressed() {
+        let cfg = DampingConfig::default();
+        let mut d = DampingState::new();
+        assert!(!d.is_suppressed(&p(), SimTime::ZERO, &cfg));
+        assert_eq!(d.penalty(&p(), SimTime::ZERO, &cfg), 0.0);
+        assert_eq!(d.reuse_at(&p(), &cfg), None);
+    }
+
+    #[test]
+    fn independent_prefixes() {
+        let cfg = DampingConfig::default();
+        let mut d = DampingState::new();
+        let q = Prefix::v4(184, 164, 225, 0, 24);
+        for i in 0..4 {
+            d.on_withdraw(p(), SimTime::from_secs(i * 5), &cfg);
+        }
+        assert!(d.is_suppressed(&p(), SimTime::from_secs(20), &cfg));
+        assert!(!d.is_suppressed(&q, SimTime::from_secs(20), &cfg));
+    }
+}

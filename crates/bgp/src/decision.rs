@@ -1,0 +1,292 @@
+//! The BGP decision process (RFC 4271 §9.1.2).
+//!
+//! PEERING servers deliberately *skip* this process for client-facing
+//! sessions — clients see every peer's routes and decide for themselves —
+//! but every normal speaker in the simulated Internet, every emulated PoP
+//! router, and every client-side router runs it.
+
+use crate::rib::{Route, RouteSource};
+use std::cmp::Ordering;
+
+/// Tunables for the decision process.
+#[derive(Debug, Clone, Copy)]
+pub struct DecisionConfig {
+    /// Compare MED even between routes from different neighbor ASes.
+    pub always_compare_med: bool,
+    /// Apply the eBGP-over-iBGP preference step.
+    pub prefer_ebgp: bool,
+    /// Apply the IGP-cost step.
+    pub use_igp_cost: bool,
+}
+
+impl Default for DecisionConfig {
+    fn default() -> Self {
+        DecisionConfig {
+            always_compare_med: false,
+            prefer_ebgp: true,
+            use_igp_cost: true,
+        }
+    }
+}
+
+fn source_rank(s: RouteSource) -> u8 {
+    // Locally originated beats everything (Cisco "weight" analog),
+    // then eBGP, then iBGP.
+    match s {
+        RouteSource::Local => 0,
+        RouteSource::Ebgp => 1,
+        RouteSource::Ibgp => 2,
+    }
+}
+
+/// Compare two routes for the same prefix.
+///
+/// Returns `Ordering::Greater` when `a` is preferred over `b`. The order
+/// is total and deterministic: ties fall through to peer id and path id,
+/// so repeated runs of the simulation always select the same best route.
+pub fn compare_routes(a: &Route, b: &Route, cfg: &DecisionConfig) -> Ordering {
+    debug_assert_eq!(a.prefix, b.prefix, "comparing routes for different prefixes");
+
+    // 0. Locally originated wins.
+    let rank = source_rank(b.source).cmp(&source_rank(a.source));
+    if rank != Ordering::Equal {
+        return rank;
+    }
+    // 1. Highest local preference.
+    let lp = a
+        .attrs
+        .effective_local_pref()
+        .cmp(&b.attrs.effective_local_pref());
+    if lp != Ordering::Equal {
+        return lp;
+    }
+    // 2. Shortest AS path.
+    let len = b
+        .attrs
+        .as_path
+        .hop_count()
+        .cmp(&a.attrs.as_path.hop_count());
+    if len != Ordering::Equal {
+        return len;
+    }
+    // 3. Lowest origin (IGP < EGP < INCOMPLETE).
+    let origin = b.attrs.origin.cmp(&a.attrs.origin);
+    if origin != Ordering::Equal {
+        return origin;
+    }
+    // 4. Lowest MED, comparable only between routes via the same
+    //    neighbor AS unless always_compare_med.
+    let comparable =
+        cfg.always_compare_med || a.attrs.as_path.first_as() == b.attrs.as_path.first_as();
+    if comparable {
+        let med = b
+            .attrs
+            .med
+            .unwrap_or(0)
+            .cmp(&a.attrs.med.unwrap_or(0));
+        if med != Ordering::Equal {
+            return med;
+        }
+    }
+    // 5. Prefer eBGP over iBGP (Local already handled above).
+    if cfg.prefer_ebgp {
+        let s = source_rank(b.source).cmp(&source_rank(a.source));
+        if s != Ordering::Equal {
+            return s;
+        }
+    }
+    // 6. Lowest IGP cost to the next hop.
+    if cfg.use_igp_cost {
+        let igp = b.igp_cost.cmp(&a.igp_cost);
+        if igp != Ordering::Equal {
+            return igp;
+        }
+    }
+    // 7. Lowest peer id (stands in for lowest router id).
+    let peer = b.peer.cmp(&a.peer);
+    if peer != Ordering::Equal {
+        return peer;
+    }
+    // 8. Lowest path id.
+    b.path_id.cmp(&a.path_id)
+}
+
+/// Pick the best route among candidates; `None` if the iterator is empty.
+pub fn best_route<'a>(
+    candidates: impl Iterator<Item = &'a Route>,
+    cfg: &DecisionConfig,
+) -> Option<&'a Route> {
+    candidates.reduce(|best, r| {
+        if compare_routes(r, best, cfg) == Ordering::Greater {
+            r
+        } else {
+            best
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::{AsPath, Origin, PathAttributes};
+    use crate::rib::PeerId;
+    use peering_netsim::{Asn, Prefix, SimTime};
+    use std::sync::Arc;
+
+    fn base_route() -> Route {
+        Route {
+            prefix: Prefix::v4(10, 0, 0, 0, 8),
+            attrs: Arc::new(PathAttributes {
+                as_path: AsPath::from_asns(&[Asn(1), Asn(2)]),
+                ..Default::default()
+            }),
+            peer: PeerId(1),
+            path_id: 0,
+            source: RouteSource::Ebgp,
+            igp_cost: 10,
+            learned_at: SimTime::ZERO,
+        }
+    }
+
+    fn with_attrs(f: impl FnOnce(&mut PathAttributes)) -> Route {
+        let mut r = base_route();
+        let mut attrs = (*r.attrs).clone();
+        f(&mut attrs);
+        r.attrs = Arc::new(attrs);
+        r
+    }
+
+    #[test]
+    fn local_pref_dominates() {
+        let low = with_attrs(|a| {
+            a.local_pref = Some(50);
+            a.as_path = AsPath::from_asns(&[Asn(1)]); // shorter path
+        });
+        let high = with_attrs(|a| a.local_pref = Some(200));
+        assert_eq!(
+            compare_routes(&high, &low, &DecisionConfig::default()),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn shorter_as_path_wins() {
+        let short = with_attrs(|a| a.as_path = AsPath::from_asns(&[Asn(1)]));
+        let long = with_attrs(|a| a.as_path = AsPath::from_asns(&[Asn(1), Asn(2), Asn(3)]));
+        assert_eq!(
+            compare_routes(&short, &long, &DecisionConfig::default()),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn lower_origin_wins() {
+        let igp = with_attrs(|a| a.origin = Origin::Igp);
+        let inc = with_attrs(|a| a.origin = Origin::Incomplete);
+        assert_eq!(
+            compare_routes(&igp, &inc, &DecisionConfig::default()),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn med_compared_same_neighbor_only() {
+        // Same first AS: MED applies.
+        let low_med = with_attrs(|a| a.med = Some(10));
+        let high_med = with_attrs(|a| a.med = Some(100));
+        assert_eq!(
+            compare_routes(&low_med, &high_med, &DecisionConfig::default()),
+            Ordering::Greater
+        );
+        // Different first AS: MED skipped, falls to later tiebreaks.
+        let other_as = with_attrs(|a| {
+            a.med = Some(100);
+            a.as_path = AsPath::from_asns(&[Asn(9), Asn(2)]);
+        });
+        let mut low2 = with_attrs(|a| a.med = Some(10));
+        low2.peer = PeerId(5); // higher peer id loses the final tiebreak
+        let cfg = DecisionConfig::default();
+        // With MED not comparable, peer id decides: other_as has PeerId(1).
+        assert_eq!(compare_routes(&other_as, &low2, &cfg), Ordering::Greater);
+        // With always_compare_med the MED decides.
+        let cfg = DecisionConfig {
+            always_compare_med: true,
+            ..Default::default()
+        };
+        assert_eq!(compare_routes(&low2, &other_as, &cfg), Ordering::Greater);
+    }
+
+    #[test]
+    fn local_beats_ebgp_beats_ibgp() {
+        let mut local = base_route();
+        local.source = RouteSource::Local;
+        let ebgp = base_route();
+        let mut ibgp = base_route();
+        ibgp.source = RouteSource::Ibgp;
+        let cfg = DecisionConfig::default();
+        assert_eq!(compare_routes(&local, &ebgp, &cfg), Ordering::Greater);
+        assert_eq!(compare_routes(&ebgp, &ibgp, &cfg), Ordering::Greater);
+        assert_eq!(compare_routes(&local, &ibgp, &cfg), Ordering::Greater);
+    }
+
+    #[test]
+    fn igp_cost_breaks_ties() {
+        let mut near = base_route();
+        near.igp_cost = 5;
+        let mut far = base_route();
+        far.igp_cost = 50;
+        assert_eq!(
+            compare_routes(&near, &far, &DecisionConfig::default()),
+            Ordering::Greater
+        );
+        // Disabled: falls to peer id (equal) then path id (equal) -> Equal.
+        let cfg = DecisionConfig {
+            use_igp_cost: false,
+            ..Default::default()
+        };
+        assert_eq!(compare_routes(&near, &far, &cfg), Ordering::Equal);
+    }
+
+    #[test]
+    fn peer_and_path_id_final_tiebreak() {
+        let mut a = base_route();
+        a.peer = PeerId(1);
+        let mut b = base_route();
+        b.peer = PeerId(2);
+        assert_eq!(
+            compare_routes(&a, &b, &DecisionConfig::default()),
+            Ordering::Greater
+        );
+        let mut c = base_route();
+        c.path_id = 1;
+        let mut d = base_route();
+        d.path_id = 2;
+        assert_eq!(
+            compare_routes(&c, &d, &DecisionConfig::default()),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn best_route_selects_max() {
+        let cfg = DecisionConfig::default();
+        let routes = vec![
+            with_attrs(|a| a.as_path = AsPath::from_asns(&[Asn(1), Asn(2), Asn(3)])),
+            with_attrs(|a| a.as_path = AsPath::from_asns(&[Asn(1)])),
+            with_attrs(|a| a.as_path = AsPath::from_asns(&[Asn(1), Asn(2)])),
+        ];
+        let best = best_route(routes.iter(), &cfg).unwrap();
+        assert_eq!(best.attrs.as_path.hop_count(), 1);
+        assert!(best_route(std::iter::empty(), &cfg).is_none());
+    }
+
+    #[test]
+    fn order_is_antisymmetric() {
+        let a = with_attrs(|x| x.local_pref = Some(150));
+        let b = base_route();
+        let cfg = DecisionConfig::default();
+        assert_eq!(compare_routes(&a, &b, &cfg), Ordering::Greater);
+        assert_eq!(compare_routes(&b, &a, &cfg), Ordering::Less);
+        assert_eq!(compare_routes(&a, &a, &cfg), Ordering::Equal);
+    }
+}

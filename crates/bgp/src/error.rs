@@ -1,0 +1,94 @@
+//! BGP error types and their mapping onto NOTIFICATION codes.
+
+use crate::message::NotifCode;
+use std::fmt;
+
+/// Everything that can go wrong while decoding or processing BGP data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BgpError {
+    /// Message shorter than its header claims or malformed marker.
+    BadHeader(String),
+    /// Header length field out of the RFC 4271 `[19, 4096]` bounds.
+    BadLength(u16),
+    /// Unknown message type octet.
+    BadType(u8),
+    /// OPEN message malformed or carrying unacceptable values.
+    BadOpen(String),
+    /// UPDATE message malformed.
+    BadUpdate(String),
+    /// Attribute-level problem inside an UPDATE.
+    BadAttribute(String),
+    /// NOTIFICATION malformed.
+    BadNotification(String),
+    /// The peer's OPEN did not match our session configuration.
+    PeerMismatch(String),
+    /// Operation invalid in the current FSM state.
+    FsmViolation(String),
+}
+
+impl BgpError {
+    /// The NOTIFICATION (code, subcode) this error maps to when it must be
+    /// reported to the peer.
+    pub fn notification(&self) -> (NotifCode, u8) {
+        match self {
+            BgpError::BadHeader(_) => (NotifCode::MessageHeaderError, 1), // conn not synced
+            BgpError::BadLength(_) => (NotifCode::MessageHeaderError, 2), // bad length
+            BgpError::BadType(_) => (NotifCode::MessageHeaderError, 3),   // bad type
+            BgpError::BadOpen(_) => (NotifCode::OpenMessageError, 0),
+            BgpError::PeerMismatch(_) => (NotifCode::OpenMessageError, 2), // bad peer AS
+            BgpError::BadUpdate(_) => (NotifCode::UpdateMessageError, 0),
+            BgpError::BadAttribute(_) => (NotifCode::UpdateMessageError, 1),
+            BgpError::BadNotification(_) => (NotifCode::MessageHeaderError, 0),
+            BgpError::FsmViolation(_) => (NotifCode::FsmError, 0),
+        }
+    }
+}
+
+impl fmt::Display for BgpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BgpError::BadHeader(s) => write!(f, "bad message header: {s}"),
+            BgpError::BadLength(l) => write!(f, "bad message length: {l}"),
+            BgpError::BadType(t) => write!(f, "unknown message type: {t}"),
+            BgpError::BadOpen(s) => write!(f, "bad OPEN: {s}"),
+            BgpError::BadUpdate(s) => write!(f, "bad UPDATE: {s}"),
+            BgpError::BadAttribute(s) => write!(f, "bad attribute: {s}"),
+            BgpError::BadNotification(s) => write!(f, "bad NOTIFICATION: {s}"),
+            BgpError::PeerMismatch(s) => write!(f, "peer mismatch: {s}"),
+            BgpError::FsmViolation(s) => write!(f, "FSM violation: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for BgpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn notification_mapping() {
+        assert_eq!(
+            BgpError::BadLength(5).notification(),
+            (NotifCode::MessageHeaderError, 2)
+        );
+        assert_eq!(
+            BgpError::BadType(9).notification(),
+            (NotifCode::MessageHeaderError, 3)
+        );
+        assert_eq!(
+            BgpError::PeerMismatch("x".into()).notification(),
+            (NotifCode::OpenMessageError, 2)
+        );
+        assert_eq!(
+            BgpError::BadAttribute("x".into()).notification(),
+            (NotifCode::UpdateMessageError, 1)
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = BgpError::BadOpen("hold time 1 < 3".into());
+        assert!(e.to_string().contains("hold time"));
+    }
+}

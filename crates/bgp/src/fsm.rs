@@ -1,0 +1,655 @@
+//! The BGP session finite-state machine (RFC 4271 §8).
+//!
+//! The simulated transport replaces TCP: connection setup is instantaneous
+//! when a link exists, so `Connect`/`Active` collapse into a single
+//! `Connect` state used by the passive side while it waits for the remote
+//! OPEN. All the protocol-visible behavior is kept: OPEN negotiation
+//! (including hold-time, 4-octet ASN, and ADD-PATH capabilities),
+//! keepalive scheduling at one third of the negotiated hold time, hold
+//! timer expiry producing a NOTIFICATION, and session teardown semantics.
+
+use crate::error::BgpError;
+use crate::message::{
+    BgpMessage, NotifCode, NotificationMessage, OpenMessage, UpdateMessage,
+};
+use peering_netsim::{Asn, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// FSM states. `Active` is merged into [`FsmState::Connect`] because the
+/// simulated transport cannot half-fail the way TCP can.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FsmState {
+    /// Session administratively down.
+    Idle,
+    /// Waiting for the peer (passive) or for the retry timer (active).
+    Connect,
+    /// OPEN sent, waiting for the peer's OPEN.
+    OpenSent,
+    /// OPENs exchanged, waiting for the first KEEPALIVE.
+    OpenConfirm,
+    /// Session up; UPDATEs flow.
+    Established,
+}
+
+/// Static configuration of one session endpoint.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Our ASN.
+    pub local_asn: Asn,
+    /// Our router ID.
+    pub router_id: Ipv4Addr,
+    /// Expected remote ASN; `None` accepts any (used by route servers).
+    pub peer_asn: Option<Asn>,
+    /// Proposed hold time (0 disables keepalives).
+    pub hold_time: SimDuration,
+    /// Whether we wait for the remote to speak first.
+    pub passive: bool,
+    /// Offer ADD-PATH send.
+    pub add_path_send: bool,
+    /// Offer ADD-PATH receive.
+    pub add_path_receive: bool,
+}
+
+impl SessionConfig {
+    /// A conventional active session: 90 s hold time.
+    pub fn new(local_asn: Asn, router_id: Ipv4Addr) -> Self {
+        SessionConfig {
+            local_asn,
+            router_id,
+            peer_asn: None,
+            hold_time: SimDuration::from_secs(90),
+            passive: false,
+            add_path_send: false,
+            add_path_receive: false,
+        }
+    }
+
+    /// Expect a specific remote ASN.
+    pub fn expect_peer(mut self, asn: Asn) -> Self {
+        self.peer_asn = Some(asn);
+        self
+    }
+
+    /// Make this endpoint passive.
+    pub fn passive(mut self) -> Self {
+        self.passive = true;
+        self
+    }
+
+    /// Offer ADD-PATH in the given directions.
+    pub fn add_path(mut self, send: bool, receive: bool) -> Self {
+        self.add_path_send = send;
+        self.add_path_receive = receive;
+        self
+    }
+}
+
+/// What the session negotiated once established.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Negotiated {
+    /// Remote ASN.
+    pub peer_asn: Asn,
+    /// Remote router ID.
+    pub peer_router_id: Ipv4Addr,
+    /// Effective hold time (min of both proposals).
+    pub hold_time: SimDuration,
+    /// We may send multiple paths per prefix.
+    pub add_path_tx: bool,
+    /// We may receive multiple paths per prefix.
+    pub add_path_rx: bool,
+}
+
+/// Events surfaced to the owner of the session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionEvent {
+    /// The session reached Established.
+    Established(Negotiated),
+    /// The session went down.
+    Down {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An UPDATE arrived while established.
+    Update(UpdateMessage),
+    /// The peer asked us to re-advertise our Adj-RIB-Out.
+    RefreshRequested,
+}
+
+/// Per-session statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Messages received, by any type.
+    pub msgs_in: u64,
+    /// Messages emitted.
+    pub msgs_out: u64,
+    /// UPDATEs received.
+    pub updates_in: u64,
+    /// UPDATEs sent (counted by the owner when it emits them).
+    pub updates_out: u64,
+    /// Times the session reached Established.
+    pub flaps: u64,
+}
+
+/// One endpoint of a BGP session.
+#[derive(Debug, Clone)]
+pub struct Session {
+    cfg: SessionConfig,
+    state: FsmState,
+    negotiated: Option<Negotiated>,
+    hold_deadline: SimTime,
+    keepalive_due: SimTime,
+    /// Counters.
+    pub stats: SessionStats,
+}
+
+impl Session {
+    /// Create a session in `Idle`.
+    pub fn new(cfg: SessionConfig) -> Self {
+        Session {
+            cfg,
+            state: FsmState::Idle,
+            negotiated: None,
+            hold_deadline: SimTime::MAX,
+            keepalive_due: SimTime::MAX,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Current FSM state.
+    pub fn state(&self) -> FsmState {
+        self.state
+    }
+
+    /// Negotiated parameters once established.
+    pub fn negotiated(&self) -> Option<&Negotiated> {
+        self.negotiated.as_ref()
+    }
+
+    /// True in `Established`.
+    pub fn is_established(&self) -> bool {
+        self.state == FsmState::Established
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+
+    fn open_message(&self) -> BgpMessage {
+        let hold_secs = (self.cfg.hold_time.as_micros() / 1_000_000).min(u16::MAX as u64) as u16;
+        let mut open = OpenMessage::new(self.cfg.local_asn, hold_secs, self.cfg.router_id);
+        if self.cfg.add_path_send || self.cfg.add_path_receive {
+            open = open.with_add_path(self.cfg.add_path_send, self.cfg.add_path_receive);
+        }
+        BgpMessage::Open(open)
+    }
+
+    /// Start the session (ManualStart). Active endpoints emit their OPEN
+    /// immediately; passive endpoints wait in `Connect`.
+    pub fn start(&mut self, _now: SimTime) -> Vec<BgpMessage> {
+        if self.state != FsmState::Idle {
+            return Vec::new();
+        }
+        if self.cfg.passive {
+            self.state = FsmState::Connect;
+            Vec::new()
+        } else {
+            self.state = FsmState::OpenSent;
+            self.stats.msgs_out += 1;
+            vec![self.open_message()]
+        }
+    }
+
+    /// Stop the session (ManualStop): emits a Cease and returns to Idle.
+    pub fn stop(&mut self, _now: SimTime) -> (Vec<BgpMessage>, Vec<SessionEvent>) {
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+        if self.state != FsmState::Idle {
+            if self.state == FsmState::Established || self.state == FsmState::OpenConfirm {
+                out.push(BgpMessage::Notification(NotificationMessage::new(
+                    NotifCode::Cease,
+                    2, // administrative shutdown
+                )));
+                self.stats.msgs_out += 1;
+            }
+            if self.state == FsmState::Established {
+                events.push(SessionEvent::Down {
+                    reason: "administrative stop".into(),
+                });
+            }
+        }
+        self.reset();
+        (out, events)
+    }
+
+    fn reset(&mut self) {
+        self.state = FsmState::Idle;
+        self.negotiated = None;
+        self.hold_deadline = SimTime::MAX;
+        self.keepalive_due = SimTime::MAX;
+    }
+
+    fn go_down(&mut self, reason: impl Into<String>, events: &mut Vec<SessionEvent>) {
+        let was_established = self.state == FsmState::Established;
+        self.reset();
+        if was_established {
+            events.push(SessionEvent::Down {
+                reason: reason.into(),
+            });
+        }
+    }
+
+    fn validate_open(&self, open: &OpenMessage) -> Result<(), BgpError> {
+        if open.version != 4 {
+            return Err(BgpError::BadOpen(format!("version {}", open.version)));
+        }
+        if let Some(expected) = self.cfg.peer_asn {
+            if open.asn() != expected {
+                return Err(BgpError::PeerMismatch(format!(
+                    "expected {expected}, got {}",
+                    open.asn()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn accept_open(&mut self, open: &OpenMessage, now: SimTime) {
+        let peer_hold = SimDuration::from_secs(open.hold_time as u64);
+        let hold = peer_hold.min(self.cfg.hold_time);
+        let (peer_send, peer_recv) = open.add_path();
+        self.negotiated = Some(Negotiated {
+            peer_asn: open.asn(),
+            peer_router_id: open.router_id,
+            hold_time: hold,
+            // We can send multiple paths iff we offered send and they
+            // offered receive, and vice versa.
+            add_path_tx: self.cfg.add_path_send && peer_recv,
+            add_path_rx: self.cfg.add_path_receive && peer_send,
+        });
+        if hold.is_zero() {
+            self.hold_deadline = SimTime::MAX;
+            self.keepalive_due = SimTime::MAX;
+        } else {
+            self.hold_deadline = now + hold;
+            self.keepalive_due = now + hold / 3;
+        }
+    }
+
+    /// Process an incoming message, producing replies and events.
+    pub fn on_message(
+        &mut self,
+        msg: BgpMessage,
+        now: SimTime,
+    ) -> (Vec<BgpMessage>, Vec<SessionEvent>) {
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+        self.stats.msgs_in += 1;
+
+        // Any valid message refreshes the hold timer while up.
+        if self.state == FsmState::Established && self.hold_deadline != SimTime::MAX {
+            if let Some(n) = &self.negotiated {
+                self.hold_deadline = now + n.hold_time;
+            }
+        }
+
+        match (&self.state, msg) {
+            (FsmState::Idle, _) => {
+                // Quietly ignore stale traffic while administratively down.
+            }
+            (FsmState::Connect, BgpMessage::Open(open)) => match self.validate_open(&open) {
+                Ok(()) => {
+                    self.accept_open(&open, now);
+                    out.push(self.open_message());
+                    out.push(BgpMessage::Keepalive);
+                    self.stats.msgs_out += 2;
+                    self.state = FsmState::OpenConfirm;
+                }
+                Err(e) => {
+                    let (code, sub) = e.notification();
+                    out.push(BgpMessage::Notification(NotificationMessage::new(code, sub)));
+                    self.stats.msgs_out += 1;
+                    self.go_down(e.to_string(), &mut events);
+                }
+            },
+            (FsmState::OpenSent, BgpMessage::Open(open)) => match self.validate_open(&open) {
+                Ok(()) => {
+                    self.accept_open(&open, now);
+                    out.push(BgpMessage::Keepalive);
+                    self.stats.msgs_out += 1;
+                    self.state = FsmState::OpenConfirm;
+                }
+                Err(e) => {
+                    let (code, sub) = e.notification();
+                    out.push(BgpMessage::Notification(NotificationMessage::new(code, sub)));
+                    self.stats.msgs_out += 1;
+                    self.go_down(e.to_string(), &mut events);
+                }
+            },
+            (FsmState::OpenConfirm, BgpMessage::Keepalive) => {
+                self.state = FsmState::Established;
+                self.stats.flaps += 1;
+                if let Some(n) = &self.negotiated {
+                    if !n.hold_time.is_zero() {
+                        self.hold_deadline = now + n.hold_time;
+                    }
+                    events.push(SessionEvent::Established(*n));
+                }
+            }
+            (FsmState::Established, BgpMessage::Update(u)) => {
+                self.stats.updates_in += 1;
+                events.push(SessionEvent::Update(u));
+            }
+            (FsmState::Established, BgpMessage::Keepalive) => {}
+            (FsmState::Established, BgpMessage::RouteRefresh) => {
+                events.push(SessionEvent::RefreshRequested);
+            }
+            (_, BgpMessage::Notification(n)) => {
+                self.go_down(
+                    format!("peer notification: {:?}/{}", n.code, n.subcode),
+                    &mut events,
+                );
+            }
+            (state, msg) => {
+                // Anything else is an FSM error: notify and drop.
+                let e = BgpError::FsmViolation(format!("{} in {:?}", msg.kind(), state));
+                let (code, sub) = e.notification();
+                out.push(BgpMessage::Notification(NotificationMessage::new(code, sub)));
+                self.stats.msgs_out += 1;
+                self.go_down(e.to_string(), &mut events);
+            }
+        }
+        (out, events)
+    }
+
+    /// Drive timers. Returns keepalives or a hold-timer-expired teardown.
+    pub fn tick(&mut self, now: SimTime) -> (Vec<BgpMessage>, Vec<SessionEvent>) {
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+        if self.state != FsmState::Established && self.state != FsmState::OpenConfirm {
+            return (out, events);
+        }
+        if now >= self.hold_deadline {
+            out.push(BgpMessage::Notification(NotificationMessage::new(
+                NotifCode::HoldTimerExpired,
+                0,
+            )));
+            self.stats.msgs_out += 1;
+            self.go_down("hold timer expired", &mut events);
+            return (out, events);
+        }
+        if now >= self.keepalive_due {
+            out.push(BgpMessage::Keepalive);
+            self.stats.msgs_out += 1;
+            if let Some(n) = &self.negotiated {
+                self.keepalive_due = now + n.hold_time / 3;
+            }
+        }
+        (out, events)
+    }
+
+    /// The earliest time at which `tick` needs to run again.
+    pub fn next_deadline(&self) -> SimTime {
+        self.hold_deadline.min(self.keepalive_due)
+    }
+
+    /// Record an UPDATE sent by the owner (for statistics).
+    pub fn note_update_sent(&mut self) {
+        self.stats.updates_out += 1;
+        self.stats.msgs_out += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::{AsPath, PathAttributes};
+    use crate::message::{Nlri, UpdateMessage};
+    use peering_netsim::Prefix;
+    use std::sync::Arc;
+
+    fn pair() -> (Session, Session) {
+        let a = Session::new(
+            SessionConfig::new(Asn(100), Ipv4Addr::new(1, 1, 1, 1)).expect_peer(Asn(200)),
+        );
+        let b = Session::new(
+            SessionConfig::new(Asn(200), Ipv4Addr::new(2, 2, 2, 2))
+                .expect_peer(Asn(100))
+                .passive(),
+        );
+        (a, b)
+    }
+
+    /// Run the handshake to Established, returning emitted events.
+    fn establish(a: &mut Session, b: &mut Session, t: SimTime) -> Vec<SessionEvent> {
+        let mut events = Vec::new();
+        let mut a_to_b: Vec<BgpMessage> = a.start(t);
+        let mut b_to_a: Vec<BgpMessage> = b.start(t);
+        for _ in 0..8 {
+            if a_to_b.is_empty() && b_to_a.is_empty() {
+                break;
+            }
+            let mut next_a_to_b = Vec::new();
+            let mut next_b_to_a = Vec::new();
+            for m in a_to_b.drain(..) {
+                let (out, ev) = b.on_message(m, t);
+                next_b_to_a.extend(out);
+                events.extend(ev);
+            }
+            for m in b_to_a.drain(..) {
+                let (out, ev) = a.on_message(m, t);
+                next_a_to_b.extend(out);
+                events.extend(ev);
+            }
+            a_to_b = next_a_to_b;
+            b_to_a = next_b_to_a;
+        }
+        events
+    }
+
+    #[test]
+    fn handshake_reaches_established() {
+        let (mut a, mut b) = pair();
+        let events = establish(&mut a, &mut b, SimTime::ZERO);
+        assert!(a.is_established(), "a: {:?}", a.state());
+        assert!(b.is_established(), "b: {:?}", b.state());
+        let est: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, SessionEvent::Established(_)))
+            .collect();
+        assert_eq!(est.len(), 2);
+        assert_eq!(a.negotiated().unwrap().peer_asn, Asn(200));
+        assert_eq!(b.negotiated().unwrap().peer_asn, Asn(100));
+    }
+
+    #[test]
+    fn hold_time_negotiated_to_min() {
+        let mut a = Session::new(SessionConfig {
+            hold_time: SimDuration::from_secs(30),
+            ..SessionConfig::new(Asn(1), Ipv4Addr::new(1, 1, 1, 1))
+        });
+        let mut b = Session::new(
+            SessionConfig::new(Asn(2), Ipv4Addr::new(2, 2, 2, 2)).passive(),
+        );
+        establish(&mut a, &mut b, SimTime::ZERO);
+        assert_eq!(
+            a.negotiated().unwrap().hold_time,
+            SimDuration::from_secs(30)
+        );
+        assert_eq!(
+            b.negotiated().unwrap().hold_time,
+            SimDuration::from_secs(30)
+        );
+    }
+
+    #[test]
+    fn wrong_peer_asn_is_rejected() {
+        let mut a = Session::new(
+            SessionConfig::new(Asn(100), Ipv4Addr::new(1, 1, 1, 1)).expect_peer(Asn(999)),
+        );
+        let mut b = Session::new(
+            SessionConfig::new(Asn(200), Ipv4Addr::new(2, 2, 2, 2)).passive(),
+        );
+        establish(&mut a, &mut b, SimTime::ZERO);
+        assert!(!a.is_established());
+        assert_eq!(a.state(), FsmState::Idle);
+    }
+
+    #[test]
+    fn add_path_requires_both_directions() {
+        let mut a = Session::new(
+            SessionConfig::new(Asn(1), Ipv4Addr::new(1, 1, 1, 1)).add_path(true, false),
+        );
+        let mut b = Session::new(
+            SessionConfig::new(Asn(2), Ipv4Addr::new(2, 2, 2, 2))
+                .passive()
+                .add_path(false, true),
+        );
+        establish(&mut a, &mut b, SimTime::ZERO);
+        assert!(a.is_established());
+        // a offered send, b offered receive: a->b multiple paths OK.
+        assert!(a.negotiated().unwrap().add_path_tx);
+        assert!(!a.negotiated().unwrap().add_path_rx);
+        assert!(b.negotiated().unwrap().add_path_rx);
+        assert!(!b.negotiated().unwrap().add_path_tx);
+    }
+
+    #[test]
+    fn update_in_established_surfaces_event() {
+        let (mut a, mut b) = pair();
+        establish(&mut a, &mut b, SimTime::ZERO);
+        let attrs = Arc::new(PathAttributes {
+            as_path: AsPath::from_asns(&[Asn(100)]),
+            ..Default::default()
+        });
+        let u = UpdateMessage::announce(attrs, vec![Nlri::plain(Prefix::v4(10, 0, 0, 0, 8))]);
+        let (_, events) = b.on_message(BgpMessage::Update(u.clone()), SimTime::from_secs(1));
+        assert_eq!(events, vec![SessionEvent::Update(u)]);
+        assert_eq!(b.stats.updates_in, 1);
+    }
+
+    #[test]
+    fn update_before_established_is_fsm_error() {
+        let (mut a, _b) = pair();
+        a.start(SimTime::ZERO);
+        assert_eq!(a.state(), FsmState::OpenSent);
+        let attrs = Arc::new(PathAttributes::default());
+        let u = UpdateMessage::announce(attrs, vec![Nlri::plain(Prefix::v4(10, 0, 0, 0, 8))]);
+        let (out, _) = a.on_message(BgpMessage::Update(u), SimTime::ZERO);
+        assert!(matches!(out[0], BgpMessage::Notification(_)));
+        assert_eq!(a.state(), FsmState::Idle);
+    }
+
+    #[test]
+    fn hold_timer_expiry_takes_session_down() {
+        let (mut a, mut b) = pair();
+        establish(&mut a, &mut b, SimTime::ZERO);
+        let hold = a.negotiated().unwrap().hold_time;
+        let (out, events) = a.tick(SimTime::ZERO + hold + SimDuration::from_secs(1));
+        assert!(matches!(out[0], BgpMessage::Notification(_)));
+        assert_eq!(
+            events,
+            vec![SessionEvent::Down {
+                reason: "hold timer expired".into()
+            }]
+        );
+        assert_eq!(a.state(), FsmState::Idle);
+    }
+
+    #[test]
+    fn keepalives_refresh_hold_timer() {
+        let (mut a, mut b) = pair();
+        establish(&mut a, &mut b, SimTime::ZERO);
+        let ka = a.negotiated().unwrap().hold_time / 3;
+        let mut now = SimTime::ZERO;
+        // Exchange keepalives for several hold periods; nobody dies.
+        for _ in 0..10 {
+            now += ka;
+            let (a_out, a_ev) = a.tick(now);
+            let (b_out, b_ev) = b.tick(now);
+            assert!(a_ev.is_empty() && b_ev.is_empty());
+            for m in a_out {
+                b.on_message(m, now);
+            }
+            for m in b_out {
+                a.on_message(m, now);
+            }
+        }
+        assert!(a.is_established() && b.is_established());
+    }
+
+    #[test]
+    fn notification_takes_session_down() {
+        let (mut a, mut b) = pair();
+        establish(&mut a, &mut b, SimTime::ZERO);
+        let (_, events) = a.on_message(
+            BgpMessage::Notification(NotificationMessage::new(NotifCode::Cease, 2)),
+            SimTime::from_secs(1),
+        );
+        assert!(matches!(events[0], SessionEvent::Down { .. }));
+        assert_eq!(a.state(), FsmState::Idle);
+    }
+
+    #[test]
+    fn stop_emits_cease_and_event() {
+        let (mut a, mut b) = pair();
+        establish(&mut a, &mut b, SimTime::ZERO);
+        let (out, events) = a.stop(SimTime::from_secs(1));
+        assert!(matches!(out[0], BgpMessage::Notification(_)));
+        assert!(matches!(events[0], SessionEvent::Down { .. }));
+        assert_eq!(a.state(), FsmState::Idle);
+        // Stopping again is a no-op.
+        let (out2, ev2) = a.stop(SimTime::from_secs(2));
+        assert!(out2.is_empty() && ev2.is_empty());
+    }
+
+    #[test]
+    fn restart_after_down_works() {
+        let (mut a, mut b) = pair();
+        establish(&mut a, &mut b, SimTime::ZERO);
+        a.stop(SimTime::from_secs(1));
+        b.stop(SimTime::from_secs(1));
+        let events = establish(&mut a, &mut b, SimTime::from_secs(2));
+        assert!(a.is_established() && b.is_established());
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SessionEvent::Established(_))));
+        assert_eq!(a.stats.flaps, 2);
+    }
+
+    #[test]
+    fn messages_in_idle_are_ignored() {
+        let (mut a, _) = pair();
+        let (out, events) = a.on_message(BgpMessage::Keepalive, SimTime::ZERO);
+        assert!(out.is_empty() && events.is_empty());
+        assert_eq!(a.state(), FsmState::Idle);
+    }
+
+    #[test]
+    fn route_refresh_surfaces_event() {
+        let (mut a, mut b) = pair();
+        establish(&mut a, &mut b, SimTime::ZERO);
+        let (_, events) = b.on_message(BgpMessage::RouteRefresh, SimTime::from_secs(1));
+        assert_eq!(events, vec![SessionEvent::RefreshRequested]);
+    }
+
+    #[test]
+    fn zero_hold_time_disables_timers() {
+        let mut a = Session::new(SessionConfig {
+            hold_time: SimDuration::ZERO,
+            ..SessionConfig::new(Asn(1), Ipv4Addr::new(1, 1, 1, 1))
+        });
+        let mut b = Session::new(SessionConfig {
+            hold_time: SimDuration::ZERO,
+            passive: true,
+            ..SessionConfig::new(Asn(2), Ipv4Addr::new(2, 2, 2, 2))
+        });
+        establish(&mut a, &mut b, SimTime::ZERO);
+        assert!(a.is_established());
+        assert_eq!(a.next_deadline(), SimTime::MAX);
+        let (out, ev) = a.tick(SimTime::from_secs(100_000));
+        assert!(out.is_empty() && ev.is_empty());
+        assert!(a.is_established());
+    }
+}

@@ -1,0 +1,327 @@
+//! Route policy: the match/action engine applied on import and export.
+//!
+//! This is the mechanism behind two of the paper's pillars: *fine-grained
+//! announcement control* for clients (prepend, poison, steer by community)
+//! and *safety enforcement* at servers ("outbound filters on prefixes and
+//! origin AS" that make hijacks and leaks impossible).
+
+use crate::attrs::{Community, Origin, PathAttributes};
+use peering_netsim::{Asn, Prefix};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// A predicate over `(prefix, attributes)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Match {
+    /// Always true.
+    Any,
+    /// Prefix is covered by one of these (e.g. "inside PEERING's /19").
+    PrefixIn(Vec<Prefix>),
+    /// Prefix is exactly one of these.
+    PrefixExact(Vec<Prefix>),
+    /// Prefix length is strictly greater than the bound (e.g. >24 is
+    /// conventionally not globally routable).
+    LongerThan(u8),
+    /// AS path contains the ASN anywhere.
+    AsPathContains(Asn),
+    /// The route's origin AS equals the ASN.
+    OriginatedBy(Asn),
+    /// AS path is longer than this many hops.
+    AsPathLongerThan(u32),
+    /// The community is attached.
+    HasCommunity(Community),
+    /// ORIGIN attribute equals.
+    OriginIs(Origin),
+    /// Negation.
+    Not(Box<Match>),
+    /// Conjunction.
+    All(Vec<Match>),
+    /// Disjunction.
+    AnyOf(Vec<Match>),
+}
+
+impl Match {
+    /// Evaluate the predicate.
+    pub fn matches(&self, prefix: &Prefix, attrs: &PathAttributes) -> bool {
+        match self {
+            Match::Any => true,
+            Match::PrefixIn(list) => list.iter().any(|p| p.covers(prefix)),
+            Match::PrefixExact(list) => list.contains(prefix),
+            Match::LongerThan(len) => prefix.len() > *len,
+            Match::AsPathContains(asn) => attrs.as_path.contains(*asn),
+            Match::OriginatedBy(asn) => attrs.as_path.origin_as() == Some(*asn),
+            Match::AsPathLongerThan(n) => attrs.as_path.hop_count() > *n,
+            Match::HasCommunity(c) => attrs.has_community(*c),
+            Match::OriginIs(o) => attrs.origin == *o,
+            Match::Not(m) => !m.matches(prefix, attrs),
+            Match::All(ms) => ms.iter().all(|m| m.matches(prefix, attrs)),
+            Match::AnyOf(ms) => ms.iter().any(|m| m.matches(prefix, attrs)),
+        }
+    }
+}
+
+/// An action taken when a rule matches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// Accept the route, stopping rule evaluation.
+    Accept,
+    /// Reject the route, stopping rule evaluation.
+    Reject,
+    /// Set LOCAL_PREF.
+    SetLocalPref(u32),
+    /// Set MED.
+    SetMed(u32),
+    /// Prepend an ASN n times.
+    Prepend(Asn, u8),
+    /// Attach a community.
+    AddCommunity(Community),
+    /// Detach a community.
+    RemoveCommunity(Community),
+    /// Detach every community whose high 16 bits equal the value (route
+    /// servers strip their `0:*` control communities on export).
+    RemoveCommunitiesWithAsn(u16),
+    /// Strip every community.
+    ClearCommunities,
+    /// Rewrite the next hop.
+    SetNextHop(Ipv4Addr),
+    /// Strip private ASNs from the path (PEERING does this for emulated
+    /// domains behind its public ASN).
+    StripPrivateAsns,
+}
+
+/// A rule: when `matches` holds, run `actions` in order. An `Accept` or
+/// `Reject` action is terminal; a rule without a terminal action falls
+/// through to the next rule (with its modifications kept).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyRule {
+    /// The predicate.
+    pub matches: Match,
+    /// Actions to run on match.
+    pub actions: Vec<Action>,
+}
+
+impl PolicyRule {
+    /// Build a rule.
+    pub fn new(matches: Match, actions: Vec<Action>) -> Self {
+        PolicyRule { matches, actions }
+    }
+}
+
+/// The verdict when no rule terminates evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DefaultVerdict {
+    /// Accept unmatched routes.
+    Accept,
+    /// Reject unmatched routes.
+    Reject,
+}
+
+/// An ordered rule list with a default verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Policy {
+    /// Rules evaluated first to last.
+    pub rules: Vec<PolicyRule>,
+    /// Verdict when no terminal action fires.
+    pub default: DefaultVerdict,
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy::accept_all()
+    }
+}
+
+impl Policy {
+    /// Accept everything unchanged.
+    pub fn accept_all() -> Self {
+        Policy {
+            rules: Vec::new(),
+            default: DefaultVerdict::Accept,
+        }
+    }
+
+    /// Reject everything.
+    pub fn reject_all() -> Self {
+        Policy {
+            rules: Vec::new(),
+            default: DefaultVerdict::Reject,
+        }
+    }
+
+    /// Builder: append a rule.
+    pub fn rule(mut self, matches: Match, actions: Vec<Action>) -> Self {
+        self.rules.push(PolicyRule::new(matches, actions));
+        self
+    }
+
+    /// Builder: set the default verdict.
+    pub fn default_verdict(mut self, v: DefaultVerdict) -> Self {
+        self.default = v;
+        self
+    }
+
+    /// Apply the policy. Returns `true` to accept (with `attrs` possibly
+    /// modified) or `false` to reject.
+    pub fn apply(&self, prefix: &Prefix, attrs: &mut PathAttributes) -> bool {
+        for rule in &self.rules {
+            if !rule.matches.matches(prefix, attrs) {
+                continue;
+            }
+            for action in &rule.actions {
+                match action {
+                    Action::Accept => return true,
+                    Action::Reject => return false,
+                    Action::SetLocalPref(v) => attrs.local_pref = Some(*v),
+                    Action::SetMed(v) => attrs.med = Some(*v),
+                    Action::Prepend(asn, n) => attrs.as_path.prepend(*asn, *n as usize),
+                    Action::AddCommunity(c) => attrs.add_community(*c),
+                    Action::RemoveCommunity(c) => attrs.remove_community(*c),
+                    Action::RemoveCommunitiesWithAsn(asn) => {
+                        attrs.communities.retain(|c| c.asn() != *asn)
+                    }
+                    Action::ClearCommunities => attrs.communities.clear(),
+                    Action::SetNextHop(ip) => attrs.next_hop = *ip,
+                    Action::StripPrivateAsns => attrs.as_path.strip_private(),
+                }
+            }
+        }
+        self.default == DefaultVerdict::Accept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AsPath;
+
+    fn attrs(path: &[u32]) -> PathAttributes {
+        PathAttributes {
+            as_path: AsPath::from_asns(&path.iter().map(|&a| Asn(a)).collect::<Vec<_>>()),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn match_primitives() {
+        let p = Prefix::v4(184, 164, 224, 0, 24);
+        let a = attrs(&[100, 200]);
+        assert!(Match::Any.matches(&p, &a));
+        assert!(Match::PrefixIn(vec![Prefix::v4(184, 164, 224, 0, 19)]).matches(&p, &a));
+        assert!(!Match::PrefixIn(vec![Prefix::v4(10, 0, 0, 0, 8)]).matches(&p, &a));
+        assert!(Match::PrefixExact(vec![p]).matches(&p, &a));
+        assert!(!Match::PrefixExact(vec![Prefix::v4(184, 164, 224, 0, 19)]).matches(&p, &a));
+        assert!(Match::LongerThan(19).matches(&p, &a));
+        assert!(!Match::LongerThan(24).matches(&p, &a));
+        assert!(Match::AsPathContains(Asn(200)).matches(&p, &a));
+        assert!(Match::OriginatedBy(Asn(200)).matches(&p, &a));
+        assert!(!Match::OriginatedBy(Asn(100)).matches(&p, &a));
+        assert!(Match::AsPathLongerThan(1).matches(&p, &a));
+        assert!(!Match::AsPathLongerThan(2).matches(&p, &a));
+        assert!(Match::OriginIs(Origin::Igp).matches(&p, &a));
+    }
+
+    #[test]
+    fn match_combinators() {
+        let p = Prefix::v4(10, 0, 0, 0, 24);
+        let a = attrs(&[1]);
+        let yes = Match::Any;
+        let no = Match::Not(Box::new(Match::Any));
+        assert!(!no.matches(&p, &a));
+        assert!(Match::All(vec![yes.clone(), yes.clone()]).matches(&p, &a));
+        assert!(!Match::All(vec![yes.clone(), no.clone()]).matches(&p, &a));
+        assert!(Match::AnyOf(vec![no.clone(), yes.clone()]).matches(&p, &a));
+        assert!(!Match::AnyOf(vec![no.clone(), no]).matches(&p, &a));
+        assert!(Match::All(vec![]).matches(&p, &a));
+        assert!(!Match::AnyOf(vec![]).matches(&p, &a));
+    }
+
+    #[test]
+    fn first_terminal_action_decides() {
+        let policy = Policy::accept_all()
+            .rule(Match::AsPathContains(Asn(666)), vec![Action::Reject])
+            .rule(Match::Any, vec![Action::SetLocalPref(200), Action::Accept]);
+        let p = Prefix::v4(10, 0, 0, 0, 8);
+        let mut bad = attrs(&[666, 1]);
+        assert!(!policy.apply(&p, &mut bad));
+        let mut good = attrs(&[1]);
+        assert!(policy.apply(&p, &mut good));
+        assert_eq!(good.local_pref, Some(200));
+    }
+
+    #[test]
+    fn fallthrough_keeps_modifications() {
+        // First rule prepends but does not terminate; default accepts.
+        let policy = Policy::accept_all()
+            .rule(Match::Any, vec![Action::Prepend(Asn(47065), 2)])
+            .rule(Match::Any, vec![Action::AddCommunity(Community::new(47065, 1))]);
+        let p = Prefix::v4(10, 0, 0, 0, 8);
+        let mut a = attrs(&[1]);
+        assert!(policy.apply(&p, &mut a));
+        assert_eq!(a.as_path.hop_count(), 3);
+        assert!(a.has_community(Community::new(47065, 1)));
+    }
+
+    #[test]
+    fn default_verdicts() {
+        let p = Prefix::v4(10, 0, 0, 0, 8);
+        let mut a = attrs(&[1]);
+        assert!(Policy::accept_all().apply(&p, &mut a));
+        assert!(!Policy::reject_all().apply(&p, &mut a));
+        // reject_all with an explicit allow rule = allowlist.
+        let allow = Policy::reject_all().rule(
+            Match::PrefixIn(vec![Prefix::v4(184, 164, 224, 0, 19)]),
+            vec![Action::Accept],
+        );
+        let mut a2 = attrs(&[1]);
+        assert!(allow.apply(&Prefix::v4(184, 164, 230, 0, 24), &mut a2));
+        assert!(!allow.apply(&p, &mut a2));
+    }
+
+    #[test]
+    fn action_mutations() {
+        let policy = Policy::accept_all().rule(
+            Match::Any,
+            vec![
+                Action::SetMed(50),
+                Action::SetNextHop(Ipv4Addr::new(9, 9, 9, 9)),
+                Action::AddCommunity(Community::new(1, 1)),
+                Action::AddCommunity(Community::new(1, 2)),
+                Action::RemoveCommunity(Community::new(1, 1)),
+            ],
+        );
+        let p = Prefix::v4(10, 0, 0, 0, 8);
+        let mut a = attrs(&[1]);
+        assert!(policy.apply(&p, &mut a));
+        assert_eq!(a.med, Some(50));
+        assert_eq!(a.next_hop, Ipv4Addr::new(9, 9, 9, 9));
+        assert_eq!(a.communities, vec![Community::new(1, 2)]);
+        // ClearCommunities wipes everything.
+        let wipe = Policy::accept_all().rule(Match::Any, vec![Action::ClearCommunities]);
+        assert!(wipe.apply(&p, &mut a));
+        assert!(a.communities.is_empty());
+    }
+
+    #[test]
+    fn strip_private_asns_action() {
+        let policy = Policy::accept_all().rule(Match::Any, vec![Action::StripPrivateAsns]);
+        let p = Prefix::v4(10, 0, 0, 0, 8);
+        let mut a = attrs(&[47065, 65001, 3356]);
+        assert!(policy.apply(&p, &mut a));
+        assert_eq!(a.as_path.to_string(), "47065 3356");
+    }
+
+    #[test]
+    fn community_steering_no_export() {
+        // The classic "don't send to this peer" community gate.
+        let policy = Policy::accept_all().rule(
+            Match::HasCommunity(Community::NO_EXPORT),
+            vec![Action::Reject],
+        );
+        let p = Prefix::v4(10, 0, 0, 0, 8);
+        let mut tagged = attrs(&[1]);
+        tagged.add_community(Community::NO_EXPORT);
+        assert!(!policy.apply(&p, &mut tagged));
+        let mut plain = attrs(&[1]);
+        assert!(policy.apply(&p, &mut plain));
+    }
+}

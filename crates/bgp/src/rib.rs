@@ -1,0 +1,500 @@
+//! Routing information bases: per-peer Adj-RIB-In / Adj-RIB-Out and the
+//! Loc-RIB, plus the shared-attribute interner.
+//!
+//! A PEERING server holds a full Adj-RIB-In per upstream peer — at AMS-IX
+//! that is hundreds of tables — and per-client Adj-RIB-Outs. Figure 2 of
+//! the paper measures exactly this: how much memory one router's tables
+//! consume as peers × routes grow. The interner reproduces the attribute
+//! sharing real BGP implementations rely on to keep that curve sane.
+
+use crate::attrs::PathAttributes;
+use peering_netsim::{Prefix, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Identifies a BGP peer within one speaker.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PeerId(pub u32);
+
+impl PeerId {
+    /// Pseudo-peer for locally originated routes.
+    pub const LOCAL: PeerId = PeerId(u32::MAX);
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == PeerId::LOCAL {
+            write!(f, "local")
+        } else {
+            write!(f, "peer{}", self.0)
+        }
+    }
+}
+
+/// Where a route was learned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RouteSource {
+    /// From an external peer.
+    Ebgp,
+    /// From an internal peer.
+    Ibgp,
+    /// Locally originated (static / redistributed).
+    Local,
+}
+
+/// A route: a prefix plus its path attributes and bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Route {
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// Shared path attributes.
+    pub attrs: Arc<PathAttributes>,
+    /// The peer this route was learned from ([`PeerId::LOCAL`] if local).
+    pub peer: PeerId,
+    /// ADD-PATH identifier (0 when unused).
+    pub path_id: u32,
+    /// eBGP / iBGP / local.
+    pub source: RouteSource,
+    /// IGP cost to the next hop (decision-process step).
+    pub igp_cost: u32,
+    /// When the route was installed.
+    pub learned_at: SimTime,
+}
+
+impl Route {
+    /// A locally originated route.
+    pub fn local(prefix: Prefix, attrs: Arc<PathAttributes>, now: SimTime) -> Self {
+        Route {
+            prefix,
+            attrs,
+            peer: PeerId::LOCAL,
+            path_id: 0,
+            source: RouteSource::Local,
+            igp_cost: 0,
+            learned_at: now,
+        }
+    }
+}
+
+/// One peer's Adj-RIB (used for both In and Out directions): the set of
+/// routes exchanged with that peer, keyed by prefix and ADD-PATH id.
+#[derive(Debug, Clone, Default)]
+pub struct AdjRib {
+    routes: HashMap<Prefix, BTreeMap<u32, Route>>,
+    entries: usize,
+}
+
+/// Adj-RIB-In: routes learned from a peer, after import policy.
+pub type AdjRibIn = AdjRib;
+/// Adj-RIB-Out: routes advertised to a peer, after export policy.
+pub type AdjRibOut = AdjRib;
+
+impl AdjRib {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or replace a route (keyed by `prefix` + `path_id`).
+    pub fn insert(&mut self, route: Route) -> Option<Route> {
+        let old = self
+            .routes
+            .entry(route.prefix)
+            .or_default()
+            .insert(route.path_id, route);
+        if old.is_none() {
+            self.entries += 1;
+        }
+        old
+    }
+
+    /// Remove one path for a prefix.
+    pub fn remove(&mut self, prefix: &Prefix, path_id: u32) -> Option<Route> {
+        let paths = self.routes.get_mut(prefix)?;
+        let old = paths.remove(&path_id);
+        if old.is_some() {
+            self.entries -= 1;
+            if paths.is_empty() {
+                self.routes.remove(prefix);
+            }
+        }
+        old
+    }
+
+    /// Remove every path for a prefix (plain withdraw).
+    pub fn remove_prefix(&mut self, prefix: &Prefix) -> Vec<Route> {
+        match self.routes.remove(prefix) {
+            Some(paths) => {
+                self.entries -= paths.len();
+                paths.into_values().collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// All paths currently held for a prefix.
+    pub fn paths(&self, prefix: &Prefix) -> impl Iterator<Item = &Route> {
+        self.routes.get(prefix).into_iter().flat_map(|m| m.values())
+    }
+
+    /// A specific path.
+    pub fn get(&self, prefix: &Prefix, path_id: u32) -> Option<&Route> {
+        self.routes.get(prefix)?.get(&path_id)
+    }
+
+    /// All `(prefix, route)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = &Route> {
+        self.routes.values().flat_map(|m| m.values())
+    }
+
+    /// Distinct prefixes present.
+    pub fn prefixes(&self) -> impl Iterator<Item = &Prefix> {
+        self.routes.keys()
+    }
+
+    /// Number of `(prefix, path)` entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when no routes are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Number of distinct prefixes.
+    pub fn prefix_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Drop everything, returning the affected prefixes (for re-decision).
+    pub fn clear(&mut self) -> Vec<Prefix> {
+        let prefixes: Vec<Prefix> = self.routes.keys().copied().collect();
+        self.routes.clear();
+        self.entries = 0;
+        prefixes
+    }
+}
+
+/// The Loc-RIB: the best route per prefix after the decision process.
+#[derive(Debug, Clone, Default)]
+pub struct LocRib {
+    best: HashMap<Prefix, Route>,
+}
+
+impl LocRib {
+    /// Create an empty Loc-RIB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install `route` as best for its prefix, returning the previous best.
+    pub fn set_best(&mut self, route: Route) -> Option<Route> {
+        self.best.insert(route.prefix, route)
+    }
+
+    /// Remove the best route for a prefix.
+    pub fn remove(&mut self, prefix: &Prefix) -> Option<Route> {
+        self.best.remove(prefix)
+    }
+
+    /// The best route for a prefix.
+    pub fn get(&self, prefix: &Prefix) -> Option<&Route> {
+        self.best.get(prefix)
+    }
+
+    /// All best routes.
+    pub fn iter(&self) -> impl Iterator<Item = &Route> {
+        self.best.values()
+    }
+
+    /// Number of prefixes with a best route.
+    pub fn len(&self) -> usize {
+        self.best.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.best.is_empty()
+    }
+}
+
+/// Interns path attributes so identical attribute sets share one
+/// allocation across RIB entries and sessions.
+///
+/// Disabling interning (`AttrInterner::disabled`) is the ablation for the
+/// Figure 2 experiment: every route then carries a private copy, which is
+/// how a naive implementation's memory curve would look.
+#[derive(Debug, Default)]
+pub struct AttrInterner {
+    buckets: HashMap<u64, Vec<Arc<PathAttributes>>>,
+    enabled: bool,
+    /// Times an existing allocation was reused.
+    pub hits: u64,
+    /// Times a new allocation was created.
+    pub misses: u64,
+}
+
+impl AttrInterner {
+    /// A working interner.
+    pub fn new() -> Self {
+        AttrInterner {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// An interner that always allocates (ablation mode).
+    pub fn disabled() -> Self {
+        AttrInterner {
+            enabled: false,
+            ..Default::default()
+        }
+    }
+
+    /// Whether interning is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn hash(attrs: &PathAttributes) -> u64 {
+        let mut h = DefaultHasher::new();
+        attrs.hash(&mut h);
+        h.finish()
+    }
+
+    /// Return a shared allocation equal to `attrs`.
+    pub fn intern(&mut self, attrs: PathAttributes) -> Arc<PathAttributes> {
+        if !self.enabled {
+            self.misses += 1;
+            return Arc::new(attrs);
+        }
+        let key = Self::hash(&attrs);
+        let bucket = self.buckets.entry(key).or_default();
+        for existing in bucket.iter() {
+            if **existing == attrs {
+                self.hits += 1;
+                return Arc::clone(existing);
+            }
+        }
+        self.misses += 1;
+        let arc = Arc::new(attrs);
+        bucket.push(Arc::clone(&arc));
+        arc
+    }
+
+    /// Like [`intern`](Self::intern) but starts from an existing Arc,
+    /// avoiding a clone when it is already the canonical allocation.
+    pub fn intern_arc(&mut self, attrs: Arc<PathAttributes>) -> Arc<PathAttributes> {
+        if !self.enabled {
+            return attrs;
+        }
+        let key = Self::hash(&attrs);
+        let bucket = self.buckets.entry(key).or_default();
+        for existing in bucket.iter() {
+            if Arc::ptr_eq(existing, &attrs) || **existing == *attrs {
+                self.hits += 1;
+                return Arc::clone(existing);
+            }
+        }
+        self.misses += 1;
+        bucket.push(Arc::clone(&attrs));
+        attrs
+    }
+
+    /// Drop interned entries no longer referenced anywhere else.
+    pub fn gc(&mut self) -> usize {
+        let mut freed = 0;
+        self.buckets.retain(|_, bucket| {
+            bucket.retain(|arc| {
+                let keep = Arc::strong_count(arc) > 1;
+                if !keep {
+                    freed += 1;
+                }
+                keep
+            });
+            !bucket.is_empty()
+        });
+        freed
+    }
+
+    /// Number of distinct attribute sets currently interned.
+    pub fn len(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+
+    /// True when nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Iterate the interned attribute sets (for memory accounting).
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<PathAttributes>> {
+        self.buckets.values().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AsPath;
+    use peering_netsim::Asn;
+
+    fn route(prefix: Prefix, path_id: u32, first_as: u32) -> Route {
+        Route {
+            prefix,
+            attrs: Arc::new(PathAttributes {
+                as_path: AsPath::from_asns(&[Asn(first_as)]),
+                ..Default::default()
+            }),
+            peer: PeerId(1),
+            path_id,
+            source: RouteSource::Ebgp,
+            igp_cost: 0,
+            learned_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn adj_rib_insert_replace_remove() {
+        let mut rib = AdjRib::new();
+        let p = Prefix::v4(10, 0, 0, 0, 8);
+        assert!(rib.insert(route(p, 0, 1)).is_none());
+        assert_eq!(rib.len(), 1);
+        // Replacement keeps entry count.
+        let old = rib.insert(route(p, 0, 2)).unwrap();
+        assert_eq!(old.attrs.as_path.first_as(), Some(Asn(1)));
+        assert_eq!(rib.len(), 1);
+        assert_eq!(
+            rib.get(&p, 0).unwrap().attrs.as_path.first_as(),
+            Some(Asn(2))
+        );
+        assert!(rib.remove(&p, 0).is_some());
+        assert!(rib.is_empty());
+        assert!(rib.remove(&p, 0).is_none());
+    }
+
+    #[test]
+    fn adj_rib_multiple_paths_per_prefix() {
+        let mut rib = AdjRib::new();
+        let p = Prefix::v4(10, 0, 0, 0, 8);
+        rib.insert(route(p, 1, 100));
+        rib.insert(route(p, 2, 200));
+        rib.insert(route(p, 3, 300));
+        assert_eq!(rib.len(), 3);
+        assert_eq!(rib.prefix_count(), 1);
+        assert_eq!(rib.paths(&p).count(), 3);
+        // Paths iterate in path-id order (BTreeMap).
+        let ids: Vec<u32> = rib.paths(&p).map(|r| r.path_id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        let removed = rib.remove_prefix(&p);
+        assert_eq!(removed.len(), 3);
+        assert!(rib.is_empty());
+    }
+
+    #[test]
+    fn adj_rib_clear_reports_prefixes() {
+        let mut rib = AdjRib::new();
+        rib.insert(route(Prefix::v4(10, 0, 0, 0, 8), 0, 1));
+        rib.insert(route(Prefix::v4(20, 0, 0, 0, 8), 0, 1));
+        let mut cleared = rib.clear();
+        cleared.sort();
+        assert_eq!(cleared.len(), 2);
+        assert!(rib.is_empty());
+        assert_eq!(rib.prefix_count(), 0);
+    }
+
+    #[test]
+    fn loc_rib_basics() {
+        let mut rib = LocRib::new();
+        let p = Prefix::v4(10, 0, 0, 0, 8);
+        assert!(rib.set_best(route(p, 0, 1)).is_none());
+        assert!(rib.set_best(route(p, 0, 2)).is_some());
+        assert_eq!(rib.len(), 1);
+        assert_eq!(rib.get(&p).unwrap().attrs.as_path.first_as(), Some(Asn(2)));
+        assert!(rib.remove(&p).is_some());
+        assert!(rib.is_empty());
+    }
+
+    #[test]
+    fn interner_shares_equal_attrs() {
+        let mut int = AttrInterner::new();
+        let a1 = PathAttributes {
+            as_path: AsPath::from_asns(&[Asn(1), Asn(2)]),
+            ..Default::default()
+        };
+        let a2 = a1.clone();
+        let arc1 = int.intern(a1);
+        let arc2 = int.intern(a2);
+        assert!(Arc::ptr_eq(&arc1, &arc2));
+        assert_eq!(int.len(), 1);
+        assert_eq!(int.hits, 1);
+        assert_eq!(int.misses, 1);
+    }
+
+    #[test]
+    fn interner_distinguishes_different_attrs() {
+        let mut int = AttrInterner::new();
+        let arc1 = int.intern(PathAttributes {
+            as_path: AsPath::from_asns(&[Asn(1)]),
+            ..Default::default()
+        });
+        let arc2 = int.intern(PathAttributes {
+            as_path: AsPath::from_asns(&[Asn(2)]),
+            ..Default::default()
+        });
+        assert!(!Arc::ptr_eq(&arc1, &arc2));
+        assert_eq!(int.len(), 2);
+    }
+
+    #[test]
+    fn interner_disabled_always_allocates() {
+        let mut int = AttrInterner::disabled();
+        let a = PathAttributes::default();
+        let arc1 = int.intern(a.clone());
+        let arc2 = int.intern(a);
+        assert!(!Arc::ptr_eq(&arc1, &arc2));
+        assert!(int.is_empty());
+        assert!(!int.is_enabled());
+    }
+
+    #[test]
+    fn interner_gc_frees_unreferenced() {
+        let mut int = AttrInterner::new();
+        {
+            let _arc = int.intern(PathAttributes::default());
+            // _arc dropped here
+        }
+        let kept = int.intern(PathAttributes {
+            med: Some(5),
+            ..Default::default()
+        });
+        assert_eq!(int.len(), 2);
+        let freed = int.gc();
+        assert_eq!(freed, 1);
+        assert_eq!(int.len(), 1);
+        drop(kept);
+    }
+
+    #[test]
+    fn intern_arc_reuses_canonical() {
+        let mut int = AttrInterner::new();
+        let first = int.intern(PathAttributes::default());
+        let other = Arc::new(PathAttributes::default());
+        let got = int.intern_arc(other);
+        assert!(Arc::ptr_eq(&first, &got));
+        assert_eq!(int.len(), 1);
+    }
+
+    #[test]
+    fn peer_id_display() {
+        assert_eq!(PeerId(3).to_string(), "peer3");
+        assert_eq!(PeerId::LOCAL.to_string(), "local");
+    }
+}

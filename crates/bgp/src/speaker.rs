@@ -1,0 +1,1477 @@
+//! The BGP speaker: a complete software router.
+//!
+//! A [`Speaker`] owns any number of peer sessions, per-peer Adj-RIB-In /
+//! Adj-RIB-Out tables, a Loc-RIB, import/export policies, and optional
+//! route-flap damping. Three operating modes cover everything in the
+//! paper:
+//!
+//! * [`SpeakerMode::Normal`] — a conventional router (an AS in the
+//!   simulated Internet, an emulated PoP router, a client router).
+//! * [`SpeakerMode::RouteServer`] — RFC 7947 transparency: no self-ASN
+//!   prepend, untouched next hop and MED. Used by the IXP route server.
+//! * Per-peer [`AdvertiseMode::AllPaths`] — exports every path (with
+//!   ADD-PATH ids derived from the learning peer) rather than only the
+//!   best one. This is the BIRD-style multiplexing PEERING proposes for
+//!   scaling client sessions at large IXPs: one session carries every
+//!   upstream's routes, distinguishable by path id.
+
+use crate::attrs::{Community, PathAttributes};
+use crate::damping::{DampingConfig, DampingState};
+use crate::decision::{best_route, compare_routes, DecisionConfig};
+use crate::fsm::{Session, SessionConfig, SessionEvent};
+use crate::mem::rib_memory;
+use crate::message::{BgpMessage, Nlri, UpdateMessage};
+use crate::policy::Policy;
+use crate::rib::{AdjRibIn, AdjRibOut, AttrInterner, LocRib, PeerId, Route, RouteSource};
+use peering_netsim::{Asn, Prefix, SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Global operating mode of a speaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpeakerMode {
+    /// Conventional BGP router.
+    Normal,
+    /// RFC 7947 route server: transparent AS path and next hop.
+    RouteServer,
+}
+
+/// What a speaker advertises to a given peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdvertiseMode {
+    /// Only the Loc-RIB best route per prefix (normal BGP).
+    BestOnly,
+    /// Every usable path, tagged with ADD-PATH ids (mux sessions).
+    AllPaths,
+}
+
+/// Speaker-wide configuration.
+#[derive(Debug, Clone)]
+pub struct SpeakerConfig {
+    /// Our ASN.
+    pub asn: Asn,
+    /// Our router id (also used as next-hop-self address).
+    pub router_id: Ipv4Addr,
+    /// Operating mode.
+    pub mode: SpeakerMode,
+    /// Decision-process tunables.
+    pub decision: DecisionConfig,
+    /// Route-flap damping applied to routes learned from peers.
+    pub damping: Option<DampingConfig>,
+    /// Share identical attribute sets across RIB entries.
+    pub intern_attrs: bool,
+    /// Proposed hold time for sessions.
+    pub hold_time: SimDuration,
+}
+
+impl SpeakerConfig {
+    /// A normal router.
+    pub fn new(asn: Asn, router_id: Ipv4Addr) -> Self {
+        SpeakerConfig {
+            asn,
+            router_id,
+            mode: SpeakerMode::Normal,
+            decision: DecisionConfig::default(),
+            damping: None,
+            intern_attrs: true,
+            hold_time: SimDuration::from_secs(90),
+        }
+    }
+
+    /// Switch to route-server mode.
+    pub fn route_server(mut self) -> Self {
+        self.mode = SpeakerMode::RouteServer;
+        self
+    }
+
+    /// Enable flap damping.
+    pub fn with_damping(mut self, cfg: DampingConfig) -> Self {
+        self.damping = Some(cfg);
+        self
+    }
+
+    /// Disable attribute interning (Figure 2 ablation).
+    pub fn without_interning(mut self) -> Self {
+        self.intern_attrs = false;
+        self
+    }
+}
+
+/// Per-peer configuration.
+#[derive(Debug, Clone)]
+pub struct PeerConfig {
+    /// Local identifier for this peer.
+    pub id: PeerId,
+    /// The peer's ASN.
+    pub asn: Asn,
+    /// Import policy (applied before Adj-RIB-In).
+    pub import: Policy,
+    /// Export policy (applied before Adj-RIB-Out).
+    pub export: Policy,
+    /// What to advertise.
+    pub advertise: AdvertiseMode,
+    /// Whether we wait for the peer to open the session.
+    pub passive: bool,
+    /// IGP cost to this peer's next hop (decision-process input).
+    pub igp_cost: u32,
+    /// This iBGP peer is a route-reflector client of ours (RFC 4456).
+    /// The paper's Figure 2 discussion leans on exactly this: "route
+    /// reflectors and MPLS backbones mean that many internal routers do
+    /// not carry multiple copies of the full table."
+    pub rr_client: bool,
+}
+
+impl PeerConfig {
+    /// A plain eBGP/iBGP peer with accept-all policies.
+    pub fn new(id: PeerId, asn: Asn) -> Self {
+        PeerConfig {
+            id,
+            asn,
+            import: Policy::accept_all(),
+            export: Policy::accept_all(),
+            advertise: AdvertiseMode::BestOnly,
+            passive: false,
+            igp_cost: 0,
+            rr_client: false,
+        }
+    }
+
+    /// Builder: import policy.
+    pub fn import(mut self, p: Policy) -> Self {
+        self.import = p;
+        self
+    }
+
+    /// Builder: export policy.
+    pub fn export(mut self, p: Policy) -> Self {
+        self.export = p;
+        self
+    }
+
+    /// Builder: passive endpoint.
+    pub fn passive(mut self) -> Self {
+        self.passive = true;
+        self
+    }
+
+    /// Builder: advertise all paths (ADD-PATH mux session).
+    pub fn all_paths(mut self) -> Self {
+        self.advertise = AdvertiseMode::AllPaths;
+        self
+    }
+
+    /// Builder: IGP cost toward this peer.
+    pub fn igp_cost(mut self, cost: u32) -> Self {
+        self.igp_cost = cost;
+        self
+    }
+
+    /// Builder: mark this iBGP peer as a route-reflector client.
+    pub fn rr_client(mut self) -> Self {
+        self.rr_client = true;
+        self
+    }
+}
+
+/// Events a speaker surfaces to its owner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpeakerEvent {
+    /// A session reached Established.
+    PeerUp(PeerId),
+    /// A session went down.
+    PeerDown(PeerId, String),
+    /// The best route for a prefix changed (None = no longer reachable).
+    BestChanged {
+        /// Affected prefix.
+        prefix: Prefix,
+        /// The new best route, if any.
+        new: Option<Route>,
+    },
+    /// Damping suppressed a flapping route from a peer.
+    Suppressed(PeerId, Prefix),
+    /// A route was rejected on import (policy or loop).
+    ImportRejected(PeerId, Prefix),
+}
+
+/// A speaker's outputs: messages to deliver and events for the owner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Output {
+    /// Send a message to a peer.
+    Send(PeerId, BgpMessage),
+    /// Surface an event.
+    Event(SpeakerEvent),
+}
+
+struct PeerState {
+    cfg: PeerConfig,
+    session: Session,
+    adj_in: AdjRibIn,
+    adj_out: AdjRibOut,
+    damping: DampingState,
+    /// Suppressed (damped) prefixes learned from this peer.
+    suppressed: BTreeSet<Prefix>,
+}
+
+/// A complete BGP router.
+pub struct Speaker {
+    cfg: SpeakerConfig,
+    peers: BTreeMap<PeerId, PeerState>,
+    loc_rib: LocRib,
+    local_routes: BTreeMap<Prefix, Arc<PathAttributes>>,
+    interner: AttrInterner,
+    /// Count of UPDATE messages emitted.
+    pub updates_sent: u64,
+    /// Count of UPDATE messages processed.
+    pub updates_received: u64,
+}
+
+impl Speaker {
+    /// Create a speaker with no peers.
+    pub fn new(cfg: SpeakerConfig) -> Self {
+        let interner = if cfg.intern_attrs {
+            AttrInterner::new()
+        } else {
+            AttrInterner::disabled()
+        };
+        Speaker {
+            cfg,
+            peers: BTreeMap::new(),
+            loc_rib: LocRib::new(),
+            local_routes: BTreeMap::new(),
+            interner,
+            updates_sent: 0,
+            updates_received: 0,
+        }
+    }
+
+    /// Our ASN.
+    pub fn asn(&self) -> Asn {
+        self.cfg.asn
+    }
+
+    /// The speaker configuration.
+    pub fn config(&self) -> &SpeakerConfig {
+        &self.cfg
+    }
+
+    /// The Loc-RIB.
+    pub fn loc_rib(&self) -> &LocRib {
+        &self.loc_rib
+    }
+
+    /// Peer ids currently configured.
+    pub fn peer_ids(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.peers.keys().copied()
+    }
+
+    /// Number of configured peers.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// The Adj-RIB-In for a peer.
+    pub fn adj_rib_in(&self, peer: PeerId) -> Option<&AdjRibIn> {
+        self.peers.get(&peer).map(|p| &p.adj_in)
+    }
+
+    /// The Adj-RIB-Out for a peer.
+    pub fn adj_rib_out(&self, peer: PeerId) -> Option<&AdjRibOut> {
+        self.peers.get(&peer).map(|p| &p.adj_out)
+    }
+
+    /// Whether the session with a peer is established.
+    pub fn peer_established(&self, peer: PeerId) -> bool {
+        self.peers
+            .get(&peer)
+            .map(|p| p.session.is_established())
+            .unwrap_or(false)
+    }
+
+    /// Total BGP table memory (all RIBs, attributes shared-once).
+    pub fn table_memory(&self) -> usize {
+        let ribs = self
+            .peers
+            .values()
+            .flat_map(|p| [&p.adj_in, &p.adj_out].into_iter());
+        rib_memory(ribs, Some(&self.loc_rib))
+    }
+
+    /// Register a peer. The session starts in Idle; call
+    /// [`start_peer`](Self::start_peer) to bring it up.
+    pub fn add_peer(&mut self, cfg: PeerConfig) {
+        let add_path = cfg.advertise == AdvertiseMode::AllPaths;
+        let mut scfg = SessionConfig::new(self.cfg.asn, self.cfg.router_id)
+            .expect_peer(cfg.asn)
+            .add_path(add_path, true);
+        scfg.hold_time = self.cfg.hold_time;
+        if cfg.passive {
+            scfg = scfg.passive();
+        }
+        let state = PeerState {
+            session: Session::new(scfg),
+            adj_in: AdjRibIn::new(),
+            adj_out: AdjRibOut::new(),
+            damping: DampingState::new(),
+            suppressed: BTreeSet::new(),
+            cfg,
+        };
+        self.peers.insert(state.cfg.id, state);
+    }
+
+    /// Remove a peer entirely, rerunning decisions for its routes.
+    pub fn remove_peer(&mut self, peer: PeerId, now: SimTime) -> Vec<Output> {
+        let Some(mut state) = self.peers.remove(&peer) else {
+            return Vec::new();
+        };
+        let (msgs, _) = state.session.stop(now);
+        let mut out: Vec<Output> = msgs.into_iter().map(|m| Output::Send(peer, m)).collect();
+        let affected = state.adj_in.clear();
+        out.extend(self.reconsider(affected, now));
+        out
+    }
+
+    /// Start (or restart) the session with a peer.
+    pub fn start_peer(&mut self, peer: PeerId, now: SimTime) -> Vec<Output> {
+        let Some(state) = self.peers.get_mut(&peer) else {
+            return Vec::new();
+        };
+        state
+            .session
+            .start(now)
+            .into_iter()
+            .map(|m| Output::Send(peer, m))
+            .collect()
+    }
+
+    /// Administratively stop the session with a peer.
+    pub fn stop_peer(&mut self, peer: PeerId, now: SimTime) -> Vec<Output> {
+        let Some(state) = self.peers.get_mut(&peer) else {
+            return Vec::new();
+        };
+        let (msgs, events) = state.session.stop(now);
+        let mut out: Vec<Output> = msgs.into_iter().map(|m| Output::Send(peer, m)).collect();
+        for ev in events {
+            out.extend(self.handle_session_event(peer, ev, now));
+        }
+        out
+    }
+
+    /// Originate a prefix with default attributes.
+    pub fn originate(&mut self, prefix: Prefix, now: SimTime) -> Vec<Output> {
+        self.originate_with(prefix, Vec::new(), now)
+    }
+
+    /// Originate a prefix carrying the given communities.
+    pub fn originate_with(
+        &mut self,
+        prefix: Prefix,
+        communities: Vec<Community>,
+        now: SimTime,
+    ) -> Vec<Output> {
+        let mut attrs = PathAttributes::originate(self.cfg.router_id);
+        for c in communities {
+            attrs.add_community(c);
+        }
+        let attrs = self.interner.intern(attrs);
+        self.local_routes.insert(prefix, attrs);
+        self.reconsider(vec![prefix], now)
+    }
+
+    /// Withdraw a locally originated prefix.
+    pub fn withdraw_origin(&mut self, prefix: Prefix, now: SimTime) -> Vec<Output> {
+        if self.local_routes.remove(&prefix).is_some() {
+            self.reconsider(vec![prefix], now)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Locally originated prefixes.
+    pub fn originated(&self) -> impl Iterator<Item = &Prefix> {
+        self.local_routes.keys()
+    }
+
+    /// Process a message from a peer.
+    pub fn on_message(&mut self, from: PeerId, msg: BgpMessage, now: SimTime) -> Vec<Output> {
+        let Some(state) = self.peers.get_mut(&from) else {
+            return Vec::new();
+        };
+        let (msgs, events) = state.session.on_message(msg, now);
+        let mut out: Vec<Output> = msgs.into_iter().map(|m| Output::Send(from, m)).collect();
+        for ev in events {
+            out.extend(self.handle_session_event(from, ev, now));
+        }
+        out
+    }
+
+    /// Drive timers for every peer session.
+    pub fn tick(&mut self, now: SimTime) -> Vec<Output> {
+        let ids: Vec<PeerId> = self.peers.keys().copied().collect();
+        let mut out = Vec::new();
+        for id in ids {
+            let state = self.peers.get_mut(&id).expect("peer exists");
+            let (msgs, events) = state.session.tick(now);
+            out.extend(msgs.into_iter().map(|m| Output::Send(id, m)));
+            for ev in events {
+                out.extend(self.handle_session_event(id, ev, now));
+            }
+            // Damping release check: re-decide prefixes whose suppression
+            // has decayed away.
+            if let Some(dcfg) = self.cfg.damping {
+                let state = self.peers.get_mut(&id).expect("peer exists");
+                let candidates: Vec<Prefix> = state.suppressed.iter().copied().collect();
+                let mut released = Vec::new();
+                for p in candidates {
+                    if !state.damping.is_suppressed(&p, now, &dcfg) {
+                        state.suppressed.remove(&p);
+                        released.push(p);
+                    }
+                }
+                if !released.is_empty() {
+                    out.extend(self.reconsider(released, now));
+                }
+            }
+        }
+        out
+    }
+
+    /// The earliest time any session timer needs service.
+    pub fn next_deadline(&self) -> SimTime {
+        self.peers
+            .values()
+            .map(|p| p.session.next_deadline())
+            .min()
+            .unwrap_or(SimTime::MAX)
+    }
+
+    fn handle_session_event(
+        &mut self,
+        peer: PeerId,
+        ev: SessionEvent,
+        now: SimTime,
+    ) -> Vec<Output> {
+        match ev {
+            SessionEvent::Established(_) => {
+                let mut out = vec![Output::Event(SpeakerEvent::PeerUp(peer))];
+                out.extend(self.full_table_to(peer, now));
+                out
+            }
+            SessionEvent::Down { reason } => {
+                let state = self.peers.get_mut(&peer).expect("peer exists");
+                let affected = state.adj_in.clear();
+                state.adj_out.clear();
+                state.suppressed.clear();
+                let mut out = vec![Output::Event(SpeakerEvent::PeerDown(peer, reason))];
+                out.extend(self.reconsider(affected, now));
+                out
+            }
+            SessionEvent::Update(update) => {
+                self.updates_received += 1;
+                self.process_update(peer, update, now)
+            }
+            SessionEvent::RefreshRequested => self.full_table_to(peer, now),
+        }
+    }
+
+    fn process_update(&mut self, from: PeerId, update: UpdateMessage, now: SimTime) -> Vec<Output> {
+        let mut affected: BTreeSet<Prefix> = BTreeSet::new();
+        let mut events = Vec::new();
+        let local_asn = self.cfg.asn;
+        let damping_cfg = self.cfg.damping;
+        {
+            let state = self.peers.get_mut(&from).expect("peer exists");
+            let peer_is_ibgp = state.cfg.asn == local_asn;
+
+            for nlri in &update.withdrawn {
+                let removed = match nlri.path_id {
+                    Some(id) => state.adj_in.remove(&nlri.prefix, id).into_iter().collect(),
+                    None => state.adj_in.remove_prefix(&nlri.prefix),
+                };
+                if !removed.is_empty() {
+                    affected.insert(nlri.prefix);
+                }
+                if let Some(dcfg) = damping_cfg {
+                    if state.damping.on_withdraw(nlri.prefix, now, &dcfg) {
+                        state.suppressed.insert(nlri.prefix);
+                        events.push(SpeakerEvent::Suppressed(from, nlri.prefix));
+                    }
+                }
+            }
+
+            if let Some(attrs) = &update.attrs {
+                for nlri in &update.announced {
+                    // Receiver-side loop detection: our ASN in the path
+                    // means the route already passed through us (this is
+                    // also what makes AS-path poisoning work).
+                    if self.cfg.mode == SpeakerMode::Normal
+                        && attrs.as_path.contains(local_asn)
+                        && !peer_is_ibgp
+                    {
+                        events.push(SpeakerEvent::ImportRejected(from, nlri.prefix));
+                        continue;
+                    }
+                    let mut imported = (**attrs).clone();
+                    if !state.cfg.import.apply(&nlri.prefix, &mut imported) {
+                        events.push(SpeakerEvent::ImportRejected(from, nlri.prefix));
+                        // An implicit withdraw of any previous path.
+                        let removed = match nlri.path_id {
+                            Some(id) => {
+                                state.adj_in.remove(&nlri.prefix, id).into_iter().collect()
+                            }
+                            None => state.adj_in.remove_prefix(&nlri.prefix),
+                        };
+                        if !removed.is_empty() {
+                            affected.insert(nlri.prefix);
+                        }
+                        continue;
+                    }
+                    if let Some(dcfg) = damping_cfg {
+                        if state.damping.on_announce(nlri.prefix, now, &dcfg) {
+                            state.suppressed.insert(nlri.prefix);
+                            events.push(SpeakerEvent::Suppressed(from, nlri.prefix));
+                        }
+                    }
+                    let interned = self.interner.intern(imported);
+                    let route = Route {
+                        prefix: nlri.prefix,
+                        attrs: interned,
+                        peer: from,
+                        path_id: nlri.path_id.unwrap_or(0),
+                        source: if peer_is_ibgp {
+                            RouteSource::Ibgp
+                        } else {
+                            RouteSource::Ebgp
+                        },
+                        igp_cost: state.cfg.igp_cost,
+                        learned_at: now,
+                    };
+                    state.adj_in.insert(route);
+                    affected.insert(nlri.prefix);
+                }
+            }
+        }
+        let mut out: Vec<Output> = events.into_iter().map(Output::Event).collect();
+        out.extend(self.reconsider(affected.into_iter().collect(), now));
+        out
+    }
+
+    /// Candidate routes for a prefix: local + unsuppressed Adj-RIB-In.
+    fn candidates(&self, prefix: &Prefix) -> Vec<&Route> {
+        let mut c: Vec<&Route> = Vec::new();
+        for state in self.peers.values() {
+            if state.suppressed.contains(prefix) {
+                continue;
+            }
+            c.extend(state.adj_in.paths(prefix));
+        }
+        c
+    }
+
+    /// Re-run the decision process for `prefixes` and propagate changes.
+    fn reconsider(&mut self, prefixes: Vec<Prefix>, now: SimTime) -> Vec<Output> {
+        let mut out = Vec::new();
+        for prefix in prefixes {
+            let local = self.local_routes.get(&prefix).map(|attrs| {
+                Route::local(prefix, Arc::clone(attrs), now)
+            });
+            let new_best: Option<Route> = {
+                let cands = self.candidates(&prefix);
+                let all = cands.into_iter().chain(local.as_ref());
+                best_route(all, &self.cfg.decision).cloned()
+            };
+            let old_best = self.loc_rib.get(&prefix).cloned();
+            let changed = match (&old_best, &new_best) {
+                (None, None) => false,
+                (Some(a), Some(b)) => {
+                    !(Arc::ptr_eq(&a.attrs, &b.attrs)
+                        && a.peer == b.peer
+                        && a.path_id == b.path_id)
+                }
+                _ => true,
+            };
+            match &new_best {
+                Some(r) => {
+                    self.loc_rib.set_best(r.clone());
+                }
+                None => {
+                    self.loc_rib.remove(&prefix);
+                }
+            }
+            if changed {
+                out.push(Output::Event(SpeakerEvent::BestChanged {
+                    prefix,
+                    new: new_best,
+                }));
+            }
+            // Export state can change even when the best didn't (an
+            // AllPaths peer cares about every path), so always re-export.
+            out.extend(self.export_prefix(prefix, now));
+        }
+        out
+    }
+
+    /// Compute the desired Adj-RIB-Out entries for `prefix` toward `peer`.
+    fn desired_exports(&self, peer: &PeerState, prefix: &Prefix, now: SimTime) -> Vec<Route> {
+        let mut desired = Vec::new();
+        let sources: Vec<Route> = match peer.cfg.advertise {
+            AdvertiseMode::BestOnly => self.loc_rib.get(prefix).cloned().into_iter().collect(),
+            AdvertiseMode::AllPaths => {
+                let local = self
+                    .local_routes
+                    .get(prefix)
+                    .map(|attrs| Route::local(*prefix, Arc::clone(attrs), now));
+                let mut v: Vec<Route> = self.candidates(prefix).into_iter().cloned().collect();
+                v.extend(local);
+                // Deterministic order: best first.
+                v.sort_by(|a, b| {
+                    compare_routes(b, a, &self.cfg.decision).then(Ordering::Equal)
+                });
+                v
+            }
+        };
+        for route in sources {
+            if let Some(exported) = self.export_route(peer, &route) {
+                desired.push(exported);
+            }
+        }
+        desired
+    }
+
+    /// Apply export semantics for one route toward one peer.
+    fn export_route(&self, peer: &PeerState, route: &Route) -> Option<Route> {
+        // Split horizon: never back to the peer it came from.
+        if route.peer == peer.cfg.id {
+            return None;
+        }
+        let peer_is_ibgp = peer.cfg.asn == self.cfg.asn;
+        // iBGP-learned routes are not re-advertised to iBGP peers unless
+        // route reflection applies (RFC 4456): a route from a client is
+        // reflected to every iBGP peer; a route from a non-client is
+        // reflected to clients only.
+        if route.source == RouteSource::Ibgp && peer_is_ibgp {
+            let from_client = self
+                .peers
+                .get(&route.peer)
+                .map(|p| p.cfg.rr_client)
+                .unwrap_or(false);
+            let reflect = from_client || peer.cfg.rr_client;
+            if !reflect {
+                return None;
+            }
+        }
+        // Well-known communities.
+        if route.attrs.has_community(Community::NO_ADVERTISE) {
+            return None;
+        }
+        // NO_EXPORT binds the *receiving* AS: routes we learned must not
+        // leave our AS, but a route we originate ourselves is still sent
+        // to the neighbor (who then keeps it inside their AS).
+        if !peer_is_ibgp
+            && route.source != RouteSource::Local
+            && route.attrs.has_community(Community::NO_EXPORT)
+        {
+            return None;
+        }
+        // Sender-side loop check.
+        if route.attrs.as_path.contains(peer.cfg.asn) {
+            return None;
+        }
+        let mut attrs = (*route.attrs).clone();
+        if !peer.cfg.export.apply(&route.prefix, &mut attrs) {
+            return None;
+        }
+        match self.cfg.mode {
+            SpeakerMode::RouteServer => {
+                // RFC 7947: transparent. Leave AS_PATH, NEXT_HOP, MED.
+            }
+            SpeakerMode::Normal => {
+                if peer_is_ibgp {
+                    // iBGP: keep next hop and path; ensure LOCAL_PREF set.
+                    if attrs.local_pref.is_none() {
+                        attrs.local_pref = Some(100);
+                    }
+                } else {
+                    attrs.as_path.prepend(self.cfg.asn, 1);
+                    attrs.next_hop = self.cfg.router_id;
+                    attrs.local_pref = None;
+                }
+            }
+        }
+        let path_id = match peer.cfg.advertise {
+            AdvertiseMode::BestOnly => 0,
+            // Stable, collision-free id: the learning peer's id + 1
+            // (0 is reserved for the local/best path).
+            AdvertiseMode::AllPaths => {
+                if route.peer == PeerId::LOCAL {
+                    0
+                } else {
+                    route.peer.0.wrapping_add(1)
+                }
+            }
+        };
+        Some(Route {
+            prefix: route.prefix,
+            attrs: Arc::new(attrs),
+            peer: route.peer,
+            path_id,
+            source: route.source,
+            igp_cost: route.igp_cost,
+            learned_at: route.learned_at,
+        })
+    }
+
+    /// Diff desired vs advertised state for one prefix, all peers.
+    fn export_prefix(&mut self, prefix: Prefix, now: SimTime) -> Vec<Output> {
+        let ids: Vec<PeerId> = self.peers.keys().copied().collect();
+        let mut out = Vec::new();
+        for id in ids {
+            let state = self.peers.get(&id).expect("peer exists");
+            if !state.session.is_established() {
+                continue;
+            }
+            let add_path = state
+                .session
+                .negotiated()
+                .map(|n| n.add_path_tx)
+                .unwrap_or(false);
+            let desired = self.desired_exports(state, &prefix, now);
+            let state = self.peers.get_mut(&id).expect("peer exists");
+
+            let current_ids: Vec<u32> =
+                state.adj_out.paths(&prefix).map(|r| r.path_id).collect();
+            let desired_ids: BTreeSet<u32> = desired.iter().map(|r| r.path_id).collect();
+
+            // Withdraw paths no longer desired.
+            let mut withdrawals = Vec::new();
+            for pid in current_ids {
+                if !desired_ids.contains(&pid) {
+                    state.adj_out.remove(&prefix, pid);
+                    withdrawals.push(if add_path {
+                        Nlri::with_path_id(prefix, pid)
+                    } else {
+                        Nlri::plain(prefix)
+                    });
+                }
+            }
+            if !withdrawals.is_empty() {
+                state.session.note_update_sent();
+                self.updates_sent += 1;
+                out.push(Output::Send(
+                    id,
+                    BgpMessage::Update(UpdateMessage::withdraw(withdrawals)),
+                ));
+            }
+            // Announce new or changed paths.
+            for route in desired {
+                let unchanged = state
+                    .adj_out
+                    .get(&prefix, route.path_id)
+                    .map(|r| *r.attrs == *route.attrs)
+                    .unwrap_or(false);
+                if unchanged {
+                    continue;
+                }
+                let nlri = if add_path {
+                    Nlri::with_path_id(prefix, route.path_id)
+                } else {
+                    Nlri::plain(prefix)
+                };
+                let msg = BgpMessage::Update(UpdateMessage::announce(
+                    Arc::clone(&route.attrs),
+                    vec![nlri],
+                ));
+                state.adj_out.insert(route);
+                state.session.note_update_sent();
+                self.updates_sent += 1;
+                out.push(Output::Send(id, msg));
+            }
+        }
+        out
+    }
+
+    /// Send the full table to a peer (initial sync or route refresh).
+    fn full_table_to(&mut self, peer: PeerId, now: SimTime) -> Vec<Output> {
+        let mut prefixes: BTreeSet<Prefix> = self.local_routes.keys().copied().collect();
+        for state in self.peers.values() {
+            prefixes.extend(state.adj_in.prefixes().copied());
+        }
+        let mut out = Vec::new();
+        for prefix in prefixes {
+            out.extend(self.export_one_peer(prefix, peer, now));
+        }
+        // End-of-RIB marker.
+        out.push(Output::Send(
+            peer,
+            BgpMessage::Update(UpdateMessage {
+                withdrawn: vec![],
+                attrs: None,
+                announced: vec![],
+            }),
+        ));
+        out
+    }
+
+    /// Like `export_prefix` but restricted to a single peer.
+    fn export_one_peer(&mut self, prefix: Prefix, id: PeerId, now: SimTime) -> Vec<Output> {
+        let Some(state) = self.peers.get(&id) else {
+            return Vec::new();
+        };
+        if !state.session.is_established() {
+            return Vec::new();
+        }
+        let add_path = state
+            .session
+            .negotiated()
+            .map(|n| n.add_path_tx)
+            .unwrap_or(false);
+        let desired = self.desired_exports(state, &prefix, now);
+        let state = self.peers.get_mut(&id).expect("peer exists");
+        let mut out = Vec::new();
+        for route in desired {
+            let unchanged = state
+                .adj_out
+                .get(&prefix, route.path_id)
+                .map(|r| *r.attrs == *route.attrs)
+                .unwrap_or(false);
+            if unchanged {
+                continue;
+            }
+            let nlri = if add_path {
+                Nlri::with_path_id(prefix, route.path_id)
+            } else {
+                Nlri::plain(prefix)
+            };
+            let msg = BgpMessage::Update(UpdateMessage::announce(
+                Arc::clone(&route.attrs),
+                vec![nlri],
+            ));
+            state.adj_out.insert(route);
+            state.session.note_update_sent();
+            self.updates_sent += 1;
+            out.push(Output::Send(id, msg));
+        }
+        out
+    }
+
+    /// Interner statistics `(distinct, hits, misses)`.
+    pub fn interner_stats(&self) -> (usize, u64, u64) {
+        (self.interner.len(), self.interner.hits, self.interner.misses)
+    }
+
+    /// Drop interned attributes no longer referenced by any RIB.
+    pub fn gc(&mut self) -> usize {
+        self.interner.gc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deliver all queued outputs between two speakers until quiescent.
+    fn settle(a: &mut Speaker, b: &mut Speaker, a_peer: PeerId, b_peer: PeerId, now: SimTime) {
+        // a_peer: b's id in a; b_peer: a's id in b.
+        let mut to_b: Vec<BgpMessage> = Vec::new();
+        let mut to_a: Vec<BgpMessage> = Vec::new();
+        let drain = |outs: Vec<Output>, target: PeerId, sink: &mut Vec<BgpMessage>| {
+            for o in outs {
+                if let Output::Send(p, m) = o {
+                    assert_eq!(p, target, "single-peer harness");
+                    sink.push(m);
+                }
+            }
+        };
+        drain(a.start_peer(a_peer, now), a_peer, &mut to_b);
+        drain(b.start_peer(b_peer, now), b_peer, &mut to_a);
+        for _ in 0..64 {
+            if to_a.is_empty() && to_b.is_empty() {
+                break;
+            }
+            let mut next_to_a = Vec::new();
+            let mut next_to_b = Vec::new();
+            for m in to_b.drain(..) {
+                drain(b.on_message(b_peer, m, now), b_peer, &mut next_to_a);
+            }
+            for m in to_a.drain(..) {
+                drain(a.on_message(a_peer, m, now), a_peer, &mut next_to_b);
+            }
+            to_a = next_to_a;
+            to_b = next_to_b;
+        }
+        assert!(to_a.is_empty() && to_b.is_empty(), "did not converge");
+    }
+
+    fn speaker(asn: u32) -> Speaker {
+        Speaker::new(SpeakerConfig::new(
+            Asn(asn),
+            Ipv4Addr::new(10, 0, 0, asn as u8),
+        ))
+    }
+
+    #[test]
+    fn originated_route_propagates() {
+        let mut a = speaker(1);
+        let mut b = speaker(2);
+        a.add_peer(PeerConfig::new(PeerId(0), Asn(2)));
+        b.add_peer(PeerConfig::new(PeerId(0), Asn(1)).passive());
+        let p = Prefix::v4(10, 10, 0, 0, 16);
+        a.originate(p, SimTime::ZERO);
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::ZERO);
+        let best = b.loc_rib().get(&p).expect("b learned the route");
+        assert_eq!(best.attrs.as_path.to_string(), "1");
+        assert_eq!(best.source, RouteSource::Ebgp);
+        assert_eq!(b.adj_rib_in(PeerId(0)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn announce_after_established_also_propagates() {
+        let mut a = speaker(1);
+        let mut b = speaker(2);
+        a.add_peer(PeerConfig::new(PeerId(0), Asn(2)));
+        b.add_peer(PeerConfig::new(PeerId(0), Asn(1)).passive());
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::ZERO);
+        let p = Prefix::v4(10, 20, 0, 0, 16);
+        let outs = a.originate(p, SimTime::from_secs(1));
+        let mut delivered = false;
+        for o in outs {
+            if let Output::Send(_, m) = o {
+                b.on_message(PeerId(0), m, SimTime::from_secs(1));
+                delivered = true;
+            }
+        }
+        assert!(delivered);
+        assert!(b.loc_rib().get(&p).is_some());
+    }
+
+    #[test]
+    fn withdraw_removes_route_downstream() {
+        let mut a = speaker(1);
+        let mut b = speaker(2);
+        a.add_peer(PeerConfig::new(PeerId(0), Asn(2)));
+        b.add_peer(PeerConfig::new(PeerId(0), Asn(1)).passive());
+        let p = Prefix::v4(10, 10, 0, 0, 16);
+        a.originate(p, SimTime::ZERO);
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::ZERO);
+        assert!(b.loc_rib().get(&p).is_some());
+        for o in a.withdraw_origin(p, SimTime::from_secs(2)) {
+            if let Output::Send(_, m) = o {
+                b.on_message(PeerId(0), m, SimTime::from_secs(2));
+            }
+        }
+        assert!(b.loc_rib().get(&p).is_none());
+        assert!(b.adj_rib_in(PeerId(0)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ebgp_export_prepends_and_sets_next_hop() {
+        let mut a = speaker(1);
+        let mut b = speaker(2);
+        let mut c = speaker(3);
+        a.add_peer(PeerConfig::new(PeerId(0), Asn(2)));
+        b.add_peer(PeerConfig::new(PeerId(0), Asn(1)).passive());
+        b.add_peer(PeerConfig::new(PeerId(1), Asn(3)));
+        c.add_peer(PeerConfig::new(PeerId(0), Asn(2)).passive());
+        let p = Prefix::v4(10, 10, 0, 0, 16);
+        a.originate(p, SimTime::ZERO);
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::ZERO);
+        // Now connect b<->c; b should pass the route along with its ASN.
+        let mut to_c: Vec<BgpMessage> = Vec::new();
+        let mut to_b: Vec<BgpMessage> = Vec::new();
+        for o in b.start_peer(PeerId(1), SimTime::ZERO) {
+            if let Output::Send(_, m) = o {
+                to_c.push(m);
+            }
+        }
+        for o in c.start_peer(PeerId(0), SimTime::ZERO) {
+            if let Output::Send(_, m) = o {
+                to_b.push(m);
+            }
+        }
+        for _ in 0..64 {
+            if to_b.is_empty() && to_c.is_empty() {
+                break;
+            }
+            let mut nb = Vec::new();
+            let mut nc = Vec::new();
+            for m in to_c.drain(..) {
+                for o in c.on_message(PeerId(0), m, SimTime::ZERO) {
+                    if let Output::Send(_, m) = o {
+                        nb.push(m);
+                    }
+                }
+            }
+            for m in to_b.drain(..) {
+                for o in b.on_message(PeerId(1), m, SimTime::ZERO) {
+                    if let Output::Send(p, m) = o {
+                        assert_eq!(p, PeerId(1));
+                        nc.push(m);
+                    }
+                }
+            }
+            to_b = nb;
+            to_c = nc;
+        }
+        let best = c.loc_rib().get(&p).expect("c learned the route");
+        assert_eq!(best.attrs.as_path.to_string(), "2 1");
+        assert_eq!(best.attrs.next_hop, Ipv4Addr::new(10, 0, 0, 2));
+    }
+
+    #[test]
+    fn loop_detection_rejects_own_asn() {
+        let mut b = speaker(2);
+        b.add_peer(PeerConfig::new(PeerId(0), Asn(1)).passive());
+        // Fake an established session then inject a poisoned update.
+        let mut a = speaker(1);
+        a.add_peer(PeerConfig::new(PeerId(0), Asn(2)));
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::ZERO);
+        let poisoned = Arc::new(PathAttributes {
+            as_path: crate::attrs::AsPath::from_asns(&[Asn(1), Asn(2), Asn(7)]),
+            next_hop: Ipv4Addr::new(10, 0, 0, 1),
+            ..Default::default()
+        });
+        let p = Prefix::v4(10, 66, 0, 0, 16);
+        let outs = b.on_message(
+            PeerId(0),
+            BgpMessage::Update(UpdateMessage::announce(poisoned, vec![Nlri::plain(p)])),
+            SimTime::from_secs(1),
+        );
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, Output::Event(SpeakerEvent::ImportRejected(_, _)))));
+        assert!(b.loc_rib().get(&p).is_none());
+    }
+
+    #[test]
+    fn import_policy_rejection_is_implicit_withdraw() {
+        use crate::policy::{Action, Match};
+        let mut a = speaker(1);
+        let mut b = speaker(2);
+        a.add_peer(PeerConfig::new(PeerId(0), Asn(2)));
+        // b rejects announcements carrying community 1:666 on import.
+        b.add_peer(
+            PeerConfig::new(PeerId(0), Asn(1))
+                .passive()
+                .import(Policy::accept_all().rule(
+                    Match::HasCommunity(Community::new(1, 666)),
+                    vec![Action::Reject],
+                )),
+        );
+        let p = Prefix::v4(10, 10, 0, 0, 16);
+        a.originate(p, SimTime::ZERO);
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::ZERO);
+        assert!(b.loc_rib().get(&p).is_some());
+        // Re-announce with the bad community: b must drop the route.
+        for o in a.withdraw_origin(p, SimTime::from_secs(1)) {
+            if let Output::Send(_, m) = o {
+                b.on_message(PeerId(0), m, SimTime::from_secs(1));
+            }
+        }
+        for o in a.originate_with(p, vec![Community::new(1, 666)], SimTime::from_secs(2)) {
+            if let Output::Send(_, m) = o {
+                b.on_message(PeerId(0), m, SimTime::from_secs(2));
+            }
+        }
+        assert!(b.loc_rib().get(&p).is_none());
+    }
+
+    #[test]
+    fn no_export_community_stops_at_ebgp() {
+        let mut a = speaker(1);
+        let mut b = speaker(2);
+        a.add_peer(PeerConfig::new(PeerId(0), Asn(2)));
+        b.add_peer(PeerConfig::new(PeerId(0), Asn(1)).passive());
+        b.add_peer(PeerConfig::new(PeerId(1), Asn(3)));
+        let p = Prefix::v4(10, 10, 0, 0, 16);
+        a.originate_with(p, vec![Community::NO_EXPORT], SimTime::ZERO);
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::ZERO);
+        assert!(b.loc_rib().get(&p).is_some(), "b itself uses the route");
+        // b must not have queued it for AS3 even once the session is up.
+        assert!(b.adj_rib_out(PeerId(1)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn best_path_switches_on_shorter_path() {
+        let mut c = speaker(3);
+        c.add_peer(PeerConfig::new(PeerId(10), Asn(1)).passive());
+        c.add_peer(PeerConfig::new(PeerId(20), Asn(2)).passive());
+        let mut a = speaker(1);
+        a.add_peer(PeerConfig::new(PeerId(0), Asn(3)));
+        let mut b = speaker(2);
+        b.add_peer(PeerConfig::new(PeerId(0), Asn(3)));
+        settle(&mut a, &mut c, PeerId(0), PeerId(10), SimTime::ZERO);
+        settle(&mut b, &mut c, PeerId(0), PeerId(20), SimTime::ZERO);
+        let p = Prefix::v4(10, 10, 0, 0, 16);
+        // AS1 announces with a long path; AS2 with a short one.
+        let long = Arc::new(PathAttributes {
+            as_path: crate::attrs::AsPath::from_asns(&[Asn(1), Asn(9), Asn(8), Asn(7)]),
+            next_hop: Ipv4Addr::new(10, 0, 0, 1),
+            ..Default::default()
+        });
+        c.on_message(
+            PeerId(10),
+            BgpMessage::Update(UpdateMessage::announce(long, vec![Nlri::plain(p)])),
+            SimTime::from_secs(1),
+        );
+        assert_eq!(
+            c.loc_rib().get(&p).unwrap().attrs.as_path.hop_count(),
+            4
+        );
+        let short = Arc::new(PathAttributes {
+            as_path: crate::attrs::AsPath::from_asns(&[Asn(2), Asn(7)]),
+            next_hop: Ipv4Addr::new(10, 0, 0, 2),
+            ..Default::default()
+        });
+        let outs = c.on_message(
+            PeerId(20),
+            BgpMessage::Update(UpdateMessage::announce(short, vec![Nlri::plain(p)])),
+            SimTime::from_secs(2),
+        );
+        assert_eq!(c.loc_rib().get(&p).unwrap().peer, PeerId(20));
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, Output::Event(SpeakerEvent::BestChanged { .. }))));
+    }
+
+    #[test]
+    fn peer_down_clears_routes() {
+        let mut a = speaker(1);
+        let mut b = speaker(2);
+        a.add_peer(PeerConfig::new(PeerId(0), Asn(2)));
+        b.add_peer(PeerConfig::new(PeerId(0), Asn(1)).passive());
+        let p = Prefix::v4(10, 10, 0, 0, 16);
+        a.originate(p, SimTime::ZERO);
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::ZERO);
+        assert!(b.loc_rib().get(&p).is_some());
+        let outs = b.stop_peer(PeerId(0), SimTime::from_secs(5));
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, Output::Event(SpeakerEvent::PeerDown(_, _)))));
+        assert!(b.loc_rib().get(&p).is_none());
+        assert!(!b.peer_established(PeerId(0)));
+    }
+
+    #[test]
+    fn route_server_mode_is_transparent() {
+        let mut rs = Speaker::new(
+            SpeakerConfig::new(Asn(100), Ipv4Addr::new(80, 249, 208, 255)).route_server(),
+        );
+        rs.add_peer(PeerConfig::new(PeerId(1), Asn(1)).passive());
+        rs.add_peer(PeerConfig::new(PeerId(2), Asn(2)).passive());
+        let mut m1 = speaker(1);
+        m1.add_peer(PeerConfig::new(PeerId(0), Asn(100)));
+        let mut m2 = speaker(2);
+        m2.add_peer(PeerConfig::new(PeerId(0), Asn(100)));
+        settle(&mut m1, &mut rs, PeerId(0), PeerId(1), SimTime::ZERO);
+        settle(&mut m2, &mut rs, PeerId(0), PeerId(2), SimTime::ZERO);
+        let p = Prefix::v4(10, 10, 0, 0, 16);
+        for o in m1.originate(p, SimTime::from_secs(1)) {
+            if let Output::Send(_, m) = o {
+                for o2 in rs.on_message(PeerId(1), m, SimTime::from_secs(1)) {
+                    if let Output::Send(to, msg) = o2 {
+                        assert_eq!(to, PeerId(2), "split horizon: only the other member");
+                        m2.on_message(PeerId(0), msg, SimTime::from_secs(1));
+                    }
+                }
+            }
+        }
+        let best = m2.loc_rib().get(&p).expect("member 2 learned via RS");
+        // The RS did NOT prepend AS100 and did NOT rewrite the next hop.
+        assert_eq!(best.attrs.as_path.to_string(), "1");
+        assert!(!best.attrs.as_path.contains(Asn(100)));
+        assert_eq!(best.attrs.next_hop, Ipv4Addr::new(10, 0, 0, 1));
+    }
+
+    #[test]
+    fn all_paths_peer_receives_every_route_with_path_ids() {
+        // Server hears the same prefix from two upstreams, exports ALL
+        // paths to an AllPaths (mux) client.
+        let mut server = Speaker::new(
+            SpeakerConfig::new(Asn(47065), Ipv4Addr::new(100, 64, 0, 1)).route_server(),
+        );
+        server.add_peer(PeerConfig::new(PeerId(1), Asn(1)).passive());
+        server.add_peer(PeerConfig::new(PeerId(2), Asn(2)).passive());
+        server.add_peer(PeerConfig::new(PeerId(9), Asn(65001)).all_paths().passive());
+        let mut u1 = speaker(1);
+        u1.add_peer(PeerConfig::new(PeerId(0), Asn(47065)));
+        let mut u2 = speaker(2);
+        u2.add_peer(PeerConfig::new(PeerId(0), Asn(47065)));
+        let mut client = Speaker::new(SpeakerConfig::new(
+            Asn(65001),
+            Ipv4Addr::new(100, 64, 0, 9),
+        ));
+        client.add_peer(PeerConfig::new(PeerId(0), Asn(47065)));
+        settle(&mut u1, &mut server, PeerId(0), PeerId(1), SimTime::ZERO);
+        settle(&mut u2, &mut server, PeerId(0), PeerId(2), SimTime::ZERO);
+        settle(&mut client, &mut server, PeerId(0), PeerId(9), SimTime::ZERO);
+        let p = Prefix::v4(10, 10, 0, 0, 16);
+        let mut to_server: Vec<BgpMessage> = Vec::new();
+        for o in u1.originate(p, SimTime::from_secs(1)) {
+            if let Output::Send(_, m) = o {
+                to_server.push(m);
+            }
+        }
+        for m in to_server.drain(..) {
+            for o in server.on_message(PeerId(1), m, SimTime::from_secs(1)) {
+                if let Output::Send(PeerId(9), msg) = o {
+                    client.on_message(PeerId(0), msg, SimTime::from_secs(1));
+                }
+            }
+        }
+        for o in u2.originate(p, SimTime::from_secs(2)) {
+            if let Output::Send(_, m) = o {
+                for o2 in server.on_message(PeerId(2), m, SimTime::from_secs(2)) {
+                    if let Output::Send(PeerId(9), msg) = o2 {
+                        client.on_message(PeerId(0), msg, SimTime::from_secs(2));
+                    }
+                }
+            }
+        }
+        // The client holds BOTH paths, distinguished by path id.
+        let rib = client.adj_rib_in(PeerId(0)).unwrap();
+        assert_eq!(rib.paths(&p).count(), 2);
+        let ids: Vec<u32> = rib.paths(&p).map(|r| r.path_id).collect();
+        assert_eq!(ids, vec![2, 3]); // learning-peer ids 1 and 2, plus 1
+        let firsts: BTreeSet<String> = rib
+            .paths(&p)
+            .map(|r| r.attrs.as_path.to_string())
+            .collect();
+        assert!(firsts.contains("1") && firsts.contains("2"));
+    }
+
+    #[test]
+    fn damping_suppresses_flapping_route() {
+        // Hold times long enough that the session outlives the damping
+        // decay window without keepalive exchanges in this harness.
+        let week = SimDuration::from_secs(7 * 24 * 3600);
+        let mut acfg = SpeakerConfig::new(Asn(1), Ipv4Addr::new(10, 0, 0, 1));
+        acfg.hold_time = week;
+        let mut a = Speaker::new(acfg);
+        let mut bcfg = SpeakerConfig::new(Asn(2), Ipv4Addr::new(10, 0, 0, 2))
+            .with_damping(DampingConfig::default());
+        bcfg.hold_time = week;
+        let mut b = Speaker::new(bcfg);
+        a.add_peer(PeerConfig::new(PeerId(0), Asn(2)));
+        b.add_peer(PeerConfig::new(PeerId(0), Asn(1)).passive());
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::ZERO);
+        let p = Prefix::v4(10, 10, 0, 0, 16);
+        let mut now = SimTime::ZERO;
+        let mut suppressed_seen = false;
+        for _ in 0..4 {
+            now += SimDuration::from_secs(10);
+            for o in a.originate(p, now) {
+                if let Output::Send(_, m) = o {
+                    for o2 in b.on_message(PeerId(0), m, now) {
+                        if matches!(o2, Output::Event(SpeakerEvent::Suppressed(_, _))) {
+                            suppressed_seen = true;
+                        }
+                    }
+                }
+            }
+            now += SimDuration::from_secs(10);
+            for o in a.withdraw_origin(p, now) {
+                if let Output::Send(_, m) = o {
+                    for o2 in b.on_message(PeerId(0), m, now) {
+                        if matches!(o2, Output::Event(SpeakerEvent::Suppressed(_, _))) {
+                            suppressed_seen = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(suppressed_seen, "flapping must trigger suppression");
+        // Announce once more: route installs to adj-in but is suppressed
+        // from the decision process.
+        now += SimDuration::from_secs(10);
+        for o in a.originate(p, now) {
+            if let Output::Send(_, m) = o {
+                b.on_message(PeerId(0), m, now);
+            }
+        }
+        assert!(b.loc_rib().get(&p).is_none(), "suppressed from Loc-RIB");
+        // After the penalty decays, a tick releases the route.
+        let much_later = now + SimDuration::from_secs(3 * 3600);
+        b.tick(much_later);
+        assert!(
+            b.loc_rib().get(&p).is_some(),
+            "released after damping decay"
+        );
+    }
+
+    #[test]
+    fn table_memory_grows_with_routes_and_shares_attrs() {
+        let mut b = speaker(2);
+        b.add_peer(PeerConfig::new(PeerId(0), Asn(1)).passive());
+        let mut a = speaker(1);
+        a.add_peer(PeerConfig::new(PeerId(0), Asn(2)));
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::ZERO);
+        let empty = b.table_memory();
+        for i in 0..100u32 {
+            let p = Prefix::v4(10, (i >> 8) as u8, (i & 0xff) as u8, 0, 24);
+            for o in a.originate(p, SimTime::from_secs(1)) {
+                if let Output::Send(_, m) = o {
+                    b.on_message(PeerId(0), m, SimTime::from_secs(1));
+                }
+            }
+        }
+        let full = b.table_memory();
+        assert!(full > empty, "memory must grow: {empty} -> {full}");
+        // All 100 routes share one attribute set via the interner.
+        let (distinct, hits, _misses) = b.interner_stats();
+        assert!(hits >= 99, "hits={hits}");
+        assert!(distinct <= 4, "distinct={distinct}");
+    }
+
+    #[test]
+    fn route_refresh_resends_table() {
+        let mut a = speaker(1);
+        let mut b = speaker(2);
+        a.add_peer(PeerConfig::new(PeerId(0), Asn(2)));
+        b.add_peer(PeerConfig::new(PeerId(0), Asn(1)).passive());
+        let p = Prefix::v4(10, 10, 0, 0, 16);
+        a.originate(p, SimTime::ZERO);
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::ZERO);
+        let outs = a.on_message(PeerId(0), BgpMessage::RouteRefresh, SimTime::from_secs(1));
+        // Adj-RIB-Out is unchanged so the diff suppresses re-sending; the
+        // refresh still produces the End-of-RIB marker.
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, Output::Send(_, BgpMessage::Update(u)) if u.is_end_of_rib())));
+    }
+
+    #[test]
+    fn remove_peer_withdraws_its_routes() {
+        let mut a = speaker(1);
+        let mut b = speaker(2);
+        a.add_peer(PeerConfig::new(PeerId(0), Asn(2)));
+        b.add_peer(PeerConfig::new(PeerId(0), Asn(1)).passive());
+        let p = Prefix::v4(10, 10, 0, 0, 16);
+        a.originate(p, SimTime::ZERO);
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::ZERO);
+        assert!(b.loc_rib().get(&p).is_some());
+        b.remove_peer(PeerId(0), SimTime::from_secs(1));
+        assert!(b.loc_rib().get(&p).is_none());
+        assert_eq!(b.peer_count(), 0);
+    }
+
+    /// Establish a session between two multi-peer speakers by shuttling
+    /// messages directly (no single-peer assertion like `settle`).
+    fn establish_pair(
+        a: &mut Speaker,
+        a_peer: PeerId,
+        b: &mut Speaker,
+        b_peer: PeerId,
+        now: SimTime,
+    ) {
+        let filter = |outs: Vec<Output>, want: PeerId| -> Vec<BgpMessage> {
+            outs.into_iter()
+                .filter_map(|o| match o {
+                    Output::Send(p, m) if p == want => Some(m),
+                    _ => None,
+                })
+                .collect()
+        };
+        let mut to_b = filter(a.start_peer(a_peer, now), a_peer);
+        let mut to_a = filter(b.start_peer(b_peer, now), b_peer);
+        for _ in 0..32 {
+            if to_a.is_empty() && to_b.is_empty() {
+                break;
+            }
+            let mut na = Vec::new();
+            let mut nb = Vec::new();
+            for m in to_b.drain(..) {
+                na.extend(filter(b.on_message(b_peer, m, now), b_peer));
+            }
+            for m in to_a.drain(..) {
+                nb.extend(filter(a.on_message(a_peer, m, now), a_peer));
+            }
+            to_a = na;
+            to_b = nb;
+        }
+        assert!(a.peer_established(a_peer) && b.peer_established(b_peer));
+    }
+
+    /// Hub-and-spoke iBGP: two spokes connected only to a hub router in
+    /// the same AS.
+    fn ibgp_hub_and_spokes(reflect: bool) -> (Speaker, Speaker, Speaker) {
+        let asn = Asn(64620);
+        let mut hub = Speaker::new(SpeakerConfig::new(asn, Ipv4Addr::new(10, 9, 0, 1)));
+        let mk_client_cfg = |id: u32, reflect: bool| {
+            let cfg = PeerConfig::new(PeerId(id), asn).passive();
+            if reflect {
+                cfg.rr_client()
+            } else {
+                cfg
+            }
+        };
+        hub.add_peer(mk_client_cfg(1, reflect));
+        hub.add_peer(mk_client_cfg(2, reflect));
+        let mut s1 = Speaker::new(SpeakerConfig::new(asn, Ipv4Addr::new(10, 9, 0, 2)));
+        s1.add_peer(PeerConfig::new(PeerId(0), asn));
+        let mut s2 = Speaker::new(SpeakerConfig::new(asn, Ipv4Addr::new(10, 9, 0, 3)));
+        s2.add_peer(PeerConfig::new(PeerId(0), asn));
+        establish_pair(&mut s1, PeerId(0), &mut hub, PeerId(1), SimTime::ZERO);
+        establish_pair(&mut s2, PeerId(0), &mut hub, PeerId(2), SimTime::ZERO);
+        (hub, s1, s2)
+    }
+
+    #[test]
+    fn without_route_reflection_ibgp_does_not_transit_the_hub() {
+        let (mut hub, mut s1, mut s2) = ibgp_hub_and_spokes(false);
+        let p = Prefix::v4(10, 80, 0, 0, 16);
+        for o in s1.originate(p, SimTime::from_secs(1)) {
+            if let Output::Send(_, m) = o {
+                for o2 in hub.on_message(PeerId(1), m, SimTime::from_secs(1)) {
+                    if let Output::Send(PeerId(2), msg) = o2 {
+                        s2.on_message(PeerId(0), msg, SimTime::from_secs(1));
+                    }
+                }
+            }
+        }
+        assert!(hub.loc_rib().get(&p).is_some(), "hub itself learns it");
+        assert!(
+            s2.loc_rib().get(&p).is_none(),
+            "classic iBGP split horizon: s2 must NOT learn it via the hub"
+        );
+    }
+
+    #[test]
+    fn route_reflection_lets_spokes_see_each_other() {
+        let (mut hub, mut s1, mut s2) = ibgp_hub_and_spokes(true);
+        let p = Prefix::v4(10, 81, 0, 0, 16);
+        for o in s1.originate(p, SimTime::from_secs(1)) {
+            if let Output::Send(_, m) = o {
+                for o2 in hub.on_message(PeerId(1), m, SimTime::from_secs(1)) {
+                    if let Output::Send(PeerId(2), msg) = o2 {
+                        s2.on_message(PeerId(0), msg, SimTime::from_secs(1));
+                    }
+                }
+            }
+        }
+        let r = s2.loc_rib().get(&p).expect("reflected to the other client");
+        // iBGP preserves the path: no ASN was prepended inside the AS.
+        assert_eq!(r.attrs.as_path.hop_count(), 0);
+        assert_eq!(r.source, RouteSource::Ibgp);
+        // The spokes hold ONE copy each — the Figure 2 discussion's
+        // point about route reflectors and table copies.
+        assert_eq!(s2.loc_rib().len(), 1);
+    }
+
+    #[test]
+    fn hold_timer_expiry_clears_peer_routes() {
+        let mut a = speaker(1);
+        let mut b = speaker(2);
+        a.add_peer(PeerConfig::new(PeerId(0), Asn(2)));
+        b.add_peer(PeerConfig::new(PeerId(0), Asn(1)).passive());
+        let p = Prefix::v4(10, 10, 0, 0, 16);
+        a.originate(p, SimTime::ZERO);
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::ZERO);
+        // No keepalives flow; push time past the hold deadline.
+        let outs = b.tick(SimTime::from_secs(300));
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, Output::Event(SpeakerEvent::PeerDown(_, _)))));
+        assert!(b.loc_rib().get(&p).is_none());
+    }
+}

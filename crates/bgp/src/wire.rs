@@ -1,0 +1,950 @@
+//! RFC 4271 wire encoding and decoding.
+//!
+//! The simulation passes messages between speakers as structs for speed,
+//! but the codec is complete and round-trip tested so the implementation
+//! would interoperate at the byte level: header with marker, OPEN with
+//! capabilities (RFC 5492), UPDATE with the full attribute set, 4-octet AS
+//! paths (RFC 6793), ADD-PATH NLRI (RFC 7911), and IPv6 NLRI carried in
+//! MP_REACH/MP_UNREACH attributes (RFC 4760).
+
+use crate::attrs::{AsPath, AsPathSegment, Community, Origin, PathAttributes};
+use crate::error::BgpError;
+use crate::message::{
+    BgpMessage, Capability, Nlri, NotifCode, NotificationMessage, OpenMessage, UpdateMessage,
+};
+use bytes::{Buf, BufMut, BytesMut};
+use peering_netsim::{Asn, Ipv4Net, Ipv6Net, Prefix};
+use std::net::{Ipv4Addr, Ipv6Addr};
+use std::sync::Arc;
+
+/// Maximum BGP message size (RFC 4271). The encoder never exceeds it;
+/// use [`encode_update_chunked`] for large RIB transfers.
+pub const MAX_MESSAGE: usize = 4096;
+const HEADER_LEN: usize = 19;
+
+const TYPE_OPEN: u8 = 1;
+const TYPE_UPDATE: u8 = 2;
+const TYPE_NOTIFICATION: u8 = 3;
+const TYPE_KEEPALIVE: u8 = 4;
+const TYPE_ROUTE_REFRESH: u8 = 5;
+
+const ATTR_ORIGIN: u8 = 1;
+const ATTR_AS_PATH: u8 = 2;
+const ATTR_NEXT_HOP: u8 = 3;
+const ATTR_MED: u8 = 4;
+const ATTR_LOCAL_PREF: u8 = 5;
+const ATTR_ATOMIC_AGGREGATE: u8 = 6;
+const ATTR_AGGREGATOR: u8 = 7;
+const ATTR_COMMUNITY: u8 = 8;
+const ATTR_MP_REACH: u8 = 14;
+const ATTR_MP_UNREACH: u8 = 15;
+
+const FLAG_OPTIONAL: u8 = 0x80;
+const FLAG_TRANSITIVE: u8 = 0x40;
+const FLAG_EXT_LEN: u8 = 0x10;
+
+/// Encoding options negotiated per session.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WireConfig {
+    /// ADD-PATH in effect for IPv4 unicast: NLRI carry 4-byte path IDs.
+    pub add_path: bool,
+}
+
+// ---------------------------------------------------------------- encode
+
+fn put_header(out: &mut BytesMut, msg_type: u8, body: &[u8]) {
+    out.extend_from_slice(&[0xFF; 16]);
+    out.put_u16((HEADER_LEN + body.len()) as u16);
+    out.put_u8(msg_type);
+    out.extend_from_slice(body);
+}
+
+fn put_v4_nlri(out: &mut BytesMut, net: &Ipv4Net, path_id: Option<u32>, cfg: WireConfig) {
+    if cfg.add_path {
+        out.put_u32(path_id.unwrap_or(0));
+    }
+    out.put_u8(net.len());
+    let bytes = net.network_u32().to_be_bytes();
+    let n = (net.len() as usize).div_ceil(8);
+    out.extend_from_slice(&bytes[..n]);
+}
+
+fn put_v6_nlri(out: &mut BytesMut, net: &Ipv6Net, path_id: Option<u32>, cfg: WireConfig) {
+    if cfg.add_path {
+        out.put_u32(path_id.unwrap_or(0));
+    }
+    out.put_u8(net.len());
+    let bytes = u128::from(net.network()).to_be_bytes();
+    let n = (net.len() as usize).div_ceil(8);
+    out.extend_from_slice(&bytes[..n]);
+}
+
+fn put_attr(out: &mut BytesMut, flags: u8, ty: u8, value: &[u8]) {
+    if value.len() > 255 {
+        out.put_u8(flags | FLAG_EXT_LEN);
+        out.put_u8(ty);
+        out.put_u16(value.len() as u16);
+    } else {
+        out.put_u8(flags);
+        out.put_u8(ty);
+        out.put_u8(value.len() as u8);
+    }
+    out.extend_from_slice(value);
+}
+
+fn encode_as_path(path: &AsPath) -> Vec<u8> {
+    let mut v = Vec::new();
+    for seg in &path.segments {
+        let (ty, asns) = match seg {
+            AsPathSegment::Set(a) => (1u8, a),
+            AsPathSegment::Sequence(a) => (2u8, a),
+        };
+        // Long sequences are split into 255-AS chunks per RFC 4271.
+        for chunk in asns.chunks(255) {
+            v.push(ty);
+            v.push(chunk.len() as u8);
+            for asn in chunk {
+                v.extend_from_slice(&asn.0.to_be_bytes());
+            }
+        }
+    }
+    v
+}
+
+fn encode_attrs(attrs: &PathAttributes, v6_reach: &[Nlri], cfg: WireConfig) -> BytesMut {
+    let mut out = BytesMut::new();
+    put_attr(&mut out, FLAG_TRANSITIVE, ATTR_ORIGIN, &[attrs.origin.code()]);
+    put_attr(
+        &mut out,
+        FLAG_TRANSITIVE,
+        ATTR_AS_PATH,
+        &encode_as_path(&attrs.as_path),
+    );
+    put_attr(
+        &mut out,
+        FLAG_TRANSITIVE,
+        ATTR_NEXT_HOP,
+        &attrs.next_hop.octets(),
+    );
+    if let Some(med) = attrs.med {
+        put_attr(&mut out, FLAG_OPTIONAL, ATTR_MED, &med.to_be_bytes());
+    }
+    if let Some(lp) = attrs.local_pref {
+        put_attr(&mut out, FLAG_TRANSITIVE, ATTR_LOCAL_PREF, &lp.to_be_bytes());
+    }
+    if attrs.atomic_aggregate {
+        put_attr(&mut out, FLAG_TRANSITIVE, ATTR_ATOMIC_AGGREGATE, &[]);
+    }
+    if let Some((asn, ip)) = attrs.aggregator {
+        let mut v = Vec::with_capacity(8);
+        v.extend_from_slice(&asn.0.to_be_bytes());
+        v.extend_from_slice(&ip.octets());
+        put_attr(
+            &mut out,
+            FLAG_OPTIONAL | FLAG_TRANSITIVE,
+            ATTR_AGGREGATOR,
+            &v,
+        );
+    }
+    if !attrs.communities.is_empty() {
+        let mut v = Vec::with_capacity(attrs.communities.len() * 4);
+        for c in &attrs.communities {
+            v.extend_from_slice(&c.0.to_be_bytes());
+        }
+        put_attr(&mut out, FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_COMMUNITY, &v);
+    }
+    if !v6_reach.is_empty() {
+        // MP_REACH_NLRI: afi=2, safi=1, v4-mapped next hop, reserved, NLRI.
+        let mut v = BytesMut::new();
+        v.put_u16(2);
+        v.put_u8(1);
+        let nh = Ipv6Addr::from(attrs.next_hop.to_ipv6_mapped());
+        v.put_u8(16);
+        v.extend_from_slice(&nh.octets());
+        v.put_u8(0); // reserved
+        for n in v6_reach {
+            if let Prefix::V6(p) = &n.prefix {
+                put_v6_nlri(&mut v, p, n.path_id, cfg);
+            }
+        }
+        put_attr(&mut out, FLAG_OPTIONAL, ATTR_MP_REACH, &v);
+    }
+    out
+}
+
+/// Encode one message. UPDATEs must fit in [`MAX_MESSAGE`]; callers with
+/// large route sets should use [`encode_update_chunked`].
+pub fn encode_message(msg: &BgpMessage, cfg: WireConfig) -> Result<Vec<u8>, BgpError> {
+    let mut out = BytesMut::new();
+    match msg {
+        BgpMessage::Open(o) => {
+            let mut body = BytesMut::new();
+            body.put_u8(o.version);
+            body.put_u16(o.my_as2);
+            body.put_u16(o.hold_time);
+            body.extend_from_slice(&o.router_id.octets());
+            let mut caps = BytesMut::new();
+            for c in &o.capabilities {
+                match c {
+                    Capability::MpIpv4Unicast => {
+                        caps.extend_from_slice(&[1, 4, 0, 1, 0, 1]);
+                    }
+                    Capability::MpIpv6Unicast => {
+                        caps.extend_from_slice(&[1, 4, 0, 2, 0, 1]);
+                    }
+                    Capability::RouteRefresh => {
+                        caps.extend_from_slice(&[2, 0]);
+                    }
+                    Capability::FourOctetAsn(a) => {
+                        caps.extend_from_slice(&[65, 4]);
+                        caps.extend_from_slice(&a.0.to_be_bytes());
+                    }
+                    Capability::AddPathIpv4 { send, receive } => {
+                        let mode = (*receive as u8) | ((*send as u8) << 1);
+                        caps.extend_from_slice(&[69, 4, 0, 1, 1, mode]);
+                    }
+                }
+            }
+            // One optional parameter of type 2 (Capabilities).
+            body.put_u8((caps.len() + 2) as u8);
+            body.put_u8(2);
+            body.put_u8(caps.len() as u8);
+            body.extend_from_slice(&caps);
+            put_header(&mut out, TYPE_OPEN, &body);
+        }
+        BgpMessage::Update(u) => {
+            let body = encode_update_body(u, cfg)?;
+            if HEADER_LEN + body.len() > MAX_MESSAGE {
+                return Err(BgpError::BadUpdate(format!(
+                    "update too large ({} bytes); chunk it",
+                    HEADER_LEN + body.len()
+                )));
+            }
+            put_header(&mut out, TYPE_UPDATE, &body);
+        }
+        BgpMessage::Notification(n) => {
+            let mut body = BytesMut::new();
+            body.put_u8(n.code.code());
+            body.put_u8(n.subcode);
+            body.extend_from_slice(&n.data);
+            put_header(&mut out, TYPE_NOTIFICATION, &body);
+        }
+        BgpMessage::Keepalive => put_header(&mut out, TYPE_KEEPALIVE, &[]),
+        BgpMessage::RouteRefresh => {
+            put_header(&mut out, TYPE_ROUTE_REFRESH, &[0, 1, 0, 1]);
+        }
+    }
+    Ok(out.to_vec())
+}
+
+fn encode_update_body(u: &UpdateMessage, cfg: WireConfig) -> Result<BytesMut, BgpError> {
+    let mut body = BytesMut::new();
+    // Withdrawn v4 routes in the classic field; v6 would go to MP_UNREACH.
+    let (wd_v4, wd_v6): (Vec<&Nlri>, Vec<&Nlri>) =
+        u.withdrawn.iter().partition(|n| n.prefix.is_v4());
+    let (an_v4, an_v6): (Vec<&Nlri>, Vec<&Nlri>) =
+        u.announced.iter().partition(|n| n.prefix.is_v4());
+
+    let mut wd = BytesMut::new();
+    for n in &wd_v4 {
+        if let Prefix::V4(p) = &n.prefix {
+            put_v4_nlri(&mut wd, p, n.path_id, cfg);
+        }
+    }
+    body.put_u16(wd.len() as u16);
+    body.extend_from_slice(&wd);
+
+    let mut attrs_buf = BytesMut::new();
+    if let Some(attrs) = &u.attrs {
+        let v6_list: Vec<Nlri> = an_v6.iter().map(|n| **n).collect();
+        attrs_buf = encode_attrs(attrs, &v6_list, cfg);
+    } else if !an_v6.is_empty() || !an_v4.is_empty() {
+        return Err(BgpError::BadUpdate("announcement without attributes".into()));
+    }
+    if !wd_v6.is_empty() {
+        let mut v = BytesMut::new();
+        v.put_u16(2);
+        v.put_u8(1);
+        for n in &wd_v6 {
+            if let Prefix::V6(p) = &n.prefix {
+                put_v6_nlri(&mut v, p, n.path_id, cfg);
+            }
+        }
+        put_attr(&mut attrs_buf, FLAG_OPTIONAL, ATTR_MP_UNREACH, &v);
+    }
+    body.put_u16(attrs_buf.len() as u16);
+    body.extend_from_slice(&attrs_buf);
+    for n in &an_v4 {
+        if let Prefix::V4(p) = &n.prefix {
+            put_v4_nlri(&mut body, p, n.path_id, cfg);
+        }
+    }
+    Ok(body)
+}
+
+/// Encode an UPDATE, splitting the NLRI across as many messages as needed
+/// to respect [`MAX_MESSAGE`]. Withdrawals and announcements are never
+/// mixed with different attribute sets.
+pub fn encode_update_chunked(
+    u: &UpdateMessage,
+    cfg: WireConfig,
+) -> Result<Vec<Vec<u8>>, BgpError> {
+    // Generous per-NLRI bound: path id + len byte + 16 bytes address.
+    const NLRI_BOUND: usize = 21;
+    let attr_overhead = u
+        .attrs
+        .as_ref()
+        .map(|a| {
+            64 + a.as_path.asns().count() * 4
+                + a.communities.len() * 4
+                + a.as_path.segments.len() * 2
+        })
+        .unwrap_or(0);
+    let budget = MAX_MESSAGE - HEADER_LEN - 8 - attr_overhead;
+    let per_msg = (budget / NLRI_BOUND).max(1);
+
+    let mut msgs = Vec::new();
+    if !u.withdrawn.is_empty() {
+        for chunk in u.withdrawn.chunks(per_msg) {
+            let m = UpdateMessage::withdraw(chunk.to_vec());
+            msgs.push(encode_message(&BgpMessage::Update(m), cfg)?);
+        }
+    }
+    if !u.announced.is_empty() {
+        let attrs = u
+            .attrs
+            .clone()
+            .ok_or_else(|| BgpError::BadUpdate("announcement without attributes".into()))?;
+        for chunk in u.announced.chunks(per_msg) {
+            let m = UpdateMessage::announce(attrs.clone(), chunk.to_vec());
+            msgs.push(encode_message(&BgpMessage::Update(m), cfg)?);
+        }
+    }
+    if msgs.is_empty() {
+        msgs.push(encode_message(
+            &BgpMessage::Update(UpdateMessage {
+                withdrawn: vec![],
+                attrs: None,
+                announced: vec![],
+            }),
+            cfg,
+        )?);
+    }
+    Ok(msgs)
+}
+
+// ---------------------------------------------------------------- decode
+
+fn need(buf: &[u8], n: usize, what: &str) -> Result<(), BgpError> {
+    if buf.len() < n {
+        Err(BgpError::BadUpdate(format!(
+            "truncated {what}: need {n}, have {}",
+            buf.len()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+fn get_v4_nlri(buf: &mut &[u8], cfg: WireConfig) -> Result<Nlri, BgpError> {
+    let path_id = if cfg.add_path {
+        need(buf, 4, "path id")?;
+        Some(buf.get_u32())
+    } else {
+        None
+    };
+    need(buf, 1, "nlri length")?;
+    let len = buf.get_u8();
+    if len > 32 {
+        return Err(BgpError::BadUpdate(format!("v4 prefix length {len}")));
+    }
+    let n = (len as usize).div_ceil(8);
+    need(buf, n, "nlri body")?;
+    let mut octets = [0u8; 4];
+    octets[..n].copy_from_slice(&buf[..n]);
+    buf.advance(n);
+    Ok(Nlri {
+        prefix: Prefix::V4(Ipv4Net::new(Ipv4Addr::from(octets), len)),
+        path_id,
+    })
+}
+
+fn get_v6_nlri(buf: &mut &[u8], cfg: WireConfig) -> Result<Nlri, BgpError> {
+    let path_id = if cfg.add_path {
+        need(buf, 4, "path id")?;
+        Some(buf.get_u32())
+    } else {
+        None
+    };
+    need(buf, 1, "nlri length")?;
+    let len = buf.get_u8();
+    if len > 128 {
+        return Err(BgpError::BadUpdate(format!("v6 prefix length {len}")));
+    }
+    let n = (len as usize).div_ceil(8);
+    need(buf, n, "nlri body")?;
+    let mut octets = [0u8; 16];
+    octets[..n].copy_from_slice(&buf[..n]);
+    buf.advance(n);
+    Ok(Nlri {
+        prefix: Prefix::V6(Ipv6Net::new(Ipv6Addr::from(octets), len)),
+        path_id,
+    })
+}
+
+fn decode_as_path(mut buf: &[u8]) -> Result<AsPath, BgpError> {
+    let mut segments = Vec::new();
+    while !buf.is_empty() {
+        need(buf, 2, "as-path segment header")?;
+        let ty = buf.get_u8();
+        let count = buf.get_u8() as usize;
+        need(buf, count * 4, "as-path segment body")?;
+        let mut asns = Vec::with_capacity(count);
+        for _ in 0..count {
+            asns.push(Asn(buf.get_u32()));
+        }
+        match ty {
+            1 => segments.push(AsPathSegment::Set(asns)),
+            2 => segments.push(AsPathSegment::Sequence(asns)),
+            t => return Err(BgpError::BadAttribute(format!("as-path segment type {t}"))),
+        }
+    }
+    // Merge adjacent sequences produced by chunked encoding.
+    let mut merged: Vec<AsPathSegment> = Vec::new();
+    for seg in segments {
+        match (merged.last_mut(), seg) {
+            (Some(AsPathSegment::Sequence(a)), AsPathSegment::Sequence(b)) => a.extend(b),
+            (_, s) => merged.push(s),
+        }
+    }
+    Ok(AsPath { segments: merged })
+}
+
+/// Decode a single message from the front of `data`, returning the message
+/// and the number of bytes consumed.
+pub fn decode_message(data: &[u8], cfg: WireConfig) -> Result<(BgpMessage, usize), BgpError> {
+    if data.len() < HEADER_LEN {
+        return Err(BgpError::BadHeader(format!("{} bytes", data.len())));
+    }
+    if data[..16].iter().any(|&b| b != 0xFF) {
+        return Err(BgpError::BadHeader("marker not all-ones".into()));
+    }
+    let total = u16::from_be_bytes([data[16], data[17]]) as usize;
+    if !(HEADER_LEN..=MAX_MESSAGE).contains(&total) {
+        return Err(BgpError::BadLength(total as u16));
+    }
+    if data.len() < total {
+        return Err(BgpError::BadHeader(format!(
+            "message claims {total} bytes, have {}",
+            data.len()
+        )));
+    }
+    let msg_type = data[18];
+    let body = &data[HEADER_LEN..total];
+    let msg = match msg_type {
+        TYPE_OPEN => BgpMessage::Open(decode_open(body)?),
+        TYPE_UPDATE => BgpMessage::Update(decode_update(body, cfg)?),
+        TYPE_NOTIFICATION => {
+            if body.len() < 2 {
+                return Err(BgpError::BadNotification("too short".into()));
+            }
+            let code = NotifCode::from_code(body[0])
+                .ok_or_else(|| BgpError::BadNotification(format!("code {}", body[0])))?;
+            BgpMessage::Notification(NotificationMessage {
+                code,
+                subcode: body[1],
+                data: body[2..].to_vec(),
+            })
+        }
+        TYPE_KEEPALIVE => {
+            if !body.is_empty() {
+                return Err(BgpError::BadLength(total as u16));
+            }
+            BgpMessage::Keepalive
+        }
+        TYPE_ROUTE_REFRESH => BgpMessage::RouteRefresh,
+        t => return Err(BgpError::BadType(t)),
+    };
+    Ok((msg, total))
+}
+
+fn decode_open(mut body: &[u8]) -> Result<OpenMessage, BgpError> {
+    if body.len() < 10 {
+        return Err(BgpError::BadOpen("too short".into()));
+    }
+    let version = body.get_u8();
+    if version != 4 {
+        return Err(BgpError::BadOpen(format!("version {version}")));
+    }
+    let my_as2 = body.get_u16();
+    let hold_time = body.get_u16();
+    if hold_time == 1 || hold_time == 2 {
+        return Err(BgpError::BadOpen(format!("hold time {hold_time}")));
+    }
+    let router_id = Ipv4Addr::new(body[0], body[1], body[2], body[3]);
+    body.advance(4);
+    let opt_len = body.get_u8() as usize;
+    if body.len() < opt_len {
+        return Err(BgpError::BadOpen("optional params truncated".into()));
+    }
+    let mut params = &body[..opt_len];
+    let mut capabilities = Vec::new();
+    while params.len() >= 2 {
+        let ptype = params.get_u8();
+        let plen = params.get_u8() as usize;
+        if params.len() < plen {
+            return Err(BgpError::BadOpen("param truncated".into()));
+        }
+        let (pbody, rest) = params.split_at(plen);
+        params = rest;
+        if ptype != 2 {
+            continue; // unknown parameter types are skipped
+        }
+        let mut caps = pbody;
+        while caps.len() >= 2 {
+            let code = caps.get_u8();
+            let clen = caps.get_u8() as usize;
+            if caps.len() < clen {
+                return Err(BgpError::BadOpen("capability truncated".into()));
+            }
+            let (cval, rest) = caps.split_at(clen);
+            caps = rest;
+            match (code, clen) {
+                (1, 4) => {
+                    let afi = u16::from_be_bytes([cval[0], cval[1]]);
+                    match afi {
+                        1 => capabilities.push(Capability::MpIpv4Unicast),
+                        2 => capabilities.push(Capability::MpIpv6Unicast),
+                        _ => {}
+                    }
+                }
+                (2, 0) => capabilities.push(Capability::RouteRefresh),
+                (65, 4) => capabilities.push(Capability::FourOctetAsn(Asn(u32::from_be_bytes(
+                    [cval[0], cval[1], cval[2], cval[3]],
+                )))),
+                (69, 4) => {
+                    let mode = cval[3];
+                    capabilities.push(Capability::AddPathIpv4 {
+                        send: mode & 2 != 0,
+                        receive: mode & 1 != 0,
+                    });
+                }
+                _ => {} // unknown capabilities are ignored
+            }
+        }
+    }
+    Ok(OpenMessage {
+        version,
+        my_as2,
+        hold_time,
+        router_id,
+        capabilities,
+    })
+}
+
+fn decode_update(body: &[u8], cfg: WireConfig) -> Result<UpdateMessage, BgpError> {
+    let mut buf = body;
+    need(buf, 2, "withdrawn length")?;
+    let wd_len = buf.get_u16() as usize;
+    need(buf, wd_len, "withdrawn routes")?;
+    let (mut wd_buf, rest) = buf.split_at(wd_len);
+    buf = rest;
+    let mut withdrawn = Vec::new();
+    while !wd_buf.is_empty() {
+        withdrawn.push(get_v4_nlri(&mut wd_buf, cfg)?);
+    }
+    need(buf, 2, "attribute length")?;
+    let attr_len = buf.get_u16() as usize;
+    need(buf, attr_len, "attributes")?;
+    let (mut attr_buf, mut nlri_buf) = buf.split_at(attr_len);
+
+    let mut attrs = PathAttributes::default();
+    let mut have_attrs = false;
+    let mut v6_announced: Vec<Nlri> = Vec::new();
+    while !attr_buf.is_empty() {
+        need(attr_buf, 2, "attribute header")?;
+        let flags = attr_buf.get_u8();
+        let ty = attr_buf.get_u8();
+        let vlen = if flags & FLAG_EXT_LEN != 0 {
+            need(attr_buf, 2, "ext attr length")?;
+            attr_buf.get_u16() as usize
+        } else {
+            need(attr_buf, 1, "attr length")?;
+            attr_buf.get_u8() as usize
+        };
+        need(attr_buf, vlen, "attribute value")?;
+        let (val, rest) = attr_buf.split_at(vlen);
+        attr_buf = rest;
+        have_attrs = true;
+        match ty {
+            ATTR_ORIGIN => {
+                if val.len() != 1 {
+                    return Err(BgpError::BadAttribute("origin length".into()));
+                }
+                attrs.origin = Origin::from_code(val[0])
+                    .ok_or_else(|| BgpError::BadAttribute(format!("origin {}", val[0])))?;
+            }
+            ATTR_AS_PATH => attrs.as_path = decode_as_path(val)?,
+            ATTR_NEXT_HOP => {
+                if val.len() != 4 {
+                    return Err(BgpError::BadAttribute("next-hop length".into()));
+                }
+                attrs.next_hop = Ipv4Addr::new(val[0], val[1], val[2], val[3]);
+            }
+            ATTR_MED => {
+                if val.len() != 4 {
+                    return Err(BgpError::BadAttribute("med length".into()));
+                }
+                attrs.med = Some(u32::from_be_bytes([val[0], val[1], val[2], val[3]]));
+            }
+            ATTR_LOCAL_PREF => {
+                if val.len() != 4 {
+                    return Err(BgpError::BadAttribute("local-pref length".into()));
+                }
+                attrs.local_pref = Some(u32::from_be_bytes([val[0], val[1], val[2], val[3]]));
+            }
+            ATTR_ATOMIC_AGGREGATE => attrs.atomic_aggregate = true,
+            ATTR_AGGREGATOR => {
+                if val.len() != 8 {
+                    return Err(BgpError::BadAttribute("aggregator length".into()));
+                }
+                attrs.aggregator = Some((
+                    Asn(u32::from_be_bytes([val[0], val[1], val[2], val[3]])),
+                    Ipv4Addr::new(val[4], val[5], val[6], val[7]),
+                ));
+            }
+            ATTR_COMMUNITY => {
+                if val.len() % 4 != 0 {
+                    return Err(BgpError::BadAttribute("community length".into()));
+                }
+                for c in val.chunks(4) {
+                    attrs.add_community(Community(u32::from_be_bytes([c[0], c[1], c[2], c[3]])));
+                }
+            }
+            ATTR_MP_REACH => {
+                let mut v = val;
+                need(v, 5, "mp-reach header")?;
+                let afi = v.get_u16();
+                let _safi = v.get_u8();
+                let nh_len = v.get_u8() as usize;
+                need(v, nh_len + 1, "mp-reach next hop")?;
+                if afi == 2 && nh_len == 16 {
+                    let mut nh = [0u8; 16];
+                    nh.copy_from_slice(&v[..16]);
+                    if let Some(v4) = Ipv6Addr::from(nh).to_ipv4_mapped() {
+                        attrs.next_hop = v4;
+                    }
+                }
+                v.advance(nh_len);
+                v.advance(1); // reserved
+                if afi == 2 {
+                    while !v.is_empty() {
+                        v6_announced.push(get_v6_nlri(&mut v, cfg)?);
+                    }
+                }
+            }
+            ATTR_MP_UNREACH => {
+                let mut v = val;
+                need(v, 3, "mp-unreach header")?;
+                let afi = v.get_u16();
+                let _safi = v.get_u8();
+                if afi == 2 {
+                    while !v.is_empty() {
+                        withdrawn.push(get_v6_nlri(&mut v, cfg)?);
+                    }
+                }
+            }
+            _ => {
+                // Unknown optional attributes are tolerated (and dropped);
+                // unknown well-known attributes are an error.
+                if flags & FLAG_OPTIONAL == 0 {
+                    return Err(BgpError::BadAttribute(format!("unknown well-known {ty}")));
+                }
+            }
+        }
+    }
+
+    let mut announced = v6_announced;
+    while !nlri_buf.is_empty() {
+        announced.push(get_v4_nlri(&mut nlri_buf, cfg)?);
+    }
+    if !announced.is_empty() && !have_attrs {
+        return Err(BgpError::BadUpdate("NLRI without attributes".into()));
+    }
+    Ok(UpdateMessage {
+        withdrawn,
+        attrs: if have_attrs { Some(Arc::new(attrs)) } else { None },
+        announced,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: &BgpMessage, cfg: WireConfig) -> BgpMessage {
+        let bytes = encode_message(msg, cfg).expect("encode");
+        let (decoded, used) = decode_message(&bytes, cfg).expect("decode");
+        assert_eq!(used, bytes.len());
+        decoded
+    }
+
+    #[test]
+    fn keepalive_roundtrip() {
+        let m = BgpMessage::Keepalive;
+        assert_eq!(roundtrip(&m, WireConfig::default()), m);
+        let bytes = encode_message(&m, WireConfig::default()).unwrap();
+        assert_eq!(bytes.len(), 19);
+    }
+
+    #[test]
+    fn open_roundtrip_with_capabilities() {
+        let m = BgpMessage::Open(
+            OpenMessage::new(Asn(4_200_000_042), 180, Ipv4Addr::new(192, 0, 2, 1))
+                .with_add_path(true, true),
+        );
+        let got = roundtrip(&m, WireConfig::default());
+        if let (BgpMessage::Open(a), BgpMessage::Open(b)) = (&m, &got) {
+            assert_eq!(a.asn(), b.asn());
+            assert_eq!(a.hold_time, b.hold_time);
+            assert_eq!(a.router_id, b.router_id);
+            assert_eq!(b.add_path(), (true, true));
+            assert_eq!(b.my_as2, 23456);
+        } else {
+            panic!("wrong type");
+        }
+    }
+
+    #[test]
+    fn update_roundtrip_full_attributes() {
+        let attrs = PathAttributes {
+            origin: Origin::Egp,
+            as_path: AsPath::from_asns(&[Asn(64512), Asn(3356), Asn(1299)]),
+            next_hop: Ipv4Addr::new(10, 9, 8, 7),
+            med: Some(50),
+            local_pref: Some(120),
+            atomic_aggregate: true,
+            aggregator: Some((Asn(3356), Ipv4Addr::new(4, 4, 4, 4))),
+            communities: vec![Community::new(3356, 100), Community::NO_EXPORT],
+        };
+        let m = BgpMessage::Update(UpdateMessage {
+            withdrawn: vec![Nlri::plain(Prefix::v4(198, 51, 100, 0, 24))],
+            attrs: Some(Arc::new(attrs.clone())),
+            announced: vec![
+                Nlri::plain(Prefix::v4(192, 0, 2, 0, 24)),
+                Nlri::plain(Prefix::v4(203, 0, 113, 0, 25)),
+            ],
+        });
+        let got = roundtrip(&m, WireConfig::default());
+        if let BgpMessage::Update(u) = got {
+            assert_eq!(u.withdrawn.len(), 1);
+            assert_eq!(u.announced.len(), 2);
+            let a = u.attrs.unwrap();
+            assert_eq!(*a, attrs);
+        } else {
+            panic!("wrong type");
+        }
+    }
+
+    #[test]
+    fn update_roundtrip_with_add_path() {
+        let cfg = WireConfig { add_path: true };
+        let attrs = Arc::new(PathAttributes {
+            as_path: AsPath::from_asns(&[Asn(1)]),
+            next_hop: Ipv4Addr::new(1, 2, 3, 4),
+            ..Default::default()
+        });
+        let m = BgpMessage::Update(UpdateMessage {
+            withdrawn: vec![Nlri::with_path_id(Prefix::v4(10, 0, 0, 0, 8), 3)],
+            attrs: Some(attrs),
+            announced: vec![Nlri::with_path_id(Prefix::v4(10, 1, 0, 0, 16), 7)],
+        });
+        let got = roundtrip(&m, cfg);
+        if let BgpMessage::Update(u) = got {
+            assert_eq!(u.withdrawn[0].path_id, Some(3));
+            assert_eq!(u.announced[0].path_id, Some(7));
+        } else {
+            panic!("wrong type");
+        }
+    }
+
+    #[test]
+    fn update_roundtrip_ipv6_mp_reach() {
+        let attrs = Arc::new(PathAttributes {
+            as_path: AsPath::from_asns(&[Asn(6939)]),
+            next_hop: Ipv4Addr::new(80, 249, 208, 1),
+            ..Default::default()
+        });
+        let m = BgpMessage::Update(UpdateMessage {
+            withdrawn: vec![Nlri::plain("2001:db8:dead::/48".parse().unwrap())],
+            attrs: Some(attrs),
+            announced: vec![
+                Nlri::plain("2001:db8::/32".parse().unwrap()),
+                Nlri::plain(Prefix::v4(5, 5, 5, 0, 24)),
+            ],
+        });
+        let got = roundtrip(&m, WireConfig::default());
+        if let BgpMessage::Update(u) = got {
+            assert_eq!(u.announced.len(), 2);
+            assert!(u.announced.iter().any(|n| !n.prefix.is_v4()));
+            assert!(u.announced.iter().any(|n| n.prefix.is_v4()));
+            assert_eq!(u.withdrawn.len(), 1);
+            assert!(!u.withdrawn[0].prefix.is_v4());
+            assert_eq!(
+                u.attrs.unwrap().next_hop,
+                Ipv4Addr::new(80, 249, 208, 1)
+            );
+        } else {
+            panic!("wrong type");
+        }
+    }
+
+    #[test]
+    fn notification_roundtrip() {
+        let m = BgpMessage::Notification(NotificationMessage {
+            code: NotifCode::Cease,
+            subcode: 2,
+            data: vec![1, 2, 3],
+        });
+        assert_eq!(roundtrip(&m, WireConfig::default()), m);
+    }
+
+    #[test]
+    fn route_refresh_roundtrip() {
+        let m = BgpMessage::RouteRefresh;
+        assert_eq!(roundtrip(&m, WireConfig::default()), m);
+    }
+
+    #[test]
+    fn long_as_path_chunks_and_merges() {
+        // 600 ASes forces multiple 255-AS segments on the wire.
+        let asns: Vec<Asn> = (1..=600).map(Asn).collect();
+        let attrs = Arc::new(PathAttributes {
+            as_path: AsPath::from_asns(&asns),
+            next_hop: Ipv4Addr::new(1, 1, 1, 1),
+            ..Default::default()
+        });
+        let m = BgpMessage::Update(UpdateMessage::announce(
+            attrs,
+            vec![Nlri::plain(Prefix::v4(10, 0, 0, 0, 8))],
+        ));
+        let got = roundtrip(&m, WireConfig::default());
+        if let BgpMessage::Update(u) = got {
+            let path = &u.attrs.unwrap().as_path;
+            assert_eq!(path.hop_count(), 600);
+            assert_eq!(path.segments.len(), 1, "chunks must merge back");
+            assert_eq!(path.origin_as(), Some(Asn(600)));
+        } else {
+            panic!("wrong type");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_marker() {
+        let mut bytes = encode_message(&BgpMessage::Keepalive, WireConfig::default()).unwrap();
+        bytes[0] = 0;
+        assert!(matches!(
+            decode_message(&bytes, WireConfig::default()),
+            Err(BgpError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let bytes = encode_message(&BgpMessage::Keepalive, WireConfig::default()).unwrap();
+        assert!(decode_message(&bytes[..10], WireConfig::default()).is_err());
+        // Length field claims more than present.
+        let mut b = bytes.clone();
+        b[17] = 200;
+        assert!(decode_message(&b, WireConfig::default()).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_type_and_length() {
+        let mut bytes = encode_message(&BgpMessage::Keepalive, WireConfig::default()).unwrap();
+        bytes[18] = 99;
+        assert!(matches!(
+            decode_message(&bytes, WireConfig::default()),
+            Err(BgpError::BadType(99))
+        ));
+        let mut b2 = encode_message(&BgpMessage::Keepalive, WireConfig::default()).unwrap();
+        b2[16] = 0;
+        b2[17] = 10; // < 19
+        assert!(matches!(
+            decode_message(&b2, WireConfig::default()),
+            Err(BgpError::BadLength(10))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_bad_open() {
+        let mut m = OpenMessage::new(Asn(1), 90, Ipv4Addr::new(1, 1, 1, 1));
+        m.hold_time = 2; // invalid per RFC
+        let bytes = encode_message(&BgpMessage::Open(m), WireConfig::default()).unwrap();
+        assert!(matches!(
+            decode_message(&bytes, WireConfig::default()),
+            Err(BgpError::BadOpen(_))
+        ));
+    }
+
+    #[test]
+    fn chunked_encoding_splits_large_updates() {
+        let attrs = Arc::new(PathAttributes {
+            as_path: AsPath::from_asns(&[Asn(1)]),
+            next_hop: Ipv4Addr::new(1, 1, 1, 1),
+            ..Default::default()
+        });
+        let nlri: Vec<Nlri> = (0..2000u32)
+            .map(|i| {
+                Nlri::plain(Prefix::v4(
+                    10,
+                    (i >> 8) as u8,
+                    (i & 0xFF) as u8,
+                    0,
+                    24,
+                ))
+            })
+            .collect();
+        let m = UpdateMessage::announce(attrs, nlri);
+        let msgs = encode_update_chunked(&m, WireConfig::default()).unwrap();
+        assert!(msgs.len() > 1);
+        let mut total = 0;
+        for bytes in &msgs {
+            assert!(bytes.len() <= MAX_MESSAGE);
+            let (dec, _) = decode_message(bytes, WireConfig::default()).unwrap();
+            if let BgpMessage::Update(u) = dec {
+                total += u.announced.len();
+            }
+        }
+        assert_eq!(total, 2000);
+    }
+
+    #[test]
+    fn oversized_single_update_is_an_error() {
+        let attrs = Arc::new(PathAttributes {
+            as_path: AsPath::from_asns(&[Asn(1)]),
+            next_hop: Ipv4Addr::new(1, 1, 1, 1),
+            ..Default::default()
+        });
+        let nlri: Vec<Nlri> = (0..2000u32)
+            .map(|i| Nlri::plain(Prefix::v4(10, (i >> 8) as u8, (i & 0xFF) as u8, 0, 24)))
+            .collect();
+        let m = BgpMessage::Update(UpdateMessage::announce(attrs, nlri));
+        assert!(encode_message(&m, WireConfig::default()).is_err());
+    }
+
+    #[test]
+    fn empty_update_is_end_of_rib() {
+        let m = BgpMessage::Update(UpdateMessage {
+            withdrawn: vec![],
+            attrs: None,
+            announced: vec![],
+        });
+        let got = roundtrip(&m, WireConfig::default());
+        if let BgpMessage::Update(u) = got {
+            assert!(u.is_end_of_rib());
+        } else {
+            panic!("wrong type");
+        }
+    }
+}

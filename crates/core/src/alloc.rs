@@ -1,0 +1,340 @@
+//! Prefix and ASN allocation.
+//!
+//! PEERING owns an IPv4 /19 and delegates a /24 to each experiment,
+//! isolating simultaneous experiments from one another; "PEERING
+//! scalability depends on the number of available prefixes", and
+//! researchers can donate more pools. The testbed also plans to hold
+//! multiple public ASNs to ease multi-origin experiments.
+
+use peering_netsim::{Asn, Ipv4Net, Ipv6Net};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Allocation failures.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocError {
+    /// Every /24 in every pool is in use.
+    Exhausted,
+    /// The prefix being released is not an allocation we made.
+    UnknownAllocation(Ipv4Net),
+    /// A donated pool overlaps one we already manage.
+    OverlappingPool(Ipv4Net),
+    /// No IPv6 pool configured, or it is exhausted.
+    V6Unavailable,
+    /// The v6 prefix being released is not an allocation we made.
+    UnknownV6Allocation(Ipv6Net),
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::Exhausted => write!(f, "prefix pool exhausted"),
+            AllocError::UnknownAllocation(p) => write!(f, "{p} was not allocated by this pool"),
+            AllocError::OverlappingPool(p) => write!(f, "pool {p} overlaps an existing pool"),
+            AllocError::V6Unavailable => write!(f, "no IPv6 pool available"),
+            AllocError::UnknownV6Allocation(p) => {
+                write!(f, "{p} was not allocated by this pool")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Allocates /24 experiment prefixes from one or more pools, plus ASNs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrefixAllocator {
+    pools: Vec<Ipv4Net>,
+    free: Vec<Ipv4Net>,
+    // prefix -> experiment tag
+    allocated: BTreeMap<Ipv4Net, u32>,
+    asns: Vec<Asn>,
+    asn_cursor: usize,
+    v6_pool: Option<Ipv6Net>,
+    free_v6: Vec<Ipv6Net>,
+    allocated_v6: BTreeMap<Ipv6Net, u32>,
+}
+
+impl PrefixAllocator {
+    /// The experiment prefix length.
+    pub const EXPERIMENT_LEN: u8 = 24;
+    /// The IPv6 experiment prefix length.
+    pub const EXPERIMENT_V6_LEN: u8 = 48;
+
+    /// An allocator over the testbed's primary pool and ASN list.
+    pub fn new(pool: Ipv4Net, asns: Vec<Asn>) -> Self {
+        let mut free = pool.subnets(Self::EXPERIMENT_LEN);
+        free.reverse(); // pop from the low end first
+        PrefixAllocator {
+            pools: vec![pool],
+            free,
+            allocated: BTreeMap::new(),
+            asns,
+            asn_cursor: 0,
+            v6_pool: None,
+            free_v6: Vec::new(),
+            allocated_v6: BTreeMap::new(),
+        }
+    }
+
+    /// The conventional PEERING allocator: 184.164.224.0/19 plus the
+    /// testbed's IPv6 /32 (2804:269c::/32), AS47065.
+    pub fn peering_default() -> Self {
+        PrefixAllocator::new(
+            "184.164.224.0/19".parse().expect("valid pool"),
+            vec![Asn::PEERING],
+        )
+        .with_v6_pool("2804:269c::/32".parse().expect("valid v6 pool"), 64)
+    }
+
+    /// Attach an IPv6 pool, carving up to `slots` /48 experiment
+    /// prefixes out of it ("we also plan to add support for IPv6", §3).
+    pub fn with_v6_pool(mut self, pool: Ipv6Net, slots: usize) -> Self {
+        let mut free = pool.subnets(Self::EXPERIMENT_V6_LEN, slots);
+        free.reverse();
+        self.v6_pool = Some(pool);
+        self.free_v6 = free;
+        self.allocated_v6 = BTreeMap::new();
+        self
+    }
+
+    /// Add a donated pool.
+    pub fn donate_pool(&mut self, pool: Ipv4Net) -> Result<(), AllocError> {
+        if self.pools.iter().any(|p| p.overlaps(&pool)) {
+            return Err(AllocError::OverlappingPool(pool));
+        }
+        let mut subs = pool.subnets(Self::EXPERIMENT_LEN);
+        subs.reverse();
+        // New pool prefixes go behind remaining primary ones.
+        let mut merged = std::mem::take(&mut self.free);
+        merged.splice(0..0, subs);
+        self.free = merged;
+        self.pools.push(pool);
+        Ok(())
+    }
+
+    /// Allocate a /24 for experiment `tag`.
+    pub fn allocate(&mut self, tag: u32) -> Result<Ipv4Net, AllocError> {
+        let p = self.free.pop().ok_or(AllocError::Exhausted)?;
+        self.allocated.insert(p, tag);
+        Ok(p)
+    }
+
+    /// Release an allocation back to the pool.
+    pub fn release(&mut self, prefix: Ipv4Net) -> Result<(), AllocError> {
+        if self.allocated.remove(&prefix).is_none() {
+            return Err(AllocError::UnknownAllocation(prefix));
+        }
+        self.free.push(prefix);
+        Ok(())
+    }
+
+    /// Which experiment holds a prefix (or covers the queried one).
+    pub fn owner_of(&self, prefix: &Ipv4Net) -> Option<u32> {
+        self.allocated.iter().find_map(|(p, tag)| {
+            if p.covers(prefix) {
+                Some(*tag)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// True if `prefix` is inside any managed pool.
+    pub fn in_pool(&self, prefix: &Ipv4Net) -> bool {
+        self.pools.iter().any(|p| p.covers(prefix))
+    }
+
+    /// The managed pools.
+    pub fn pools(&self) -> &[Ipv4Net] {
+        &self.pools
+    }
+
+    /// Remaining capacity in experiments.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Current allocations `(prefix, tag)`.
+    pub fn allocations(&self) -> impl Iterator<Item = (&Ipv4Net, &u32)> {
+        self.allocated.iter()
+    }
+
+    /// Allocate a /48 for experiment `tag`.
+    pub fn allocate_v6(&mut self, tag: u32) -> Result<Ipv6Net, AllocError> {
+        let p = self.free_v6.pop().ok_or(AllocError::V6Unavailable)?;
+        self.allocated_v6.insert(p, tag);
+        Ok(p)
+    }
+
+    /// Release a v6 allocation back to the pool.
+    pub fn release_v6(&mut self, prefix: Ipv6Net) -> Result<(), AllocError> {
+        if self.allocated_v6.remove(&prefix).is_none() {
+            return Err(AllocError::UnknownV6Allocation(prefix));
+        }
+        self.free_v6.push(prefix);
+        Ok(())
+    }
+
+    /// Which experiment holds a v6 prefix.
+    pub fn owner_of_v6(&self, prefix: &Ipv6Net) -> Option<u32> {
+        self.allocated_v6.iter().find_map(|(p, tag)| {
+            if p.covers(prefix) {
+                Some(*tag)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// True if `prefix` is inside the v6 pool.
+    pub fn in_v6_pool(&self, prefix: &Ipv6Net) -> bool {
+        self.v6_pool.map(|p| p.covers(prefix)).unwrap_or(false)
+    }
+
+    /// The managed v6 pool, if any.
+    pub fn v6_pool(&self) -> Option<Ipv6Net> {
+        self.v6_pool
+    }
+
+    /// Remaining v6 capacity in experiments.
+    pub fn available_v6(&self) -> usize {
+        self.free_v6.len()
+    }
+
+    /// The testbed's public ASN(s), round-robin for multi-ASN experiments.
+    pub fn next_asn(&mut self) -> Asn {
+        let asn = self.asns[self.asn_cursor % self.asns.len()];
+        self.asn_cursor += 1;
+        asn
+    }
+
+    /// The primary public ASN.
+    pub fn primary_asn(&self) -> Asn {
+        self.asns[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nineteen_gives_32_experiments() {
+        let mut a = PrefixAllocator::peering_default();
+        assert_eq!(a.available(), 32, "a /19 holds 32 /24s");
+        let first = a.allocate(1).unwrap();
+        assert_eq!(first.to_string(), "184.164.224.0/24");
+        assert_eq!(a.available(), 31);
+        assert_eq!(a.owner_of(&first), Some(1));
+        assert!(a.in_pool(&first));
+    }
+
+    #[test]
+    fn allocations_never_overlap() {
+        let mut a = PrefixAllocator::peering_default();
+        let mut got = Vec::new();
+        while let Ok(p) = a.allocate(7) {
+            got.push(p);
+        }
+        assert_eq!(got.len(), 32);
+        for i in 0..got.len() {
+            for j in (i + 1)..got.len() {
+                assert!(!got[i].overlaps(&got[j]));
+            }
+        }
+        assert_eq!(a.allocate(9), Err(AllocError::Exhausted));
+    }
+
+    #[test]
+    fn release_and_reuse() {
+        let mut a = PrefixAllocator::peering_default();
+        let p = a.allocate(1).unwrap();
+        a.release(p).unwrap();
+        assert_eq!(a.owner_of(&p), None);
+        assert_eq!(a.available(), 32);
+        // Double release is an error.
+        assert_eq!(a.release(p), Err(AllocError::UnknownAllocation(p)));
+        // The prefix comes back out eventually.
+        let mut seen = false;
+        while let Ok(q) = a.allocate(2) {
+            if q == p {
+                seen = true;
+            }
+        }
+        assert!(seen);
+    }
+
+    #[test]
+    fn owner_covers_more_specifics() {
+        let mut a = PrefixAllocator::peering_default();
+        let p = a.allocate(5).unwrap();
+        let more_specific: Ipv4Net = format!("{}/26", p.network()).parse().unwrap();
+        assert_eq!(a.owner_of(&more_specific), Some(5));
+    }
+
+    #[test]
+    fn donated_pools_extend_capacity() {
+        let mut a = PrefixAllocator::peering_default();
+        a.donate_pool("198.51.100.0/24".parse().unwrap()).unwrap();
+        assert_eq!(a.available(), 33);
+        // Overlapping donation is rejected.
+        assert!(matches!(
+            a.donate_pool("184.164.224.0/20".parse().unwrap()),
+            Err(AllocError::OverlappingPool(_))
+        ));
+        assert!(a.in_pool(&"198.51.100.0/24".parse().unwrap()));
+    }
+
+    #[test]
+    fn primary_pool_drains_before_donations() {
+        let mut a = PrefixAllocator::peering_default();
+        a.donate_pool("198.51.100.0/24".parse().unwrap()).unwrap();
+        let first = a.allocate(1).unwrap();
+        assert!(first.to_string().starts_with("184.164."));
+    }
+
+    #[test]
+    fn v6_allocation_lifecycle() {
+        let mut a = PrefixAllocator::peering_default();
+        assert_eq!(a.available_v6(), 64);
+        assert_eq!(a.v6_pool().unwrap().to_string(), "2804:269c::/32");
+        let p = a.allocate_v6(3).unwrap();
+        assert_eq!(p.to_string(), "2804:269c::/48");
+        assert!(a.in_v6_pool(&p));
+        assert_eq!(a.owner_of_v6(&p), Some(3));
+        let q = a.allocate_v6(4).unwrap();
+        assert!(!p.overlaps(&q));
+        a.release_v6(p).unwrap();
+        assert_eq!(a.owner_of_v6(&p), None);
+        assert_eq!(
+            a.release_v6(p),
+            Err(AllocError::UnknownV6Allocation(p))
+        );
+        assert_eq!(a.available_v6(), 63);
+    }
+
+    #[test]
+    fn v6_without_pool_is_unavailable() {
+        let mut a = PrefixAllocator::new(
+            "184.164.224.0/19".parse().unwrap(),
+            vec![Asn::PEERING],
+        );
+        assert_eq!(a.allocate_v6(1), Err(AllocError::V6Unavailable));
+        assert_eq!(a.available_v6(), 0);
+        assert!(a.v6_pool().is_none());
+    }
+
+    #[test]
+    fn asn_round_robin() {
+        let mut a = PrefixAllocator::new(
+            "184.164.224.0/19".parse().unwrap(),
+            vec![Asn(47065), Asn(61574)],
+        );
+        assert_eq!(a.primary_asn(), Asn(47065));
+        assert_eq!(a.next_asn(), Asn(47065));
+        assert_eq!(a.next_asn(), Asn(61574));
+        assert_eq!(a.next_asn(), Asn(47065));
+    }
+}

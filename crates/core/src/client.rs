@@ -1,0 +1,170 @@
+//! The researcher-side client.
+//!
+//! A client "connects to servers to execute experiments": it terminates
+//! OpenVPN-style tunnels to one or more servers, originates announcements
+//! for its allocated prefix, and exchanges data-plane traffic through the
+//! tunnels. Clients can front an entire emulated intradomain network
+//! (MinineXt/VINI) — the glue for that lives in the emulation crate's
+//! external sessions; here we keep the client's testbed-facing state.
+
+use crate::experiment::{AnnouncementSpec, ExperimentId, PeerSelector};
+use peering_netsim::{IpPacket, Ipv4Net};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// A tunnel between the client and one server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tunnel {
+    /// The site index this tunnel lands on.
+    pub site: usize,
+    /// Client-side tunnel endpoint address.
+    pub client_endpoint: Ipv4Addr,
+    /// Server-side tunnel endpoint address.
+    pub server_endpoint: Ipv4Addr,
+}
+
+impl Tunnel {
+    /// Encapsulate an experiment packet for the trip to the server.
+    pub fn encapsulate(&self, inner: IpPacket) -> IpPacket {
+        inner.encapsulate(self.client_endpoint, self.server_endpoint)
+    }
+
+    /// Decapsulate a packet arriving from the server; `None` if it is not
+    /// tunnel traffic or not addressed to us.
+    pub fn decapsulate(&self, outer: IpPacket) -> Option<IpPacket> {
+        if outer.dst != self.client_endpoint {
+            return None;
+        }
+        outer.decapsulate()
+    }
+}
+
+/// The client-side controller for one experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PeeringClient {
+    /// The experiment this client drives.
+    pub experiment: ExperimentId,
+    /// The /24 allocated to it.
+    pub prefix: Ipv4Net,
+    /// Tunnels to servers, one per site in use.
+    pub tunnels: Vec<Tunnel>,
+}
+
+impl PeeringClient {
+    /// A client with tunnels to the given sites.
+    pub fn new(experiment: ExperimentId, prefix: Ipv4Net, sites: &[usize]) -> Self {
+        let tunnels = sites
+            .iter()
+            .enumerate()
+            .map(|(i, &site)| Tunnel {
+                site,
+                client_endpoint: Ipv4Addr::new(100, 64, experiment.0 as u8, 2 * i as u8 + 1),
+                server_endpoint: Ipv4Addr::new(100, 64, experiment.0 as u8, 2 * i as u8 + 2),
+            })
+            .collect();
+        PeeringClient {
+            experiment,
+            prefix,
+            tunnels,
+        }
+    }
+
+    /// Sites this client is connected to.
+    pub fn sites(&self) -> Vec<usize> {
+        self.tunnels.iter().map(|t| t.site).collect()
+    }
+
+    /// The tunnel to a site, if connected there.
+    pub fn tunnel_to(&self, site: usize) -> Option<&Tunnel> {
+        self.tunnels.iter().find(|t| t.site == site)
+    }
+
+    /// An address inside the client's prefix (host `i`).
+    pub fn addr(&self, i: u32) -> Ipv4Addr {
+        self.prefix.addr_at(i)
+    }
+
+    /// Build an announcement of the whole /24 from every connected site.
+    pub fn announce_everywhere(&self) -> AnnouncementSpec {
+        AnnouncementSpec::everywhere(self.prefix, self.sites())
+    }
+
+    /// Build an announcement restricted to one site and a peer selection
+    /// (the paper's per-peer announcement control).
+    pub fn announce_from(&self, site: usize, select: PeerSelector) -> AnnouncementSpec {
+        AnnouncementSpec::everywhere(self.prefix, vec![site]).select(select)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peering_netsim::Payload;
+
+    fn client() -> PeeringClient {
+        PeeringClient::new(
+            ExperimentId(3),
+            "184.164.227.0/24".parse().unwrap(),
+            &[0, 2],
+        )
+    }
+
+    #[test]
+    fn tunnels_per_site() {
+        let c = client();
+        assert_eq!(c.sites(), vec![0, 2]);
+        assert!(c.tunnel_to(0).is_some());
+        assert!(c.tunnel_to(2).is_some());
+        assert!(c.tunnel_to(1).is_none());
+        // Endpoints are distinct across tunnels.
+        assert_ne!(
+            c.tunnels[0].client_endpoint,
+            c.tunnels[1].client_endpoint
+        );
+    }
+
+    #[test]
+    fn tunnel_roundtrip() {
+        let c = client();
+        let t = c.tunnel_to(0).unwrap();
+        let inner = IpPacket::new(
+            c.addr(9),
+            "8.8.8.8".parse().unwrap(),
+            Payload::EchoRequest { id: 1, seq: 1 },
+        );
+        let outer = t.encapsulate(inner.clone());
+        assert_eq!(outer.src, t.client_endpoint);
+        assert_eq!(outer.dst, t.server_endpoint);
+        // Server-to-client direction.
+        let reply_inner = IpPacket::new(
+            "8.8.8.8".parse().unwrap(),
+            c.addr(9),
+            Payload::EchoReply { id: 1, seq: 1 },
+        );
+        let reply_outer = reply_inner
+            .clone()
+            .encapsulate(t.server_endpoint, t.client_endpoint);
+        assert_eq!(t.decapsulate(reply_outer), Some(reply_inner));
+        // Mis-addressed packets are rejected.
+        let stray = inner.encapsulate(t.server_endpoint, "9.9.9.9".parse().unwrap());
+        assert_eq!(t.decapsulate(stray), None);
+    }
+
+    #[test]
+    fn addresses_come_from_the_prefix() {
+        let c = client();
+        assert!(c.prefix.contains(c.addr(0)));
+        assert!(c.prefix.contains(c.addr(200)));
+    }
+
+    #[test]
+    fn announcement_builders() {
+        let c = client();
+        let all = c.announce_everywhere();
+        assert_eq!(all.sites, vec![0, 2]);
+        assert_eq!(all.prefix, c.prefix);
+        let one = c.announce_from(2, PeerSelector::PeersOnly);
+        assert_eq!(one.sites, vec![2]);
+        assert_eq!(one.select, PeerSelector::PeersOnly);
+    }
+}

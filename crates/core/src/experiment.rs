@@ -1,0 +1,299 @@
+//! Experiments: definitions, isolation, and the announcement scheduler.
+//!
+//! "Each experiment receives its own prefixes out of PEERING's supply,
+//! isolating them from each other" (§3). The scheduler models the
+//! prototype web service that "lets users schedule announcements without
+//! setting up a client software router... The system will then notify
+//! researchers when their announcements will be executed."
+
+use peering_netsim::{Asn, Ipv4Net, Ipv6Net, SimTime};
+use peering_topology::AsIdx;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies an experiment within the testbed.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ExperimentId(pub u32);
+
+impl fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "exp{}", self.0)
+    }
+}
+
+/// Which neighbors an announcement goes to, per site.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PeerSelector {
+    /// Everyone: transit providers and all peers.
+    All,
+    /// Only transit providers (university upstreams).
+    TransitOnly,
+    /// Only settlement-free peers (IXP neighbors).
+    PeersOnly,
+    /// Exactly these neighbors.
+    Specific(Vec<AsIdx>),
+    /// Everyone except these neighbors ("ignoring particular peers...
+    /// to emulate a particular topology").
+    Excluding(Vec<AsIdx>),
+}
+
+/// One controlled announcement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnouncementSpec {
+    /// The prefix to announce (must be within the experiment's /24).
+    pub prefix: Ipv4Net,
+    /// Server sites that announce (indices into the testbed's sites).
+    pub sites: Vec<usize>,
+    /// Neighbor selection at those sites.
+    pub select: PeerSelector,
+    /// Extra self-prepends.
+    pub prepend: u8,
+    /// Poisoned ASNs.
+    pub poison: Vec<Asn>,
+    /// Private origin ASN of an emulated domain behind PEERING (stripped
+    /// at the border; recorded for bookkeeping).
+    pub emulated_origin: Option<Asn>,
+}
+
+impl AnnouncementSpec {
+    /// Announce `prefix` everywhere from the given sites.
+    pub fn everywhere(prefix: Ipv4Net, sites: Vec<usize>) -> Self {
+        AnnouncementSpec {
+            prefix,
+            sites,
+            select: PeerSelector::All,
+            prepend: 0,
+            poison: Vec::new(),
+            emulated_origin: None,
+        }
+    }
+
+    /// Builder: neighbor selection.
+    pub fn select(mut self, s: PeerSelector) -> Self {
+        self.select = s;
+        self
+    }
+
+    /// Builder: prepending.
+    pub fn prepended(mut self, n: u8) -> Self {
+        self.prepend = n;
+        self
+    }
+
+    /// Builder: poisoning.
+    pub fn poisoned(mut self, asns: Vec<Asn>) -> Self {
+        self.poison = asns;
+        self
+    }
+}
+
+/// A vetted, provisioned experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Experiment {
+    /// Its id.
+    pub id: ExperimentId,
+    /// Human name ("lifeguard-repro").
+    pub name: String,
+    /// Researcher / institution (the advisory board vets these).
+    pub owner: String,
+    /// The /24 allocated to it.
+    pub prefix: Ipv4Net,
+    /// When it was provisioned.
+    pub created: SimTime,
+    /// Currently active announcements by prefix.
+    pub active: BTreeMap<Ipv4Net, AnnouncementSpec>,
+    /// The experiment's IPv6 /48, once requested via `enable_ipv6`.
+    pub v6_prefix: Option<Ipv6Net>,
+    /// A dedicated public origin ASN, once requested via
+    /// `assign_secondary_asn` (the paper plans "multiple public ASNs" to
+    /// ease multi-origin experiments).
+    pub origin_asn: Option<Asn>,
+    /// Active IPv6 announcements: prefix -> announcing sites.
+    pub active_v6: BTreeMap<Ipv6Net, Vec<usize>>,
+}
+
+impl Experiment {
+    /// True if this experiment may announce `prefix`.
+    pub fn owns(&self, prefix: &Ipv4Net) -> bool {
+        self.prefix.covers(prefix)
+    }
+}
+
+/// A scheduled control-plane action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScheduledAction {
+    /// Make this announcement.
+    Announce(AnnouncementSpec),
+    /// Withdraw this prefix everywhere.
+    Withdraw(Ipv4Net),
+}
+
+/// The announcement calendar (the web-portal backend).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Schedule {
+    entries: Vec<(SimTime, ExperimentId, ScheduledAction)>,
+    cursor: usize,
+}
+
+impl Schedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an entry; entries may be added out of order. An entry
+    /// timestamped before actions that have already executed is treated
+    /// as overdue: it fires on the next [`due`](Self::due) call, and the
+    /// already-executed prefix is never replayed.
+    pub fn at(&mut self, time: SimTime, exp: ExperimentId, action: ScheduledAction) {
+        let pos = self
+            .entries
+            .partition_point(|(t, _, _)| *t <= time)
+            .max(self.cursor);
+        self.entries.insert(pos, (time, exp, action));
+    }
+
+    /// Entries due at or before `now` that have not been executed yet.
+    pub fn due(&mut self, now: SimTime) -> Vec<(SimTime, ExperimentId, ScheduledAction)> {
+        let mut out = Vec::new();
+        while self.cursor < self.entries.len() && self.entries[self.cursor].0 <= now {
+            out.push(self.entries[self.cursor].clone());
+            self.cursor += 1;
+        }
+        out
+    }
+
+    /// When the next entry fires.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.entries.get(self.cursor).map(|(t, _, _)| *t)
+    }
+
+    /// Number of entries not yet executed.
+    pub fn pending(&self) -> usize {
+        self.entries.len() - self.cursor
+    }
+
+    /// All entries (for the "notify researchers when announcements will
+    /// be executed" view).
+    pub fn upcoming(&self) -> &[(SimTime, ExperimentId, ScheduledAction)] {
+        &self.entries[self.cursor..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(s: &str) -> Ipv4Net {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn experiment_ownership() {
+        let e = Experiment {
+            id: ExperimentId(1),
+            name: "t".into(),
+            owner: "usc".into(),
+            prefix: net("184.164.225.0/24"),
+            created: SimTime::ZERO,
+            active: BTreeMap::new(),
+            v6_prefix: None,
+            active_v6: BTreeMap::new(),
+            origin_asn: None,
+        };
+        assert!(e.owns(&net("184.164.225.0/24")));
+        assert!(e.owns(&net("184.164.225.128/25")));
+        assert!(!e.owns(&net("184.164.226.0/24")));
+        assert_eq!(e.id.to_string(), "exp1");
+    }
+
+    #[test]
+    fn spec_builders() {
+        let spec = AnnouncementSpec::everywhere(net("184.164.225.0/24"), vec![0, 1])
+            .select(PeerSelector::PeersOnly)
+            .prepended(3)
+            .poisoned(vec![Asn(3356)]);
+        assert_eq!(spec.sites, vec![0, 1]);
+        assert_eq!(spec.select, PeerSelector::PeersOnly);
+        assert_eq!(spec.prepend, 3);
+        assert_eq!(spec.poison, vec![Asn(3356)]);
+    }
+
+    #[test]
+    fn schedule_fires_in_order() {
+        let mut s = Schedule::new();
+        let spec = AnnouncementSpec::everywhere(net("184.164.225.0/24"), vec![0]);
+        s.at(
+            SimTime::from_secs(100),
+            ExperimentId(1),
+            ScheduledAction::Withdraw(net("184.164.225.0/24")),
+        );
+        s.at(
+            SimTime::from_secs(10),
+            ExperimentId(1),
+            ScheduledAction::Announce(spec.clone()),
+        );
+        assert_eq!(s.pending(), 2);
+        assert_eq!(s.next_time(), Some(SimTime::from_secs(10)));
+        let due = s.due(SimTime::from_secs(50));
+        assert_eq!(due.len(), 1);
+        assert!(matches!(due[0].2, ScheduledAction::Announce(_)));
+        assert_eq!(s.pending(), 1);
+        let due = s.due(SimTime::from_secs(100));
+        assert_eq!(due.len(), 1);
+        assert!(matches!(due[0].2, ScheduledAction::Withdraw(_)));
+        assert!(s.due(SimTime::from_secs(1000)).is_empty());
+        assert_eq!(s.next_time(), None);
+    }
+
+    #[test]
+    fn simultaneous_entries_preserve_insertion_order() {
+        let mut s = Schedule::new();
+        let t = SimTime::from_secs(5);
+        s.at(t, ExperimentId(1), ScheduledAction::Withdraw(net("184.164.225.0/24")));
+        s.at(t, ExperimentId(2), ScheduledAction::Withdraw(net("184.164.226.0/24")));
+        let due = s.due(t);
+        assert_eq!(due[0].1, ExperimentId(1));
+        assert_eq!(due[1].1, ExperimentId(2));
+    }
+
+    #[test]
+    fn late_scheduling_never_replays_executed_entries() {
+        let mut s = Schedule::new();
+        let p = net("184.164.225.0/24");
+        s.at(
+            SimTime::from_secs(10),
+            ExperimentId(1),
+            ScheduledAction::Withdraw(p),
+        );
+        // Execute it.
+        assert_eq!(s.due(SimTime::from_secs(20)).len(), 1);
+        // Now schedule something timestamped BEFORE the executed entry.
+        s.at(
+            SimTime::from_secs(5),
+            ExperimentId(2),
+            ScheduledAction::Withdraw(p),
+        );
+        let due = s.due(SimTime::from_secs(20));
+        // Only the overdue new entry fires; the old one is not replayed.
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].1, ExperimentId(2));
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn upcoming_view() {
+        let mut s = Schedule::new();
+        s.at(
+            SimTime::from_secs(10),
+            ExperimentId(1),
+            ScheduledAction::Withdraw(net("184.164.225.0/24")),
+        );
+        assert_eq!(s.upcoming().len(), 1);
+        s.due(SimTime::from_secs(10));
+        assert!(s.upcoming().is_empty());
+    }
+}

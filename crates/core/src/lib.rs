@@ -1,0 +1,59 @@
+//! The PEERING testbed — the paper's primary contribution.
+//!
+//! PEERING "couples an emulated intradomain experiment with real
+//! interdomain peering and connectivity": researchers run *clients* that
+//! connect to PEERING *servers*; servers hold the real BGP sessions with
+//! transit providers and IXP peers, multiplex every peer's routes to
+//! every client, enforce safety, and carry experiment traffic over
+//! tunnels. This crate implements that whole system against the simulated
+//! Internet:
+//!
+//! * [`alloc`] — carving the testbed's IPv4 /19 (and ASN pool) into
+//!   per-experiment /24s; "PEERING supports a client per /24 prefix".
+//! * [`safety`] — the §3 safety story: outbound prefix and origin-AS
+//!   filters (no hijacks, no leaks), private-ASN stripping, flap
+//!   damping, spoofing control, announcement rate limits.
+//! * [`mux`] — the BGP multiplexer, in both designs the paper discusses:
+//!   Quagga-style one-session-per-peer-per-client, and the BIRD-style
+//!   ADD-PATH multiplexed design proposed for large IXPs.
+//! * [`server`] / [`client`] — PEERING servers at sites (IXPs and
+//!   universities) and researcher-side clients with tunnels.
+//! * [`experiment`] — experiment vetting, isolation, and the
+//!   announcement scheduler behind the web portal.
+//! * [`monitor`] — control-plane update logs and data-plane
+//!   measurements the testbed collects automatically.
+//! * [`pktproc`] — the lightweight packet-processing API (§3's planned
+//!   replacement for heavyweight per-client VMs).
+//! * [`portal`] — the researcher portal: account requests, advisory
+//!   board vetting, automated provisioning, notifications.
+//! * [`capability`] — the Table 1 capability matrix, with PEERING's row
+//!   *derived* from the running system rather than asserted.
+//! * [`testbed`] — the facade: build the Internet, deploy servers,
+//!   obtain peering (route servers + bilateral workflow), run
+//!   experiments, measure outcomes.
+
+pub mod alloc;
+pub mod capability;
+pub mod client;
+pub mod experiment;
+pub mod monitor;
+pub mod mux;
+pub mod pktproc;
+pub mod portal;
+pub mod safety;
+pub mod server;
+pub mod testbed;
+
+pub use alloc::{AllocError, PrefixAllocator};
+pub use capability::{peering_row, testbed_matrix, Capabilities, Support, GOALS};
+pub use client::PeeringClient;
+pub use experiment::{
+    AnnouncementSpec, Experiment, ExperimentId, PeerSelector, Schedule, ScheduledAction,
+};
+pub use monitor::{Monitor, UpdateKind};
+pub use mux::{MuxDesign, MuxHarness, MuxStats};
+pub use pktproc::{Backend, PacketProcessor, PktAction, PktMatch, PktVerdict};
+pub use portal::{Portal, Proposal, RequestId, RequestState, VettingPolicy};
+pub use safety::{SafetyConfig, SafetyFilter, SafetyVerdict, Violation};
+pub use server::{PeeringServer, SiteKind, SiteSpec};
+pub use testbed::{Testbed, TestbedConfig, TestbedError};

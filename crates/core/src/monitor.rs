@@ -1,0 +1,208 @@
+//! Automatic control- and data-plane measurement collection.
+//!
+//! "We also automatically collect regular control and data plane
+//! measurements towards PEERING prefixes" (§3). The monitor records every
+//! announcement/withdrawal the testbed executes (a RouteViews-style
+//! update log) and data-plane probe outcomes, and can produce summaries
+//! for experiment reports.
+
+use crate::experiment::ExperimentId;
+use peering_netsim::{Prefix, SimDuration, SimTime};
+use peering_topology::AsIdx;
+use serde::{Deserialize, Serialize};
+
+/// Control-plane event type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdateKind {
+    /// Prefix announced.
+    Announce,
+    /// Prefix withdrawn.
+    Withdraw,
+    /// Announcement blocked by safety.
+    Blocked,
+}
+
+/// One control-plane log record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateRecord {
+    /// When.
+    pub time: SimTime,
+    /// Which experiment.
+    pub experiment: ExperimentId,
+    /// What happened.
+    pub kind: UpdateKind,
+    /// The prefix involved (v4 or v6).
+    pub prefix: Prefix,
+    /// How many ASes ended up with a route (post-propagation), if known.
+    pub reach: Option<usize>,
+}
+
+/// One data-plane probe record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeRecord {
+    /// When.
+    pub time: SimTime,
+    /// Probe source AS.
+    pub from: AsIdx,
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// Round-trip time, if the probe came back.
+    pub rtt: Option<SimDuration>,
+    /// AS-level hop count, if delivered.
+    pub hops: Option<usize>,
+}
+
+/// The measurement store.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Monitor {
+    updates: Vec<UpdateRecord>,
+    probes: Vec<ProbeRecord>,
+}
+
+impl Monitor {
+    /// An empty monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a control-plane event.
+    pub fn record_update(
+        &mut self,
+        time: SimTime,
+        experiment: ExperimentId,
+        kind: UpdateKind,
+        prefix: impl Into<Prefix>,
+        reach: Option<usize>,
+    ) {
+        self.updates.push(UpdateRecord {
+            time,
+            experiment,
+            kind,
+            prefix: prefix.into(),
+            reach,
+        });
+    }
+
+    /// Record a data-plane probe.
+    pub fn record_probe(
+        &mut self,
+        time: SimTime,
+        from: AsIdx,
+        prefix: impl Into<Prefix>,
+        rtt: Option<SimDuration>,
+        hops: Option<usize>,
+    ) {
+        self.probes.push(ProbeRecord {
+            time,
+            from,
+            prefix: prefix.into(),
+            rtt,
+            hops,
+        });
+    }
+
+    /// The full update log.
+    pub fn updates(&self) -> &[UpdateRecord] {
+        &self.updates
+    }
+
+    /// Update log filtered to one experiment.
+    pub fn updates_for(&self, exp: ExperimentId) -> impl Iterator<Item = &UpdateRecord> {
+        self.updates.iter().filter(move |u| u.experiment == exp)
+    }
+
+    /// The full probe log.
+    pub fn probes(&self) -> &[ProbeRecord] {
+        &self.probes
+    }
+
+    /// Loss rate over probes toward a prefix.
+    pub fn loss_rate(&self, prefix: impl Into<Prefix>) -> Option<f64> {
+        let prefix = prefix.into();
+        let relevant: Vec<&ProbeRecord> =
+            self.probes.iter().filter(|p| p.prefix == prefix).collect();
+        if relevant.is_empty() {
+            return None;
+        }
+        let lost = relevant.iter().filter(|p| p.rtt.is_none()).count();
+        Some(lost as f64 / relevant.len() as f64)
+    }
+
+    /// Median RTT over successful probes toward a prefix.
+    pub fn median_rtt(&self, prefix: impl Into<Prefix>) -> Option<SimDuration> {
+        let prefix = prefix.into();
+        let mut rtts: Vec<SimDuration> = self
+            .probes
+            .iter()
+            .filter(|p| p.prefix == prefix)
+            .filter_map(|p| p.rtt)
+            .collect();
+        if rtts.is_empty() {
+            return None;
+        }
+        rtts.sort();
+        Some(rtts[rtts.len() / 2])
+    }
+
+    /// Count of blocked actions per experiment.
+    pub fn blocked_count(&self, exp: ExperimentId) -> usize {
+        self.updates_for(exp)
+            .filter(|u| u.kind == UpdateKind::Blocked)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(s: &str) -> peering_netsim::Ipv4Net {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn update_log_records_and_filters() {
+        let mut m = Monitor::new();
+        let p = net("184.164.225.0/24");
+        m.record_update(SimTime::ZERO, ExperimentId(1), UpdateKind::Announce, p, Some(500));
+        m.record_update(
+            SimTime::from_secs(60),
+            ExperimentId(2),
+            UpdateKind::Blocked,
+            net("8.8.8.0/24"),
+            None,
+        );
+        m.record_update(
+            SimTime::from_secs(120),
+            ExperimentId(1),
+            UpdateKind::Withdraw,
+            p,
+            None,
+        );
+        assert_eq!(m.updates().len(), 3);
+        assert_eq!(m.updates_for(ExperimentId(1)).count(), 2);
+        assert_eq!(m.blocked_count(ExperimentId(2)), 1);
+        assert_eq!(m.blocked_count(ExperimentId(1)), 0);
+    }
+
+    #[test]
+    fn probe_statistics() {
+        let mut m = Monitor::new();
+        let p = net("184.164.225.0/24");
+        for i in 0..10u64 {
+            let rtt = if i % 5 == 4 {
+                None // 2 of 10 lost
+            } else {
+                Some(SimDuration::from_millis(50 + i))
+            };
+            m.record_probe(SimTime::from_secs(i), AsIdx(7), p, rtt, rtt.map(|_| 4));
+        }
+        assert_eq!(m.loss_rate(p), Some(0.2));
+        let med = m.median_rtt(p).unwrap();
+        assert!(med >= SimDuration::from_millis(50));
+        assert!(med <= SimDuration::from_millis(60));
+        // Unknown prefix: no stats.
+        assert_eq!(m.loss_rate(net("1.2.3.0/24")), None);
+        assert_eq!(m.median_rtt(net("1.2.3.0/24")), None);
+    }
+}

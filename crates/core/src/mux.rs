@@ -1,0 +1,358 @@
+//! The BGP multiplexer — the heart of a PEERING server.
+//!
+//! "PEERING servers do not run the BGP route selection process; instead,
+//! they establish one BGP session per peer with each client" (§3). That
+//! is the Quagga-era design ([`MuxDesign::PerPeerSessions`]): faithful,
+//! but the session count is `upstreams × clients`, which "cannot support
+//! large IXPs with many peers". The paper's planned replacement is
+//! "lightweight multiplexing by using BGP Additional Paths" on BIRD
+//! ([`MuxDesign::AddPathMux`]): one session per client carries every
+//! upstream's routes, distinguished by ADD-PATH ids.
+//!
+//! [`MuxHarness`] builds either design as a live network of speakers
+//! (upstream neighbors, the server-side mux, and clients) inside the
+//! emulation substrate, so the two designs can be compared on sessions,
+//! memory, and update fan-out — the E7 ablation.
+
+use peering_bgp::{Asn, PeerConfig, PeerId, Prefix, Speaker, SpeakerConfig};
+use peering_emulation::{Container, Emulation};
+use peering_netsim::{LinkParams, SimRng};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Which server architecture to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MuxDesign {
+    /// Quagga/Transit-Portal style: one server-side speaker per upstream
+    /// peer; every client holds one session per upstream.
+    PerPeerSessions,
+    /// BIRD style: one server-side speaker; one ADD-PATH session per
+    /// client carries all upstreams' routes.
+    AddPathMux,
+}
+
+/// Comparison metrics for one built mux.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MuxStats {
+    /// BGP sessions terminated at the server side.
+    pub server_sessions: usize,
+    /// Sessions each client must maintain.
+    pub sessions_per_client: usize,
+    /// Server-side BGP table memory in bytes.
+    pub server_memory: usize,
+    /// UPDATE messages the server has emitted.
+    pub server_updates_sent: u64,
+}
+
+/// A live mux deployment: upstream speakers, the mux, and clients.
+pub struct MuxHarness {
+    /// The architecture built.
+    pub design: MuxDesign,
+    emu: Emulation,
+    upstream_nodes: Vec<usize>,
+    mux_nodes: Vec<usize>,
+    client_nodes: Vec<usize>,
+    n_upstreams: usize,
+    n_clients: usize,
+}
+
+/// Upstream neighbor ASNs start here (public range).
+const UPSTREAM_ASN_BASE: u32 = 1000;
+/// Client (experiment) ASNs are private.
+const CLIENT_ASN_BASE: u32 = 65001;
+
+impl MuxHarness {
+    /// Build and establish a mux with `n_upstreams` peers and
+    /// `n_clients` clients.
+    pub fn build(design: MuxDesign, n_upstreams: usize, n_clients: usize, seed: u64) -> Self {
+        let mut emu = Emulation::new(SimRng::new(seed).fork("mux"));
+        // Upstream neighbor routers.
+        let upstream_nodes: Vec<usize> = (0..n_upstreams)
+            .map(|u| {
+                let asn = Asn(UPSTREAM_ASN_BASE + u as u32);
+                emu.add_container(Container::router(
+                    &format!("upstream-{u}"),
+                    Speaker::new(SpeakerConfig::new(
+                        asn,
+                        Ipv4Addr::new(80, 249, (u >> 8) as u8, (u & 0xff) as u8),
+                    )),
+                ))
+            })
+            .collect();
+        // Client routers.
+        let client_nodes: Vec<usize> = (0..n_clients)
+            .map(|c| {
+                let asn = Asn(CLIENT_ASN_BASE + c as u32);
+                emu.add_container(Container::router(
+                    &format!("client-{c}"),
+                    Speaker::new(SpeakerConfig::new(
+                        asn,
+                        Ipv4Addr::new(100, 64, (c >> 8) as u8, (c & 0xff) as u8),
+                    )),
+                ))
+            })
+            .collect();
+
+        let mux_nodes = match design {
+            MuxDesign::PerPeerSessions => {
+                // One transparent speaker per upstream.
+                let mut nodes = Vec::with_capacity(n_upstreams);
+                for u in 0..n_upstreams {
+                    let node = emu.add_container(Container::router(
+                        &format!("mux-{u}"),
+                        Speaker::new(
+                            SpeakerConfig::new(
+                                Asn::PEERING,
+                                Ipv4Addr::new(100, 65, (u >> 8) as u8, (u & 0xff) as u8),
+                            )
+                            .route_server(),
+                        ),
+                    ));
+                    nodes.push(node);
+                }
+                // Wire upstream u <-> mux-u.
+                for u in 0..n_upstreams {
+                    emu.link(upstream_nodes[u], nodes[u], LinkParams::default());
+                    emu.connect_bgp(
+                        upstream_nodes[u],
+                        PeerConfig::new(PeerId(0), Asn::PEERING),
+                        nodes[u],
+                        PeerConfig::new(PeerId(0), Asn(UPSTREAM_ASN_BASE + u as u32)).passive(),
+                    );
+                }
+                // Wire every client to every mux instance.
+                for (c, &cn) in client_nodes.iter().enumerate() {
+                    for (u, &mn) in nodes.iter().enumerate() {
+                        emu.link(cn, mn, LinkParams::default());
+                        emu.connect_bgp(
+                            cn,
+                            PeerConfig::new(PeerId(u as u32), Asn::PEERING),
+                            mn,
+                            PeerConfig::new(
+                                PeerId(1 + c as u32),
+                                Asn(CLIENT_ASN_BASE + c as u32),
+                            )
+                            .passive(),
+                        );
+                    }
+                }
+                nodes
+            }
+            MuxDesign::AddPathMux => {
+                let node = emu.add_container(Container::router(
+                    "mux",
+                    Speaker::new(
+                        SpeakerConfig::new(Asn::PEERING, Ipv4Addr::new(100, 65, 0, 0))
+                            .route_server(),
+                    ),
+                ));
+                for u in 0..n_upstreams {
+                    emu.link(upstream_nodes[u], node, LinkParams::default());
+                    emu.connect_bgp(
+                        upstream_nodes[u],
+                        PeerConfig::new(PeerId(0), Asn::PEERING),
+                        node,
+                        PeerConfig::new(PeerId(u as u32), Asn(UPSTREAM_ASN_BASE + u as u32))
+                            .passive(),
+                    );
+                }
+                for (c, &cn) in client_nodes.iter().enumerate() {
+                    emu.link(cn, node, LinkParams::default());
+                    emu.connect_bgp(
+                        cn,
+                        PeerConfig::new(PeerId(0), Asn::PEERING),
+                        node,
+                        PeerConfig::new(
+                            PeerId(1000 + c as u32),
+                            Asn(CLIENT_ASN_BASE + c as u32),
+                        )
+                        .passive()
+                        .all_paths(),
+                    );
+                }
+                vec![node]
+            }
+        };
+
+        let mut harness = MuxHarness {
+            design,
+            emu,
+            upstream_nodes,
+            mux_nodes,
+            client_nodes,
+            n_upstreams,
+            n_clients,
+        };
+        harness.emu.start_all();
+        harness.emu.run_until_quiet(usize::MAX);
+        harness
+    }
+
+    /// Originate `prefix` at upstream `u` and run to convergence.
+    pub fn announce_from_upstream(&mut self, u: usize, prefix: Prefix) {
+        self.emu.originate(self.upstream_nodes[u], prefix);
+        self.emu.run_until_quiet(usize::MAX);
+    }
+
+    /// Withdraw `prefix` at upstream `u` and run to convergence.
+    pub fn withdraw_from_upstream(&mut self, u: usize, prefix: Prefix) {
+        self.emu.withdraw(self.upstream_nodes[u], prefix);
+        self.emu.run_until_quiet(usize::MAX);
+    }
+
+    /// Number of distinct paths client `c` holds for `prefix` across its
+    /// session(s).
+    pub fn client_paths(&self, c: usize, prefix: &Prefix) -> usize {
+        let d = self.emu.daemon(self.client_nodes[c]).expect("client daemon");
+        d.peer_ids()
+            .filter_map(|p| d.adj_rib_in(p))
+            .map(|rib| rib.paths(prefix).count())
+            .sum()
+    }
+
+    /// The AS seen as first hop for each path client `c` has to `prefix`.
+    pub fn client_path_origins(&self, c: usize, prefix: &Prefix) -> Vec<Asn> {
+        let d = self.emu.daemon(self.client_nodes[c]).expect("client daemon");
+        let mut v: Vec<Asn> = d
+            .peer_ids()
+            .filter_map(|p| d.adj_rib_in(p))
+            .flat_map(|rib| rib.paths(prefix))
+            .filter_map(|r| r.attrs.as_path.first_as())
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Metrics for the comparison.
+    pub fn stats(&self) -> MuxStats {
+        let server_sessions = match self.design {
+            MuxDesign::PerPeerSessions => {
+                self.n_upstreams + self.n_upstreams * self.n_clients
+            }
+            MuxDesign::AddPathMux => self.n_upstreams + self.n_clients,
+        };
+        let sessions_per_client = match self.design {
+            MuxDesign::PerPeerSessions => self.n_upstreams,
+            MuxDesign::AddPathMux => 1,
+        };
+        let mut server_memory = 0;
+        let mut server_updates_sent = 0;
+        for &m in &self.mux_nodes {
+            let d = self.emu.daemon(m).expect("mux daemon");
+            server_memory += d.table_memory();
+            server_updates_sent += d.updates_sent;
+        }
+        MuxStats {
+            server_sessions,
+            sessions_per_client,
+            server_memory,
+            server_updates_sent,
+        }
+    }
+
+    /// Verify every configured session reached Established.
+    pub fn fully_established(&self) -> bool {
+        let all = |idx: usize| {
+            let d = self.emu.daemon(idx).expect("daemon");
+            d.peer_ids().all(|p| d.peer_established(p))
+        };
+        self.upstream_nodes.iter().all(|&n| all(n))
+            && self.mux_nodes.iter().all(|&n| all(n))
+            && self.client_nodes.iter().all(|&n| all(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prefix(i: u32) -> Prefix {
+        Prefix::v4(203, (i >> 8) as u8, (i & 0xff) as u8, 0, 24)
+    }
+
+    #[test]
+    fn per_peer_design_establishes_and_delivers_all_paths() {
+        let mut h = MuxHarness::build(MuxDesign::PerPeerSessions, 4, 3, 1);
+        assert!(h.fully_established());
+        let p = prefix(1);
+        for u in 0..4 {
+            h.announce_from_upstream(u, p);
+        }
+        for c in 0..3 {
+            assert_eq!(h.client_paths(c, &p), 4, "client {c} sees all 4 paths");
+            let origins = h.client_path_origins(c, &p);
+            assert_eq!(
+                origins,
+                vec![Asn(1000), Asn(1001), Asn(1002), Asn(1003)],
+                "one path per upstream, untouched AS paths"
+            );
+        }
+    }
+
+    #[test]
+    fn add_path_design_delivers_all_paths_on_one_session() {
+        let mut h = MuxHarness::build(MuxDesign::AddPathMux, 4, 3, 1);
+        assert!(h.fully_established());
+        let p = prefix(2);
+        for u in 0..4 {
+            h.announce_from_upstream(u, p);
+        }
+        for c in 0..3 {
+            assert_eq!(h.client_paths(c, &p), 4, "client {c} sees all 4 paths");
+            let origins = h.client_path_origins(c, &p);
+            assert_eq!(origins, vec![Asn(1000), Asn(1001), Asn(1002), Asn(1003)]);
+        }
+        assert_eq!(h.stats().sessions_per_client, 1);
+    }
+
+    #[test]
+    fn session_counts_match_the_designs() {
+        let per_peer = MuxHarness::build(MuxDesign::PerPeerSessions, 5, 4, 1);
+        let add_path = MuxHarness::build(MuxDesign::AddPathMux, 5, 4, 1);
+        let pp = per_peer.stats();
+        let ap = add_path.stats();
+        assert_eq!(pp.server_sessions, 5 + 5 * 4);
+        assert_eq!(ap.server_sessions, 5 + 4);
+        assert_eq!(pp.sessions_per_client, 5);
+        assert_eq!(ap.sessions_per_client, 1);
+        assert!(
+            ap.server_sessions < pp.server_sessions,
+            "ADD-PATH mux needs fewer sessions"
+        );
+    }
+
+    #[test]
+    fn designs_grow_differently_with_scale() {
+        // The paper's point: per-peer sessions explode at big IXPs.
+        let small_pp = MuxHarness::build(MuxDesign::PerPeerSessions, 2, 2, 1).stats();
+        let big_pp = MuxHarness::build(MuxDesign::PerPeerSessions, 8, 6, 1).stats();
+        let small_ap = MuxHarness::build(MuxDesign::AddPathMux, 2, 2, 1).stats();
+        let big_ap = MuxHarness::build(MuxDesign::AddPathMux, 8, 6, 1).stats();
+        let pp_growth = big_pp.server_sessions as f64 / small_pp.server_sessions as f64;
+        let ap_growth = big_ap.server_sessions as f64 / small_ap.server_sessions as f64;
+        assert!(pp_growth > ap_growth);
+    }
+
+    #[test]
+    fn withdrawals_flow_through_both_designs() {
+        for design in [MuxDesign::PerPeerSessions, MuxDesign::AddPathMux] {
+            let mut h = MuxHarness::build(design, 3, 2, 7);
+            let p = prefix(9);
+            for u in 0..3 {
+                h.announce_from_upstream(u, p);
+            }
+            assert_eq!(h.client_paths(0, &p), 3, "design {design:?}");
+            h.withdraw_from_upstream(1, p);
+            assert_eq!(
+                h.client_paths(0, &p),
+                2,
+                "design {design:?}: one path gone"
+            );
+            let origins = h.client_path_origins(0, &p);
+            assert_eq!(origins, vec![Asn(1000), Asn(1002)]);
+            h.withdraw_from_upstream(0, p);
+            h.withdraw_from_upstream(2, p);
+            assert_eq!(h.client_paths(0, &p), 0, "design {design:?}: all gone");
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! Safety enforcement at PEERING servers.
+//!
+//! "By applying outbound filters on prefixes and origin AS and by
+//! route-flap dampening, PEERING prevents experiments from impacting
+//! routing for prefixes outside PEERING control. Clients cannot hijack or
+//! leak prefixes, and they cannot spoof traffic in uncontrolled ways"
+//! (§3). Servers interpose on both planes, so this module checks both
+//! announcements and packets.
+
+use peering_bgp::{AsPath, DampingConfig, DampingState};
+use peering_netsim::{Asn, Ipv4Net, Ipv6Net, Prefix, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Why an announcement or packet was blocked.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Violation {
+    /// The prefix is outside every PEERING pool: announcing it would
+    /// hijack someone else's address space.
+    Hijack(Ipv4Net),
+    /// The prefix is PEERING space but not allocated to this experiment:
+    /// it would stomp a concurrent experiment.
+    NotYourPrefix(Ipv4Net),
+    /// The route's origin ASN is not a PEERING ASN (origin spoofing).
+    BadOrigin(Asn),
+    /// A non-PEERING route would be re-exported (providing transit /
+    /// leaking).
+    RouteLeak,
+    /// Prepend count above the configured ceiling.
+    ExcessivePrepend(u8),
+    /// Poison list longer than allowed.
+    ExcessivePoison(usize),
+    /// Flap damping suppressed this prefix.
+    Damped(Ipv4Net),
+    /// Announcement rate limit exceeded.
+    RateLimited,
+    /// Data-plane packet with a source address outside the experiment's
+    /// prefix (uncontrolled spoofing).
+    SpoofedSource(Ipv4Addr),
+    /// An IPv6 announcement outside PEERING's v6 pool.
+    HijackV6(Ipv6Net),
+    /// An IPv6 announcement of another experiment's /48.
+    NotYourV6Prefix(Ipv6Net),
+    /// Flap damping suppressed this v6 prefix.
+    DampedV6(Ipv6Net),
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Hijack(p) => write!(f, "hijack attempt: {p} is not PEERING space"),
+            Violation::NotYourPrefix(p) => write!(f, "{p} belongs to another experiment"),
+            Violation::BadOrigin(a) => write!(f, "origin {a} is not a PEERING ASN"),
+            Violation::RouteLeak => write!(f, "re-exporting non-PEERING routes (leak)"),
+            Violation::ExcessivePrepend(n) => write!(f, "prepend {n} above limit"),
+            Violation::ExcessivePoison(n) => write!(f, "poison list of {n} above limit"),
+            Violation::Damped(p) => write!(f, "{p} suppressed by flap damping"),
+            Violation::RateLimited => write!(f, "announcement rate limit exceeded"),
+            Violation::SpoofedSource(ip) => write!(f, "spoofed source {ip}"),
+            Violation::HijackV6(p) => write!(f, "hijack attempt: {p} is not PEERING v6 space"),
+            Violation::NotYourV6Prefix(p) => write!(f, "{p} belongs to another experiment"),
+            Violation::DampedV6(p) => write!(f, "{p} suppressed by flap damping"),
+        }
+    }
+}
+
+/// The filter's decision.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SafetyVerdict {
+    /// Pass it along.
+    Allowed,
+    /// Blocked with a reason.
+    Blocked(Violation),
+}
+
+impl SafetyVerdict {
+    /// True when allowed.
+    pub fn is_allowed(&self) -> bool {
+        *self == SafetyVerdict::Allowed
+    }
+}
+
+/// Safety limits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SafetyConfig {
+    /// Address pools PEERING controls.
+    pub pools: Vec<Ipv4Net>,
+    /// IPv6 pools PEERING controls.
+    pub pools_v6: Vec<Ipv6Net>,
+    /// ASNs announcements may originate from.
+    pub public_asns: Vec<Asn>,
+    /// Flap-damping parameters applied per experiment prefix.
+    pub damping: DampingConfig,
+    /// Max AS-path prepends per announcement.
+    pub max_prepend: u8,
+    /// Max poisoned ASNs per announcement.
+    pub max_poison: usize,
+    /// Max control-plane actions per prefix per rate window.
+    pub max_actions_per_window: u32,
+    /// The rate-limit window.
+    pub rate_window: SimDuration,
+    /// Experiments with explicit spoofing approval (source prefixes they
+    /// may use beyond their own) — "carefully controlled" spoofing.
+    pub spoof_allowlist: Vec<(u32, Ipv4Net)>,
+}
+
+impl SafetyConfig {
+    /// Defaults matching the testbed's published rules.
+    pub fn new(pools: Vec<Ipv4Net>, public_asns: Vec<Asn>) -> Self {
+        SafetyConfig {
+            pools,
+            pools_v6: Vec::new(),
+            public_asns,
+            damping: DampingConfig::default(),
+            max_prepend: 10,
+            max_poison: 5,
+            max_actions_per_window: 20,
+            rate_window: SimDuration::from_secs(3600),
+            spoof_allowlist: Vec::new(),
+        }
+    }
+}
+
+/// Stateful safety filter: one per testbed (damping and rate state are
+/// tracked per experiment prefix).
+#[derive(Debug)]
+pub struct SafetyFilter {
+    /// The active limits.
+    pub cfg: SafetyConfig,
+    damping: DampingState,
+    rate: HashMap<Ipv4Net, (SimTime, u32)>,
+    /// Count of blocked actions, by experiment tag.
+    pub blocked: HashMap<u32, u32>,
+}
+
+impl SafetyFilter {
+    /// Build from a config.
+    pub fn new(cfg: SafetyConfig) -> Self {
+        SafetyFilter {
+            cfg,
+            damping: DampingState::new(),
+            rate: HashMap::new(),
+            blocked: HashMap::new(),
+        }
+    }
+
+    fn block(&mut self, tag: u32, v: Violation) -> SafetyVerdict {
+        *self.blocked.entry(tag).or_insert(0) += 1;
+        SafetyVerdict::Blocked(v)
+    }
+
+    /// Check a client's announcement.
+    ///
+    /// `tag` identifies the experiment; `owned` is the prefix allocated
+    /// to it; `prefix` is what it is trying to announce.
+    #[allow(clippy::too_many_arguments)]
+    pub fn check_announcement(
+        &mut self,
+        tag: u32,
+        owned: &Ipv4Net,
+        prefix: &Ipv4Net,
+        origin: Asn,
+        prepend: u8,
+        poison_len: usize,
+        now: SimTime,
+    ) -> SafetyVerdict {
+        if !self.cfg.pools.iter().any(|p| p.covers(prefix)) {
+            return self.block(tag, Violation::Hijack(*prefix));
+        }
+        if !owned.covers(prefix) {
+            return self.block(tag, Violation::NotYourPrefix(*prefix));
+        }
+        if !self.cfg.public_asns.contains(&origin) {
+            return self.block(tag, Violation::BadOrigin(origin));
+        }
+        if prepend > self.cfg.max_prepend {
+            return self.block(tag, Violation::ExcessivePrepend(prepend));
+        }
+        if poison_len > self.cfg.max_poison {
+            return self.block(tag, Violation::ExcessivePoison(poison_len));
+        }
+        // Rate limiting per prefix per window.
+        let entry = self.rate.entry(*prefix).or_insert((now, 0));
+        if now.since(entry.0) > self.cfg.rate_window {
+            *entry = (now, 0);
+        }
+        entry.1 += 1;
+        if entry.1 > self.cfg.max_actions_per_window {
+            return self.block(tag, Violation::RateLimited);
+        }
+        // Flap damping across announce events.
+        let p4 = Prefix::V4(*prefix);
+        if self.damping.on_announce(p4, now, &self.cfg.damping)
+            || self.damping.is_suppressed(&p4, now, &self.cfg.damping)
+        {
+            return self.block(tag, Violation::Damped(*prefix));
+        }
+        SafetyVerdict::Allowed
+    }
+
+    /// Check an IPv6 announcement (same rules as v4: pool membership,
+    /// experiment ownership, origin, TE limits, damping, rate limits).
+    #[allow(clippy::too_many_arguments)]
+    pub fn check_announcement_v6(
+        &mut self,
+        tag: u32,
+        owned: &Ipv6Net,
+        prefix: &Ipv6Net,
+        origin: Asn,
+        prepend: u8,
+        poison_len: usize,
+        now: SimTime,
+    ) -> SafetyVerdict {
+        if !self.cfg.pools_v6.iter().any(|p| p.covers(prefix)) {
+            return self.block(tag, Violation::HijackV6(*prefix));
+        }
+        if !owned.covers(prefix) {
+            return self.block(tag, Violation::NotYourV6Prefix(*prefix));
+        }
+        if !self.cfg.public_asns.contains(&origin) {
+            return self.block(tag, Violation::BadOrigin(origin));
+        }
+        if prepend > self.cfg.max_prepend {
+            return self.block(tag, Violation::ExcessivePrepend(prepend));
+        }
+        if poison_len > self.cfg.max_poison {
+            return self.block(tag, Violation::ExcessivePoison(poison_len));
+        }
+        let p6 = Prefix::V6(*prefix);
+        if self.damping.on_announce(p6, now, &self.cfg.damping)
+            || self.damping.is_suppressed(&p6, now, &self.cfg.damping)
+        {
+            return self.block(tag, Violation::DampedV6(*prefix));
+        }
+        SafetyVerdict::Allowed
+    }
+
+    /// Record an IPv6 withdrawal (feeds damping).
+    pub fn note_withdrawal_v6(&mut self, prefix: &Ipv6Net, now: SimTime) {
+        self.damping
+            .on_withdraw(Prefix::V6(*prefix), now, &self.cfg.damping);
+    }
+
+    /// Record a withdrawal (feeds damping; withdrawals themselves are
+    /// always allowed — pulling a route back is safe).
+    pub fn note_withdrawal(&mut self, prefix: &Ipv4Net, now: SimTime) {
+        self.damping
+            .on_withdraw(Prefix::V4(*prefix), now, &self.cfg.damping);
+    }
+
+    /// Check a route a client wants PEERING to re-export (transit). The
+    /// testbed "will not provide transit for non-PEERING destinations".
+    pub fn check_reexport(&mut self, tag: u32, prefix: &Ipv4Net) -> SafetyVerdict {
+        if self.cfg.pools.iter().any(|p| p.covers(prefix)) {
+            SafetyVerdict::Allowed
+        } else {
+            self.block(tag, Violation::RouteLeak)
+        }
+    }
+
+    /// Check a data-plane packet's source address.
+    pub fn check_packet_source(
+        &mut self,
+        tag: u32,
+        owned: &Ipv4Net,
+        src: Ipv4Addr,
+    ) -> SafetyVerdict {
+        if owned.contains(src) {
+            return SafetyVerdict::Allowed;
+        }
+        if self
+            .cfg
+            .spoof_allowlist
+            .iter()
+            .any(|(t, net)| *t == tag && net.contains(src))
+        {
+            return SafetyVerdict::Allowed;
+        }
+        self.block(tag, Violation::SpoofedSource(src))
+    }
+
+    /// Strip private ASNs from a path at the testbed border — emulated
+    /// domains run private ASNs "behind" the public PEERING ASN.
+    pub fn sanitize_path(path: &mut AsPath) {
+        path.strip_private();
+    }
+
+    /// Total blocked actions across experiments.
+    pub fn total_blocked(&self) -> u32 {
+        self.blocked.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter() -> (SafetyFilter, Ipv4Net) {
+        let pool: Ipv4Net = "184.164.224.0/19".parse().unwrap();
+        let cfg = SafetyConfig::new(vec![pool], vec![Asn::PEERING]);
+        let owned: Ipv4Net = "184.164.225.0/24".parse().unwrap();
+        (SafetyFilter::new(cfg), owned)
+    }
+
+    #[test]
+    fn legitimate_announcement_allowed() {
+        let (mut f, owned) = filter();
+        let v = f.check_announcement(1, &owned, &owned, Asn::PEERING, 2, 1, SimTime::ZERO);
+        assert!(v.is_allowed());
+        assert_eq!(f.total_blocked(), 0);
+    }
+
+    #[test]
+    fn hijack_blocked() {
+        let (mut f, owned) = filter();
+        let google: Ipv4Net = "8.8.8.0/24".parse().unwrap();
+        let v = f.check_announcement(1, &owned, &google, Asn::PEERING, 0, 0, SimTime::ZERO);
+        assert_eq!(v, SafetyVerdict::Blocked(Violation::Hijack(google)));
+        assert_eq!(f.blocked[&1], 1);
+    }
+
+    #[test]
+    fn cross_experiment_stomp_blocked() {
+        let (mut f, owned) = filter();
+        let other: Ipv4Net = "184.164.230.0/24".parse().unwrap();
+        let v = f.check_announcement(1, &owned, &other, Asn::PEERING, 0, 0, SimTime::ZERO);
+        assert_eq!(v, SafetyVerdict::Blocked(Violation::NotYourPrefix(other)));
+    }
+
+    #[test]
+    fn more_specific_of_own_prefix_allowed() {
+        let (mut f, owned) = filter();
+        let sub: Ipv4Net = "184.164.225.0/25".parse().unwrap();
+        let v = f.check_announcement(1, &owned, &sub, Asn::PEERING, 0, 0, SimTime::ZERO);
+        assert!(v.is_allowed());
+    }
+
+    #[test]
+    fn bad_origin_blocked() {
+        let (mut f, owned) = filter();
+        let v = f.check_announcement(1, &owned, &owned, Asn(15169), 0, 0, SimTime::ZERO);
+        assert_eq!(v, SafetyVerdict::Blocked(Violation::BadOrigin(Asn(15169))));
+    }
+
+    #[test]
+    fn prepend_and_poison_limits() {
+        let (mut f, owned) = filter();
+        let v = f.check_announcement(1, &owned, &owned, Asn::PEERING, 11, 0, SimTime::ZERO);
+        assert_eq!(v, SafetyVerdict::Blocked(Violation::ExcessivePrepend(11)));
+        let v = f.check_announcement(1, &owned, &owned, Asn::PEERING, 0, 6, SimTime::ZERO);
+        assert_eq!(v, SafetyVerdict::Blocked(Violation::ExcessivePoison(6)));
+    }
+
+    #[test]
+    fn flapping_gets_damped() {
+        let (mut f, owned) = filter();
+        let mut now = SimTime::ZERO;
+        let mut damped = false;
+        for _ in 0..10 {
+            now += SimDuration::from_secs(30);
+            let v = f.check_announcement(1, &owned, &owned, Asn::PEERING, 0, 0, now);
+            if matches!(v, SafetyVerdict::Blocked(Violation::Damped(_))) {
+                damped = true;
+                break;
+            }
+            now += SimDuration::from_secs(30);
+            f.note_withdrawal(&owned, now);
+        }
+        assert!(damped, "rapid announce/withdraw cycles must be damped");
+    }
+
+    #[test]
+    fn rate_limit_kicks_in() {
+        let (mut f, owned) = filter();
+        // Disable damping interference by spreading within window but
+        // using a huge damping suppress threshold.
+        f.cfg.damping.suppress_threshold = 1e12;
+        let mut verdicts = Vec::new();
+        for i in 0..25 {
+            let now = SimTime::from_secs(i * 10);
+            verdicts.push(f.check_announcement(1, &owned, &owned, Asn::PEERING, 0, 0, now));
+        }
+        assert!(verdicts
+            .iter()
+            .any(|v| matches!(v, SafetyVerdict::Blocked(Violation::RateLimited))));
+        // A new window resets the counter.
+        let later = SimTime::from_secs(10 * 3600);
+        let v = f.check_announcement(1, &owned, &owned, Asn::PEERING, 0, 0, later);
+        assert!(
+            v.is_allowed() || matches!(v, SafetyVerdict::Blocked(Violation::Damped(_))),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn transit_leak_blocked() {
+        let (mut f, _) = filter();
+        let outside: Ipv4Net = "1.2.3.0/24".parse().unwrap();
+        assert_eq!(
+            f.check_reexport(3, &outside),
+            SafetyVerdict::Blocked(Violation::RouteLeak)
+        );
+        let inside: Ipv4Net = "184.164.226.0/24".parse().unwrap();
+        assert!(f.check_reexport(3, &inside).is_allowed());
+    }
+
+    #[test]
+    fn spoof_control() {
+        let (mut f, owned) = filter();
+        let ok = f.check_packet_source(1, &owned, "184.164.225.7".parse().unwrap());
+        assert!(ok.is_allowed());
+        let bad_ip: Ipv4Addr = "9.9.9.9".parse().unwrap();
+        let bad = f.check_packet_source(1, &owned, bad_ip);
+        assert_eq!(bad, SafetyVerdict::Blocked(Violation::SpoofedSource(bad_ip)));
+        // Allowlisted controlled spoofing (e.g. reverse traceroute).
+        f.cfg
+            .spoof_allowlist
+            .push((1, "9.9.9.0/24".parse().unwrap()));
+        assert!(f.check_packet_source(1, &owned, bad_ip).is_allowed());
+        // ...but only for the approved experiment.
+        assert!(!f.check_packet_source(2, &owned, bad_ip).is_allowed());
+    }
+
+    #[test]
+    fn sanitize_strips_private_asns() {
+        let mut path = AsPath::from_asns(&[Asn::PEERING, Asn(65001), Asn(65002)]);
+        SafetyFilter::sanitize_path(&mut path);
+        assert_eq!(path.to_string(), "47065");
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation::Hijack("8.8.8.0/24".parse().unwrap());
+        assert!(v.to_string().contains("hijack"));
+        assert!(Violation::RouteLeak.to_string().contains("leak"));
+    }
+}

@@ -1,0 +1,214 @@
+//! PEERING servers and their sites.
+//!
+//! "PEERING has nine servers on three continents, dozens of indirect
+//! providers through universities, and hundreds of peers \[at\] AMS-IX."
+//! A server is the testbed's presence at one site: it terminates the real
+//! BGP sessions there (transit at universities; route-server and
+//! bilateral peers at IXPs), runs the mux toward clients, and forwards
+//! tunnel traffic.
+
+use crate::mux::MuxDesign;
+use peering_topology::{AsGraph, AsIdx};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// What kind of site a server is deployed at.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SiteKind {
+    /// Colocated at an IXP (index into the testbed's IXP list).
+    Ixp {
+        /// Which IXP.
+        ixp_index: usize,
+    },
+    /// Hosted at a university with some number of transit upstreams.
+    University {
+        /// How many transit providers the university gives us.
+        n_transits: usize,
+    },
+    /// Reached over a remote-peering provider's virtual layer-2 circuit
+    /// from another physical site ("Hibernia Networks offered us
+    /// virtualized layer 2 connectivity from our AMS-IX server to tens
+    /// of IXPs around the world", §3).
+    RemoteIxp {
+        /// Which IXP.
+        ixp_index: usize,
+        /// The physical site whose server terminates the circuit.
+        via_site: usize,
+        /// One-way circuit latency in milliseconds.
+        circuit_ms: u32,
+    },
+}
+
+/// Site description used when building the testbed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteSpec {
+    /// Site name ("amsterdam01", "gatech01").
+    pub name: String,
+    /// Site kind.
+    pub kind: SiteKind,
+    /// Country the server sits in.
+    pub country: [u8; 2],
+}
+
+impl SiteSpec {
+    /// An IXP site.
+    pub fn ixp(name: &str, ixp_index: usize, country: [u8; 2]) -> Self {
+        SiteSpec {
+            name: name.into(),
+            kind: SiteKind::Ixp { ixp_index },
+            country,
+        }
+    }
+
+    /// A university site.
+    pub fn university(name: &str, n_transits: usize, country: [u8; 2]) -> Self {
+        SiteSpec {
+            name: name.into(),
+            kind: SiteKind::University { n_transits },
+            country,
+        }
+    }
+
+    /// A remote-peering site: no new hardware, a virtual circuit from
+    /// `via_site`'s server to the IXP's fabric.
+    pub fn remote_ixp(
+        name: &str,
+        ixp_index: usize,
+        via_site: usize,
+        circuit_ms: u32,
+        country: [u8; 2],
+    ) -> Self {
+        SiteSpec {
+            name: name.into(),
+            kind: SiteKind::RemoteIxp {
+                ixp_index,
+                via_site,
+                circuit_ms,
+            },
+            country,
+        }
+    }
+}
+
+/// A deployed PEERING server.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PeeringServer {
+    /// The site it serves.
+    pub site: SiteSpec,
+    /// Transit providers at this site (customer-to-provider edges).
+    pub transits: Vec<AsIdx>,
+    /// Peers obtained through the IXP route server.
+    pub rs_peers: Vec<AsIdx>,
+    /// Peers obtained through bilateral requests.
+    pub bilateral_peers: Vec<AsIdx>,
+    /// Which mux architecture this server runs.
+    pub mux_design: MuxDesign,
+    /// For remote-peering sites: the physical site terminating the
+    /// circuit (`None` for physically deployed servers).
+    pub remote_via: Option<usize>,
+}
+
+impl PeeringServer {
+    /// A server with no sessions yet.
+    pub fn new(site: SiteSpec, mux_design: MuxDesign) -> Self {
+        PeeringServer {
+            site,
+            transits: Vec::new(),
+            rs_peers: Vec::new(),
+            bilateral_peers: Vec::new(),
+            mux_design,
+            remote_via: None,
+        }
+    }
+
+    /// All settlement-free peers at this site.
+    pub fn peers(&self) -> Vec<AsIdx> {
+        let mut v = self.rs_peers.clone();
+        v.extend(&self.bilateral_peers);
+        v
+    }
+
+    /// Every BGP neighbor at this site (transit + peers).
+    pub fn neighbors(&self) -> Vec<AsIdx> {
+        let mut v = self.transits.clone();
+        v.extend(self.peers());
+        v
+    }
+
+    /// Total session count at this site (before client multiplexing).
+    pub fn session_count(&self) -> usize {
+        self.transits.len() + self.rs_peers.len() + self.bilateral_peers.len()
+    }
+
+    /// Routes each peer would export to us: everything in its customer
+    /// cone (peers export customer and own routes, never peer/provider
+    /// routes). This is what §4.2's closing observation measures: "only
+    /// our 5 largest peers give us more than 10K routes, and 307 give us
+    /// fewer than 100 routes."
+    pub fn peer_route_counts(
+        &self,
+        g: &AsGraph,
+        cones: &[HashSet<AsIdx>],
+    ) -> Vec<(AsIdx, usize)> {
+        self.peers()
+            .iter()
+            .map(|&p| {
+                let count: usize = cones[p.i()].iter().map(|&m| g.info(m).prefixes.len()).sum();
+                (p, count)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peering_topology::{cone::customer_cones, AsInfo, AsKind, Relationship};
+    use peering_netsim::Asn;
+
+    #[test]
+    fn site_constructors() {
+        let s = SiteSpec::ixp("amsterdam01", 0, *b"NL");
+        assert_eq!(s.kind, SiteKind::Ixp { ixp_index: 0 });
+        let u = SiteSpec::university("gatech01", 2, *b"US");
+        assert_eq!(u.kind, SiteKind::University { n_transits: 2 });
+    }
+
+    #[test]
+    fn peer_and_neighbor_sets() {
+        let mut srv = PeeringServer::new(
+            SiteSpec::ixp("ams", 0, *b"NL"),
+            MuxDesign::PerPeerSessions,
+        );
+        srv.transits = vec![AsIdx(1)];
+        srv.rs_peers = vec![AsIdx(2), AsIdx(3)];
+        srv.bilateral_peers = vec![AsIdx(4)];
+        assert_eq!(srv.peers(), vec![AsIdx(2), AsIdx(3), AsIdx(4)]);
+        assert_eq!(srv.neighbors().len(), 4);
+        assert_eq!(srv.session_count(), 4);
+    }
+
+    #[test]
+    fn peer_route_counts_follow_cones() {
+        // p has customers c1 (2 prefixes) and c2 (1 prefix); q is a stub
+        // with 1 prefix.
+        let mut g = AsGraph::new();
+        let p = g.add_as(AsInfo::new(Asn(1), AsKind::Transit));
+        let c1 = g.add_as(AsInfo::new(Asn(2), AsKind::Stub));
+        let c2 = g.add_as(AsInfo::new(Asn(3), AsKind::Stub));
+        let q = g.add_as(AsInfo::new(Asn(4), AsKind::Content));
+        g.add_edge(c1, p, Relationship::CustomerToProvider);
+        g.add_edge(c2, p, Relationship::CustomerToProvider);
+        g.info_mut(p).prefixes.push("10.0.0.0/16".parse().unwrap());
+        g.info_mut(c1).prefixes.push("10.1.0.0/24".parse().unwrap());
+        g.info_mut(c1).prefixes.push("10.1.1.0/24".parse().unwrap());
+        g.info_mut(c2).prefixes.push("10.2.0.0/24".parse().unwrap());
+        g.info_mut(q).prefixes.push("10.3.0.0/24".parse().unwrap());
+        let cones = customer_cones(&g);
+        let mut srv =
+            PeeringServer::new(SiteSpec::ixp("x", 0, *b"NL"), MuxDesign::AddPathMux);
+        srv.rs_peers = vec![p, q];
+        let counts = srv.peer_route_counts(&g, &cones);
+        assert_eq!(counts, vec![(p, 4), (q, 1)]);
+    }
+}

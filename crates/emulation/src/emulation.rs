@@ -1,0 +1,471 @@
+//! The emulation core: containers, links, BGP sessions, and the event
+//! loop that moves messages between hosted daemons.
+
+use crate::container::{Container, ResourceModel};
+use peering_bgp::{BgpMessage, Output, PeerConfig, PeerId, Speaker, SpeakerEvent};
+use peering_netsim::{LinkParams, MsgNet, NodeId, SimRng, SimTime};
+
+/// Handle for a session whose far end lives outside the emulation
+/// (e.g. the PEERING server a PoP peers with).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExternalHandle(pub usize);
+
+/// Where the far end of a session lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// Another container inside the emulation.
+    Internal {
+        /// Container index.
+        container: usize,
+        /// The peer id the far end knows us by.
+        peer: PeerId,
+    },
+    /// Outside the emulation; messages queue on the handle.
+    External(ExternalHandle),
+}
+
+/// A message in flight: deliver to `to_peer` on the destination node.
+struct WireMsg {
+    to_peer: PeerId,
+    msg: BgpMessage,
+}
+
+/// The emulated network.
+pub struct Emulation {
+    containers: Vec<Container>,
+    net: MsgNet<WireMsg>,
+    sessions: std::collections::HashMap<(usize, PeerId), SessionEnd>,
+    external_out: Vec<Vec<BgpMessage>>,
+    external_home: Vec<(usize, PeerId)>,
+    /// Resource model used for memory accounting.
+    pub resources: ResourceModel,
+    /// Log of speaker events `(time, container, event)`.
+    pub events: Vec<(SimTime, usize, SpeakerEvent)>,
+}
+
+impl Emulation {
+    /// An empty emulation with a deterministic transport.
+    pub fn new(rng: SimRng) -> Self {
+        Emulation {
+            containers: Vec::new(),
+            net: MsgNet::new(rng),
+            sessions: std::collections::HashMap::new(),
+            external_out: Vec::new(),
+            external_home: Vec::new(),
+            resources: ResourceModel::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// Add a container, returning its index.
+    pub fn add_container(&mut self, c: Container) -> usize {
+        self.containers.push(c);
+        self.containers.len() - 1
+    }
+
+    /// Number of containers.
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Borrow a container.
+    pub fn container(&self, idx: usize) -> &Container {
+        &self.containers[idx]
+    }
+
+    /// Borrow a container's daemon.
+    pub fn daemon(&self, idx: usize) -> Option<&Speaker> {
+        self.containers[idx].daemon.as_ref()
+    }
+
+    /// Mutably borrow a container's daemon.
+    pub fn daemon_mut(&mut self, idx: usize) -> Option<&mut Speaker> {
+        self.containers[idx].daemon.as_mut()
+    }
+
+    /// Create a veth-style link between two containers.
+    pub fn link(&mut self, a: usize, b: usize, params: LinkParams) {
+        self.net.add_link(NodeId(a as u32), NodeId(b as u32), params);
+    }
+
+    /// Take a link up/down (fault injection).
+    pub fn set_link_up(&mut self, a: usize, b: usize, up: bool) {
+        self.net.set_link_up(NodeId(a as u32), NodeId(b as u32), up);
+    }
+
+    /// Configure a BGP session between two router containers that share a
+    /// link. `a_cfg` is installed on `a` (its view of `b`) and vice versa.
+    ///
+    /// Panics if either container has no daemon.
+    pub fn connect_bgp(&mut self, a: usize, a_cfg: PeerConfig, b: usize, b_cfg: PeerConfig) {
+        let a_peer = a_cfg.id;
+        let b_peer = b_cfg.id;
+        self.containers[a]
+            .daemon
+            .as_mut()
+            .expect("container a has a daemon")
+            .add_peer(a_cfg);
+        self.containers[b]
+            .daemon
+            .as_mut()
+            .expect("container b has a daemon")
+            .add_peer(b_cfg);
+        self.sessions.insert(
+            (a, a_peer),
+            SessionEnd::Internal {
+                container: b,
+                peer: b_peer,
+            },
+        );
+        self.sessions.insert(
+            (b, b_peer),
+            SessionEnd::Internal {
+                container: a,
+                peer: a_peer,
+            },
+        );
+    }
+
+    /// Configure a session from `container` to an external party.
+    /// Messages the daemon emits on this session queue on the returned
+    /// handle; inject replies with [`inject_external`](Self::inject_external).
+    pub fn add_external_session(&mut self, container: usize, cfg: PeerConfig) -> ExternalHandle {
+        let peer = cfg.id;
+        self.containers[container]
+            .daemon
+            .as_mut()
+            .expect("container has a daemon")
+            .add_peer(cfg);
+        let h = ExternalHandle(self.external_out.len());
+        self.external_out.push(Vec::new());
+        self.external_home.push((container, peer));
+        self.sessions.insert((container, peer), SessionEnd::External(h));
+        h
+    }
+
+    fn route_outputs(&mut self, from: usize, outputs: Vec<Output>) {
+        let now = self.net.now();
+        for out in outputs {
+            match out {
+                Output::Event(ev) => self.events.push((now, from, ev)),
+                Output::Send(peer, msg) => {
+                    match self.sessions.get(&(from, peer)) {
+                        Some(SessionEnd::Internal { container, peer: to_peer }) => {
+                            let size = msg.approx_size();
+                            self.net.send(
+                                NodeId(from as u32),
+                                NodeId(*container as u32),
+                                size,
+                                WireMsg {
+                                    to_peer: *to_peer,
+                                    msg,
+                                },
+                            );
+                        }
+                        Some(SessionEnd::External(h)) => {
+                            self.external_out[h.0].push(msg);
+                        }
+                        None => {
+                            // Session removed mid-flight; drop.
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Start every configured session on a container.
+    pub fn start_container(&mut self, idx: usize) {
+        let now = self.net.now();
+        let Some(daemon) = self.containers[idx].daemon.as_mut() else {
+            return;
+        };
+        let peers: Vec<PeerId> = daemon.peer_ids().collect();
+        let mut outputs = Vec::new();
+        for p in peers {
+            outputs.extend(daemon.start_peer(p, now));
+        }
+        self.route_outputs(idx, outputs);
+    }
+
+    /// Start every session on every container.
+    pub fn start_all(&mut self) {
+        for idx in 0..self.containers.len() {
+            self.start_container(idx);
+        }
+    }
+
+    /// Originate a prefix from a container's daemon.
+    pub fn originate(&mut self, idx: usize, prefix: peering_netsim::Prefix) {
+        let now = self.net.now();
+        let outputs = self.containers[idx]
+            .daemon
+            .as_mut()
+            .expect("daemon")
+            .originate(prefix, now);
+        self.route_outputs(idx, outputs);
+    }
+
+    /// Administratively stop one BGP session on a container, routing the
+    /// resulting messages (Cease toward the peer, withdrawals toward
+    /// everyone else) through the emulated network.
+    pub fn stop_peer(&mut self, idx: usize, peer: PeerId) {
+        let now = self.net.now();
+        let outputs = self.containers[idx]
+            .daemon
+            .as_mut()
+            .expect("daemon")
+            .stop_peer(peer, now);
+        self.route_outputs(idx, outputs);
+    }
+
+    /// Withdraw a locally originated prefix from a container's daemon.
+    pub fn withdraw(&mut self, idx: usize, prefix: peering_netsim::Prefix) {
+        let now = self.net.now();
+        let outputs = self.containers[idx]
+            .daemon
+            .as_mut()
+            .expect("daemon")
+            .withdraw_origin(prefix, now);
+        self.route_outputs(idx, outputs);
+    }
+
+    /// Inject a message arriving from outside on an external session.
+    pub fn inject_external(&mut self, h: ExternalHandle, msg: BgpMessage) {
+        let (container, peer) = self.external_home[h.0];
+        let now = self.net.now();
+        let outputs = self.containers[container]
+            .daemon
+            .as_mut()
+            .expect("daemon")
+            .on_message(peer, msg, now);
+        self.route_outputs(container, outputs);
+    }
+
+    /// Drain messages the emulation wants to send out on a handle.
+    pub fn drain_external(&mut self, h: ExternalHandle) -> Vec<BgpMessage> {
+        std::mem::take(&mut self.external_out[h.0])
+    }
+
+    /// Process one in-flight delivery. Returns `false` when idle.
+    pub fn step(&mut self) -> bool {
+        let Some((now, delivery)) = self.net.next() else {
+            return false;
+        };
+        let to = delivery.to.0 as usize;
+        let WireMsg { to_peer, msg } = delivery.msg;
+        let Some(daemon) = self.containers[to].daemon.as_mut() else {
+            return true;
+        };
+        let outputs = daemon.on_message(to_peer, msg, now);
+        self.route_outputs(to, outputs);
+        true
+    }
+
+    /// Run until no messages are in flight (bounded by `limit` steps).
+    /// Returns the number of deliveries processed.
+    pub fn run_until_quiet(&mut self, limit: usize) -> usize {
+        let mut steps = 0;
+        while steps < limit && self.step() {
+            steps += 1;
+        }
+        steps
+    }
+
+    /// Drive every daemon's timers at the current time.
+    pub fn tick_all(&mut self) {
+        let now = self.net.now();
+        for idx in 0..self.containers.len() {
+            let Some(daemon) = self.containers[idx].daemon.as_mut() else {
+                continue;
+            };
+            let outputs = daemon.tick(now);
+            self.route_outputs(idx, outputs);
+        }
+    }
+
+    /// Total estimated memory of the emulation.
+    pub fn total_memory(&self) -> usize {
+        self.containers
+            .iter()
+            .map(|c| c.memory(&self.resources))
+            .sum()
+    }
+
+    /// Per-container memory estimates.
+    pub fn memory_by_container(&self) -> Vec<(String, usize)> {
+        self.containers
+            .iter()
+            .map(|c| (c.name.clone(), c.memory(&self.resources)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peering_bgp::{Asn, Prefix, SpeakerConfig};
+    use std::net::Ipv4Addr;
+
+    fn router(name: &str, asn: u32) -> Container {
+        Container::router(
+            name,
+            Speaker::new(SpeakerConfig::new(
+                Asn(asn),
+                Ipv4Addr::new(10, 0, 0, (asn % 250) as u8 + 1),
+            )),
+        )
+    }
+
+    fn two_router_emulation() -> (Emulation, usize, usize) {
+        let mut emu = Emulation::new(SimRng::new(1));
+        let a = emu.add_container(router("a", 65001));
+        let b = emu.add_container(router("b", 65002));
+        emu.link(a, b, LinkParams::default());
+        emu.connect_bgp(
+            a,
+            PeerConfig::new(PeerId(0), Asn(65002)),
+            b,
+            PeerConfig::new(PeerId(0), Asn(65001)).passive(),
+        );
+        (emu, a, b)
+    }
+
+    #[test]
+    fn session_establishes_and_routes_flow() {
+        let (mut emu, a, b) = two_router_emulation();
+        emu.start_all();
+        emu.run_until_quiet(1000);
+        assert!(emu.daemon(a).unwrap().peer_established(PeerId(0)));
+        assert!(emu.daemon(b).unwrap().peer_established(PeerId(0)));
+        let p = Prefix::v4(10, 50, 0, 0, 16);
+        emu.originate(a, p);
+        emu.run_until_quiet(1000);
+        assert!(emu.daemon(b).unwrap().loc_rib().get(&p).is_some());
+        // PeerUp events were logged for both ends.
+        let ups = emu
+            .events
+            .iter()
+            .filter(|(_, _, e)| matches!(e, SpeakerEvent::PeerUp(_)))
+            .count();
+        assert_eq!(ups, 2);
+    }
+
+    #[test]
+    fn chain_propagation_across_three_routers() {
+        let mut emu = Emulation::new(SimRng::new(2));
+        let a = emu.add_container(router("a", 65001));
+        let b = emu.add_container(router("b", 65002));
+        let c = emu.add_container(router("c", 65003));
+        emu.link(a, b, LinkParams::default());
+        emu.link(b, c, LinkParams::default());
+        emu.connect_bgp(
+            a,
+            PeerConfig::new(PeerId(0), Asn(65002)),
+            b,
+            PeerConfig::new(PeerId(0), Asn(65001)).passive(),
+        );
+        emu.connect_bgp(
+            b,
+            PeerConfig::new(PeerId(1), Asn(65003)),
+            c,
+            PeerConfig::new(PeerId(0), Asn(65002)).passive(),
+        );
+        emu.start_all();
+        emu.run_until_quiet(10_000);
+        let p = Prefix::v4(10, 60, 0, 0, 16);
+        emu.originate(a, p);
+        emu.run_until_quiet(10_000);
+        let at_c = emu.daemon(c).unwrap().loc_rib().get(&p).expect("c learned");
+        assert_eq!(at_c.attrs.as_path.to_string(), "65002 65001");
+    }
+
+    #[test]
+    fn external_session_bridges_out() {
+        let (mut emu, a, _b) = two_router_emulation();
+        let h = emu.add_external_session(a, PeerConfig::new(PeerId(9), Asn(47065)));
+        emu.start_all();
+        emu.run_until_quiet(1000);
+        // The daemon sent an OPEN out the external session.
+        let out = emu.drain_external(h);
+        assert!(out.iter().any(|m| matches!(m, BgpMessage::Open(_))));
+        // Build an external speaker, feed it, and bridge replies back.
+        let mut ext = Speaker::new(SpeakerConfig::new(
+            Asn(47065),
+            Ipv4Addr::new(100, 64, 0, 1),
+        ));
+        ext.add_peer(PeerConfig::new(PeerId(0), Asn(65001)).passive());
+        ext.start_peer(PeerId(0), SimTime::ZERO);
+        let mut inbound = out;
+        for _ in 0..16 {
+            if inbound.is_empty() {
+                break;
+            }
+            let mut replies = Vec::new();
+            for m in inbound.drain(..) {
+                for o in ext.on_message(PeerId(0), m, SimTime::ZERO) {
+                    if let Output::Send(_, msg) = o {
+                        replies.push(msg);
+                    }
+                }
+            }
+            for m in replies {
+                emu.inject_external(h, m);
+            }
+            emu.run_until_quiet(1000);
+            inbound = emu.drain_external(h);
+        }
+        assert!(ext.peer_established(PeerId(0)));
+        assert!(emu.daemon(a).unwrap().peer_established(PeerId(9)));
+        // Routes originated externally reach the emulation.
+        let p = Prefix::v4(203, 0, 113, 0, 24);
+        let mut outs = Vec::new();
+        for o in ext.originate(p, SimTime::ZERO) {
+            if let Output::Send(_, m) = o {
+                outs.push(m);
+            }
+        }
+        for m in outs {
+            emu.inject_external(h, m);
+        }
+        emu.run_until_quiet(1000);
+        assert!(emu.daemon(a).unwrap().loc_rib().get(&p).is_some());
+    }
+
+    #[test]
+    fn link_down_blocks_messages() {
+        let (mut emu, a, b) = two_router_emulation();
+        emu.set_link_up(a, b, false);
+        emu.start_all();
+        emu.run_until_quiet(1000);
+        assert!(!emu.daemon(a).unwrap().peer_established(PeerId(0)));
+        assert!(!emu.daemon(b).unwrap().peer_established(PeerId(0)));
+    }
+
+    #[test]
+    fn memory_accounting_sums_containers() {
+        let (mut emu, a, _b) = two_router_emulation();
+        let before = emu.total_memory();
+        for i in 0..100u32 {
+            emu.originate(a, Prefix::v4(10, 70, i as u8, 0, 24));
+        }
+        let after = emu.total_memory();
+        assert!(after > before);
+        let by = emu.memory_by_container();
+        assert_eq!(by.len(), 2);
+        assert_eq!(by[0].0, "a");
+    }
+
+    #[test]
+    fn run_until_quiet_respects_limit() {
+        let (mut emu, _a, _b) = two_router_emulation();
+        emu.start_all();
+        let steps = emu.run_until_quiet(1);
+        assert_eq!(steps, 1);
+    }
+}

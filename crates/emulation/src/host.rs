@@ -1,0 +1,145 @@
+//! Placement of containers onto physical hosts.
+//!
+//! "To run even larger topologies beyond the limitations of a single
+//! host, we can connect MinineXt containers across multiple physical
+//! hosts" (§4.2). Placement is first-fit-decreasing bin packing by
+//! estimated memory.
+
+use serde::{Deserialize, Serialize};
+
+/// Why placement failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementError {
+    /// One container alone exceeds a host's capacity.
+    ContainerTooBig {
+        /// Offending container index.
+        container: usize,
+        /// Its memory demand.
+        need: usize,
+        /// The per-host capacity.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::ContainerTooBig {
+                container,
+                need,
+                capacity,
+            } => write!(
+                f,
+                "container {container} needs {need} bytes, host capacity is {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// A computed placement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// `assignments[i]` = host index for container i.
+    pub assignments: Vec<usize>,
+    /// Number of hosts used.
+    pub hosts: usize,
+    /// Remaining capacity per host.
+    pub headroom: Vec<usize>,
+}
+
+/// First-fit-decreasing packing of container memory demands into hosts of
+/// `host_capacity` bytes each.
+pub fn place_containers(
+    demands: &[usize],
+    host_capacity: usize,
+) -> Result<Placement, PlacementError> {
+    for (i, &need) in demands.iter().enumerate() {
+        if need > host_capacity {
+            return Err(PlacementError::ContainerTooBig {
+                container: i,
+                need,
+                capacity: host_capacity,
+            });
+        }
+    }
+    // Sort indices by decreasing demand for FFD.
+    let mut order: Vec<usize> = (0..demands.len()).collect();
+    order.sort_by(|&a, &b| demands[b].cmp(&demands[a]).then(a.cmp(&b)));
+    let mut free: Vec<usize> = Vec::new();
+    let mut assignments = vec![0usize; demands.len()];
+    for &i in &order {
+        let need = demands[i];
+        match free.iter().position(|&f| f >= need) {
+            Some(h) => {
+                free[h] -= need;
+                assignments[i] = h;
+            }
+            None => {
+                free.push(host_capacity - need);
+                assignments[i] = free.len() - 1;
+            }
+        }
+    }
+    Ok(Placement {
+        assignments,
+        hosts: free.len(),
+        headroom: free,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: usize = 1024 * 1024 * 1024;
+
+    #[test]
+    fn everything_fits_on_one_host() {
+        let demands = vec![100, 200, 300];
+        let p = place_containers(&demands, GB).unwrap();
+        assert_eq!(p.hosts, 1);
+        assert!(p.assignments.iter().all(|&h| h == 0));
+        assert_eq!(p.headroom[0], GB - 600);
+    }
+
+    #[test]
+    fn splits_across_hosts_when_needed() {
+        // Four 3GB containers into 8GB hosts: 2 per host.
+        let demands = vec![3 * GB; 4];
+        let p = place_containers(&demands, 8 * GB).unwrap();
+        assert_eq!(p.hosts, 2);
+        let on0 = p.assignments.iter().filter(|&&h| h == 0).count();
+        assert_eq!(on0, 2);
+    }
+
+    #[test]
+    fn ffd_packs_tightly() {
+        // 7,5,4,3,2,2,1 into capacity 12 => FFD gives 2 bins (7+5, 4+3+2+2+1).
+        let demands = vec![7, 5, 4, 3, 2, 2, 1];
+        let p = place_containers(&demands, 12).unwrap();
+        assert_eq!(p.hosts, 2);
+        // No host exceeded capacity.
+        let mut used = vec![0usize; p.hosts];
+        for (i, &h) in p.assignments.iter().enumerate() {
+            used[h] += demands[i];
+        }
+        assert!(used.iter().all(|&u| u <= 12));
+    }
+
+    #[test]
+    fn oversized_container_is_an_error() {
+        let demands = vec![100, 9 * GB];
+        let err = place_containers(&demands, 8 * GB).unwrap_err();
+        assert!(matches!(err, PlacementError::ContainerTooBig { container: 1, .. }));
+        assert!(err.to_string().contains("capacity"));
+    }
+
+    #[test]
+    fn empty_input() {
+        let p = place_containers(&[], GB).unwrap();
+        assert_eq!(p.hosts, 0);
+        assert!(p.assignments.is_empty());
+    }
+}

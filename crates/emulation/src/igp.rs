@@ -1,0 +1,186 @@
+//! Intradomain shortest-path routing (the OSPF analog).
+//!
+//! The emulated AS runs an IGP over its weighted links; the SPF results
+//! provide (a) next hops for the intradomain data plane and (b) the IGP
+//! cost to each iBGP peer, which feeds step 6 of the BGP decision
+//! process (hot-potato routing).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// All-pairs shortest paths over a small weighted graph.
+#[derive(Debug, Clone)]
+pub struct Spf {
+    n: usize,
+    adj: Vec<Vec<(usize, u32)>>,
+}
+
+/// One source's shortest-path tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpfTable {
+    /// `dist[v]` = cost from the source, `u32::MAX` if unreachable.
+    pub dist: Vec<u32>,
+    /// `next_hop[v]` = first hop from the source toward v (`usize::MAX`
+    /// for self/unreachable).
+    pub next_hop: Vec<usize>,
+}
+
+impl Spf {
+    /// Build from an undirected weighted edge list over `n` nodes.
+    pub fn new(n: usize, edges: &[(usize, usize, u32)]) -> Self {
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b, w) in edges {
+            assert!(a < n && b < n, "edge ({a},{b}) out of range");
+            adj[a].push((b, w));
+            adj[b].push((a, w));
+        }
+        // Deterministic relaxation order.
+        for l in &mut adj {
+            l.sort_unstable();
+        }
+        Spf { n, adj }
+    }
+
+    /// Nodes in the graph.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Dijkstra from `src`.
+    pub fn from(&self, src: usize) -> SpfTable {
+        let mut dist = vec![u32::MAX; self.n];
+        let mut next_hop = vec![usize::MAX; self.n];
+        if src >= self.n {
+            return SpfTable { dist, next_hop };
+        }
+        dist[src] = 0;
+        let mut heap = BinaryHeap::new();
+        heap.push(Reverse((0u32, src, usize::MAX)));
+        while let Some(Reverse((d, u, first))) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            if u != src && next_hop[u] == usize::MAX {
+                next_hop[u] = first;
+            }
+            for &(v, w) in &self.adj[u] {
+                let nd = d.saturating_add(w);
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    let via = if u == src { v } else { first };
+                    next_hop[v] = via;
+                    heap.push(Reverse((nd, v, via)));
+                }
+            }
+        }
+        SpfTable { dist, next_hop }
+    }
+
+    /// All-pairs tables.
+    pub fn all_pairs(&self) -> Vec<SpfTable> {
+        (0..self.n).map(|s| self.from(s)).collect()
+    }
+
+    /// The full hop-by-hop path from `src` to `dst`, if reachable.
+    pub fn path(&self, src: usize, dst: usize) -> Option<Vec<usize>> {
+        let table = self.from(src);
+        if table.dist[dst] == u32::MAX {
+            return None;
+        }
+        let mut path = vec![src];
+        let mut cur = src;
+        // Walk next hops from each successive node.
+        for _ in 0..self.n {
+            if cur == dst {
+                return Some(path);
+            }
+            let t = self.from(cur);
+            let nh = t.next_hop[dst];
+            if nh == usize::MAX {
+                return None;
+            }
+            path.push(nh);
+            cur = nh;
+        }
+        (cur == dst).then_some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 --1-- 1 --1-- 2
+    ///  \------5------/
+    fn triangle() -> Spf {
+        Spf::new(3, &[(0, 1, 1), (1, 2, 1), (0, 2, 5)])
+    }
+
+    #[test]
+    fn shortest_paths_and_next_hops() {
+        let spf = triangle();
+        let t = spf.from(0);
+        assert_eq!(t.dist, vec![0, 1, 2]);
+        // Toward 2 the first hop is 1 (cost 2 < direct 5).
+        assert_eq!(t.next_hop[2], 1);
+        assert_eq!(t.next_hop[1], 1);
+        assert_eq!(t.next_hop[0], usize::MAX);
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let spf = triangle();
+        assert_eq!(spf.path(0, 2), Some(vec![0, 1, 2]));
+        assert_eq!(spf.path(2, 0), Some(vec![2, 1, 0]));
+        assert_eq!(spf.path(1, 1), Some(vec![1]));
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let spf = Spf::new(4, &[(0, 1, 1)]);
+        let t = spf.from(0);
+        assert_eq!(t.dist[2], u32::MAX);
+        assert_eq!(t.dist[3], u32::MAX);
+        assert_eq!(spf.path(0, 3), None);
+    }
+
+    #[test]
+    fn all_pairs_symmetric_costs() {
+        let spf = triangle();
+        let all = spf.all_pairs();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(all[i].dist[j], all[j].dist[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_tie_handling() {
+        // Two equal-cost paths 0->3: via 1 or via 2; lowest index wins.
+        let spf = Spf::new(4, &[(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1)]);
+        let a = spf.from(0);
+        let b = spf.from(0);
+        assert_eq!(a, b);
+        assert_eq!(a.dist[3], 2);
+        assert_eq!(a.next_hop[3], 1, "lowest-index neighbor wins ties");
+    }
+
+    #[test]
+    fn out_of_range_source() {
+        let spf = triangle();
+        let t = spf.from(99);
+        assert!(t.dist.iter().all(|&d| d == u32::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_panics() {
+        Spf::new(2, &[(0, 5, 1)]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests: SPF against a Floyd–Warshall reference, and bin
+//! packing invariants.
+
+use peering_emulation::{place_containers, Spf};
+use proptest::prelude::*;
+
+fn floyd_warshall(n: usize, edges: &[(usize, usize, u32)]) -> Vec<Vec<u64>> {
+    const INF: u64 = u64::MAX / 4;
+    let mut d = vec![vec![INF; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0;
+    }
+    for &(a, b, w) in edges {
+        let w = w as u64;
+        if w < d[a][b] {
+            d[a][b] = w;
+            d[b][a] = w;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                if d[i][k] + d[k][j] < d[i][j] {
+                    d[i][j] = d[i][k] + d[k][j];
+                }
+            }
+        }
+    }
+    d
+}
+
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize, u32)>)> {
+    (2usize..12).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n, 0..n, 1u32..100),
+            1..(n * 2),
+        );
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    /// Dijkstra distances agree with Floyd–Warshall on random graphs.
+    #[test]
+    fn spf_matches_reference((n, raw_edges) in arb_graph()) {
+        let edges: Vec<(usize, usize, u32)> = raw_edges
+            .into_iter()
+            .filter(|(a, b, _)| a != b)
+            .collect();
+        prop_assume!(!edges.is_empty());
+        let spf = Spf::new(n, &edges);
+        let reference = floyd_warshall(n, &edges);
+        for src in 0..n {
+            let t = spf.from(src);
+            for dst in 0..n {
+                let got = if t.dist[dst] == u32::MAX {
+                    None
+                } else {
+                    Some(t.dist[dst] as u64)
+                };
+                let expect = if reference[src][dst] >= u64::MAX / 4 {
+                    None
+                } else {
+                    Some(reference[src][dst])
+                };
+                prop_assert_eq!(got, expect, "src {} dst {}", src, dst);
+            }
+        }
+    }
+
+    /// Reconstructed paths are real walks with the claimed cost.
+    #[test]
+    fn spf_paths_are_consistent((n, raw_edges) in arb_graph()) {
+        let edges: Vec<(usize, usize, u32)> = raw_edges
+            .into_iter()
+            .filter(|(a, b, _)| a != b)
+            .collect();
+        prop_assume!(!edges.is_empty());
+        // Keep only the cheapest parallel edge for cost accounting.
+        let mut best = std::collections::HashMap::new();
+        for &(a, b, w) in &edges {
+            let key = (a.min(b), a.max(b));
+            let e = best.entry(key).or_insert(w);
+            if w < *e {
+                *e = w;
+            }
+        }
+        let spf = Spf::new(n, &edges);
+        for src in 0..n {
+            let t = spf.from(src);
+            for dst in 0..n {
+                if let Some(path) = spf.path(src, dst) {
+                    prop_assert_eq!(path[0], src);
+                    prop_assert_eq!(*path.last().unwrap(), dst);
+                    let cost: u64 = path
+                        .windows(2)
+                        .map(|w| best[&(w[0].min(w[1]), w[0].max(w[1]))] as u64)
+                        .sum();
+                    prop_assert_eq!(cost, t.dist[dst] as u64);
+                }
+            }
+        }
+    }
+
+    /// Packing never overflows a host and uses a sane host count.
+    #[test]
+    fn packing_is_feasible_and_bounded(demands in proptest::collection::vec(1usize..1000, 1..50),
+                                       cap_extra in 0usize..500) {
+        let cap = 1000 + cap_extra;
+        let p = place_containers(&demands, cap).unwrap();
+        prop_assert_eq!(p.assignments.len(), demands.len());
+        let mut used = vec![0usize; p.hosts];
+        for (i, &h) in p.assignments.iter().enumerate() {
+            used[h] += demands[i];
+        }
+        for (&u, &head) in used.iter().zip(p.headroom.iter()) {
+            prop_assert!(u <= cap);
+            prop_assert_eq!(u + head, cap);
+        }
+        // Lower bound: total demand / capacity. Upper: one per container.
+        let total: usize = demands.iter().sum();
+        prop_assert!(p.hosts >= total.div_ceil(cap));
+        prop_assert!(p.hosts <= demands.len());
+        // FFD guarantee: no more than 2x optimal-ish (loose sanity).
+        prop_assert!(p.hosts <= total.div_ceil(cap) * 2 + 1);
+    }
+}

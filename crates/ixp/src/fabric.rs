@@ -1,0 +1,153 @@
+//! The IXP's shared layer-2 fabric and remote-peering circuits.
+//!
+//! The fabric gives every member port sub-millisecond reach to every
+//! other port — which is why one rack at AMS-IX buys adjacency to
+//! hundreds of ASes. A [`RemotePeeringProvider`] (the paper's Hibernia
+//! example) stretches that reach: virtual circuits from one server's port
+//! to distant IXPs, at the cost of wide-area latency.
+
+use crate::member::MemberId;
+use peering_netsim::{LinkParams, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A port on the fabric.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PortId(pub u32);
+
+/// The shared switching fabric of one IXP.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fabric {
+    /// IXP name, for traces.
+    pub name: String,
+    ports: HashMap<MemberId, PortId>,
+    next_port: u32,
+    /// One-way latency across the fabric.
+    pub latency: SimDuration,
+    /// Port bandwidth in bits/s (10GE default).
+    pub port_bandwidth: u64,
+}
+
+impl Fabric {
+    /// A fabric with 0.3 ms port-to-port latency and 10GE ports.
+    pub fn new(name: &str) -> Self {
+        Fabric {
+            name: name.to_string(),
+            ports: HashMap::new(),
+            next_port: 0,
+            latency: SimDuration::from_micros(300),
+            port_bandwidth: 10_000_000_000,
+        }
+    }
+
+    /// Allocate a port for a member (idempotent).
+    pub fn add_port(&mut self, member: MemberId) -> PortId {
+        if let Some(&p) = self.ports.get(&member) {
+            return p;
+        }
+        let p = PortId(self.next_port);
+        self.next_port += 1;
+        self.ports.insert(member, p);
+        p
+    }
+
+    /// The port of a member, if connected.
+    pub fn port_of(&self, member: MemberId) -> Option<PortId> {
+        self.ports.get(&member).copied()
+    }
+
+    /// Number of allocated ports.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Link parameters for a session crossing the fabric between two
+    /// member ports.
+    pub fn link_params(&self) -> LinkParams {
+        LinkParams::with_delay(self.latency).bandwidth(self.port_bandwidth)
+    }
+}
+
+/// A remote-peering provider: virtual L2 circuits from a local port to
+/// faraway IXPs ("Hibernia Networks offered us virtualized layer 2
+/// connectivity from our AMS-IX server to tens of IXPs around the
+/// world").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RemotePeeringProvider {
+    /// Provider name.
+    pub name: String,
+    /// `(remote IXP name, one-way circuit latency)`.
+    pub circuits: Vec<(String, SimDuration)>,
+}
+
+impl RemotePeeringProvider {
+    /// A provider with no circuits yet.
+    pub fn new(name: &str) -> Self {
+        RemotePeeringProvider {
+            name: name.to_string(),
+            circuits: Vec::new(),
+        }
+    }
+
+    /// Provision a circuit to a remote IXP.
+    pub fn add_circuit(&mut self, remote_ixp: &str, latency: SimDuration) {
+        self.circuits.push((remote_ixp.to_string(), latency));
+    }
+
+    /// Link parameters for the circuit to `remote_ixp`, if provisioned:
+    /// circuit latency plus the remote fabric's own latency.
+    pub fn link_params(&self, remote_ixp: &str, remote_fabric: &Fabric) -> Option<LinkParams> {
+        self.circuits
+            .iter()
+            .find(|(n, _)| n == remote_ixp)
+            .map(|(_, lat)| {
+                LinkParams::with_delay(*lat + remote_fabric.latency)
+                    .bandwidth(1_000_000_000) // virtual circuits are thinner
+            })
+    }
+
+    /// Number of reachable remote IXPs.
+    pub fn reach(&self) -> usize {
+        self.circuits.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ports_are_stable_and_idempotent() {
+        let mut f = Fabric::new("AMS-IX");
+        let p1 = f.add_port(MemberId(1));
+        let p2 = f.add_port(MemberId(2));
+        assert_ne!(p1, p2);
+        assert_eq!(f.add_port(MemberId(1)), p1);
+        assert_eq!(f.port_count(), 2);
+        assert_eq!(f.port_of(MemberId(2)), Some(p2));
+        assert_eq!(f.port_of(MemberId(9)), None);
+    }
+
+    #[test]
+    fn fabric_links_are_fast() {
+        let f = Fabric::new("AMS-IX");
+        let lp = f.link_params();
+        assert!(lp.delay < SimDuration::from_millis(1));
+        assert_eq!(lp.bandwidth_bps, Some(10_000_000_000));
+        assert_eq!(lp.loss, 0.0);
+    }
+
+    #[test]
+    fn remote_peering_adds_latency() {
+        let mut provider = RemotePeeringProvider::new("Hibernia");
+        provider.add_circuit("DE-CIX", SimDuration::from_millis(8));
+        provider.add_circuit("LINX", SimDuration::from_millis(6));
+        assert_eq!(provider.reach(), 2);
+        let remote = Fabric::new("DE-CIX");
+        let lp = provider.link_params("DE-CIX", &remote).unwrap();
+        assert!(lp.delay >= SimDuration::from_millis(8));
+        assert!(provider.link_params("NYIIX", &remote).is_none());
+    }
+}

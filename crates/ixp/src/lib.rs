@@ -1,0 +1,112 @@
+//! Internet exchange point model.
+//!
+//! §3 of the paper builds PEERING's rich connectivity on three IXP
+//! mechanisms, all modeled here:
+//!
+//! * **Route servers** ([`route_server`]) — one BGP session yields
+//!   multilateral peering with hundreds of members at once ("we
+//!   immediately obtained peering with them when our router established a
+//!   BGP session with the route server").
+//! * **Open peering and the request workflow** ([`workflow`]) — most
+//!   non-RS members peer bilaterally on request; §4.1: "the vast majority
+//!   accepted our request", one asked questions, a handful never replied.
+//! * **Remote peering** ([`fabric`]) — Hibernia-style virtualized layer-2
+//!   circuits extend one physical deployment to tens of IXPs.
+//!
+//! [`Ixp`] assembles a member directory from a generated Internet and
+//! exposes the operations the testbed performs: connect to the route
+//! server, send peering requests, and wire bilateral sessions.
+
+pub mod fabric;
+pub mod member;
+pub mod route_server;
+pub mod workflow;
+
+pub use fabric::{Fabric, PortId, RemotePeeringProvider};
+pub use member::{IxpMember, MemberDirectory, MemberId};
+pub use route_server::{route_server_speaker, RouteServerConfig};
+pub use workflow::{PeeringOutcome, PeeringRequest, PeeringWorkflow};
+
+use peering_topology::{AsGraph, Internet};
+
+/// One IXP instance assembled from a generated Internet.
+#[derive(Debug, Clone)]
+pub struct Ixp {
+    /// Display name ("AMS-IX").
+    pub name: String,
+    /// Host country code.
+    pub country: [u8; 2],
+    /// Member directory.
+    pub directory: MemberDirectory,
+    /// The shared layer-2 fabric.
+    pub fabric: Fabric,
+}
+
+impl Ixp {
+    /// Build IXP number `i` from a generated Internet.
+    pub fn from_internet(net: &Internet, i: usize) -> Ixp {
+        let spec = &net.specs[i];
+        let directory = MemberDirectory::from_members(&net.graph, &net.ixp_members[i]);
+        let mut fabric = Fabric::new(&spec.name);
+        for m in 0..directory.len() {
+            fabric.add_port(MemberId(m as u32));
+        }
+        Ixp {
+            name: spec.name.clone(),
+            country: spec.country,
+            directory,
+            fabric,
+        }
+    }
+
+    /// Members connected to the route server.
+    pub fn rs_member_ids(&self) -> Vec<MemberId> {
+        self.directory
+            .iter()
+            .filter(|(_, m)| m.on_route_server)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Members NOT on the route server (bilateral candidates).
+    pub fn bilateral_ids(&self) -> Vec<MemberId> {
+        self.directory
+            .iter()
+            .filter(|(_, m)| !m.on_route_server)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Summary line for reports.
+    pub fn summary(&self, g: &AsGraph) -> String {
+        let rs = self.rs_member_ids().len();
+        let _ = g;
+        format!(
+            "{}: {} members, {} on route servers, {} bilateral candidates",
+            self.name,
+            self.directory.len(),
+            rs,
+            self.directory.len() - rs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peering_topology::InternetConfig;
+
+    #[test]
+    fn ixp_assembles_from_internet() {
+        let net = Internet::build(InternetConfig::small(1));
+        let ixp = Ixp::from_internet(&net, 0);
+        assert_eq!(ixp.name, "TEST-IX");
+        assert_eq!(ixp.directory.len(), 30);
+        assert_eq!(ixp.rs_member_ids().len(), 22);
+        assert_eq!(ixp.bilateral_ids().len(), 8);
+        assert_eq!(ixp.fabric.port_count(), 30);
+        let s = ixp.summary(&net.graph);
+        assert!(s.contains("30 members"));
+        assert!(s.contains("22 on route servers"));
+    }
+}

@@ -1,0 +1,191 @@
+//! The IXP member directory.
+
+use peering_netsim::Asn;
+use peering_topology::{AsGraph, AsIdx, PeeringPolicy};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a member within one IXP's directory.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct MemberId(pub u32);
+
+impl MemberId {
+    /// As a usize for indexing.
+    pub fn i(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MemberId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// One IXP member's directory entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IxpMember {
+    /// The AS in the global graph.
+    pub as_idx: AsIdx,
+    /// Its ASN.
+    pub asn: Asn,
+    /// Published peering policy.
+    pub policy: PeeringPolicy,
+    /// Connected to the IXP's route servers?
+    pub on_route_server: bool,
+    /// Country code.
+    pub country: [u8; 2],
+    /// Display name if notable.
+    pub name: Option<String>,
+}
+
+/// All members of one IXP.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MemberDirectory {
+    members: Vec<IxpMember>,
+}
+
+impl MemberDirectory {
+    /// Build from the global graph and a member list.
+    pub fn from_members(g: &AsGraph, member_ases: &[AsIdx]) -> Self {
+        let members = member_ases
+            .iter()
+            .map(|&idx| {
+                let info = g.info(idx);
+                IxpMember {
+                    as_idx: idx,
+                    asn: info.asn,
+                    policy: info.policy,
+                    on_route_server: info.uses_route_server,
+                    country: info.country,
+                    name: info.name.clone(),
+                }
+            })
+            .collect();
+        MemberDirectory { members }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Member by id.
+    pub fn get(&self, id: MemberId) -> Option<&IxpMember> {
+        self.members.get(id.i())
+    }
+
+    /// Find a member by ASN.
+    pub fn by_asn(&self, asn: Asn) -> Option<(MemberId, &IxpMember)> {
+        self.members
+            .iter()
+            .enumerate()
+            .find(|(_, m)| m.asn == asn)
+            .map(|(i, m)| (MemberId(i as u32), m))
+    }
+
+    /// Iterate `(id, member)`.
+    pub fn iter(&self) -> impl Iterator<Item = (MemberId, &IxpMember)> {
+        self.members
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (MemberId(i as u32), m))
+    }
+
+    /// Count members by policy among the non-route-server population.
+    pub fn policy_census(&self) -> PolicyCensus {
+        let mut census = PolicyCensus::default();
+        for m in &self.members {
+            if m.on_route_server {
+                census.route_server += 1;
+            } else {
+                match m.policy {
+                    PeeringPolicy::Open => census.open += 1,
+                    PeeringPolicy::Closed => census.closed += 1,
+                    PeeringPolicy::CaseByCase => census.case_by_case += 1,
+                    PeeringPolicy::Unlisted => census.unlisted += 1,
+                }
+            }
+        }
+        census
+    }
+}
+
+/// Counts matching Table-free §4.1 prose: RS members plus the policy
+/// breakdown of the rest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyCensus {
+    /// Members on the route server.
+    pub route_server: usize,
+    /// Open-policy members (not on RS).
+    pub open: usize,
+    /// Closed-policy members (not on RS).
+    pub closed: usize,
+    /// Case-by-case members (not on RS).
+    pub case_by_case: usize,
+    /// Members with no published policy (not on RS).
+    pub unlisted: usize,
+}
+
+impl PolicyCensus {
+    /// Total membership.
+    pub fn total(&self) -> usize {
+        self.route_server + self.open + self.closed + self.case_by_case + self.unlisted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peering_topology::{Internet, InternetConfig};
+
+    fn directory() -> MemberDirectory {
+        let net = Internet::build(InternetConfig::small(1));
+        MemberDirectory::from_members(&net.graph, &net.ixp_members[0])
+    }
+
+    #[test]
+    fn directory_reflects_graph() {
+        let d = directory();
+        assert_eq!(d.len(), 30);
+        assert!(!d.is_empty());
+        for (id, m) in d.iter() {
+            assert_eq!(d.get(id).unwrap().asn, m.asn);
+        }
+    }
+
+    #[test]
+    fn census_matches_spec() {
+        let d = directory();
+        let c = d.policy_census();
+        assert_eq!(c.route_server, 22);
+        assert_eq!(c.open, 4);
+        assert_eq!(c.closed, 1);
+        assert_eq!(c.case_by_case, 2);
+        assert_eq!(c.unlisted, 1);
+        assert_eq!(c.total(), 30);
+    }
+
+    #[test]
+    fn lookup_by_asn() {
+        let d = directory();
+        let (id, m) = d.iter().next().map(|(i, m)| (i, m.asn)).map(|(i, a)| (i, a)).unwrap();
+        let (found, fm) = d.by_asn(m).unwrap();
+        assert_eq!(found, id);
+        assert_eq!(fm.asn, m);
+        assert!(d.by_asn(Asn(4_000_000_000)).is_none());
+    }
+
+    #[test]
+    fn missing_member_id() {
+        let d = directory();
+        assert!(d.get(MemberId(999)).is_none());
+    }
+}

@@ -1,0 +1,318 @@
+//! The bilateral peering-request workflow.
+//!
+//! §4.1: "Of these, 48 have open peering... Establishing peering just
+//! requires a simple configuration update. We have sent requests to a few
+//! dozen ASes, and the vast majority accepted our request... One AS
+//! replied with questions about why we wanted to peer given the lack of
+//! traffic, and a handful of ASes have not responded."
+//!
+//! The behavior model turns a member's published policy into a response
+//! distribution; requests resolve after a simulated delay of days.
+
+use crate::member::{IxpMember, MemberId};
+use peering_netsim::{SimDuration, SimRng, SimTime};
+use peering_topology::PeeringPolicy;
+use serde::{Deserialize, Serialize};
+
+/// How a member answered (or didn't).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PeeringOutcome {
+    /// Session configured.
+    Accepted,
+    /// Accepted, but only after asking why we want to peer.
+    AcceptedAfterQuestions,
+    /// Refused.
+    Declined,
+    /// Never replied.
+    NoResponse,
+}
+
+impl PeeringOutcome {
+    /// Did a session come out of it?
+    pub fn established(self) -> bool {
+        matches!(
+            self,
+            PeeringOutcome::Accepted | PeeringOutcome::AcceptedAfterQuestions
+        )
+    }
+}
+
+/// A pending or resolved request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeeringRequest {
+    /// Who we asked.
+    pub target: MemberId,
+    /// When we asked.
+    pub sent_at: SimTime,
+    /// When the outcome is known (no-response resolves at the give-up
+    /// deadline).
+    pub resolves_at: SimTime,
+    /// The eventual outcome.
+    pub outcome: PeeringOutcome,
+}
+
+/// Draw an outcome for a request against `member`.
+///
+/// The distributions encode the paper's observations: open-policy members
+/// nearly always configure the session even for a no-traffic research AS;
+/// the occasional member asks questions; a handful never reply.
+pub fn respond(member: &IxpMember, rng: &mut SimRng) -> PeeringOutcome {
+    let roll = rng.unit();
+    match member.policy {
+        PeeringPolicy::Open => {
+            if roll < 0.90 {
+                PeeringOutcome::Accepted
+            } else if roll < 0.94 {
+                PeeringOutcome::AcceptedAfterQuestions
+            } else {
+                PeeringOutcome::NoResponse
+            }
+        }
+        PeeringPolicy::CaseByCase => {
+            if roll < 0.50 {
+                PeeringOutcome::Accepted
+            } else if roll < 0.58 {
+                PeeringOutcome::AcceptedAfterQuestions
+            } else if roll < 0.78 {
+                PeeringOutcome::Declined
+            } else {
+                PeeringOutcome::NoResponse
+            }
+        }
+        PeeringPolicy::Closed => {
+            if roll < 0.75 {
+                PeeringOutcome::Declined
+            } else {
+                PeeringOutcome::NoResponse
+            }
+        }
+        PeeringPolicy::Unlisted => {
+            if roll < 0.35 {
+                PeeringOutcome::Accepted
+            } else if roll < 0.45 {
+                PeeringOutcome::Declined
+            } else {
+                PeeringOutcome::NoResponse
+            }
+        }
+    }
+}
+
+/// Tracks every bilateral request one party (PEERING) has sent at an IXP.
+#[derive(Debug, Clone, Default)]
+pub struct PeeringWorkflow {
+    requests: Vec<PeeringRequest>,
+    /// How long before we treat silence as NoResponse.
+    pub give_up_after: SimDuration,
+}
+
+impl PeeringWorkflow {
+    /// A workflow with a 30-day silence deadline.
+    pub fn new() -> Self {
+        PeeringWorkflow {
+            requests: Vec::new(),
+            give_up_after: SimDuration::from_secs(30 * 24 * 3600),
+        }
+    }
+
+    /// Send a request to `target`; the outcome and its timing are decided
+    /// now (deterministically from the RNG) but only *visible* once
+    /// `resolves_at` passes.
+    pub fn send_request(
+        &mut self,
+        target: MemberId,
+        member: &IxpMember,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> &PeeringRequest {
+        let outcome = respond(member, rng);
+        let delay = match outcome {
+            // Open networks configure quickly: hours to a couple days.
+            PeeringOutcome::Accepted => {
+                SimDuration::from_secs(3600 * (4 + rng.below(44)))
+            }
+            PeeringOutcome::AcceptedAfterQuestions => {
+                SimDuration::from_secs(3600 * 24 * (3 + rng.below(11)))
+            }
+            PeeringOutcome::Declined => SimDuration::from_secs(3600 * (8 + rng.below(72))),
+            PeeringOutcome::NoResponse => self.give_up_after,
+        };
+        self.requests.push(PeeringRequest {
+            target,
+            sent_at: now,
+            resolves_at: now + delay,
+            outcome,
+        });
+        self.requests.last().expect("just pushed")
+    }
+
+    /// Requests resolved by `now`, with their outcomes.
+    pub fn resolved(&self, now: SimTime) -> impl Iterator<Item = &PeeringRequest> {
+        self.requests.iter().filter(move |r| r.resolves_at <= now)
+    }
+
+    /// Requests still awaiting an answer at `now`.
+    pub fn pending(&self, now: SimTime) -> usize {
+        self.requests.iter().filter(|r| r.resolves_at > now).count()
+    }
+
+    /// Sessions established by `now`.
+    pub fn established(&self, now: SimTime) -> Vec<MemberId> {
+        self.resolved(now)
+            .filter(|r| r.outcome.established())
+            .map(|r| r.target)
+            .collect()
+    }
+
+    /// Total requests ever sent.
+    pub fn sent(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Outcome tally over resolved requests.
+    pub fn tally(&self, now: SimTime) -> WorkflowTally {
+        let mut t = WorkflowTally::default();
+        for r in self.resolved(now) {
+            match r.outcome {
+                PeeringOutcome::Accepted => t.accepted += 1,
+                PeeringOutcome::AcceptedAfterQuestions => t.accepted_after_questions += 1,
+                PeeringOutcome::Declined => t.declined += 1,
+                PeeringOutcome::NoResponse => t.no_response += 1,
+            }
+        }
+        t
+    }
+}
+
+/// Outcome counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkflowTally {
+    /// Plain accepts.
+    pub accepted: usize,
+    /// Accepts preceded by questions.
+    pub accepted_after_questions: usize,
+    /// Declines.
+    pub declined: usize,
+    /// Silence past the deadline.
+    pub no_response: usize,
+}
+
+impl WorkflowTally {
+    /// Fraction of resolved requests that produced a session.
+    pub fn accept_rate(&self) -> f64 {
+        let total = self.accepted + self.accepted_after_questions + self.declined + self.no_response;
+        if total == 0 {
+            0.0
+        } else {
+            (self.accepted + self.accepted_after_questions) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peering_netsim::Asn;
+    use peering_topology::AsIdx;
+
+    fn member(policy: PeeringPolicy) -> IxpMember {
+        IxpMember {
+            as_idx: AsIdx(0),
+            asn: Asn(64496),
+            policy,
+            on_route_server: false,
+            country: *b"NL",
+            name: None,
+        }
+    }
+
+    #[test]
+    fn open_members_nearly_always_accept() {
+        let mut rng = SimRng::new(1);
+        let m = member(PeeringPolicy::Open);
+        let outcomes: Vec<PeeringOutcome> = (0..1000).map(|_| respond(&m, &mut rng)).collect();
+        let ok = outcomes.iter().filter(|o| o.established()).count();
+        assert!(ok > 900, "ok={ok}");
+        assert!(outcomes.iter().all(|o| *o != PeeringOutcome::Declined));
+        let questions = outcomes
+            .iter()
+            .filter(|o| **o == PeeringOutcome::AcceptedAfterQuestions)
+            .count();
+        assert!(questions > 0, "the occasional AS asks questions");
+    }
+
+    #[test]
+    fn closed_members_never_accept() {
+        let mut rng = SimRng::new(2);
+        let m = member(PeeringPolicy::Closed);
+        for _ in 0..500 {
+            assert!(!respond(&m, &mut rng).established());
+        }
+    }
+
+    #[test]
+    fn case_by_case_is_mixed() {
+        let mut rng = SimRng::new(3);
+        let m = member(PeeringPolicy::CaseByCase);
+        let outcomes: Vec<_> = (0..1000).map(|_| respond(&m, &mut rng)).collect();
+        let ok = outcomes.iter().filter(|o| o.established()).count();
+        assert!((400..750).contains(&ok), "ok={ok}");
+    }
+
+    #[test]
+    fn workflow_resolution_timing() {
+        let mut wf = PeeringWorkflow::new();
+        let mut rng = SimRng::new(4);
+        let m = member(PeeringPolicy::Open);
+        let t0 = SimTime::ZERO;
+        for i in 0..20 {
+            wf.send_request(MemberId(i), &m, t0, &mut rng);
+        }
+        assert_eq!(wf.sent(), 20);
+        // Immediately: nothing resolved yet (min delay is 4 hours).
+        assert_eq!(wf.resolved(t0).count(), 0);
+        assert_eq!(wf.pending(t0), 20);
+        // After 60 days everything is resolved.
+        let later = t0 + SimDuration::from_secs(60 * 24 * 3600);
+        assert_eq!(wf.resolved(later).count(), 20);
+        assert_eq!(wf.pending(later), 0);
+        let tally = wf.tally(later);
+        assert!(tally.accept_rate() > 0.8);
+        assert_eq!(
+            wf.established(later).len(),
+            tally.accepted + tally.accepted_after_questions
+        );
+    }
+
+    #[test]
+    fn no_response_takes_the_give_up_deadline() {
+        let mut wf = PeeringWorkflow::new();
+        let mut rng = SimRng::new(5);
+        let m = member(PeeringPolicy::Closed);
+        // Find a NoResponse outcome.
+        for i in 0..50 {
+            wf.send_request(MemberId(i), &m, SimTime::ZERO, &mut rng);
+        }
+        let has_noresp = wf
+            .requests
+            .iter()
+            .any(|r| r.outcome == PeeringOutcome::NoResponse && r.resolves_at == SimTime::ZERO + wf.give_up_after);
+        assert!(has_noresp);
+    }
+
+    #[test]
+    fn deterministic_outcomes_for_seed() {
+        let m = member(PeeringPolicy::CaseByCase);
+        let run = |seed| {
+            let mut rng = SimRng::new(seed);
+            (0..50).map(|_| respond(&m, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn empty_tally_rate_is_zero() {
+        assert_eq!(WorkflowTally::default().accept_rate(), 0.0);
+    }
+}

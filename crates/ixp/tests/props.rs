@@ -1,0 +1,102 @@
+//! Property tests for the IXP layer: the workflow's behavior respects
+//! each published policy class, and the member census always adds up.
+
+use peering_ixp::workflow::respond;
+use peering_ixp::{IxpMember, MemberId, PeeringOutcome, PeeringWorkflow};
+use peering_netsim::{Asn, SimDuration, SimRng, SimTime};
+use peering_topology::{AsIdx, PeeringPolicy};
+use proptest::prelude::*;
+
+fn member(policy: PeeringPolicy, asn: u32) -> IxpMember {
+    IxpMember {
+        as_idx: AsIdx(0),
+        asn: Asn(asn),
+        policy,
+        on_route_server: false,
+        country: *b"NL",
+        name: None,
+    }
+}
+
+proptest! {
+    /// Closed members never peer; open members never decline — for any
+    /// seed.
+    #[test]
+    fn policy_classes_bound_outcomes(seed in any::<u64>()) {
+        let mut rng = SimRng::new(seed);
+        let closed = member(PeeringPolicy::Closed, 1);
+        let open = member(PeeringPolicy::Open, 2);
+        for _ in 0..50 {
+            prop_assert!(!respond(&closed, &mut rng).established());
+            prop_assert_ne!(respond(&open, &mut rng), PeeringOutcome::Declined);
+        }
+    }
+
+    /// The workflow's tally always reconciles: every request resolves to
+    /// exactly one outcome by the deadline, and the established list
+    /// matches the accept counts.
+    #[test]
+    fn workflow_tally_reconciles(seed in any::<u64>(),
+                                 n_open in 0usize..30,
+                                 n_cbc in 0usize..30,
+                                 n_closed in 0usize..30) {
+        let mut wf = PeeringWorkflow::new();
+        let mut rng = SimRng::new(seed);
+        let mut id = 0u32;
+        for _ in 0..n_open {
+            wf.send_request(MemberId(id), &member(PeeringPolicy::Open, 100 + id), SimTime::ZERO, &mut rng);
+            id += 1;
+        }
+        for _ in 0..n_cbc {
+            wf.send_request(MemberId(id), &member(PeeringPolicy::CaseByCase, 100 + id), SimTime::ZERO, &mut rng);
+            id += 1;
+        }
+        for _ in 0..n_closed {
+            wf.send_request(MemberId(id), &member(PeeringPolicy::Closed, 100 + id), SimTime::ZERO, &mut rng);
+            id += 1;
+        }
+        let total = n_open + n_cbc + n_closed;
+        prop_assert_eq!(wf.sent(), total);
+        let deadline = SimTime::ZERO + wf.give_up_after + SimDuration::from_secs(1);
+        prop_assert_eq!(wf.resolved(deadline).count(), total);
+        prop_assert_eq!(wf.pending(deadline), 0);
+        let tally = wf.tally(deadline);
+        prop_assert_eq!(
+            tally.accepted + tally.accepted_after_questions + tally.declined + tally.no_response,
+            total
+        );
+        prop_assert_eq!(
+            wf.established(deadline).len(),
+            tally.accepted + tally.accepted_after_questions
+        );
+        // Closed members contribute zero accepts.
+        if n_open == 0 && n_cbc == 0 {
+            prop_assert_eq!(tally.accepted + tally.accepted_after_questions, 0);
+        }
+    }
+
+    /// Resolution times are never before the request and never after the
+    /// give-up deadline.
+    #[test]
+    fn resolution_times_are_sane(seed in any::<u64>(), n in 1usize..40) {
+        let mut wf = PeeringWorkflow::new();
+        let mut rng = SimRng::new(seed);
+        let t0 = SimTime::from_secs(1000);
+        for i in 0..n {
+            wf.send_request(
+                MemberId(i as u32),
+                &member(PeeringPolicy::CaseByCase, 200 + i as u32),
+                t0,
+                &mut rng,
+            );
+        }
+        let deadline = t0 + wf.give_up_after;
+        for r in wf.resolved(SimTime::MAX) {
+            prop_assert!(r.resolves_at >= r.sent_at);
+            prop_assert!(r.resolves_at <= deadline);
+            if r.outcome == PeeringOutcome::NoResponse {
+                prop_assert_eq!(r.resolves_at, deadline);
+            }
+        }
+    }
+}

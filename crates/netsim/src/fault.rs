@@ -1,0 +1,120 @@
+//! Scripted fault injection.
+//!
+//! Experiments such as LIFEGUARD (routing around persistent failures) and
+//! ARROW (tunneling around black holes) need failures to happen *on
+//! schedule*. A [`FaultPlan`] is a time-ordered script of actions the
+//! harness applies to the network as the clock passes each trigger time.
+
+use crate::time::SimTime;
+use crate::transport::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A single scripted action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultAction {
+    /// Take the link between two nodes down.
+    LinkDown(NodeId, NodeId),
+    /// Bring the link between two nodes back up.
+    LinkUp(NodeId, NodeId),
+    /// Change the loss rate of the link between two nodes.
+    SetLoss(NodeId, NodeId, f64),
+    /// Silently drop all traffic transiting an AS-level node (black hole):
+    /// interpreted by the AS-level data plane rather than `MsgNet`.
+    BlackholeNode(NodeId),
+    /// Restore a black-holed node.
+    RestoreNode(NodeId),
+}
+
+/// A time-ordered script of fault actions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<(SimTime, FaultAction)>,
+    cursor: usize,
+}
+
+impl FaultPlan {
+    /// Create an empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an action at the given time. Actions may be added in any order;
+    /// they are sorted on first use.
+    pub fn at(mut self, time: SimTime, action: FaultAction) -> Self {
+        self.events.push((time, action));
+        self.events.sort_by_key(|(t, _)| *t);
+        self
+    }
+
+    /// Pop all actions due at or before `now`, in schedule order.
+    pub fn due(&mut self, now: SimTime) -> Vec<FaultAction> {
+        let mut out = Vec::new();
+        while self.cursor < self.events.len() && self.events[self.cursor].0 <= now {
+            out.push(self.events[self.cursor].1.clone());
+            self.cursor += 1;
+        }
+        out
+    }
+
+    /// The time of the next pending action, if any.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.events.get(self.cursor).map(|(t, _)| *t)
+    }
+
+    /// True when every action has been consumed.
+    pub fn exhausted(&self) -> bool {
+        self.cursor >= self.events.len()
+    }
+
+    /// Total number of scripted actions.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the plan has no actions at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actions_fire_in_time_order() {
+        let mut plan = FaultPlan::new()
+            .at(SimTime::from_secs(20), FaultAction::LinkUp(NodeId(1), NodeId(2)))
+            .at(SimTime::from_secs(10), FaultAction::LinkDown(NodeId(1), NodeId(2)));
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.next_time(), Some(SimTime::from_secs(10)));
+        assert!(plan.due(SimTime::from_secs(5)).is_empty());
+        let due = plan.due(SimTime::from_secs(10));
+        assert_eq!(due, vec![FaultAction::LinkDown(NodeId(1), NodeId(2))]);
+        assert!(!plan.exhausted());
+        let due = plan.due(SimTime::from_secs(100));
+        assert_eq!(due, vec![FaultAction::LinkUp(NodeId(1), NodeId(2))]);
+        assert!(plan.exhausted());
+        assert!(plan.due(SimTime::from_secs(200)).is_empty());
+    }
+
+    #[test]
+    fn simultaneous_actions_preserve_insertion_order() {
+        let t = SimTime::from_secs(1);
+        let mut plan = FaultPlan::new()
+            .at(t, FaultAction::BlackholeNode(NodeId(9)))
+            .at(t, FaultAction::SetLoss(NodeId(1), NodeId(2), 0.5));
+        let due = plan.due(t);
+        assert_eq!(due.len(), 2);
+        assert_eq!(due[0], FaultAction::BlackholeNode(NodeId(9)));
+    }
+
+    #[test]
+    fn empty_plan() {
+        let mut plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert!(plan.exhausted());
+        assert_eq!(plan.next_time(), None);
+        assert!(plan.due(SimTime::MAX).is_empty());
+    }
+}

@@ -1,0 +1,44 @@
+//! Discrete-event network simulation substrate for the PEERING reproduction.
+//!
+//! The real PEERING testbed runs over the live Internet: OpenVPN tunnels,
+//! BGP sessions to commercial routers, and packets crossing real networks.
+//! This crate provides the deterministic stand-in for all of that physical
+//! machinery:
+//!
+//! * a virtual clock ([`SimTime`], [`SimDuration`]) and a stable,
+//!   monotonic [`EventQueue`];
+//! * a seeded, forkable random-number generator ([`SimRng`]) so that every
+//!   experiment is reproducible from a single seed;
+//! * fundamental network identifiers shared by every higher layer:
+//!   [`Asn`], [`Ipv4Net`], [`Ipv6Net`], [`Prefix`];
+//! * point-to-point [`Link`]s with delay, jitter, loss, bandwidth and MTU,
+//!   plus administrative up/down state for fault injection;
+//! * a v4 IP data plane: [`IpPacket`], longest-prefix-match
+//!   [`ForwardingTable`]s, and tunnel encapsulation;
+//! * a typed message network ([`MsgNet`]) that delivers messages between
+//!   simulated nodes in timestamp order, used to carry BGP messages between
+//!   speakers;
+//! * scripted fault injection ([`FaultPlan`]) and a bounded [`TraceLog`].
+//!
+//! Everything is synchronous and deterministic: there are no threads, no
+//! sockets, and no wall-clock reads anywhere in the simulation core.
+
+pub mod fault;
+pub mod ip;
+pub mod link;
+pub mod net;
+pub mod queue;
+pub mod rng;
+pub mod time;
+pub mod trace;
+pub mod transport;
+
+pub use fault::{FaultAction, FaultPlan};
+pub use ip::{ForwardingTable, IpPacket, IpProto, Payload};
+pub use link::{Link, LinkParams};
+pub use net::{Asn, Ipv4Net, Ipv6Net, Prefix, PrefixParseError};
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use trace::TraceLog;
+pub use transport::{Delivery, DeliveryKind, MsgNet, NodeId};

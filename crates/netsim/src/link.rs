@@ -1,0 +1,256 @@
+//! Point-to-point links with delay, jitter, loss, bandwidth and MTU.
+//!
+//! A [`Link`] models one direction of a physical or virtual circuit: the
+//! OpenVPN tunnel between a PEERING client and server, the IXP fabric port,
+//! or an inter-PoP backbone wave. Transmission accounts for serialization
+//! delay at the configured bandwidth (with a FIFO queue abstracted as a
+//! "next free transmit time"), propagation delay plus jitter, and Bernoulli
+//! loss. Links can be administratively downed for fault injection.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Static characteristics of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Uniform jitter added on top of `delay` (0 to `jitter`).
+    pub jitter: SimDuration,
+    /// Packet loss probability in `[0, 1]`.
+    pub loss: f64,
+    /// Serialization bandwidth in bits/s; `None` means infinite.
+    pub bandwidth_bps: Option<u64>,
+    /// Maximum transmission unit in bytes; larger packets are dropped.
+    pub mtu: usize,
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        LinkParams {
+            delay: SimDuration::from_millis(1),
+            jitter: SimDuration::ZERO,
+            loss: 0.0,
+            bandwidth_bps: None,
+            mtu: 1500,
+        }
+    }
+}
+
+impl LinkParams {
+    /// A lossless link with the given one-way delay and no rate limit.
+    pub fn with_delay(delay: SimDuration) -> Self {
+        LinkParams {
+            delay,
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style loss probability.
+    pub fn loss(mut self, p: f64) -> Self {
+        self.loss = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder-style bandwidth.
+    pub fn bandwidth(mut self, bps: u64) -> Self {
+        self.bandwidth_bps = Some(bps);
+        self
+    }
+
+    /// Builder-style jitter.
+    pub fn jitter(mut self, j: SimDuration) -> Self {
+        self.jitter = j;
+        self
+    }
+
+    /// Builder-style MTU.
+    pub fn mtu(mut self, mtu: usize) -> Self {
+        self.mtu = mtu;
+        self
+    }
+}
+
+/// Why a transmission did not produce a delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxFailure {
+    /// The link is administratively or operationally down.
+    LinkDown,
+    /// The packet exceeded the link MTU.
+    MtuExceeded,
+    /// The packet was randomly lost.
+    Lost,
+}
+
+/// One direction of a link, with its dynamic state.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Static parameters.
+    pub params: LinkParams,
+    up: bool,
+    next_free_tx: SimTime,
+    /// Counters for observability.
+    pub tx_packets: u64,
+    /// Packets dropped for any reason.
+    pub dropped: u64,
+    /// Bytes successfully transmitted.
+    pub tx_bytes: u64,
+}
+
+impl Link {
+    /// Create an up link with the given parameters.
+    pub fn new(params: LinkParams) -> Self {
+        Link {
+            params,
+            up: true,
+            next_free_tx: SimTime::ZERO,
+            tx_packets: 0,
+            dropped: 0,
+            tx_bytes: 0,
+        }
+    }
+
+    /// Administratively raise or lower the link.
+    pub fn set_up(&mut self, up: bool) {
+        self.up = up;
+    }
+
+    /// Current operational state.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Attempt to transmit `size` bytes at time `now`.
+    ///
+    /// On success returns the delivery time at the far end; on failure
+    /// returns why. Serialization delay occupies the transmitter (FIFO), so
+    /// back-to-back packets queue behind each other.
+    pub fn transmit(
+        &mut self,
+        now: SimTime,
+        size: usize,
+        rng: &mut SimRng,
+    ) -> Result<SimTime, TxFailure> {
+        if !self.up {
+            self.dropped += 1;
+            return Err(TxFailure::LinkDown);
+        }
+        if size > self.params.mtu {
+            self.dropped += 1;
+            return Err(TxFailure::MtuExceeded);
+        }
+        if self.params.loss > 0.0 && rng.chance(self.params.loss) {
+            self.dropped += 1;
+            return Err(TxFailure::Lost);
+        }
+        let start = now.max(self.next_free_tx);
+        let ser = match self.params.bandwidth_bps {
+            Some(bps) if bps > 0 => {
+                SimDuration::from_micros(((size as u64) * 8).saturating_mul(1_000_000) / bps)
+            }
+            _ => SimDuration::ZERO,
+        };
+        self.next_free_tx = start + ser;
+        let jitter = if self.params.jitter.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros(rng.below(self.params.jitter.as_micros() + 1))
+        };
+        self.tx_packets += 1;
+        self.tx_bytes += size as u64;
+        Ok(self.next_free_tx + self.params.delay + jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(1)
+    }
+
+    #[test]
+    fn basic_delay() {
+        let mut l = Link::new(LinkParams::with_delay(SimDuration::from_millis(10)));
+        let t = l
+            .transmit(SimTime::from_secs(1), 100, &mut rng())
+            .unwrap();
+        assert_eq!(t, SimTime::from_secs(1) + SimDuration::from_millis(10));
+        assert_eq!(l.tx_packets, 1);
+        assert_eq!(l.tx_bytes, 100);
+    }
+
+    #[test]
+    fn serialization_delay_and_queueing() {
+        // 1 Mbit/s: 1250 bytes = 10 ms serialization.
+        let params = LinkParams::with_delay(SimDuration::from_millis(5)).bandwidth(1_000_000);
+        let mut l = Link::new(params);
+        let mut r = rng();
+        let t0 = SimTime::from_secs(0);
+        let d1 = l.transmit(t0, 1250, &mut r).unwrap();
+        assert_eq!(d1, SimTime::from_millis(15)); // 10ms ser + 5ms prop
+        // Second packet queues behind the first.
+        let d2 = l.transmit(t0, 1250, &mut r).unwrap();
+        assert_eq!(d2, SimTime::from_millis(25));
+    }
+
+    #[test]
+    fn down_link_drops() {
+        let mut l = Link::new(LinkParams::default());
+        l.set_up(false);
+        assert_eq!(
+            l.transmit(SimTime::ZERO, 10, &mut rng()),
+            Err(TxFailure::LinkDown)
+        );
+        assert!(!l.is_up());
+        assert_eq!(l.dropped, 1);
+        l.set_up(true);
+        assert!(l.transmit(SimTime::ZERO, 10, &mut rng()).is_ok());
+    }
+
+    #[test]
+    fn mtu_enforced() {
+        let mut l = Link::new(LinkParams::default().mtu(100));
+        assert_eq!(
+            l.transmit(SimTime::ZERO, 101, &mut rng()),
+            Err(TxFailure::MtuExceeded)
+        );
+        assert!(l.transmit(SimTime::ZERO, 100, &mut rng()).is_ok());
+    }
+
+    #[test]
+    fn lossy_link_loses_roughly_p() {
+        let mut l = Link::new(LinkParams::default().loss(0.3));
+        let mut r = rng();
+        let mut lost = 0;
+        for _ in 0..10_000 {
+            if l.transmit(SimTime::ZERO, 10, &mut r).is_err() {
+                lost += 1;
+            }
+        }
+        assert!((2_500..3_500).contains(&lost), "lost={lost}");
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let params =
+            LinkParams::with_delay(SimDuration::from_millis(10)).jitter(SimDuration::from_millis(5));
+        let mut l = Link::new(params);
+        let mut r = rng();
+        for _ in 0..200 {
+            let t = l.transmit(SimTime::ZERO, 10, &mut r).unwrap();
+            assert!(t >= SimTime::from_millis(10));
+            assert!(t <= SimTime::from_millis(15));
+        }
+    }
+
+    #[test]
+    fn loss_clamped_by_builder() {
+        let p = LinkParams::default().loss(7.0);
+        assert_eq!(p.loss, 1.0);
+        let p = LinkParams::default().loss(-2.0);
+        assert_eq!(p.loss, 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! A bounded in-memory event trace for debugging and experiment reports.
+//!
+//! The real testbed "automatically collect\[s\] regular control and data
+//! plane measurements"; the trace log is the simulated analog used by the
+//! monitoring layer to record BGP updates, packet events, and operator
+//! actions without unbounded memory growth.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A single trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub time: SimTime,
+    /// Subsystem tag, e.g. `"bgp"`, `"dataplane"`, `"safety"`.
+    pub tag: &'static str,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {}] {}", self.time, self.tag, self.detail)
+    }
+}
+
+/// A ring buffer of recent trace events.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    enabled: bool,
+    /// Total records ever offered, including evicted/suppressed ones.
+    pub total: u64,
+}
+
+impl TraceLog {
+    /// Create a log holding up to `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceLog {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            enabled: true,
+            total: 0,
+        }
+    }
+
+    /// A disabled log that records nothing (for hot paths).
+    pub fn disabled() -> Self {
+        let mut l = TraceLog::new(0);
+        l.enabled = false;
+        l
+    }
+
+    /// Enable or disable recording.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Record an event, evicting the oldest when at capacity.
+    pub fn record(&mut self, time: SimTime, tag: &'static str, detail: impl Into<String>) {
+        self.total += 1;
+        if !self.enabled || self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(TraceEvent {
+            time,
+            tag,
+            detail: detail.into(),
+        });
+    }
+
+    /// All currently retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Retained events with a given tag.
+    pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.tag == tag)
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drop all retained events (counters keep counting).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_iterates() {
+        let mut log = TraceLog::new(10);
+        log.record(SimTime::from_secs(1), "bgp", "update received");
+        log.record(SimTime::from_secs(2), "dataplane", "packet dropped");
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.total, 2);
+        let tags: Vec<_> = log.events().map(|e| e.tag).collect();
+        assert_eq!(tags, vec!["bgp", "dataplane"]);
+        assert_eq!(log.with_tag("bgp").count(), 1);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut log = TraceLog::new(3);
+        for i in 0..5 {
+            log.record(SimTime::from_secs(i), "t", format!("e{i}"));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.total, 5);
+        let details: Vec<_> = log.events().map(|e| e.detail.clone()).collect();
+        assert_eq!(details, vec!["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn disabled_log_counts_but_does_not_store() {
+        let mut log = TraceLog::disabled();
+        log.record(SimTime::ZERO, "t", "x");
+        assert!(log.is_empty());
+        assert_eq!(log.total, 1);
+        let mut log2 = TraceLog::new(5);
+        log2.set_enabled(false);
+        log2.record(SimTime::ZERO, "t", "x");
+        assert!(log2.is_empty());
+    }
+
+    #[test]
+    fn display_format() {
+        let mut log = TraceLog::new(1);
+        log.record(SimTime::from_secs(3), "safety", "hijack blocked");
+        let s = log.events().next().unwrap().to_string();
+        assert!(s.contains("safety"));
+        assert!(s.contains("hijack blocked"));
+        log.clear();
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the simulation substrate: prefix algebra, the
+//! event queue's ordering guarantees, and LPM correctness against a
+//! naive reference.
+
+use peering_netsim::{EventQueue, ForwardingTable, Ipv4Net, Prefix, SimTime};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_v4net() -> impl Strategy<Value = Ipv4Net> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Ipv4Net::new(Ipv4Addr::from(addr), len))
+}
+
+proptest! {
+    /// Construction masks host bits: the network address re-parses to
+    /// itself and every contained address maps back into the net.
+    #[test]
+    fn v4net_is_canonical(net in arb_v4net(), offset in any::<u32>()) {
+        let rebuilt = Ipv4Net::new(net.network(), net.len());
+        prop_assert_eq!(net, rebuilt);
+        if net.len() > 0 {
+            let inside = net.addr_at(offset % net.size().min(u32::MAX as u64) as u32);
+            prop_assert!(net.contains(inside));
+        }
+    }
+
+    /// covers() is a partial order: reflexive, antisymmetric (on equal
+    /// lengths), and consistent with contains().
+    #[test]
+    fn covers_partial_order(a in arb_v4net(), b in arb_v4net()) {
+        prop_assert!(a.covers(&a));
+        if a.covers(&b) && b.covers(&a) {
+            prop_assert_eq!(a, b);
+        }
+        if a.covers(&b) {
+            // Every address of b is inside a.
+            prop_assert!(a.contains(b.network()));
+            prop_assert!(a.len() <= b.len());
+        }
+        // overlaps is symmetric.
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+
+    /// subnets() partitions the parent exactly: disjoint, covering, and
+    /// summing to the parent's size.
+    #[test]
+    fn subnets_partition(net in (any::<u32>(), 0u8..=24).prop_map(|(a, l)| Ipv4Net::new(Ipv4Addr::from(a), l)),
+                         extra in 0u8..=6) {
+        let sub_len = net.len() + extra;
+        let subs = net.subnets(sub_len);
+        prop_assert_eq!(subs.len(), 1usize << extra);
+        let total: u64 = subs.iter().map(|s| s.size()).sum();
+        prop_assert_eq!(total, net.size());
+        for (i, s) in subs.iter().enumerate() {
+            prop_assert!(net.covers(s));
+            for t in &subs[i+1..] {
+                prop_assert!(!s.overlaps(t));
+            }
+        }
+    }
+
+    /// Prefix parsing and display round-trip.
+    #[test]
+    fn prefix_display_roundtrip(net in arb_v4net()) {
+        let p = Prefix::V4(net);
+        let parsed: Prefix = p.to_string().parse().unwrap();
+        prop_assert_eq!(p, parsed);
+    }
+
+    /// The event queue pops in non-decreasing time order with FIFO ties,
+    /// regardless of push order.
+    #[test]
+    fn event_queue_is_monotonic_and_stable(times in proptest::collection::vec(0u64..1000, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), i);
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        let mut prev_t = None;
+        let mut count = 0;
+        while let Some((t, idx)) = q.pop() {
+            count += 1;
+            prop_assert!(t >= last_time);
+            if prev_t == Some(t) {
+                // FIFO within equal timestamps: indices increase.
+                prop_assert!(seen_at_time.last().map(|&l| l < idx).unwrap_or(true));
+                seen_at_time.push(idx);
+            } else {
+                seen_at_time.clear();
+                seen_at_time.push(idx);
+            }
+            prev_t = Some(t);
+            last_time = t;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// LPM lookup agrees with a brute-force scan over all entries.
+    #[test]
+    fn lpm_matches_reference(entries in proptest::collection::vec((any::<u32>(), 8u8..=28), 1..40),
+                             probes in proptest::collection::vec(any::<u32>(), 1..40)) {
+        let mut table = ForwardingTable::new();
+        let mut reference: Vec<(Ipv4Net, usize)> = Vec::new();
+        for (i, (addr, len)) in entries.iter().enumerate() {
+            let net = Ipv4Net::new(Ipv4Addr::from(*addr), *len);
+            table.insert(net, i);
+            reference.retain(|(n, _)| *n != net);
+            reference.push((net, i));
+        }
+        for p in probes {
+            let ip = Ipv4Addr::from(p);
+            let got = table.lookup(ip).map(|(n, v)| (n, *v));
+            let expect = reference
+                .iter()
+                .filter(|(n, _)| n.contains(ip))
+                .max_by_key(|(n, _)| n.len())
+                .map(|(n, v)| (*n, *v));
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    /// Insert/remove keeps the table count exact.
+    #[test]
+    fn table_len_accounting(ops in proptest::collection::vec((any::<u32>(), 8u8..=24, any::<bool>()), 1..60)) {
+        let mut table = ForwardingTable::new();
+        let mut reference = std::collections::HashMap::new();
+        for (addr, len, insert) in ops {
+            let net = Ipv4Net::new(Ipv4Addr::from(addr), len);
+            if insert {
+                table.insert(net, ());
+                reference.insert(net, ());
+            } else {
+                table.remove(&net);
+                reference.remove(&net);
+            }
+            prop_assert_eq!(table.len(), reference.len());
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Customer cones and AS rank.
+//!
+//! The paper ranks peers "by the size of their customer cones \[10\]"
+//! (CAIDA AS Rank) and reports that PEERING peers with 13 of the top-50
+//! and 27 of the top-100 ASes. The cone is also the key to the
+//! reachability experiment: ignoring transit, a route learned from peer X
+//! covers exactly the prefixes originated inside X's customer cone —
+//! that is how "peer routes to 131,000 prefixes" is computed.
+
+use crate::graph::{AsGraph, AsIdx};
+use std::collections::HashSet;
+
+/// Compute every AS's customer cone (the set of ASes reachable by
+/// descending customer edges, including itself).
+///
+/// Returns a vector indexed by [`AsIdx`]. Cycles in c2p edges (which a
+/// well-formed topology should not have) are tolerated: members are
+/// accumulated to a fixed point.
+pub fn customer_cones(g: &AsGraph) -> Vec<HashSet<AsIdx>> {
+    let n = g.len();
+    let mut cones: Vec<HashSet<AsIdx>> = (0..n)
+        .map(|i| {
+            let mut s = HashSet::new();
+            s.insert(AsIdx(i as u32));
+            s
+        })
+        .collect();
+    // Iterate to fixed point; on a DAG ordered by tiers this converges in
+    // few passes (depth of the hierarchy).
+    loop {
+        let mut changed = false;
+        for u in g.indices() {
+            let mut additions: Vec<AsIdx> = Vec::new();
+            for &c in g.customers(u) {
+                for &member in &cones[c.i()] {
+                    if !cones[u.i()].contains(&member) {
+                        additions.push(member);
+                    }
+                }
+            }
+            if !additions.is_empty() {
+                changed = true;
+                cones[u.i()].extend(additions);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    cones
+}
+
+/// Cone sizes only (cheaper to keep around).
+pub fn cone_sizes(g: &AsGraph) -> Vec<usize> {
+    customer_cones(g).iter().map(HashSet::len).collect()
+}
+
+/// ASes ranked by descending customer-cone size (CAIDA AS Rank style).
+/// Ties break by ascending ASN for determinism.
+pub fn as_rank(g: &AsGraph) -> Vec<AsIdx> {
+    let sizes = cone_sizes(g);
+    let mut order: Vec<AsIdx> = g.indices().collect();
+    order.sort_by(|a, b| {
+        sizes[b.i()]
+            .cmp(&sizes[a.i()])
+            .then_with(|| g.info(*a).asn.cmp(&g.info(*b).asn))
+    });
+    order
+}
+
+/// The number of *prefixes* originated inside an AS's customer cone.
+pub fn cone_prefix_count(g: &AsGraph, cone: &HashSet<AsIdx>) -> usize {
+    cone.iter().map(|&m| g.info(m).prefixes.len()).sum()
+}
+
+/// Union of the customer cones of `peers`: the set of ASes whose prefixes
+/// a vantage point can reach via those peers *without transit* —
+/// the §4.1 "ignoring transit, routes to ¼ of the Internet" computation.
+pub fn peer_reachable_ases(g: &AsGraph, peers: &[AsIdx]) -> HashSet<AsIdx> {
+    let cones = customer_cones(g);
+    let mut union = HashSet::new();
+    for &p in peers {
+        union.extend(cones[p.i()].iter().copied());
+    }
+    union
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{AsInfo, AsKind, Relationship};
+    use peering_netsim::{Asn, Prefix};
+
+    fn chain() -> (AsGraph, Vec<AsIdx>) {
+        // a <- b <- c (c customer of b, b customer of a), d isolated peer.
+        let mut g = AsGraph::new();
+        let a = g.add_as(AsInfo::new(Asn(1), AsKind::Tier1));
+        let b = g.add_as(AsInfo::new(Asn(2), AsKind::Transit));
+        let c = g.add_as(AsInfo::new(Asn(3), AsKind::Stub));
+        let d = g.add_as(AsInfo::new(Asn(4), AsKind::Content));
+        g.add_edge(b, a, Relationship::CustomerToProvider);
+        g.add_edge(c, b, Relationship::CustomerToProvider);
+        g.add_edge(d, a, Relationship::PeerToPeer);
+        (g, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn cones_are_transitive_down_customer_edges() {
+        let (g, ids) = chain();
+        let cones = customer_cones(&g);
+        assert_eq!(cones[ids[0].i()].len(), 3); // a: {a, b, c}
+        assert_eq!(cones[ids[1].i()].len(), 2); // b: {b, c}
+        assert_eq!(cones[ids[2].i()].len(), 1); // c: {c}
+        assert_eq!(cones[ids[3].i()].len(), 1); // d: {d} (peering doesn't count)
+        assert!(cones[ids[0].i()].contains(&ids[2]));
+    }
+
+    #[test]
+    fn rank_orders_by_cone_size() {
+        let (g, ids) = chain();
+        let rank = as_rank(&g);
+        assert_eq!(rank[0], ids[0]);
+        assert_eq!(rank[1], ids[1]);
+        // c and d tie at size 1; ASN order breaks the tie (3 before 4).
+        assert_eq!(rank[2], ids[2]);
+        assert_eq!(rank[3], ids[3]);
+    }
+
+    #[test]
+    fn cone_prefix_counting() {
+        let (mut g, ids) = chain();
+        g.info_mut(ids[1]).prefixes.push(Prefix::v4(10, 0, 0, 0, 16));
+        g.info_mut(ids[2]).prefixes.push(Prefix::v4(10, 1, 0, 0, 16));
+        g.info_mut(ids[2]).prefixes.push(Prefix::v4(10, 2, 0, 0, 16));
+        let cones = customer_cones(&g);
+        assert_eq!(cone_prefix_count(&g, &cones[ids[0].i()]), 3);
+        assert_eq!(cone_prefix_count(&g, &cones[ids[1].i()]), 3);
+        assert_eq!(cone_prefix_count(&g, &cones[ids[2].i()]), 2);
+        assert_eq!(cone_prefix_count(&g, &cones[ids[3].i()]), 0);
+    }
+
+    #[test]
+    fn peer_reachability_union() {
+        let (g, ids) = chain();
+        // Peering with b and d reaches {b, c} ∪ {d}.
+        let reach = peer_reachable_ases(&g, &[ids[1], ids[3]]);
+        assert_eq!(reach.len(), 3);
+        assert!(reach.contains(&ids[2]));
+        assert!(!reach.contains(&ids[0]));
+        // No peers, nothing reachable.
+        assert!(peer_reachable_ases(&g, &[]).is_empty());
+    }
+
+    #[test]
+    fn multihomed_customer_counted_once() {
+        let mut g = AsGraph::new();
+        let p1 = g.add_as(AsInfo::new(Asn(1), AsKind::Transit));
+        let p2 = g.add_as(AsInfo::new(Asn(2), AsKind::Transit));
+        let top = g.add_as(AsInfo::new(Asn(3), AsKind::Tier1));
+        let c = g.add_as(AsInfo::new(Asn(4), AsKind::Stub));
+        g.add_edge(c, p1, Relationship::CustomerToProvider);
+        g.add_edge(c, p2, Relationship::CustomerToProvider);
+        g.add_edge(p1, top, Relationship::CustomerToProvider);
+        g.add_edge(p2, top, Relationship::CustomerToProvider);
+        let cones = customer_cones(&g);
+        assert_eq!(cones[top.i()].len(), 4); // top, p1, p2, c — c once
+    }
+}

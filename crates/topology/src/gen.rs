@@ -1,0 +1,844 @@
+//! The Internet generator.
+//!
+//! Builds a synthetic AS-level Internet with the structural features the
+//! paper's evaluation depends on: a tier-1 clique, a transit hierarchy,
+//! content/CDN ASes with open peering policies (the trend §3 exploits),
+//! eyeball and stub networks, geography across ~60 countries, a scaled
+//! global prefix table, and IXP member populations with the exact policy
+//! mix §4.1 reports for AMS-IX (554 route-server members; of the 115
+//! others: 48 open, 12 closed, 40 case-by-case, 15 unlisted).
+
+use crate::graph::{AsGraph, AsIdx, AsInfo, AsKind, PeeringPolicy, Relationship};
+use peering_netsim::{Asn, Prefix, SimRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// Geographic regions used for locality-biased edge creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Europe.
+    Eu,
+    /// North America.
+    Na,
+    /// South America.
+    Sa,
+    /// Asia.
+    As,
+    /// Africa.
+    Af,
+    /// Oceania.
+    Oc,
+}
+
+/// `(country code, region, relative weight)` — the sampling table for AS
+/// geography. 64 countries so that a few hundred peers plausibly span the
+/// "59 countries" the paper reports.
+pub const COUNTRIES: &[(&[u8; 2], Region, u32)] = &[
+    (b"US", Region::Na, 180),
+    (b"DE", Region::Eu, 90),
+    (b"GB", Region::Eu, 80),
+    (b"NL", Region::Eu, 75),
+    (b"FR", Region::Eu, 60),
+    (b"RU", Region::Eu, 60),
+    (b"BR", Region::Sa, 55),
+    (b"JP", Region::As, 50),
+    (b"CA", Region::Na, 45),
+    (b"IT", Region::Eu, 40),
+    (b"ES", Region::Eu, 35),
+    (b"AU", Region::Oc, 35),
+    (b"IN", Region::As, 35),
+    (b"CN", Region::As, 35),
+    (b"SE", Region::Eu, 30),
+    (b"PL", Region::Eu, 30),
+    (b"CH", Region::Eu, 28),
+    (b"UA", Region::Eu, 26),
+    (b"KR", Region::As, 25),
+    (b"AT", Region::Eu, 22),
+    (b"BE", Region::Eu, 22),
+    (b"CZ", Region::Eu, 20),
+    (b"DK", Region::Eu, 18),
+    (b"NO", Region::Eu, 18),
+    (b"FI", Region::Eu, 16),
+    (b"RO", Region::Eu, 16),
+    (b"HK", Region::As, 16),
+    (b"SG", Region::As, 15),
+    (b"MX", Region::Na, 15),
+    (b"AR", Region::Sa, 14),
+    (b"TR", Region::Eu, 14),
+    (b"ZA", Region::Af, 13),
+    (b"ID", Region::As, 12),
+    (b"TW", Region::As, 12),
+    (b"IE", Region::Eu, 11),
+    (b"PT", Region::Eu, 11),
+    (b"GR", Region::Eu, 10),
+    (b"HU", Region::Eu, 10),
+    (b"BG", Region::Eu, 10),
+    (b"TH", Region::As, 10),
+    (b"NZ", Region::Oc, 9),
+    (b"CL", Region::Sa, 9),
+    (b"CO", Region::Sa, 8),
+    (b"IL", Region::As, 8),
+    (b"AE", Region::As, 8),
+    (b"SK", Region::Eu, 7),
+    (b"LT", Region::Eu, 7),
+    (b"LV", Region::Eu, 6),
+    (b"EE", Region::Eu, 6),
+    (b"SI", Region::Eu, 6),
+    (b"HR", Region::Eu, 6),
+    (b"RS", Region::Eu, 6),
+    (b"MY", Region::As, 6),
+    (b"PH", Region::As, 6),
+    (b"VN", Region::As, 6),
+    (b"EG", Region::Af, 6),
+    (b"NG", Region::Af, 5),
+    (b"KE", Region::Af, 5),
+    (b"SA", Region::As, 5),
+    (b"PK", Region::As, 5),
+    (b"PE", Region::Sa, 5),
+    (b"IS", Region::Eu, 4),
+    (b"LU", Region::Eu, 4),
+    (b"MD", Region::Eu, 4),
+];
+
+/// Names from §4.1 ("important networks" PEERING peers with), attached to
+/// the biggest generated content/transit ASes for readable reports.
+pub const NOTABLE_NAMES: &[&str] = &[
+    "Google",
+    "Netflix",
+    "Akamai",
+    "Microsoft",
+    "Hurricane Electric",
+    "Airtel",
+    "GoDaddy",
+    "Pacnet",
+    "RETN",
+    "Terremark",
+    "TransTeleCom",
+];
+
+/// Parameters for one IXP's member population.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IxpSpec {
+    /// Display name.
+    pub name: String,
+    /// Host country.
+    pub country: [u8; 2],
+    /// Total member count.
+    pub target_members: usize,
+    /// Members connected to the route servers.
+    pub rs_members: usize,
+    /// Of the non-RS members: how many have each policy.
+    pub open: usize,
+    /// Closed-policy members among non-RS members.
+    pub closed: usize,
+    /// Case-by-case members among non-RS members.
+    pub case_by_case: usize,
+    // Remaining non-RS members are Unlisted.
+}
+
+impl IxpSpec {
+    /// AMS-IX exactly as §4.1 describes it: 669 members, 554 on the route
+    /// servers; of the 115 others 48 open / 12 closed / 40 case-by-case /
+    /// 15 unlisted.
+    pub fn ams_ix() -> Self {
+        IxpSpec {
+            name: "AMS-IX".into(),
+            country: *b"NL",
+            target_members: 669,
+            rs_members: 554,
+            open: 48,
+            closed: 12,
+            case_by_case: 40,
+        }
+    }
+
+    /// Phoenix-IX, the smaller US deployment added in September 2014.
+    pub fn phoenix_ix() -> Self {
+        IxpSpec {
+            name: "Phoenix-IX".into(),
+            country: *b"US",
+            target_members: 70,
+            rs_members: 52,
+            open: 10,
+            closed: 2,
+            case_by_case: 4,
+        }
+    }
+
+    /// Unlisted members among the non-RS population.
+    pub fn unlisted(&self) -> usize {
+        self.target_members
+            .saturating_sub(self.rs_members)
+            .saturating_sub(self.open + self.closed + self.case_by_case)
+    }
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InternetConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Tier-1 backbone count (clique).
+    pub n_tier1: usize,
+    /// Transit providers.
+    pub n_transit: usize,
+    /// Access / eyeball networks.
+    pub n_access: usize,
+    /// Content providers and CDNs.
+    pub n_content: usize,
+    /// Multi-homed enterprises.
+    pub n_enterprise: usize,
+    /// Single-homed stubs.
+    pub n_stub: usize,
+    /// Approximate global prefix-table size to target.
+    pub total_prefixes: usize,
+    /// IXPs to populate.
+    pub ixps: Vec<IxpSpec>,
+}
+
+impl InternetConfig {
+    /// Tiny Internet for unit tests (~120 ASes).
+    pub fn small(seed: u64) -> Self {
+        InternetConfig {
+            seed,
+            n_tier1: 3,
+            n_transit: 12,
+            n_access: 30,
+            n_content: 10,
+            n_enterprise: 10,
+            n_stub: 55,
+            total_prefixes: 1200,
+            ixps: vec![IxpSpec {
+                name: "TEST-IX".into(),
+                country: *b"NL",
+                target_members: 30,
+                rs_members: 22,
+                open: 4,
+                closed: 1,
+                case_by_case: 2,
+            }],
+        }
+    }
+
+    /// Evaluation-scale Internet: ~6,000 ASes and a 1:8-scaled prefix
+    /// table (65,536 ≈ 524k/8), with AMS-IX and Phoenix-IX populated at
+    /// their real member counts.
+    pub fn eval(seed: u64) -> Self {
+        InternetConfig {
+            seed,
+            n_tier1: 12,
+            n_transit: 260,
+            n_access: 1900,
+            n_content: 200,
+            n_enterprise: 550,
+            n_stub: 3078,
+            total_prefixes: 65_536,
+            ixps: vec![IxpSpec::ams_ix(), IxpSpec::phoenix_ix()],
+        }
+    }
+
+    /// The full 2014 Internet: ~47k ASes and the real ~524k-prefix
+    /// table. Expensive (seconds to build, hundreds of MB); used for
+    /// unscaled absolute numbers.
+    pub fn full(seed: u64) -> Self {
+        InternetConfig {
+            seed,
+            n_tier1: 13,
+            n_transit: 2_100,
+            n_access: 15_000,
+            n_content: 1_600,
+            n_enterprise: 4_400,
+            n_stub: 23_900,
+            total_prefixes: 524_000,
+            ixps: vec![IxpSpec::ams_ix(), IxpSpec::phoenix_ix()],
+        }
+    }
+
+    /// Total AS count.
+    pub fn total_ases(&self) -> usize {
+        self.n_tier1 + self.n_transit + self.n_access + self.n_content
+            + self.n_enterprise
+            + self.n_stub
+    }
+}
+
+/// A generated Internet: the graph plus IXP member rosters.
+#[derive(Debug, Clone)]
+pub struct Internet {
+    /// The AS graph.
+    pub graph: AsGraph,
+    /// Member lists, parallel to `specs`.
+    pub ixp_members: Vec<Vec<AsIdx>>,
+    /// The IXP specifications used.
+    pub specs: Vec<IxpSpec>,
+    /// The configuration used.
+    pub cfg: InternetConfig,
+}
+
+fn region_of(country: &[u8; 2]) -> Region {
+    COUNTRIES
+        .iter()
+        .find(|(c, _, _)| *c == country)
+        .map(|(_, r, _)| *r)
+        .unwrap_or(Region::Na)
+}
+
+fn sample_country(rng: &mut SimRng) -> [u8; 2] {
+    let total: u32 = COUNTRIES.iter().map(|(_, _, w)| w).sum();
+    let mut pick = rng.below(total as u64) as u32;
+    for (code, _, w) in COUNTRIES {
+        if pick < *w {
+            return **code;
+        }
+        pick -= w;
+    }
+    *b"US"
+}
+
+impl Internet {
+    /// Build an Internet from a configuration.
+    pub fn build(cfg: InternetConfig) -> Internet {
+        let root = SimRng::new(cfg.seed);
+        let mut rng = root.fork("topology-gen");
+        let mut g = AsGraph::new();
+
+        // -- nodes -----------------------------------------------------
+        let mut next_asn = 100u32;
+        let mut fresh_asn = |rng: &mut SimRng| {
+            next_asn += 1 + rng.below(6) as u32;
+            while Asn(next_asn).is_private() || Asn(next_asn).is_reserved() {
+                next_asn += 1;
+            }
+            Asn(next_asn)
+        };
+
+        let mut tier1s = Vec::new();
+        for _ in 0..cfg.n_tier1 {
+            let mut info = AsInfo::new(fresh_asn(&mut rng), AsKind::Tier1);
+            info.country = if rng.chance(0.6) { *b"US" } else { sample_country(&mut rng) };
+            info.policy = PeeringPolicy::Closed; // tier-1s famously don't open-peer
+            tier1s.push(g.add_as(info));
+        }
+        let mut transits = Vec::new();
+        for _ in 0..cfg.n_transit {
+            let mut info = AsInfo::new(fresh_asn(&mut rng), AsKind::Transit);
+            info.country = sample_country(&mut rng);
+            info.policy = if rng.chance(0.45) {
+                PeeringPolicy::Open
+            } else if rng.chance(0.5) {
+                PeeringPolicy::CaseByCase
+            } else {
+                PeeringPolicy::Unlisted
+            };
+            info.uses_route_server = rng.chance(0.7);
+            transits.push(g.add_as(info));
+        }
+        let mut contents = Vec::new();
+        for i in 0..cfg.n_content {
+            let mut info = AsInfo::new(fresh_asn(&mut rng), AsKind::Content);
+            info.country = if rng.chance(0.5) { *b"US" } else { sample_country(&mut rng) };
+            // Content providers overwhelmingly peer openly (§3).
+            info.policy = if rng.chance(0.85) {
+                PeeringPolicy::Open
+            } else {
+                PeeringPolicy::CaseByCase
+            };
+            info.uses_route_server = rng.chance(0.85);
+            if i < NOTABLE_NAMES.len() {
+                info.name = Some(NOTABLE_NAMES[i].to_string());
+            }
+            contents.push(g.add_as(info));
+        }
+        let mut accesses = Vec::new();
+        for _ in 0..cfg.n_access {
+            let mut info = AsInfo::new(fresh_asn(&mut rng), AsKind::Access);
+            info.country = sample_country(&mut rng);
+            info.policy = if rng.chance(0.3) {
+                PeeringPolicy::Open
+            } else if rng.chance(0.4) {
+                PeeringPolicy::CaseByCase
+            } else {
+                PeeringPolicy::Unlisted
+            };
+            info.uses_route_server = rng.chance(0.6);
+            accesses.push(g.add_as(info));
+        }
+        let mut enterprises = Vec::new();
+        for _ in 0..cfg.n_enterprise {
+            let mut info = AsInfo::new(fresh_asn(&mut rng), AsKind::Enterprise);
+            info.country = sample_country(&mut rng);
+            enterprises.push(g.add_as(info));
+        }
+        let mut stubs = Vec::new();
+        for _ in 0..cfg.n_stub {
+            let mut info = AsInfo::new(fresh_asn(&mut rng), AsKind::Stub);
+            info.country = sample_country(&mut rng);
+            stubs.push(g.add_as(info));
+        }
+
+        // -- edges -----------------------------------------------------
+        // Tier-1 clique.
+        for i in 0..tier1s.len() {
+            for j in (i + 1)..tier1s.len() {
+                g.add_edge(tier1s[i], tier1s[j], Relationship::PeerToPeer);
+            }
+        }
+        // Transits: 1-2 providers among tier-1s (or earlier transits for a
+        // deeper hierarchy), plus regional peering among transits.
+        for (i, &t) in transits.iter().enumerate() {
+            let n_prov = 1 + rng.below(2) as usize;
+            for _ in 0..n_prov {
+                let upstream = if i >= 4 && rng.chance(0.4) {
+                    transits[rng.index(i.min(transits.len()))]
+                } else {
+                    tier1s[rng.index(tier1s.len())]
+                };
+                g.add_edge(t, upstream, Relationship::CustomerToProvider);
+            }
+        }
+        for i in 0..transits.len() {
+            for j in (i + 1)..transits.len() {
+                let same_region = region_of(&g.info(transits[i]).country)
+                    == region_of(&g.info(transits[j]).country);
+                let p = if same_region { 0.08 } else { 0.015 };
+                if rng.chance(p) {
+                    g.add_edge(transits[i], transits[j], Relationship::PeerToPeer);
+                }
+            }
+        }
+        // A regional-preference provider picker.
+        let pick_provider = |g: &AsGraph,
+                             rng: &mut SimRng,
+                             country: &[u8; 2],
+                             pool: &[AsIdx]|
+         -> AsIdx {
+            // Try a few times for a same-region provider, else any.
+            for _ in 0..4 {
+                let cand = pool[rng.index(pool.len())];
+                if region_of(&g.info(cand).country) == region_of(country) {
+                    return cand;
+                }
+            }
+            pool[rng.index(pool.len())]
+        };
+        for &a in &accesses {
+            let country = g.info(a).country;
+            let n_prov = 1 + rng.below(3) as usize; // 1-3 providers
+            for _ in 0..n_prov {
+                let p = pick_provider(&g, &mut rng, &country, &transits);
+                g.add_edge(a, p, Relationship::CustomerToProvider);
+            }
+        }
+        for &c in &contents {
+            let country = g.info(c).country;
+            let n_prov = 1 + rng.below(2) as usize;
+            for _ in 0..n_prov {
+                let p = if rng.chance(0.3) {
+                    tier1s[rng.index(tier1s.len())]
+                } else {
+                    pick_provider(&g, &mut rng, &country, &transits)
+                };
+                g.add_edge(c, p, Relationship::CustomerToProvider);
+            }
+            // CDNs peer directly with eyeballs (the §3 trend).
+            let n_peerings = 2 + rng.below(6) as usize;
+            for _ in 0..n_peerings {
+                let e = accesses[rng.index(accesses.len())];
+                g.add_edge(c, e, Relationship::PeerToPeer);
+            }
+        }
+        for &e in &enterprises {
+            let country = g.info(e).country;
+            for _ in 0..2 {
+                let pool: &[AsIdx] = if rng.chance(0.7) { &transits } else { &accesses };
+                let p = pick_provider(&g, &mut rng, &country, pool);
+                g.add_edge(e, p, Relationship::CustomerToProvider);
+            }
+        }
+        for &s in &stubs {
+            let country = g.info(s).country;
+            // Stubs overwhelmingly buy from access/regional networks, not
+            // directly from big transit — this keeps transit customer
+            // cones realistic (they matter for §4.1 reachability).
+            let pool: &[AsIdx] = if rng.chance(0.85) { &accesses } else { &transits };
+            let p = pick_provider(&g, &mut rng, &country, pool);
+            g.add_edge(s, p, Relationship::CustomerToProvider);
+        }
+
+        // -- prefixes ----------------------------------------------------
+        // Heavy-tailed per-kind weights, normalized to total_prefixes.
+        let mut weights: Vec<f64> = Vec::with_capacity(g.len());
+        let mut wrng = root.fork("prefix-weights");
+        for (_, info) in g.infos() {
+            // The global table is dominated by access/stub deaggregation,
+            // with a heavy tail: most ASes announce a couple of prefixes,
+            // a few whales announce thousands.
+            let w = match info.kind {
+                AsKind::Tier1 => 10.0 + wrng.pareto(10.0, 1.1),
+                AsKind::Transit => 3.0 + wrng.pareto(2.0, 1.05),
+                AsKind::Content => 1.5 + wrng.pareto(1.0, 1.05),
+                AsKind::Access => 1.5 + wrng.pareto(1.0, 1.1),
+                AsKind::Enterprise => 1.0 + wrng.pareto(0.3, 1.5),
+                AsKind::Stub => 1.0 + wrng.pareto(0.2, 1.6),
+                AsKind::Testbed => 1.0,
+            };
+            weights.push(w);
+        }
+        let wsum: f64 = weights.iter().sum();
+        let mut block = 0u32; // sequential /24 blocks from 16.0.0.0 up
+        let base = u32::from(Ipv4Addr::new(16, 0, 0, 0));
+        let n_nodes = g.len();
+        for i in 0..n_nodes {
+            let share = ((weights[i] / wsum) * cfg.total_prefixes as f64).round() as usize;
+            let count = share.max(1);
+            let info = g.info_mut(AsIdx(i as u32));
+            for _ in 0..count {
+                let addr = base + block * 256;
+                info.prefixes
+                    .push(Prefix::V4(peering_netsim::Ipv4Net::new(
+                        Ipv4Addr::from(addr),
+                        24,
+                    )));
+                block += 1;
+            }
+        }
+
+        // -- IPv6 (dual stack) ---------------------------------------------
+        // The paper plans IPv6 support; a realistic fraction of ASes is
+        // dual-stacked (content networks led that transition).
+        let mut v6rng = root.fork("dual-stack");
+        let mut v6_block = 0u32;
+        let n_nodes2 = g.len();
+        for i in 0..n_nodes2 {
+            let idx = AsIdx(i as u32);
+            let p_dual = match g.info(idx).kind {
+                AsKind::Content => 0.8,
+                AsKind::Tier1 => 0.9,
+                AsKind::Transit => 0.5,
+                AsKind::Access => 0.3,
+                AsKind::Enterprise => 0.15,
+                AsKind::Stub => 0.1,
+                AsKind::Testbed => 0.0,
+            };
+            if v6rng.chance(p_dual) {
+                let net = peering_netsim::Ipv6Net::new(
+                    std::net::Ipv6Addr::new(
+                        0x2001,
+                        (0x4000 + (v6_block >> 16)) as u16,
+                        (v6_block & 0xFFFF) as u16,
+                        0,
+                        0,
+                        0,
+                        0,
+                        0,
+                    ),
+                    48,
+                );
+                g.info_mut(idx).v6_prefixes.push(net);
+                v6_block += 1;
+            }
+        }
+
+        // -- IXP memberships ---------------------------------------------
+        let mut mrng = root.fork("ixp-members");
+        let mut ixp_members = Vec::new();
+        // Cone sizes drive carrier-membership weights (the big carriers
+        // are at every major IXP).
+        let cone_sizes = crate::cone::cone_sizes(&g);
+        // Policy/RS flags are per-AS; once an earlier (larger) IXP has
+        // stamped a member, later IXPs must not overwrite it, or the
+        // first IXP's exact census would silently corrupt.
+        let mut claimed: HashSet<AsIdx> = HashSet::new();
+        for spec in &cfg.ixps {
+            let members =
+                Self::populate_ixp(&mut g, spec, &mut mrng, &mut claimed, &cone_sizes);
+            ixp_members.push(members);
+        }
+
+        debug_assert!(g.validate().is_ok());
+        Internet {
+            graph: g,
+            ixp_members,
+            specs: cfg.ixps.clone(),
+            cfg,
+        }
+    }
+
+    /// Choose an IXP's members and stamp their policy / RS membership so
+    /// the counts match the spec exactly.
+    fn populate_ixp(
+        g: &mut AsGraph,
+        spec: &IxpSpec,
+        rng: &mut SimRng,
+        claimed: &mut HashSet<AsIdx>,
+        cone_sizes: &[usize],
+    ) -> Vec<AsIdx> {
+        let host_region = region_of(&spec.country);
+        // Content popularity rank (creation order = catalog popularity):
+        // the big CDNs peer everywhere, the long tail mostly doesn't.
+        let mut content_rank: std::collections::HashMap<AsIdx, usize> =
+            std::collections::HashMap::new();
+        for (idx, info) in g.infos() {
+            if info.kind == AsKind::Content {
+                let r = content_rank.len();
+                content_rank.insert(idx, r);
+            }
+        }
+        // Weighted sampling without replacement (A-Res: key = u^(1/w),
+        // keep the largest keys). Unlike top-k scoring this stays
+        // scale-invariant: the member mix is proportional to the weights
+        // whether the Internet has 6k or 47k ASes.
+        let mut scored: Vec<(f64, AsIdx)> = g
+            .infos()
+            .filter(|(_, info)| {
+                // Stubs don't colocate; tier-1s are transit-free carriers
+                // that never peer with small members (restrictive policy),
+                // so they are not candidates for the testbed's peer set.
+                !matches!(info.kind, AsKind::Stub | AsKind::Testbed | AsKind::Tier1)
+            })
+            .map(|(idx, info)| {
+                // Route-server populations skew toward content and
+                // access networks; transit carriers join, but the bigger
+                // their customer base the more selectively they peer.
+                let base: f64 = match info.kind {
+                    AsKind::Content => {
+                        let rank = content_rank.get(&idx).copied().unwrap_or(usize::MAX);
+                        25.0 + 300.0 / (1.0 + rank as f64 / 8.0)
+                    }
+                    AsKind::Access => 22.0,
+                    AsKind::Transit => {
+                        // Regional transits behave like access networks;
+                        // the global carriers (HE, RETN, TTK — §4.1's own
+                        // peer examples) sit at every major IXP, so their
+                        // weight grows with customer-cone share.
+                        // "Global carrier" means a genuinely large cone
+                        // (hundreds of ASes), not merely a large share of
+                        // a tiny test graph.
+                        let size = cone_sizes[idx.i()];
+                        let share = size as f64 / g.len() as f64;
+                        if size > 150 && share > 0.004 {
+                            35.0 + (11000.0 * share).min(900.0)
+                        } else {
+                            30.0
+                        }
+                    }
+                    AsKind::Enterprise => 8.0,
+                    _ => 1.0,
+                };
+                // Strong locality: IXP members overwhelmingly come from
+                // the host country and region, with a worldwide tail.
+                let locality = if info.country == spec.country {
+                    8.0
+                } else if region_of(&info.country) == host_region {
+                    3.0
+                } else {
+                    1.0
+                };
+                let w = base * locality;
+                let u = rng.unit().clamp(1e-12, 1.0 - 1e-12);
+                (u.powf(1.0 / w), idx)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite keys").then(a.1.cmp(&b.1)));
+        let members: Vec<AsIdx> = scored
+            .into_iter()
+            .take(spec.target_members)
+            .map(|(_, idx)| idx)
+            .collect();
+
+        // Assign RS membership and the §4.1 policy mix deterministically,
+        // touching only members no earlier IXP has stamped.
+        let mut shuffled = members.clone();
+        rng.shuffle(&mut shuffled);
+        let (rs, non_rs) = shuffled.split_at(spec.rs_members.min(shuffled.len()));
+        for &m in rs {
+            if claimed.insert(m) {
+                g.info_mut(m).uses_route_server = true;
+            }
+        }
+        let mut cursor = 0usize;
+        let mut assign = |count: usize,
+                          policy: PeeringPolicy,
+                          g: &mut AsGraph,
+                          claimed: &mut HashSet<AsIdx>| {
+            for _ in 0..count {
+                if cursor < non_rs.len() {
+                    if claimed.insert(non_rs[cursor]) {
+                        g.info_mut(non_rs[cursor]).uses_route_server = false;
+                        g.info_mut(non_rs[cursor]).policy = policy;
+                    }
+                    cursor += 1;
+                }
+            }
+        };
+        assign(spec.open, PeeringPolicy::Open, g, claimed);
+        assign(spec.closed, PeeringPolicy::Closed, g, claimed);
+        assign(spec.case_by_case, PeeringPolicy::CaseByCase, g, claimed);
+        assign(spec.unlisted(), PeeringPolicy::Unlisted, g, claimed);
+        members
+    }
+
+    /// Members of IXP `i` that connect to the route server.
+    pub fn rs_members(&self, i: usize) -> Vec<AsIdx> {
+        self.ixp_members[i]
+            .iter()
+            .copied()
+            .filter(|&m| self.graph.info(m).uses_route_server)
+            .collect()
+    }
+
+    /// Members of IXP `i` that do NOT connect to the route server.
+    pub fn bilateral_candidates(&self, i: usize) -> Vec<AsIdx> {
+        self.ixp_members[i]
+            .iter()
+            .copied()
+            .filter(|&m| !self.graph.info(m).uses_route_server)
+            .collect()
+    }
+
+    /// Distinct countries across a set of ASes.
+    pub fn countries_of(&self, ases: &[AsIdx]) -> HashSet<[u8; 2]> {
+        ases.iter().map(|&a| self.graph.info(a).country).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cone::as_rank;
+
+    #[test]
+    fn small_internet_is_well_formed() {
+        let net = Internet::build(InternetConfig::small(1));
+        let g = &net.graph;
+        assert_eq!(g.len(), InternetConfig::small(1).total_ases());
+        g.validate().unwrap();
+        // Every non-tier1 AS has at least one provider (reachability).
+        for (idx, info) in g.infos() {
+            if info.kind != AsKind::Tier1 {
+                assert!(
+                    !g.providers(idx).is_empty(),
+                    "{} ({:?}) has no provider",
+                    info.asn,
+                    info.kind
+                );
+            }
+        }
+        // Prefix total within 25% of target (rounding + min-1 slack).
+        let total = g.total_prefixes();
+        let target = net.cfg.total_prefixes;
+        assert!(
+            total >= target * 3 / 4 && total <= target * 5 / 4,
+            "total={total} target={target}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = Internet::build(InternetConfig::small(7));
+        let b = Internet::build(InternetConfig::small(7));
+        assert_eq!(a.graph.len(), b.graph.len());
+        assert_eq!(a.graph.edge_counts(), b.graph.edge_counts());
+        for (i, (idx, info)) in a.graph.infos().enumerate() {
+            let binfo = b.graph.info(AsIdx(i as u32));
+            assert_eq!(info.asn, binfo.asn);
+            assert_eq!(info.country, binfo.country);
+            assert_eq!(info.prefixes.len(), binfo.prefixes.len());
+            let _ = idx;
+        }
+        assert_eq!(a.ixp_members, b.ixp_members);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Internet::build(InternetConfig::small(1));
+        let b = Internet::build(InternetConfig::small(2));
+        assert_ne!(a.graph.edge_counts(), b.graph.edge_counts());
+    }
+
+    #[test]
+    fn ixp_population_matches_spec_exactly() {
+        let net = Internet::build(InternetConfig::small(3));
+        let spec = &net.specs[0];
+        let members = &net.ixp_members[0];
+        assert_eq!(members.len(), spec.target_members);
+        let rs = net.rs_members(0);
+        assert_eq!(rs.len(), spec.rs_members);
+        let non_rs = net.bilateral_candidates(0);
+        assert_eq!(non_rs.len(), spec.target_members - spec.rs_members);
+        let count = |p: PeeringPolicy| {
+            non_rs
+                .iter()
+                .filter(|&&m| net.graph.info(m).policy == p)
+                .count()
+        };
+        assert_eq!(count(PeeringPolicy::Open), spec.open);
+        assert_eq!(count(PeeringPolicy::Closed), spec.closed);
+        assert_eq!(count(PeeringPolicy::CaseByCase), spec.case_by_case);
+        assert_eq!(count(PeeringPolicy::Unlisted), spec.unlisted());
+    }
+
+    #[test]
+    fn ams_ix_spec_matches_paper() {
+        let s = IxpSpec::ams_ix();
+        assert_eq!(s.target_members, 669);
+        assert_eq!(s.rs_members, 554);
+        assert_eq!(s.open, 48);
+        assert_eq!(s.closed, 12);
+        assert_eq!(s.case_by_case, 40);
+        assert_eq!(s.unlisted(), 15);
+    }
+
+    #[test]
+    fn prefixes_do_not_overlap() {
+        let net = Internet::build(InternetConfig::small(5));
+        let mut seen = HashSet::new();
+        for (_, info) in net.graph.infos() {
+            for p in &info.prefixes {
+                assert!(seen.insert(*p), "duplicate prefix {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn notable_names_present() {
+        let net = Internet::build(InternetConfig::small(1));
+        let named: Vec<&str> = net
+            .graph
+            .infos()
+            .filter_map(|(_, i)| i.name.as_deref())
+            .collect();
+        assert!(named.contains(&"Google"));
+        assert!(named.contains(&"Netflix"));
+    }
+
+    #[test]
+    fn tier1s_have_biggest_cones() {
+        let net = Internet::build(InternetConfig::small(9));
+        let rank = as_rank(&net.graph);
+        // The single biggest cone belongs to a tier-1 or top transit.
+        let top_kind = net.graph.info(rank[0]).kind;
+        assert!(
+            matches!(top_kind, AsKind::Tier1 | AsKind::Transit),
+            "{top_kind:?}"
+        );
+    }
+
+    #[test]
+    fn countries_are_diverse() {
+        let net = Internet::build(InternetConfig::small(11));
+        let all: Vec<AsIdx> = net.graph.indices().collect();
+        let countries = net.countries_of(&all);
+        assert!(countries.len() > 15, "only {} countries", countries.len());
+    }
+
+    #[test]
+    fn eval_scale_builds() {
+        let cfg = InternetConfig::eval(1);
+        let net = Internet::build(cfg);
+        assert_eq!(net.graph.len(), 6000);
+        assert_eq!(net.ixp_members[0].len(), 669);
+        net.graph.validate().unwrap();
+    }
+}

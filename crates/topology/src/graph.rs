@@ -1,0 +1,398 @@
+//! The AS graph: autonomous systems and their business relationships.
+
+use peering_netsim::{Asn, Prefix};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense index of an AS within a graph (stable for the graph's lifetime).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct AsIdx(pub u32);
+
+impl AsIdx {
+    /// As a usize for slice indexing.
+    pub fn i(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AsIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "as#{}", self.0)
+    }
+}
+
+/// The role an AS plays in the routing ecosystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AsKind {
+    /// Global transit-free backbone (the tier-1 clique).
+    Tier1,
+    /// Regional / national transit provider.
+    Transit,
+    /// Eyeball / access network.
+    Access,
+    /// Content provider or CDN (Akamai, Google, Netflix class).
+    Content,
+    /// Multi-homed enterprise.
+    Enterprise,
+    /// Single-homed stub.
+    Stub,
+    /// A testbed AS (PEERING itself).
+    Testbed,
+}
+
+/// Published peering policy, per PeeringDB convention. §4.1 reports the
+/// AMS-IX mix: open is the most prevalent policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PeeringPolicy {
+    /// Peers with anyone who asks.
+    Open,
+    /// Decides per request.
+    CaseByCase,
+    /// Does not peer (or only with settlement).
+    Closed,
+    /// No published policy.
+    Unlisted,
+}
+
+/// The relationship on an edge, read as "first is X of second".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Relationship {
+    /// First AS buys transit from the second (customer-to-provider).
+    CustomerToProvider,
+    /// Settlement-free peering.
+    PeerToPeer,
+}
+
+/// Everything known about one AS.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsInfo {
+    /// The AS number.
+    pub asn: Asn,
+    /// Role.
+    pub kind: AsKind,
+    /// ISO-3166-ish country code.
+    pub country: [u8; 2],
+    /// Prefixes originated by this AS.
+    pub prefixes: Vec<Prefix>,
+    /// IPv6 prefixes originated by this AS (dual-stack deployment).
+    pub v6_prefixes: Vec<peering_netsim::Ipv6Net>,
+    /// Published peering policy.
+    pub policy: PeeringPolicy,
+    /// Whether this AS connects to route servers where available.
+    pub uses_route_server: bool,
+    /// Display name for reports ("Hurricane Electric"), if notable.
+    pub name: Option<String>,
+}
+
+impl AsInfo {
+    /// Minimal constructor.
+    pub fn new(asn: Asn, kind: AsKind) -> Self {
+        AsInfo {
+            asn,
+            kind,
+            country: *b"US",
+            prefixes: Vec::new(),
+            v6_prefixes: Vec::new(),
+            policy: PeeringPolicy::Unlisted,
+            uses_route_server: false,
+            name: None,
+        }
+    }
+
+    /// The country as a string.
+    pub fn country_str(&self) -> &str {
+        std::str::from_utf8(&self.country).unwrap_or("??")
+    }
+}
+
+/// The AS-level Internet graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AsGraph {
+    nodes: Vec<AsInfo>,
+    by_asn: HashMap<Asn, AsIdx>,
+    /// providers[u] = ASes u buys transit from.
+    providers: Vec<Vec<AsIdx>>,
+    /// customers[u] = ASes buying transit from u.
+    customers: Vec<Vec<AsIdx>>,
+    /// peers[u] = settlement-free peers of u.
+    peers: Vec<Vec<AsIdx>>,
+}
+
+impl AsGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an AS; panics if the ASN is already present.
+    pub fn add_as(&mut self, info: AsInfo) -> AsIdx {
+        assert!(
+            !self.by_asn.contains_key(&info.asn),
+            "duplicate ASN {}",
+            info.asn
+        );
+        let idx = AsIdx(self.nodes.len() as u32);
+        self.by_asn.insert(info.asn, idx);
+        self.nodes.push(info);
+        self.providers.push(Vec::new());
+        self.customers.push(Vec::new());
+        self.peers.push(Vec::new());
+        idx
+    }
+
+    /// Add an edge. `CustomerToProvider` reads "a is a customer of b".
+    /// Self edges and edges between already-related ASes are ignored, so
+    /// a pair can never be double-booked as both peers and
+    /// customer/provider.
+    pub fn add_edge(&mut self, a: AsIdx, b: AsIdx, rel: Relationship) {
+        if a == b || self.adjacent(a, b) {
+            return;
+        }
+        match rel {
+            Relationship::CustomerToProvider => {
+                self.providers[a.i()].push(b);
+                self.customers[b.i()].push(a);
+            }
+            Relationship::PeerToPeer => {
+                self.peers[a.i()].push(b);
+                self.peers[b.i()].push(a);
+            }
+        }
+    }
+
+    /// Remove a peering edge (used when simulating de-peering).
+    pub fn remove_peering(&mut self, a: AsIdx, b: AsIdx) {
+        self.peers[a.i()].retain(|&x| x != b);
+        self.peers[b.i()].retain(|&x| x != a);
+    }
+
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph has no ASes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node info by index.
+    pub fn info(&self, idx: AsIdx) -> &AsInfo {
+        &self.nodes[idx.i()]
+    }
+
+    /// Mutable node info by index.
+    pub fn info_mut(&mut self, idx: AsIdx) -> &mut AsInfo {
+        &mut self.nodes[idx.i()]
+    }
+
+    /// Look up an AS by number.
+    pub fn idx_of(&self, asn: Asn) -> Option<AsIdx> {
+        self.by_asn.get(&asn).copied()
+    }
+
+    /// Providers of `u`.
+    pub fn providers(&self, u: AsIdx) -> &[AsIdx] {
+        &self.providers[u.i()]
+    }
+
+    /// Customers of `u`.
+    pub fn customers(&self, u: AsIdx) -> &[AsIdx] {
+        &self.customers[u.i()]
+    }
+
+    /// Peers of `u`.
+    pub fn peers(&self, u: AsIdx) -> &[AsIdx] {
+        &self.peers[u.i()]
+    }
+
+    /// All neighbors of `u` regardless of relationship.
+    pub fn neighbors(&self, u: AsIdx) -> impl Iterator<Item = AsIdx> + '_ {
+        self.providers[u.i()]
+            .iter()
+            .chain(&self.customers[u.i()])
+            .chain(&self.peers[u.i()])
+            .copied()
+    }
+
+    /// True if `a` and `b` share any relationship.
+    pub fn adjacent(&self, a: AsIdx, b: AsIdx) -> bool {
+        self.providers[a.i()].contains(&b)
+            || self.customers[a.i()].contains(&b)
+            || self.peers[a.i()].contains(&b)
+    }
+
+    /// All AS indices.
+    pub fn indices(&self) -> impl Iterator<Item = AsIdx> {
+        (0..self.nodes.len() as u32).map(AsIdx)
+    }
+
+    /// All node infos.
+    pub fn infos(&self) -> impl Iterator<Item = (AsIdx, &AsInfo)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (AsIdx(i as u32), n))
+    }
+
+    /// Total directed c2p edge count plus undirected peer edge count.
+    pub fn edge_counts(&self) -> (usize, usize) {
+        let c2p = self.providers.iter().map(Vec::len).sum();
+        let p2p = self.peers.iter().map(Vec::len).sum::<usize>() / 2;
+        (c2p, p2p)
+    }
+
+    /// Total prefixes originated across all ASes.
+    pub fn total_prefixes(&self) -> usize {
+        self.nodes.iter().map(|n| n.prefixes.len()).sum()
+    }
+
+    /// The AS originating a prefix (most specific covering origin).
+    pub fn origin_of(&self, prefix: &Prefix) -> Option<AsIdx> {
+        let mut best: Option<(u8, AsIdx)> = None;
+        for (idx, info) in self.infos() {
+            for p in &info.prefixes {
+                if p.covers(prefix) {
+                    let candidate = (p.len(), idx);
+                    if best.map(|(l, _)| candidate.0 > l).unwrap_or(true) {
+                        best = Some(candidate);
+                    }
+                }
+            }
+        }
+        best.map(|(_, idx)| idx)
+    }
+
+    /// Verify structural invariants (no relationship double-booking, no
+    /// c2p cycles among tier hierarchy is checked by the generator).
+    pub fn validate(&self) -> Result<(), String> {
+        for u in self.indices() {
+            for &p in self.providers(u) {
+                if self.peers[u.i()].contains(&p) {
+                    return Err(format!("{u} has {p} as both provider and peer"));
+                }
+                if self.providers[p.i()].contains(&u) {
+                    return Err(format!("{u} and {p} are mutual providers"));
+                }
+                if !self.customers[p.i()].contains(&u) {
+                    return Err(format!("provider edge {u}->{p} missing reverse"));
+                }
+            }
+            for &q in self.peers(u) {
+                if !self.peers[q.i()].contains(&u) {
+                    return Err(format!("peer edge {u}<->{q} not symmetric"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (AsGraph, AsIdx, AsIdx, AsIdx) {
+        // c -> b -> a (customers up to providers), c peers with d.
+        let mut g = AsGraph::new();
+        let a = g.add_as(AsInfo::new(Asn(1), AsKind::Tier1));
+        let b = g.add_as(AsInfo::new(Asn(2), AsKind::Transit));
+        let c = g.add_as(AsInfo::new(Asn(3), AsKind::Stub));
+        g.add_edge(b, a, Relationship::CustomerToProvider);
+        g.add_edge(c, b, Relationship::CustomerToProvider);
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let (g, a, b, c) = tiny();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.idx_of(Asn(2)), Some(b));
+        assert_eq!(g.idx_of(Asn(99)), None);
+        assert_eq!(g.info(a).asn, Asn(1));
+        assert_eq!(g.providers(c), &[b]);
+        assert_eq!(g.customers(a), &[b]);
+        assert!(g.adjacent(b, a));
+        assert!(!g.adjacent(c, a));
+        assert_eq!(g.edge_counts(), (2, 0));
+    }
+
+    #[test]
+    fn peer_edges_are_symmetric() {
+        let (mut g, _a, b, c) = tiny();
+        let d = g.add_as(AsInfo::new(Asn(4), AsKind::Content));
+        g.add_edge(c, d, Relationship::PeerToPeer);
+        assert_eq!(g.peers(c), &[d]);
+        assert_eq!(g.peers(d), &[c]);
+        assert!(g.validate().is_ok());
+        g.remove_peering(c, d);
+        assert!(g.peers(c).is_empty() && g.peers(d).is_empty());
+        let _ = b;
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_ignored() {
+        let (mut g, a, b, _c) = tiny();
+        g.add_edge(b, a, Relationship::CustomerToProvider);
+        g.add_edge(a, a, Relationship::PeerToPeer);
+        assert_eq!(g.providers(b).len(), 1);
+        assert!(g.peers(a).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate ASN")]
+    fn duplicate_asn_panics() {
+        let mut g = AsGraph::new();
+        g.add_as(AsInfo::new(Asn(1), AsKind::Stub));
+        g.add_as(AsInfo::new(Asn(1), AsKind::Stub));
+    }
+
+    #[test]
+    fn neighbors_iterates_all_relations() {
+        let (mut g, a, b, c) = tiny();
+        let d = g.add_as(AsInfo::new(Asn(4), AsKind::Content));
+        g.add_edge(b, d, Relationship::PeerToPeer);
+        let mut n: Vec<AsIdx> = g.neighbors(b).collect();
+        n.sort();
+        assert_eq!(n, vec![a, c, d]);
+    }
+
+    #[test]
+    fn origin_of_prefers_most_specific() {
+        let (mut g, a, b, _c) = tiny();
+        g.info_mut(a).prefixes.push("10.0.0.0/8".parse().unwrap());
+        g.info_mut(b).prefixes.push("10.1.0.0/16".parse().unwrap());
+        let p: Prefix = "10.1.2.0/24".parse().unwrap();
+        assert_eq!(g.origin_of(&p), Some(b));
+        let q: Prefix = "10.200.0.0/24".parse().unwrap();
+        assert_eq!(g.origin_of(&q), Some(a));
+        let r: Prefix = "192.0.2.0/24".parse().unwrap();
+        assert_eq!(g.origin_of(&r), None);
+    }
+
+    #[test]
+    fn double_booking_is_refused() {
+        let (mut g, a, b, _c) = tiny();
+        // b already buys transit from a; a peering edge must be ignored.
+        g.add_edge(b, a, Relationship::PeerToPeer);
+        assert!(g.peers(a).is_empty());
+        assert!(g.peers(b).is_empty());
+        assert!(g.validate().is_ok());
+        // And the reverse: peers can't become customer/provider.
+        let d = g.add_as(AsInfo::new(Asn(9), AsKind::Content));
+        g.add_edge(b, d, Relationship::PeerToPeer);
+        g.add_edge(b, d, Relationship::CustomerToProvider);
+        assert!(g.providers(b).len() == 1, "only the original provider");
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn country_str() {
+        let mut info = AsInfo::new(Asn(5), AsKind::Access);
+        info.country = *b"NL";
+        assert_eq!(info.country_str(), "NL");
+    }
+}

@@ -1,0 +1,32 @@
+//! AS-level Internet model for the PEERING reproduction.
+//!
+//! The real testbed plugs into the live Internet; the reproduction plugs
+//! into this crate: a synthetic but structurally faithful AS-level
+//! topology with business relationships, policy-constrained (Gao–Rexford)
+//! route propagation, customer cones and AS rank, geography, prefix
+//! assignment, and IXP membership — everything §4.1 of the paper measures
+//! against.
+//!
+//! * [`graph`] — the AS graph: nodes, customer/provider and peer edges.
+//! * [`routing`] — valley-free propagation of announcements, including
+//!   prepending, AS-path poisoning, selective (per-neighbor) export, and
+//!   multi-origin announcements (anycast / hijack); plus an AS-level data
+//!   plane for tracing traffic.
+//! * [`cone`] — customer cones and CAIDA-style AS rank.
+//! * [`gen`] — the Internet generator (tier-1 clique, transit hierarchy,
+//!   content/CDN ASes with open peering, stubs; prefixes; countries; IXP
+//!   memberships with the paper's AMS-IX policy mix).
+//! * [`zoo`] — Topology-Zoo-style PoP-level maps, including the 24-PoP
+//!   Hurricane Electric backbone used in §4.2.
+
+pub mod cone;
+pub mod gen;
+pub mod graph;
+pub mod routing;
+pub mod zoo;
+
+pub use cone::{as_rank, customer_cones};
+pub use gen::{Internet, InternetConfig, IxpSpec};
+pub use graph::{AsGraph, AsIdx, AsInfo, AsKind, PeeringPolicy, Relationship};
+pub use routing::{Announcement, PropagationResult, RibEntry, RouteClass};
+pub use zoo::{hurricane_electric, small_ring, Pop, PopTopology};

@@ -1,0 +1,714 @@
+//! Policy-constrained (Gao–Rexford) route propagation and the AS-level
+//! data plane.
+//!
+//! This is the simulated Internet's control plane: announcements flow
+//! valley-free (customer routes to everyone; peer/provider routes only to
+//! customers), every AS prefers customer over peer over provider routes,
+//! then shorter paths, with deterministic tiebreaks. The knobs PEERING
+//! experiments turn are first-class:
+//!
+//! * **prepending** — inflate the origin's path length;
+//! * **AS-path poisoning** — insert ASNs that will refuse the route
+//!   (LIFEGUARD's failure-avoidance primitive);
+//! * **selective export** — announce to a subset of neighbors (the mux
+//!   lets clients choose which peers hear each announcement);
+//! * **multi-origin announcements** — anycast and prefix hijacks.
+
+use crate::graph::{AsGraph, AsIdx};
+use peering_netsim::{Asn, Prefix};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// How a route was learned, in preference order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RouteClass {
+    /// We originate the prefix.
+    Origin,
+    /// Learned from a customer.
+    Customer,
+    /// Learned from a settlement-free peer.
+    Peer,
+    /// Learned from a transit provider.
+    Provider,
+}
+
+/// One announcement of a prefix into the topology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Announcement {
+    /// The originating AS.
+    pub origin: AsIdx,
+    /// The announced prefix (carried for reporting).
+    pub prefix: Prefix,
+    /// Extra times the origin prepends its own ASN.
+    pub prepend: u8,
+    /// ASNs inserted into the path; those ASes will reject the route
+    /// (loop detection), steering traffic around them.
+    pub poison: Vec<Asn>,
+    /// Restrict the origin's export to these neighbors (`None` = all).
+    pub export_to: Option<Vec<AsIdx>>,
+    /// Restrict which ASes may carry the route at all (`None` = all).
+    /// Used for address families with partial deployment: a v4-only AS
+    /// cannot hold or forward an IPv6 route.
+    pub participants: Option<Vec<AsIdx>>,
+}
+
+impl Announcement {
+    /// A plain announcement to every neighbor.
+    pub fn simple(origin: AsIdx, prefix: Prefix) -> Self {
+        Announcement {
+            origin,
+            prefix,
+            prepend: 0,
+            poison: Vec::new(),
+            export_to: None,
+            participants: None,
+        }
+    }
+
+    /// Builder: prepend count.
+    pub fn prepended(mut self, n: u8) -> Self {
+        self.prepend = n;
+        self
+    }
+
+    /// Builder: poisoned ASNs.
+    pub fn poisoned(mut self, asns: Vec<Asn>) -> Self {
+        self.poison = asns;
+        self
+    }
+
+    /// Builder: selective export.
+    pub fn only_to(mut self, neighbors: Vec<AsIdx>) -> Self {
+        self.export_to = Some(neighbors);
+        self
+    }
+
+    /// Builder: restrict the set of ASes able to carry the route.
+    pub fn among(mut self, participants: Vec<AsIdx>) -> Self {
+        self.participants = Some(participants);
+        self
+    }
+
+    fn exports_to(&self, neighbor: AsIdx) -> bool {
+        match &self.export_to {
+            Some(list) => list.contains(&neighbor),
+            None => true,
+        }
+    }
+}
+
+/// The route one AS selected.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RibEntry {
+    /// Preference class.
+    pub class: RouteClass,
+    /// AS-level path, self first, origin last.
+    pub path: Vec<AsIdx>,
+    /// Effective AS-path length including prepends and poisons.
+    pub len: u32,
+    /// Index of the announcement this route derives from.
+    pub ann: usize,
+}
+
+/// Result of propagating a set of announcements for one prefix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PropagationResult {
+    routes: Vec<Option<RibEntry>>,
+}
+
+/// Outcome of tracing a packet across the AS-level data plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceOutcome {
+    /// Reached the origin; the full AS path traversed.
+    Delivered(Vec<AsIdx>),
+    /// Dropped at a black-holed AS.
+    Dropped {
+        /// Where it died.
+        at: AsIdx,
+        /// Hops traversed up to and including `at`.
+        path: Vec<AsIdx>,
+    },
+    /// The source has no route at all.
+    NoRoute,
+}
+
+impl PropagationResult {
+    /// The selected route at `u`, if any.
+    pub fn route(&self, u: AsIdx) -> Option<&RibEntry> {
+        self.routes.get(u.i()).and_then(|r| r.as_ref())
+    }
+
+    /// Number of ASes with a route.
+    pub fn reach_count(&self) -> usize {
+        self.routes.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// ASes that selected a route deriving from announcement `ann`.
+    pub fn won_by(&self, ann: usize) -> usize {
+        self.routes
+            .iter()
+            .filter(|r| r.as_ref().map(|e| e.ann == ann).unwrap_or(false))
+            .count()
+    }
+
+    /// The AS-path at `u` as ASNs (self first, origin last).
+    pub fn path_asns(&self, g: &AsGraph, u: AsIdx) -> Option<Vec<Asn>> {
+        self.route(u)
+            .map(|e| e.path.iter().map(|&i| g.info(i).asn).collect())
+    }
+
+    /// Iterate `(AsIdx, &RibEntry)` over ASes holding a route.
+    pub fn iter(&self) -> impl Iterator<Item = (AsIdx, &RibEntry)> {
+        self.routes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|e| (AsIdx(i as u32), e)))
+    }
+
+    /// Trace a packet from `from` toward the prefix, honoring black holes.
+    pub fn trace(&self, from: AsIdx, blackholes: &HashSet<AsIdx>) -> TraceOutcome {
+        let Some(entry) = self.route(from) else {
+            return TraceOutcome::NoRoute;
+        };
+        let mut walked = Vec::new();
+        for &hop in &entry.path {
+            walked.push(hop);
+            if blackholes.contains(&hop) {
+                return TraceOutcome::Dropped {
+                    at: hop,
+                    path: walked,
+                };
+            }
+        }
+        TraceOutcome::Delivered(walked)
+    }
+}
+
+/// Candidate comparison within a class: shorter length, then lower
+/// next-hop ASN, then lexicographically smaller ASN path.
+fn better_same_class(g: &AsGraph, a: &RibEntry, b: &RibEntry) -> bool {
+    match a.len.cmp(&b.len) {
+        Ordering::Less => return true,
+        Ordering::Greater => return false,
+        Ordering::Equal => {}
+    }
+    let nh = |e: &RibEntry| e.path.get(1).map(|&i| g.info(i).asn.0).unwrap_or(0);
+    match nh(a).cmp(&nh(b)) {
+        Ordering::Less => return true,
+        Ordering::Greater => return false,
+        Ordering::Equal => {}
+    }
+    let key = |e: &RibEntry| -> Vec<u32> { e.path.iter().map(|&i| g.info(i).asn.0).collect() };
+    key(a) < key(b)
+}
+
+/// True when candidate `a` beats incumbent `b` (across classes).
+fn better(g: &AsGraph, a: &RibEntry, b: &RibEntry) -> bool {
+    match a.class.cmp(&b.class) {
+        Ordering::Less => true,
+        Ordering::Greater => false,
+        Ordering::Equal => better_same_class(g, a, b),
+    }
+}
+
+/// Per-announcement participant sets, precomputed for O(1) checks.
+type ParticipantSets = Vec<Option<HashSet<AsIdx>>>;
+
+fn participant_sets(anns: &[Announcement]) -> ParticipantSets {
+    anns.iter()
+        .map(|a| {
+            a.participants
+                .as_ref()
+                .map(|v| v.iter().copied().collect::<HashSet<AsIdx>>())
+        })
+        .collect()
+}
+
+/// Can `u` adopt a route extending `source`? Rejects loops (`u` already
+/// on the path), poisoned routes (`u`'s ASN in the poison list), and
+/// non-participants (e.g. v4-only ASes for a v6 route).
+fn acceptable(
+    g: &AsGraph,
+    anns: &[Announcement],
+    sets: &ParticipantSets,
+    u: AsIdx,
+    source: &RibEntry,
+) -> bool {
+    if source.path.contains(&u) {
+        return false;
+    }
+    if let Some(set) = &sets[source.ann] {
+        if !set.contains(&u) {
+            return false;
+        }
+    }
+    let asn = g.info(u).asn;
+    !anns[source.ann].poison.contains(&asn)
+}
+
+#[derive(PartialEq, Eq)]
+struct QueueItem {
+    len: u32,
+    node: AsIdx,
+}
+
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by length, then node index for determinism.
+        other
+            .len
+            .cmp(&self.len)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Propagate announcements for one prefix through the topology.
+///
+/// Runs the standard three-phase valley-free computation: customer routes
+/// climb provider edges, are handed across single peer hops, and then
+/// descend customer edges — with per-phase Dijkstra so longer paths never
+/// displace shorter ones.
+pub fn propagate(g: &AsGraph, anns: &[Announcement]) -> PropagationResult {
+    let n = g.len();
+    let psets = participant_sets(anns);
+    // Per-announcement origin seeds. Several announcements may share one
+    // origin (a multi-site testbed announcing the same prefix with
+    // different export sets), so origin exports are driven off the
+    // announcement list in every phase — never off the single entry the
+    // origin node happens to store.
+    let seed_entry = |ai: usize, ann: &Announcement| RibEntry {
+        class: RouteClass::Origin,
+        path: vec![ann.origin],
+        len: 1 + ann.prepend as u32 + ann.poison.len() as u32,
+        ann: ai,
+    };
+
+    // Phase 1: origin + customer routes climbing provider edges.
+    let mut up: Vec<Option<RibEntry>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    let adopt =
+        |slot: &mut Vec<Option<RibEntry>>, heap: &mut BinaryHeap<QueueItem>, u: AsIdx, cand: RibEntry| {
+            if slot[u.i()]
+                .as_ref()
+                .map(|cur| better(g, &cand, cur))
+                .unwrap_or(true)
+            {
+                heap.push(QueueItem {
+                    len: cand.len,
+                    node: u,
+                });
+                slot[u.i()] = Some(cand);
+            }
+        };
+    for (ai, ann) in anns.iter().enumerate() {
+        let seed = seed_entry(ai, ann);
+        // The origin records its own (best) route for reporting.
+        if up[ann.origin.i()]
+            .as_ref()
+            .map(|cur| better(g, &seed, cur))
+            .unwrap_or(true)
+        {
+            up[ann.origin.i()] = Some(seed.clone());
+        }
+        // Export to selected providers.
+        for &p in g.providers(ann.origin) {
+            if !ann.exports_to(p) || !acceptable(g, anns, &psets, p, &seed) {
+                continue;
+            }
+            let cand = RibEntry {
+                class: RouteClass::Customer,
+                path: vec![p, ann.origin],
+                len: seed.len + 1,
+                ann: ai,
+            };
+            adopt(&mut up, &mut heap, p, cand);
+        }
+    }
+    while let Some(QueueItem { len, node: u }) = heap.pop() {
+        let Some(entry) = up[u.i()].clone() else {
+            continue;
+        };
+        if entry.len != len || entry.class == RouteClass::Origin {
+            continue; // stale heap item (origin exports were seeded above)
+        }
+        for &p in g.providers(u) {
+            if !acceptable(g, anns, &psets, p, &entry) {
+                continue;
+            }
+            let mut path = Vec::with_capacity(entry.path.len() + 1);
+            path.push(p);
+            path.extend_from_slice(&entry.path);
+            let cand = RibEntry {
+                class: RouteClass::Customer,
+                path,
+                len: entry.len + 1,
+                ann: entry.ann,
+            };
+            adopt(&mut up, &mut heap, p, cand);
+        }
+    }
+
+    // Phase 2: one peer hop. Only origin/customer routes cross peer
+    // links. Origin exports honor each announcement's selection.
+    let mut with_peer: Vec<Option<RibEntry>> = up.clone();
+    let consider_peer = |with_peer: &mut Vec<Option<RibEntry>>, q: AsIdx, cand: RibEntry| {
+        if with_peer[q.i()]
+            .as_ref()
+            .map(|cur| better(g, &cand, cur))
+            .unwrap_or(true)
+        {
+            with_peer[q.i()] = Some(cand);
+        }
+    };
+    for (ai, ann) in anns.iter().enumerate() {
+        let seed = seed_entry(ai, ann);
+        for &q in g.peers(ann.origin) {
+            if !ann.exports_to(q) || !acceptable(g, anns, &psets, q, &seed) {
+                continue;
+            }
+            let cand = RibEntry {
+                class: RouteClass::Peer,
+                path: vec![q, ann.origin],
+                len: seed.len + 1,
+                ann: ai,
+            };
+            consider_peer(&mut with_peer, q, cand);
+        }
+    }
+    for u in g.indices() {
+        let Some(entry) = up[u.i()].as_ref() else {
+            continue;
+        };
+        if entry.class != RouteClass::Customer {
+            continue;
+        }
+        for &q in g.peers(u) {
+            if !acceptable(g, anns, &psets, q, entry) {
+                continue;
+            }
+            let mut path = Vec::with_capacity(entry.path.len() + 1);
+            path.push(q);
+            path.extend_from_slice(&entry.path);
+            let cand = RibEntry {
+                class: RouteClass::Peer,
+                path,
+                len: entry.len + 1,
+                ann: entry.ann,
+            };
+            consider_peer(&mut with_peer, q, cand);
+        }
+    }
+
+    // Phase 3: descend customer edges (provider routes).
+    let mut routes = with_peer;
+    let mut heap = BinaryHeap::new();
+    let adopt_down =
+        |routes: &mut Vec<Option<RibEntry>>, heap: &mut BinaryHeap<QueueItem>, c: AsIdx, cand: RibEntry| {
+            if routes[c.i()]
+                .as_ref()
+                .map(|cur| better(g, &cand, cur))
+                .unwrap_or(true)
+            {
+                heap.push(QueueItem {
+                    len: cand.len,
+                    node: c,
+                });
+                routes[c.i()] = Some(cand);
+            }
+        };
+    for (ai, ann) in anns.iter().enumerate() {
+        let seed = seed_entry(ai, ann);
+        for &c in g.customers(ann.origin) {
+            if !ann.exports_to(c) || !acceptable(g, anns, &psets, c, &seed) {
+                continue;
+            }
+            let cand = RibEntry {
+                class: RouteClass::Provider,
+                path: vec![c, ann.origin],
+                len: seed.len + 1,
+                ann: ai,
+            };
+            adopt_down(&mut routes, &mut heap, c, cand);
+        }
+    }
+    for u in g.indices() {
+        if let Some(e) = routes[u.i()].as_ref() {
+            if e.class != RouteClass::Origin {
+                heap.push(QueueItem {
+                    len: e.len,
+                    node: u,
+                });
+            }
+        }
+    }
+    while let Some(QueueItem { len, node: u }) = heap.pop() {
+        let Some(entry) = routes[u.i()].clone() else {
+            continue;
+        };
+        if entry.len != len || entry.class == RouteClass::Origin {
+            continue;
+        }
+        for &c in g.customers(u) {
+            if !acceptable(g, anns, &psets, c, &entry) {
+                continue;
+            }
+            let mut path = Vec::with_capacity(entry.path.len() + 1);
+            path.push(c);
+            path.extend_from_slice(&entry.path);
+            let cand = RibEntry {
+                class: RouteClass::Provider,
+                path,
+                len: entry.len + 1,
+                ann: entry.ann,
+            };
+            adopt_down(&mut routes, &mut heap, c, cand);
+        }
+    }
+    PropagationResult { routes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{AsInfo, AsKind, Relationship};
+
+    /// A small test internet:
+    ///
+    /// ```text
+    ///        t1a ===== t1b          (tier-1 peering)
+    ///       /   \        \
+    ///     tr1   tr2      tr3        (transits, customers of tier-1s)
+    ///     /       \      /  \
+    ///   s1         s2 ==+    s3     (s2 peers with tr3; stubs below)
+    /// ```
+    struct World {
+        g: AsGraph,
+        t1a: AsIdx,
+        t1b: AsIdx,
+        tr1: AsIdx,
+        tr2: AsIdx,
+        tr3: AsIdx,
+        s1: AsIdx,
+        s2: AsIdx,
+        s3: AsIdx,
+    }
+
+    fn world() -> World {
+        let mut g = AsGraph::new();
+        let t1a = g.add_as(AsInfo::new(Asn(10), AsKind::Tier1));
+        let t1b = g.add_as(AsInfo::new(Asn(11), AsKind::Tier1));
+        let tr1 = g.add_as(AsInfo::new(Asn(20), AsKind::Transit));
+        let tr2 = g.add_as(AsInfo::new(Asn(21), AsKind::Transit));
+        let tr3 = g.add_as(AsInfo::new(Asn(22), AsKind::Transit));
+        let s1 = g.add_as(AsInfo::new(Asn(30), AsKind::Stub));
+        let s2 = g.add_as(AsInfo::new(Asn(31), AsKind::Stub));
+        let s3 = g.add_as(AsInfo::new(Asn(32), AsKind::Stub));
+        g.add_edge(t1a, t1b, Relationship::PeerToPeer);
+        g.add_edge(tr1, t1a, Relationship::CustomerToProvider);
+        g.add_edge(tr2, t1a, Relationship::CustomerToProvider);
+        g.add_edge(tr3, t1b, Relationship::CustomerToProvider);
+        g.add_edge(s1, tr1, Relationship::CustomerToProvider);
+        g.add_edge(s2, tr2, Relationship::CustomerToProvider);
+        g.add_edge(s3, tr3, Relationship::CustomerToProvider);
+        g.add_edge(s2, tr3, Relationship::PeerToPeer);
+        g.validate().unwrap();
+        World {
+            g,
+            t1a,
+            t1b,
+            tr1,
+            tr2,
+            tr3,
+            s1,
+            s2,
+            s3,
+        }
+    }
+
+    fn pfx() -> Prefix {
+        Prefix::v4(203, 0, 113, 0, 24)
+    }
+
+    #[test]
+    fn everyone_reaches_a_stub_announcement() {
+        let w = world();
+        let r = propagate(&w.g, &[Announcement::simple(w.s2, pfx())]);
+        assert_eq!(r.reach_count(), w.g.len());
+        // Origin has class Origin.
+        assert_eq!(r.route(w.s2).unwrap().class, RouteClass::Origin);
+        // Its provider has a customer route.
+        assert_eq!(r.route(w.tr2).unwrap().class, RouteClass::Customer);
+        // Its peer tr3 has a peer route.
+        assert_eq!(r.route(w.tr3).unwrap().class, RouteClass::Peer);
+        // s1, far away, has a provider route.
+        assert_eq!(r.route(w.s1).unwrap().class, RouteClass::Provider);
+    }
+
+    #[test]
+    fn valley_free_paths_only() {
+        // A peer route must never be exported onward to peers/providers:
+        // t1b must reach s2 via its customer tr3? No: tr3 has a PEER route
+        // to s2, which it must NOT export up to t1b. t1b must go via t1a.
+        let w = world();
+        let r = propagate(&w.g, &[Announcement::simple(w.s2, pfx())]);
+        let path = r.path_asns(&w.g, w.t1b).unwrap();
+        assert_eq!(
+            path,
+            vec![Asn(11), Asn(10), Asn(21), Asn(31)],
+            "t1b must not use tr3's peer route"
+        );
+    }
+
+    #[test]
+    fn prefer_customer_over_peer_over_provider() {
+        // tr3 hears s2 via peer (s2) and via provider (t1b<-t1a<-tr2).
+        let w = world();
+        let r = propagate(&w.g, &[Announcement::simple(w.s2, pfx())]);
+        let e = r.route(w.tr3).unwrap();
+        assert_eq!(e.class, RouteClass::Peer);
+        assert_eq!(e.path, vec![w.tr3, w.s2]);
+    }
+
+    #[test]
+    fn prepending_shifts_choice() {
+        // s2 dual-homes by peering with tr3. s3 sits under tr3 and would
+        // normally reach s2 through tr3's peer route (shortest). With
+        // heavy prepending... the class still wins (peer route at tr3 is
+        // about tr3's choice). Instead check a length-sensitive chooser:
+        // t1a hears via customer tr2 (len 3). No alternative: prepending
+        // doesn't change class ordering, so verify len accounting.
+        let w = world();
+        let plain = propagate(&w.g, &[Announcement::simple(w.s2, pfx())]);
+        let pre = propagate(&w.g, &[Announcement::simple(w.s2, pfx()).prepended(3)]);
+        assert_eq!(
+            pre.route(w.t1a).unwrap().len,
+            plain.route(w.t1a).unwrap().len + 3
+        );
+    }
+
+    #[test]
+    fn poisoning_diverts_around_an_as() {
+        // Poison tr2: it must reject the route entirely; t1a then reaches
+        // s2 only through... s2's other link is the peering with tr3,
+        // which does not export to its provider t1b. So t1a loses the
+        // route entirely, as do tr2, s1, t1b.
+        let w = world();
+        let r = propagate(
+            &w.g,
+            &[Announcement::simple(w.s2, pfx()).poisoned(vec![Asn(21)])],
+        );
+        assert!(r.route(w.tr2).is_none(), "poisoned AS rejects");
+        assert!(r.route(w.t1a).is_none(), "no valley-free alternative");
+        assert!(r.route(w.s1).is_none());
+        // The peer still hears it directly.
+        assert_eq!(r.route(w.tr3).unwrap().class, RouteClass::Peer);
+        // And the peer's customer gets it as a provider route.
+        assert_eq!(r.route(w.s3).unwrap().class, RouteClass::Provider);
+    }
+
+    #[test]
+    fn selective_export_limits_propagation() {
+        // s2 announces only to its peer tr3, not to provider tr2.
+        let w = world();
+        let r = propagate(
+            &w.g,
+            &[Announcement::simple(w.s2, pfx()).only_to(vec![w.tr3])],
+        );
+        assert!(r.route(w.tr2).is_none());
+        assert!(r.route(w.t1a).is_none());
+        assert_eq!(r.route(w.tr3).unwrap().class, RouteClass::Peer);
+        assert_eq!(r.route(w.s3).unwrap().class, RouteClass::Provider);
+        // The origin itself still has its own route.
+        assert_eq!(r.route(w.s2).unwrap().class, RouteClass::Origin);
+    }
+
+    #[test]
+    fn hijack_splits_the_internet() {
+        // s3 hijacks s2's prefix. ASes near s3 believe s3.
+        let w = world();
+        let victim = Announcement::simple(w.s2, pfx());
+        let attacker = Announcement::simple(w.s3, pfx());
+        let r = propagate(&w.g, &[victim, attacker]);
+        assert_eq!(r.route(w.tr3).unwrap().ann, 1, "tr3 prefers its customer s3");
+        assert_eq!(r.route(w.tr2).unwrap().ann, 0, "tr2 prefers its customer s2");
+        let total = r.won_by(0) + r.won_by(1);
+        assert_eq!(total, r.reach_count());
+        assert!(r.won_by(1) >= 2, "attacker captures at least tr3+s3");
+    }
+
+    #[test]
+    fn anycast_prefers_nearest_instance() {
+        // Announce from both s1 and s3 as the same "service".
+        let w = world();
+        let r = propagate(
+            &w.g,
+            &[
+                Announcement::simple(w.s1, pfx()),
+                Announcement::simple(w.s3, pfx()),
+            ],
+        );
+        // tr1 goes to its customer s1; tr3 to its customer s3.
+        assert_eq!(r.route(w.tr1).unwrap().ann, 0);
+        assert_eq!(r.route(w.tr3).unwrap().ann, 1);
+    }
+
+    #[test]
+    fn trace_and_blackhole() {
+        let w = world();
+        let r = propagate(&w.g, &[Announcement::simple(w.s2, pfx())]);
+        match r.trace(w.s1, &HashSet::new()) {
+            TraceOutcome::Delivered(path) => {
+                assert_eq!(path.first(), Some(&w.s1));
+                assert_eq!(path.last(), Some(&w.s2));
+            }
+            other => panic!("expected delivery, got {other:?}"),
+        }
+        let mut holes = HashSet::new();
+        holes.insert(w.t1a);
+        match r.trace(w.s1, &holes) {
+            TraceOutcome::Dropped { at, path } => {
+                assert_eq!(at, w.t1a);
+                assert!(path.contains(&w.tr1));
+            }
+            other => panic!("expected drop, got {other:?}"),
+        }
+        let empty = propagate(&w.g, &[]);
+        assert_eq!(empty.trace(w.s1, &HashSet::new()), TraceOutcome::NoRoute);
+    }
+
+    #[test]
+    fn deterministic_tiebreaks() {
+        let w = world();
+        let a = propagate(&w.g, &[Announcement::simple(w.s2, pfx())]);
+        let b = propagate(&w.g, &[Announcement::simple(w.s2, pfx())]);
+        for u in w.g.indices() {
+            assert_eq!(a.route(u), b.route(u));
+        }
+    }
+
+    #[test]
+    fn no_announcement_no_routes() {
+        let w = world();
+        let r = propagate(&w.g, &[]);
+        assert_eq!(r.reach_count(), 0);
+        assert!(r.iter().next().is_none());
+    }
+
+    #[test]
+    fn paths_never_violate_loop_freedom() {
+        let w = world();
+        let r = propagate(&w.g, &[Announcement::simple(w.s2, pfx())]);
+        for (_, e) in r.iter() {
+            let mut seen = HashSet::new();
+            for hop in &e.path {
+                assert!(seen.insert(*hop), "loop in {:?}", e.path);
+            }
+        }
+    }
+}

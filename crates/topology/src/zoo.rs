@@ -1,0 +1,223 @@
+//! Topology-Zoo-style PoP-level maps.
+//!
+//! §4.2 emulates "the PoP-level global backbone of Hurricane Electric
+//! (HE), using data from Topology Zoo": 24 PoPs, one Quagga per PoP, one
+//! prefix each, and the Amsterdam PoP peering at AMS-IX. The map here is
+//! hand-reconstructed to that shape: HE's 2014 city list with a plausible
+//! backbone adjacency (US rings, transatlantic waves, EU ring, Asia).
+
+use serde::{Deserialize, Serialize};
+
+/// One point of presence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pop {
+    /// City name.
+    pub city: &'static str,
+    /// Country code.
+    pub country: &'static str,
+}
+
+/// A PoP-level intradomain topology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PopTopology {
+    /// Network name.
+    pub name: &'static str,
+    /// PoPs, indexed by position.
+    pub pops: Vec<Pop>,
+    /// Undirected links `(a, b, cost)`; cost approximates distance-based
+    /// IGP metric (used by the emulation's SPF).
+    pub links: Vec<(usize, usize, u32)>,
+}
+
+impl PopTopology {
+    /// Index of a PoP by city name.
+    pub fn pop_by_city(&self, city: &str) -> Option<usize> {
+        self.pops.iter().position(|p| p.city == city)
+    }
+
+    /// Neighbors of a PoP.
+    pub fn neighbors(&self, pop: usize) -> Vec<(usize, u32)> {
+        let mut out = Vec::new();
+        for &(a, b, cost) in &self.links {
+            if a == pop {
+                out.push((b, cost));
+            } else if b == pop {
+                out.push((a, cost));
+            }
+        }
+        out
+    }
+
+    /// True if every PoP can reach every other PoP.
+    pub fn is_connected(&self) -> bool {
+        if self.pops.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.pops.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(u) = stack.pop() {
+            for (v, _) in self.neighbors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+}
+
+/// The 24-PoP Hurricane Electric global backbone (2014-era city set).
+pub fn hurricane_electric() -> PopTopology {
+    let pops = vec![
+        Pop { city: "Fremont", country: "US" },        // 0
+        Pop { city: "San Jose", country: "US" },       // 1
+        Pop { city: "Palo Alto", country: "US" },      // 2
+        Pop { city: "Los Angeles", country: "US" },    // 3
+        Pop { city: "Seattle", country: "US" },        // 4
+        Pop { city: "Portland", country: "US" },       // 5
+        Pop { city: "Las Vegas", country: "US" },      // 6
+        Pop { city: "Phoenix", country: "US" },        // 7
+        Pop { city: "Denver", country: "US" },         // 8
+        Pop { city: "Dallas", country: "US" },         // 9
+        Pop { city: "Kansas City", country: "US" },    // 10
+        Pop { city: "Chicago", country: "US" },        // 11
+        Pop { city: "Toronto", country: "CA" },        // 12
+        Pop { city: "New York", country: "US" },       // 13
+        Pop { city: "Ashburn", country: "US" },        // 14
+        Pop { city: "Atlanta", country: "US" },        // 15
+        Pop { city: "Miami", country: "US" },          // 16
+        Pop { city: "London", country: "GB" },         // 17
+        Pop { city: "Amsterdam", country: "NL" },      // 18
+        Pop { city: "Frankfurt", country: "DE" },      // 19
+        Pop { city: "Paris", country: "FR" },          // 20
+        Pop { city: "Zurich", country: "CH" },         // 21
+        Pop { city: "Stockholm", country: "SE" },      // 22
+        Pop { city: "Hong Kong", country: "HK" },      // 23
+    ];
+    // Costs roughly proportional to great-circle distance (hundreds km).
+    let links = vec![
+        // Bay Area triangle.
+        (0, 1, 2),
+        (0, 2, 2),
+        (1, 2, 2),
+        // West coast.
+        (1, 3, 50),
+        (0, 4, 110),
+        (4, 5, 25),
+        (3, 6, 40),
+        (6, 7, 40),
+        (3, 7, 60),
+        // Mountain / central.
+        (6, 8, 100),
+        (8, 10, 90),
+        (7, 9, 140),
+        (9, 10, 75),
+        (9, 15, 115),
+        (10, 11, 70),
+        // East.
+        (11, 12, 70),
+        (11, 13, 115),
+        (12, 13, 80),
+        (13, 14, 40),
+        (14, 15, 85),
+        (15, 16, 95),
+        (9, 16, 180),
+        // Transatlantic.
+        (13, 17, 560),
+        (14, 17, 590),
+        // Europe ring.
+        (17, 18, 36),
+        (17, 20, 34),
+        (18, 19, 36),
+        (19, 21, 30),
+        (20, 21, 49),
+        (18, 22, 113),
+        (19, 22, 120),
+        // Asia.
+        (1, 23, 1100),
+        (4, 23, 1030),
+    ];
+    PopTopology {
+        name: "Hurricane Electric",
+        pops,
+        links,
+    }
+}
+
+/// A small N-PoP ring with unit costs, for tests and examples.
+pub fn small_ring(n: usize) -> PopTopology {
+    const CITIES: &[&str] = &[
+        "PoP-0", "PoP-1", "PoP-2", "PoP-3", "PoP-4", "PoP-5", "PoP-6", "PoP-7", "PoP-8",
+        "PoP-9", "PoP-10", "PoP-11", "PoP-12", "PoP-13", "PoP-14", "PoP-15",
+    ];
+    let n = n.min(CITIES.len());
+    let pops = (0..n)
+        .map(|i| Pop {
+            city: CITIES[i],
+            country: "US",
+        })
+        .collect();
+    let mut links = Vec::new();
+    for i in 0..n {
+        links.push((i, (i + 1) % n, 1));
+    }
+    if n <= 2 {
+        links.truncate(n.saturating_sub(1));
+    }
+    PopTopology {
+        name: "ring",
+        pops,
+        links,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_has_24_pops_and_is_connected() {
+        let he = hurricane_electric();
+        assert_eq!(he.pops.len(), 24, "paper: 24 PoPs");
+        assert!(he.is_connected());
+        // No dangling link indices.
+        for &(a, b, _) in &he.links {
+            assert!(a < 24 && b < 24);
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn he_has_amsterdam_for_ams_ix() {
+        let he = hurricane_electric();
+        let ams = he.pop_by_city("Amsterdam").expect("Amsterdam PoP");
+        assert_eq!(he.pops[ams].country, "NL");
+        assert!(!he.neighbors(ams).is_empty());
+        assert_eq!(he.pop_by_city("Atlantis"), None);
+    }
+
+    #[test]
+    fn he_every_pop_has_a_neighbor() {
+        let he = hurricane_electric();
+        for i in 0..he.pops.len() {
+            assert!(!he.neighbors(i).is_empty(), "PoP {i} isolated");
+        }
+    }
+
+    #[test]
+    fn ring_shapes() {
+        let r = small_ring(5);
+        assert_eq!(r.pops.len(), 5);
+        assert_eq!(r.links.len(), 5);
+        assert!(r.is_connected());
+        assert_eq!(r.neighbors(0).len(), 2);
+        let two = small_ring(2);
+        assert_eq!(two.links.len(), 1);
+        assert!(two.is_connected());
+        let one = small_ring(1);
+        assert!(one.is_connected());
+        assert!(one.links.is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! Property tests for the topology model: every propagated path must be
+//! valley-free, loop-free, and respect poisoning/selective export — over
+//! randomly generated Internets.
+
+use peering_netsim::Prefix;
+use peering_topology::routing::{propagate, Announcement, RouteClass};
+use peering_topology::{cone::customer_cones, AsGraph, AsIdx, Internet, InternetConfig};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Classify the relationship step from `a` to `b` along a path
+/// (direction of travel is from the adopter toward the origin).
+fn step(g: &AsGraph, a: AsIdx, b: AsIdx) -> &'static str {
+    if g.providers(a).contains(&b) {
+        "up" // a's provider — a learned FROM its provider
+    } else if g.customers(a).contains(&b) {
+        "down" // a's customer — a learned FROM its customer
+    } else if g.peers(a).contains(&b) {
+        "peer"
+    } else {
+        "none"
+    }
+}
+
+/// Valley-free check on a path from self to origin: reading from the
+/// origin outward, the exports must be (customer)* (peer)? (provider)*.
+/// Equivalently, reading from self toward origin: the step sequence is
+/// up* peer? down* — a route learned from a provider is only re-exported
+/// to customers.
+fn valley_free(g: &AsGraph, path: &[AsIdx]) -> bool {
+    // steps[i] = relation of path[i] to path[i+1] (whom it learned from).
+    let steps: Vec<&str> = path.windows(2).map(|w| step(g, w[0], w[1])).collect();
+    if steps.iter().any(|&s| s == "none") {
+        return false;
+    }
+    // Phase machine: start allowing "down" (learned from customer) after
+    // any step; but once we've seen a "down" (customer) step we may not
+    // see "peer" or "up" CLOSER to the origin... Careful: walking from
+    // self toward origin, the allowed pattern is: any number of "up",
+    // then at most one "peer", then any number of "down".
+    let mut phase = 0; // 0 = up, 1 = after peer, 2 = down
+    for s in steps {
+        match (phase, s) {
+            (0, "up") => {}
+            (0, "peer") => phase = 1,
+            (0, "down") | (1, "down") | (2, "down") => phase = 2,
+            (1, "peer") | (1, "up") => return false,
+            (2, _) => return false,
+            _ => return false,
+        }
+    }
+    true
+}
+
+fn small_internet(seed: u64) -> Internet {
+    Internet::build(InternetConfig::small(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every selected path is loop-free and valley-free, for any origin.
+    #[test]
+    fn propagation_paths_are_policy_compliant(seed in 1u64..500, origin_pick in any::<u32>()) {
+        let net = small_internet(seed);
+        let g = &net.graph;
+        let origin = AsIdx(origin_pick % g.len() as u32);
+        let result = propagate(g, &[Announcement::simple(origin, Prefix::v4(203, 0, 113, 0, 24))]);
+        for (u, entry) in result.iter() {
+            // Path starts at the holder and ends at the origin.
+            prop_assert_eq!(entry.path[0], u);
+            prop_assert_eq!(*entry.path.last().unwrap(), origin);
+            // Loop freedom.
+            let set: HashSet<AsIdx> = entry.path.iter().copied().collect();
+            prop_assert_eq!(set.len(), entry.path.len());
+            // Valley freedom.
+            prop_assert!(valley_free(g, &entry.path), "path {:?}", entry.path);
+            // The class matches the first step.
+            if entry.path.len() > 1 {
+                let s = step(g, entry.path[0], entry.path[1]);
+                let expect = match entry.class {
+                    RouteClass::Origin => unreachable!("origin has path len 1"),
+                    RouteClass::Customer => "down",
+                    RouteClass::Peer => "peer",
+                    RouteClass::Provider => "up",
+                };
+                prop_assert_eq!(s, expect);
+            } else {
+                prop_assert_eq!(entry.class, RouteClass::Origin);
+            }
+        }
+    }
+
+    /// Poisoned ASes never hold or appear on any selected path.
+    #[test]
+    fn poison_is_respected(seed in 1u64..200, origin_pick in any::<u32>(), poison_pick in any::<u32>()) {
+        let net = small_internet(seed);
+        let g = &net.graph;
+        let origin = AsIdx(origin_pick % g.len() as u32);
+        let poisoned = AsIdx(poison_pick % g.len() as u32);
+        prop_assume!(poisoned != origin);
+        let asn = g.info(poisoned).asn;
+        let result = propagate(
+            g,
+            &[Announcement::simple(origin, Prefix::v4(203, 0, 113, 0, 24)).poisoned(vec![asn])],
+        );
+        prop_assert!(result.route(poisoned).is_none());
+        for (_, entry) in result.iter() {
+            prop_assert!(!entry.path.contains(&poisoned));
+        }
+    }
+
+    /// Selective export: only the selected neighbors (and ASes beyond
+    /// them) can hold routes; an empty selection reaches only the origin.
+    #[test]
+    fn selective_export_is_respected(seed in 1u64..200, origin_pick in any::<u32>()) {
+        let net = small_internet(seed);
+        let g = &net.graph;
+        let origin = AsIdx(origin_pick % g.len() as u32);
+        let none = propagate(
+            g,
+            &[Announcement::simple(origin, Prefix::v4(203, 0, 113, 0, 24)).only_to(vec![])],
+        );
+        prop_assert_eq!(none.reach_count(), 1, "only the origin itself");
+        // Selecting a single neighbor: the next hop from the origin side
+        // is always that neighbor.
+        if let Some(&first) = g.neighbors(origin).collect::<Vec<_>>().first() {
+            let one = propagate(
+                g,
+                &[Announcement::simple(origin, Prefix::v4(203, 0, 113, 0, 24))
+                    .only_to(vec![first])],
+            );
+            for (u, entry) in one.iter() {
+                if u != origin {
+                    let n = entry.path.len();
+                    prop_assert_eq!(entry.path[n - 2], first);
+                }
+            }
+        }
+    }
+
+    /// Propagation reach never *increases* when prepending (it can shift
+    /// tie-breaks but a plain announcement reaches everything reachable).
+    #[test]
+    fn prepending_does_not_extend_reach(seed in 1u64..100, origin_pick in any::<u32>(), n in 1u8..6) {
+        let net = small_internet(seed);
+        let g = &net.graph;
+        let origin = AsIdx(origin_pick % g.len() as u32);
+        let plain = propagate(g, &[Announcement::simple(origin, Prefix::v4(1, 2, 3, 0, 24))]);
+        let prepended = propagate(
+            g,
+            &[Announcement::simple(origin, Prefix::v4(1, 2, 3, 0, 24)).prepended(n)],
+        );
+        prop_assert_eq!(plain.reach_count(), prepended.reach_count());
+        // And the prepend inflates every reported length by exactly n.
+        for (u, entry) in prepended.iter() {
+            let base = plain.route(u).unwrap();
+            prop_assert_eq!(entry.len, base.len + n as u32);
+        }
+    }
+
+    /// Customer cones contain self and are monotone along c2p edges.
+    #[test]
+    fn cones_are_consistent(seed in 1u64..100) {
+        let net = small_internet(seed);
+        let g = &net.graph;
+        let cones = customer_cones(g);
+        for u in g.indices() {
+            prop_assert!(cones[u.i()].contains(&u));
+            for &c in g.customers(u) {
+                // The provider's cone includes the customer's whole cone.
+                prop_assert!(cones[c.i()].is_subset(&cones[u.i()]));
+            }
+        }
+    }
+
+    /// Propagation is deterministic for a fixed seed and differs across
+    /// graph seeds (sanity of the generator's variety).
+    #[test]
+    fn propagation_is_deterministic(seed in 1u64..100, origin_pick in any::<u32>()) {
+        let net = small_internet(seed);
+        let origin = AsIdx(origin_pick % net.graph.len() as u32);
+        let ann = Announcement::simple(origin, Prefix::v4(9, 9, 9, 0, 24));
+        let a = propagate(&net.graph, &[ann.clone()]);
+        let b = propagate(&net.graph, &[ann]);
+        for u in net.graph.indices() {
+            prop_assert_eq!(a.route(u), b.route(u));
+        }
+    }
+}

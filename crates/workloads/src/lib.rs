@@ -1,0 +1,21 @@
+//! Workloads and research scenarios for the PEERING testbed.
+//!
+//! Two halves:
+//!
+//! * **Workloads** — the synthetic stand-ins for the paper's measurement
+//!   inputs: an Alexa-Top-500-style content catalog with per-page
+//!   resources, FQDNs, CDN-concentrated hosting and a DNS resolver
+//!   ([`alexa`]); and traffic generation ([`traffic`]).
+//! * **Scenarios** ([`scenarios`]) — runnable reproductions of the
+//!   studies the paper cites as enabled by PEERING: LIFEGUARD failure
+//!   avoidance, PoiRoot root-cause analysis, ARROW tunneling, PECAN
+//!   joint content/network routing, man-in-the-middle hijack emulation,
+//!   secure-BGP partial deployment, anycast catchment mapping, and a
+//!   decoy-routing service.
+
+pub mod alexa;
+pub mod scenarios;
+pub mod traffic;
+
+pub use alexa::{CatalogConfig, ContentCatalog, Fqdn, WebSite};
+pub use traffic::{Flow, TrafficMatrix};

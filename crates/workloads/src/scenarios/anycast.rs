@@ -1,0 +1,86 @@
+//! Anycast: announce one prefix from every site, map catchments, and
+//! fail over.
+//!
+//! §3: researchers "can advertise services on real IP addresses and
+//! potentially attract traffic to them, e.g., by anycasting a prefix from
+//! all PEERING providers and peers."
+
+use peering_core::{AnnouncementSpec, Testbed, TestbedError};
+use serde::{Deserialize, Serialize};
+
+/// Catchment snapshot per site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnycastReport {
+    /// `(site, ASes landing there)` with every site announcing.
+    pub baseline: Vec<(usize, usize)>,
+    /// The site that was withdrawn for the failover test.
+    pub failed_site: usize,
+    /// Catchments after the failover.
+    pub after_failover: Vec<(usize, usize)>,
+    /// ASes that still have a route after failover.
+    pub reachable_after: usize,
+    /// Total ASes that had a route at baseline.
+    pub reachable_before: usize,
+}
+
+impl AnycastReport {
+    /// No AS may be stranded by losing one site.
+    pub fn failover_complete(&self) -> bool {
+        self.reachable_after == self.reachable_before
+    }
+}
+
+/// Announce from all sites, then withdraw the largest-catchment site and
+/// re-measure.
+pub fn run(tb: &mut Testbed) -> Result<AnycastReport, TestbedError> {
+    let sites: Vec<usize> = (0..tb.servers.len()).collect();
+    let id = tb.new_experiment("anycast", "repro", &sites)?;
+    let client = tb.clients[&id].clone();
+    tb.announce(id, client.announce_everywhere())?;
+    let baseline = tb.catchments(&client.prefix).expect("announced");
+    let reachable_before: usize = baseline.iter().map(|(_, n)| n).sum();
+
+    // Fail the biggest site.
+    let (&(failed_site, _), _) = baseline
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, (_, n))| *n)
+        .map(|(i, s)| (s, i))
+        .expect("non-empty");
+    let remaining: Vec<usize> = sites.iter().copied().filter(|&s| s != failed_site).collect();
+    let spec = AnnouncementSpec::everywhere(client.prefix, remaining);
+    tb.announce(id, spec)?;
+    let after_failover = tb.catchments(&client.prefix).expect("announced");
+    let reachable_after: usize = after_failover.iter().map(|(_, n)| n).sum();
+
+    Ok(AnycastReport {
+        baseline,
+        failed_site,
+        after_failover,
+        reachable_after,
+        reachable_before,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peering_core::TestbedConfig;
+
+    #[test]
+    fn catchments_shift_but_nobody_is_stranded() {
+        let mut tb = Testbed::build(TestbedConfig::small(23));
+        let report = run(&mut tb).expect("scenario runs");
+        assert_eq!(report.baseline.len(), 2);
+        assert!(report.baseline.iter().all(|(_, n)| *n > 0));
+        // After failing one site the other absorbs everyone.
+        assert!(report.failover_complete(), "{report:?}");
+        let surviving: usize = report
+            .after_failover
+            .iter()
+            .filter(|(s, _)| *s != report.failed_site)
+            .map(|(_, n)| n)
+            .sum();
+        assert_eq!(surviving, report.reachable_after);
+    }
+}

@@ -1,0 +1,145 @@
+//! BGP beacons: scheduled announce/withdraw cycles for convergence
+//! measurement.
+//!
+//! BGP Beacons (Mao, Bush, Griffin, Roughan — IMC 2003) are prefixes
+//! announced and withdrawn on a fixed public schedule so researchers can
+//! study convergence. Table 1 scores beacons `≈` on interdomain control;
+//! PEERING subsumes them: the prototype web service "lets users schedule
+//! announcements without setting up a client software router" — this
+//! scenario wires a classic 2-hours-up / 2-hours-down beacon into the
+//! testbed's scheduler and verifies the control plane follows it.
+
+use peering_core::{ExperimentId, ScheduledAction, Testbed, TestbedError};
+use peering_netsim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Beacon timing.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BeaconConfig {
+    /// How long the prefix stays announced per cycle.
+    pub up: SimDuration,
+    /// How long it stays withdrawn per cycle.
+    pub down: SimDuration,
+    /// Number of cycles to schedule.
+    pub cycles: usize,
+}
+
+impl Default for BeaconConfig {
+    fn default() -> Self {
+        // The classic RIPE/PSG beacon cadence.
+        BeaconConfig {
+            up: SimDuration::from_secs(2 * 3600),
+            down: SimDuration::from_secs(2 * 3600),
+            cycles: 6,
+        }
+    }
+}
+
+/// One observed beacon transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BeaconEvent {
+    /// When the scheduler fired it.
+    pub time: SimTime,
+    /// True for announce, false for withdraw.
+    pub up: bool,
+    /// ASes with a route right after the event.
+    pub reach: usize,
+}
+
+/// Scenario outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BeaconReport {
+    /// The experiment driving the beacon.
+    pub experiment: ExperimentId,
+    /// Transitions in schedule order.
+    pub events: Vec<BeaconEvent>,
+}
+
+impl BeaconReport {
+    /// The beacon alternated perfectly: up/down/up/down...
+    pub fn alternates(&self) -> bool {
+        self.events
+            .windows(2)
+            .all(|w| w[0].up != w[1].up)
+    }
+}
+
+/// Install and run a beacon, sampling reachability after each scheduled
+/// transition.
+pub fn run(tb: &mut Testbed, cfg: BeaconConfig) -> Result<BeaconReport, TestbedError> {
+    let sites: Vec<usize> = (0..tb.servers.len()).collect();
+    let id = tb.new_experiment("beacon", "repro", &sites)?;
+    let client = tb.clients[&id].clone();
+    // Keep damping out of the way: beacons are *meant* to flap, and the
+    // real testbed schedules them as sanctioned, paced events.
+    tb.safety.cfg.damping.suppress_threshold = f64::MAX;
+
+    let mut t = tb.now() + SimDuration::from_secs(60);
+    let mut boundaries = Vec::new();
+    for _ in 0..cfg.cycles {
+        tb.schedule.at(
+            t,
+            id,
+            ScheduledAction::Announce(client.announce_everywhere()),
+        );
+        boundaries.push((t, true));
+        t += cfg.up;
+        tb.schedule.at(t, id, ScheduledAction::Withdraw(client.prefix));
+        boundaries.push((t, false));
+        t += cfg.down;
+    }
+    let mut events = Vec::new();
+    for (when, up) in boundaries {
+        tb.run_schedule(when + SimDuration::from_secs(1));
+        let reach = tb
+            .routes_for(&client.prefix)
+            .map(|r| r.reach_count().saturating_sub(1))
+            .unwrap_or(0);
+        events.push(BeaconEvent {
+            time: when,
+            up,
+            reach,
+        });
+    }
+    Ok(BeaconReport {
+        experiment: id,
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peering_core::TestbedConfig;
+
+    #[test]
+    fn beacon_cycles_drive_the_control_plane() {
+        let mut tb = Testbed::build(TestbedConfig::small(29));
+        let report = run(&mut tb, BeaconConfig::default()).expect("runs");
+        assert_eq!(report.events.len(), 12, "6 cycles = 12 transitions");
+        assert!(report.alternates());
+        for e in &report.events {
+            if e.up {
+                assert!(e.reach > 0, "announced beacon must be visible");
+            } else {
+                assert_eq!(e.reach, 0, "withdrawn beacon must vanish");
+            }
+        }
+        // The monitor logged every transition (the public beacon record).
+        let updates = tb.monitor.updates_for(report.experiment).count();
+        assert_eq!(updates, 12);
+    }
+
+    #[test]
+    fn short_cadence_beacons() {
+        let mut tb = Testbed::build(TestbedConfig::small(31));
+        let cfg = BeaconConfig {
+            up: SimDuration::from_secs(600),
+            down: SimDuration::from_secs(600),
+            cycles: 3,
+        };
+        let report = run(&mut tb, cfg).expect("runs");
+        assert_eq!(report.events.len(), 6);
+        assert!(report.alternates());
+    }
+}

@@ -1,0 +1,130 @@
+//! LIFEGUARD: locate a persistent failure and route around it with
+//! AS-path poisoning.
+//!
+//! The original system (Katz-Bassett et al., SIGCOMM 2012) detects a
+//! long-lasting black hole on the path toward its prefix and re-announces
+//! the prefix with the broken AS *poisoned* into the path, so that AS's
+//! loop detection discards the route and traffic shifts to paths avoiding
+//! it. The paper cites LIFEGUARD as an early PEERING-style use of route
+//! injection.
+
+use crate::scenarios::pick_vantages;
+use peering_core::{AnnouncementSpec, Testbed, TestbedError};
+use peering_netsim::Asn;
+use peering_topology::routing::TraceOutcome;
+use peering_topology::AsIdx;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one LIFEGUARD run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LifeguardReport {
+    /// The vantage point whose traffic we repaired.
+    pub vantage: AsIdx,
+    /// The AS that failed (black-holed).
+    pub failed_as: AsIdx,
+    /// Did probing detect the outage?
+    pub detected: bool,
+    /// Did the poisoned re-announcement restore connectivity?
+    pub recovered: bool,
+    /// AS path before the failure.
+    pub path_before: Vec<Asn>,
+    /// AS path after the poisoned announcement (empty if unrecovered).
+    pub path_after: Vec<Asn>,
+}
+
+/// Run LIFEGUARD on a testbed. Tries vantage/failure pairs until it finds
+/// one where an alternate policy-compliant path exists, then demonstrates
+/// detection and repair.
+pub fn run(tb: &mut Testbed) -> Result<LifeguardReport, TestbedError> {
+    let sites: Vec<usize> = (0..tb.servers.len()).collect();
+    let id = tb.new_experiment("lifeguard", "repro", &sites)?;
+    let client = tb.clients[&id].clone();
+    tb.announce(id, client.announce_everywhere())?;
+
+    let vantages = pick_vantages(tb, 40);
+    for vantage in vantages {
+        // Baseline path.
+        let path = match tb.traceroute(vantage, &client.prefix) {
+            TraceOutcome::Delivered(p) => p,
+            _ => continue,
+        };
+        if path.len() < 4 {
+            continue; // need an interior AS to fail
+        }
+        let path_before: Vec<Asn> = path.iter().map(|&i| tb.graph().info(i).asn).collect();
+        // Fail each interior AS in turn until poisoning can repair one.
+        for &failed in &path[1..path.len() - 1] {
+            if failed == tb.node {
+                continue;
+            }
+            tb.set_blackhole(failed, true);
+            let detected = tb.ping(vantage, &client.prefix).is_none();
+            if !detected {
+                tb.set_blackhole(failed, false);
+                continue;
+            }
+            // Re-announce with the failed AS poisoned. LIFEGUARD paces
+            // its control-plane actions; spacing them out also keeps the
+            // testbed's flap damping from suppressing the prefix.
+            tb.advance(peering_netsim::SimDuration::from_secs(2 * 3600));
+            let poisoned = AnnouncementSpec::everywhere(client.prefix, sites.clone())
+                .poisoned(vec![tb.graph().info(failed).asn]);
+            tb.announce(id, poisoned)?;
+            let outcome = tb.traceroute(vantage, &client.prefix);
+            if let TraceOutcome::Delivered(new_path) = outcome {
+                let path_after: Vec<Asn> =
+                    new_path.iter().map(|&i| tb.graph().info(i).asn).collect();
+                assert!(!new_path.contains(&failed));
+                tb.set_blackhole(failed, false);
+                return Ok(LifeguardReport {
+                    vantage,
+                    failed_as: failed,
+                    detected,
+                    recovered: true,
+                    path_before,
+                    path_after,
+                });
+            }
+            // Revert and try the next candidate.
+            tb.set_blackhole(failed, false);
+            tb.advance(peering_netsim::SimDuration::from_secs(2 * 3600));
+            tb.announce(id, client.announce_everywhere())?;
+        }
+    }
+    // No repairable pair found (tiny topologies): report honestly.
+    Ok(LifeguardReport {
+        vantage: AsIdx(0),
+        failed_as: AsIdx(0),
+        detected: false,
+        recovered: false,
+        path_before: Vec::new(),
+        path_after: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peering_core::TestbedConfig;
+
+    #[test]
+    fn lifeguard_detects_and_recovers() {
+        let mut tb = Testbed::build(TestbedConfig::small(3));
+        let report = run(&mut tb).expect("scenario runs");
+        assert!(report.detected, "outage must be detected");
+        assert!(report.recovered, "poisoning must restore connectivity");
+        assert!(!report.path_before.is_empty());
+        assert!(!report.path_after.is_empty());
+        let failed_asn = tb.graph().info(report.failed_as).asn;
+        assert!(report.path_before.contains(&failed_asn));
+        assert!(!report.path_after.contains(&failed_asn));
+    }
+
+    #[test]
+    fn report_serializes() {
+        let mut tb = Testbed::build(TestbedConfig::small(4));
+        let report = run(&mut tb).unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("recovered"));
+    }
+}

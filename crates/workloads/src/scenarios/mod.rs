@@ -1,0 +1,73 @@
+//! Reproductions of the studies PEERING enabled or would enable (§2).
+//!
+//! Each scenario drives a [`peering_core::Testbed`] (or, for the
+//! pure routing-policy studies, the topology directly) end to end and
+//! returns a typed report. They serve triple duty: integration tests,
+//! example binaries, and the workloads behind several benchmark rows.
+//!
+//! | module | study | paper hook |
+//! |---|---|---|
+//! | [`lifeguard`] | route around persistent failures via poisoning | "LIFEGUARD used route injection to route around failures" |
+//! | [`poiroot`] | root-cause analysis of path changes | "PoiRoot made announcements to expose ASes' routing preferences" |
+//! | [`arrow`] | tunnel through the testbed past black holes | "ARROW demonstrated an incrementally deployable solution to black holes" |
+//! | [`pecan`] | joint content/network routing measurement | "PECAN used PEERING announcements to uncover alternate paths" |
+//! | [`hijack`] | man-in-the-middle interception emulation | "a researcher is using PEERING to study man-in-the-middle hijacks" |
+//! | [`sbgp`] | secure-BGP partial deployment | "a researcher recently submitted a proposal to use PEERING announcements to assess adoption" |
+//! | [`anycast`] | anycast catchments and failover | "anycasting a prefix from all PEERING providers and peers" |
+//! | [`decoy`] | decoy-routing service at an IXP | "a decoy routing service could take traffic at an IXP, rewrite packets..." |
+//! | [`sdx`] | application-specific peering at a software-defined IXP | "SDX... used PEERING to route traffic to and from the actual Internet" |
+//! | [`beacon`] | scheduled announce/withdraw beacons | BGP Beacons (Mao et al.), the testbed's automated-measurement mode |
+//! | [`phas`] | prefix-hijack detection with ground truth | "PHAS: A Prefix Hijack Alert System" \[32\], testable because PEERING controls both victim and attacker |
+//! | [`convergence`] | delayed BGP convergence / path exploration | "BGP... can experience slow convergence \[30\]" — the Labovitz study PEERING-style injection enables |
+
+pub mod anycast;
+pub mod arrow;
+pub mod decoy;
+pub mod hijack;
+pub mod lifeguard;
+pub mod pecan;
+pub mod phas;
+pub mod beacon;
+pub mod convergence;
+pub mod poiroot;
+pub mod sbgp;
+pub mod sdx;
+
+use peering_core::Testbed;
+use peering_topology::{AsIdx, AsKind};
+
+/// Pick deterministic vantage-point ASes: stubs/access networks spread
+/// through the graph, excluding the testbed itself and its neighbors.
+pub fn pick_vantages(tb: &Testbed, count: usize) -> Vec<AsIdx> {
+    let g = tb.graph();
+    let neighbors: std::collections::HashSet<AsIdx> = g.neighbors(tb.node).collect();
+    g.infos()
+        .filter(|(idx, info)| {
+            *idx != tb.node
+                && !neighbors.contains(idx)
+                && matches!(info.kind, AsKind::Stub | AsKind::Access | AsKind::Enterprise)
+        })
+        .map(|(idx, _)| idx)
+        .step_by(3)
+        .take(count)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peering_core::TestbedConfig;
+
+    #[test]
+    fn vantages_avoid_testbed_and_neighbors() {
+        let tb = Testbed::build(TestbedConfig::small(1));
+        let v = pick_vantages(&tb, 10);
+        assert!(!v.is_empty());
+        let neighbors: std::collections::HashSet<AsIdx> =
+            tb.graph().neighbors(tb.node).collect();
+        for a in &v {
+            assert_ne!(*a, tb.node);
+            assert!(!neighbors.contains(a));
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! PoiRoot: root-cause analysis of interdomain path changes, with
+//! PEERING-made changes as ground truth.
+//!
+//! PoiRoot (Javed et al., SIGCOMM 2013) infers which AS caused an
+//! observed path change. Its evaluation needed *controlled* path changes
+//! — exactly what PEERING provides: "PoiRoot also used PEERING to make
+//! controlled path changes, to use as ground truth."
+//!
+//! The scenario makes a controlled change (withdrawing the announcement
+//! from one site, forcing re-homing), observes path changes at vantage
+//! points, runs a PoiRoot-style inference (the change root is the AS
+//! closest to the origin where old and new paths diverge), and scores it
+//! against ground truth.
+
+use crate::scenarios::pick_vantages;
+use peering_core::{Testbed, TestbedError};
+use peering_topology::routing::TraceOutcome;
+use peering_topology::AsIdx;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Results of the inference study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PoirootReport {
+    /// Vantage points observed.
+    pub vantages: usize,
+    /// How many saw their path change.
+    pub changed: usize,
+    /// How many changed vantages were attributed to the true root.
+    pub correct: usize,
+}
+
+impl PoirootReport {
+    /// Attribution accuracy over changed paths.
+    pub fn accuracy(&self) -> f64 {
+        if self.changed == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.changed as f64
+        }
+    }
+}
+
+/// Infer the root cause of a path change: walking from the origin end,
+/// the first AS whose upstream hop differs. Returns the AS at the
+/// divergence point (origin side).
+fn infer_root(old: &[AsIdx], new: &[AsIdx]) -> Option<AsIdx> {
+    // Compare suffixes (paths end at the origin).
+    let mut o = old.iter().rev();
+    let mut n = new.iter().rev();
+    let mut last_common = None;
+    loop {
+        match (o.next(), n.next()) {
+            (Some(a), Some(b)) if a == b => last_common = Some(*a),
+            _ => break,
+        }
+    }
+    last_common
+}
+
+/// Run the study: baseline announcement from all sites, then withdraw to
+/// a single site as the controlled change.
+pub fn run(tb: &mut Testbed) -> Result<PoirootReport, TestbedError> {
+    let sites: Vec<usize> = (0..tb.servers.len()).collect();
+    let id = tb.new_experiment("poiroot", "repro", &sites)?;
+    let client = tb.clients[&id].clone();
+    tb.announce(id, client.announce_everywhere())?;
+
+    let vantages = pick_vantages(tb, 60);
+    let mut before: HashMap<AsIdx, Vec<AsIdx>> = HashMap::new();
+    for &v in &vantages {
+        if let TraceOutcome::Delivered(p) = tb.traceroute(v, &client.prefix) {
+            before.insert(v, p);
+        }
+    }
+    // Controlled change: announce now only from the last site. Ground
+    // truth root cause: the origin (PEERING) changed its exports.
+    let only_last = client.announce_from(*sites.last().expect("sites"), peering_core::PeerSelector::All);
+    tb.announce(id, only_last)?;
+
+    let mut changed = 0;
+    let mut correct = 0;
+    for (&v, old_path) in &before {
+        let new_path = match tb.traceroute(v, &client.prefix) {
+            TraceOutcome::Delivered(p) => p,
+            _ => continue, // lost the route entirely; not a path change
+        };
+        if new_path == *old_path {
+            continue;
+        }
+        changed += 1;
+        // The true root is the origin (we changed our announcement).
+        if let Some(root) = infer_root(old_path, &new_path) {
+            if root == tb.node {
+                correct += 1;
+            }
+        }
+    }
+    Ok(PoirootReport {
+        vantages: before.len(),
+        changed,
+        correct,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peering_core::TestbedConfig;
+
+    #[test]
+    fn infer_root_finds_divergence() {
+        // old: v -> a -> b -> origin; new: v -> c -> b -> origin
+        let (v, a, b, c, o) = (AsIdx(1), AsIdx(2), AsIdx(3), AsIdx(4), AsIdx(5));
+        assert_eq!(infer_root(&[v, a, b, o], &[v, c, b, o]), Some(b));
+        // Total divergence: only the origin is shared.
+        assert_eq!(infer_root(&[v, a, o], &[v, c, o]), Some(o));
+        // Identical paths: the whole path is common; root = the vantage.
+        assert_eq!(infer_root(&[v, a, o], &[v, a, o]), Some(v));
+        // No common suffix at all.
+        assert_eq!(infer_root(&[v, a], &[c, b]), None);
+    }
+
+    #[test]
+    fn controlled_change_is_attributed_to_origin() {
+        let mut tb = Testbed::build(TestbedConfig::small(5));
+        let report = run(&mut tb).expect("scenario runs");
+        assert!(report.vantages > 5);
+        assert!(report.changed > 0, "the change must be visible somewhere");
+        assert!(
+            report.accuracy() > 0.7,
+            "accuracy {} too low ({} / {})",
+            report.accuracy(),
+            report.correct,
+            report.changed
+        );
+    }
+}

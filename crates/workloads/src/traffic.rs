@@ -1,0 +1,138 @@
+//! Traffic generation: flows between experiment prefixes and the
+//! simulated Internet.
+//!
+//! PEERING carries only low-volume experiment traffic (§3), so the model
+//! is flow-level: who talks to whom and how much, weighted toward content
+//! ASes the way real eyeball traffic is.
+
+use peering_netsim::SimRng;
+use peering_topology::{AsGraph, AsIdx, AsKind};
+use serde::{Deserialize, Serialize};
+
+/// One flow between an experiment and a remote AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flow {
+    /// Remote AS.
+    pub remote: AsIdx,
+    /// Bytes toward the remote.
+    pub tx_bytes: u64,
+    /// Bytes from the remote.
+    pub rx_bytes: u64,
+}
+
+/// A set of flows for one measurement interval.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    /// The flows.
+    pub flows: Vec<Flow>,
+}
+
+impl TrafficMatrix {
+    /// Generate `n` flows with content-heavy remote selection: most bytes
+    /// come *from* content ASes (downloads dominate).
+    pub fn generate(g: &AsGraph, n: usize, rng: &mut SimRng) -> TrafficMatrix {
+        let contents: Vec<AsIdx> = g
+            .infos()
+            .filter(|(_, i)| i.kind == AsKind::Content)
+            .map(|(i, _)| i)
+            .collect();
+        let everyone: Vec<AsIdx> = g.indices().collect();
+        let mut flows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let remote = if !contents.is_empty() && rng.chance(0.6) {
+                contents[rng.zipf(contents.len(), 1.1)]
+            } else {
+                everyone[rng.index(everyone.len())]
+            };
+            let rx = rng.pareto(20_000.0, 1.3) as u64;
+            let tx = (rx / 10).max(500) + rng.below(2_000);
+            flows.push(Flow {
+                remote,
+                tx_bytes: tx,
+                rx_bytes: rx,
+            });
+        }
+        TrafficMatrix { flows }
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.flows.iter().map(|f| f.tx_bytes + f.rx_bytes).sum()
+    }
+
+    /// Fraction of received bytes coming from content ASes.
+    pub fn content_rx_share(&self, g: &AsGraph) -> f64 {
+        let total: u64 = self.flows.iter().map(|f| f.rx_bytes).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let content: u64 = self
+            .flows
+            .iter()
+            .filter(|f| g.info(f.remote).kind == AsKind::Content)
+            .map(|f| f.rx_bytes)
+            .sum();
+        content as f64 / total as f64
+    }
+
+    /// The remotes ranked by received bytes, heaviest first.
+    pub fn top_remotes(&self, k: usize) -> Vec<(AsIdx, u64)> {
+        let mut agg: std::collections::HashMap<AsIdx, u64> = std::collections::HashMap::new();
+        for f in &self.flows {
+            *agg.entry(f.remote).or_insert(0) += f.rx_bytes;
+        }
+        let mut v: Vec<(AsIdx, u64)> = agg.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peering_topology::{Internet, InternetConfig};
+
+    #[test]
+    fn traffic_is_content_heavy() {
+        let net = Internet::build(InternetConfig::small(1));
+        let mut rng = SimRng::new(5);
+        let tm = TrafficMatrix::generate(&net.graph, 2000, &mut rng);
+        assert_eq!(tm.flows.len(), 2000);
+        assert!(tm.total_bytes() > 0);
+        let share = tm.content_rx_share(&net.graph);
+        // Paper context (Sandvine): about half of traffic from few CDNs.
+        assert!((0.4..0.95).contains(&share), "share={share}");
+    }
+
+    #[test]
+    fn downloads_dominate_uploads() {
+        let net = Internet::build(InternetConfig::small(2));
+        let mut rng = SimRng::new(6);
+        let tm = TrafficMatrix::generate(&net.graph, 500, &mut rng);
+        let rx: u64 = tm.flows.iter().map(|f| f.rx_bytes).sum();
+        let tx: u64 = tm.flows.iter().map(|f| f.tx_bytes).sum();
+        assert!(rx > tx * 2, "rx={rx} tx={tx}");
+    }
+
+    #[test]
+    fn top_remotes_sorted_and_bounded() {
+        let net = Internet::build(InternetConfig::small(3));
+        let mut rng = SimRng::new(7);
+        let tm = TrafficMatrix::generate(&net.graph, 1000, &mut rng);
+        let top = tm.top_remotes(5);
+        assert_eq!(top.len(), 5);
+        for w in top.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let tm = TrafficMatrix::default();
+        assert_eq!(tm.total_bytes(), 0);
+        let net = Internet::build(InternetConfig::small(1));
+        assert_eq!(tm.content_rx_share(&net.graph), 0.0);
+        assert!(tm.top_remotes(3).is_empty());
+    }
+}

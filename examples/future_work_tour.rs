@@ -1,0 +1,108 @@
+//! A tour of the paper's §3 "going forward" plans, implemented: the web
+//! portal with advisory-board vetting, IPv6 experiment prefixes,
+//! secondary origin ASNs, remote peering, scheduled beacons, and the
+//! lightweight packet-processing API.
+//!
+//! ```text
+//! cargo run --release --example future_work_tour
+//! ```
+
+use peering::core::{PeerSelector, Portal, Proposal, SiteSpec, Testbed, TestbedConfig};
+use peering::topology::{InternetConfig, IxpSpec};
+use peering::workloads::scenarios::beacon::{self, BeaconConfig};
+
+fn main() {
+    println!("== future-work tour ==\n");
+
+    // --- Remote peering: a third IXP with no new hardware -------------
+    let mut internet = InternetConfig::small(7);
+    internet.ixps.push(IxpSpec {
+        name: "REMOTE-IX".into(),
+        country: *b"DE",
+        target_members: 16,
+        rs_members: 12,
+        open: 2,
+        closed: 0,
+        case_by_case: 1,
+    });
+    let mut cfg = TestbedConfig::small(7);
+    cfg.internet = internet;
+    cfg.sites
+        .push(SiteSpec::remote_ixp("decix-remote01", 1, 0, 8, *b"DE"));
+    let mut tb = Testbed::build(cfg);
+    let remote = &tb.servers[2];
+    println!(
+        "remote peering: site '{}' reached via site {} adds {} peers (total {})",
+        remote.site.name,
+        remote.remote_via.expect("remote"),
+        remote.peers().len(),
+        tb.all_peers().len()
+    );
+
+    // --- The portal: proposal -> vetting -> provisioning ---------------
+    let mut portal = Portal::new();
+    let req = portal.submit(
+        Proposal {
+            email: "researcher@usc.edu".into(),
+            institution: "USC".into(),
+            title: "ipv6 anycast".into(),
+            abstract_text: "We will announce an IPv6 /48 from every site to compare v6 \
+                            catchments against v4, using scheduled beacon cycles."
+                .into(),
+            sites: vec![0, 1, 2],
+            needs_spoofing: false,
+        },
+        tb.now(),
+    );
+    let exp = portal.provision(req, &mut tb).expect("auto-provisioned");
+    println!("\nportal: {req} approved and provisioned as {exp}");
+    for n in &portal.notifications {
+        println!("  notify {}: {}", n.email, n.message);
+    }
+
+    // --- Multiple ASNs + IPv6 ------------------------------------------
+    let origin = tb.assign_secondary_asn(exp).expect("asn");
+    let v6 = tb.enable_ipv6(exp).expect("v6 prefix");
+    println!("\nassigned origin {origin}; IPv6 prefix {v6}");
+    let v4_reach = {
+        let client = tb.clients[&exp].clone();
+        tb.announce(exp, client.announce_everywhere()).expect("v4")
+    };
+    let v6_reach = tb
+        .announce_v6(exp, &[0, 1, 2], &PeerSelector::All)
+        .expect("v6");
+    println!(
+        "dual-stack announcement: v4 reaches {v4_reach} ASes, v6 reaches {v6_reach} \
+         (of {} dual-stacked)",
+        tb.dual_stack_count()
+    );
+
+    // --- Beacons ---------------------------------------------------------
+    let report = beacon::run(
+        &mut tb,
+        BeaconConfig {
+            cycles: 3,
+            ..Default::default()
+        },
+    )
+    .expect("beacon");
+    println!("\nbeacon transitions:");
+    for e in &report.events {
+        println!(
+            "  [{}] {} -> {} ASes",
+            e.time,
+            if e.up { "ANNOUNCE" } else { "WITHDRAW" },
+            e.reach
+        );
+    }
+
+    // --- Lightweight packet processing ---------------------------------
+    let r = peering_bench::pktproc9::run(20_000);
+    println!(
+        "\npacket processing: identical pipeline, VM {} us vs lightweight {} us ({:.0}x)",
+        r.vm.busy_us,
+        r.lightweight.busy_us,
+        r.speedup()
+    );
+    println!("\ndone.");
+}

@@ -1,0 +1,38 @@
+//! Secure-BGP partial deployment (§2's proposed study): how many of the
+//! biggest ASes need to validate origins before prefix hijacks stop
+//! paying off?
+//!
+//! ```text
+//! cargo run --release --example secure_bgp_adoption
+//! ```
+
+use peering::topology::{Internet, InternetConfig};
+use peering::workloads::scenarios::sbgp;
+
+fn main() {
+    println!("== secure BGP in partial deployment ==\n");
+    let net = Internet::build(InternetConfig::small(17));
+    let n = net.graph.len();
+    let levels: Vec<usize> = vec![0, 2, 5, 10, 20, 40, 80, n];
+    let report = sbgp::run(&net.graph, 1, &levels);
+    println!(
+        "victim: {}   attacker: {}\n",
+        net.graph.info(report.victim).asn,
+        net.graph.info(report.attacker).asn
+    );
+    println!("{:>10}  {:>16}  chart", "adopters", "attacker success");
+    for p in &report.points {
+        let width = (p.attacker_success * 40.0).round() as usize;
+        println!(
+            "{:>10}  {:>15.1}%  {}",
+            p.adopters,
+            p.attacker_success * 100.0,
+            "#".repeat(width)
+        );
+    }
+    println!(
+        "\nAdoption by the largest ASes (by customer cone) collapses the\n\
+         attacker's catchment — the partial-deployment effect the paper's\n\
+         proposed PEERING study would measure with real announcements."
+    );
+}

@@ -1,0 +1,45 @@
+//! # PEERING: An AS for Us — a full-system reproduction in Rust
+//!
+//! This workspace reproduces the PEERING testbed (Schlinker, Zarifis,
+//! Cunha, Feamster, Katz-Bassett — HotNets-XIII, 2014): a platform that
+//! lets researchers run their own autonomous systems, *pairing emulated
+//! experiments with real interdomain network gateways*. Since the real
+//! system's substrate — the live Internet — is not available here, the
+//! reproduction builds that substrate too: a deterministic, seeded
+//! simulation of the AS-level Internet, IXPs with route servers, a
+//! from-scratch BGP implementation, and a MinineXt-style intradomain
+//! emulator.
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`netsim`] | discrete-event engine, links, IP data plane, RNG |
+//! | [`bgp`] | BGP-4: wire codec, FSM, RIBs, decision, policy, damping, ADD-PATH, route-server mode |
+//! | [`topology`] | AS-level Internet: relationships, Gao–Rexford propagation, cones, generator, Topology-Zoo PoPs |
+//! | [`ixp`] | IXP: members, policies, route server, peering workflow, remote peering |
+//! | [`emulation`] | MinineXt analog: containers, IGP, hosted daemons, placement |
+//! | [`core`] | PEERING itself: servers, mux, clients, allocation, safety, experiments, monitoring |
+//! | [`workloads`] | Alexa-style catalog, traffic, and the LIFEGUARD / PoiRoot / ARROW / PECAN / hijack / sBGP / anycast / decoy scenarios |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use peering::core::{Testbed, TestbedConfig};
+//!
+//! // Build a small Internet with PEERING deployed at one IXP and one
+//! // university, provision an experiment, and announce its /24.
+//! let mut tb = Testbed::build(TestbedConfig::small(42));
+//! let id = tb.new_experiment("quickstart", "you", &[0, 1]).unwrap();
+//! let client = tb.clients[&id].clone();
+//! let reach = tb.announce(id, client.announce_everywhere()).unwrap();
+//! assert!(reach > 0);
+//! ```
+
+pub use peering_bgp as bgp;
+pub use peering_core as core;
+pub use peering_emulation as emulation;
+pub use peering_ixp as ixp;
+pub use peering_netsim as netsim;
+pub use peering_topology as topology;
+pub use peering_workloads as workloads;

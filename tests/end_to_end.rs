@@ -1,0 +1,140 @@
+//! End-to-end integration: the full testbed lifecycle across crates.
+
+use peering::core::{
+    AnnouncementSpec, PeerSelector, ScheduledAction, Testbed, TestbedConfig, TestbedError,
+};
+use peering::netsim::SimDuration;
+use peering::topology::routing::TraceOutcome;
+
+#[test]
+fn full_researcher_workflow() {
+    let mut tb = Testbed::build(TestbedConfig::small(100));
+    // Provision.
+    let id = tb.new_experiment("workflow", "inst", &[0, 1]).unwrap();
+    let client = tb.clients[&id].clone();
+    assert_eq!(client.tunnels.len(), 2);
+    // Announce, verify global visibility.
+    let reach = tb.announce(id, client.announce_everywhere()).unwrap();
+    assert_eq!(reach, tb.graph().len() - 1);
+    // Data plane works from an arbitrary vantage.
+    let vantage = peering::topology::AsIdx(33);
+    let rtt1 = tb.ping(vantage, &client.prefix).expect("reachable");
+    assert!(rtt1 > SimDuration::ZERO);
+    // Traffic engineering: prepend and confirm paths lengthen somewhere.
+    tb.advance(SimDuration::from_secs(7200));
+    tb.announce(id, client.announce_everywhere().prepended(4)).unwrap();
+    let path = match tb.traceroute(vantage, &client.prefix) {
+        TraceOutcome::Delivered(p) => p,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(*path.last().unwrap(), tb.node);
+    // Teardown returns the prefix to the pool.
+    let before = tb.allocator.available();
+    tb.end_experiment(id).unwrap();
+    assert_eq!(tb.allocator.available(), before + 1);
+    assert!(tb.routes_for(&client.prefix).is_none());
+}
+
+#[test]
+fn simultaneous_experiments_do_not_interfere() {
+    let mut tb = Testbed::build(TestbedConfig::small(101));
+    let a = tb.new_experiment("a", "x", &[0]).unwrap();
+    let b = tb.new_experiment("b", "y", &[1]).unwrap();
+    let ca = tb.clients[&a].clone();
+    let cb = tb.clients[&b].clone();
+    assert!(!ca.prefix.overlaps(&cb.prefix));
+    tb.announce(a, ca.announce_everywhere()).unwrap();
+    tb.announce(b, cb.announce_everywhere()).unwrap();
+    // Both prefixes routed independently.
+    assert!(tb.routes_for(&ca.prefix).is_some());
+    assert!(tb.routes_for(&cb.prefix).is_some());
+    // Withdrawing one leaves the other intact.
+    tb.withdraw(a, ca.prefix).unwrap();
+    assert!(tb.routes_for(&ca.prefix).is_none());
+    assert!(tb.routes_for(&cb.prefix).is_some());
+    // a cannot touch b's prefix.
+    assert!(matches!(
+        tb.announce(a, AnnouncementSpec::everywhere(cb.prefix, vec![0])),
+        Err(TestbedError::Safety(_))
+    ));
+}
+
+#[test]
+fn scheduler_executes_a_calendar() {
+    let mut tb = Testbed::build(TestbedConfig::small(102));
+    let id = tb.new_experiment("sched", "x", &[0]).unwrap();
+    let client = tb.clients[&id].clone();
+    let t0 = tb.now();
+    tb.schedule.at(
+        t0 + SimDuration::from_secs(600),
+        id,
+        ScheduledAction::Announce(client.announce_from(0, PeerSelector::All)),
+    );
+    tb.schedule.at(
+        t0 + SimDuration::from_secs(7200),
+        id,
+        ScheduledAction::Withdraw(client.prefix),
+    );
+    assert_eq!(tb.schedule.pending(), 2);
+    tb.run_schedule(t0 + SimDuration::from_secs(3600));
+    assert!(tb.routes_for(&client.prefix).is_some(), "announce fired");
+    tb.run_schedule(t0 + SimDuration::from_secs(8000));
+    assert!(tb.routes_for(&client.prefix).is_none(), "withdraw fired");
+    assert_eq!(tb.schedule.pending(), 0);
+}
+
+#[test]
+fn capability_row_derives_from_deployment() {
+    let tb = Testbed::build(TestbedConfig::small(103));
+    let features = tb.features();
+    assert!(features.announcement_control);
+    assert!(features.traffic_exchange);
+    assert!(features.concurrent_experiment_slots >= 32);
+    let row = peering::core::peering_row(&features);
+    // A small deployment has limited connectivity but everything else.
+    assert_eq!(row.0[0], peering::core::Support::Yes);
+    assert_eq!(row.0[2], peering::core::Support::Yes);
+}
+
+#[test]
+fn monitor_collects_control_and_data_plane() {
+    let mut tb = Testbed::build(TestbedConfig::small(104));
+    let id = tb.new_experiment("mon", "x", &[0, 1]).unwrap();
+    let client = tb.clients[&id].clone();
+    tb.announce(id, client.announce_everywhere()).unwrap();
+    for i in 0..5 {
+        tb.ping(peering::topology::AsIdx(20 + i), &client.prefix);
+    }
+    assert_eq!(tb.monitor.updates().len(), 1);
+    assert_eq!(tb.monitor.probes().len(), 5);
+    assert!(tb.monitor.loss_rate(client.prefix).unwrap() < 1.0);
+    assert!(tb.monitor.median_rtt(client.prefix).is_some());
+}
+
+#[test]
+fn catchments_and_selective_export_interact() {
+    let mut tb = Testbed::build(TestbedConfig::small(105));
+    let id = tb.new_experiment("catch", "x", &[0, 1]).unwrap();
+    let client = tb.clients[&id].clone();
+    tb.announce(id, client.announce_everywhere()).unwrap();
+    let both = tb.catchments(&client.prefix).unwrap();
+    assert_eq!(both.len(), 2);
+    let total: usize = both.iter().map(|(_, n)| n).sum();
+    assert_eq!(total, tb.graph().len());
+    // Restrict to a single transit neighbor and the catchment collapses.
+    tb.advance(SimDuration::from_secs(7200));
+    let one_transit = tb.servers[1].transits[0];
+    tb.announce(
+        id,
+        AnnouncementSpec::everywhere(client.prefix, vec![1])
+            .select(PeerSelector::Specific(vec![one_transit])),
+    )
+    .unwrap();
+    let narrow = tb.catchments(&client.prefix).unwrap();
+    let narrow_total: usize = narrow.iter().map(|(_, n)| n).sum();
+    assert!(narrow_total <= total);
+    // Everyone still reaching us comes through that transit.
+    if let TraceOutcome::Delivered(path) = tb.traceroute(peering::topology::AsIdx(50), &client.prefix) {
+        assert_eq!(path[path.len() - 2], one_transit);
+    }
+}

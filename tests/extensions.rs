@@ -1,0 +1,165 @@
+//! The paper's future-work features, implemented and exercised: remote
+//! peering, multiple public ASNs, the web portal, and the packet
+//! processing API at a server.
+
+use peering::core::{
+    Backend, PacketProcessor, PeerSelector, PktAction, PktMatch, PktVerdict, Portal, Proposal,
+    SiteSpec, Testbed, TestbedConfig,
+};
+use peering::netsim::{IpPacket, Payload, SimTime};
+use peering::topology::{InternetConfig, IxpSpec};
+
+/// A testbed config with a third, remotely peered IXP.
+fn config_with_remote(seed: u64) -> TestbedConfig {
+    let mut internet = InternetConfig::small(seed);
+    internet.ixps.push(IxpSpec {
+        name: "REMOTE-IX".into(),
+        country: *b"DE",
+        target_members: 16,
+        rs_members: 12,
+        open: 2,
+        closed: 0,
+        case_by_case: 1,
+    });
+    let mut cfg = TestbedConfig::small(seed);
+    cfg.internet = internet;
+    cfg.sites.push(SiteSpec::remote_ixp("decix-remote01", 1, 0, 8, *b"DE"));
+    cfg
+}
+
+#[test]
+fn remote_peering_extends_reach_without_hardware() {
+    let base = Testbed::build(TestbedConfig::small(500));
+    let with_remote = Testbed::build(config_with_remote(500));
+    assert_eq!(with_remote.servers.len(), 3);
+    let remote = &with_remote.servers[2];
+    assert_eq!(remote.remote_via, Some(0), "circuit lands on the AMS server");
+    assert!(!remote.rs_peers.is_empty(), "remote RS peering works");
+    // At least as many distinct peers as the physical-only deployment —
+    // in a ~120-AS test Internet the remote IXP's membership can overlap
+    // the home IXP's heavily; at realistic scale it adds hundreds.
+    assert!(with_remote.all_peers().len() >= base.all_peers().len());
+    // And the remote site contributes sessions of its own.
+    assert!(with_remote.servers[2].session_count() > 0);
+    // Announcements can be steered to the remote site alone.
+    let mut tb = with_remote;
+    let id = tb.new_experiment("remote", "usc", &[2]).unwrap();
+    let client = tb.clients[&id].clone();
+    let reach = tb
+        .announce(id, client.announce_from(2, PeerSelector::All))
+        .unwrap();
+    assert!(reach > 0);
+}
+
+#[test]
+fn first_ixp_census_survives_extra_ixps() {
+    // The hardened population: adding REMOTE-IX must not corrupt
+    // TEST-IX's exact §4.1-style census.
+    let tb = Testbed::build(config_with_remote(501));
+    let census = tb.ixps[0].directory.policy_census();
+    assert_eq!(census.route_server, 22);
+    assert_eq!(census.open, 4);
+    assert_eq!(census.closed, 1);
+    assert_eq!(census.case_by_case, 2);
+    assert_eq!(census.unlisted, 1);
+}
+
+#[test]
+fn secondary_asn_for_multi_origin_experiments() {
+    let mut tb = Testbed::build(TestbedConfig::small(502));
+    // A two-ASN allocator, as the paper plans.
+    tb.allocator = peering::core::PrefixAllocator::new(
+        "184.164.224.0/19".parse().unwrap(),
+        vec![peering::netsim::Asn::PEERING, peering::netsim::Asn(61574)],
+    );
+    tb.safety.cfg.pools = tb.allocator.pools().to_vec();
+    let a = tb.new_experiment("origin-a", "x", &[0]).unwrap();
+    let b = tb.new_experiment("origin-b", "y", &[0]).unwrap();
+    let asn_a = tb.assign_secondary_asn(a).unwrap();
+    let asn_b = tb.assign_secondary_asn(b).unwrap();
+    assert_ne!(asn_a, asn_b, "round-robin gives distinct origins");
+    // Idempotent per experiment.
+    assert_eq!(tb.assign_secondary_asn(a).unwrap(), asn_a);
+    // Announcements under the assigned origin pass safety.
+    let ca = tb.clients[&a].clone();
+    assert!(tb.announce(a, ca.announce_everywhere()).is_ok());
+    let cb = tb.clients[&b].clone();
+    assert!(tb.announce(b, cb.announce_everywhere()).is_ok());
+}
+
+#[test]
+fn portal_to_live_experiment() {
+    let mut tb = Testbed::build(TestbedConfig::small(503));
+    let mut portal = Portal::new();
+    let req = portal.submit(
+        Proposal {
+            email: "grace@usc.edu".into(),
+            institution: "USC".into(),
+            title: "bgp convergence study".into(),
+            abstract_text: "We will make scheduled announcements and withdrawals of our \
+                            allocated /24 to measure convergence behavior at vantage points."
+                .into(),
+            sites: vec![0, 1],
+            needs_spoofing: false,
+        },
+        tb.now(),
+    );
+    let exp = portal.provision(req, &mut tb).expect("auto-provisioned");
+    // The provisioned experiment is immediately usable.
+    let client = tb.clients[&exp].clone();
+    let reach = tb.announce(exp, client.announce_everywhere()).unwrap();
+    assert!(reach > 0);
+    assert!(portal
+        .notifications
+        .iter()
+        .any(|n| n.message.contains("client config attached")));
+}
+
+#[test]
+fn packet_processing_at_the_server_edge() {
+    // A server-side pipeline: count experiment traffic, rate-limit it
+    // ("we only support low traffic volumes"), drop spoofed sources.
+    let tb = Testbed::build(TestbedConfig::small(504));
+    let pool: peering::netsim::Ipv4Net = "184.164.224.0/19".parse().unwrap();
+    let mut pp = PacketProcessor::new(Backend::Lightweight)
+        .rule(
+            PktMatch::Not(Box::new(PktMatch::SrcIn(pool))),
+            vec![PktAction::Drop],
+        )
+        .rule(
+            PktMatch::Any,
+            vec![
+                PktAction::Count,
+                PktAction::RateLimit {
+                    bytes_per_sec: 1_000_000,
+                    burst: 100_000,
+                },
+                PktAction::Pass,
+            ],
+        );
+    let legit = IpPacket::new(
+        "184.164.224.9".parse().unwrap(),
+        "8.8.8.8".parse().unwrap(),
+        Payload::Udp {
+            sport: 1,
+            dport: 53,
+            data: vec![0; 64],
+        },
+    );
+    let spoofed = IpPacket::new(
+        "9.9.9.9".parse().unwrap(),
+        "8.8.8.8".parse().unwrap(),
+        Payload::Udp {
+            sport: 1,
+            dport: 53,
+            data: vec![0; 64],
+        },
+    );
+    assert!(matches!(
+        pp.process(legit, SimTime::ZERO),
+        PktVerdict::Deliver(_)
+    ));
+    assert_eq!(pp.process(spoofed, SimTime::ZERO), PktVerdict::Dropped);
+    assert_eq!(pp.counted, 1, "only experiment traffic is counted");
+    let _ = tb;
+}

@@ -1,0 +1,77 @@
+//! All research scenarios, end to end on one testbed build each.
+
+use peering::core::{Testbed, TestbedConfig};
+use peering::topology::{Internet, InternetConfig};
+use peering::workloads::scenarios;
+
+#[test]
+fn lifeguard_end_to_end() {
+    let mut tb = Testbed::build(TestbedConfig::small(201));
+    let r = scenarios::lifeguard::run(&mut tb).unwrap();
+    assert!(r.detected && r.recovered);
+}
+
+#[test]
+fn poiroot_end_to_end() {
+    let mut tb = Testbed::build(TestbedConfig::small(202));
+    let r = scenarios::poiroot::run(&mut tb).unwrap();
+    assert!(r.changed > 0);
+    assert!(r.accuracy() > 0.5, "accuracy {}", r.accuracy());
+}
+
+#[test]
+fn arrow_end_to_end() {
+    let mut tb = Testbed::build(TestbedConfig::small(203));
+    let r = scenarios::arrow::run(&mut tb).unwrap();
+    assert!(r.direct_broken && r.detour_works);
+}
+
+#[test]
+fn pecan_end_to_end() {
+    let mut tb = Testbed::build(TestbedConfig::small(204));
+    // Measure from the IXP site — PECAN's setting: rich peering
+    // exposes many alternate paths.
+    let r = scenarios::pecan::run(&mut tb, 0, 10).unwrap();
+    assert!(!r.measurements.is_empty());
+    assert!(r.improved > 0);
+}
+
+#[test]
+fn hijack_end_to_end() {
+    let mut tb = Testbed::build(TestbedConfig::small(205));
+    let r = scenarios::hijack::run(&mut tb, 0, 1).unwrap();
+    assert!(r.diverted > 0 && r.diverted < r.total);
+    assert!(r.forwarded_ok);
+}
+
+#[test]
+fn sbgp_end_to_end() {
+    let net = Internet::build(InternetConfig::small(206));
+    let n = net.graph.len();
+    let r = scenarios::sbgp::run(&net.graph, 1, &[0, n / 4, n]);
+    assert!(r.points[0].attacker_success > r.points[2].attacker_success);
+}
+
+#[test]
+fn anycast_end_to_end() {
+    let mut tb = Testbed::build(TestbedConfig::small(207));
+    let r = scenarios::anycast::run(&mut tb).unwrap();
+    assert!(r.failover_complete());
+}
+
+#[test]
+fn decoy_end_to_end() {
+    let r = scenarios::decoy::run();
+    assert!(r.observer_saw_overt && r.covert_delivered && r.innocent_unaffected);
+}
+
+#[test]
+fn scenarios_are_deterministic() {
+    let run_once = |seed: u64| {
+        let mut tb = Testbed::build(TestbedConfig::small(seed));
+        let r = scenarios::hijack::run(&mut tb, 0, 1).unwrap();
+        (r.baseline_victim_catchment, r.diverted, r.total)
+    };
+    assert_eq!(run_once(301), run_once(301));
+    assert_ne!(run_once(301), run_once(302));
+}
