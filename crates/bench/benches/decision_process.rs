@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use peering_bgp::{
-    compare_routes, damping::DampingConfig, damping::DampingState, decision::best_route,
-    AsPath, DecisionConfig, PathAttributes, PeerId, Prefix, Route, RouteSource,
+    compare_routes, damping::DampingConfig, damping::DampingState, decision::best_route, AsPath,
+    DecisionConfig, PathAttributes, PeerId, Prefix, Route, RouteSource,
 };
 use peering_netsim::{Asn, SimDuration, SimTime};
 use std::sync::Arc;
@@ -15,7 +15,9 @@ fn candidates(n: usize) -> Vec<Route> {
             prefix: Prefix::v4(10, 0, 0, 0, 8),
             attrs: Arc::new(PathAttributes {
                 as_path: AsPath::from_asns(
-                    &(0..(2 + i % 5)).map(|k| Asn(100 + k as u32)).collect::<Vec<_>>(),
+                    &(0..(2 + i % 5))
+                        .map(|k| Asn(100 + k as u32))
+                        .collect::<Vec<_>>(),
                 ),
                 local_pref: Some(100 + (i % 3) as u32),
                 med: Some((i % 7) as u32),

@@ -10,19 +10,13 @@ fn bench_mux(c: &mut Criterion) {
     for design in [MuxDesign::PerPeerSessions, MuxDesign::AddPathMux] {
         for &(upstreams, clients) in &[(5usize, 2usize), (20, 4)] {
             group.bench_with_input(
-                BenchmarkId::new(
-                    format!("{design:?}"),
-                    format!("{upstreams}up_{clients}cl"),
-                ),
+                BenchmarkId::new(format!("{design:?}"), format!("{upstreams}up_{clients}cl")),
                 &(upstreams, clients),
                 |b, &(u, cl)| {
                     b.iter(|| {
                         let mut h = MuxHarness::build(design, u, cl, 1);
                         for i in 0..u {
-                            h.announce_from_upstream(
-                                i,
-                                Prefix::v4(30, 0, i as u8, 0, 24),
-                            );
+                            h.announce_from_upstream(i, Prefix::v4(30, 0, i as u8, 0, 24));
                         }
                         assert!(h.client_paths(0, &Prefix::v4(30, 0, 0, 0, 24)) >= 1);
                         h.stats()

@@ -17,7 +17,9 @@ fn bench_testbed(c: &mut Criterion) {
         let vantage = peering_topology::AsIdx(40);
         b.iter(|| {
             tb.advance(SimDuration::from_secs(7200)); // keep damping quiet
-            let reach = tb.announce(id, client.announce_everywhere()).expect("announce");
+            let reach = tb
+                .announce(id, client.announce_everywhere())
+                .expect("announce");
             let rtt = tb.ping(vantage, &client.prefix);
             (reach, rtt)
         });

@@ -36,7 +36,11 @@ fn run_fig2(opts: &Opts) {
     println!("Paper: Quagga BGP table memory grows linearly in prefixes, with");
     println!("per-peer table overhead; Internet-scale tables (500K) are large but");
     println!("tolerable because peers rarely send full tables.\n");
-    let result = if opts.full { fig2::full() } else { fig2::quick() };
+    let result = if opts.full {
+        fig2::full()
+    } else {
+        fig2::quick()
+    };
     let mut rows = Vec::new();
     for p in &result.points {
         rows.push(vec![
@@ -50,7 +54,13 @@ fn run_fig2(opts: &Opts) {
     println!(
         "{}",
         markdown_table(
-            &["peers", "routes/peer", "memory (shared attrs)", "memory (naive)", "distinct attrs"],
+            &[
+                "peers",
+                "routes/peer",
+                "memory (shared attrs)",
+                "memory (naive)",
+                "distinct attrs"
+            ],
             &rows
         )
     );
@@ -90,21 +100,68 @@ fn run_peering41(opts: &Opts) {
     let r = peering41::run(opts.seed);
     let rows = vec![
         vec!["AMS-IX members".into(), r.members.to_string(), "669".into()],
-        vec!["on route servers".into(), r.rs_members.to_string(), "554".into()],
-        vec!["open policy (non-RS)".into(), r.open.to_string(), "48".into()],
+        vec![
+            "on route servers".into(),
+            r.rs_members.to_string(),
+            "554".into(),
+        ],
+        vec![
+            "open policy (non-RS)".into(),
+            r.open.to_string(),
+            "48".into(),
+        ],
         vec!["closed policy".into(), r.closed.to_string(), "12".into()],
-        vec!["case-by-case".into(), r.case_by_case.to_string(), "40".into()],
+        vec![
+            "case-by-case".into(),
+            r.case_by_case.to_string(),
+            "40".into(),
+        ],
         vec!["unlisted".into(), r.unlisted.to_string(), "15".into()],
-        vec!["bilateral requests sent".into(), r.requests_sent.to_string(), "a few dozen".into()],
-        vec!["accepted".into(), (r.accepted + r.accepted_after_questions).to_string(), "vast majority".into()],
-        vec!["asked questions first".into(), r.accepted_after_questions.to_string(), "1".into()],
-        vec!["no response".into(), r.no_response.to_string(), "a handful".into()],
-        vec!["total distinct peers".into(), r.total_peers.to_string(), "hundreds".into()],
-        vec!["peer countries".into(), r.peer_countries.to_string(), "59".into()],
-        vec!["top-50 cone ASes peered".into(), r.top50.to_string(), ">=13".into()],
-        vec!["top-100 cone ASes peered".into(), r.top100.to_string(), "27".into()],
+        vec![
+            "bilateral requests sent".into(),
+            r.requests_sent.to_string(),
+            "a few dozen".into(),
+        ],
+        vec![
+            "accepted".into(),
+            (r.accepted + r.accepted_after_questions).to_string(),
+            "vast majority".into(),
+        ],
+        vec![
+            "asked questions first".into(),
+            r.accepted_after_questions.to_string(),
+            "1".into(),
+        ],
+        vec![
+            "no response".into(),
+            r.no_response.to_string(),
+            "a handful".into(),
+        ],
+        vec![
+            "total distinct peers".into(),
+            r.total_peers.to_string(),
+            "hundreds".into(),
+        ],
+        vec![
+            "peer countries".into(),
+            r.peer_countries.to_string(),
+            "59".into(),
+        ],
+        vec![
+            "top-50 cone ASes peered".into(),
+            r.top50.to_string(),
+            ">=13".into(),
+        ],
+        vec![
+            "top-100 cone ASes peered".into(),
+            r.top100.to_string(),
+            "27".into(),
+        ],
     ];
-    println!("{}", markdown_table(&["metric", "measured", "paper"], &rows));
+    println!(
+        "{}",
+        markdown_table(&["metric", "measured", "paper"], &rows)
+    );
     save_json(opts, "peering_41", &r);
 }
 
@@ -114,13 +171,34 @@ fn run_reach41(opts: &Opts) {
     let rows = vec![
         vec![
             "prefixes via peer routes".into(),
-            format!("{} / {} ({:.1}%)", r.peer_prefixes, r.total_prefixes, 100.0 * r.fraction),
+            format!(
+                "{} / {} ({:.1}%)",
+                r.peer_prefixes,
+                r.total_prefixes,
+                100.0 * r.fraction
+            ),
             "131,000 / ~524,000 (25%)".into(),
         ],
-        vec!["Alexa sites covered".into(), format!("{} / {}", r.sites_covered, r.sites), "157 / 500".into()],
-        vec!["embedded resources".into(), r.resources.to_string(), "49,776".into()],
-        vec!["distinct FQDNs".into(), r.distinct_fqdns.to_string(), "4,182".into()],
-        vec!["distinct IPs".into(), r.distinct_ips.to_string(), "2,757".into()],
+        vec![
+            "Alexa sites covered".into(),
+            format!("{} / {}", r.sites_covered, r.sites),
+            "157 / 500".into(),
+        ],
+        vec![
+            "embedded resources".into(),
+            r.resources.to_string(),
+            "49,776".into(),
+        ],
+        vec![
+            "distinct FQDNs".into(),
+            r.distinct_fqdns.to_string(),
+            "4,182".into(),
+        ],
+        vec![
+            "distinct IPs".into(),
+            r.distinct_ips.to_string(),
+            "2,757".into(),
+        ],
         vec![
             "IPs with peer routes".into(),
             format!(
@@ -132,7 +210,10 @@ fn run_reach41(opts: &Opts) {
             "1,055 / 2,757 (38%)".into(),
         ],
     ];
-    println!("{}", markdown_table(&["metric", "measured", "paper"], &rows));
+    println!(
+        "{}",
+        markdown_table(&["metric", "measured", "paper"], &rows)
+    );
     save_json(opts, "reach_41", &r);
 }
 
@@ -151,13 +232,29 @@ fn run_routedist41(opts: &Opts) {
             r.under_100_scaled.to_string(),
             "307".into(),
         ],
-        vec!["median routes/peer".into(), r.median.to_string(), "(small)".into()],
-        vec!["largest peer's routes".into(), r.counts_desc[0].to_string(), "(>10K)".into()],
+        vec![
+            "median routes/peer".into(),
+            r.median.to_string(),
+            "(small)".into(),
+        ],
+        vec![
+            "largest peer's routes".into(),
+            r.counts_desc[0].to_string(),
+            "(>10K)".into(),
+        ],
     ];
-    println!("{}", markdown_table(&["metric", "measured", "paper"], &rows));
+    println!(
+        "{}",
+        markdown_table(&["metric", "measured", "paper"], &rows)
+    );
     // A terse histogram for the tail shape.
     let mut hist = String::new();
-    for (lo, hi) in [(0usize, 10usize), (10, 100), (100, 1000), (1000, usize::MAX)] {
+    for (lo, hi) in [
+        (0usize, 10usize),
+        (10, 100),
+        (100, 1000),
+        (1000, usize::MAX),
+    ] {
         let n = r
             .counts_desc
             .iter()
@@ -179,18 +276,44 @@ fn run_emu42(opts: &Opts) {
     let r = emu42::run(opts.seed, 500);
     let rows = vec![
         vec!["PoPs emulated".into(), r.pops.to_string(), "24".into()],
-        vec!["PoP-pair reachability".into(), format!("{:.0}%", 100.0 * r.reachability), "full".into()],
+        vec![
+            "PoP-pair reachability".into(),
+            format!("{:.0}%", 100.0 * r.reachability),
+            "full".into(),
+        ],
         vec![
             "AMS-IX routes propagated to farthest PoP".into(),
-            format!("{} / {}", r.external_routes_at_farthest_pop, r.external_routes_in),
+            format!(
+                "{} / {}",
+                r.external_routes_at_farthest_pop, r.external_routes_in
+            ),
             "all".into(),
         ],
-        vec!["PoP prefixes exported to AMS-IX".into(), format!("{} / 24", r.pop_routes_exported), "all".into()],
-        vec!["emulation memory".into(), fmt_bytes(r.memory_bytes), "< 8 GB".into()],
-        vec!["hosts needed at 8 GB".into(), r.hosts_at_8gb.to_string(), "1 (commodity desktop)".into()],
-        vec!["messages to convergence".into(), r.convergence_steps.to_string(), "-".into()],
+        vec![
+            "PoP prefixes exported to AMS-IX".into(),
+            format!("{} / 24", r.pop_routes_exported),
+            "all".into(),
+        ],
+        vec![
+            "emulation memory".into(),
+            fmt_bytes(r.memory_bytes),
+            "< 8 GB".into(),
+        ],
+        vec![
+            "hosts needed at 8 GB".into(),
+            r.hosts_at_8gb.to_string(),
+            "1 (commodity desktop)".into(),
+        ],
+        vec![
+            "messages to convergence".into(),
+            r.convergence_steps.to_string(),
+            "-".into(),
+        ],
     ];
-    println!("{}", markdown_table(&["metric", "measured", "paper"], &rows));
+    println!(
+        "{}",
+        markdown_table(&["metric", "measured", "paper"], &rows)
+    );
     save_json(opts, "emu_42", &r);
 }
 
@@ -236,7 +359,11 @@ fn run_safety(opts: &Opts) {
     for c in &r.cases {
         rows.push(vec![
             c.attack.clone(),
-            if c.blocked { "BLOCKED".into() } else { "ESCAPED".into() },
+            if c.blocked {
+                "BLOCKED".into()
+            } else {
+                "ESCAPED".into()
+            },
             c.violation.clone().unwrap_or_default(),
             if c.would_have_polluted > 0 {
                 format!("{} ASes", c.would_have_polluted)
@@ -247,7 +374,15 @@ fn run_safety(opts: &Opts) {
     }
     println!(
         "{}",
-        markdown_table(&["attack", "verdict", "violation", "blast radius if unfiltered"], &rows)
+        markdown_table(
+            &[
+                "attack",
+                "verdict",
+                "violation",
+                "blast radius if unfiltered"
+            ],
+            &rows
+        )
     );
     println!(
         "all attacks blocked: {} | legitimate actions allowed: {}/{}",
@@ -278,7 +413,12 @@ fn run_pktproc(opts: &Opts) {
     println!(
         "{}",
         markdown_table(
-            &["backend", "packets delivered", "processing time", "10k-pps services per core"],
+            &[
+                "backend",
+                "packets delivered",
+                "processing time",
+                "10k-pps services per core"
+            ],
             &rows
         )
     );
@@ -303,10 +443,7 @@ fn main() {
         match a.as_str() {
             "--full" => opts.full = true,
             "--seed" => {
-                opts.seed = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--seed N");
+                opts.seed = it.next().and_then(|s| s.parse().ok()).expect("--seed N");
             }
             "--json" => {
                 opts.json_dir = Some(it.next().expect("--json DIR").clone());
@@ -317,7 +454,10 @@ fn main() {
     if which.is_empty() {
         which.push("all".into());
     }
-    println!("# PEERING reproduction — evaluation outputs (seed {})", opts.seed);
+    println!(
+        "# PEERING reproduction — evaluation outputs (seed {})",
+        opts.seed
+    );
     for w in &which {
         match w.as_str() {
             "fig2" => run_fig2(&opts),

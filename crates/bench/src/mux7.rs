@@ -48,13 +48,7 @@ fn one(upstreams: usize, clients: usize, routes: usize, seed: u64) -> MuxPoint {
         let mut h = MuxHarness::build(design, upstreams, clients, seed);
         for u in 0..upstreams {
             for r in 0..routes {
-                let p = Prefix::v4(
-                    30 + (r >> 16) as u8,
-                    (r >> 8) as u8,
-                    r as u8,
-                    0,
-                    24,
-                );
+                let p = Prefix::v4(30 + (r >> 16) as u8, (r >> 8) as u8, r as u8, 0, 24);
                 h.announce_from_upstream(u, p);
             }
         }

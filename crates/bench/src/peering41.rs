@@ -116,6 +116,10 @@ mod tests {
         // all of them.
         assert!((4..=25).contains(&r.top50), "top-50 coverage {}", r.top50);
         assert!(r.top100 >= r.top50);
-        assert!((8..=50).contains(&r.top100), "top-100 coverage {}", r.top100);
+        assert!(
+            (8..=50).contains(&r.top100),
+            "top-100 coverage {}",
+            r.top100
+        );
     }
 }

@@ -56,10 +56,7 @@ fn service_pipeline(backend: Backend) -> PacketProcessor {
                 PktAction::Pass,
             ],
         )
-        .rule(
-            PktMatch::UdpDport(0),
-            vec![PktAction::Drop],
-        )
+        .rule(PktMatch::UdpDport(0), vec![PktAction::Drop])
         .rule(
             PktMatch::Any,
             vec![

@@ -95,11 +95,18 @@ mod tests {
         // Structure scale: tens of thousands of resources, thousands of
         // FQDNs and addresses.
         assert!((30_000..80_000).contains(&r.resources), "{}", r.resources);
-        assert!((2_000..=4_682).contains(&r.distinct_fqdns), "{}", r.distinct_fqdns);
+        assert!(
+            (2_000..=4_682).contains(&r.distinct_fqdns),
+            "{}",
+            r.distinct_fqdns
+        );
         assert!(r.distinct_ips > 1_500, "{}", r.distinct_ips);
         // Coverage: a meaningful minority of front pages...
         let site_frac = r.sites_covered as f64 / r.sites as f64;
-        assert!((0.15..0.55).contains(&site_frac), "site share {site_frac} (paper: 157/500 = 0.31)");
+        assert!(
+            (0.15..0.55).contains(&site_frac),
+            "site share {site_frac} (paper: 157/500 = 0.31)"
+        );
         // ...and a *larger* relative share of content addresses, because
         // hosting concentrates on open-peering CDNs (the paper's point).
         let ip_frac = r.ips_covered as f64 / r.distinct_ips as f64;

@@ -86,7 +86,12 @@ mod tests {
             r.peers
         );
         // The biggest peer dwarfs the median.
-        assert!(r.counts_desc[0] > r.median * 20, "{} vs {}", r.counts_desc[0], r.median);
+        assert!(
+            r.counts_desc[0] > r.median * 20,
+            "{} vs {}",
+            r.counts_desc[0],
+            r.median
+        );
     }
 
     #[test]

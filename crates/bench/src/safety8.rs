@@ -46,8 +46,12 @@ impl Safety8Result {
 /// Run the battery on a small testbed.
 pub fn run(seed: u64) -> Safety8Result {
     let mut tb = Testbed::build(TestbedConfig::small(seed));
-    let attacker = tb.new_experiment("attacker", "mallory", &[0, 1]).unwrap();
-    let victim = tb.new_experiment("victim", "alice", &[0]).unwrap();
+    let attacker = tb
+        .new_experiment("attacker", "mallory", &[0, 1])
+        .expect("provision attacker");
+    let victim = tb
+        .new_experiment("victim", "alice", &[0])
+        .expect("provision victim");
     let victim_prefix = tb.experiments[&victim].prefix;
     let own = tb.experiments[&attacker].prefix;
     let mut cases = Vec::new();
@@ -74,8 +78,12 @@ pub fn run(seed: u64) -> Safety8Result {
     };
 
     // 1. Hijack someone else's address space.
-    let foreign: Ipv4Net = "16.0.8.0/24".parse().unwrap();
-    attempt(&mut tb, "hijack foreign prefix", AnnouncementSpec::everywhere(foreign, vec![0]));
+    let foreign: Ipv4Net = "16.0.8.0/24".parse().expect("valid literal");
+    attempt(
+        &mut tb,
+        "hijack foreign prefix",
+        AnnouncementSpec::everywhere(foreign, vec![0]),
+    );
     // 2. Stomp a concurrent experiment's prefix.
     attempt(
         &mut tb,
@@ -83,7 +91,7 @@ pub fn run(seed: u64) -> Safety8Result {
         AnnouncementSpec::everywhere(victim_prefix, vec![0]),
     );
     // 3. More-specific hijack of foreign space.
-    let foreign_sub: Ipv4Net = "16.0.8.128/25".parse().unwrap();
+    let foreign_sub: Ipv4Net = "16.0.8.128/25".parse().expect("valid literal");
     attempt(
         &mut tb,
         "more-specific foreign hijack",
@@ -99,9 +107,8 @@ pub fn run(seed: u64) -> Safety8Result {
     attempt(
         &mut tb,
         "excessive poisoning",
-        AnnouncementSpec::everywhere(own, vec![0]).poisoned(
-            (1..=20).map(peering_netsim::Asn).collect(),
-        ),
+        AnnouncementSpec::everywhere(own, vec![0])
+            .poisoned((1..=20).map(peering_netsim::Asn).collect()),
     );
     // 6. Control-plane flapping: rapid announce/withdraw cycles.
     let mut flap_blocked = false;
@@ -127,11 +134,9 @@ pub fn run(seed: u64) -> Safety8Result {
         would_have_polluted: 0,
     });
     // 7. Data-plane spoofing.
-    let spoof = tb.safety.check_packet_source(
-        attacker.0,
-        &own,
-        "9.9.9.9".parse().unwrap(),
-    );
+    let spoof =
+        tb.safety
+            .check_packet_source(attacker.0, &own, "9.9.9.9".parse().expect("valid literal"));
     cases.push(SafetyCase {
         attack: "spoofed source address".to_string(),
         blocked: !spoof.is_allowed(),

@@ -5,7 +5,9 @@
 //! two other systems can be combined to provide the set of goals PEERING
 //! achieves" — is verified mechanically.
 
-use peering_core::capability::{no_pair_covers_all, peering_row, testbed_matrix, Capabilities, GOALS};
+use peering_core::capability::{
+    no_pair_covers_all, peering_row, testbed_matrix, Capabilities, GOALS,
+};
 use peering_core::{Testbed, TestbedConfig};
 use serde::{Deserialize, Serialize};
 

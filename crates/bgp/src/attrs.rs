@@ -215,9 +215,7 @@ impl fmt::Display for AsPath {
 }
 
 /// A standard community (RFC 1997): 16-bit ASN, 16-bit value.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Community(pub u32);
 
 impl Community {

@@ -45,7 +45,10 @@ fn source_rank(s: RouteSource) -> u8 {
 /// is total and deterministic: ties fall through to peer id and path id,
 /// so repeated runs of the simulation always select the same best route.
 pub fn compare_routes(a: &Route, b: &Route, cfg: &DecisionConfig) -> Ordering {
-    debug_assert_eq!(a.prefix, b.prefix, "comparing routes for different prefixes");
+    debug_assert_eq!(
+        a.prefix, b.prefix,
+        "comparing routes for different prefixes"
+    );
 
     // 0. Locally originated wins.
     let rank = source_rank(b.source).cmp(&source_rank(a.source));
@@ -79,11 +82,7 @@ pub fn compare_routes(a: &Route, b: &Route, cfg: &DecisionConfig) -> Ordering {
     let comparable =
         cfg.always_compare_med || a.attrs.as_path.first_as() == b.attrs.as_path.first_as();
     if comparable {
-        let med = b
-            .attrs
-            .med
-            .unwrap_or(0)
-            .cmp(&a.attrs.med.unwrap_or(0));
+        let med = b.attrs.med.unwrap_or(0).cmp(&a.attrs.med.unwrap_or(0));
         if med != Ordering::Equal {
             return med;
         }
@@ -270,7 +269,7 @@ mod tests {
     #[test]
     fn best_route_selects_max() {
         let cfg = DecisionConfig::default();
-        let routes = vec![
+        let routes = [
             with_attrs(|a| a.as_path = AsPath::from_asns(&[Asn(1), Asn(2), Asn(3)])),
             with_attrs(|a| a.as_path = AsPath::from_asns(&[Asn(1)])),
             with_attrs(|a| a.as_path = AsPath::from_asns(&[Asn(1), Asn(2)])),

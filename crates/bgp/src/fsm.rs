@@ -9,9 +9,7 @@
 //! timer expiry producing a NOTIFICATION, and session teardown semantics.
 
 use crate::error::BgpError;
-use crate::message::{
-    BgpMessage, NotifCode, NotificationMessage, OpenMessage, UpdateMessage,
-};
+use crate::message::{BgpMessage, NotifCode, NotificationMessage, OpenMessage, UpdateMessage};
 use peering_netsim::{Asn, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
@@ -176,6 +174,45 @@ impl Session {
         &self.cfg
     }
 
+    /// FSM consistency invariants, checked behind `debug_assert!` by the
+    /// speaker after every message and timer event:
+    ///
+    /// * negotiated parameters exist exactly from `OpenConfirm` onward;
+    /// * timers are armed only while a negotiation is live;
+    /// * a zero hold time never arms the hold timer.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let negotiated = self.negotiated.is_some();
+        match self.state {
+            FsmState::Idle | FsmState::Connect | FsmState::OpenSent => {
+                if negotiated {
+                    return Err(format!("negotiated parameters present in {:?}", self.state));
+                }
+                if self.state == FsmState::Idle
+                    && (self.hold_deadline != SimTime::MAX || self.keepalive_due != SimTime::MAX)
+                {
+                    return Err("timers armed while Idle".into());
+                }
+            }
+            FsmState::OpenConfirm | FsmState::Established => {
+                let Some(n) = &self.negotiated else {
+                    return Err(format!("no negotiated parameters in {:?}", self.state));
+                };
+                if n.hold_time == SimDuration::ZERO && self.hold_deadline != SimTime::MAX {
+                    return Err("hold timer armed despite zero hold time".into());
+                }
+                if let Some(expected) = self.cfg.peer_asn {
+                    if n.peer_asn != expected {
+                        return Err(format!(
+                            "negotiated peer {} but config expects {expected}",
+                            n.peer_asn
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn open_message(&self) -> BgpMessage {
         let hold_secs = (self.cfg.hold_time.as_micros() / 1_000_000).min(u16::MAX as u64) as u16;
         let mut open = OpenMessage::new(self.cfg.local_asn, hold_secs, self.cfg.router_id);
@@ -308,7 +345,9 @@ impl Session {
                 }
                 Err(e) => {
                     let (code, sub) = e.notification();
-                    out.push(BgpMessage::Notification(NotificationMessage::new(code, sub)));
+                    out.push(BgpMessage::Notification(NotificationMessage::new(
+                        code, sub,
+                    )));
                     self.stats.msgs_out += 1;
                     self.go_down(e.to_string(), &mut events);
                 }
@@ -322,7 +361,9 @@ impl Session {
                 }
                 Err(e) => {
                     let (code, sub) = e.notification();
-                    out.push(BgpMessage::Notification(NotificationMessage::new(code, sub)));
+                    out.push(BgpMessage::Notification(NotificationMessage::new(
+                        code, sub,
+                    )));
                     self.stats.msgs_out += 1;
                     self.go_down(e.to_string(), &mut events);
                 }
@@ -355,7 +396,9 @@ impl Session {
                 // Anything else is an FSM error: notify and drop.
                 let e = BgpError::FsmViolation(format!("{} in {:?}", msg.kind(), state));
                 let (code, sub) = e.notification();
-                out.push(BgpMessage::Notification(NotificationMessage::new(code, sub)));
+                out.push(BgpMessage::Notification(NotificationMessage::new(
+                    code, sub,
+                )));
                 self.stats.msgs_out += 1;
                 self.go_down(e.to_string(), &mut events);
             }
@@ -469,9 +512,7 @@ mod tests {
             hold_time: SimDuration::from_secs(30),
             ..SessionConfig::new(Asn(1), Ipv4Addr::new(1, 1, 1, 1))
         });
-        let mut b = Session::new(
-            SessionConfig::new(Asn(2), Ipv4Addr::new(2, 2, 2, 2)).passive(),
-        );
+        let mut b = Session::new(SessionConfig::new(Asn(2), Ipv4Addr::new(2, 2, 2, 2)).passive());
         establish(&mut a, &mut b, SimTime::ZERO);
         assert_eq!(
             a.negotiated().unwrap().hold_time,
@@ -488,9 +529,7 @@ mod tests {
         let mut a = Session::new(
             SessionConfig::new(Asn(100), Ipv4Addr::new(1, 1, 1, 1)).expect_peer(Asn(999)),
         );
-        let mut b = Session::new(
-            SessionConfig::new(Asn(200), Ipv4Addr::new(2, 2, 2, 2)).passive(),
-        );
+        let mut b = Session::new(SessionConfig::new(Asn(200), Ipv4Addr::new(2, 2, 2, 2)).passive());
         establish(&mut a, &mut b, SimTime::ZERO);
         assert!(!a.is_established());
         assert_eq!(a.state(), FsmState::Idle);

@@ -51,7 +51,7 @@ pub use mem::DeepSize;
 pub use message::{
     BgpMessage, Capability, Nlri, NotifCode, NotificationMessage, OpenMessage, UpdateMessage,
 };
-pub use policy::{Action, Match, Policy, PolicyRule};
+pub use policy::{Action, DefaultVerdict, Match, Policy, PolicyRule};
 pub use rib::{AdjRibIn, AdjRibOut, AttrInterner, LocRib, PeerId, Route, RouteSource};
 pub use speaker::{Output, PeerConfig, Speaker, SpeakerConfig, SpeakerEvent, SpeakerMode};
 

@@ -92,10 +92,7 @@ impl DeepSize for AttrInterner {
 /// matter how many routes reference them — which is the point of the
 /// interning design and the reason the Figure 2 curve stays sub-linear in
 /// peers for identical route sets.
-pub fn rib_memory<'a>(
-    ribs: impl Iterator<Item = &'a AdjRib>,
-    loc_rib: Option<&LocRib>,
-) -> usize {
+pub fn rib_memory<'a>(ribs: impl Iterator<Item = &'a AdjRib>, loc_rib: Option<&LocRib>) -> usize {
     let mut seen: HashSet<*const PathAttributes> = HashSet::new();
     let mut total = 0usize;
     let charge_route = |route: &Route, seen: &mut HashSet<*const PathAttributes>| {
@@ -222,7 +219,10 @@ mod tests {
         let shared = Arc::new(attrs(2));
         let mut lr = LocRib::new();
         for i in 0..10u32 {
-            lr.set_best(route(Prefix::v4(10, 0, i as u8, 0, 24), Arc::clone(&shared)));
+            lr.set_best(route(
+                Prefix::v4(10, 0, i as u8, 0, 24),
+                Arc::clone(&shared),
+            ));
         }
         let with = rib_memory(std::iter::empty(), Some(&lr));
         assert!(with > lr.deep_size());

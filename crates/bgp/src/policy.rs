@@ -41,6 +41,24 @@ pub enum Match {
 }
 
 impl Match {
+    /// True when the predicate depends only on the prefix, never on the
+    /// path attributes. Static analyzers use this to decide whether a
+    /// rule's match region can be computed exactly: a prefix-structural
+    /// match is a pure region of `(address, length)` space, while a match
+    /// involving attributes can fire or not per announcement.
+    pub fn is_prefix_structural(&self) -> bool {
+        match self {
+            Match::Any | Match::PrefixIn(_) | Match::PrefixExact(_) | Match::LongerThan(_) => true,
+            Match::AsPathContains(_)
+            | Match::OriginatedBy(_)
+            | Match::AsPathLongerThan(_)
+            | Match::HasCommunity(_)
+            | Match::OriginIs(_) => false,
+            Match::Not(m) => m.is_prefix_structural(),
+            Match::All(ms) | Match::AnyOf(ms) => ms.iter().all(Match::is_prefix_structural),
+        }
+    }
+
     /// Evaluate the predicate.
     pub fn matches(&self, prefix: &Prefix, attrs: &PathAttributes) -> bool {
         match self {
@@ -89,6 +107,24 @@ pub enum Action {
     StripPrivateAsns,
 }
 
+impl Action {
+    /// True for `Accept` and `Reject`, the two actions that stop rule
+    /// evaluation.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, Action::Accept | Action::Reject)
+    }
+
+    /// `Some(true)` for `Accept`, `Some(false)` for `Reject`, `None` for
+    /// every modifying action.
+    pub fn terminal_verdict(&self) -> Option<bool> {
+        match self {
+            Action::Accept => Some(true),
+            Action::Reject => Some(false),
+            _ => None,
+        }
+    }
+}
+
 /// A rule: when `matches` holds, run `actions` in order. An `Accept` or
 /// `Reject` action is terminal; a rule without a terminal action falls
 /// through to the next rule (with its modifications kept).
@@ -104,6 +140,22 @@ impl PolicyRule {
     /// Build a rule.
     pub fn new(matches: Match, actions: Vec<Action>) -> Self {
         PolicyRule { matches, actions }
+    }
+
+    /// The verdict this rule yields when it matches: `Some(true)` if its
+    /// first terminal action accepts, `Some(false)` if it rejects, `None`
+    /// if the rule falls through.
+    pub fn verdict(&self) -> Option<bool> {
+        self.actions.iter().find_map(Action::terminal_verdict)
+    }
+
+    /// Indices of actions that can never run because an earlier action in
+    /// the same rule is terminal.
+    pub fn unreachable_actions(&self) -> Vec<usize> {
+        match self.actions.iter().position(Action::is_terminal) {
+            Some(t) => ((t + 1)..self.actions.len()).collect(),
+            None => Vec::new(),
+        }
     }
 }
 
@@ -253,7 +305,10 @@ mod tests {
         // First rule prepends but does not terminate; default accepts.
         let policy = Policy::accept_all()
             .rule(Match::Any, vec![Action::Prepend(Asn(47065), 2)])
-            .rule(Match::Any, vec![Action::AddCommunity(Community::new(47065, 1))]);
+            .rule(
+                Match::Any,
+                vec![Action::AddCommunity(Community::new(47065, 1))],
+            );
         let p = Prefix::v4(10, 0, 0, 0, 8);
         let mut a = attrs(&[1]);
         assert!(policy.apply(&p, &mut a));
@@ -308,6 +363,41 @@ mod tests {
         let mut a = attrs(&[47065, 65001, 3356]);
         assert!(policy.apply(&p, &mut a));
         assert_eq!(a.as_path.to_string(), "47065 3356");
+    }
+
+    #[test]
+    fn introspection_terminal_and_structural() {
+        assert!(Action::Accept.is_terminal());
+        assert!(Action::Reject.is_terminal());
+        assert!(!Action::SetMed(1).is_terminal());
+        assert_eq!(Action::Accept.terminal_verdict(), Some(true));
+        assert_eq!(Action::Reject.terminal_verdict(), Some(false));
+        assert_eq!(Action::StripPrivateAsns.terminal_verdict(), None);
+
+        let rule = PolicyRule::new(
+            Match::Any,
+            vec![
+                Action::SetMed(1),
+                Action::Reject,
+                Action::Accept,
+                Action::SetMed(2),
+            ],
+        );
+        assert_eq!(rule.verdict(), Some(false));
+        assert_eq!(rule.unreachable_actions(), vec![2, 3]);
+        let fallthrough = PolicyRule::new(Match::Any, vec![Action::SetMed(1)]);
+        assert_eq!(fallthrough.verdict(), None);
+        assert!(fallthrough.unreachable_actions().is_empty());
+
+        assert!(Match::Any.is_prefix_structural());
+        assert!(Match::PrefixIn(vec![Prefix::v4(10, 0, 0, 0, 8)]).is_prefix_structural());
+        assert!(Match::LongerThan(24).is_prefix_structural());
+        assert!(!Match::AsPathContains(Asn(1)).is_prefix_structural());
+        assert!(Match::Not(Box::new(Match::LongerThan(24))).is_prefix_structural());
+        assert!(Match::All(vec![Match::Any, Match::LongerThan(8)]).is_prefix_structural());
+        assert!(
+            !Match::AnyOf(vec![Match::Any, Match::OriginIs(Origin::Igp)]).is_prefix_structural()
+        );
     }
 
     #[test]

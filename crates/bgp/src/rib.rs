@@ -180,6 +180,40 @@ impl AdjRib {
         self.entries = 0;
         prefixes
     }
+
+    /// Structural invariants of the table. Called behind `debug_assert!`
+    /// by the speaker after RIB mutations; returns the first violated
+    /// invariant as text so failures are self-describing.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut counted = 0;
+        for (prefix, paths) in &self.routes {
+            if paths.is_empty() {
+                return Err(format!("empty path map retained for {prefix}"));
+            }
+            for (path_id, route) in paths {
+                if route.prefix != *prefix {
+                    return Err(format!(
+                        "route keyed under {prefix} carries prefix {}",
+                        route.prefix
+                    ));
+                }
+                if route.path_id != *path_id {
+                    return Err(format!(
+                        "route keyed under path id {path_id} carries id {}",
+                        route.path_id
+                    ));
+                }
+                counted += 1;
+            }
+        }
+        if counted != self.entries {
+            return Err(format!(
+                "entry counter {} disagrees with stored routes {counted}",
+                self.entries
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// The Loc-RIB: the best route per prefix after the decision process.
@@ -222,6 +256,20 @@ impl LocRib {
     /// True when empty.
     pub fn is_empty(&self) -> bool {
         self.best.is_empty()
+    }
+
+    /// Structural invariants: every best route is stored under its own
+    /// prefix.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (prefix, route) in &self.best {
+            if route.prefix != *prefix {
+                return Err(format!(
+                    "best route keyed under {prefix} carries prefix {}",
+                    route.prefix
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -490,6 +538,23 @@ mod tests {
         let got = int.intern_arc(other);
         assert!(Arc::ptr_eq(&first, &got));
         assert_eq!(int.len(), 1);
+    }
+
+    #[test]
+    fn rib_invariants_hold_across_mutations() {
+        let mut rib = AdjRib::new();
+        let p = Prefix::v4(10, 0, 0, 0, 8);
+        rib.check_invariants().unwrap();
+        rib.insert(route(p, 1, 100));
+        rib.insert(route(p, 2, 200));
+        rib.check_invariants().unwrap();
+        rib.remove(&p, 1);
+        rib.check_invariants().unwrap();
+        rib.remove_prefix(&p);
+        rib.check_invariants().unwrap();
+        let mut loc = LocRib::new();
+        loc.set_best(route(p, 0, 1));
+        loc.check_invariants().unwrap();
     }
 
     #[test]

@@ -403,6 +403,11 @@ impl Speaker {
         for ev in events {
             out.extend(self.handle_session_event(from, ev, now));
         }
+        debug_assert_eq!(
+            self.check_invariants(),
+            Ok(()),
+            "speaker invariant violated after on_message"
+        );
         out
     }
 
@@ -434,6 +439,11 @@ impl Speaker {
                 }
             }
         }
+        debug_assert_eq!(
+            self.check_invariants(),
+            Ok(()),
+            "speaker invariant violated after tick"
+        );
         out
     }
 
@@ -517,9 +527,7 @@ impl Speaker {
                         events.push(SpeakerEvent::ImportRejected(from, nlri.prefix));
                         // An implicit withdraw of any previous path.
                         let removed = match nlri.path_id {
-                            Some(id) => {
-                                state.adj_in.remove(&nlri.prefix, id).into_iter().collect()
-                            }
+                            Some(id) => state.adj_in.remove(&nlri.prefix, id).into_iter().collect(),
                             None => state.adj_in.remove_prefix(&nlri.prefix),
                         };
                         if !removed.is_empty() {
@@ -573,9 +581,10 @@ impl Speaker {
     fn reconsider(&mut self, prefixes: Vec<Prefix>, now: SimTime) -> Vec<Output> {
         let mut out = Vec::new();
         for prefix in prefixes {
-            let local = self.local_routes.get(&prefix).map(|attrs| {
-                Route::local(prefix, Arc::clone(attrs), now)
-            });
+            let local = self
+                .local_routes
+                .get(&prefix)
+                .map(|attrs| Route::local(prefix, Arc::clone(attrs), now));
             let new_best: Option<Route> = {
                 let cands = self.candidates(&prefix);
                 let all = cands.into_iter().chain(local.as_ref());
@@ -585,9 +594,7 @@ impl Speaker {
             let changed = match (&old_best, &new_best) {
                 (None, None) => false,
                 (Some(a), Some(b)) => {
-                    !(Arc::ptr_eq(&a.attrs, &b.attrs)
-                        && a.peer == b.peer
-                        && a.path_id == b.path_id)
+                    !(Arc::ptr_eq(&a.attrs, &b.attrs) && a.peer == b.peer && a.path_id == b.path_id)
                 }
                 _ => true,
             };
@@ -625,9 +632,7 @@ impl Speaker {
                 let mut v: Vec<Route> = self.candidates(prefix).into_iter().cloned().collect();
                 v.extend(local);
                 // Deterministic order: best first.
-                v.sort_by(|a, b| {
-                    compare_routes(b, a, &self.cfg.decision).then(Ordering::Equal)
-                });
+                v.sort_by(|a, b| compare_routes(b, a, &self.cfg.decision).then(Ordering::Equal));
                 v
             }
         };
@@ -739,8 +744,7 @@ impl Speaker {
             let desired = self.desired_exports(state, &prefix, now);
             let state = self.peers.get_mut(&id).expect("peer exists");
 
-            let current_ids: Vec<u32> =
-                state.adj_out.paths(&prefix).map(|r| r.path_id).collect();
+            let current_ids: Vec<u32> = state.adj_out.paths(&prefix).map(|r| r.path_id).collect();
             let desired_ids: BTreeSet<u32> = desired.iter().map(|r| r.path_id).collect();
 
             // Withdraw paths no longer desired.
@@ -855,9 +859,78 @@ impl Speaker {
         out
     }
 
+    /// Check cross-structure consistency: every per-peer session, RIB and
+    /// damping table, plus the Loc-RIB, must agree with each other. Cheap
+    /// enough for `debug_assert!` after every message and tick; returns a
+    /// description of the first violation found.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (id, state) in &self.peers {
+            if state.cfg.id != *id {
+                return Err(format!(
+                    "peer {id:?} keyed under wrong id {:?}",
+                    state.cfg.id
+                ));
+            }
+            state
+                .session
+                .check_invariants()
+                .map_err(|e| format!("peer {id:?} session: {e}"))?;
+            state
+                .adj_in
+                .check_invariants()
+                .map_err(|e| format!("peer {id:?} adj-rib-in: {e}"))?;
+            state
+                .adj_out
+                .check_invariants()
+                .map_err(|e| format!("peer {id:?} adj-rib-out: {e}"))?;
+            if !state.session.is_established() && !state.adj_in.is_empty() {
+                return Err(format!(
+                    "peer {id:?} holds {} adj-rib-in routes while not established",
+                    state.adj_in.len()
+                ));
+            }
+            if self.cfg.damping.is_none() && !state.suppressed.is_empty() {
+                return Err(format!(
+                    "peer {id:?} has suppressed prefixes but damping is disabled"
+                ));
+            }
+        }
+        self.loc_rib.check_invariants()?;
+        // Every Loc-RIB best must trace back to a live candidate: either a
+        // locally originated route or a path still present in the learning
+        // peer's Adj-RIB-In.
+        for best in self.loc_rib.iter() {
+            let prefix = best.prefix;
+            if best.peer == PeerId::LOCAL {
+                if !self.local_routes.contains_key(&prefix) {
+                    return Err(format!(
+                        "loc-rib best for {prefix} claims local origin but no local route exists"
+                    ));
+                }
+            } else {
+                let backing = self
+                    .peers
+                    .get(&best.peer)
+                    .and_then(|p| p.adj_in.get(&prefix, best.path_id));
+                if backing.is_none() {
+                    return Err(format!(
+                        "loc-rib best for {prefix} references missing adj-rib-in path \
+                         (peer {:?}, path id {})",
+                        best.peer, best.path_id
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Interner statistics `(distinct, hits, misses)`.
     pub fn interner_stats(&self) -> (usize, u64, u64) {
-        (self.interner.len(), self.interner.hits, self.interner.misses)
+        (
+            self.interner.len(),
+            self.interner.hits,
+            self.interner.misses,
+        )
     }
 
     /// Drop interned attributes no longer referenced by any RIB.
@@ -1114,10 +1187,7 @@ mod tests {
             BgpMessage::Update(UpdateMessage::announce(long, vec![Nlri::plain(p)])),
             SimTime::from_secs(1),
         );
-        assert_eq!(
-            c.loc_rib().get(&p).unwrap().attrs.as_path.hop_count(),
-            4
-        );
+        assert_eq!(c.loc_rib().get(&p).unwrap().attrs.as_path.hop_count(), 4);
         let short = Arc::new(PathAttributes {
             as_path: crate::attrs::AsPath::from_asns(&[Asn(2), Asn(7)]),
             next_hop: Ipv4Addr::new(10, 0, 0, 2),
@@ -1197,14 +1267,17 @@ mod tests {
         u1.add_peer(PeerConfig::new(PeerId(0), Asn(47065)));
         let mut u2 = speaker(2);
         u2.add_peer(PeerConfig::new(PeerId(0), Asn(47065)));
-        let mut client = Speaker::new(SpeakerConfig::new(
-            Asn(65001),
-            Ipv4Addr::new(100, 64, 0, 9),
-        ));
+        let mut client = Speaker::new(SpeakerConfig::new(Asn(65001), Ipv4Addr::new(100, 64, 0, 9)));
         client.add_peer(PeerConfig::new(PeerId(0), Asn(47065)));
         settle(&mut u1, &mut server, PeerId(0), PeerId(1), SimTime::ZERO);
         settle(&mut u2, &mut server, PeerId(0), PeerId(2), SimTime::ZERO);
-        settle(&mut client, &mut server, PeerId(0), PeerId(9), SimTime::ZERO);
+        settle(
+            &mut client,
+            &mut server,
+            PeerId(0),
+            PeerId(9),
+            SimTime::ZERO,
+        );
         let p = Prefix::v4(10, 10, 0, 0, 16);
         let mut to_server: Vec<BgpMessage> = Vec::new();
         for o in u1.originate(p, SimTime::from_secs(1)) {
@@ -1233,10 +1306,7 @@ mod tests {
         assert_eq!(rib.paths(&p).count(), 2);
         let ids: Vec<u32> = rib.paths(&p).map(|r| r.path_id).collect();
         assert_eq!(ids, vec![2, 3]); // learning-peer ids 1 and 2, plus 1
-        let firsts: BTreeSet<String> = rib
-            .paths(&p)
-            .map(|r| r.attrs.as_path.to_string())
-            .collect();
+        let firsts: BTreeSet<String> = rib.paths(&p).map(|r| r.attrs.as_path.to_string()).collect();
         assert!(firsts.contains("1") && firsts.contains("2"));
     }
 
@@ -1456,6 +1526,41 @@ mod tests {
         // The spokes hold ONE copy each — the Figure 2 discussion's
         // point about route reflectors and table copies.
         assert_eq!(s2.loc_rib().len(), 1);
+    }
+
+    #[test]
+    fn invariants_hold_through_session_lifecycle() {
+        let mut a = speaker(1);
+        let mut b = speaker(2);
+        a.add_peer(PeerConfig::new(PeerId(0), Asn(2)));
+        b.add_peer(PeerConfig::new(PeerId(0), Asn(1)).passive());
+        assert_eq!(a.check_invariants(), Ok(()));
+        let p = Prefix::v4(10, 10, 0, 0, 16);
+        a.originate(p, SimTime::ZERO);
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::ZERO);
+        assert_eq!(a.check_invariants(), Ok(()));
+        assert_eq!(b.check_invariants(), Ok(()));
+        for o in a.withdraw_origin(p, SimTime::from_secs(1)) {
+            if let Output::Send(_, m) = o {
+                b.on_message(PeerId(0), m, SimTime::from_secs(1));
+            }
+        }
+        b.stop_peer(PeerId(0), SimTime::from_secs(2));
+        assert_eq!(b.check_invariants(), Ok(()));
+        // Corrupt the Loc-RIB directly: a best route pointing at a peer
+        // path that does not exist must be reported.
+        let phantom = Route {
+            prefix: p,
+            attrs: Arc::new(PathAttributes::originate(Ipv4Addr::new(9, 9, 9, 9))),
+            peer: PeerId(77),
+            path_id: 3,
+            source: RouteSource::Ebgp,
+            igp_cost: 0,
+            learned_at: SimTime::ZERO,
+        };
+        b.loc_rib.set_best(phantom);
+        let err = b.check_invariants().unwrap_err();
+        assert!(err.contains("missing adj-rib-in path"), "{err}");
     }
 
     #[test]

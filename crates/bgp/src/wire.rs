@@ -113,7 +113,12 @@ fn encode_as_path(path: &AsPath) -> Vec<u8> {
 
 fn encode_attrs(attrs: &PathAttributes, v6_reach: &[Nlri], cfg: WireConfig) -> BytesMut {
     let mut out = BytesMut::new();
-    put_attr(&mut out, FLAG_TRANSITIVE, ATTR_ORIGIN, &[attrs.origin.code()]);
+    put_attr(
+        &mut out,
+        FLAG_TRANSITIVE,
+        ATTR_ORIGIN,
+        &[attrs.origin.code()],
+    );
     put_attr(
         &mut out,
         FLAG_TRANSITIVE,
@@ -130,7 +135,12 @@ fn encode_attrs(attrs: &PathAttributes, v6_reach: &[Nlri], cfg: WireConfig) -> B
         put_attr(&mut out, FLAG_OPTIONAL, ATTR_MED, &med.to_be_bytes());
     }
     if let Some(lp) = attrs.local_pref {
-        put_attr(&mut out, FLAG_TRANSITIVE, ATTR_LOCAL_PREF, &lp.to_be_bytes());
+        put_attr(
+            &mut out,
+            FLAG_TRANSITIVE,
+            ATTR_LOCAL_PREF,
+            &lp.to_be_bytes(),
+        );
     }
     if attrs.atomic_aggregate {
         put_attr(&mut out, FLAG_TRANSITIVE, ATTR_ATOMIC_AGGREGATE, &[]);
@@ -151,14 +161,19 @@ fn encode_attrs(attrs: &PathAttributes, v6_reach: &[Nlri], cfg: WireConfig) -> B
         for c in &attrs.communities {
             v.extend_from_slice(&c.0.to_be_bytes());
         }
-        put_attr(&mut out, FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_COMMUNITY, &v);
+        put_attr(
+            &mut out,
+            FLAG_OPTIONAL | FLAG_TRANSITIVE,
+            ATTR_COMMUNITY,
+            &v,
+        );
     }
     if !v6_reach.is_empty() {
         // MP_REACH_NLRI: afi=2, safi=1, v4-mapped next hop, reserved, NLRI.
         let mut v = BytesMut::new();
         v.put_u16(2);
         v.put_u8(1);
-        let nh = Ipv6Addr::from(attrs.next_hop.to_ipv6_mapped());
+        let nh = attrs.next_hop.to_ipv6_mapped();
         v.put_u8(16);
         v.extend_from_slice(&nh.octets());
         v.put_u8(0); // reserved
@@ -259,7 +274,9 @@ fn encode_update_body(u: &UpdateMessage, cfg: WireConfig) -> Result<BytesMut, Bg
         let v6_list: Vec<Nlri> = an_v6.iter().map(|n| **n).collect();
         attrs_buf = encode_attrs(attrs, &v6_list, cfg);
     } else if !an_v6.is_empty() || !an_v4.is_empty() {
-        return Err(BgpError::BadUpdate("announcement without attributes".into()));
+        return Err(BgpError::BadUpdate(
+            "announcement without attributes".into(),
+        ));
     }
     if !wd_v6.is_empty() {
         let mut v = BytesMut::new();
@@ -285,10 +302,7 @@ fn encode_update_body(u: &UpdateMessage, cfg: WireConfig) -> Result<BytesMut, Bg
 /// Encode an UPDATE, splitting the NLRI across as many messages as needed
 /// to respect [`MAX_MESSAGE`]. Withdrawals and announcements are never
 /// mixed with different attribute sets.
-pub fn encode_update_chunked(
-    u: &UpdateMessage,
-    cfg: WireConfig,
-) -> Result<Vec<Vec<u8>>, BgpError> {
+pub fn encode_update_chunked(u: &UpdateMessage, cfg: WireConfig) -> Result<Vec<Vec<u8>>, BgpError> {
     // Generous per-NLRI bound: path id + len byte + 16 bytes address.
     const NLRI_BOUND: usize = 21;
     let attr_overhead = u
@@ -519,9 +533,9 @@ fn decode_open(mut body: &[u8]) -> Result<OpenMessage, BgpError> {
                     }
                 }
                 (2, 0) => capabilities.push(Capability::RouteRefresh),
-                (65, 4) => capabilities.push(Capability::FourOctetAsn(Asn(u32::from_be_bytes(
-                    [cval[0], cval[1], cval[2], cval[3]],
-                )))),
+                (65, 4) => capabilities.push(Capability::FourOctetAsn(Asn(u32::from_be_bytes([
+                    cval[0], cval[1], cval[2], cval[3],
+                ])))),
                 (69, 4) => {
                     let mode = cval[3];
                     capabilities.push(Capability::AddPathIpv4 {
@@ -673,7 +687,11 @@ fn decode_update(body: &[u8], cfg: WireConfig) -> Result<UpdateMessage, BgpError
     }
     Ok(UpdateMessage {
         withdrawn,
-        attrs: if have_attrs { Some(Arc::new(attrs)) } else { None },
+        attrs: if have_attrs {
+            Some(Arc::new(attrs))
+        } else {
+            None
+        },
         announced,
     })
 }
@@ -790,10 +808,7 @@ mod tests {
             assert!(u.announced.iter().any(|n| n.prefix.is_v4()));
             assert_eq!(u.withdrawn.len(), 1);
             assert!(!u.withdrawn[0].prefix.is_v4());
-            assert_eq!(
-                u.attrs.unwrap().next_hop,
-                Ipv4Addr::new(80, 249, 208, 1)
-            );
+            assert_eq!(u.attrs.unwrap().next_hop, Ipv4Addr::new(80, 249, 208, 1));
         } else {
             panic!("wrong type");
         }
@@ -895,15 +910,7 @@ mod tests {
             ..Default::default()
         });
         let nlri: Vec<Nlri> = (0..2000u32)
-            .map(|i| {
-                Nlri::plain(Prefix::v4(
-                    10,
-                    (i >> 8) as u8,
-                    (i & 0xFF) as u8,
-                    0,
-                    24,
-                ))
-            })
+            .map(|i| Nlri::plain(Prefix::v4(10, (i >> 8) as u8, (i & 0xFF) as u8, 0, 24)))
             .collect();
         let m = UpdateMessage::announce(attrs, nlri);
         let msgs = encode_update_chunked(&m, WireConfig::default()).unwrap();

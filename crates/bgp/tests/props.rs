@@ -1,12 +1,12 @@
 //! Property tests for the BGP implementation: codec inversions, AS-path
 //! algebra, decision-process order laws, and damping monotonicity.
 
+use peering_bgp::damping::{DampingConfig, DampingState};
 use peering_bgp::wire::{decode_message, encode_message, encode_update_chunked, WireConfig};
 use peering_bgp::{
-    compare_routes, AsPath, BgpMessage, Community, DecisionConfig, Nlri, Origin, PathAttributes,
-    PeerId, Prefix, Route, RouteSource, UpdateMessage,
+    compare_routes, AsPath, BgpMessage, Community, DecisionConfig, Match, Nlri, Origin,
+    PathAttributes, PeerId, Prefix, Route, RouteSource, UpdateMessage,
 };
-use peering_bgp::damping::{DampingConfig, DampingState};
 use peering_netsim::{Asn, Ipv4Net, SimDuration, SimTime};
 use proptest::prelude::*;
 use std::cmp::Ordering;
@@ -49,8 +49,7 @@ fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
 }
 
 fn arb_prefix() -> impl Strategy<Value = Prefix> {
-    (any::<u32>(), 0u8..=32)
-        .prop_map(|(a, l)| Prefix::V4(Ipv4Net::new(Ipv4Addr::from(a), l)))
+    (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Prefix::V4(Ipv4Net::new(Ipv4Addr::from(a), l)))
 }
 
 fn arb_update() -> impl Strategy<Value = UpdateMessage> {
@@ -87,6 +86,39 @@ fn arb_route() -> impl Strategy<Value = Route> {
             igp_cost: igp,
             learned_at: SimTime::ZERO,
         })
+}
+
+/// Decode a byte string into an arbitrarily nested `Match` tree:
+/// deterministic, total, and covering every combinator. The first byte
+/// picks the node kind; combinators recurse on the remaining bytes, so
+/// longer inputs yield deeper nesting.
+fn decode_match(ops: &[u8]) -> Match {
+    let Some((&head, rest)) = ops.split_first() else {
+        return Match::Any;
+    };
+    match head % 8 {
+        0 => Match::Any,
+        1 => Match::PrefixIn(vec![Prefix::v4(184, 164, 224, 0, 19)]),
+        2 => Match::PrefixIn(vec![]),
+        3 => Match::PrefixExact(vec![Prefix::v4(
+            10,
+            rest.first().copied().unwrap_or(0),
+            0,
+            0,
+            24,
+        )]),
+        4 => Match::LongerThan(rest.first().copied().unwrap_or(0) % 33),
+        5 => Match::AsPathContains(Asn(u32::from(rest.first().copied().unwrap_or(0)))),
+        6 => Match::Not(Box::new(decode_match(rest))),
+        _ => {
+            let (left, right) = rest.split_at(rest.len() / 2);
+            if head % 2 == 0 {
+                Match::All(vec![decode_match(left), decode_match(right)])
+            } else {
+                Match::AnyOf(vec![decode_match(left), decode_match(right)])
+            }
+        }
+    }
 }
 
 proptest! {
@@ -195,7 +227,7 @@ proptest! {
         let p = Prefix::v4(184, 164, 224, 0, 24);
         let mut now = SimTime::ZERO;
         for _ in 0..flaps {
-            now = now + SimDuration::from_secs(gap_s);
+            now += SimDuration::from_secs(gap_s);
             d.on_withdraw(p, now, &cfg);
         }
         let p1 = d.penalty(&p, now, &cfg);
@@ -293,6 +325,111 @@ proptest! {
             let r = b.loc_rib().get(p).expect("live prefix present");
             prop_assert_eq!(r.attrs.as_path.to_string(), "100");
         }
+    }
+
+    /// Nested `Not`/`All`/`AnyOf` combinators obey Boolean laws on
+    /// arbitrary match trees: double negation, De Morgan both ways, and
+    /// `Not` as complement — whatever the nesting depth.
+    #[test]
+    fn match_combinators_obey_boolean_laws(ops in proptest::collection::vec(any::<u8>(), 0..24),
+                                           ops2 in proptest::collection::vec(any::<u8>(), 0..24),
+                                           prefix in arb_prefix(),
+                                           attrs in arb_attrs()) {
+        let m1 = decode_match(&ops);
+        let m2 = decode_match(&ops2);
+        let v1 = m1.matches(&prefix, &attrs);
+        let v2 = m2.matches(&prefix, &attrs);
+        // Not is complement; double negation is identity.
+        let not1 = Match::Not(Box::new(m1.clone()));
+        prop_assert_eq!(not1.matches(&prefix, &attrs), !v1);
+        let notnot = Match::Not(Box::new(not1.clone()));
+        prop_assert_eq!(notnot.matches(&prefix, &attrs), v1);
+        // All is conjunction, AnyOf is disjunction.
+        prop_assert_eq!(Match::All(vec![m1.clone(), m2.clone()]).matches(&prefix, &attrs), v1 && v2);
+        prop_assert_eq!(Match::AnyOf(vec![m1.clone(), m2.clone()]).matches(&prefix, &attrs), v1 || v2);
+        // De Morgan: ¬(a ∧ b) = ¬a ∨ ¬b and ¬(a ∨ b) = ¬a ∧ ¬b.
+        let lhs = Match::Not(Box::new(Match::All(vec![m1.clone(), m2.clone()])));
+        let rhs = Match::AnyOf(vec![
+            Match::Not(Box::new(m1.clone())),
+            Match::Not(Box::new(m2.clone())),
+        ]);
+        prop_assert_eq!(lhs.matches(&prefix, &attrs), rhs.matches(&prefix, &attrs));
+        let lhs2 = Match::Not(Box::new(Match::AnyOf(vec![m1.clone(), m2.clone()])));
+        let rhs2 = Match::All(vec![
+            Match::Not(Box::new(m1)),
+            Match::Not(Box::new(m2)),
+        ]);
+        prop_assert_eq!(lhs2.matches(&prefix, &attrs), rhs2.matches(&prefix, &attrs));
+        // Identity elements: All([]) is true, AnyOf([]) is false.
+        prop_assert!(Match::All(vec![]).matches(&prefix, &attrs));
+        prop_assert!(!Match::AnyOf(vec![]).matches(&prefix, &attrs));
+    }
+
+    /// Rule shadowing is order-dependent: against a reference "first
+    /// matching terminal rule wins" evaluator, the policy engine agrees
+    /// for any rule list — and swapping two overlapping rules with
+    /// opposite verdicts flips the outcome exactly on their overlap.
+    #[test]
+    fn rule_order_is_first_match_wins(rules in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 0..16), any::<bool>()), 0..6),
+        prefix in arb_prefix(),
+        attrs in arb_attrs(),
+        default_accept in any::<bool>()) {
+        use peering_bgp::{Action, DefaultVerdict, Policy};
+        let mut policy = Policy::accept_all().default_verdict(
+            if default_accept { DefaultVerdict::Accept } else { DefaultVerdict::Reject });
+        let mut decoded = Vec::new();
+        for (ops, accept) in &rules {
+            let m = decode_match(ops);
+            let action = if *accept { Action::Accept } else { Action::Reject };
+            policy = policy.rule(m.clone(), vec![action]);
+            decoded.push((m, *accept));
+        }
+        // Reference semantics.
+        let expect = decoded
+            .iter()
+            .find(|(m, _)| m.matches(&prefix, &attrs))
+            .map(|(_, accept)| *accept)
+            .unwrap_or(default_accept);
+        let mut scratch = attrs.clone();
+        prop_assert_eq!(policy.apply(&prefix, &mut scratch), expect);
+        // Order dependence on the overlap: a later opposite-verdict rule
+        // matching the same input never wins...
+        if let Some((first, accept)) = decoded.first() {
+            if first.matches(&prefix, &attrs) {
+                let shadowed = Policy::accept_all()
+                    .default_verdict(policy.default)
+                    .rule(first.clone(), vec![if *accept { Action::Accept } else { Action::Reject }])
+                    .rule(first.clone(), vec![if *accept { Action::Reject } else { Action::Accept }]);
+                let mut s = attrs.clone();
+                prop_assert_eq!(shadowed.apply(&prefix, &mut s), *accept);
+                // ...but leading with the opposite rule flips the result.
+                let flipped = Policy::accept_all()
+                    .default_verdict(policy.default)
+                    .rule(first.clone(), vec![if *accept { Action::Reject } else { Action::Accept }])
+                    .rule(first.clone(), vec![if *accept { Action::Accept } else { Action::Reject }]);
+                let mut s2 = attrs.clone();
+                prop_assert_eq!(flipped.apply(&prefix, &mut s2), !*accept);
+            }
+        }
+    }
+
+    /// An empty `PrefixIn` (or `PrefixExact`) never matches anything,
+    /// and a policy gated on one is inert: it behaves exactly like its
+    /// default verdict.
+    #[test]
+    fn empty_prefix_lists_never_match(prefix in arb_prefix(), attrs in arb_attrs()) {
+        use peering_bgp::{Action, Policy};
+        prop_assert!(!Match::PrefixIn(vec![]).matches(&prefix, &attrs));
+        prop_assert!(!Match::PrefixExact(vec![]).matches(&prefix, &attrs));
+        // Negation makes them vacuously true.
+        prop_assert!(Match::Not(Box::new(Match::PrefixIn(vec![]))).matches(&prefix, &attrs));
+        let inert = Policy::accept_all().rule(Match::PrefixIn(vec![]), vec![Action::Reject]);
+        let mut a = attrs.clone();
+        prop_assert!(inert.apply(&prefix, &mut a));
+        let inert_reject = Policy::reject_all().rule(Match::PrefixIn(vec![]), vec![Action::Accept]);
+        let mut b = attrs.clone();
+        prop_assert!(!inert_reject.apply(&prefix, &mut b));
     }
 
     /// Community set operations behave like a set.

@@ -24,6 +24,8 @@ pub enum AllocError {
     V6Unavailable,
     /// The v6 prefix being released is not an allocation we made.
     UnknownV6Allocation(Ipv6Net),
+    /// The allocator was built with an empty ASN list.
+    NoAsns,
 }
 
 impl fmt::Display for AllocError {
@@ -36,6 +38,7 @@ impl fmt::Display for AllocError {
             AllocError::UnknownV6Allocation(p) => {
                 write!(f, "{p} was not allocated by this pool")
             }
+            AllocError::NoAsns => write!(f, "allocator has no public ASNs"),
         }
     }
 }
@@ -132,13 +135,9 @@ impl PrefixAllocator {
 
     /// Which experiment holds a prefix (or covers the queried one).
     pub fn owner_of(&self, prefix: &Ipv4Net) -> Option<u32> {
-        self.allocated.iter().find_map(|(p, tag)| {
-            if p.covers(prefix) {
-                Some(*tag)
-            } else {
-                None
-            }
-        })
+        self.allocated
+            .iter()
+            .find_map(|(p, tag)| if p.covers(prefix) { Some(*tag) } else { None })
     }
 
     /// True if `prefix` is inside any managed pool.
@@ -179,13 +178,15 @@ impl PrefixAllocator {
 
     /// Which experiment holds a v6 prefix.
     pub fn owner_of_v6(&self, prefix: &Ipv6Net) -> Option<u32> {
-        self.allocated_v6.iter().find_map(|(p, tag)| {
-            if p.covers(prefix) {
-                Some(*tag)
-            } else {
-                None
-            }
-        })
+        self.allocated_v6.iter().find_map(
+            |(p, tag)| {
+                if p.covers(prefix) {
+                    Some(*tag)
+                } else {
+                    None
+                }
+            },
+        )
     }
 
     /// True if `prefix` is inside the v6 pool.
@@ -204,15 +205,18 @@ impl PrefixAllocator {
     }
 
     /// The testbed's public ASN(s), round-robin for multi-ASN experiments.
-    pub fn next_asn(&mut self) -> Asn {
+    pub fn next_asn(&mut self) -> Result<Asn, AllocError> {
+        if self.asns.is_empty() {
+            return Err(AllocError::NoAsns);
+        }
         let asn = self.asns[self.asn_cursor % self.asns.len()];
         self.asn_cursor += 1;
-        asn
+        Ok(asn)
     }
 
     /// The primary public ASN.
-    pub fn primary_asn(&self) -> Asn {
-        self.asns[0]
+    pub fn primary_asn(&self) -> Result<Asn, AllocError> {
+        self.asns.first().copied().ok_or(AllocError::NoAsns)
     }
 }
 
@@ -308,19 +312,13 @@ mod tests {
         assert!(!p.overlaps(&q));
         a.release_v6(p).unwrap();
         assert_eq!(a.owner_of_v6(&p), None);
-        assert_eq!(
-            a.release_v6(p),
-            Err(AllocError::UnknownV6Allocation(p))
-        );
+        assert_eq!(a.release_v6(p), Err(AllocError::UnknownV6Allocation(p)));
         assert_eq!(a.available_v6(), 63);
     }
 
     #[test]
     fn v6_without_pool_is_unavailable() {
-        let mut a = PrefixAllocator::new(
-            "184.164.224.0/19".parse().unwrap(),
-            vec![Asn::PEERING],
-        );
+        let mut a = PrefixAllocator::new("184.164.224.0/19".parse().unwrap(), vec![Asn::PEERING]);
         assert_eq!(a.allocate_v6(1), Err(AllocError::V6Unavailable));
         assert_eq!(a.available_v6(), 0);
         assert!(a.v6_pool().is_none());
@@ -332,9 +330,17 @@ mod tests {
             "184.164.224.0/19".parse().unwrap(),
             vec![Asn(47065), Asn(61574)],
         );
-        assert_eq!(a.primary_asn(), Asn(47065));
-        assert_eq!(a.next_asn(), Asn(47065));
-        assert_eq!(a.next_asn(), Asn(61574));
-        assert_eq!(a.next_asn(), Asn(47065));
+        assert_eq!(a.primary_asn(), Ok(Asn(47065)));
+        assert_eq!(a.next_asn(), Ok(Asn(47065)));
+        assert_eq!(a.next_asn(), Ok(Asn(61574)));
+        assert_eq!(a.next_asn(), Ok(Asn(47065)));
+    }
+
+    #[test]
+    fn empty_asn_list_is_a_typed_error() {
+        let mut a = PrefixAllocator::new("184.164.224.0/19".parse().unwrap(), Vec::new());
+        assert_eq!(a.primary_asn(), Err(AllocError::NoAsns));
+        assert_eq!(a.next_asn(), Err(AllocError::NoAsns));
+        assert!(AllocError::NoAsns.to_string().contains("no public ASNs"));
     }
 }

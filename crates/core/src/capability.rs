@@ -64,8 +64,8 @@ impl Capabilities {
     /// Goal-wise best of two platforms combined.
     pub fn combined(&self, other: &Capabilities) -> Capabilities {
         let mut out = [Support::No; 6];
-        for i in 0..6 {
-            out[i] = self.0[i].max(other.0[i]);
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *o = (*a).max(*b);
         }
         Capabilities(out)
     }
@@ -203,7 +203,10 @@ mod tests {
         let row = peering_row(&f);
         assert_eq!(row.0[1], Support::No);
         assert!(!row.meets_all());
-        let few = ObservedFeatures { peer_count: 10, ..f };
+        let few = ObservedFeatures {
+            peer_count: 10,
+            ..f
+        };
         assert_eq!(peering_row(&few).0[1], Support::Limited);
     }
 

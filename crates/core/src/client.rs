@@ -117,10 +117,7 @@ mod tests {
         assert!(c.tunnel_to(2).is_some());
         assert!(c.tunnel_to(1).is_none());
         // Endpoints are distinct across tunnels.
-        assert_ne!(
-            c.tunnels[0].client_endpoint,
-            c.tunnels[1].client_endpoint
-        );
+        assert_ne!(c.tunnels[0].client_endpoint, c.tunnels[1].client_endpoint);
     }
 
     #[test]

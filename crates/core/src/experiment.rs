@@ -253,8 +253,16 @@ mod tests {
     fn simultaneous_entries_preserve_insertion_order() {
         let mut s = Schedule::new();
         let t = SimTime::from_secs(5);
-        s.at(t, ExperimentId(1), ScheduledAction::Withdraw(net("184.164.225.0/24")));
-        s.at(t, ExperimentId(2), ScheduledAction::Withdraw(net("184.164.226.0/24")));
+        s.at(
+            t,
+            ExperimentId(1),
+            ScheduledAction::Withdraw(net("184.164.225.0/24")),
+        );
+        s.at(
+            t,
+            ExperimentId(2),
+            ScheduledAction::Withdraw(net("184.164.226.0/24")),
+        );
         let due = s.due(t);
         assert_eq!(due[0].1, ExperimentId(1));
         assert_eq!(due[1].1, ExperimentId(2));

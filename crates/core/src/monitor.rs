@@ -164,7 +164,13 @@ mod tests {
     fn update_log_records_and_filters() {
         let mut m = Monitor::new();
         let p = net("184.164.225.0/24");
-        m.record_update(SimTime::ZERO, ExperimentId(1), UpdateKind::Announce, p, Some(500));
+        m.record_update(
+            SimTime::ZERO,
+            ExperimentId(1),
+            UpdateKind::Announce,
+            p,
+            Some(500),
+        );
         m.record_update(
             SimTime::from_secs(60),
             ExperimentId(2),

@@ -14,6 +14,7 @@
 //! emulation substrate, so the two designs can be compared on sessions,
 //! memory, and update fan-out — the E7 ablation.
 
+use crate::safety::SafetyConfig;
 use peering_bgp::{Asn, PeerConfig, PeerId, Prefix, Speaker, SpeakerConfig};
 use peering_emulation::{Container, Emulation};
 use peering_netsim::{LinkParams, SimRng};
@@ -66,6 +67,14 @@ impl MuxHarness {
     /// `n_clients` clients.
     pub fn build(design: MuxDesign, n_upstreams: usize, n_clients: usize, seed: u64) -> Self {
         let mut emu = Emulation::new(SimRng::new(seed).fork("mux"));
+        // The mux is where clients touch the real Internet, so the
+        // server-side sessions carry the safety policies: client-facing
+        // sessions only *import* PEERING-pool prefixes (no hijacks into
+        // the mux RIB), and upstream-facing sessions only *export*
+        // PEERING-pool prefixes (no leaks out of it).
+        let safety = SafetyConfig::peering_default();
+        let client_import = safety.client_import_policy();
+        let upstream_export = safety.export_safety_policy();
         // Upstream neighbor routers.
         let upstream_nodes: Vec<usize> = (0..n_upstreams)
             .map(|u| {
@@ -117,7 +126,9 @@ impl MuxHarness {
                         upstream_nodes[u],
                         PeerConfig::new(PeerId(0), Asn::PEERING),
                         nodes[u],
-                        PeerConfig::new(PeerId(0), Asn(UPSTREAM_ASN_BASE + u as u32)).passive(),
+                        PeerConfig::new(PeerId(0), Asn(UPSTREAM_ASN_BASE + u as u32))
+                            .passive()
+                            .export(upstream_export.clone()),
                     );
                 }
                 // Wire every client to every mux instance.
@@ -128,11 +139,9 @@ impl MuxHarness {
                             cn,
                             PeerConfig::new(PeerId(u as u32), Asn::PEERING),
                             mn,
-                            PeerConfig::new(
-                                PeerId(1 + c as u32),
-                                Asn(CLIENT_ASN_BASE + c as u32),
-                            )
-                            .passive(),
+                            PeerConfig::new(PeerId(1 + c as u32), Asn(CLIENT_ASN_BASE + c as u32))
+                                .passive()
+                                .import(client_import.clone()),
                         );
                     }
                 }
@@ -146,14 +155,15 @@ impl MuxHarness {
                             .route_server(),
                     ),
                 ));
-                for u in 0..n_upstreams {
-                    emu.link(upstream_nodes[u], node, LinkParams::default());
+                for (u, &un) in upstream_nodes.iter().enumerate().take(n_upstreams) {
+                    emu.link(un, node, LinkParams::default());
                     emu.connect_bgp(
-                        upstream_nodes[u],
+                        un,
                         PeerConfig::new(PeerId(0), Asn::PEERING),
                         node,
                         PeerConfig::new(PeerId(u as u32), Asn(UPSTREAM_ASN_BASE + u as u32))
-                            .passive(),
+                            .passive()
+                            .export(upstream_export.clone()),
                     );
                 }
                 for (c, &cn) in client_nodes.iter().enumerate() {
@@ -162,12 +172,10 @@ impl MuxHarness {
                         cn,
                         PeerConfig::new(PeerId(0), Asn::PEERING),
                         node,
-                        PeerConfig::new(
-                            PeerId(1000 + c as u32),
-                            Asn(CLIENT_ASN_BASE + c as u32),
-                        )
-                        .passive()
-                        .all_paths(),
+                        PeerConfig::new(PeerId(1000 + c as u32), Asn(CLIENT_ASN_BASE + c as u32))
+                            .passive()
+                            .all_paths()
+                            .import(client_import.clone()),
                     );
                 }
                 vec![node]
@@ -200,10 +208,41 @@ impl MuxHarness {
         self.emu.run_until_quiet(usize::MAX);
     }
 
+    /// Originate `prefix` at client `c` and run to convergence. Whether
+    /// it survives the mux's import policy is up to the safety config.
+    pub fn announce_from_client(&mut self, c: usize, prefix: Prefix) {
+        self.emu.originate(self.client_nodes[c], prefix);
+        self.emu.run_until_quiet(usize::MAX);
+    }
+
+    /// Whether any mux instance accepted a route for `prefix`.
+    pub fn mux_has_route(&self, prefix: &Prefix) -> bool {
+        self.mux_nodes.iter().any(|&m| {
+            self.emu
+                .daemon(m)
+                .map(|d| d.loc_rib().get(prefix).is_some())
+                .unwrap_or(false)
+        })
+    }
+
+    /// Number of paths upstream `u` holds for `prefix`.
+    pub fn upstream_paths(&self, u: usize, prefix: &Prefix) -> usize {
+        let Some(d) = self.emu.daemon(self.upstream_nodes[u]) else {
+            return 0;
+        };
+        d.peer_ids()
+            .filter_map(|p| d.adj_rib_in(p))
+            .map(|rib| rib.paths(prefix).count())
+            .sum()
+    }
+
     /// Number of distinct paths client `c` holds for `prefix` across its
     /// session(s).
     pub fn client_paths(&self, c: usize, prefix: &Prefix) -> usize {
-        let d = self.emu.daemon(self.client_nodes[c]).expect("client daemon");
+        let d = self
+            .emu
+            .daemon(self.client_nodes[c])
+            .expect("client daemon");
         d.peer_ids()
             .filter_map(|p| d.adj_rib_in(p))
             .map(|rib| rib.paths(prefix).count())
@@ -212,7 +251,10 @@ impl MuxHarness {
 
     /// The AS seen as first hop for each path client `c` has to `prefix`.
     pub fn client_path_origins(&self, c: usize, prefix: &Prefix) -> Vec<Asn> {
-        let d = self.emu.daemon(self.client_nodes[c]).expect("client daemon");
+        let d = self
+            .emu
+            .daemon(self.client_nodes[c])
+            .expect("client daemon");
         let mut v: Vec<Asn> = d
             .peer_ids()
             .filter_map(|p| d.adj_rib_in(p))
@@ -226,9 +268,7 @@ impl MuxHarness {
     /// Metrics for the comparison.
     pub fn stats(&self) -> MuxStats {
         let server_sessions = match self.design {
-            MuxDesign::PerPeerSessions => {
-                self.n_upstreams + self.n_upstreams * self.n_clients
-            }
+            MuxDesign::PerPeerSessions => self.n_upstreams + self.n_upstreams * self.n_clients,
             MuxDesign::AddPathMux => self.n_upstreams + self.n_clients,
         };
         let sessions_per_client = match self.design {
@@ -334,6 +374,38 @@ mod tests {
     }
 
     #[test]
+    fn mux_drops_client_hijacks_but_forwards_pool_space() {
+        for design in [MuxDesign::PerPeerSessions, MuxDesign::AddPathMux] {
+            let mut h = MuxHarness::build(design, 2, 1, 3);
+            assert!(h.fully_established());
+            // A client announcing space outside the PEERING pool is
+            // stopped at the mux's import policy: nothing reaches the
+            // mux RIB, let alone an upstream.
+            let hijack = Prefix::v4(8, 8, 8, 0, 24);
+            h.announce_from_client(0, hijack);
+            assert!(!h.mux_has_route(&hijack), "{design:?}: hijack imported");
+            assert_eq!(h.upstream_paths(0, &hijack), 0, "{design:?}");
+            // The client's allocated PEERING /24 flows through to the
+            // upstreams, with the client's private ASN stripped at the
+            // border by the export policy.
+            let owned = Prefix::v4(184, 164, 224, 0, 24);
+            h.announce_from_client(0, owned);
+            assert!(h.mux_has_route(&owned), "{design:?}: pool space dropped");
+            for u in 0..2 {
+                assert_eq!(h.upstream_paths(u, &owned), 1, "{design:?} upstream {u}");
+                let d = h.emu.daemon(h.upstream_nodes[u]).expect("daemon");
+                let rib = d.adj_rib_in(PeerId(0)).expect("rib");
+                for r in rib.paths(&owned) {
+                    assert!(
+                        !r.attrs.as_path.asns().any(|a| a.is_private()),
+                        "{design:?}: private ASN leaked upstream"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn withdrawals_flow_through_both_designs() {
         for design in [MuxDesign::PerPeerSessions, MuxDesign::AddPathMux] {
             let mut h = MuxHarness::build(design, 3, 2, 7);
@@ -343,11 +415,7 @@ mod tests {
             }
             assert_eq!(h.client_paths(0, &p), 3, "design {design:?}");
             h.withdraw_from_upstream(1, p);
-            assert_eq!(
-                h.client_paths(0, &p),
-                2,
-                "design {design:?}: one path gone"
-            );
+            assert_eq!(h.client_paths(0, &p), 2, "design {design:?}: one path gone");
             let origins = h.client_path_origins(0, &p);
             assert_eq!(origins, vec![Asn(1000), Asn(1002)]);
             h.withdraw_from_upstream(0, p);

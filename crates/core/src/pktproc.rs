@@ -13,7 +13,7 @@
 //! a full VM (high per-packet overhead) or the proposed lightweight
 //! datapath — the ablation the paper's plan implies.
 
-use peering_netsim::{Ipv4Net, IpPacket, Payload, SimDuration, SimTime};
+use peering_netsim::{IpPacket, Ipv4Net, Payload, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
@@ -204,8 +204,7 @@ impl PacketProcessor {
                         }
                         let dt = now.since(b.last).as_secs_f64();
                         b.last = now;
-                        b.tokens =
-                            (b.tokens + dt * *bytes_per_sec as f64).min(*burst as f64);
+                        b.tokens = (b.tokens + dt * *bytes_per_sec as f64).min(*burst as f64);
                         if b.tokens >= size {
                             b.tokens -= size;
                         } else {
@@ -285,7 +284,11 @@ mod tests {
         let covert: Ipv4Addr = "198.51.100.9".parse().unwrap();
         let mut pp = PacketProcessor::new(Backend::Lightweight).rule(
             PktMatch::PayloadPrefix(b"DECOY".to_vec()),
-            vec![PktAction::Count, PktAction::RewriteDst(covert), PktAction::Pass],
+            vec![
+                PktAction::Count,
+                PktAction::RewriteDst(covert),
+                PktAction::Pass,
+            ],
         );
         let p = udp("10.0.0.1", "203.0.113.80", 443, b"DECOY+payload");
         match pp.process(p, SimTime::ZERO) {
@@ -297,8 +300,8 @@ mod tests {
 
     #[test]
     fn unmatched_packets_pass_unchanged() {
-        let mut pp = PacketProcessor::new(Backend::Vm)
-            .rule(PktMatch::UdpDport(9999), vec![PktAction::Drop]);
+        let mut pp =
+            PacketProcessor::new(Backend::Vm).rule(PktMatch::UdpDport(9999), vec![PktAction::Drop]);
         let p = udp("10.0.0.1", "10.0.0.2", 53, b"x");
         assert_eq!(pp.process(p.clone(), SimTime::ZERO), PktVerdict::Deliver(p));
     }

@@ -7,7 +7,8 @@
 //! (§3). Servers interpose on both planes, so this module checks both
 //! announcements and packets.
 
-use peering_bgp::{AsPath, DampingConfig, DampingState};
+use crate::experiment::AnnouncementSpec;
+use peering_bgp::{Action, AsPath, DampingConfig, DampingState, Match, Policy};
 use peering_netsim::{Asn, Ipv4Net, Ipv6Net, Prefix, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -120,6 +121,97 @@ impl SafetyConfig {
             rate_window: SimDuration::from_secs(3600),
             spoof_allowlist: Vec::new(),
         }
+    }
+
+    /// The conventional deployment: the 184.164.224.0/19 pool, the
+    /// 2804:269c::/32 v6 pool, and AS47065 — matching
+    /// [`PrefixAllocator::peering_default`](crate::alloc::PrefixAllocator::peering_default).
+    pub fn peering_default() -> Self {
+        let mut cfg = SafetyConfig::new(
+            vec!["184.164.224.0/19".parse().expect("valid pool")],
+            vec![Asn::PEERING],
+        );
+        cfg.pools_v6 = vec!["2804:269c::/32".parse().expect("valid v6 pool")];
+        cfg
+    }
+
+    /// Longest announcement the testbed forwards upstream: the global
+    /// table's conventional /24 (v4) and /48 (v6) acceptance limits.
+    pub const MAX_V4_LEN: u8 = 24;
+    /// See [`MAX_V4_LEN`](Self::MAX_V4_LEN).
+    pub const MAX_V6_LEN: u8 = 48;
+
+    /// Import policy for client-facing (mux) sessions: accept only
+    /// PEERING-pool prefixes no more specific than the global-table
+    /// limits, reject everything else. A client session carrying this
+    /// policy cannot inject a hijack ([`Violation::Hijack`]) or an
+    /// unroutable more-specific into the testbed's RIBs.
+    pub fn client_import_policy(&self) -> Policy {
+        let v4: Vec<Prefix> = self.pools.iter().copied().map(Prefix::from).collect();
+        let v6: Vec<Prefix> = self.pools_v6.iter().copied().map(Prefix::from).collect();
+        let mut p = Policy::reject_all();
+        if !v4.is_empty() {
+            p = p.rule(
+                Match::All(vec![
+                    Match::PrefixIn(v4),
+                    Match::Not(Box::new(Match::LongerThan(Self::MAX_V4_LEN))),
+                ]),
+                vec![Action::Accept],
+            );
+        }
+        if !v6.is_empty() {
+            p = p.rule(
+                Match::All(vec![
+                    Match::PrefixIn(v6),
+                    Match::Not(Box::new(Match::LongerThan(Self::MAX_V6_LEN))),
+                ]),
+                vec![Action::Accept],
+            );
+        }
+        p
+    }
+
+    /// Export policy for upstream-facing sessions: only PEERING-pool
+    /// prefixes leave the testbed (everything else is a
+    /// [`Violation::RouteLeak`]), and private ASNs used by emulated
+    /// domains are stripped at the border.
+    pub fn export_safety_policy(&self) -> Policy {
+        let mut nets: Vec<Prefix> = self.pools.iter().copied().map(Prefix::from).collect();
+        nets.extend(self.pools_v6.iter().copied().map(Prefix::from));
+        Policy::reject_all().rule(
+            Match::PrefixIn(nets),
+            vec![Action::StripPrivateAsns, Action::Accept],
+        )
+    }
+
+    /// Statically check an announcement spec against the stateless subset
+    /// of the safety rules (pool membership, ownership, origin, traffic-
+    /// engineering limits). This is the pure kernel of
+    /// [`SafetyFilter::check_announcement`]: no damping or rate state, so
+    /// the same spec always yields the same verdict and the check can run
+    /// before an experiment is ever executed.
+    pub fn static_check(
+        &self,
+        owned: &Ipv4Net,
+        spec: &AnnouncementSpec,
+        origin: Asn,
+    ) -> Result<(), Violation> {
+        if !self.pools.iter().any(|p| p.covers(&spec.prefix)) {
+            return Err(Violation::Hijack(spec.prefix));
+        }
+        if !owned.covers(&spec.prefix) {
+            return Err(Violation::NotYourPrefix(spec.prefix));
+        }
+        if !self.public_asns.contains(&origin) {
+            return Err(Violation::BadOrigin(origin));
+        }
+        if spec.prepend > self.max_prepend {
+            return Err(Violation::ExcessivePrepend(spec.prepend));
+        }
+        if spec.poison.len() > self.max_poison {
+            return Err(Violation::ExcessivePoison(spec.poison.len()));
+        }
+        Ok(())
     }
 }
 
@@ -413,7 +505,10 @@ mod tests {
         assert!(ok.is_allowed());
         let bad_ip: Ipv4Addr = "9.9.9.9".parse().unwrap();
         let bad = f.check_packet_source(1, &owned, bad_ip);
-        assert_eq!(bad, SafetyVerdict::Blocked(Violation::SpoofedSource(bad_ip)));
+        assert_eq!(
+            bad,
+            SafetyVerdict::Blocked(Violation::SpoofedSource(bad_ip))
+        );
         // Allowlisted controlled spoofing (e.g. reverse traceroute).
         f.cfg
             .spoof_allowlist
@@ -428,6 +523,77 @@ mod tests {
         let mut path = AsPath::from_asns(&[Asn::PEERING, Asn(65001), Asn(65002)]);
         SafetyFilter::sanitize_path(&mut path);
         assert_eq!(path.to_string(), "47065");
+    }
+
+    #[test]
+    fn client_import_policy_admits_only_pool_space() {
+        use peering_bgp::PathAttributes;
+        let pool: Ipv4Net = "184.164.224.0/19".parse().unwrap();
+        let cfg = SafetyConfig::new(vec![pool], vec![Asn::PEERING]);
+        let policy = cfg.client_import_policy();
+        let mut attrs = PathAttributes::default();
+        assert!(policy.apply(&Prefix::v4(184, 164, 225, 0, 24), &mut attrs));
+        // Outside PEERING space: would be a hijack.
+        assert!(!policy.apply(&Prefix::v4(8, 8, 8, 0, 24), &mut attrs));
+        // More specific than the global-table limit.
+        assert!(!policy.apply(&Prefix::v4(184, 164, 225, 0, 25), &mut attrs));
+        // A covering supernet of the pool is NOT pool space.
+        assert!(!policy.apply(&Prefix::v4(184, 164, 0, 0, 16), &mut attrs));
+    }
+
+    #[test]
+    fn export_safety_policy_blocks_leaks_and_strips_private_asns() {
+        use peering_bgp::PathAttributes;
+        let pool: Ipv4Net = "184.164.224.0/19".parse().unwrap();
+        let cfg = SafetyConfig::new(vec![pool], vec![Asn::PEERING]);
+        let policy = cfg.export_safety_policy();
+        let mut attrs = PathAttributes {
+            as_path: AsPath::from_asns(&[Asn::PEERING, Asn(65001)]),
+            ..Default::default()
+        };
+        assert!(policy.apply(&Prefix::v4(184, 164, 226, 0, 24), &mut attrs));
+        assert_eq!(attrs.as_path.to_string(), "47065", "private ASN stripped");
+        // A route for non-PEERING space must never leave the testbed.
+        let mut attrs = PathAttributes::default();
+        assert!(!policy.apply(&Prefix::v4(1, 2, 3, 0, 24), &mut attrs));
+    }
+
+    #[test]
+    fn static_check_agrees_with_dynamic_filter() {
+        let (mut f, owned) = filter();
+        let cfg = f.cfg.clone();
+        let specs = [
+            AnnouncementSpec::everywhere(owned, vec![0]),
+            AnnouncementSpec::everywhere("8.8.8.0/24".parse().unwrap(), vec![0]),
+            AnnouncementSpec::everywhere("184.164.230.0/24".parse().unwrap(), vec![0]),
+            AnnouncementSpec::everywhere(owned, vec![0]).prepended(11),
+            AnnouncementSpec::everywhere(owned, vec![0])
+                .poisoned((0..6).map(|i| Asn(100 + i)).collect()),
+        ];
+        for (i, spec) in specs.iter().enumerate() {
+            let origin = Asn::PEERING;
+            let statically = cfg.static_check(&owned, spec, origin);
+            let dynamically = f.check_announcement(
+                1,
+                &owned,
+                &spec.prefix,
+                origin,
+                spec.prepend,
+                spec.poison.len(),
+                SimTime::from_secs(7200 * (i as u64 + 1)),
+            );
+            match (&statically, &dynamically) {
+                (Ok(()), SafetyVerdict::Allowed) => {}
+                (Err(a), SafetyVerdict::Blocked(b)) => assert_eq!(a, b, "spec {i}"),
+                other => panic!("spec {i}: static/dynamic disagree: {other:?}"),
+            }
+        }
+        // Origin spoofing is caught statically too.
+        let spec = AnnouncementSpec::everywhere(owned, vec![0]);
+        assert_eq!(
+            cfg.static_check(&owned, &spec, Asn(15169)),
+            Err(Violation::BadOrigin(Asn(15169)))
+        );
     }
 
     #[test]

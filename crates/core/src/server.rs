@@ -145,11 +145,7 @@ impl PeeringServer {
     /// routes). This is what §4.2's closing observation measures: "only
     /// our 5 largest peers give us more than 10K routes, and 307 give us
     /// fewer than 100 routes."
-    pub fn peer_route_counts(
-        &self,
-        g: &AsGraph,
-        cones: &[HashSet<AsIdx>],
-    ) -> Vec<(AsIdx, usize)> {
+    pub fn peer_route_counts(&self, g: &AsGraph, cones: &[HashSet<AsIdx>]) -> Vec<(AsIdx, usize)> {
         self.peers()
             .iter()
             .map(|&p| {
@@ -163,8 +159,8 @@ impl PeeringServer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use peering_topology::{cone::customer_cones, AsInfo, AsKind, Relationship};
     use peering_netsim::Asn;
+    use peering_topology::{cone::customer_cones, AsInfo, AsKind, Relationship};
 
     #[test]
     fn site_constructors() {
@@ -176,10 +172,8 @@ mod tests {
 
     #[test]
     fn peer_and_neighbor_sets() {
-        let mut srv = PeeringServer::new(
-            SiteSpec::ixp("ams", 0, *b"NL"),
-            MuxDesign::PerPeerSessions,
-        );
+        let mut srv =
+            PeeringServer::new(SiteSpec::ixp("ams", 0, *b"NL"), MuxDesign::PerPeerSessions);
         srv.transits = vec![AsIdx(1)];
         srv.rs_peers = vec![AsIdx(2), AsIdx(3)];
         srv.bilateral_peers = vec![AsIdx(4)];
@@ -205,8 +199,7 @@ mod tests {
         g.info_mut(c2).prefixes.push("10.2.0.0/24".parse().unwrap());
         g.info_mut(q).prefixes.push("10.3.0.0/24".parse().unwrap());
         let cones = customer_cones(&g);
-        let mut srv =
-            PeeringServer::new(SiteSpec::ixp("x", 0, *b"NL"), MuxDesign::AddPathMux);
+        let mut srv = PeeringServer::new(SiteSpec::ixp("x", 0, *b"NL"), MuxDesign::AddPathMux);
         srv.rs_peers = vec![p, q];
         let counts = srv.peer_route_counts(&g, &cones);
         assert_eq!(counts, vec![(p, 4), (q, 1)]);

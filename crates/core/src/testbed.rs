@@ -20,7 +20,7 @@ use crate::server::{PeeringServer, SiteKind, SiteSpec};
 use peering_ixp::{Ixp, PeeringWorkflow};
 use peering_netsim::{Asn, Ipv4Net, Ipv6Net, Prefix, SimDuration, SimRng, SimTime};
 use peering_topology::{
-    cone::{customer_cones, as_rank},
+    cone::{as_rank, customer_cones},
     routing::{propagate, Announcement, PropagationResult, TraceOutcome},
     AsGraph, AsIdx, AsInfo, AsKind, Internet, InternetConfig, PeeringPolicy, Relationship,
 };
@@ -221,16 +221,19 @@ impl Testbed {
                     v.sort();
                     server.transits = v;
                 }
-                SiteKind::Ixp { ixp_index }
-                | SiteKind::RemoteIxp { ixp_index, .. } => {
+                SiteKind::Ixp { ixp_index } | SiteKind::RemoteIxp { ixp_index, .. } => {
                     if let SiteKind::RemoteIxp { via_site, .. } = &site.kind {
                         server.remote_via = Some(*via_site);
                     }
                     let ixp = &ixps[*ixp_index];
                     // Multilateral: one session to the route server peers
                     // us with every RS member instantly.
+                    // A directory id with no entry is a stale listing, not
+                    // a reason to abort deployment: skip it.
                     for id in ixp.rs_member_ids() {
-                        let m = ixp.directory.get(id).expect("member");
+                        let Some(m) = ixp.directory.get(id) else {
+                            continue;
+                        };
                         internet
                             .graph
                             .add_edge(node, m.as_idx, Relationship::PeerToPeer);
@@ -240,13 +243,17 @@ impl Testbed {
                     let mut wf = PeeringWorkflow::new();
                     let mut wf_rng = root.fork(&format!("workflow-{site_idx}"));
                     for id in ixp.bilateral_ids() {
-                        let m = ixp.directory.get(id).expect("member");
+                        let Some(m) = ixp.directory.get(id) else {
+                            continue;
+                        };
                         wf.send_request(id, m, t0, &mut wf_rng);
                     }
                     // Outcomes resolve over the setup window.
                     let resolved_at = t0 + SimDuration::from_secs(45 * 24 * 3600);
                     for id in wf.established(resolved_at) {
-                        let m = ixp.directory.get(id).expect("member");
+                        let Some(m) = ixp.directory.get(id) else {
+                            continue;
+                        };
                         internet
                             .graph
                             .add_edge(node, m.as_idx, Relationship::PeerToPeer);
@@ -261,7 +268,7 @@ impl Testbed {
         let allocator = PrefixAllocator::peering_default();
         let mut safety_cfg = SafetyConfig::new(
             allocator.pools().to_vec(),
-            vec![allocator.primary_asn()],
+            allocator.primary_asn().into_iter().collect(),
         );
         safety_cfg.pools_v6 = allocator.v6_pool().into_iter().collect();
         let safety = SafetyFilter::new(safety_cfg);
@@ -412,7 +419,10 @@ impl Testbed {
             .get(&id)
             .ok_or(TestbedError::UnknownExperiment(id))?;
         let owned = exp.prefix;
-        let origin = exp.origin_asn.unwrap_or_else(|| self.allocator.primary_asn());
+        let origin = match exp.origin_asn {
+            Some(asn) => asn,
+            None => self.allocator.primary_asn().map_err(TestbedError::Alloc)?,
+        };
         let verdict = self.safety.check_announcement(
             id.0,
             &owned,
@@ -421,6 +431,24 @@ impl Testbed {
             spec.prepend,
             spec.poison.len(),
             self.now,
+        );
+        // The stateless verdict must agree with the dynamic filter on
+        // everything it models (pool, ownership, origin, TE limits);
+        // damping and rate limiting are dynamic-only by design.
+        debug_assert!(
+            match &verdict {
+                SafetyVerdict::Allowed =>
+                    self.safety.cfg.static_check(&owned, &spec, origin).is_ok(),
+                SafetyVerdict::Blocked(
+                    v @ (Violation::Hijack(_)
+                    | Violation::NotYourPrefix(_)
+                    | Violation::BadOrigin(_)
+                    | Violation::ExcessivePrepend(_)
+                    | Violation::ExcessivePoison(_)),
+                ) => self.safety.cfg.static_check(&owned, &spec, origin) == Err(v.clone()),
+                SafetyVerdict::Blocked(_) => true,
+            },
+            "static_check disagrees with the dynamic safety filter"
         );
         if let SafetyVerdict::Blocked(v) = verdict {
             self.monitor
@@ -446,7 +474,7 @@ impl Testbed {
             .record_update(self.now, id, UpdateKind::Announce, spec.prefix, Some(reach));
         self.experiments
             .get_mut(&id)
-            .expect("checked above")
+            .ok_or(TestbedError::UnknownExperiment(id))?
             .active
             .insert(spec.prefix, spec.clone());
         self.announcements.insert(
@@ -488,7 +516,7 @@ impl Testbed {
         if let Some(asn) = exp.origin_asn {
             return Ok(asn);
         }
-        let asn = self.allocator.next_asn();
+        let asn = self.allocator.next_asn().map_err(TestbedError::Alloc)?;
         exp.origin_asn = Some(asn);
         if !self.safety.cfg.public_asns.contains(&asn) {
             self.safety.cfg.public_asns.push(asn);
@@ -506,7 +534,10 @@ impl Testbed {
         if let Some(p) = exp.v6_prefix {
             return Ok(p);
         }
-        let p = self.allocator.allocate_v6(id.0).map_err(TestbedError::Alloc)?;
+        let p = self
+            .allocator
+            .allocate_v6(id.0)
+            .map_err(TestbedError::Alloc)?;
         exp.v6_prefix = Some(p);
         Ok(p)
     }
@@ -526,15 +557,10 @@ impl Testbed {
             .get(&id)
             .ok_or(TestbedError::UnknownExperiment(id))?;
         let owned = exp.v6_prefix.ok_or(TestbedError::V6NotAvailable)?;
-        let verdict = self.safety.check_announcement_v6(
-            id.0,
-            &owned,
-            &owned,
-            self.allocator.primary_asn(),
-            0,
-            0,
-            self.now,
-        );
+        let origin = self.allocator.primary_asn().map_err(TestbedError::Alloc)?;
+        let verdict = self
+            .safety
+            .check_announcement_v6(id.0, &owned, &owned, origin, 0, 0, self.now);
         if let SafetyVerdict::Blocked(v) = verdict {
             self.monitor
                 .record_update(self.now, id, UpdateKind::Blocked, owned, None);
@@ -567,19 +593,17 @@ impl Testbed {
         let reach = result.reach_count().saturating_sub(1);
         self.monitor
             .record_update(self.now, id, UpdateKind::Announce, owned, Some(reach));
-        self.experiments
+        let exp = self
+            .experiments
             .get_mut(&id)
-            .expect("checked above")
-            .active_v6
-            .insert(owned, sites.to_vec());
+            .ok_or(TestbedError::UnknownExperiment(id))?;
+        exp.active_v6.insert(owned, sites.to_vec());
+        let v4_prefix = exp.prefix;
         self.announcements.insert(
             Prefix::V6(owned),
             ActiveAnnouncement {
                 experiment: id,
-                spec: AnnouncementSpec::everywhere(
-                    self.experiments[&id].prefix,
-                    sites.to_vec(),
-                ),
+                spec: AnnouncementSpec::everywhere(v4_prefix, sites.to_vec()),
                 result,
             },
         );
@@ -643,7 +667,9 @@ impl Testbed {
 
     /// The experiment owning an active announcement.
     pub fn announced_by(&self, prefix: &Ipv4Net) -> Option<ExperimentId> {
-        self.announcements.get(&Prefix::V4(*prefix)).map(|a| a.experiment)
+        self.announcements
+            .get(&Prefix::V4(*prefix))
+            .map(|a| a.experiment)
     }
 
     /// Which site's announcement each AS selected (anycast catchments):
@@ -697,9 +723,7 @@ impl Testbed {
     pub fn ping(&mut self, from: AsIdx, prefix: &Ipv4Net) -> Option<SimDuration> {
         let outcome = self.traceroute(from, prefix);
         let (rtt, hops) = match &outcome {
-            TraceOutcome::Delivered(path) => {
-                (Some(self.path_latency(path) * 2), Some(path.len()))
-            }
+            TraceOutcome::Delivered(path) => (Some(self.path_latency(path) * 2), Some(path.len())),
             _ => (None, None),
         };
         self.monitor

@@ -89,10 +89,8 @@ impl PopEmulation {
     /// Attach an external (out-of-emulation) BGP session at a PoP.
     pub fn external_at(&mut self, pop: usize, remote_asn: Asn) -> ExternalHandle {
         // Peer id 1000+ avoids clashing with PoP-indexed ids.
-        self.emu.add_external_session(
-            self.routers[pop],
-            PeerConfig::new(PeerId(1000), remote_asn),
-        )
+        self.emu
+            .add_external_session(self.routers[pop], PeerConfig::new(PeerId(1000), remote_asn))
     }
 
     /// Does PoP `from` have a route to PoP `to`'s prefix?

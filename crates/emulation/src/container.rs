@@ -30,8 +30,8 @@ pub struct ResourceModel {
 impl Default for ResourceModel {
     fn default() -> Self {
         ResourceModel {
-            container_base: 1_500_000,  // ~1.5 MB per namespace + veth
-            daemon_base: 4_000_000,     // ~4 MB empty bgpd
+            container_base: 1_500_000, // ~1.5 MB per namespace + veth
+            daemon_base: 4_000_000,    // ~4 MB empty bgpd
             host_base: 500_000,
         }
     }

@@ -90,7 +90,8 @@ impl Emulation {
 
     /// Create a veth-style link between two containers.
     pub fn link(&mut self, a: usize, b: usize, params: LinkParams) {
-        self.net.add_link(NodeId(a as u32), NodeId(b as u32), params);
+        self.net
+            .add_link(NodeId(a as u32), NodeId(b as u32), params);
     }
 
     /// Take a link up/down (fault injection).
@@ -144,7 +145,8 @@ impl Emulation {
         let h = ExternalHandle(self.external_out.len());
         self.external_out.push(Vec::new());
         self.external_home.push((container, peer));
-        self.sessions.insert((container, peer), SessionEnd::External(h));
+        self.sessions
+            .insert((container, peer), SessionEnd::External(h));
         h
     }
 
@@ -155,7 +157,10 @@ impl Emulation {
                 Output::Event(ev) => self.events.push((now, from, ev)),
                 Output::Send(peer, msg) => {
                     match self.sessions.get(&(from, peer)) {
-                        Some(SessionEnd::Internal { container, peer: to_peer }) => {
+                        Some(SessionEnd::Internal {
+                            container,
+                            peer: to_peer,
+                        }) => {
                             let size = msg.approx_size();
                             self.net.send(
                                 NodeId(from as u32),
@@ -395,10 +400,7 @@ mod tests {
         let out = emu.drain_external(h);
         assert!(out.iter().any(|m| matches!(m, BgpMessage::Open(_))));
         // Build an external speaker, feed it, and bridge replies back.
-        let mut ext = Speaker::new(SpeakerConfig::new(
-            Asn(47065),
-            Ipv4Addr::new(100, 64, 0, 1),
-        ));
+        let mut ext = Speaker::new(SpeakerConfig::new(Asn(47065), Ipv4Addr::new(100, 64, 0, 1)));
         ext.add_peer(PeerConfig::new(PeerId(0), Asn(65001)).passive());
         ext.start_peer(PeerId(0), SimTime::ZERO);
         let mut inbound = out;

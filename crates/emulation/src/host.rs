@@ -132,7 +132,10 @@ mod tests {
     fn oversized_container_is_an_error() {
         let demands = vec![100, 9 * GB];
         let err = place_containers(&demands, 8 * GB).unwrap_err();
-        assert!(matches!(err, PlacementError::ContainerTooBig { container: 1, .. }));
+        assert!(matches!(
+            err,
+            PlacementError::ContainerTooBig { container: 1, .. }
+        ));
         assert!(err.to_string().contains("capacity"));
     }
 

@@ -31,10 +31,7 @@ fn floyd_warshall(n: usize, edges: &[(usize, usize, u32)]) -> Vec<Vec<u64>> {
 
 fn arb_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize, u32)>)> {
     (2usize..12).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n, 0..n, 1u32..100),
-            1..(n * 2),
-        );
+        let edges = proptest::collection::vec((0..n, 0..n, 1u32..100), 1..(n * 2));
         (Just(n), edges)
     })
 }
@@ -50,18 +47,18 @@ proptest! {
         prop_assume!(!edges.is_empty());
         let spf = Spf::new(n, &edges);
         let reference = floyd_warshall(n, &edges);
-        for src in 0..n {
+        for (src, ref_row) in reference.iter().enumerate().take(n) {
             let t = spf.from(src);
-            for dst in 0..n {
+            for (dst, &ref_dist) in ref_row.iter().enumerate().take(n) {
                 let got = if t.dist[dst] == u32::MAX {
                     None
                 } else {
                     Some(t.dist[dst] as u64)
                 };
-                let expect = if reference[src][dst] >= u64::MAX / 4 {
+                let expect = if ref_dist >= u64::MAX / 4 {
                     None
                 } else {
-                    Some(reference[src][dst])
+                    Some(ref_dist)
                 };
                 prop_assert_eq!(got, expect, "src {} dst {}", src, dst);
             }

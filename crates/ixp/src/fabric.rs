@@ -103,8 +103,8 @@ impl RemotePeeringProvider {
             .iter()
             .find(|(n, _)| n == remote_ixp)
             .map(|(_, lat)| {
-                LinkParams::with_delay(*lat + remote_fabric.latency)
-                    .bandwidth(1_000_000_000) // virtual circuits are thinner
+                LinkParams::with_delay(*lat + remote_fabric.latency).bandwidth(1_000_000_000)
+                // virtual circuits are thinner
             })
     }
 

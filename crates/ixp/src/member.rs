@@ -176,7 +176,7 @@ mod tests {
     #[test]
     fn lookup_by_asn() {
         let d = directory();
-        let (id, m) = d.iter().next().map(|(i, m)| (i, m.asn)).map(|(i, a)| (i, a)).unwrap();
+        let (id, m) = d.iter().next().map(|(i, m)| (i, m.asn)).unwrap();
         let (found, fm) = d.by_asn(m).unwrap();
         assert_eq!(found, id);
         assert_eq!(fm.asn, m);

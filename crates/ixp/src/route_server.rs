@@ -46,7 +46,7 @@ pub fn block_community(member_asn: Asn) -> Community {
 /// The "announce only to `member`" (allow) community.
 pub fn allow_community(rs_asn: Asn, member_asn: Asn) -> Community {
     let _ = rs_asn;
-    Community::new(as16(Asn(0xFFFF_0000)) | 0, as16(member_asn))
+    Community::new(as16(Asn(0xFFFF_0000)), as16(member_asn))
 }
 
 /// Export policy the RS applies toward one member: honor block
@@ -158,13 +158,8 @@ mod tests {
     fn one_session_brings_multilateral_peering() {
         let cfg = RouteServerConfig::default();
         let n = 20usize;
-        let mut rs = route_server_speaker(
-            &cfg,
-            (0..n as u32).map(|i| member(i, 64600 + i)),
-        );
-        let mut clients: Vec<Speaker> = (0..n as u32)
-            .map(|i| client(64600 + i, cfg.asn))
-            .collect();
+        let mut rs = route_server_speaker(&cfg, (0..n as u32).map(|i| member(i, 64600 + i)));
+        let mut clients: Vec<Speaker> = (0..n as u32).map(|i| client(64600 + i, cfg.asn)).collect();
         for (i, c) in clients.iter_mut().enumerate() {
             establish(&mut rs, c, MemberId(i as u32));
         }
@@ -206,11 +201,7 @@ mod tests {
         establish(&mut rs, &mut c2, MemberId(2));
         // c0 announces tagged "do not send to 64601".
         let p = Prefix::v4(185, 1, 0, 0, 24);
-        let outs = c0.originate_with(
-            p,
-            vec![block_community(Asn(64601))],
-            SimTime::from_secs(1),
-        );
+        let outs = c0.originate_with(p, vec![block_community(Asn(64601))], SimTime::from_secs(1));
         let mut went_to = Vec::new();
         for o in outs {
             if let Output::Send(_, m) = o {

@@ -128,9 +128,7 @@ impl PeeringWorkflow {
         let outcome = respond(member, rng);
         let delay = match outcome {
             // Open networks configure quickly: hours to a couple days.
-            PeeringOutcome::Accepted => {
-                SimDuration::from_secs(3600 * (4 + rng.below(44)))
-            }
+            PeeringOutcome::Accepted => SimDuration::from_secs(3600 * (4 + rng.below(44))),
             PeeringOutcome::AcceptedAfterQuestions => {
                 SimDuration::from_secs(3600 * 24 * (3 + rng.below(11)))
             }
@@ -200,7 +198,8 @@ pub struct WorkflowTally {
 impl WorkflowTally {
     /// Fraction of resolved requests that produced a session.
     pub fn accept_rate(&self) -> f64 {
-        let total = self.accepted + self.accepted_after_questions + self.declined + self.no_response;
+        let total =
+            self.accepted + self.accepted_after_questions + self.declined + self.no_response;
         if total == 0 {
             0.0
         } else {
@@ -293,10 +292,10 @@ mod tests {
         for i in 0..50 {
             wf.send_request(MemberId(i), &m, SimTime::ZERO, &mut rng);
         }
-        let has_noresp = wf
-            .requests
-            .iter()
-            .any(|r| r.outcome == PeeringOutcome::NoResponse && r.resolves_at == SimTime::ZERO + wf.give_up_after);
+        let has_noresp = wf.requests.iter().any(|r| {
+            r.outcome == PeeringOutcome::NoResponse
+                && r.resolves_at == SimTime::ZERO + wf.give_up_after
+        });
         assert!(has_noresp);
     }
 

@@ -84,8 +84,14 @@ mod tests {
     #[test]
     fn actions_fire_in_time_order() {
         let mut plan = FaultPlan::new()
-            .at(SimTime::from_secs(20), FaultAction::LinkUp(NodeId(1), NodeId(2)))
-            .at(SimTime::from_secs(10), FaultAction::LinkDown(NodeId(1), NodeId(2)));
+            .at(
+                SimTime::from_secs(20),
+                FaultAction::LinkUp(NodeId(1), NodeId(2)),
+            )
+            .at(
+                SimTime::from_secs(10),
+                FaultAction::LinkDown(NodeId(1), NodeId(2)),
+            );
         assert_eq!(plan.len(), 2);
         assert_eq!(plan.next_time(), Some(SimTime::from_secs(10)));
         assert!(plan.due(SimTime::from_secs(5)).is_empty());

@@ -312,7 +312,10 @@ mod tests {
         t.insert(net("20.0.0.0/8"), 2);
         let mut got: Vec<_> = t.iter().map(|(p, v)| (p.to_string(), *v)).collect();
         got.sort();
-        assert_eq!(got, vec![("10.0.0.0/8".into(), 1), ("20.0.0.0/8".into(), 2)]);
+        assert_eq!(
+            got,
+            vec![("10.0.0.0/8".into(), 1), ("20.0.0.0/8".into(), 2)]
+        );
         t.clear();
         assert!(t.is_empty());
         assert_eq!(t.lookup("10.0.0.1".parse().unwrap()), None);

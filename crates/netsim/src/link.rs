@@ -174,9 +174,7 @@ mod tests {
     #[test]
     fn basic_delay() {
         let mut l = Link::new(LinkParams::with_delay(SimDuration::from_millis(10)));
-        let t = l
-            .transmit(SimTime::from_secs(1), 100, &mut rng())
-            .unwrap();
+        let t = l.transmit(SimTime::from_secs(1), 100, &mut rng()).unwrap();
         assert_eq!(t, SimTime::from_secs(1) + SimDuration::from_millis(10));
         assert_eq!(l.tx_packets, 1);
         assert_eq!(l.tx_bytes, 100);
@@ -191,7 +189,7 @@ mod tests {
         let t0 = SimTime::from_secs(0);
         let d1 = l.transmit(t0, 1250, &mut r).unwrap();
         assert_eq!(d1, SimTime::from_millis(15)); // 10ms ser + 5ms prop
-        // Second packet queues behind the first.
+                                                  // Second packet queues behind the first.
         let d2 = l.transmit(t0, 1250, &mut r).unwrap();
         assert_eq!(d2, SimTime::from_millis(25));
     }
@@ -235,8 +233,8 @@ mod tests {
 
     #[test]
     fn jitter_bounded() {
-        let params =
-            LinkParams::with_delay(SimDuration::from_millis(10)).jitter(SimDuration::from_millis(5));
+        let params = LinkParams::with_delay(SimDuration::from_millis(10))
+            .jitter(SimDuration::from_millis(5));
         let mut l = Link::new(params);
         let mut r = rng();
         for _ in 0..200 {

@@ -102,6 +102,8 @@ impl Ipv4Net {
     }
 
     /// Prefix length in bits.
+    // A prefix length is not a container size; there is no is_empty.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -231,6 +233,8 @@ impl Ipv6Net {
     }
 
     /// Prefix length in bits.
+    // A prefix length is not a container size; there is no is_empty.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -326,6 +330,8 @@ impl Prefix {
     }
 
     /// Prefix length in bits.
+    // A prefix length is not a container size; there is no is_empty.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         match self {
             Prefix::V4(p) => p.len(),

@@ -240,7 +240,10 @@ mod tests {
     #[test]
     fn addition_saturates() {
         assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
-        assert_eq!(SimDuration::MAX + SimDuration::from_secs(1), SimDuration::MAX);
+        assert_eq!(
+            SimDuration::MAX + SimDuration::from_secs(1),
+            SimDuration::MAX
+        );
         assert_eq!(SimDuration::MAX.saturating_mul(2), SimDuration::MAX);
     }
 

@@ -155,6 +155,9 @@ impl<M> MsgNet<M> {
     }
 
     /// Pop the next delivery, advancing the clock to its timestamp.
+    // Not an Iterator: popping mutates the simulated clock, and the
+    // event queue refills between calls.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(SimTime, Delivery<M>)> {
         self.queue.pop()
     }
@@ -181,7 +184,11 @@ mod tests {
     #[test]
     fn delivers_in_order_over_one_link() {
         let mut n = net();
-        n.add_link(NodeId(1), NodeId(2), LinkParams::with_delay(SimDuration::from_millis(10)));
+        n.add_link(
+            NodeId(1),
+            NodeId(2),
+            LinkParams::with_delay(SimDuration::from_millis(10)),
+        );
         assert!(n.send(NodeId(1), NodeId(2), 10, "a"));
         assert!(n.send(NodeId(1), NodeId(2), 10, "b"));
         let (t1, d1) = n.next().unwrap();
@@ -229,7 +236,11 @@ mod tests {
     #[test]
     fn clock_advances_with_deliveries() {
         let mut n = net();
-        n.add_link(NodeId(1), NodeId(2), LinkParams::with_delay(SimDuration::from_millis(7)));
+        n.add_link(
+            NodeId(1),
+            NodeId(2),
+            LinkParams::with_delay(SimDuration::from_millis(7)),
+        );
         n.send(NodeId(1), NodeId(2), 1, "x");
         assert_eq!(n.now(), SimTime::ZERO);
         n.next();

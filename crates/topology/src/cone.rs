@@ -129,9 +129,15 @@ mod tests {
     #[test]
     fn cone_prefix_counting() {
         let (mut g, ids) = chain();
-        g.info_mut(ids[1]).prefixes.push(Prefix::v4(10, 0, 0, 0, 16));
-        g.info_mut(ids[2]).prefixes.push(Prefix::v4(10, 1, 0, 0, 16));
-        g.info_mut(ids[2]).prefixes.push(Prefix::v4(10, 2, 0, 0, 16));
+        g.info_mut(ids[1])
+            .prefixes
+            .push(Prefix::v4(10, 0, 0, 0, 16));
+        g.info_mut(ids[2])
+            .prefixes
+            .push(Prefix::v4(10, 1, 0, 0, 16));
+        g.info_mut(ids[2])
+            .prefixes
+            .push(Prefix::v4(10, 2, 0, 0, 16));
         let cones = customer_cones(&g);
         assert_eq!(cone_prefix_count(&g, &cones[ids[0].i()]), 3);
         assert_eq!(cone_prefix_count(&g, &cones[ids[1].i()]), 3);

@@ -257,7 +257,10 @@ impl InternetConfig {
 
     /// Total AS count.
     pub fn total_ases(&self) -> usize {
-        self.n_tier1 + self.n_transit + self.n_access + self.n_content
+        self.n_tier1
+            + self.n_transit
+            + self.n_access
+            + self.n_content
             + self.n_enterprise
             + self.n_stub
     }
@@ -316,7 +319,11 @@ impl Internet {
         let mut tier1s = Vec::new();
         for _ in 0..cfg.n_tier1 {
             let mut info = AsInfo::new(fresh_asn(&mut rng), AsKind::Tier1);
-            info.country = if rng.chance(0.6) { *b"US" } else { sample_country(&mut rng) };
+            info.country = if rng.chance(0.6) {
+                *b"US"
+            } else {
+                sample_country(&mut rng)
+            };
             info.policy = PeeringPolicy::Closed; // tier-1s famously don't open-peer
             tier1s.push(g.add_as(info));
         }
@@ -337,7 +344,11 @@ impl Internet {
         let mut contents = Vec::new();
         for i in 0..cfg.n_content {
             let mut info = AsInfo::new(fresh_asn(&mut rng), AsKind::Content);
-            info.country = if rng.chance(0.5) { *b"US" } else { sample_country(&mut rng) };
+            info.country = if rng.chance(0.5) {
+                *b"US"
+            } else {
+                sample_country(&mut rng)
+            };
             // Content providers overwhelmingly peer openly (§3).
             info.policy = if rng.chance(0.85) {
                 PeeringPolicy::Open
@@ -345,8 +356,8 @@ impl Internet {
                 PeeringPolicy::CaseByCase
             };
             info.uses_route_server = rng.chance(0.85);
-            if i < NOTABLE_NAMES.len() {
-                info.name = Some(NOTABLE_NAMES[i].to_string());
+            if let Some(name) = NOTABLE_NAMES.get(i) {
+                info.name = Some(name.to_string());
             }
             contents.push(g.add_as(info));
         }
@@ -408,20 +419,17 @@ impl Internet {
             }
         }
         // A regional-preference provider picker.
-        let pick_provider = |g: &AsGraph,
-                             rng: &mut SimRng,
-                             country: &[u8; 2],
-                             pool: &[AsIdx]|
-         -> AsIdx {
-            // Try a few times for a same-region provider, else any.
-            for _ in 0..4 {
-                let cand = pool[rng.index(pool.len())];
-                if region_of(&g.info(cand).country) == region_of(country) {
-                    return cand;
+        let pick_provider =
+            |g: &AsGraph, rng: &mut SimRng, country: &[u8; 2], pool: &[AsIdx]| -> AsIdx {
+                // Try a few times for a same-region provider, else any.
+                for _ in 0..4 {
+                    let cand = pool[rng.index(pool.len())];
+                    if region_of(&g.info(cand).country) == region_of(country) {
+                        return cand;
+                    }
                 }
-            }
-            pool[rng.index(pool.len())]
-        };
+                pool[rng.index(pool.len())]
+            };
         for &a in &accesses {
             let country = g.info(a).country;
             let n_prov = 1 + rng.below(3) as usize; // 1-3 providers
@@ -451,7 +459,11 @@ impl Internet {
         for &e in &enterprises {
             let country = g.info(e).country;
             for _ in 0..2 {
-                let pool: &[AsIdx] = if rng.chance(0.7) { &transits } else { &accesses };
+                let pool: &[AsIdx] = if rng.chance(0.7) {
+                    &transits
+                } else {
+                    &accesses
+                };
                 let p = pick_provider(&g, &mut rng, &country, pool);
                 g.add_edge(e, p, Relationship::CustomerToProvider);
             }
@@ -461,7 +473,11 @@ impl Internet {
             // Stubs overwhelmingly buy from access/regional networks, not
             // directly from big transit — this keeps transit customer
             // cones realistic (they matter for §4.1 reachability).
-            let pool: &[AsIdx] = if rng.chance(0.85) { &accesses } else { &transits };
+            let pool: &[AsIdx] = if rng.chance(0.85) {
+                &accesses
+            } else {
+                &transits
+            };
             let p = pick_provider(&g, &mut rng, &country, pool);
             g.add_edge(s, p, Relationship::CustomerToProvider);
         }
@@ -489,17 +505,16 @@ impl Internet {
         let mut block = 0u32; // sequential /24 blocks from 16.0.0.0 up
         let base = u32::from(Ipv4Addr::new(16, 0, 0, 0));
         let n_nodes = g.len();
-        for i in 0..n_nodes {
-            let share = ((weights[i] / wsum) * cfg.total_prefixes as f64).round() as usize;
+        for (i, weight) in weights.iter().enumerate().take(n_nodes) {
+            let share = ((weight / wsum) * cfg.total_prefixes as f64).round() as usize;
             let count = share.max(1);
             let info = g.info_mut(AsIdx(i as u32));
             for _ in 0..count {
                 let addr = base + block * 256;
-                info.prefixes
-                    .push(Prefix::V4(peering_netsim::Ipv4Net::new(
-                        Ipv4Addr::from(addr),
-                        24,
-                    )));
+                info.prefixes.push(Prefix::V4(peering_netsim::Ipv4Net::new(
+                    Ipv4Addr::from(addr),
+                    24,
+                )));
                 block += 1;
             }
         }
@@ -551,8 +566,7 @@ impl Internet {
         // first IXP's exact census would silently corrupt.
         let mut claimed: HashSet<AsIdx> = HashSet::new();
         for spec in &cfg.ixps {
-            let members =
-                Self::populate_ixp(&mut g, spec, &mut mrng, &mut claimed, &cone_sizes);
+            let members = Self::populate_ixp(&mut g, spec, &mut mrng, &mut claimed, &cone_sizes);
             ixp_members.push(members);
         }
 
@@ -640,7 +654,11 @@ impl Internet {
                 (u.powf(1.0 / w), idx)
             })
             .collect();
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite keys").then(a.1.cmp(&b.1)));
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("finite keys")
+                .then(a.1.cmp(&b.1))
+        });
         let members: Vec<AsIdx> = scored
             .into_iter()
             .take(spec.target_members)
@@ -658,20 +676,18 @@ impl Internet {
             }
         }
         let mut cursor = 0usize;
-        let mut assign = |count: usize,
-                          policy: PeeringPolicy,
-                          g: &mut AsGraph,
-                          claimed: &mut HashSet<AsIdx>| {
-            for _ in 0..count {
-                if cursor < non_rs.len() {
-                    if claimed.insert(non_rs[cursor]) {
-                        g.info_mut(non_rs[cursor]).uses_route_server = false;
-                        g.info_mut(non_rs[cursor]).policy = policy;
+        let mut assign =
+            |count: usize, policy: PeeringPolicy, g: &mut AsGraph, claimed: &mut HashSet<AsIdx>| {
+                for _ in 0..count {
+                    if cursor < non_rs.len() {
+                        if claimed.insert(non_rs[cursor]) {
+                            g.info_mut(non_rs[cursor]).uses_route_server = false;
+                            g.info_mut(non_rs[cursor]).policy = policy;
+                        }
+                        cursor += 1;
                     }
-                    cursor += 1;
                 }
-            }
-        };
+            };
         assign(spec.open, PeeringPolicy::Open, g, claimed);
         assign(spec.closed, PeeringPolicy::Closed, g, claimed);
         assign(spec.case_by_case, PeeringPolicy::CaseByCase, g, claimed);

@@ -292,20 +292,22 @@ pub fn propagate(g: &AsGraph, anns: &[Announcement]) -> PropagationResult {
     // Phase 1: origin + customer routes climbing provider edges.
     let mut up: Vec<Option<RibEntry>> = vec![None; n];
     let mut heap = BinaryHeap::new();
-    let adopt =
-        |slot: &mut Vec<Option<RibEntry>>, heap: &mut BinaryHeap<QueueItem>, u: AsIdx, cand: RibEntry| {
-            if slot[u.i()]
-                .as_ref()
-                .map(|cur| better(g, &cand, cur))
-                .unwrap_or(true)
-            {
-                heap.push(QueueItem {
-                    len: cand.len,
-                    node: u,
-                });
-                slot[u.i()] = Some(cand);
-            }
-        };
+    let adopt = |slot: &mut Vec<Option<RibEntry>>,
+                 heap: &mut BinaryHeap<QueueItem>,
+                 u: AsIdx,
+                 cand: RibEntry| {
+        if slot[u.i()]
+            .as_ref()
+            .map(|cur| better(g, &cand, cur))
+            .unwrap_or(true)
+        {
+            heap.push(QueueItem {
+                len: cand.len,
+                node: u,
+            });
+            slot[u.i()] = Some(cand);
+        }
+    };
     for (ai, ann) in anns.iter().enumerate() {
         let seed = seed_entry(ai, ann);
         // The origin records its own (best) route for reporting.
@@ -408,20 +410,22 @@ pub fn propagate(g: &AsGraph, anns: &[Announcement]) -> PropagationResult {
     // Phase 3: descend customer edges (provider routes).
     let mut routes = with_peer;
     let mut heap = BinaryHeap::new();
-    let adopt_down =
-        |routes: &mut Vec<Option<RibEntry>>, heap: &mut BinaryHeap<QueueItem>, c: AsIdx, cand: RibEntry| {
-            if routes[c.i()]
-                .as_ref()
-                .map(|cur| better(g, &cand, cur))
-                .unwrap_or(true)
-            {
-                heap.push(QueueItem {
-                    len: cand.len,
-                    node: c,
-                });
-                routes[c.i()] = Some(cand);
-            }
-        };
+    let adopt_down = |routes: &mut Vec<Option<RibEntry>>,
+                      heap: &mut BinaryHeap<QueueItem>,
+                      c: AsIdx,
+                      cand: RibEntry| {
+        if routes[c.i()]
+            .as_ref()
+            .map(|cur| better(g, &cand, cur))
+            .unwrap_or(true)
+        {
+            heap.push(QueueItem {
+                len: cand.len,
+                node: c,
+            });
+            routes[c.i()] = Some(cand);
+        }
+    };
     for (ai, ann) in anns.iter().enumerate() {
         let seed = seed_entry(ai, ann);
         for &c in g.customers(ann.origin) {
@@ -635,8 +639,16 @@ mod tests {
         let victim = Announcement::simple(w.s2, pfx());
         let attacker = Announcement::simple(w.s3, pfx());
         let r = propagate(&w.g, &[victim, attacker]);
-        assert_eq!(r.route(w.tr3).unwrap().ann, 1, "tr3 prefers its customer s3");
-        assert_eq!(r.route(w.tr2).unwrap().ann, 0, "tr2 prefers its customer s2");
+        assert_eq!(
+            r.route(w.tr3).unwrap().ann,
+            1,
+            "tr3 prefers its customer s3"
+        );
+        assert_eq!(
+            r.route(w.tr2).unwrap().ann,
+            0,
+            "tr2 prefers its customer s2"
+        );
         let total = r.won_by(0) + r.won_by(1);
         assert_eq!(total, r.reach_count());
         assert!(r.won_by(1) >= 2, "attacker captures at least tr3+s3");

@@ -71,30 +71,102 @@ impl PopTopology {
 /// The 24-PoP Hurricane Electric global backbone (2014-era city set).
 pub fn hurricane_electric() -> PopTopology {
     let pops = vec![
-        Pop { city: "Fremont", country: "US" },        // 0
-        Pop { city: "San Jose", country: "US" },       // 1
-        Pop { city: "Palo Alto", country: "US" },      // 2
-        Pop { city: "Los Angeles", country: "US" },    // 3
-        Pop { city: "Seattle", country: "US" },        // 4
-        Pop { city: "Portland", country: "US" },       // 5
-        Pop { city: "Las Vegas", country: "US" },      // 6
-        Pop { city: "Phoenix", country: "US" },        // 7
-        Pop { city: "Denver", country: "US" },         // 8
-        Pop { city: "Dallas", country: "US" },         // 9
-        Pop { city: "Kansas City", country: "US" },    // 10
-        Pop { city: "Chicago", country: "US" },        // 11
-        Pop { city: "Toronto", country: "CA" },        // 12
-        Pop { city: "New York", country: "US" },       // 13
-        Pop { city: "Ashburn", country: "US" },        // 14
-        Pop { city: "Atlanta", country: "US" },        // 15
-        Pop { city: "Miami", country: "US" },          // 16
-        Pop { city: "London", country: "GB" },         // 17
-        Pop { city: "Amsterdam", country: "NL" },      // 18
-        Pop { city: "Frankfurt", country: "DE" },      // 19
-        Pop { city: "Paris", country: "FR" },          // 20
-        Pop { city: "Zurich", country: "CH" },         // 21
-        Pop { city: "Stockholm", country: "SE" },      // 22
-        Pop { city: "Hong Kong", country: "HK" },      // 23
+        Pop {
+            city: "Fremont",
+            country: "US",
+        }, // 0
+        Pop {
+            city: "San Jose",
+            country: "US",
+        }, // 1
+        Pop {
+            city: "Palo Alto",
+            country: "US",
+        }, // 2
+        Pop {
+            city: "Los Angeles",
+            country: "US",
+        }, // 3
+        Pop {
+            city: "Seattle",
+            country: "US",
+        }, // 4
+        Pop {
+            city: "Portland",
+            country: "US",
+        }, // 5
+        Pop {
+            city: "Las Vegas",
+            country: "US",
+        }, // 6
+        Pop {
+            city: "Phoenix",
+            country: "US",
+        }, // 7
+        Pop {
+            city: "Denver",
+            country: "US",
+        }, // 8
+        Pop {
+            city: "Dallas",
+            country: "US",
+        }, // 9
+        Pop {
+            city: "Kansas City",
+            country: "US",
+        }, // 10
+        Pop {
+            city: "Chicago",
+            country: "US",
+        }, // 11
+        Pop {
+            city: "Toronto",
+            country: "CA",
+        }, // 12
+        Pop {
+            city: "New York",
+            country: "US",
+        }, // 13
+        Pop {
+            city: "Ashburn",
+            country: "US",
+        }, // 14
+        Pop {
+            city: "Atlanta",
+            country: "US",
+        }, // 15
+        Pop {
+            city: "Miami",
+            country: "US",
+        }, // 16
+        Pop {
+            city: "London",
+            country: "GB",
+        }, // 17
+        Pop {
+            city: "Amsterdam",
+            country: "NL",
+        }, // 18
+        Pop {
+            city: "Frankfurt",
+            country: "DE",
+        }, // 19
+        Pop {
+            city: "Paris",
+            country: "FR",
+        }, // 20
+        Pop {
+            city: "Zurich",
+            country: "CH",
+        }, // 21
+        Pop {
+            city: "Stockholm",
+            country: "SE",
+        }, // 22
+        Pop {
+            city: "Hong Kong",
+            country: "HK",
+        }, // 23
     ];
     // Costs roughly proportional to great-circle distance (hundreds km).
     let links = vec![
@@ -149,8 +221,8 @@ pub fn hurricane_electric() -> PopTopology {
 /// A small N-PoP ring with unit costs, for tests and examples.
 pub fn small_ring(n: usize) -> PopTopology {
     const CITIES: &[&str] = &[
-        "PoP-0", "PoP-1", "PoP-2", "PoP-3", "PoP-4", "PoP-5", "PoP-6", "PoP-7", "PoP-8",
-        "PoP-9", "PoP-10", "PoP-11", "PoP-12", "PoP-13", "PoP-14", "PoP-15",
+        "PoP-0", "PoP-1", "PoP-2", "PoP-3", "PoP-4", "PoP-5", "PoP-6", "PoP-7", "PoP-8", "PoP-9",
+        "PoP-10", "PoP-11", "PoP-12", "PoP-13", "PoP-14", "PoP-15",
     ];
     let n = n.min(CITIES.len());
     let pops = (0..n)

@@ -30,7 +30,7 @@ fn step(g: &AsGraph, a: AsIdx, b: AsIdx) -> &'static str {
 fn valley_free(g: &AsGraph, path: &[AsIdx]) -> bool {
     // steps[i] = relation of path[i] to path[i+1] (whom it learned from).
     let steps: Vec<&str> = path.windows(2).map(|w| step(g, w[0], w[1])).collect();
-    if steps.iter().any(|&s| s == "none") {
+    if steps.contains(&"none") {
         return false;
     }
     // Phase machine: start allowing "down" (learned from customer) after
@@ -181,7 +181,7 @@ proptest! {
         let net = small_internet(seed);
         let origin = AsIdx(origin_pick % net.graph.len() as u32);
         let ann = Announcement::simple(origin, Prefix::v4(9, 9, 9, 0, 24));
-        let a = propagate(&net.graph, &[ann.clone()]);
+        let a = propagate(&net.graph, std::slice::from_ref(&ann));
         let b = propagate(&net.graph, &[ann]);
         for u in net.graph.indices() {
             prop_assert_eq!(a.route(u), b.route(u));

@@ -1,0 +1,490 @@
+//! The abstract domain: sets of prefixes as unions of boxes in
+//! `(address, length)` space.
+//!
+//! A prefix `a.b.c.d/len` is a point `(addr, len)` where `addr` is the
+//! network address as an integer. Every prefix-structural [`Match`]
+//! (`PrefixIn`, `PrefixExact`, `LongerThan`) denotes an axis-aligned box
+//! in this space:
+//!
+//! - `PrefixIn([p])`  → `[p.network, p.broadcast] × [p.len, MAX_LEN]`
+//!   (everything covered by `p`),
+//! - `PrefixExact([p])` → the single point `[p.network, p.network] ×
+//!   [p.len, p.len]`,
+//! - `LongerThan(l)`  → `[0, MAX_ADDR] × [l+1, MAX_LEN]`.
+//!
+//! A [`PrefixSet`] is a finite union of such boxes, kept separately per
+//! address family. Boxes are closed under intersection, and the
+//! complement of a box within the full space is at most four boxes, so
+//! the family of finite unions is an (exact) Boolean algebra: `union`,
+//! `intersect`, `subtract`, `complement`, and the derived `is_subset_of`
+//! and `is_empty` are all precise for prefix-structural matches.
+//!
+//! The one over-approximation baked into the domain itself: boxes range
+//! over *all* `(addr, len)` pairs, including pairs whose address has
+//! host bits set below `len`. No real prefix has such a point, so a set
+//! may be reported non-empty when every point in it is unaligned. This
+//! errs in the safe direction everywhere the analyzer uses emptiness
+//! (a may-region that looks bigger can only make the analyzer *more*
+//! conservative). [`PrefixSet::example`] only ever returns aligned,
+//! real prefixes.
+//!
+//! [`Match`]: peering_bgp::Match
+
+use peering_netsim::{Ipv4Net, Ipv6Net, Prefix};
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Maximum IPv4 address as the common `u128` coordinate.
+const V4_MAX_ADDR: u128 = u32::MAX as u128;
+/// Maximum IPv6 address.
+const V6_MAX_ADDR: u128 = u128::MAX;
+/// Maximum IPv4 prefix length.
+const V4_MAX_LEN: u8 = 32;
+/// Maximum IPv6 prefix length.
+const V6_MAX_LEN: u8 = 128;
+
+/// An axis-aligned box in `(address, length)` space: the set of points
+/// `(a, l)` with `lo <= a <= hi` and `min_len <= l <= max_len`. Both
+/// ranges are inclusive; an "empty box" is never constructed (emptiness
+/// is represented by absence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PBox {
+    /// Lowest address (inclusive).
+    pub lo: u128,
+    /// Highest address (inclusive).
+    pub hi: u128,
+    /// Shortest prefix length (inclusive).
+    pub min_len: u8,
+    /// Longest prefix length (inclusive).
+    pub max_len: u8,
+}
+
+impl PBox {
+    fn new(lo: u128, hi: u128, min_len: u8, max_len: u8) -> Option<PBox> {
+        if lo > hi || min_len > max_len {
+            None
+        } else {
+            Some(PBox {
+                lo,
+                hi,
+                min_len,
+                max_len,
+            })
+        }
+    }
+
+    fn contains_point(&self, addr: u128, len: u8) -> bool {
+        self.lo <= addr && addr <= self.hi && self.min_len <= len && len <= self.max_len
+    }
+
+    fn contains_box(&self, other: &PBox) -> bool {
+        self.lo <= other.lo
+            && other.hi <= self.hi
+            && self.min_len <= other.min_len
+            && other.max_len <= self.max_len
+    }
+
+    fn intersect(&self, other: &PBox) -> Option<PBox> {
+        PBox::new(
+            self.lo.max(other.lo),
+            self.hi.min(other.hi),
+            self.min_len.max(other.min_len),
+            self.max_len.min(other.max_len),
+        )
+    }
+
+    /// `self \ other` as at most four boxes (2-D interval subtraction).
+    fn subtract(&self, other: &PBox) -> Vec<PBox> {
+        let Some(mid) = self.intersect(other) else {
+            return vec![*self];
+        };
+        let mut out = Vec::with_capacity(4);
+        // Address strips left and right of the intersection keep the full
+        // length range of `self`.
+        if self.lo < mid.lo {
+            out.extend(PBox::new(self.lo, mid.lo - 1, self.min_len, self.max_len));
+        }
+        if mid.hi < self.hi {
+            out.extend(PBox::new(mid.hi + 1, self.hi, self.min_len, self.max_len));
+        }
+        // Within the intersection's address range, the length strips
+        // above and below.
+        if self.min_len < mid.min_len {
+            out.extend(PBox::new(mid.lo, mid.hi, self.min_len, mid.min_len - 1));
+        }
+        if mid.max_len < self.max_len {
+            out.extend(PBox::new(mid.lo, mid.hi, mid.max_len + 1, self.max_len));
+        }
+        out
+    }
+}
+
+/// Drop boxes subsumed by another box in the same list and exact
+/// duplicates; keeps union representations from growing without bound.
+fn normalize(boxes: &mut Vec<PBox>) {
+    let mut i = 0;
+    while i < boxes.len() {
+        let mut subsumed = false;
+        for j in 0..boxes.len() {
+            if i != j && boxes[j].contains_box(&boxes[i]) && !(j > i && boxes[j] == boxes[i]) {
+                subsumed = true;
+                break;
+            }
+        }
+        if subsumed {
+            boxes.swap_remove(i);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn v4_coord(net: &Ipv4Net) -> (u128, u8) {
+    (net.network_u32() as u128, net.len())
+}
+
+fn v6_coord(net: &Ipv6Net) -> (u128, u8) {
+    (u128::from(net.network()), net.len())
+}
+
+/// The size of the address block a prefix of `len` spans, in the family
+/// with `max_len` total bits. `None` for `len == 0` (the whole space —
+/// too big to represent as a count for IPv6).
+fn block_size(len: u8, max_len: u8) -> Option<u128> {
+    if len == 0 {
+        None
+    } else {
+        Some(1u128 << (max_len - len).min(127))
+    }
+}
+
+/// A finite union of boxes per address family: the analyzer's lattice
+/// element. Exact (not widened) for prefix-structural matches.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PrefixSet {
+    /// IPv4 boxes (addresses in `[0, 2^32)`, lengths in `[0, 32]`).
+    pub v4: Vec<PBox>,
+    /// IPv6 boxes (addresses in `[0, 2^128)`, lengths in `[0, 128]`).
+    pub v6: Vec<PBox>,
+}
+
+impl PrefixSet {
+    /// The empty set (bottom).
+    pub fn empty() -> Self {
+        PrefixSet::default()
+    }
+
+    /// Every prefix of both families (top).
+    pub fn full() -> Self {
+        PrefixSet {
+            v4: vec![PBox {
+                lo: 0,
+                hi: V4_MAX_ADDR,
+                min_len: 0,
+                max_len: V4_MAX_LEN,
+            }],
+            v6: vec![PBox {
+                lo: 0,
+                hi: V6_MAX_ADDR,
+                min_len: 0,
+                max_len: V6_MAX_LEN,
+            }],
+        }
+    }
+
+    /// All prefixes covered by `p` (`p` itself and every more-specific):
+    /// the denotation of `Match::PrefixIn([p])`.
+    pub fn covered_by(p: &Prefix) -> Self {
+        let mut s = PrefixSet::empty();
+        match p {
+            Prefix::V4(net) => {
+                let (addr, len) = v4_coord(net);
+                let hi = match block_size(len, V4_MAX_LEN) {
+                    Some(b) => addr + (b - 1),
+                    None => V4_MAX_ADDR,
+                };
+                s.v4.extend(PBox::new(addr, hi, len, V4_MAX_LEN));
+            }
+            Prefix::V6(net) => {
+                let (addr, len) = v6_coord(net);
+                let hi = match block_size(len, V6_MAX_LEN) {
+                    Some(b) => addr + (b - 1),
+                    None => V6_MAX_ADDR,
+                };
+                s.v6.extend(PBox::new(addr, hi, len, V6_MAX_LEN));
+            }
+        }
+        s
+    }
+
+    /// Exactly `p` and nothing else: the denotation of
+    /// `Match::PrefixExact([p])`.
+    pub fn exactly(p: &Prefix) -> Self {
+        let mut s = PrefixSet::empty();
+        match p {
+            Prefix::V4(net) => {
+                let (addr, len) = v4_coord(net);
+                s.v4.extend(PBox::new(addr, addr, len, len));
+            }
+            Prefix::V6(net) => {
+                let (addr, len) = v6_coord(net);
+                s.v6.extend(PBox::new(addr, addr, len, len));
+            }
+        }
+        s
+    }
+
+    /// Every prefix strictly longer than `len`, in both families: the
+    /// denotation of `Match::LongerThan(len)`.
+    pub fn longer_than(len: u8) -> Self {
+        let mut s = PrefixSet::empty();
+        if len < V4_MAX_LEN {
+            s.v4.extend(PBox::new(0, V4_MAX_ADDR, len + 1, V4_MAX_LEN));
+        }
+        if len < V6_MAX_LEN {
+            s.v6.extend(PBox::new(0, V6_MAX_ADDR, len + 1, V6_MAX_LEN));
+        }
+        s
+    }
+
+    /// True when the set holds no points at all.
+    pub fn is_empty(&self) -> bool {
+        self.v4.is_empty() && self.v6.is_empty()
+    }
+
+    /// Set union (lattice join).
+    pub fn union(&self, other: &PrefixSet) -> PrefixSet {
+        let mut out = self.clone();
+        out.v4.extend(other.v4.iter().copied());
+        out.v6.extend(other.v6.iter().copied());
+        normalize(&mut out.v4);
+        normalize(&mut out.v6);
+        out
+    }
+
+    /// Set intersection (lattice meet).
+    pub fn intersect(&self, other: &PrefixSet) -> PrefixSet {
+        let meet = |a: &[PBox], b: &[PBox]| -> Vec<PBox> {
+            let mut out = Vec::new();
+            for x in a {
+                for y in b {
+                    out.extend(x.intersect(y));
+                }
+            }
+            normalize(&mut out);
+            out
+        };
+        PrefixSet {
+            v4: meet(&self.v4, &other.v4),
+            v6: meet(&self.v6, &other.v6),
+        }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn subtract(&self, other: &PrefixSet) -> PrefixSet {
+        let diff = |a: &[PBox], b: &[PBox]| -> Vec<PBox> {
+            let mut rem: Vec<PBox> = a.to_vec();
+            for y in b {
+                rem = rem.iter().flat_map(|x| x.subtract(y)).collect();
+            }
+            normalize(&mut rem);
+            rem
+        };
+        PrefixSet {
+            v4: diff(&self.v4, &other.v4),
+            v6: diff(&self.v6, &other.v6),
+        }
+    }
+
+    /// Complement within the full space of both families.
+    pub fn complement(&self) -> PrefixSet {
+        PrefixSet::full().subtract(self)
+    }
+
+    /// `self ⊆ other`, exactly.
+    pub fn is_subset_of(&self, other: &PrefixSet) -> bool {
+        self.subtract(other).is_empty()
+    }
+
+    /// Point membership for a concrete prefix.
+    pub fn contains(&self, p: &Prefix) -> bool {
+        match p {
+            Prefix::V4(net) => {
+                let (addr, len) = v4_coord(net);
+                self.v4.iter().any(|b| b.contains_point(addr, len))
+            }
+            Prefix::V6(net) => {
+                let (addr, len) = v6_coord(net);
+                self.v6.iter().any(|b| b.contains_point(addr, len))
+            }
+        }
+    }
+
+    /// A concrete, properly aligned prefix inside the set, if one
+    /// exists — used as the witness in findings ("… can emit
+    /// 8.8.8.0/24"). Prefers IPv4 and the longest (most specific)
+    /// feasible length per box, which always aligns within a non-empty
+    /// address range wider than one block.
+    pub fn example(&self) -> Option<Prefix> {
+        for b in &self.v4 {
+            if let Some(p) = example_in_box(b, V4_MAX_LEN) {
+                return Some(Prefix::V4(Ipv4Net::new(Ipv4Addr::from(p.0 as u32), p.1)));
+            }
+        }
+        for b in &self.v6 {
+            if let Some(p) = example_in_box(b, V6_MAX_LEN) {
+                return Some(Prefix::V6(Ipv6Net::new(Ipv6Addr::from(p.0), p.1)));
+            }
+        }
+        None
+    }
+}
+
+/// Find an aligned `(addr, len)` point inside the box, trying lengths
+/// from most to least specific (finer lengths have smaller blocks and
+/// align more easily).
+fn example_in_box(b: &PBox, family_max: u8) -> Option<(u128, u8)> {
+    for len in (b.min_len..=b.max_len).rev() {
+        let Some(block) = block_size(len, family_max) else {
+            // len == 0: the only aligned address is 0.
+            if b.lo == 0 {
+                return Some((0, 0));
+            }
+            continue;
+        };
+        // Round lo up to the next block boundary.
+        let rem = b.lo % block;
+        let addr = if rem == 0 { b.lo } else { b.lo + (block - rem) };
+        if addr <= b.hi {
+            return Some((addr, len));
+        }
+    }
+    None
+}
+
+impl fmt::Display for PrefixSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "∅");
+        }
+        match self.example() {
+            Some(p) => write!(
+                f,
+                "{{{} v4 + {} v6 boxes, e.g. {}}}",
+                self.v4.len(),
+                self.v6.len(),
+                p
+            ),
+            None => write!(
+                f,
+                "{{{} v4 + {} v6 boxes, unaligned}}",
+                self.v4.len(),
+                self.v6.len()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v4(a: u8, b: u8, c: u8, d: u8, len: u8) -> Prefix {
+        Prefix::v4(a, b, c, d, len)
+    }
+
+    #[test]
+    fn covered_by_matches_concrete_covers() {
+        let pool = v4(184, 164, 224, 0, 19);
+        let set = PrefixSet::covered_by(&pool);
+        assert!(set.contains(&v4(184, 164, 224, 0, 19)));
+        assert!(set.contains(&v4(184, 164, 225, 0, 24)));
+        assert!(set.contains(&v4(184, 164, 255, 255, 32)));
+        assert!(!set.contains(&v4(184, 164, 224, 0, 18))); // supernet
+        assert!(!set.contains(&v4(8, 8, 8, 0, 24)));
+        assert!(!set.contains(&"2804:269c::/48".parse::<Prefix>().unwrap()));
+    }
+
+    #[test]
+    fn exactly_is_a_point() {
+        let p = v4(10, 0, 0, 0, 24);
+        let set = PrefixSet::exactly(&p);
+        assert!(set.contains(&p));
+        assert!(!set.contains(&v4(10, 0, 0, 0, 25)));
+        assert!(!set.contains(&v4(10, 0, 1, 0, 24)));
+    }
+
+    #[test]
+    fn longer_than_spans_both_families() {
+        let set = PrefixSet::longer_than(24);
+        assert!(set.contains(&v4(1, 2, 3, 0, 25)));
+        assert!(!set.contains(&v4(1, 2, 3, 0, 24)));
+        assert!(set.contains(&"2804:269c::/64".parse::<Prefix>().unwrap()));
+        // LongerThan(32) leaves no v4 lengths but still admits long v6.
+        let v6only = PrefixSet::longer_than(32);
+        assert!(v6only.v4.is_empty());
+        assert!(v6only.contains(&"::/33".parse::<Prefix>().unwrap()));
+    }
+
+    #[test]
+    fn boolean_algebra_laws_on_samples() {
+        let a = PrefixSet::covered_by(&v4(184, 164, 224, 0, 19));
+        let b = PrefixSet::longer_than(24);
+        // A \ A = ∅ and A ⊆ A.
+        assert!(a.subtract(&a).is_empty());
+        assert!(a.is_subset_of(&a));
+        // A ∩ B ⊆ A and ⊆ B.
+        let meet = a.intersect(&b);
+        assert!(meet.is_subset_of(&a));
+        assert!(meet.is_subset_of(&b));
+        // (A \ B) ∪ (A ∩ B) = A (checked via mutual inclusion).
+        let rebuilt = a.subtract(&b).union(&meet);
+        assert!(rebuilt.is_subset_of(&a));
+        assert!(a.is_subset_of(&rebuilt));
+        // De Morgan spot check: ¬(A ∪ B) = ¬A ∩ ¬B.
+        let lhs = a.union(&b).complement();
+        let rhs = a.complement().intersect(&b.complement());
+        assert!(lhs.is_subset_of(&rhs));
+        assert!(rhs.is_subset_of(&lhs));
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let pool = PrefixSet::covered_by(&v4(184, 164, 224, 0, 19));
+        let outside = pool.complement();
+        assert!(outside.contains(&v4(8, 8, 8, 0, 24)));
+        assert!(!outside.contains(&v4(184, 164, 230, 0, 24)));
+        // The /19 itself is in the pool region, not its complement.
+        assert!(!outside.contains(&v4(184, 164, 224, 0, 19)));
+        // But its supernet is outside.
+        assert!(outside.contains(&v4(184, 164, 192, 0, 18)));
+        // Union with the complement is everything.
+        assert!(PrefixSet::full().is_subset_of(&pool.union(&outside)));
+    }
+
+    #[test]
+    fn example_is_aligned_and_inside() {
+        let pool = PrefixSet::covered_by(&v4(184, 164, 224, 0, 19));
+        let inside_not_longer = pool.subtract(&PrefixSet::longer_than(24));
+        let ex = inside_not_longer.example().expect("non-empty");
+        assert!(inside_not_longer.contains(&ex));
+        assert!(ex.len() <= 24);
+        // Empty set has no example.
+        assert!(PrefixSet::empty().example().is_none());
+        // A v6-only set yields a v6 example.
+        let v6 = PrefixSet::covered_by(&"2804:269c::/32".parse::<Prefix>().unwrap());
+        assert!(matches!(v6.example(), Some(Prefix::V6(_))));
+    }
+
+    #[test]
+    fn subtraction_splits_boxes_exactly() {
+        let all = PrefixSet::full();
+        let hole = PrefixSet::covered_by(&v4(10, 0, 0, 0, 8));
+        let rest = all.subtract(&hole);
+        assert!(!rest.contains(&v4(10, 1, 0, 0, 16)));
+        assert!(rest.contains(&v4(11, 0, 0, 0, 8)));
+        assert!(rest.contains(&v4(10, 0, 0, 0, 7))); // supernet survives
+                                                     // Adding the hole back restores the full space.
+        assert!(PrefixSet::full().is_subset_of(&rest.union(&hole)));
+    }
+}

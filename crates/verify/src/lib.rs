@@ -1,0 +1,62 @@
+//! `peering-verify`: static safety verification of experiment configs
+//! and mux policy chains — the analyzer behind `peering-lint`.
+//!
+//! The PEERING paper's safety story is dynamic: servers apply outbound
+//! filters so a misbehaving experiment is caught at announcement time.
+//! This crate adds the static half: given an [`Experiment`] and the
+//! testbed's [`SafetyConfig`], it *proves* — by abstract interpretation
+//! over the policy engine's [`Match`]/[`Action`] language, without
+//! executing anything — that the composed client-import policy and
+//! outbound safety filter can never emit a hijack, route leak, or
+//! another experiment's prefix. When the proof fails, it produces a
+//! concrete witness prefix instead.
+//!
+//! # How it works
+//!
+//! Prefix predicates are interpreted in an exact interval lattice over
+//! `(address, length)` space ([`domain`]): each prefix-structural match
+//! is a union of axis-aligned boxes, closed under union, intersection
+//! and complement. Attribute predicates (AS-path containment, origin,
+//! hop counts) are three-valued under an [`AbstractPath`] context, and
+//! every match is abstracted to a *may*/*must* pair of regions — sound
+//! over- and under-approximations that `Not` swaps, `All` intersects
+//! and `AnyOf` unions ([`policy`]). Walking a rule chain with this
+//! machinery yields the region the policy can accept, plus dead rules,
+//! shadowed rules and unreachable action arms.
+//!
+//! # Known over-approximations
+//!
+//! - Boxes include `(address, length)` points with host bits set below
+//!   the length; no real prefix has them, and they only ever make the
+//!   analyzer more conservative.
+//! - Communities and the ORIGIN attribute are not tracked: predicates
+//!   over them are always `Unknown`.
+//! - A fall-through rule that mutates the AS path degrades the path
+//!   context to "unknown" for all later rules.
+//!
+//! Each can turn a provable property into a warning, never a wrong
+//! "safe" verdict.
+//!
+//! # Entry points
+//!
+//! - [`verify_experiment`] / [`verify_experiments`] — full config
+//!   checks, including cross-experiment allocation conflicts.
+//! - [`verify_chain`] — just the policy-chain safety proof.
+//! - `cargo run -p peering-verify --bin peering-lint` — check every
+//!   scenario in the workloads catalog.
+//!
+//! [`Experiment`]: peering_core::Experiment
+//! [`SafetyConfig`]: peering_core::SafetyConfig
+//! [`Match`]: peering_bgp::Match
+//! [`Action`]: peering_bgp::Action
+//! [`AbstractPath`]: policy::AbstractPath
+
+pub mod domain;
+pub mod experiment;
+pub mod policy;
+pub mod report;
+
+pub use domain::{PBox, PrefixSet};
+pub use experiment::{verify_chain, verify_experiment, verify_experiments};
+pub use policy::{analyze_policy, may_space, must_space, AbstractPath, PolicyAnalysis, Ternary};
+pub use report::{Finding, FindingCode, Report, Severity};

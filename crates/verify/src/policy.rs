@@ -1,0 +1,419 @@
+//! Abstract interpretation of [`Policy`] rule chains.
+//!
+//! Prefix-structural matches (`PrefixIn`, `PrefixExact`, `LongerThan`)
+//! denote exact regions in the [`PrefixSet`] lattice. Matches over path
+//! attributes (`AsPathContains`, `OriginatedBy`, communities, …) cannot
+//! be resolved from the prefix alone, so each match is abstracted to a
+//! *pair* of regions:
+//!
+//! - **may-space** — prefixes for which the match *can* hold for some
+//!   announcement (over-approximation),
+//! - **must-space** — prefixes for which the match holds for *every*
+//!   announcement (under-approximation).
+//!
+//! An attribute predicate evaluates to a [`Ternary`] under an
+//! [`AbstractPath`] describing what is known about the announcements
+//! being analyzed: `True` widens must-space to everything, `False`
+//! narrows may-space to nothing, `Unknown` gives the sound pair
+//! (may = full, must = empty). `Not` swaps the two spaces, `All`
+//! intersects, `AnyOf` unions — the classic dual pair, and both sides
+//! stay sound under arbitrary nesting.
+//!
+//! [`analyze_policy`] walks a rule chain with this machinery and
+//! computes the region of prefixes the policy can accept, plus three
+//! classes of structural defects: dead rules, shadowed rules, and
+//! unreachable action arms.
+
+use crate::domain::PrefixSet;
+use peering_bgp::{Action, Match, Policy};
+use peering_netsim::Asn;
+
+/// Three-valued truth for attribute predicates under partial knowledge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ternary {
+    /// Holds for every announcement described by the context.
+    True,
+    /// Holds for no announcement described by the context.
+    False,
+    /// May hold for some announcements and not others.
+    Unknown,
+}
+
+/// What is statically known about the AS paths of the announcements
+/// flowing through a policy. The default ([`AbstractPath::top`]) knows
+/// nothing, which makes every attribute predicate `Unknown` — the
+/// soundest possible context.
+#[derive(Debug, Clone, Default)]
+pub struct AbstractPath {
+    /// The origin AS, when every announcement shares one.
+    pub origin: Option<Asn>,
+    /// ASNs guaranteed to appear somewhere on every path.
+    pub must_contain: Vec<Asn>,
+    /// When true, `must_contain` is exhaustive: no other ASN can appear.
+    pub closed: bool,
+    /// Lower bound on hop count, when known.
+    pub min_hops: Option<u32>,
+    /// Upper bound on hop count, when known.
+    pub max_hops: Option<u32>,
+}
+
+impl AbstractPath {
+    /// The no-knowledge context: every attribute predicate is `Unknown`.
+    pub fn top() -> Self {
+        AbstractPath::default()
+    }
+
+    /// Evaluate an attribute-leaf predicate. Only meaningful for the
+    /// non-structural `Match` leaves; structural leaves are handled by
+    /// the region computation directly.
+    pub fn eval(&self, m: &Match) -> Ternary {
+        match m {
+            Match::AsPathContains(asn) => {
+                if self.must_contain.contains(asn) {
+                    Ternary::True
+                } else if self.closed {
+                    Ternary::False
+                } else {
+                    Ternary::Unknown
+                }
+            }
+            Match::OriginatedBy(asn) => match self.origin {
+                Some(o) if o == *asn => Ternary::True,
+                Some(_) => Ternary::False,
+                None => Ternary::Unknown,
+            },
+            Match::AsPathLongerThan(n) => {
+                if self.min_hops.is_some_and(|lo| lo > *n) {
+                    Ternary::True
+                } else if self.max_hops.is_some_and(|hi| hi <= *n) {
+                    Ternary::False
+                } else {
+                    Ternary::Unknown
+                }
+            }
+            // Communities and ORIGIN are not tracked by the abstraction.
+            Match::HasCommunity(_) | Match::OriginIs(_) => Ternary::Unknown,
+            _ => Ternary::Unknown,
+        }
+    }
+}
+
+/// Over-approximation: prefixes for which `m` can match *some*
+/// announcement described by `ctx`.
+pub fn may_space(m: &Match, ctx: &AbstractPath) -> PrefixSet {
+    match m {
+        Match::Any => PrefixSet::full(),
+        Match::PrefixIn(list) => list.iter().fold(PrefixSet::empty(), |acc, p| {
+            acc.union(&PrefixSet::covered_by(p))
+        }),
+        Match::PrefixExact(list) => list.iter().fold(PrefixSet::empty(), |acc, p| {
+            acc.union(&PrefixSet::exactly(p))
+        }),
+        Match::LongerThan(len) => PrefixSet::longer_than(*len),
+        Match::Not(inner) => must_space(inner, ctx).complement(),
+        Match::All(ms) => ms.iter().fold(PrefixSet::full(), |acc, m| {
+            acc.intersect(&may_space(m, ctx))
+        }),
+        Match::AnyOf(ms) => ms
+            .iter()
+            .fold(PrefixSet::empty(), |acc, m| acc.union(&may_space(m, ctx))),
+        attr => match ctx.eval(attr) {
+            Ternary::False => PrefixSet::empty(),
+            Ternary::True | Ternary::Unknown => PrefixSet::full(),
+        },
+    }
+}
+
+/// Under-approximation: prefixes for which `m` matches *every*
+/// announcement described by `ctx`.
+pub fn must_space(m: &Match, ctx: &AbstractPath) -> PrefixSet {
+    match m {
+        // Structural leaves depend only on the prefix: may = must.
+        Match::Any | Match::PrefixIn(_) | Match::PrefixExact(_) | Match::LongerThan(_) => {
+            may_space(m, ctx)
+        }
+        Match::Not(inner) => may_space(inner, ctx).complement(),
+        Match::All(ms) => ms.iter().fold(PrefixSet::full(), |acc, m| {
+            acc.intersect(&must_space(m, ctx))
+        }),
+        Match::AnyOf(ms) => ms
+            .iter()
+            .fold(PrefixSet::empty(), |acc, m| acc.union(&must_space(m, ctx))),
+        attr => match ctx.eval(attr) {
+            Ternary::True => PrefixSet::full(),
+            Ternary::False | Ternary::Unknown => PrefixSet::empty(),
+        },
+    }
+}
+
+/// The result of abstractly interpreting one policy.
+#[derive(Debug, Clone)]
+pub struct PolicyAnalysis {
+    /// Over-approximation of the prefixes the policy can accept (via any
+    /// rule or the default verdict).
+    pub accept_may: PrefixSet,
+    /// Indices of rules whose match region is empty in isolation — they
+    /// can never fire regardless of what precedes them.
+    pub dead_rules: Vec<usize>,
+    /// `(rule, shadowing_rule)`: the rule's entire may-region is consumed
+    /// by terminal rules at or before `shadowing_rule`, so it can never
+    /// fire even though its match is satisfiable on its own.
+    pub shadowed_rules: Vec<(usize, usize)>,
+    /// `(rule, action_indices)`: actions that can never run because an
+    /// earlier action in the same rule is terminal.
+    pub unreachable_actions: Vec<(usize, Vec<usize>)>,
+}
+
+/// Abstractly interpret `policy` under `ctx`.
+///
+/// Soundness argument, briefly: `reach` over-approximates the prefixes
+/// that can arrive at each rule (only *guaranteed* matches of earlier
+/// terminal rules are subtracted). A rule is reported dead/shadowed only
+/// when its may-region — itself an over-approximation — is empty or
+/// fully consumed, so there are no false positives in those reports.
+/// `accept_may` accumulates `reach ∩ may` for accepting rules plus the
+/// final `reach` when the default accepts, so no acceptable prefix is
+/// missed. If a rule with path-mutating actions can fall through
+/// (no terminal verdict), the path context degrades to
+/// [`AbstractPath::top`] for subsequent rules, since mutations can
+/// invalidate what the context claims about attributes.
+pub fn analyze_policy(policy: &Policy, ctx: &AbstractPath) -> PolicyAnalysis {
+    let mut ctx = ctx.clone();
+    let mut reach = PrefixSet::full();
+    let mut accept_may = PrefixSet::empty();
+    let mut dead_rules = Vec::new();
+    let mut shadowed_rules = Vec::new();
+    let mut unreachable_actions = Vec::new();
+    // (rule index, must-region) per terminal rule seen so far.
+    let mut terminals: Vec<(usize, PrefixSet)> = Vec::new();
+
+    for (i, rule) in policy.rules.iter().enumerate() {
+        let may = may_space(&rule.matches, &ctx);
+        let must = must_space(&rule.matches, &ctx);
+
+        if may.is_empty() {
+            dead_rules.push(i);
+        } else if reach.intersect(&may).is_empty() {
+            // Attribute the shadow to the earliest prefix of terminal
+            // rules that already covers the whole may-region.
+            let mut rem = may.clone();
+            let mut by = i;
+            for (k, m) in &terminals {
+                rem = rem.subtract(m);
+                if rem.is_empty() {
+                    by = *k;
+                    break;
+                }
+            }
+            shadowed_rules.push((i, by));
+        }
+
+        let unreachable = rule.unreachable_actions();
+        if !unreachable.is_empty() {
+            unreachable_actions.push((i, unreachable));
+        }
+
+        match rule.verdict() {
+            Some(accepts) => {
+                if accepts {
+                    accept_may = accept_may.union(&reach.intersect(&may));
+                }
+                reach = reach.subtract(&must);
+                terminals.push((i, must));
+            }
+            None => {
+                // Fall-through rule: it consumes nothing, but if it can
+                // mutate the path, later attribute evaluations under the
+                // original context are no longer trustworthy.
+                let mutates_path = rule
+                    .actions
+                    .iter()
+                    .any(|a| matches!(a, Action::Prepend(..) | Action::StripPrivateAsns));
+                if mutates_path {
+                    ctx = AbstractPath::top();
+                }
+            }
+        }
+    }
+
+    if policy.default == peering_bgp::DefaultVerdict::Accept {
+        accept_may = accept_may.union(&reach);
+    }
+
+    PolicyAnalysis {
+        accept_may,
+        dead_rules,
+        shadowed_rules,
+        unreachable_actions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peering_bgp::{AsPath, PathAttributes};
+    use peering_netsim::Prefix;
+
+    fn pool() -> Prefix {
+        Prefix::v4(184, 164, 224, 0, 19)
+    }
+
+    /// Exhaustive-ish oracle: compare abstract may/must against concrete
+    /// evaluation over a grid of prefixes and attribute samples.
+    #[test]
+    fn may_and_must_bracket_concrete_matches() {
+        let ctx = AbstractPath::top();
+        let matches = vec![
+            Match::PrefixIn(vec![pool()]),
+            Match::Not(Box::new(Match::LongerThan(24))),
+            Match::All(vec![
+                Match::PrefixIn(vec![pool()]),
+                Match::Not(Box::new(Match::AsPathContains(Asn(666)))),
+            ]),
+            Match::AnyOf(vec![
+                Match::PrefixExact(vec![pool()]),
+                Match::OriginatedBy(Asn(47065)),
+            ]),
+            Match::Not(Box::new(Match::AnyOf(vec![
+                Match::LongerThan(24),
+                Match::AsPathContains(Asn(1)),
+            ]))),
+        ];
+        let prefixes = [
+            Prefix::v4(184, 164, 224, 0, 19),
+            Prefix::v4(184, 164, 230, 0, 24),
+            Prefix::v4(184, 164, 230, 0, 25),
+            Prefix::v4(8, 8, 8, 0, 24),
+        ];
+        let attr_samples = [
+            PathAttributes {
+                as_path: AsPath::from_asns(&[Asn(47065)]),
+                ..Default::default()
+            },
+            PathAttributes {
+                as_path: AsPath::from_asns(&[Asn(666), Asn(1)]),
+                ..Default::default()
+            },
+        ];
+        for m in &matches {
+            let may = may_space(m, &ctx);
+            let must = must_space(m, &ctx);
+            // must ⊆ may always.
+            assert!(must.is_subset_of(&may), "must ⊄ may for {m:?}");
+            for p in &prefixes {
+                for a in &attr_samples {
+                    let concrete = m.matches(p, a);
+                    if concrete {
+                        assert!(
+                            may.contains(p),
+                            "{m:?} matched {p} but may-space excludes it"
+                        );
+                    }
+                    if must.contains(p) {
+                        assert!(
+                            concrete,
+                            "{m:?} must-space has {p} but concrete eval is false"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn context_resolves_attribute_predicates() {
+        let ctx = AbstractPath {
+            origin: Some(Asn(65001)),
+            must_contain: vec![Asn(65001), Asn(3356)],
+            closed: true,
+            min_hops: Some(2),
+            max_hops: Some(4),
+        };
+        assert_eq!(ctx.eval(&Match::AsPathContains(Asn(3356))), Ternary::True);
+        assert_eq!(ctx.eval(&Match::AsPathContains(Asn(174))), Ternary::False);
+        assert_eq!(ctx.eval(&Match::OriginatedBy(Asn(65001))), Ternary::True);
+        assert_eq!(ctx.eval(&Match::OriginatedBy(Asn(174))), Ternary::False);
+        assert_eq!(ctx.eval(&Match::AsPathLongerThan(1)), Ternary::True);
+        assert_eq!(ctx.eval(&Match::AsPathLongerThan(4)), Ternary::False);
+        assert_eq!(ctx.eval(&Match::AsPathLongerThan(3)), Ternary::Unknown);
+        // Under a resolved context, an attribute match becomes exact.
+        let m = Match::AsPathContains(Asn(174));
+        assert!(may_space(&m, &ctx).is_empty());
+        let m2 = Match::AsPathContains(Asn(3356));
+        assert!(PrefixSet::full().is_subset_of(&must_space(&m2, &ctx)));
+    }
+
+    #[test]
+    fn analyze_finds_dead_shadowed_and_unreachable() {
+        use peering_bgp::Action;
+        let policy = Policy::reject_all()
+            // 0: accepts the whole pool.
+            .rule(Match::PrefixIn(vec![pool()]), vec![Action::Accept])
+            // 1: dead — empty PrefixIn can never match.
+            .rule(Match::PrefixIn(vec![]), vec![Action::Reject])
+            // 2: shadowed by 0 — a /24 inside the pool.
+            .rule(
+                Match::PrefixExact(vec![Prefix::v4(184, 164, 230, 0, 24)]),
+                vec![Action::Reject],
+            )
+            // 3: live, with unreachable trailing actions.
+            .rule(Match::Any, vec![Action::Reject, Action::SetLocalPref(10)]);
+        let a = analyze_policy(&policy, &AbstractPath::top());
+        assert_eq!(a.dead_rules, vec![1]);
+        assert_eq!(a.shadowed_rules, vec![(2, 0)]);
+        assert_eq!(a.unreachable_actions, vec![(3, vec![1])]);
+        // The accept region is exactly the pool's covers-region.
+        let pool_region = PrefixSet::covered_by(&pool());
+        assert!(a.accept_may.is_subset_of(&pool_region));
+        assert!(pool_region.is_subset_of(&a.accept_may));
+    }
+
+    #[test]
+    fn attribute_gated_rules_do_not_shadow() {
+        use peering_bgp::Action;
+        // Rule 0 rejects long-path routes — whether it fires depends on
+        // attributes, so it must NOT count as consuming the space for
+        // shadow analysis, and the accept region must still include
+        // everything (some announcement can get past it).
+        let policy = Policy::reject_all()
+            .rule(Match::AsPathLongerThan(5), vec![Action::Reject])
+            .rule(Match::Any, vec![Action::Accept]);
+        let a = analyze_policy(&policy, &AbstractPath::top());
+        assert!(a.dead_rules.is_empty());
+        assert!(a.shadowed_rules.is_empty());
+        assert!(PrefixSet::full().is_subset_of(&a.accept_may));
+    }
+
+    #[test]
+    fn default_accept_contributes_to_accept_region() {
+        use peering_bgp::Action;
+        // Everything outside the pool falls through to the default.
+        let policy = Policy::accept_all().rule(Match::PrefixIn(vec![pool()]), vec![Action::Reject]);
+        let a = analyze_policy(&policy, &AbstractPath::top());
+        assert!(a.accept_may.contains(&Prefix::v4(8, 8, 8, 0, 24)));
+        assert!(!a.accept_may.contains(&Prefix::v4(184, 164, 230, 0, 24)));
+    }
+
+    #[test]
+    fn path_mutation_degrades_context() {
+        use peering_bgp::Action;
+        // Context says the path can never contain 666 — but a preceding
+        // fall-through rule prepends it, so the later gate must not be
+        // treated as dead.
+        let ctx = AbstractPath {
+            must_contain: vec![Asn(65001)],
+            closed: true,
+            ..AbstractPath::default()
+        };
+        let policy = Policy::accept_all()
+            .rule(Match::Any, vec![Action::Prepend(Asn(666), 1)])
+            .rule(Match::AsPathContains(Asn(666)), vec![Action::Reject]);
+        let a = analyze_policy(&policy, &ctx);
+        assert!(a.dead_rules.is_empty());
+        // Without the mutation the gate would be provably dead.
+        let gate_only =
+            Policy::accept_all().rule(Match::AsPathContains(Asn(666)), vec![Action::Reject]);
+        let b = analyze_policy(&gate_only, &ctx);
+        assert_eq!(b.dead_rules, vec![0]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Findings and reports produced by the static analyzer.
+//!
+//! A [`Report`] is the output of every verification entry point: a flat
+//! list of [`Finding`]s, each tagged with a machine-readable
+//! [`FindingCode`] and a [`Severity`]. `peering-lint` renders reports and
+//! derives its exit code from [`Report::has_errors`].
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: worth knowing, never blocks.
+    Info,
+    /// Suspicious but not provably unsafe (dead rules, shadowing).
+    Warning,
+    /// Provably unsafe or misconfigured; `peering-lint` exits non-zero.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Machine-readable classification of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingCode {
+    /// The composed policy chain can emit a route outside PEERING's
+    /// address pools: a hijack is not statically excluded.
+    HijackPossible,
+    /// The export policy can re-emit a route learned from the Internet:
+    /// a route leak is not statically excluded.
+    RouteLeakPossible,
+    /// An announcement names a prefix outside the experiment's
+    /// allocation.
+    NotYourPrefix,
+    /// An announcement originates from an ASN PEERING does not own.
+    BadOrigin,
+    /// More prepends than the safety rules allow.
+    ExcessivePrepend,
+    /// More poisoned ASNs than the safety rules allow.
+    ExcessivePoison,
+    /// A rule whose match region is empty on its own (e.g. an empty
+    /// `PrefixIn` list or a contradictory `All`).
+    DeadRule,
+    /// A rule whose match region is fully consumed by earlier terminal
+    /// rules: it can never fire.
+    ShadowedRule,
+    /// Actions after a terminal `Accept`/`Reject` in the same rule.
+    UnreachableActions,
+    /// Two concurrent experiments hold overlapping prefixes.
+    AllocationConflict,
+    /// The announcement would be silently dropped by the mux import
+    /// policy (e.g. a too-long prefix).
+    FilteredAnnouncement,
+}
+
+impl FindingCode {
+    /// Kebab-case code for display ("error[hijack-possible] ...").
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FindingCode::HijackPossible => "hijack-possible",
+            FindingCode::RouteLeakPossible => "route-leak-possible",
+            FindingCode::NotYourPrefix => "not-your-prefix",
+            FindingCode::BadOrigin => "bad-origin",
+            FindingCode::ExcessivePrepend => "excessive-prepend",
+            FindingCode::ExcessivePoison => "excessive-poison",
+            FindingCode::DeadRule => "dead-rule",
+            FindingCode::ShadowedRule => "shadowed-rule",
+            FindingCode::UnreachableActions => "unreachable-actions",
+            FindingCode::AllocationConflict => "allocation-conflict",
+            FindingCode::FilteredAnnouncement => "filtered-announcement",
+        }
+    }
+}
+
+impl fmt::Display for FindingCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One verified problem (or observation) about a config or policy.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// What kind of problem.
+    pub code: FindingCode,
+    /// How bad.
+    pub severity: Severity,
+    /// What it is about ("experiment lifeguard", "export policy rule 2").
+    pub subject: String,
+    /// Human-readable explanation with concrete evidence.
+    pub detail: String,
+}
+
+impl Finding {
+    /// An error-severity finding.
+    pub fn error(code: FindingCode, subject: impl Into<String>, detail: impl Into<String>) -> Self {
+        Finding {
+            code,
+            severity: Severity::Error,
+            subject: subject.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// A warning-severity finding.
+    pub fn warning(
+        code: FindingCode,
+        subject: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Self {
+        Finding {
+            code,
+            severity: Severity::Warning,
+            subject: subject.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.subject, self.detail
+        )
+    }
+}
+
+/// The result of a verification pass.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All findings, in discovery order.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// An empty (clean) report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Add a finding.
+    pub fn push(&mut self, f: Finding) {
+        self.findings.push(f);
+    }
+
+    /// Fold another report into this one.
+    pub fn merge(&mut self, other: Report) {
+        self.findings.extend(other.findings);
+    }
+
+    /// No findings at all — the config verifies with nothing to say.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// At least one error-severity finding.
+    pub fn has_errors(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Error)
+    }
+
+    /// Count findings of a given severity.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.findings.iter().filter(|f| f.severity == sev).count()
+    }
+
+    /// Findings with a given code.
+    pub fn with_code(&self, code: FindingCode) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.code == code)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.findings.is_empty() {
+            return write!(f, "clean");
+        }
+        for (i, finding) in self.findings.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{finding}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accounting() {
+        let mut r = Report::new();
+        assert!(r.is_clean());
+        assert!(!r.has_errors());
+        r.push(Finding::warning(
+            FindingCode::DeadRule,
+            "policy rule 3",
+            "matches nothing",
+        ));
+        assert!(!r.is_clean());
+        assert!(!r.has_errors());
+        r.push(Finding::error(
+            FindingCode::HijackPossible,
+            "export policy",
+            "accepts 8.8.8.0/24",
+        ));
+        assert!(r.has_errors());
+        assert_eq!(r.count(Severity::Error), 1);
+        assert_eq!(r.count(Severity::Warning), 1);
+        assert_eq!(r.with_code(FindingCode::DeadRule).count(), 1);
+        let shown = r.to_string();
+        assert!(shown.contains("error[hijack-possible] export policy"));
+        assert!(shown.contains("warning[dead-rule]"));
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = Report::new();
+        a.push(Finding::error(FindingCode::BadOrigin, "x", "y"));
+        let mut b = Report::new();
+        b.push(Finding::warning(FindingCode::ShadowedRule, "p", "q"));
+        a.merge(b);
+        assert_eq!(a.findings.len(), 2);
+        assert_eq!(Report::new().to_string(), "clean");
+    }
+}

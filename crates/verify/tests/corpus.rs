@@ -1,0 +1,175 @@
+//! The misconfiguration corpus: known-bad configs the analyzer must
+//! flag, and the shipped scenario catalog it must pass with zero
+//! findings.
+
+use peering_bgp::{Action, Match, Policy};
+use peering_core::safety::SafetyConfig;
+use peering_core::{AnnouncementSpec, Experiment, ExperimentId, PrefixAllocator};
+use peering_netsim::{Ipv4Net, Prefix, SimTime};
+use peering_verify::{
+    analyze_policy, verify_chain, verify_experiment, verify_experiments, AbstractPath, FindingCode,
+};
+use std::collections::BTreeMap;
+
+fn experiment(name: &str, prefix: Ipv4Net) -> Experiment {
+    Experiment {
+        id: ExperimentId(0),
+        name: name.to_string(),
+        owner: "corpus".to_string(),
+        prefix,
+        created: SimTime::ZERO,
+        active: BTreeMap::new(),
+        v6_prefix: None,
+        origin_asn: None,
+        active_v6: BTreeMap::new(),
+    }
+}
+
+/// Corpus case 1: an export policy that accepts everything — the
+/// classic route-leak misconfiguration. The analyzer must refuse to
+/// certify it and name a witness outside the pools.
+#[test]
+fn leaking_export_policy_is_flagged() {
+    let safety = SafetyConfig::peering_default();
+    let leaky = Policy::accept_all();
+    let report = verify_chain(&safety.client_import_policy(), &leaky, &safety);
+    assert!(report.has_errors(), "{report}");
+    let leak = report
+        .with_code(FindingCode::RouteLeakPossible)
+        .next()
+        .expect("route-leak finding");
+    // The witness must be a concrete prefix outside PEERING space.
+    assert!(leak.detail.contains('/'), "witness missing: {leak}");
+}
+
+/// Corpus case 2: an import policy with a hole — it admits a block
+/// outside the pools, so the composed chain can emit a hijack.
+#[test]
+fn hijack_admitting_import_is_flagged() {
+    let safety = SafetyConfig::peering_default();
+    let import = safety.client_import_policy().rule(
+        Match::PrefixIn(vec![Prefix::v4(8, 8, 8, 0, 24)]),
+        vec![Action::Accept],
+    );
+    // The export filter must also admit it for a hijack to escape; use
+    // a matching (broken) export policy.
+    let export = Policy::accept_all();
+    let report = verify_chain(&import, &export, &safety);
+    assert!(
+        report.with_code(FindingCode::HijackPossible).count() >= 1,
+        "{report}"
+    );
+}
+
+/// Corpus case 2b: an experiment that *announces* a prefix PEERING does
+/// not own.
+#[test]
+fn hijacking_experiment_is_flagged() {
+    let safety = SafetyConfig::peering_default();
+    let mine: Ipv4Net = "184.164.230.0/24".parse().expect("net");
+    let foreign: Ipv4Net = "192.0.2.0/24".parse().expect("net");
+    let mut exp = experiment("hijacker", mine);
+    exp.active
+        .insert(foreign, AnnouncementSpec::everywhere(foreign, vec![0]));
+    let report = verify_experiment(&exp, &safety);
+    assert_eq!(report.with_code(FindingCode::HijackPossible).count(), 1);
+}
+
+/// Corpus case 3: a shadowed rule — an operator adds a special case
+/// *after* the general rule that already decides it, so the special
+/// case never fires.
+#[test]
+fn shadowed_rule_is_flagged() {
+    let pool = Prefix::v4(184, 164, 224, 0, 19);
+    let special = Prefix::v4(184, 164, 230, 0, 24);
+    let policy = Policy::reject_all()
+        .rule(Match::PrefixIn(vec![pool]), vec![Action::Accept])
+        .rule(
+            Match::PrefixExact(vec![special]),
+            vec![Action::SetLocalPref(50), Action::Accept],
+        );
+    let analysis = analyze_policy(&policy, &AbstractPath::top());
+    assert_eq!(analysis.shadowed_rules, vec![(1, 0)]);
+    // The same defect surfaces as a warning through the chain verifier.
+    let safety = SafetyConfig::peering_default();
+    let report = verify_chain(&policy, &safety.export_safety_policy(), &safety);
+    assert!(!report.has_errors(), "{report}");
+    assert_eq!(report.with_code(FindingCode::ShadowedRule).count(), 1);
+}
+
+/// Corpus case 3b: a dead rule (empty match list) and unreachable
+/// actions after a terminal verdict.
+#[test]
+fn dead_rules_and_unreachable_actions_are_flagged() {
+    let safety = SafetyConfig::peering_default();
+    let policy = safety
+        .client_import_policy()
+        .rule(Match::PrefixIn(vec![]), vec![Action::Reject])
+        .rule(Match::Any, vec![Action::Reject, Action::SetLocalPref(10)]);
+    let report = verify_chain(&policy, &safety.export_safety_policy(), &safety);
+    assert!(!report.has_errors(), "{report}");
+    assert_eq!(report.with_code(FindingCode::DeadRule).count(), 1);
+    assert_eq!(report.with_code(FindingCode::UnreachableActions).count(), 1);
+}
+
+/// Corpus case 4: two experiments provisioned over overlapping space —
+/// the allocation bug the portal must never let through.
+#[test]
+fn allocation_conflict_is_flagged() {
+    let safety = SafetyConfig::peering_default();
+    let a_net: Ipv4Net = "184.164.230.0/24".parse().expect("net");
+    let b_net: Ipv4Net = "184.164.230.0/25".parse().expect("net");
+    let mut a = experiment("alpha", a_net);
+    a.active
+        .insert(a_net, AnnouncementSpec::everywhere(a_net, vec![0]));
+    let mut b = experiment("beta", b_net);
+    b.id = ExperimentId(1);
+    let report = verify_experiments(&[a, b], &safety);
+    assert!(report.has_errors(), "{report}");
+    assert_eq!(report.with_code(FindingCode::AllocationConflict).count(), 1);
+}
+
+/// The flip side of the corpus: every shipped scenario, materialized
+/// exactly as `peering-lint` does it, verifies with ZERO findings — no
+/// false positives.
+#[test]
+fn shipped_scenarios_are_clean() {
+    let safety = SafetyConfig::peering_default();
+    let mut allocator = PrefixAllocator::peering_default();
+    let mut experiments = Vec::new();
+    for (i, scenario) in peering_workloads::catalog::all().iter().enumerate() {
+        let prefix = allocator.allocate(i as u32).expect("pool has room");
+        let mut exp = experiment(scenario.name, prefix);
+        exp.id = ExperimentId(i as u32);
+        for spec in (scenario.plan)(prefix, 4) {
+            exp.active.insert(spec.prefix, spec);
+        }
+        experiments.push(exp);
+    }
+    let report = verify_experiments(&experiments, &safety);
+    assert!(
+        report.is_clean(),
+        "false positives on shipped scenarios:\n{report}"
+    );
+
+    let chain = verify_chain(
+        &safety.client_import_policy(),
+        &safety.export_safety_policy(),
+        &safety,
+    );
+    assert!(chain.is_clean(), "{chain}");
+}
+
+/// The default chain proof is not vacuous: the accepted region is
+/// non-empty (the pools are announceable) while everything outside the
+/// pools is rejected.
+#[test]
+fn chain_proof_is_not_vacuous() {
+    let safety = SafetyConfig::peering_default();
+    let import = analyze_policy(&safety.client_import_policy(), &AbstractPath::top());
+    let export = analyze_policy(&safety.export_safety_policy(), &AbstractPath::top());
+    let emit = import.accept_may.intersect(&export.accept_may);
+    assert!(emit.contains(&Prefix::v4(184, 164, 230, 0, 24)));
+    assert!(!emit.contains(&Prefix::v4(8, 8, 8, 0, 24)));
+    assert!(emit.contains(&"2804:269c:7::/48".parse::<Prefix>().expect("p")));
+}

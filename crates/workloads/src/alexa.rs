@@ -143,9 +143,7 @@ impl ContentCatalog {
         let mut sites = Vec::with_capacity(cfg.n_sites);
         for rank in 0..cfg.n_sites {
             let n_res = (rng.exp(cfg.mean_resources).round() as usize).clamp(3, 600);
-            let resources = (0..n_res)
-                .map(|_| rng.zipf(total_fqdns, 0.9))
-                .collect();
+            let resources = (0..n_res).map(|_| rng.zipf(total_fqdns, 0.9)).collect();
             sites.push(WebSite {
                 rank,
                 main_fqdn: rank,

@@ -1,0 +1,219 @@
+//! A machine-checkable catalog of the shipped scenarios' control-plane
+//! footprints.
+//!
+//! Each scenario in [`crate::scenarios`] drives the testbed through a
+//! characteristic set of announcements. The catalog captures that set
+//! *declaratively* — a `plan` function from an allocated prefix and a
+//! site count to the [`AnnouncementSpec`]s the scenario will make — so
+//! static tools (`peering-lint`, the `peering-verify` test corpus) can
+//! check every shipped scenario against the safety rules without
+//! running it.
+//!
+//! The plans mirror the scenarios' actual `run()` implementations; a
+//! scenario that never touches the testbed control plane (pure packet
+//! or emulation studies) has an empty plan.
+
+use peering_core::{AnnouncementSpec, PeerSelector};
+use peering_netsim::{Asn, Ipv4Net};
+
+/// A scenario's declarative control-plane footprint.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// The scenario module's name.
+    pub name: &'static str,
+    /// One-line description of what it announces.
+    pub summary: &'static str,
+    /// The announcements it makes, given its allocated `/24` and the
+    /// number of testbed sites.
+    pub plan: fn(Ipv4Net, usize) -> Vec<AnnouncementSpec>,
+}
+
+fn all_sites(n_sites: usize) -> Vec<usize> {
+    (0..n_sites).collect()
+}
+
+fn anycast_plan(prefix: Ipv4Net, n_sites: usize) -> Vec<AnnouncementSpec> {
+    // Announce from every site, then re-map the catchments with one
+    // site withdrawn.
+    let all = all_sites(n_sites);
+    let mut fewer = all.clone();
+    fewer.pop();
+    vec![
+        AnnouncementSpec::everywhere(prefix, all),
+        AnnouncementSpec::everywhere(prefix, fewer),
+    ]
+}
+
+fn arrow_plan(prefix: Ipv4Net, n_sites: usize) -> Vec<AnnouncementSpec> {
+    vec![AnnouncementSpec::everywhere(prefix, all_sites(n_sites))]
+}
+
+fn beacon_plan(prefix: Ipv4Net, n_sites: usize) -> Vec<AnnouncementSpec> {
+    // Beacons alternate announce/withdraw; the announcement shape is
+    // constant.
+    vec![AnnouncementSpec::everywhere(prefix, all_sites(n_sites))]
+}
+
+fn empty_plan(_prefix: Ipv4Net, _n_sites: usize) -> Vec<AnnouncementSpec> {
+    Vec::new()
+}
+
+fn hijack_plan(prefix: Ipv4Net, n_sites: usize) -> Vec<AnnouncementSpec> {
+    // Victim announces from its site; the emulated attacker announces
+    // the same prefix from a second site.
+    let victim = 0;
+    let attacker = 1usize.min(n_sites.saturating_sub(1));
+    vec![
+        AnnouncementSpec::everywhere(prefix, vec![victim]),
+        AnnouncementSpec::everywhere(prefix, vec![victim, attacker]),
+    ]
+}
+
+fn lifeguard_plan(prefix: Ipv4Net, n_sites: usize) -> Vec<AnnouncementSpec> {
+    // Baseline everywhere, then re-announce poisoning the failed AS.
+    let all = all_sites(n_sites);
+    vec![
+        AnnouncementSpec::everywhere(prefix, all.clone()),
+        AnnouncementSpec::everywhere(prefix, all).poisoned(vec![Asn(3356)]),
+    ]
+}
+
+fn phas_plan(prefix: Ipv4Net, n_sites: usize) -> Vec<AnnouncementSpec> {
+    // Legitimate traffic engineering the detector must not confuse with
+    // a hijack: a prepended announcement.
+    vec![AnnouncementSpec::everywhere(prefix, all_sites(n_sites)).prepended(2)]
+}
+
+fn poiroot_plan(prefix: Ipv4Net, n_sites: usize) -> Vec<AnnouncementSpec> {
+    // Everywhere, then isolate the last site to localize the change.
+    let all = all_sites(n_sites);
+    let last = n_sites.saturating_sub(1);
+    vec![
+        AnnouncementSpec::everywhere(prefix, all),
+        AnnouncementSpec::everywhere(prefix, vec![last]).select(PeerSelector::All),
+    ]
+}
+
+fn sbgp_plan(prefix: Ipv4Net, n_sites: usize) -> Vec<AnnouncementSpec> {
+    // Partial-deployment study: steer around non-validating ASes by
+    // poisoning them.
+    vec![AnnouncementSpec::everywhere(prefix, all_sites(n_sites))
+        .poisoned(vec![Asn(2914), Asn(6453)])]
+}
+
+/// Every shipped scenario with its control-plane plan.
+pub fn all() -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec {
+            name: "anycast",
+            summary: "anycast catchment mapping: announce everywhere, then shrink",
+            plan: anycast_plan,
+        },
+        ScenarioSpec {
+            name: "arrow",
+            summary: "ARROW tunneling: steady announcement from every site",
+            plan: arrow_plan,
+        },
+        ScenarioSpec {
+            name: "beacon",
+            summary: "routing beacon: scheduled announce/withdraw cycles",
+            plan: beacon_plan,
+        },
+        ScenarioSpec {
+            name: "convergence",
+            summary: "ring convergence study (pure emulation, no testbed announcements)",
+            plan: empty_plan,
+        },
+        ScenarioSpec {
+            name: "decoy",
+            summary: "decoy routing (packet pipeline only, no testbed announcements)",
+            plan: empty_plan,
+        },
+        ScenarioSpec {
+            name: "hijack",
+            summary: "MITM hijack emulation: victim site, then victim+attacker",
+            plan: hijack_plan,
+        },
+        ScenarioSpec {
+            name: "lifeguard",
+            summary: "LIFEGUARD failure avoidance: baseline, then poisoned re-announcement",
+            plan: lifeguard_plan,
+        },
+        ScenarioSpec {
+            name: "pecan",
+            summary: "PECAN path measurement (reads alternate paths, announces nothing)",
+            plan: empty_plan,
+        },
+        ScenarioSpec {
+            name: "phas",
+            summary: "PHAS detector calibration: prepended traffic engineering",
+            plan: phas_plan,
+        },
+        ScenarioSpec {
+            name: "poiroot",
+            summary: "PoiRoot root-cause analysis: everywhere, then single-site",
+            plan: poiroot_plan,
+        },
+        ScenarioSpec {
+            name: "sbgp",
+            summary: "secure-BGP partial deployment: poison non-validating ASes",
+            plan: sbgp_plan,
+        },
+        ScenarioSpec {
+            name: "sdx",
+            summary: "SDX-lite steering (packet pipeline only, no testbed announcements)",
+            plan: empty_plan,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_every_scenario_module() {
+        // Keep this list in sync with crates/workloads/src/scenarios/.
+        let modules = [
+            "anycast",
+            "arrow",
+            "beacon",
+            "convergence",
+            "decoy",
+            "hijack",
+            "lifeguard",
+            "pecan",
+            "phas",
+            "poiroot",
+            "sbgp",
+            "sdx",
+        ];
+        let catalog = all();
+        assert_eq!(catalog.len(), modules.len());
+        for m in modules {
+            assert!(
+                catalog.iter().any(|s| s.name == m),
+                "scenario {m} missing from catalog"
+            );
+        }
+    }
+
+    #[test]
+    fn plans_stay_inside_the_allocation() {
+        let prefix: Ipv4Net = "184.164.225.0/24".parse().expect("net");
+        for spec in all() {
+            for ann in (spec.plan)(prefix, 4) {
+                assert_eq!(
+                    ann.prefix, prefix,
+                    "{} announces a foreign prefix",
+                    spec.name
+                );
+                assert!(
+                    ann.sites.iter().all(|s| *s < 4),
+                    "{} uses an out-of-range site",
+                    spec.name
+                );
+            }
+        }
+    }
+}

@@ -14,8 +14,10 @@
 //!   decoy-routing service.
 
 pub mod alexa;
+pub mod catalog;
 pub mod scenarios;
 pub mod traffic;
 
 pub use alexa::{CatalogConfig, ContentCatalog, Fqdn, WebSite};
+pub use catalog::ScenarioSpec;
 pub use traffic::{Flow, TrafficMatrix};

@@ -47,7 +47,11 @@ pub fn run(tb: &mut Testbed) -> Result<AnycastReport, TestbedError> {
         .max_by_key(|(_, (_, n))| *n)
         .map(|(i, s)| (s, i))
         .expect("non-empty");
-    let remaining: Vec<usize> = sites.iter().copied().filter(|&s| s != failed_site).collect();
+    let remaining: Vec<usize> = sites
+        .iter()
+        .copied()
+        .filter(|&s| s != failed_site)
+        .collect();
     let spec = AnnouncementSpec::everywhere(client.prefix, remaining);
     tb.announce(id, spec)?;
     let after_failover = tb.catchments(&client.prefix).expect("announced");

@@ -58,9 +58,7 @@ pub struct BeaconReport {
 impl BeaconReport {
     /// The beacon alternated perfectly: up/down/up/down...
     pub fn alternates(&self) -> bool {
-        self.events
-            .windows(2)
-            .all(|w| w[0].up != w[1].up)
+        self.events.windows(2).all(|w| w[0].up != w[1].up)
     }
 }
 
@@ -84,7 +82,8 @@ pub fn run(tb: &mut Testbed, cfg: BeaconConfig) -> Result<BeaconReport, TestbedE
         );
         boundaries.push((t, true));
         t += cfg.up;
-        tb.schedule.at(t, id, ScheduledAction::Withdraw(client.prefix));
+        tb.schedule
+            .at(t, id, ScheduledAction::Withdraw(client.prefix));
         boundaries.push((t, false));
         t += cfg.down;
     }

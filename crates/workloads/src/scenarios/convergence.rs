@@ -65,7 +65,12 @@ fn measure(size: usize, seed: u64) -> ConvergencePoint {
     // Everyone ended with no route (convergence is *correct*).
     for &r in &pe.routers {
         assert!(
-            pe.emu.daemon(r).expect("daemon").loc_rib().get(&prefix).is_none(),
+            pe.emu
+                .daemon(r)
+                .expect("daemon")
+                .loc_rib()
+                .get(&prefix)
+                .is_none(),
             "ghost route survived at router {r}"
         );
     }

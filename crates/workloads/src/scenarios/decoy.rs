@@ -138,7 +138,12 @@ mod tests {
         decoy.process(covert_packet(src, overt, covert, b"TAG"));
         decoy.process(IpPacket::new(src, overt, Payload::Raw(vec![1, 2, 3])));
         // Tagged but to a different destination: passes.
-        decoy.process(covert_packet(src, "203.0.113.81".parse().unwrap(), covert, b"TAG"));
+        decoy.process(covert_packet(
+            src,
+            "203.0.113.81".parse().unwrap(),
+            covert,
+            b"TAG",
+        ));
         assert_eq!(decoy.rewritten, 1);
         assert_eq!(decoy.passed, 2);
     }

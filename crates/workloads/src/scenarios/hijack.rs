@@ -92,9 +92,10 @@ pub fn run(
     );
     // Attacker inspects (reads) then forwards victim-ward.
     let inspected_bytes = intercepted.size();
-    let reencap = intercepted
-        .clone()
-        .encapsulate(attacker_tunnel.client_endpoint, victim_tunnel.client_endpoint);
+    let reencap = intercepted.clone().encapsulate(
+        attacker_tunnel.client_endpoint,
+        victim_tunnel.client_endpoint,
+    );
     let delivered = reencap.decapsulate() == Some(intercepted);
     // Overhead: the extra leg between the two sites' tunnel endpoints.
     let interception_overhead = tb.hop_latency(

@@ -22,13 +22,13 @@
 
 pub mod anycast;
 pub mod arrow;
+pub mod beacon;
+pub mod convergence;
 pub mod decoy;
 pub mod hijack;
 pub mod lifeguard;
 pub mod pecan;
 pub mod phas;
-pub mod beacon;
-pub mod convergence;
 pub mod poiroot;
 pub mod sbgp;
 pub mod sdx;
@@ -45,7 +45,10 @@ pub fn pick_vantages(tb: &Testbed, count: usize) -> Vec<AsIdx> {
         .filter(|(idx, info)| {
             *idx != tb.node
                 && !neighbors.contains(idx)
-                && matches!(info.kind, AsKind::Stub | AsKind::Access | AsKind::Enterprise)
+                && matches!(
+                    info.kind,
+                    AsKind::Stub | AsKind::Access | AsKind::Enterprise
+                )
         })
         .map(|(idx, _)| idx)
         .step_by(3)
@@ -63,8 +66,7 @@ mod tests {
         let tb = Testbed::build(TestbedConfig::small(1));
         let v = pick_vantages(&tb, 10);
         assert!(!v.is_empty());
-        let neighbors: std::collections::HashSet<AsIdx> =
-            tb.graph().neighbors(tb.node).collect();
+        let neighbors: std::collections::HashSet<AsIdx> = tb.graph().neighbors(tb.node).collect();
         for a in &v {
             assert_ne!(*a, tb.node);
             assert!(!neighbors.contains(a));

@@ -50,7 +50,11 @@ impl PecanReport {
 
 /// Measure alternate paths from `site` toward up to `n_destinations`
 /// content ASes.
-pub fn run(tb: &mut Testbed, site: usize, n_destinations: usize) -> Result<PecanReport, TestbedError> {
+pub fn run(
+    tb: &mut Testbed,
+    site: usize,
+    n_destinations: usize,
+) -> Result<PecanReport, TestbedError> {
     let destinations: Vec<(AsIdx, Prefix)> = tb
         .graph()
         .infos()

@@ -47,9 +47,7 @@ pub struct PhasReport {
 impl PhasReport {
     /// Did detection fire iff the hijack was visible?
     pub fn detection_sound(&self) -> bool {
-        !self.alerts.is_empty()
-            && self.false_positives == 0
-            && self.alerts.len() == self.captured
+        !self.alerts.is_empty() && self.false_positives == 0 && self.alerts.len() == self.captured
     }
 }
 

@@ -75,7 +75,10 @@ pub fn run(tb: &mut Testbed) -> Result<PoirootReport, TestbedError> {
     }
     // Controlled change: announce now only from the last site. Ground
     // truth root cause: the origin (PEERING) changed its exports.
-    let only_last = client.announce_from(*sites.last().expect("sites"), peering_core::PeerSelector::All);
+    let only_last = client.announce_from(
+        *sites.last().expect("sites"),
+        peering_core::PeerSelector::All,
+    );
     tb.announce(id, only_last)?;
 
     let mut changed = 0;

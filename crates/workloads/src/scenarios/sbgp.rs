@@ -54,16 +54,15 @@ pub fn run(g: &AsGraph, seed: u64, levels: &[usize]) -> SbgpReport {
         }
     };
     let prefix = g.info(victim).prefixes[0];
-    let Prefix::V4(_) = prefix else { unreachable!() };
+    let Prefix::V4(_) = prefix else {
+        unreachable!()
+    };
     let rank = as_rank(g);
 
     let mut points = Vec::new();
     for &k in levels {
-        let validators: Vec<peering_netsim::Asn> = rank
-            .iter()
-            .take(k)
-            .map(|&idx| g.info(idx).asn)
-            .collect();
+        let validators: Vec<peering_netsim::Asn> =
+            rank.iter().take(k).map(|&idx| g.info(idx).asn).collect();
         let legit = Announcement::simple(victim, prefix);
         let forged = Announcement::simple(attacker, prefix).poisoned(validators);
         let result = propagate(g, &[legit, forged]);

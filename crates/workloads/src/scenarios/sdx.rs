@@ -8,7 +8,9 @@
 //! plane: per-application rules steer flows onto different next-hop
 //! peers, while plain BGP would have sent everything one way.
 
-use peering_core::{Backend, PacketProcessor, PktAction, PktMatch, PktVerdict, Testbed, TestbedError};
+use peering_core::{
+    Backend, PacketProcessor, PktAction, PktMatch, PktVerdict, Testbed, TestbedError,
+};
 use peering_netsim::{IpPacket, Payload, Prefix};
 use peering_topology::AsIdx;
 use serde::{Deserialize, Serialize};
@@ -49,7 +51,9 @@ pub fn run(tb: &mut Testbed, site: usize) -> Result<SdxReport, TestbedError> {
             if info.kind != peering_topology::AsKind::Content || info.prefixes.is_empty() {
                 continue;
             }
-            let Prefix::V4(net) = info.prefixes[0] else { continue };
+            let Prefix::V4(net) = info.prefixes[0] else {
+                continue;
+            };
             let paths = tb.paths_via_neighbors(site, &net)?;
             if paths.len() >= 3 {
                 found = Some((net, paths));
@@ -80,22 +84,27 @@ pub fn run(tb: &mut Testbed, site: usize) -> Result<SdxReport, TestbedError> {
     let egress_addr = |peer: AsIdx| Ipv4Addr::new(100, 127, (peer.0 >> 8) as u8, peer.0 as u8);
     let mut pipeline = PacketProcessor::new(Backend::Lightweight)
         .rule(
-            PktMatch::All(vec![
-                PktMatch::DstIn(dst_net),
-                PktMatch::UdpDport(53),
-            ]),
-            vec![PktAction::Count, PktAction::RewriteSrc(egress_addr(dns_peer)), PktAction::Pass],
+            PktMatch::All(vec![PktMatch::DstIn(dst_net), PktMatch::UdpDport(53)]),
+            vec![
+                PktAction::Count,
+                PktAction::RewriteSrc(egress_addr(dns_peer)),
+                PktAction::Pass,
+            ],
         )
         .rule(
-            PktMatch::All(vec![
-                PktMatch::DstIn(dst_net),
-                PktMatch::UdpDport(443),
-            ]),
-            vec![PktAction::Count, PktAction::RewriteSrc(egress_addr(https_peer)), PktAction::Pass],
+            PktMatch::All(vec![PktMatch::DstIn(dst_net), PktMatch::UdpDport(443)]),
+            vec![
+                PktAction::Count,
+                PktAction::RewriteSrc(egress_addr(https_peer)),
+                PktAction::Pass,
+            ],
         )
         .rule(
             PktMatch::DstIn(dst_net),
-            vec![PktAction::RewriteSrc(egress_addr(default_peer)), PktAction::Pass],
+            vec![
+                PktAction::RewriteSrc(egress_addr(default_peer)),
+                PktAction::Pass,
+            ],
         );
 
     // A mixed workload: DNS, HTTPS, and bulk flows.

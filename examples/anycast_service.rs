@@ -12,7 +12,7 @@ use peering::workloads::scenarios::anycast;
 
 fn bar(n: usize, total: usize) -> String {
     let width = 40usize;
-    let filled = if total == 0 { 0 } else { n * width / total };
+    let filled = (n * width).checked_div(total).unwrap_or(0);
     format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
 }
 
@@ -22,7 +22,10 @@ fn main() {
     let site_names: Vec<String> = tb.servers.iter().map(|s| s.site.name.clone()).collect();
     let report = anycast::run(&mut tb).expect("scenario");
 
-    println!("baseline catchments ({} ASes total):", report.reachable_before);
+    println!(
+        "baseline catchments ({} ASes total):",
+        report.reachable_before
+    );
     for (site, n) in &report.baseline {
         println!(
             "  {:<10} {:>5} ASes  {}",
@@ -35,7 +38,10 @@ fn main() {
         "\nfailing the largest site: {}\n",
         site_names[report.failed_site]
     );
-    println!("catchments after failover ({} ASes total):", report.reachable_after);
+    println!(
+        "catchments after failover ({} ASes total):",
+        report.reachable_after
+    );
     for (site, n) in &report.after_failover {
         println!(
             "  {:<10} {:>5} ASes  {}",

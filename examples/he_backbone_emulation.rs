@@ -23,7 +23,10 @@ fn main() {
     let r = peering_bench::emu42::run(7, 300);
     println!("\nconvergence:");
     println!("  messages delivered          : {}", r.convergence_steps);
-    println!("  PoP-pair reachability       : {:.0}%", 100.0 * r.reachability);
+    println!(
+        "  PoP-pair reachability       : {:.0}%",
+        100.0 * r.reachability
+    );
     println!("\nAMS-IX bridge (via the Amsterdam PoP's external session):");
     println!(
         "  routes injected from AMS-IX : {} -> {} reached the farthest PoP",

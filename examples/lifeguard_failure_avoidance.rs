@@ -17,11 +17,17 @@ fn main() {
         return;
     }
     let failed_asn = tb.graph().info(report.failed_as).asn;
-    println!("vantage point      : {}", tb.graph().info(report.vantage).asn);
+    println!(
+        "vantage point      : {}",
+        tb.graph().info(report.vantage).asn
+    );
     println!("failed AS          : {failed_asn}");
     println!("outage detected    : {}", report.detected);
     let fmt = |p: &[peering::netsim::Asn]| {
-        p.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(" -> ")
+        p.iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(" -> ")
     };
     println!("path before failure: {}", fmt(&report.path_before));
     println!("path after poison  : {}", fmt(&report.path_after));

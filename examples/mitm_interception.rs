@@ -28,7 +28,11 @@ fn main() {
     );
     println!(
         "forwarding intercepted traffic to the victim via the intradomain tunnel: {}",
-        if report.forwarded_ok { "delivered" } else { "FAILED" }
+        if report.forwarded_ok {
+            "delivered"
+        } else {
+            "FAILED"
+        }
     );
     println!(
         "interception added ~{} one-way latency",

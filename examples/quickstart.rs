@@ -40,7 +40,10 @@ fn main() {
     let reach = tb
         .announce(id, client.announce_everywhere())
         .expect("announce");
-    println!("\nannounced {} everywhere: {} ASes installed a route", client.prefix, reach);
+    println!(
+        "\nannounced {} everywhere: {} ASes installed a route",
+        client.prefix, reach
+    );
 
     // Inspect the control plane from a vantage point.
     let vantage = peering::topology::AsIdx(40);
@@ -64,9 +67,7 @@ fn main() {
     let narrow = tb
         .announce(id, client.announce_from(0, PeerSelector::PeersOnly))
         .expect("peers-only announce");
-    println!(
-        "\npeers-only announcement from site 0 reaches {narrow} ASes (vs {reach} everywhere)"
-    );
+    println!("\npeers-only announcement from site 0 reaches {narrow} ASes (vs {reach} everywhere)");
 
     // Safety in action: try to hijack someone else's prefix.
     let foreign = "16.0.9.0/24".parse().expect("prefix");
@@ -79,7 +80,10 @@ fn main() {
     // The monitor kept the update log.
     println!("\nupdate log:");
     for u in tb.monitor.updates() {
-        println!("  [{}] {:?} {} (reach {:?})", u.time, u.kind, u.prefix, u.reach);
+        println!(
+            "  [{}] {:?} {} (reach {:?})",
+            u.time, u.kind, u.prefix, u.reach
+        );
     }
     println!("\ndone.");
 }

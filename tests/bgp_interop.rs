@@ -45,8 +45,7 @@ impl ByteHarness {
             let Some((now, delivery)) = self.net.next() else {
                 break;
             };
-            let (msg, used) =
-                decode_message(&delivery.msg, WireConfig::default()).expect("decode");
+            let (msg, used) = decode_message(&delivery.msg, WireConfig::default()).expect("decode");
             assert_eq!(used, delivery.msg.len());
             let to = delivery.to.0 as usize;
             let outs = if to == 0 {
@@ -130,7 +129,8 @@ fn hold_timer_fires_when_the_link_dies() {
     assert!(h.a.peer_established(PeerId(0)));
     // Kill the link; drive time far past the hold deadline via timers.
     h.net.set_link_up(NodeId(0), NodeId(1), false);
-    h.net.set_timer(NodeId(0), SimDuration::from_secs(300), Vec::new());
+    h.net
+        .set_timer(NodeId(0), SimDuration::from_secs(300), Vec::new());
     let (now, _) = h.net.next().expect("timer");
     let outs = h.a.tick(now);
     assert!(outs

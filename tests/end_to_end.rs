@@ -22,7 +22,8 @@ fn full_researcher_workflow() {
     assert!(rtt1 > SimDuration::ZERO);
     // Traffic engineering: prepend and confirm paths lengthen somewhere.
     tb.advance(SimDuration::from_secs(7200));
-    tb.announce(id, client.announce_everywhere().prepended(4)).unwrap();
+    tb.announce(id, client.announce_everywhere().prepended(4))
+        .unwrap();
     let path = match tb.traceroute(vantage, &client.prefix) {
         TraceOutcome::Delivered(p) => p,
         other => panic!("{other:?}"),
@@ -134,7 +135,9 @@ fn catchments_and_selective_export_interact() {
     let narrow_total: usize = narrow.iter().map(|(_, n)| n).sum();
     assert!(narrow_total <= total);
     // Everyone still reaching us comes through that transit.
-    if let TraceOutcome::Delivered(path) = tb.traceroute(peering::topology::AsIdx(50), &client.prefix) {
+    if let TraceOutcome::Delivered(path) =
+        tb.traceroute(peering::topology::AsIdx(50), &client.prefix)
+    {
         assert_eq!(path[path.len() - 2], one_transit);
     }
 }

@@ -23,7 +23,8 @@ fn config_with_remote(seed: u64) -> TestbedConfig {
     });
     let mut cfg = TestbedConfig::small(seed);
     cfg.internet = internet;
-    cfg.sites.push(SiteSpec::remote_ixp("decix-remote01", 1, 0, 8, *b"DE"));
+    cfg.sites
+        .push(SiteSpec::remote_ixp("decix-remote01", 1, 0, 8, *b"DE"));
     cfg
 }
 
@@ -33,7 +34,11 @@ fn remote_peering_extends_reach_without_hardware() {
     let with_remote = Testbed::build(config_with_remote(500));
     assert_eq!(with_remote.servers.len(), 3);
     let remote = &with_remote.servers[2];
-    assert_eq!(remote.remote_via, Some(0), "circuit lands on the AMS server");
+    assert_eq!(
+        remote.remote_via,
+        Some(0),
+        "circuit lands on the AMS server"
+    );
     assert!(!remote.rs_peers.is_empty(), "remote RS peering works");
     // At least as many distinct peers as the physical-only deployment —
     // in a ~120-AS test Internet the remote IXP's membership can overlap

@@ -64,15 +64,9 @@ fn v6_hijack_is_blocked() {
     let pb = tb.enable_ipv6(b).unwrap();
     assert!(!pa.overlaps(&pb));
     // Check the filter directly with b's prefix under a's ownership.
-    let verdict = tb.safety.check_announcement_v6(
-        a.0,
-        &pa,
-        &pb,
-        Asn::PEERING,
-        0,
-        0,
-        tb.now(),
-    );
+    let verdict = tb
+        .safety
+        .check_announcement_v6(a.0, &pa, &pb, Asn::PEERING, 0, 0, tb.now());
     assert!(matches!(
         verdict,
         peering::core::SafetyVerdict::Blocked(Violation::NotYourV6Prefix(_))

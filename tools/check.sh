@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The full repo gate: formatting, lints, tests, and the static safety
+# verifier. CI and pre-merge checks run exactly this; a clean exit
+# means the tree is mergeable.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> peering-lint (static safety verification)"
+cargo run --release -q -p peering-verify --bin peering-lint
+
+echo "==> all checks passed"

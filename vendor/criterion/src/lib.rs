@@ -1,0 +1,217 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` macros, `Criterion`,
+//! `BenchmarkGroup`, `Bencher`, `BenchmarkId`, `Throughput`, and
+//! `black_box`. Each benchmark runs a handful of timed iterations and
+//! prints a one-line median — enough to exercise the bench code paths and
+//! give rough numbers, without criterion's statistics machinery.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (recorded, reported alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a benchmark identifier (strings or `BenchmarkId`).
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the supplied routine.
+pub struct Bencher {
+    samples: u32,
+    last_ns: Option<u128>,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping the median of a few samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut times: Vec<u128> = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed().as_nanos());
+        }
+        times.sort_unstable();
+        self.last_ns = times.get(times.len() / 2).copied();
+    }
+}
+
+fn run_one(
+    label: &str,
+    samples: u32,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples,
+        last_ns: None,
+    };
+    f(&mut b);
+    match b.last_ns {
+        Some(ns) => {
+            let extra = match throughput {
+                Some(Throughput::Elements(n)) if ns > 0 => {
+                    format!("  ({:.0} elem/s)", n as f64 / (ns as f64 / 1e9))
+                }
+                Some(Throughput::Bytes(n)) if ns > 0 => {
+                    format!("  ({:.0} B/s)", n as f64 / (ns as f64 / 1e9))
+                }
+                _ => String::new(),
+            };
+            println!("bench {label:<50} {ns:>12} ns/iter{extra}");
+        }
+        None => println!("bench {label:<50} (no iterations)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u32,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Record the work done per iteration.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Override the sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = (n as u32).clamp(1, 20);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F)
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_one(&label, self.samples, self.throughput, f);
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F)
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.samples, self.throughput, |b| f(b, input));
+    }
+
+    /// Finish the group (no-op; matches the real API).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    samples: u32,
+}
+
+impl Criterion {
+    fn effective_samples(&self) -> u32 {
+        if self.samples == 0 {
+            5
+        } else {
+            self.samples
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(name, self.effective_samples(), None, f);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.effective_samples();
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the declared groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

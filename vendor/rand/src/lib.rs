@@ -1,0 +1,305 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! Provides `rngs::SmallRng` (xoshiro256++ seeded via SplitMix64 — the same
+//! generator family the real `SmallRng` uses on 64-bit targets), the `Rng`
+//! and `SeedableRng` traits, and `seq::SliceRandom`. Only the API subset
+//! this workspace uses is implemented; distribution quality is good enough
+//! for the statistical assertions in the test suite.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core trait: a source of uniformly random 64-bit words.
+pub trait RngCore {
+    /// Next uniformly random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniformly random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let w = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A value uniformly sampleable over a range type.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_one<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+/// Uniform draw in `[low, low + range)` using rand 0.8's widening-multiply
+/// ("Lemire") method with the bitmask zone, so random streams are
+/// bit-identical to the real crate for the same xoshiro256++ word stream.
+fn sample_inclusive_u64<G: RngCore + ?Sized>(rng: &mut G, low: u64, high: u64) -> u64 {
+    debug_assert!(low <= high);
+    let range = high.wrapping_sub(low).wrapping_add(1);
+    if range == 0 {
+        // Full u64 domain.
+        return rng.next_u64();
+    }
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let m = (v as u128) * (range as u128);
+        let lo = m as u64;
+        if lo <= zone {
+            return low.wrapping_add((m >> 64) as u64);
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_one<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                sample_inclusive_u64(rng, self.start as u64, (self.end as u64).wrapping_sub(1)) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_one<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                sample_inclusive_u64(rng, lo as u64, hi as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_one<G: RngCore + ?Sized>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        // rand 0.8's UniformFloat::sample_single: draw in [1, 2) from the
+        // top 52 bits, shift to [0, 1), then scale. Retry on the (rare)
+        // rounding overflow instead of narrowing the scale.
+        let scale = self.end - self.start;
+        loop {
+            let value1_2 = f64::from_bits(0x3FF0_0000_0000_0000 | (rng.next_u64() >> 12));
+            let res = (value1_2 - 1.0) * scale + self.start;
+            if res < self.end {
+                return res;
+            }
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_one<G: RngCore + ?Sized>(self, rng: &mut G) -> f32 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// A type drawable from the standard (uniform) distribution.
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn draw<G: RngCore + ?Sized>(rng: &mut G) -> Self;
+}
+
+impl Standard for f64 {
+    fn draw<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn draw<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn draw<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn draw<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience sampling methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Uniform value in `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_one(self)
+    }
+
+    /// Value from the standard distribution (`f64` in `[0,1)`, uniform ints).
+    #[allow(clippy::should_implement_trait)]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let u: f64 = Standard::draw(self);
+        u < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Random-number generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// xoshiro256++ — the small, fast generator family used by the real
+    /// `SmallRng` on 64-bit platforms.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::RngCore;
+
+    /// Random selection and shuffling over slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Uniformly pick a reference to one element, or `None` if empty.
+        fn choose<G: RngCore + ?Sized>(&self, rng: &mut G) -> Option<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<G: RngCore + ?Sized>(&mut self, rng: &mut G);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<G: RngCore + ?Sized>(&self, rng: &mut G) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = super::sample_inclusive_u64(rng, 0, self.len() as u64 - 1) as usize;
+                Some(&self[i])
+            }
+        }
+
+        fn shuffle<G: RngCore + ?Sized>(&mut self, rng: &mut G) {
+            for i in (1..self.len()).rev() {
+                let j = super::sample_inclusive_u64(rng, 0, i as u64) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+/// `use rand::prelude::*` convenience.
+pub mod prelude {
+    pub use super::rngs::SmallRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_uniformish() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64_pub(), b.next_u64_pub());
+        }
+        let mut r = SmallRng::seed_from_u64(7);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[r.gen_range(0u64..4) as usize] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+        let u: f64 = r.gen();
+        assert!((0.0..1.0).contains(&u));
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut r).is_some());
+    }
+
+    impl SmallRng {
+        fn next_u64_pub(&mut self) -> u64 {
+            use super::RngCore;
+            self.next_u64()
+        }
+    }
+}

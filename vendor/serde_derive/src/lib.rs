@@ -1,0 +1,417 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled derive macros (no `syn`/`quote`): the input token stream is
+//! walked directly to extract the type's shape — named-field structs,
+//! tuple structs, unit structs, and enums whose variants are unit, tuple,
+//! or struct-like. Generics and `#[serde(...)]` attributes are not
+//! supported (this workspace uses neither); hitting one produces a
+//! compile error naming the limitation.
+//!
+//! Generated code targets the value-tree model of the companion `serde`
+//! stub: `Serialize::to_value` / `Deserialize::from_value`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a struct body or enum variant payload.
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<(String, Shape)>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skip `#[...]` attribute sequences (doc comments arrive as these).
+    fn skip_attrs(&mut self) {
+        loop {
+            match (self.peek(), self.toks.get(self.pos + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    self.pos += 2;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+}
+
+/// Count top-level items in a tuple body `(A, B<C, D>, E)` — commas at
+/// angle-bracket depth zero delimit fields; `()`/`[]` groups are single
+/// token trees so only `<`/`>` need depth tracking.
+fn tuple_arity(g: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut fields = 1;
+    let mut saw_tokens = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    fields += 1;
+                    saw_tokens = false;
+                    continue;
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    // Trailing comma: `(A,)` counted one extra empty field.
+    if !saw_tokens {
+        fields -= 1;
+    }
+    fields
+}
+
+/// Extract field names from a named-field body `{ pub a: T, b: U }`.
+fn named_fields(g: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(g.stream());
+    let mut names = Vec::new();
+    while c.peek().is_some() {
+        c.skip_attrs();
+        c.skip_vis();
+        if c.peek().is_none() {
+            break;
+        }
+        names.push(c.expect_ident()?);
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected ':' after field name, found {other:?}")),
+        }
+        // Consume the type: tokens until a comma at angle depth zero.
+        let mut depth = 0i32;
+        while let Some(t) = c.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    c.pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            c.pos += 1;
+        }
+    }
+    Ok(names)
+}
+
+fn parse_input(ts: TokenStream) -> Result<Input, String> {
+    let mut c = Cursor::new(ts);
+    c.skip_attrs();
+    c.skip_vis();
+    let kw = c.expect_ident()?;
+    let name = c.expect_ident()?;
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stub derive does not support generics on `{name}`"
+            ));
+        }
+    }
+    match kw.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+                name,
+                kind: Kind::Struct(Shape::Named(named_fields(&g)?)),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Input {
+                name,
+                kind: Kind::Struct(Shape::Tuple(tuple_arity(&g))),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Input {
+                name,
+                kind: Kind::Struct(Shape::Unit),
+            }),
+            other => Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            let mut vc = Cursor::new(body.stream());
+            let mut variants = Vec::new();
+            while vc.peek().is_some() {
+                vc.skip_attrs();
+                if vc.peek().is_none() {
+                    break;
+                }
+                let vname = vc.expect_ident()?;
+                let shape = match vc.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let arity = tuple_arity(g);
+                        vc.pos += 1;
+                        Shape::Tuple(arity)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = named_fields(g)?;
+                        vc.pos += 1;
+                        Shape::Named(fields)
+                    }
+                    _ => Shape::Unit,
+                };
+                // Skip an explicit discriminant (`= expr`) up to the comma.
+                while let Some(t) = vc.peek() {
+                    if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                        vc.pos += 1;
+                        break;
+                    }
+                    vc.pos += 1;
+                }
+                variants.push((vname, shape));
+            }
+            Ok(Input {
+                name,
+                kind: Kind::Enum(variants),
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// -------------------------------------------------------------- Serialize
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Shape::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Struct(Shape::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Shape::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    Shape::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str({v:?}.to_string()),"
+                    ),
+                    Shape::Tuple(1) => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Map(vec![({v:?}.to_string(), ::serde::Serialize::to_value(f0))]),"
+                    ),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(vec![({v:?}.to_string(), ::serde::Value::Seq(vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))"))
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Map(vec![({v:?}.to_string(), ::serde::Value::Map(vec![{}]))]),",
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+// ------------------------------------------------------------ Deserialize
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Shape::Unit) => format!("{{ let _ = v; Ok({name}) }}"),
+        Kind::Struct(Shape::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(items.get({i}).unwrap_or(&::serde::Value::Null))?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Seq(items) => Ok({name}({})),\n\
+                     _ => Err(::serde::DeError::expected(\"sequence\")),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Kind::Struct(Shape::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.get({f:?}))?,"))
+                .collect();
+            format!("Ok({name} {{ {} }})", items.join(" "))
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, Shape::Unit))
+                .map(|(v, _)| format!("{v:?} => return Ok({name}::{v}),"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, shape)| match shape {
+                    Shape::Unit => None,
+                    Shape::Tuple(1) => Some(format!(
+                        "{v:?} => return Ok({name}::{v}(::serde::Deserialize::from_value(payload)?)),"
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(items.get({i}).unwrap_or(&::serde::Value::Null))?"))
+                            .collect();
+                        Some(format!(
+                            "{v:?} => {{\n\
+                                 let items = match payload {{\n\
+                                     ::serde::Value::Seq(items) => items,\n\
+                                     _ => return Err(::serde::DeError::expected(\"variant payload sequence\")),\n\
+                                 }};\n\
+                                 return Ok({name}::{v}({}));\n\
+                             }}",
+                            items.join(", ")
+                        ))
+                    }
+                    Shape::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::Deserialize::from_value(payload.get({f:?}))?,"))
+                            .collect();
+                        Some(format!(
+                            "{v:?} => return Ok({name}::{v} {{ {} }}),",
+                            items.join(" ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "{{\n\
+                     if let ::serde::Value::Str(s) = v {{\n\
+                         match s.as_str() {{ {} _ => {{}} }}\n\
+                     }}\n\
+                     if let ::serde::Value::Map(m) = v {{\n\
+                         if let Some((tag, payload)) = m.first() {{\n\
+                             let _ = payload;\n\
+                             match tag.as_str() {{ {} _ => {{}} }}\n\
+                         }}\n\
+                     }}\n\
+                     Err(::serde::DeError::expected(\"variant of {name}\"))\n\
+                 }}",
+                unit_arms.join(" "),
+                data_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Derive `serde::Serialize` (value-tree model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_serialize(&parsed)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde stub codegen error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derive `serde::Deserialize` (value-tree model).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_deserialize(&parsed)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde stub codegen error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
