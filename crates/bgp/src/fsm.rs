@@ -10,7 +10,7 @@
 
 use crate::error::BgpError;
 use crate::message::{BgpMessage, NotifCode, NotificationMessage, OpenMessage, UpdateMessage};
-use peering_netsim::{Asn, SimDuration, SimTime};
+use peering_netsim::{Asn, SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
@@ -30,6 +30,37 @@ pub enum FsmState {
     Established,
 }
 
+/// ConnectRetry policy: deterministic exponential backoff with seeded
+/// jitter (RFC 4271 §8.2.2's ConnectRetryTimer, adapted to simulation).
+///
+/// Attempt `n` waits `initial * 2^n`, capped at `max`, with up to a
+/// `jitter` fraction shaved off by a [`SimRng`] substream — so retries
+/// across a fleet of sessions decorrelate, yet every run of the same seed
+/// retries at exactly the same virtual instants.
+#[derive(Debug, Clone)]
+pub struct ConnectRetryConfig {
+    /// Backoff before the first retry.
+    pub initial: SimDuration,
+    /// Upper bound on the backoff.
+    pub max: SimDuration,
+    /// Fraction of the backoff the jitter may remove (0.0 to 1.0).
+    pub jitter: f64,
+    /// Seed for the jitter substream.
+    pub seed: u64,
+}
+
+impl ConnectRetryConfig {
+    /// Conventional policy: 5 s initial, 120 s cap, 25% jitter.
+    pub fn new(seed: u64) -> Self {
+        ConnectRetryConfig {
+            initial: SimDuration::from_secs(5),
+            max: SimDuration::from_secs(120),
+            jitter: 0.25,
+            seed,
+        }
+    }
+}
+
 /// Static configuration of one session endpoint.
 #[derive(Debug, Clone)]
 pub struct SessionConfig {
@@ -47,6 +78,13 @@ pub struct SessionConfig {
     pub add_path_send: bool,
     /// Offer ADD-PATH receive.
     pub add_path_receive: bool,
+    /// Automatic reconnection after a non-administrative down. `None`
+    /// (the default) keeps the classic behavior: the session falls back
+    /// to `Idle` and stays there until restarted by hand.
+    pub connect_retry: Option<ConnectRetryConfig>,
+    /// Advertise the RFC 4724 graceful-restart capability with this
+    /// restart time (seconds) in our OPEN.
+    pub graceful_restart_secs: Option<u16>,
 }
 
 impl SessionConfig {
@@ -60,6 +98,8 @@ impl SessionConfig {
             passive: false,
             add_path_send: false,
             add_path_receive: false,
+            connect_retry: None,
+            graceful_restart_secs: None,
         }
     }
 
@@ -81,6 +121,18 @@ impl SessionConfig {
         self.add_path_receive = receive;
         self
     }
+
+    /// Reconnect automatically after non-administrative session loss.
+    pub fn with_connect_retry(mut self, retry: ConnectRetryConfig) -> Self {
+        self.connect_retry = Some(retry);
+        self
+    }
+
+    /// Advertise graceful restart with the given restart time.
+    pub fn graceful_restart(mut self, secs: u16) -> Self {
+        self.graceful_restart_secs = Some(secs);
+        self
+    }
 }
 
 /// What the session negotiated once established.
@@ -96,6 +148,8 @@ pub struct Negotiated {
     pub add_path_tx: bool,
     /// We may receive multiple paths per prefix.
     pub add_path_rx: bool,
+    /// The peer advertised graceful restart with this restart time.
+    pub peer_restart_time: Option<SimDuration>,
 }
 
 /// Events surfaced to the owner of the session.
@@ -137,6 +191,9 @@ pub struct Session {
     negotiated: Option<Negotiated>,
     hold_deadline: SimTime,
     keepalive_due: SimTime,
+    retry_deadline: SimTime,
+    retry_attempt: u32,
+    retry_rng: Option<SimRng>,
     /// Counters.
     pub stats: SessionStats,
 }
@@ -144,12 +201,19 @@ pub struct Session {
 impl Session {
     /// Create a session in `Idle`.
     pub fn new(cfg: SessionConfig) -> Self {
+        let retry_rng = cfg
+            .connect_retry
+            .as_ref()
+            .map(|rc| SimRng::new(rc.seed).fork("connect-retry"));
         Session {
             cfg,
             state: FsmState::Idle,
             negotiated: None,
             hold_deadline: SimTime::MAX,
             keepalive_due: SimTime::MAX,
+            retry_deadline: SimTime::MAX,
+            retry_attempt: 0,
+            retry_rng,
             stats: SessionStats::default(),
         }
     }
@@ -179,9 +243,20 @@ impl Session {
     ///
     /// * negotiated parameters exist exactly from `OpenConfirm` onward;
     /// * timers are armed only while a negotiation is live;
-    /// * a zero hold time never arms the hold timer.
+    /// * a zero hold time never arms the hold timer;
+    /// * the ConnectRetry timer is armed only while reconnecting
+    ///   (`Connect`/`OpenSent`) and only on active, retry-enabled
+    ///   endpoints.
     pub fn check_invariants(&self) -> Result<(), String> {
         let negotiated = self.negotiated.is_some();
+        if self.retry_deadline != SimTime::MAX {
+            if self.cfg.connect_retry.is_none() || self.cfg.passive {
+                return Err("retry timer armed without an active retry policy".into());
+            }
+            if !matches!(self.state, FsmState::Connect | FsmState::OpenSent) {
+                return Err(format!("retry timer armed in {:?}", self.state));
+            }
+        }
         match self.state {
             FsmState::Idle | FsmState::Connect | FsmState::OpenSent => {
                 if negotiated {
@@ -219,12 +294,37 @@ impl Session {
         if self.cfg.add_path_send || self.cfg.add_path_receive {
             open = open.with_add_path(self.cfg.add_path_send, self.cfg.add_path_receive);
         }
+        if let Some(secs) = self.cfg.graceful_restart_secs {
+            open = open.with_graceful_restart(secs);
+        }
         BgpMessage::Open(open)
+    }
+
+    /// The next backoff: `initial * 2^attempt` capped at `max`, minus a
+    /// deterministic jitter slice drawn from the session's RNG substream.
+    fn retry_backoff(&mut self) -> SimDuration {
+        let Some(rc) = &self.cfg.connect_retry else {
+            return SimDuration::ZERO;
+        };
+        let shift = self.retry_attempt.min(16);
+        let full = rc.initial.saturating_mul(1u64 << shift).min(rc.max);
+        let unit = self.retry_rng.as_mut().map(|r| r.unit()).unwrap_or(0.0);
+        let shaved = (full.as_micros() as f64 * rc.jitter.clamp(0.0, 1.0) * unit) as u64;
+        SimDuration::from_micros(full.as_micros().saturating_sub(shaved))
+    }
+
+    /// Arm the ConnectRetry timer on active, retry-enabled endpoints.
+    fn arm_retry(&mut self, now: SimTime) {
+        if self.cfg.connect_retry.is_some() && !self.cfg.passive {
+            let backoff = self.retry_backoff();
+            self.retry_deadline = now + backoff;
+            self.retry_attempt = self.retry_attempt.saturating_add(1);
+        }
     }
 
     /// Start the session (ManualStart). Active endpoints emit their OPEN
     /// immediately; passive endpoints wait in `Connect`.
-    pub fn start(&mut self, _now: SimTime) -> Vec<BgpMessage> {
+    pub fn start(&mut self, now: SimTime) -> Vec<BgpMessage> {
         if self.state != FsmState::Idle {
             return Vec::new();
         }
@@ -234,6 +334,9 @@ impl Session {
         } else {
             self.state = FsmState::OpenSent;
             self.stats.msgs_out += 1;
+            // If the OPEN is lost in transit, the retry timer (when
+            // configured) re-sends it rather than hanging in OpenSent.
+            self.arm_retry(now);
             vec![self.open_message()]
         }
     }
@@ -257,6 +360,35 @@ impl Session {
             }
         }
         self.reset();
+        self.retry_attempt = 0;
+        (out, events)
+    }
+
+    /// The transport under the session failed without a BGP message (TCP
+    /// reset, peer process crash, tunnel flap). No NOTIFICATION can be
+    /// sent; retry-enabled endpoints schedule a reconnect.
+    pub fn drop_connection(&mut self, now: SimTime) -> Vec<SessionEvent> {
+        let mut events = Vec::new();
+        if self.state != FsmState::Idle {
+            self.go_down("connection lost", now, &mut events);
+        }
+        events
+    }
+
+    /// The transport delivered bytes that do not parse as a BGP message:
+    /// notify the peer the header is bad and drop the session (RFC 4271
+    /// §6.1).
+    pub fn on_corrupt(&mut self, now: SimTime) -> (Vec<BgpMessage>, Vec<SessionEvent>) {
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+        if self.state != FsmState::Idle {
+            out.push(BgpMessage::Notification(NotificationMessage::new(
+                NotifCode::MessageHeaderError,
+                1, // connection not synchronized
+            )));
+            self.stats.msgs_out += 1;
+            self.go_down("corrupt message", now, &mut events);
+        }
         (out, events)
     }
 
@@ -265,11 +397,19 @@ impl Session {
         self.negotiated = None;
         self.hold_deadline = SimTime::MAX;
         self.keepalive_due = SimTime::MAX;
+        self.retry_deadline = SimTime::MAX;
     }
 
-    fn go_down(&mut self, reason: impl Into<String>, events: &mut Vec<SessionEvent>) {
+    fn go_down(&mut self, reason: impl Into<String>, now: SimTime, events: &mut Vec<SessionEvent>) {
         let was_established = self.state == FsmState::Established;
         self.reset();
+        if self.cfg.connect_retry.is_some() {
+            // Automatic restart: fall back to Connect rather than Idle.
+            // Passive endpoints resume listening immediately; active ones
+            // wait out the backoff before re-sending an OPEN.
+            self.state = FsmState::Connect;
+            self.arm_retry(now);
+        }
         if was_established {
             events.push(SessionEvent::Down {
                 reason: reason.into(),
@@ -304,7 +444,13 @@ impl Session {
             // offered receive, and vice versa.
             add_path_tx: self.cfg.add_path_send && peer_recv,
             add_path_rx: self.cfg.add_path_receive && peer_send,
+            peer_restart_time: open
+                .graceful_restart()
+                .map(|s| SimDuration::from_secs(s as u64)),
         });
+        // Negotiation succeeded: the reconnect loop (if any) is over.
+        self.retry_deadline = SimTime::MAX;
+        self.retry_attempt = 0;
         if hold.is_zero() {
             self.hold_deadline = SimTime::MAX;
             self.keepalive_due = SimTime::MAX;
@@ -349,7 +495,7 @@ impl Session {
                         code, sub,
                     )));
                     self.stats.msgs_out += 1;
-                    self.go_down(e.to_string(), &mut events);
+                    self.go_down(e.to_string(), now, &mut events);
                 }
             },
             (FsmState::OpenSent, BgpMessage::Open(open)) => match self.validate_open(&open) {
@@ -365,7 +511,7 @@ impl Session {
                         code, sub,
                     )));
                     self.stats.msgs_out += 1;
-                    self.go_down(e.to_string(), &mut events);
+                    self.go_down(e.to_string(), now, &mut events);
                 }
             },
             (FsmState::OpenConfirm, BgpMessage::Keepalive) => {
@@ -389,6 +535,7 @@ impl Session {
             (_, BgpMessage::Notification(n)) => {
                 self.go_down(
                     format!("peer notification: {:?}/{}", n.code, n.subcode),
+                    now,
                     &mut events,
                 );
             }
@@ -400,16 +547,30 @@ impl Session {
                     code, sub,
                 )));
                 self.stats.msgs_out += 1;
-                self.go_down(e.to_string(), &mut events);
+                self.go_down(e.to_string(), now, &mut events);
             }
         }
         (out, events)
     }
 
-    /// Drive timers. Returns keepalives or a hold-timer-expired teardown.
+    /// Drive timers. Returns keepalives, a ConnectRetry OPEN, or a
+    /// hold-timer-expired teardown.
     pub fn tick(&mut self, now: SimTime) -> (Vec<BgpMessage>, Vec<SessionEvent>) {
         let mut out = Vec::new();
         let mut events = Vec::new();
+        // ConnectRetry: an active endpoint stuck reconnecting re-sends its
+        // OPEN and doubles the backoff.
+        if matches!(self.state, FsmState::Connect | FsmState::OpenSent)
+            && now >= self.retry_deadline
+        {
+            self.state = FsmState::OpenSent;
+            out.push(self.open_message());
+            self.stats.msgs_out += 1;
+            let backoff = self.retry_backoff();
+            self.retry_deadline = now + backoff;
+            self.retry_attempt = self.retry_attempt.saturating_add(1);
+            return (out, events);
+        }
         if self.state != FsmState::Established && self.state != FsmState::OpenConfirm {
             return (out, events);
         }
@@ -419,7 +580,7 @@ impl Session {
                 0,
             )));
             self.stats.msgs_out += 1;
-            self.go_down("hold timer expired", &mut events);
+            self.go_down("hold timer expired", now, &mut events);
             return (out, events);
         }
         if now >= self.keepalive_due {
@@ -434,7 +595,14 @@ impl Session {
 
     /// The earliest time at which `tick` needs to run again.
     pub fn next_deadline(&self) -> SimTime {
-        self.hold_deadline.min(self.keepalive_due)
+        self.hold_deadline
+            .min(self.keepalive_due)
+            .min(self.retry_deadline)
+    }
+
+    /// The ConnectRetry deadline, if the retry timer is armed.
+    pub fn retry_deadline(&self) -> Option<SimTime> {
+        (self.retry_deadline != SimTime::MAX).then_some(self.retry_deadline)
     }
 
     /// Record an UPDATE sent by the owner (for statistics).
@@ -671,6 +839,157 @@ mod tests {
         establish(&mut a, &mut b, SimTime::ZERO);
         let (_, events) = b.on_message(BgpMessage::RouteRefresh, SimTime::from_secs(1));
         assert_eq!(events, vec![SessionEvent::RefreshRequested]);
+    }
+
+    fn retry_pair() -> (Session, Session) {
+        let a = Session::new(
+            SessionConfig::new(Asn(100), Ipv4Addr::new(1, 1, 1, 1))
+                .expect_peer(Asn(200))
+                .with_connect_retry(ConnectRetryConfig::new(7)),
+        );
+        let b = Session::new(
+            SessionConfig::new(Asn(200), Ipv4Addr::new(2, 2, 2, 2))
+                .expect_peer(Asn(100))
+                .passive()
+                .with_connect_retry(ConnectRetryConfig::new(8)),
+        );
+        (a, b)
+    }
+
+    #[test]
+    fn connection_loss_schedules_backed_off_retry() {
+        let (mut a, mut b) = retry_pair();
+        establish(&mut a, &mut b, SimTime::ZERO);
+        assert!(a.is_established());
+        let t1 = SimTime::from_secs(10);
+        let ev = a.drop_connection(t1);
+        assert!(matches!(ev[0], SessionEvent::Down { .. }));
+        // Active side waits in Connect with the retry timer armed;
+        // passive side resumes listening with no timer.
+        assert_eq!(a.state(), FsmState::Connect);
+        let d1 = a.retry_deadline().expect("retry armed");
+        assert!(d1 > t1);
+        let ev = b.drop_connection(t1);
+        assert!(matches!(ev[0], SessionEvent::Down { .. }));
+        assert_eq!(b.state(), FsmState::Connect);
+        assert_eq!(b.retry_deadline(), None);
+        // Firing the retry re-sends the OPEN and doubles the backoff.
+        let (out, _) = a.tick(d1);
+        assert!(matches!(out[0], BgpMessage::Open(_)));
+        assert_eq!(a.state(), FsmState::OpenSent);
+        let d2 = a.retry_deadline().expect("still armed");
+        assert!(d2.since(d1) > d1.since(t1), "backoff grows: {d1:?} {d2:?}");
+        // Deliver the retried OPEN: the handshake completes.
+        let (b_out, _) = b.on_message(out.into_iter().next().unwrap(), d1);
+        let mut a_out = Vec::new();
+        for m in b_out {
+            let (o, _) = a.on_message(m, d1);
+            a_out.extend(o);
+        }
+        for m in a_out {
+            b.on_message(m, d1);
+        }
+        assert!(a.is_established() && b.is_established());
+        assert_eq!(a.retry_deadline(), None, "retry disarmed on success");
+        assert_eq!(a.stats.flaps, 2);
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_per_seed() {
+        let deadlines = |seed: u64| -> Vec<SimTime> {
+            let mut s = Session::new(
+                SessionConfig::new(Asn(1), Ipv4Addr::new(1, 1, 1, 1))
+                    .with_connect_retry(ConnectRetryConfig::new(seed)),
+            );
+            s.start(SimTime::ZERO);
+            let mut out = Vec::new();
+            for _ in 0..6 {
+                let d = s.retry_deadline().expect("armed");
+                out.push(d);
+                s.tick(d);
+            }
+            out
+        };
+        assert_eq!(deadlines(42), deadlines(42), "same seed, same schedule");
+        assert_ne!(deadlines(42), deadlines(43), "different seed, jittered");
+        // Backoff is monotone and capped: gaps never shrink below the
+        // jittered floor of the cap.
+        let ds = deadlines(42);
+        for w in ds.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn lost_initial_open_is_retried() {
+        let mut a = Session::new(
+            SessionConfig::new(Asn(1), Ipv4Addr::new(1, 1, 1, 1))
+                .with_connect_retry(ConnectRetryConfig::new(3)),
+        );
+        let first = a.start(SimTime::ZERO);
+        assert!(matches!(first[0], BgpMessage::Open(_)));
+        // Pretend the OPEN was lost: the deadline passes, tick re-sends.
+        let d = a.retry_deadline().expect("armed at start");
+        let (out, _) = a.tick(d);
+        assert!(matches!(out[0], BgpMessage::Open(_)));
+        assert_eq!(a.state(), FsmState::OpenSent);
+    }
+
+    #[test]
+    fn without_retry_config_down_means_idle() {
+        let (mut a, mut b) = pair();
+        establish(&mut a, &mut b, SimTime::ZERO);
+        let ev = a.drop_connection(SimTime::from_secs(5));
+        assert!(matches!(ev[0], SessionEvent::Down { .. }));
+        assert_eq!(a.state(), FsmState::Idle);
+        assert_eq!(a.retry_deadline(), None);
+    }
+
+    #[test]
+    fn corrupt_message_notifies_and_drops() {
+        let (mut a, mut b) = retry_pair();
+        establish(&mut a, &mut b, SimTime::ZERO);
+        let (out, ev) = a.on_corrupt(SimTime::from_secs(5));
+        match &out[0] {
+            BgpMessage::Notification(n) => {
+                assert_eq!(n.code, NotifCode::MessageHeaderError);
+                assert_eq!(n.subcode, 1);
+            }
+            other => panic!("expected notification, got {other:?}"),
+        }
+        assert!(matches!(ev[0], SessionEvent::Down { .. }));
+        assert_eq!(a.state(), FsmState::Connect);
+        assert!(a.retry_deadline().is_some());
+        // Idle sessions have nothing to corrupt.
+        let mut idle = Session::new(SessionConfig::new(Asn(9), Ipv4Addr::new(9, 9, 9, 9)));
+        let (out, ev) = idle.on_corrupt(SimTime::ZERO);
+        assert!(out.is_empty() && ev.is_empty());
+    }
+
+    #[test]
+    fn graceful_restart_capability_is_negotiated() {
+        let mut a = Session::new(
+            SessionConfig::new(Asn(100), Ipv4Addr::new(1, 1, 1, 1)).graceful_restart(120),
+        );
+        let mut b = Session::new(
+            SessionConfig::new(Asn(200), Ipv4Addr::new(2, 2, 2, 2))
+                .passive()
+                .graceful_restart(60),
+        );
+        establish(&mut a, &mut b, SimTime::ZERO);
+        assert!(a.is_established());
+        assert_eq!(
+            a.negotiated().unwrap().peer_restart_time,
+            Some(SimDuration::from_secs(60))
+        );
+        assert_eq!(
+            b.negotiated().unwrap().peer_restart_time,
+            Some(SimDuration::from_secs(120))
+        );
+        // Without the capability nothing is advertised.
+        let (mut c, mut d) = pair();
+        establish(&mut c, &mut d, SimTime::ZERO);
+        assert_eq!(c.negotiated().unwrap().peer_restart_time, None);
     }
 
     #[test]

@@ -27,6 +27,13 @@ pub enum Capability {
         /// Willing to receive multiple paths.
         receive: bool,
     },
+    /// Graceful restart (RFC 4724): the speaker can preserve forwarding
+    /// across a control-plane restart; the peer should retain stale paths
+    /// for up to `restart_time_s` seconds.
+    GracefulRestart {
+        /// Restart time in seconds (12-bit field on the wire).
+        restart_time_s: u16,
+    },
 }
 
 /// The OPEN message (RFC 4271 §4.2).
@@ -72,6 +79,13 @@ impl OpenMessage {
         self
     }
 
+    /// Advertise graceful restart with the given restart time.
+    pub fn with_graceful_restart(mut self, restart_time_s: u16) -> Self {
+        self.capabilities
+            .push(Capability::GracefulRestart { restart_time_s });
+        self
+    }
+
     /// The effective ASN: the 4-octet capability value if present,
     /// otherwise the 2-octet field.
     pub fn asn(&self) -> Asn {
@@ -81,6 +95,17 @@ impl OpenMessage {
             }
         }
         Asn(self.my_as2 as u32)
+    }
+
+    /// The graceful-restart time offered by this OPEN, if the capability
+    /// is present.
+    pub fn graceful_restart(&self) -> Option<u16> {
+        for c in &self.capabilities {
+            if let Capability::GracefulRestart { restart_time_s } = c {
+                return Some(*restart_time_s);
+            }
+        }
+        None
     }
 
     /// The negotiated ADD-PATH directions offered by this OPEN.
@@ -328,6 +353,14 @@ mod tests {
             announced: vec![],
         };
         assert!(eor.is_end_of_rib());
+    }
+
+    #[test]
+    fn open_graceful_restart_capability() {
+        let o = OpenMessage::new(Asn(1), 90, Ipv4Addr::new(1, 1, 1, 1));
+        assert_eq!(o.graceful_restart(), None);
+        let o = o.with_graceful_restart(120);
+        assert_eq!(o.graceful_restart(), Some(120));
     }
 
     #[test]

@@ -18,12 +18,12 @@
 use crate::attrs::{Community, PathAttributes};
 use crate::damping::{DampingConfig, DampingState};
 use crate::decision::{best_route, compare_routes, DecisionConfig};
-use crate::fsm::{Session, SessionConfig, SessionEvent};
+use crate::fsm::{ConnectRetryConfig, Session, SessionConfig, SessionEvent};
 use crate::mem::rib_memory;
 use crate::message::{BgpMessage, Nlri, UpdateMessage};
 use crate::policy::Policy;
 use crate::rib::{AdjRibIn, AdjRibOut, AttrInterner, LocRib, PeerId, Route, RouteSource};
-use peering_netsim::{Asn, Prefix, SimDuration, SimTime};
+use peering_netsim::{Asn, Prefix, SimDuration, SimRng, SimTime};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
@@ -64,6 +64,9 @@ pub struct SpeakerConfig {
     pub intern_attrs: bool,
     /// Proposed hold time for sessions.
     pub hold_time: SimDuration,
+    /// Automatic reconnection after session loss. Each peer session gets
+    /// its own deterministic jitter stream forked from this seed.
+    pub connect_retry: Option<ConnectRetryConfig>,
 }
 
 impl SpeakerConfig {
@@ -77,7 +80,14 @@ impl SpeakerConfig {
             damping: None,
             intern_attrs: true,
             hold_time: SimDuration::from_secs(90),
+            connect_retry: None,
         }
+    }
+
+    /// Enable automatic reconnection with backed-off retries.
+    pub fn with_connect_retry(mut self, retry: ConnectRetryConfig) -> Self {
+        self.connect_retry = Some(retry);
+        self
     }
 
     /// Switch to route-server mode.
@@ -121,6 +131,10 @@ pub struct PeerConfig {
     /// reflectors and MPLS backbones mean that many internal routers do
     /// not carry multiple copies of the full table."
     pub rr_client: bool,
+    /// RFC 4724 graceful restart: on session loss, keep this peer's paths
+    /// as stale (still forwarding) for this long, sweeping whatever was
+    /// not re-announced once the peer signals End-of-RIB.
+    pub graceful_restart: Option<SimDuration>,
 }
 
 impl PeerConfig {
@@ -135,6 +149,7 @@ impl PeerConfig {
             passive: false,
             igp_cost: 0,
             rr_client: false,
+            graceful_restart: None,
         }
     }
 
@@ -173,6 +188,12 @@ impl PeerConfig {
         self.rr_client = true;
         self
     }
+
+    /// Builder: retain this peer's paths as stale across restarts.
+    pub fn graceful_restart(mut self, restart_time: SimDuration) -> Self {
+        self.graceful_restart = Some(restart_time);
+        self
+    }
 }
 
 /// Events a speaker surfaces to its owner.
@@ -204,6 +225,15 @@ pub enum Output {
     Event(SpeakerEvent),
 }
 
+/// Graceful-restart bookkeeping: which Adj-RIB-In entries survive from
+/// before the session loss, and when retention gives up.
+struct StaleState {
+    /// When the restart timer flushes whatever is still stale.
+    deadline: SimTime,
+    /// `(prefix, path_id)` entries retained from the old session.
+    keys: BTreeSet<(Prefix, u32)>,
+}
+
 struct PeerState {
     cfg: PeerConfig,
     session: Session,
@@ -212,6 +242,8 @@ struct PeerState {
     damping: DampingState,
     /// Suppressed (damped) prefixes learned from this peer.
     suppressed: BTreeSet<Prefix>,
+    /// Present while the peer is in a graceful-restart window.
+    stale: Option<StaleState>,
 }
 
 /// A complete BGP router.
@@ -309,12 +341,24 @@ impl Speaker {
         if cfg.passive {
             scfg = scfg.passive();
         }
+        if let Some(retry) = self.cfg.connect_retry.clone() {
+            // Fork the jitter stream per peer so concurrent retries from
+            // one speaker do not synchronise.
+            let seed = SimRng::new(retry.seed)
+                .fork(&format!("connect-retry/{}", cfg.id.0))
+                .seed();
+            scfg = scfg.with_connect_retry(ConnectRetryConfig { seed, ..retry });
+        }
+        if let Some(rt) = cfg.graceful_restart {
+            scfg = scfg.graceful_restart(rt.as_micros().div_euclid(1_000_000).min(4095) as u16);
+        }
         let state = PeerState {
             session: Session::new(scfg),
             adj_in: AdjRibIn::new(),
             adj_out: AdjRibOut::new(),
             damping: DampingState::new(),
             suppressed: BTreeSet::new(),
+            stale: None,
             cfg,
         };
         self.peers.insert(state.cfg.id, state);
@@ -438,6 +482,12 @@ impl Speaker {
                     out.extend(self.reconsider(released, now));
                 }
             }
+            // Graceful-restart timer: the peer never came back (or never
+            // finished re-syncing) in time, so flush its stale paths.
+            let state = self.peers.get_mut(&id).expect("peer exists");
+            if state.stale.as_ref().is_some_and(|st| now >= st.deadline) {
+                out.extend(self.finish_graceful_restart(id, now));
+            }
         }
         debug_assert_eq!(
             self.check_invariants(),
@@ -447,11 +497,18 @@ impl Speaker {
         out
     }
 
-    /// The earliest time any session timer needs service.
+    /// The earliest time any session or graceful-restart timer needs
+    /// service.
     pub fn next_deadline(&self) -> SimTime {
         self.peers
             .values()
-            .map(|p| p.session.next_deadline())
+            .map(|p| {
+                let s = p.session.next_deadline();
+                match &p.stale {
+                    Some(st) => s.min(st.deadline),
+                    None => s,
+                }
+            })
             .min()
             .unwrap_or(SimTime::MAX)
     }
@@ -470,12 +527,32 @@ impl Speaker {
             }
             SessionEvent::Down { reason } => {
                 let state = self.peers.get_mut(&peer).expect("peer exists");
-                let affected = state.adj_in.clear();
                 state.adj_out.clear();
                 state.suppressed.clear();
-                let mut out = vec![Output::Event(SpeakerEvent::PeerDown(peer, reason))];
-                out.extend(self.reconsider(affected, now));
-                out
+                if let Some(restart_time) = state.cfg.graceful_restart {
+                    // RFC 4724: mark the peer's paths stale but keep
+                    // forwarding along them. A second loss inside the
+                    // window keeps the original deadline so staleness
+                    // stays bounded.
+                    let deadline = match &state.stale {
+                        Some(st) => st.deadline,
+                        None => now + restart_time,
+                    };
+                    let mut keys = BTreeSet::new();
+                    let prefixes: Vec<Prefix> = state.adj_in.prefixes().copied().collect();
+                    for p in &prefixes {
+                        for r in state.adj_in.paths(p) {
+                            keys.insert((*p, r.path_id));
+                        }
+                    }
+                    state.stale = Some(StaleState { deadline, keys });
+                    vec![Output::Event(SpeakerEvent::PeerDown(peer, reason))]
+                } else {
+                    let affected = state.adj_in.clear();
+                    let mut out = vec![Output::Event(SpeakerEvent::PeerDown(peer, reason))];
+                    out.extend(self.reconsider(affected, now));
+                    out
+                }
             }
             SessionEvent::Update(update) => {
                 self.updates_received += 1;
@@ -486,6 +563,11 @@ impl Speaker {
     }
 
     fn process_update(&mut self, from: PeerId, update: UpdateMessage, now: SimTime) -> Vec<Output> {
+        // End-of-RIB after a graceful restart: the peer has re-sent its
+        // whole table, so whatever is still stale was genuinely lost.
+        if update.is_end_of_rib() {
+            return self.finish_graceful_restart(from, now);
+        }
         let mut affected: BTreeSet<Prefix> = BTreeSet::new();
         let mut events = Vec::new();
         let local_asn = self.cfg.asn;
@@ -499,6 +581,14 @@ impl Speaker {
                     Some(id) => state.adj_in.remove(&nlri.prefix, id).into_iter().collect(),
                     None => state.adj_in.remove_prefix(&nlri.prefix),
                 };
+                if let Some(st) = &mut state.stale {
+                    match nlri.path_id {
+                        Some(id) => {
+                            st.keys.remove(&(nlri.prefix, id));
+                        }
+                        None => st.keys.retain(|(p, _)| p != &nlri.prefix),
+                    }
+                }
                 if !removed.is_empty() {
                     affected.insert(nlri.prefix);
                 }
@@ -530,6 +620,14 @@ impl Speaker {
                             Some(id) => state.adj_in.remove(&nlri.prefix, id).into_iter().collect(),
                             None => state.adj_in.remove_prefix(&nlri.prefix),
                         };
+                        if let Some(st) = &mut state.stale {
+                            match nlri.path_id {
+                                Some(id) => {
+                                    st.keys.remove(&(nlri.prefix, id));
+                                }
+                                None => st.keys.retain(|(p, _)| p != &nlri.prefix),
+                            }
+                        }
                         if !removed.is_empty() {
                             affected.insert(nlri.prefix);
                         }
@@ -556,12 +654,104 @@ impl Speaker {
                         learned_at: now,
                     };
                     state.adj_in.insert(route);
+                    if let Some(st) = &mut state.stale {
+                        st.keys.remove(&(nlri.prefix, nlri.path_id.unwrap_or(0)));
+                    }
                     affected.insert(nlri.prefix);
                 }
             }
         }
         let mut out: Vec<Output> = events.into_iter().map(Output::Event).collect();
         out.extend(self.reconsider(affected.into_iter().collect(), now));
+        out
+    }
+
+    /// End the graceful-restart window for a peer: sweep every retained
+    /// path the peer did not re-announce and re-decide those prefixes.
+    fn finish_graceful_restart(&mut self, peer: PeerId, now: SimTime) -> Vec<Output> {
+        let Some(state) = self.peers.get_mut(&peer) else {
+            return Vec::new();
+        };
+        let Some(stale) = state.stale.take() else {
+            return Vec::new();
+        };
+        let mut affected = BTreeSet::new();
+        for (prefix, path_id) in stale.keys {
+            if state.adj_in.remove(&prefix, path_id).is_some() {
+                affected.insert(prefix);
+            }
+        }
+        self.reconsider(affected.into_iter().collect(), now)
+    }
+
+    /// Tear down the transport with a peer (chaos: TCP reset, link cut
+    /// under the session). With retry configured the session reconnects
+    /// by itself; with graceful restart the peer's paths go stale rather
+    /// than vanishing.
+    pub fn reset_peer(&mut self, peer: PeerId, now: SimTime) -> Vec<Output> {
+        let Some(state) = self.peers.get_mut(&peer) else {
+            return Vec::new();
+        };
+        let events = state.session.drop_connection(now);
+        let mut out = Vec::new();
+        for ev in events {
+            out.extend(self.handle_session_event(peer, ev, now));
+        }
+        debug_assert_eq!(
+            self.check_invariants(),
+            Ok(()),
+            "speaker invariant violated after reset_peer"
+        );
+        out
+    }
+
+    /// React to an unparseable message from a peer (chaos: corruption in
+    /// flight): NOTIFICATION out, session down.
+    pub fn on_corrupt_message(&mut self, from: PeerId, now: SimTime) -> Vec<Output> {
+        let Some(state) = self.peers.get_mut(&from) else {
+            return Vec::new();
+        };
+        let (msgs, events) = state.session.on_corrupt(now);
+        let mut out: Vec<Output> = msgs.into_iter().map(|m| Output::Send(from, m)).collect();
+        for ev in events {
+            out.extend(self.handle_session_event(from, ev, now));
+        }
+        debug_assert_eq!(
+            self.check_invariants(),
+            Ok(()),
+            "speaker invariant violated after on_corrupt_message"
+        );
+        out
+    }
+
+    /// Cold restart after a crash: every session drops to Idle, all
+    /// learned state is gone, only local originations survive (they live
+    /// in configuration). Callers restart sessions via
+    /// [`start_peer`](Self::start_peer) afterwards.
+    pub fn restart(&mut self, now: SimTime) -> Vec<Output> {
+        let mut out = Vec::new();
+        for (id, state) in self.peers.iter_mut() {
+            if state.session.is_established() {
+                out.push(Output::Event(SpeakerEvent::PeerDown(
+                    *id,
+                    "local restart".to_string(),
+                )));
+            }
+            state.session = Session::new(state.session.config().clone());
+            let _ = state.adj_in.clear();
+            state.adj_out.clear();
+            state.suppressed.clear();
+            state.damping = DampingState::new();
+            state.stale = None;
+        }
+        self.loc_rib = LocRib::new();
+        let locals: Vec<Prefix> = self.local_routes.keys().copied().collect();
+        out.extend(self.reconsider(locals, now));
+        debug_assert_eq!(
+            self.check_invariants(),
+            Ok(()),
+            "speaker invariant violated after restart"
+        );
         out
     }
 
@@ -883,10 +1073,16 @@ impl Speaker {
                 .adj_out
                 .check_invariants()
                 .map_err(|e| format!("peer {id:?} adj-rib-out: {e}"))?;
-            if !state.session.is_established() && !state.adj_in.is_empty() {
+            if !state.session.is_established() && !state.adj_in.is_empty() && state.stale.is_none()
+            {
                 return Err(format!(
                     "peer {id:?} holds {} adj-rib-in routes while not established",
                     state.adj_in.len()
+                ));
+            }
+            if state.stale.is_some() && state.cfg.graceful_restart.is_none() {
+                return Err(format!(
+                    "peer {id:?} is in a graceful-restart window but never negotiated one"
                 ));
             }
             if self.cfg.damping.is_none() && !state.suppressed.is_empty() {
@@ -958,6 +1154,10 @@ mod tests {
         };
         drain(a.start_peer(a_peer, now), a_peer, &mut to_b);
         drain(b.start_peer(b_peer, now), b_peer, &mut to_a);
+        // Fire any due ConnectRetry timers (reconnecting sessions sit in
+        // Connect, where `start` is a no-op).
+        drain(a.tick(now), a_peer, &mut to_b);
+        drain(b.tick(now), b_peer, &mut to_a);
         for _ in 0..64 {
             if to_a.is_empty() && to_b.is_empty() {
                 break;
@@ -1561,6 +1761,156 @@ mod tests {
         b.loc_rib.set_best(phantom);
         let err = b.check_invariants().unwrap_err();
         assert!(err.contains("missing adj-rib-in path"), "{err}");
+    }
+
+    /// A pair where `b` retains `a`'s routes across restarts and both
+    /// ends reconnect automatically.
+    fn resilient_pair() -> (Speaker, Speaker) {
+        let mut a = Speaker::new(
+            SpeakerConfig::new(Asn(1), Ipv4Addr::new(10, 0, 0, 1))
+                .with_connect_retry(crate::fsm::ConnectRetryConfig::new(11)),
+        );
+        let mut b = Speaker::new(
+            SpeakerConfig::new(Asn(2), Ipv4Addr::new(10, 0, 0, 2))
+                .with_connect_retry(crate::fsm::ConnectRetryConfig::new(22)),
+        );
+        a.add_peer(PeerConfig::new(PeerId(0), Asn(2)));
+        b.add_peer(
+            PeerConfig::new(PeerId(0), Asn(1))
+                .passive()
+                .graceful_restart(SimDuration::from_secs(120)),
+        );
+        (a, b)
+    }
+
+    #[test]
+    fn graceful_restart_retains_stale_paths_until_end_of_rib() {
+        let (mut a, mut b) = resilient_pair();
+        let p = Prefix::v4(10, 10, 0, 0, 16);
+        a.originate(p, SimTime::ZERO);
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::ZERO);
+        assert!(b.loc_rib().get(&p).is_some());
+
+        // Transport loss at t=5s: no forwarding gap — the route stays in
+        // b's Loc-RIB even though the session is down.
+        let t1 = SimTime::from_secs(5);
+        let outs = b.reset_peer(PeerId(0), t1);
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, Output::Event(SpeakerEvent::PeerDown(_, _)))));
+        assert!(!b.peer_established(PeerId(0)));
+        assert!(
+            b.loc_rib().get(&p).is_some(),
+            "stale path keeps forwarding through the restart window"
+        );
+
+        // The far end also saw the loss and retries; re-establish and
+        // resync at t=20s.
+        a.reset_peer(PeerId(0), t1);
+        let t2 = SimTime::from_secs(20);
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), t2);
+        assert!(b.peer_established(PeerId(0)));
+        // The route was re-announced and the End-of-RIB swept nothing.
+        assert!(b.loc_rib().get(&p).is_some());
+        assert_eq!(b.adj_rib_in(PeerId(0)).unwrap().len(), 1);
+        assert_eq!(b.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn end_of_rib_sweeps_paths_not_reannounced() {
+        let (mut a, mut b) = resilient_pair();
+        let p1 = Prefix::v4(10, 10, 0, 0, 16);
+        let p2 = Prefix::v4(10, 20, 0, 0, 16);
+        a.originate(p1, SimTime::ZERO);
+        a.originate(p2, SimTime::ZERO);
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::ZERO);
+        assert_eq!(b.loc_rib().len(), 2);
+
+        let t1 = SimTime::from_secs(5);
+        b.reset_peer(PeerId(0), t1);
+        a.reset_peer(PeerId(0), t1);
+        // While down, the far end loses one origination: after resync the
+        // stale copy of p2 must be swept by the End-of-RIB.
+        a.withdraw_origin(p2, SimTime::from_secs(6));
+        assert!(b.loc_rib().get(&p2).is_some(), "still stale before resync");
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::from_secs(20));
+        assert!(b.loc_rib().get(&p1).is_some());
+        assert!(
+            b.loc_rib().get(&p2).is_none(),
+            "End-of-RIB sweeps what was not re-announced"
+        );
+        assert_eq!(b.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn restart_timer_expiry_flushes_stale_paths() {
+        let (mut a, mut b) = resilient_pair();
+        let p = Prefix::v4(10, 10, 0, 0, 16);
+        a.originate(p, SimTime::ZERO);
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::ZERO);
+        let t1 = SimTime::from_secs(5);
+        b.reset_peer(PeerId(0), t1);
+        assert!(b.loc_rib().get(&p).is_some());
+        // The peer never comes back: at the 120 s restart deadline the
+        // stale paths are flushed.
+        let outs = b.tick(SimTime::from_secs(126));
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            Output::Event(SpeakerEvent::BestChanged { new: None, .. })
+        )));
+        assert!(b.loc_rib().get(&p).is_none());
+        assert!(b.adj_rib_in(PeerId(0)).unwrap().is_empty());
+        assert_eq!(b.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn speaker_restart_loses_learned_state_but_keeps_originations() {
+        let (mut a, mut b) = resilient_pair();
+        let pa = Prefix::v4(10, 10, 0, 0, 16);
+        let pb = Prefix::v4(10, 30, 0, 0, 16);
+        a.originate(pa, SimTime::ZERO);
+        b.originate(pb, SimTime::ZERO);
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::ZERO);
+        assert_eq!(b.loc_rib().len(), 2);
+
+        let t1 = SimTime::from_secs(5);
+        let outs = b.restart(t1);
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, Output::Event(SpeakerEvent::PeerDown(_, _)))));
+        assert!(!b.peer_established(PeerId(0)));
+        assert!(b.loc_rib().get(&pa).is_none(), "learned state is gone");
+        assert!(b.loc_rib().get(&pb).is_some(), "origination survives");
+        assert_eq!(b.check_invariants(), Ok(()));
+
+        // The far end noticed (transport died with the process), both
+        // sides reconverge.
+        a.reset_peer(PeerId(0), t1);
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::from_secs(30));
+        assert!(b.loc_rib().get(&pa).is_some());
+        assert!(a.loc_rib().get(&pb).is_some());
+    }
+
+    #[test]
+    fn corrupt_message_drops_session_and_recovers() {
+        let (mut a, mut b) = resilient_pair();
+        let p = Prefix::v4(10, 10, 0, 0, 16);
+        a.originate(p, SimTime::ZERO);
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::ZERO);
+        let t1 = SimTime::from_secs(5);
+        let outs = b.on_corrupt_message(PeerId(0), t1);
+        assert!(
+            outs.iter()
+                .any(|o| matches!(o, Output::Send(_, BgpMessage::Notification(_)))),
+            "corruption must be answered with a NOTIFICATION"
+        );
+        assert!(!b.peer_established(PeerId(0)));
+        // GR keeps the path while the session recycles.
+        assert!(b.loc_rib().get(&p).is_some());
+        a.reset_peer(PeerId(0), t1);
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::from_secs(20));
+        assert!(b.peer_established(PeerId(0)));
+        assert!(b.loc_rib().get(&p).is_some());
     }
 
     #[test]

@@ -218,6 +218,13 @@ pub fn encode_message(msg: &BgpMessage, cfg: WireConfig) -> Result<Vec<u8>, BgpE
                         let mode = (*receive as u8) | ((*send as u8) << 1);
                         caps.extend_from_slice(&[69, 4, 0, 1, 1, mode]);
                     }
+                    Capability::GracefulRestart { restart_time_s } => {
+                        // RFC 4724: 4 flag bits (we never set the
+                        // restart-state bit on a fresh OPEN) + 12-bit
+                        // restart time; no per-AFI forwarding entries.
+                        let t = restart_time_s & 0x0FFF;
+                        caps.extend_from_slice(&[64, 2, (t >> 8) as u8, (t & 0xFF) as u8]);
+                    }
                 }
             }
             // One optional parameter of type 2 (Capabilities).
@@ -542,6 +549,12 @@ fn decode_open(mut body: &[u8]) -> Result<OpenMessage, BgpError> {
                         send: mode & 2 != 0,
                         receive: mode & 1 != 0,
                     });
+                }
+                (64, n) if n >= 2 => {
+                    // Graceful restart: mask off the 4 flag bits, keep the
+                    // 12-bit restart time; ignore trailing AFI/SAFI tuples.
+                    let restart_time_s = u16::from_be_bytes([cval[0] & 0x0F, cval[1]]);
+                    capabilities.push(Capability::GracefulRestart { restart_time_s });
                 }
                 _ => {} // unknown capabilities are ignored
             }

@@ -1,0 +1,242 @@
+//! Wire-codec fuzzing: round-trips for every message type plus a corpus
+//! of hand-crafted malformed inputs.
+//!
+//! `props.rs` already covers UPDATE round-trips and pure-garbage inputs;
+//! this file adds the remaining message types (OPEN with its capability
+//! combinations, NOTIFICATION, KEEPALIVE, ROUTE-REFRESH), systematic
+//! truncation, and the classic decoder landmines: bad markers, overlong
+//! AS_PATH segment claims, and degenerate NLRI lengths. The invariant
+//! throughout: `decode_message` returns `Err` on bad input — it never
+//! panics and never reads out of bounds.
+
+use peering_bgp::wire::{decode_message, encode_message, WireConfig, MAX_MESSAGE};
+use peering_bgp::{
+    AsPath, Asn, BgpMessage, Nlri, NotifCode, NotificationMessage, OpenMessage, PathAttributes,
+    Prefix, UpdateMessage,
+};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+fn arb_hold_time() -> impl Strategy<Value = u16> {
+    // RFC 4271 forbids hold times 1 and 2; the decoder enforces it.
+    prop_oneof![Just(0u16), 3u16..=u16::MAX]
+}
+
+fn arb_open() -> impl Strategy<Value = OpenMessage> {
+    (
+        // Straddle the 2-byte boundary: 4-octet ASNs exercise AS_TRANS.
+        prop_oneof![1u32..65_536, 65_536u32..4_000_000_000],
+        arb_hold_time(),
+        any::<u32>(),
+        any::<bool>(),
+        any::<bool>(),
+        // Restart time rides a 12-bit field (RFC 4724); the codec masks
+        // anything larger, so only in-range values round-trip losslessly.
+        proptest::option::of(0u16..=0x0FFF),
+    )
+        .prop_map(|(asn, hold, rid, ap_send, ap_recv, gr)| {
+            let mut open = OpenMessage::new(Asn(asn), hold, Ipv4Addr::from(rid));
+            if ap_send || ap_recv {
+                open = open.with_add_path(ap_send, ap_recv);
+            }
+            if let Some(secs) = gr {
+                open = open.with_graceful_restart(secs);
+            }
+            open
+        })
+}
+
+fn arb_notification() -> impl Strategy<Value = NotificationMessage> {
+    (
+        prop_oneof![
+            Just(NotifCode::MessageHeaderError),
+            Just(NotifCode::OpenMessageError),
+            Just(NotifCode::UpdateMessageError),
+            Just(NotifCode::HoldTimerExpired),
+            Just(NotifCode::FsmError),
+            Just(NotifCode::Cease),
+        ],
+        any::<u8>(),
+        proptest::collection::vec(any::<u8>(), 0..32),
+    )
+        .prop_map(|(code, subcode, data)| NotificationMessage {
+            code,
+            subcode,
+            data,
+        })
+}
+
+proptest! {
+    #[test]
+    fn open_roundtrips_with_all_capability_combinations(open in arb_open()) {
+        let cfg = WireConfig::default();
+        let bytes = encode_message(&BgpMessage::Open(open.clone()), cfg).expect("encode open");
+        let (decoded, used) = decode_message(&bytes, cfg).expect("decode what we encode");
+        prop_assert_eq!(used, bytes.len());
+        let BgpMessage::Open(back) = decoded else {
+            return Err(TestCaseError::fail("wrong message type".to_string()));
+        };
+        prop_assert_eq!(back.asn(), open.asn());
+        prop_assert_eq!(back.hold_time, open.hold_time);
+        prop_assert_eq!(back.router_id, open.router_id);
+        prop_assert_eq!(back.add_path(), open.add_path());
+        prop_assert_eq!(back.graceful_restart(), open.graceful_restart());
+    }
+
+    #[test]
+    fn notification_roundtrips(notif in arb_notification()) {
+        let cfg = WireConfig::default();
+        let msg = BgpMessage::Notification(notif);
+        let bytes = encode_message(&msg, cfg).expect("encode notification");
+        let (decoded, used) = decode_message(&bytes, cfg).expect("decode");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn every_truncation_of_a_valid_message_errors_cleanly(open in arb_open()) {
+        let cfg = WireConfig::default();
+        let bytes = encode_message(&BgpMessage::Open(open), cfg).expect("encode");
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                decode_message(&bytes[..cut], cfg).is_err(),
+                "truncation to {cut}/{} decoded",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn any_marker_corruption_is_rejected(open in arb_open(), pos in 0usize..16, byte in 0u8..=0xFE) {
+        let cfg = WireConfig::default();
+        let mut bytes = encode_message(&BgpMessage::Open(open), cfg).expect("encode");
+        bytes[pos] = byte; // anything but 0xFF
+        prop_assert!(decode_message(&bytes, cfg).is_err());
+    }
+
+    #[test]
+    fn random_bodies_under_a_valid_header_never_panic(
+        msg_type in 0u8..8,
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let bytes = frame(msg_type, &body);
+        let _ = decode_message(&bytes, WireConfig::default());
+        let _ = decode_message(&bytes, WireConfig { add_path: true });
+    }
+}
+
+#[test]
+fn keepalive_and_route_refresh_roundtrip() {
+    let cfg = WireConfig::default();
+    for msg in [BgpMessage::Keepalive, BgpMessage::RouteRefresh] {
+        let bytes = encode_message(&msg, cfg).expect("encode");
+        let (decoded, used) = decode_message(&bytes, cfg).expect("decode");
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, msg);
+    }
+    // A KEEPALIVE with a body is illegal.
+    let bloated = frame(4, &[0]);
+    assert!(decode_message(&bloated, cfg).is_err());
+}
+
+/// Wrap `body` in a syntactically valid header: all-ones marker, correct
+/// length, the given type.
+fn frame(msg_type: u8, body: &[u8]) -> Vec<u8> {
+    let mut out = vec![0xFF; 16];
+    out.extend_from_slice(&(19 + body.len() as u16).to_be_bytes());
+    out.push(msg_type);
+    out.extend_from_slice(body);
+    out
+}
+
+/// Frame an UPDATE from raw section bytes: withdrawn routes, path
+/// attributes, NLRI.
+fn frame_update(withdrawn: &[u8], attrs: &[u8], nlri: &[u8]) -> Vec<u8> {
+    let mut body = (withdrawn.len() as u16).to_be_bytes().to_vec();
+    body.extend_from_slice(withdrawn);
+    body.extend_from_slice(&(attrs.len() as u16).to_be_bytes());
+    body.extend_from_slice(attrs);
+    body.extend_from_slice(nlri);
+    frame(2, &body)
+}
+
+#[test]
+fn overlong_as_path_claim_is_rejected_not_overread() {
+    let cfg = WireConfig::default();
+    // A well-formed attribute header whose AS_PATH segment claims 200
+    // four-byte ASNs but carries none.
+    let as_path_attr = [0x40, 2, 2, /* segment: */ 2, 200];
+    let bytes = frame_update(&[], &as_path_attr, &[]);
+    let err = decode_message(&bytes, cfg).expect_err("overlong segment accepted");
+    let msg = err.to_string();
+    assert!(msg.contains("as-path"), "unexpected error: {msg}");
+
+    // Same claim with the attribute length itself lying about the body.
+    let lying_attr = [0x40, 2, 60, 2, 200];
+    assert!(decode_message(&frame_update(&[], &lying_attr, &[]), cfg).is_err());
+}
+
+#[test]
+fn giant_as_path_cannot_be_encoded_past_the_size_cap() {
+    // 1500 ASNs x 4 bytes blows through the 4096-byte message cap; the
+    // encoder must refuse rather than emit an unparseable frame.
+    let attrs = Arc::new(PathAttributes {
+        as_path: AsPath::from_asns(&(1..=1500u32).map(Asn).collect::<Vec<_>>()),
+        ..Default::default()
+    });
+    let update = UpdateMessage::announce(attrs, vec![Nlri::plain(Prefix::v4(10, 0, 0, 0, 8))]);
+    let result = encode_message(&BgpMessage::Update(update), WireConfig::default());
+    // Refusing (`Err`) is the expected outcome; a successful encode must
+    // at least respect the cap.
+    if let Ok(bytes) = result {
+        assert!(bytes.len() <= MAX_MESSAGE, "oversized frame emitted");
+    }
+}
+
+#[test]
+fn degenerate_nlri_lengths() {
+    let cfg = WireConfig::default();
+    // Prefix length 33 is out of range for v4.
+    assert!(decode_message(&frame_update(&[], &[], &[33, 0, 0, 0, 0, 0]), cfg).is_err());
+    // Length byte claims 4 body bytes that are not there.
+    assert!(decode_message(&frame_update(&[], &[], &[32, 1, 2]), cfg).is_err());
+    // A zero-length NLRI (0.0.0.0/0, no body bytes) is *valid* — it must
+    // decode, not crash, and carry the default route. Attributes must be
+    // present for an announcement to be well-formed.
+    let origin = [0x40, 1, 1, 0];
+    let as_path = [0x40, 2, 0];
+    let next_hop = [0x40, 3, 4, 10, 0, 0, 1];
+    let mut attrs = Vec::new();
+    attrs.extend_from_slice(&origin);
+    attrs.extend_from_slice(&as_path);
+    attrs.extend_from_slice(&next_hop);
+    let (decoded, _) =
+        decode_message(&frame_update(&[], &attrs, &[0]), cfg).expect("default route NLRI");
+    let BgpMessage::Update(u) = decoded else {
+        panic!("wrong type");
+    };
+    assert_eq!(u.announced.len(), 1);
+    assert_eq!(u.announced[0].prefix, Prefix::v4(0, 0, 0, 0, 0));
+    // In ADD-PATH mode the same NLRI without its 4-byte path id is
+    // truncated garbage.
+    assert!(decode_message(
+        &frame_update(&[], &attrs, &[0]),
+        WireConfig { add_path: true }
+    )
+    .is_err());
+}
+
+#[test]
+fn truncated_withdrawn_and_attr_sections_error() {
+    let cfg = WireConfig::default();
+    // Withdrawn-routes length larger than the remaining body.
+    let mut body = 200u16.to_be_bytes().to_vec();
+    body.push(24);
+    assert!(decode_message(&frame(2, &body), cfg).is_err());
+    // Attribute section length larger than the remaining body.
+    let mut body = 0u16.to_be_bytes().to_vec();
+    body.extend_from_slice(&500u16.to_be_bytes());
+    body.push(0);
+    assert!(decode_message(&frame(2, &body), cfg).is_err());
+}

@@ -50,7 +50,7 @@ pub use client::PeeringClient;
 pub use experiment::{
     AnnouncementSpec, Experiment, ExperimentId, PeerSelector, Schedule, ScheduledAction,
 };
-pub use monitor::{Monitor, UpdateKind};
+pub use monitor::{Monitor, SessionKind, SessionRecord, UpdateKind};
 pub use mux::{MuxDesign, MuxHarness, MuxStats};
 pub use pktproc::{Backend, PacketProcessor, PktAction, PktMatch, PktVerdict};
 pub use portal::{Portal, Proposal, RequestId, RequestState, VettingPolicy};

@@ -37,6 +37,31 @@ pub struct UpdateRecord {
     pub reach: Option<usize>,
 }
 
+/// Session lifecycle event type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionKind {
+    /// A BGP session reached Established.
+    Up,
+    /// A BGP session went down.
+    Down,
+}
+
+/// One BGP session lifecycle record. PEERING operators watch session
+/// health across every mux; chaos tests assert against this log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionRecord {
+    /// When.
+    pub time: SimTime,
+    /// Emulation node (container index) that observed the event.
+    pub node: usize,
+    /// The node's local peer id for the session.
+    pub peer: u32,
+    /// Up or down.
+    pub kind: SessionKind,
+    /// Reason for a down event, when the speaker reported one.
+    pub reason: Option<String>,
+}
+
 /// One data-plane probe record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProbeRecord {
@@ -57,6 +82,7 @@ pub struct ProbeRecord {
 pub struct Monitor {
     updates: Vec<UpdateRecord>,
     probes: Vec<ProbeRecord>,
+    sessions: Vec<SessionRecord>,
 }
 
 impl Monitor {
@@ -99,6 +125,37 @@ impl Monitor {
             rtt,
             hops,
         });
+    }
+
+    /// Record a session lifecycle event.
+    pub fn record_session(
+        &mut self,
+        time: SimTime,
+        node: usize,
+        peer: u32,
+        kind: SessionKind,
+        reason: Option<String>,
+    ) {
+        self.sessions.push(SessionRecord {
+            time,
+            node,
+            peer,
+            kind,
+            reason,
+        });
+    }
+
+    /// The full session lifecycle log.
+    pub fn sessions(&self) -> &[SessionRecord] {
+        &self.sessions
+    }
+
+    /// Number of session losses a node observed.
+    pub fn session_flaps(&self, node: usize) -> usize {
+        self.sessions
+            .iter()
+            .filter(|s| s.node == node && s.kind == SessionKind::Down)
+            .count()
     }
 
     /// The full update log.
@@ -210,5 +267,32 @@ mod tests {
         // Unknown prefix: no stats.
         assert_eq!(m.loss_rate(net("1.2.3.0/24")), None);
         assert_eq!(m.median_rtt(net("1.2.3.0/24")), None);
+    }
+
+    #[test]
+    fn session_log_counts_flaps_per_node() {
+        let mut m = Monitor::new();
+        m.record_session(SimTime::ZERO, 3, 0, SessionKind::Up, None);
+        m.record_session(
+            SimTime::from_secs(10),
+            3,
+            0,
+            SessionKind::Down,
+            Some("connection lost".into()),
+        );
+        m.record_session(SimTime::from_secs(15), 3, 0, SessionKind::Up, None);
+        m.record_session(
+            SimTime::from_secs(40),
+            4,
+            1,
+            SessionKind::Down,
+            Some("hold timer expired".into()),
+        );
+        assert_eq!(m.sessions().len(), 4);
+        assert_eq!(m.session_flaps(3), 1);
+        assert_eq!(m.session_flaps(4), 1);
+        assert_eq!(m.session_flaps(9), 0);
+        let down = &m.sessions()[1];
+        assert_eq!(down.reason.as_deref(), Some("connection lost"));
     }
 }

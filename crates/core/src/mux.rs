@@ -14,10 +14,13 @@
 //! emulation substrate, so the two designs can be compared on sessions,
 //! memory, and update fan-out — the E7 ablation.
 
+use crate::monitor::{Monitor, SessionKind};
 use crate::safety::SafetyConfig;
-use peering_bgp::{Asn, PeerConfig, PeerId, Prefix, Speaker, SpeakerConfig};
+use peering_bgp::{
+    Asn, ConnectRetryConfig, PeerConfig, PeerId, Prefix, Speaker, SpeakerConfig, SpeakerEvent,
+};
 use peering_emulation::{Container, Emulation};
-use peering_netsim::{LinkParams, SimRng};
+use peering_netsim::{FaultPlan, LinkParams, SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
@@ -75,16 +78,23 @@ impl MuxHarness {
         let safety = SafetyConfig::peering_default();
         let client_import = safety.client_import_policy();
         let upstream_export = safety.export_safety_policy();
+        // Every speaker reconnects by itself after a session loss, with a
+        // per-container jitter stream so a mux crash does not make the
+        // whole fleet retry in lockstep.
+        let retry = |label: String| ConnectRetryConfig::new(SimRng::new(seed).fork(&label).seed());
         // Upstream neighbor routers.
         let upstream_nodes: Vec<usize> = (0..n_upstreams)
             .map(|u| {
                 let asn = Asn(UPSTREAM_ASN_BASE + u as u32);
                 emu.add_container(Container::router(
                     &format!("upstream-{u}"),
-                    Speaker::new(SpeakerConfig::new(
-                        asn,
-                        Ipv4Addr::new(80, 249, (u >> 8) as u8, (u & 0xff) as u8),
-                    )),
+                    Speaker::new(
+                        SpeakerConfig::new(
+                            asn,
+                            Ipv4Addr::new(80, 249, (u >> 8) as u8, (u & 0xff) as u8),
+                        )
+                        .with_connect_retry(retry(format!("retry/upstream-{u}"))),
+                    ),
                 ))
             })
             .collect();
@@ -94,10 +104,13 @@ impl MuxHarness {
                 let asn = Asn(CLIENT_ASN_BASE + c as u32);
                 emu.add_container(Container::router(
                     &format!("client-{c}"),
-                    Speaker::new(SpeakerConfig::new(
-                        asn,
-                        Ipv4Addr::new(100, 64, (c >> 8) as u8, (c & 0xff) as u8),
-                    )),
+                    Speaker::new(
+                        SpeakerConfig::new(
+                            asn,
+                            Ipv4Addr::new(100, 64, (c >> 8) as u8, (c & 0xff) as u8),
+                        )
+                        .with_connect_retry(retry(format!("retry/client-{c}"))),
+                    ),
                 ))
             })
             .collect();
@@ -114,7 +127,8 @@ impl MuxHarness {
                                 Asn::PEERING,
                                 Ipv4Addr::new(100, 65, (u >> 8) as u8, (u & 0xff) as u8),
                             )
-                            .route_server(),
+                            .route_server()
+                            .with_connect_retry(retry(format!("retry/mux-{u}"))),
                         ),
                     ));
                     nodes.push(node);
@@ -152,7 +166,8 @@ impl MuxHarness {
                     "mux",
                     Speaker::new(
                         SpeakerConfig::new(Asn::PEERING, Ipv4Addr::new(100, 65, 0, 0))
-                            .route_server(),
+                            .route_server()
+                            .with_connect_retry(retry("retry/mux".to_string())),
                     ),
                 ));
                 for (u, &un) in upstream_nodes.iter().enumerate().take(n_upstreams) {
@@ -293,12 +308,64 @@ impl MuxHarness {
     /// Verify every configured session reached Established.
     pub fn fully_established(&self) -> bool {
         let all = |idx: usize| {
-            let d = self.emu.daemon(idx).expect("daemon");
+            let Some(d) = self.emu.daemon(idx) else {
+                return false;
+            };
             d.peer_ids().all(|p| d.peer_established(p))
         };
         self.upstream_nodes.iter().all(|&n| all(n))
             && self.mux_nodes.iter().all(|&n| all(n))
             && self.client_nodes.iter().all(|&n| all(n))
+    }
+
+    /// Emulation node index of mux instance `i`.
+    pub fn mux_node(&self, i: usize) -> usize {
+        self.mux_nodes[i]
+    }
+
+    /// Crash mux instance `i`: the daemon process dies, every session it
+    /// terminated drops at the far end.
+    pub fn crash_mux(&mut self, i: usize) {
+        let node = self.mux_nodes[i];
+        self.emu.crash_daemon(node);
+        self.emu.run_until_quiet(usize::MAX);
+    }
+
+    /// Restart a crashed mux instance `i` with empty RIBs; far-end
+    /// speakers reconnect via their ConnectRetry timers and re-announce.
+    pub fn restart_mux(&mut self, i: usize) {
+        let node = self.mux_nodes[i];
+        self.emu.restart_daemon(node);
+        self.emu.run_until_quiet(usize::MAX);
+    }
+
+    /// Run the harness under a fault schedule until `until`, ticking
+    /// every simulated second so retry/hold timers fire.
+    pub fn run_faults(&mut self, plan: &mut FaultPlan, until: SimTime) {
+        self.emu
+            .run_with_faults(plan, until, SimDuration::from_secs(1), usize::MAX);
+    }
+
+    /// Replay the emulation's speaker event log into a [`Monitor`]
+    /// session-lifecycle log.
+    pub fn session_log_into(&self, monitor: &mut Monitor) {
+        for (time, node, ev) in &self.emu.events {
+            match ev {
+                SpeakerEvent::PeerUp(p) => {
+                    monitor.record_session(*time, *node, p.0, SessionKind::Up, None);
+                }
+                SpeakerEvent::PeerDown(p, reason) => {
+                    monitor.record_session(
+                        *time,
+                        *node,
+                        p.0,
+                        SessionKind::Down,
+                        Some(reason.clone()),
+                    );
+                }
+                _ => {}
+            }
+        }
     }
 }
 
@@ -402,6 +469,42 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn mux_crash_and_restart_recovers_both_designs() {
+        use peering_netsim::{FaultAction, NodeId};
+        for design in [MuxDesign::PerPeerSessions, MuxDesign::AddPathMux] {
+            let mut h = MuxHarness::build(design, 3, 2, 5);
+            let p = prefix(42);
+            for u in 0..3 {
+                h.announce_from_upstream(u, p);
+            }
+            assert_eq!(h.client_paths(0, &p), 3, "{design:?}: baseline");
+            // Crash a mux daemon at t=10s and revive it at t=20s; run on
+            // until the far ends' retry timers have reconnected and the
+            // table is re-announced.
+            let node = h.mux_node(0);
+            let nid = NodeId(node as u32);
+            let mut plan = FaultPlan::new()
+                .at(SimTime::from_secs(10), FaultAction::MuxCrash(nid))
+                .at(SimTime::from_secs(20), FaultAction::MuxRestart(nid));
+            h.run_faults(&mut plan, SimTime::from_secs(240));
+            assert!(h.fully_established(), "{design:?}: sessions recovered");
+            assert_eq!(
+                h.client_paths(0, &p),
+                3,
+                "{design:?}: all paths relearned after mux restart"
+            );
+            // The monitor's session log shows the outage.
+            let mut mon = Monitor::new();
+            h.session_log_into(&mut mon);
+            assert!(
+                mon.session_flaps(h.upstream_nodes[0]) >= 1
+                    || mon.session_flaps(h.client_nodes[0]) >= 1,
+                "{design:?}: far ends logged the session loss"
+            );
         }
     }
 

@@ -3,7 +3,9 @@
 
 use crate::container::{Container, ResourceModel};
 use peering_bgp::{BgpMessage, Output, PeerConfig, PeerId, Speaker, SpeakerEvent};
-use peering_netsim::{LinkParams, MsgNet, NodeId, SimRng, SimTime};
+use peering_netsim::{
+    FaultAction, FaultPlan, LinkParams, MsgNet, NodeId, SimDuration, SimRng, SimTime,
+};
 
 /// Handle for a session whose far end lives outside the emulation
 /// (e.g. the PEERING server a PoP peers with).
@@ -24,19 +26,31 @@ pub enum SessionEnd {
     External(ExternalHandle),
 }
 
-/// A message in flight: deliver to `to_peer` on the destination node.
-struct WireMsg {
-    to_peer: PeerId,
-    msg: BgpMessage,
+/// What travels on the emulated wire: a BGP message addressed to a peer
+/// slot on the destination node, or a self-scheduled clock tick that
+/// drives timers and fault injection.
+enum Payload {
+    /// A BGP message; deliver to `to_peer` on the destination node.
+    Bgp {
+        to_peer: PeerId,
+        msg: BgpMessage,
+    },
+    Tick,
 }
 
 /// The emulated network.
 pub struct Emulation {
     containers: Vec<Container>,
-    net: MsgNet<WireMsg>,
+    net: MsgNet<Payload>,
     sessions: std::collections::HashMap<(usize, PeerId), SessionEnd>,
     external_out: Vec<Vec<BgpMessage>>,
     external_home: Vec<(usize, PeerId)>,
+    /// `(from, to)` container pairs whose next delivered message arrives
+    /// corrupted (the receiver cannot parse it).
+    corrupt_next: std::collections::HashSet<(usize, usize)>,
+    /// Daemons taken down by [`FaultAction::MuxCrash`], keyed by
+    /// container, waiting for a restart.
+    crashed: std::collections::HashMap<usize, Speaker>,
     /// Resource model used for memory accounting.
     pub resources: ResourceModel,
     /// Log of speaker events `(time, container, event)`.
@@ -52,6 +66,8 @@ impl Emulation {
             sessions: std::collections::HashMap::new(),
             external_out: Vec::new(),
             external_home: Vec::new(),
+            corrupt_next: std::collections::HashSet::new(),
+            crashed: std::collections::HashMap::new(),
             resources: ResourceModel::default(),
             events: Vec::new(),
         }
@@ -166,7 +182,7 @@ impl Emulation {
                                 NodeId(from as u32),
                                 NodeId(*container as u32),
                                 size,
-                                WireMsg {
+                                Payload::Bgp {
                                     to_peer: *to_peer,
                                     msg,
                                 },
@@ -257,18 +273,38 @@ impl Emulation {
         std::mem::take(&mut self.external_out[h.0])
     }
 
+    /// Deliver one BGP message to a container's daemon, honoring any
+    /// pending corruption marker for the `(from, to)` pair.
+    fn deliver_bgp(&mut self, from: usize, to: usize, to_peer: PeerId, msg: BgpMessage) {
+        let now = self.net.now();
+        let corrupted = self.corrupt_next.remove(&(from, to));
+        let Some(daemon) = self.containers[to].daemon.as_mut() else {
+            return;
+        };
+        let outputs = if corrupted {
+            daemon.on_corrupt_message(to_peer, now)
+        } else {
+            daemon.on_message(to_peer, msg, now)
+        };
+        self.route_outputs(to, outputs);
+    }
+
     /// Process one in-flight delivery. Returns `false` when idle.
     pub fn step(&mut self) -> bool {
-        let Some((now, delivery)) = self.net.next() else {
+        let Some((_now, delivery)) = self.net.next() else {
             return false;
         };
-        let to = delivery.to.0 as usize;
-        let WireMsg { to_peer, msg } = delivery.msg;
-        let Some(daemon) = self.containers[to].daemon.as_mut() else {
-            return true;
-        };
-        let outputs = daemon.on_message(to_peer, msg, now);
-        self.route_outputs(to, outputs);
+        match delivery.msg {
+            Payload::Tick => self.tick_all(),
+            Payload::Bgp { to_peer, msg } => {
+                self.deliver_bgp(
+                    delivery.from.0 as usize,
+                    delivery.to.0 as usize,
+                    to_peer,
+                    msg,
+                );
+            }
+        }
         true
     }
 
@@ -278,6 +314,162 @@ impl Emulation {
         let mut steps = 0;
         while steps < limit && self.step() {
             steps += 1;
+        }
+        steps
+    }
+
+    /// Apply one fault action at the current simulated time. Link-level
+    /// actions mutate the transport directly; session- and daemon-level
+    /// actions are routed to the hosted speakers.
+    pub fn apply_fault(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::LinkDown(a, b) => self.net.set_link_up(a, b, false),
+            FaultAction::LinkUp(a, b) => self.net.set_link_up(a, b, true),
+            FaultAction::SetLoss(a, b, p) => {
+                for (x, y) in [(a, b), (b, a)] {
+                    if let Some(l) = self.net.link_mut(x, y) {
+                        l.params.loss = p.clamp(0.0, 1.0);
+                    }
+                }
+            }
+            FaultAction::DelaySpike(a, b, extra) => {
+                for (x, y) in [(a, b), (b, a)] {
+                    if let Some(l) = self.net.link_mut(x, y) {
+                        l.params.delay += extra;
+                    }
+                }
+            }
+            // At the emulation layer a black hole and a partition act the
+            // same way: nothing enters or leaves the node.
+            FaultAction::BlackholeNode(n) | FaultAction::PartitionAs(n) => {
+                self.net.set_node_links_up(n, false)
+            }
+            FaultAction::RestoreNode(n) | FaultAction::HealAs(n) => {
+                self.net.set_node_links_up(n, true)
+            }
+            FaultAction::SessionReset(a, b) => {
+                self.reset_sessions_between(a.0 as usize, b.0 as usize)
+            }
+            FaultAction::CorruptMessage(a, b) => {
+                self.corrupt_next.insert((a.0 as usize, b.0 as usize));
+            }
+            FaultAction::MuxCrash(n) => self.crash_daemon(n.0 as usize),
+            FaultAction::MuxRestart(n) => self.restart_daemon(n.0 as usize),
+        }
+    }
+
+    /// Tear down every BGP session riding the `a`<->`b` adjacency, on
+    /// both ends, without any message on the wire (TCP reset).
+    pub fn reset_sessions_between(&mut self, a: usize, b: usize) {
+        let now = self.net.now();
+        let mut ends: Vec<(usize, PeerId)> = self
+            .sessions
+            .iter()
+            .filter_map(|((c, pid), end)| match end {
+                SessionEnd::Internal { container, .. }
+                    if (*c == a && *container == b) || (*c == b && *container == a) =>
+                {
+                    Some((*c, *pid))
+                }
+                _ => None,
+            })
+            .collect();
+        // The session map is a HashMap; sort for deterministic replay.
+        ends.sort();
+        for (c, pid) in ends {
+            let Some(daemon) = self.containers[c].daemon.as_mut() else {
+                continue;
+            };
+            let outputs = daemon.reset_peer(pid, now);
+            self.route_outputs(c, outputs);
+        }
+    }
+
+    /// Crash the daemon on a container: its volatile state leaves the
+    /// emulation (stashed for a later restart) and every far end sees its
+    /// transport die.
+    pub fn crash_daemon(&mut self, idx: usize) {
+        let now = self.net.now();
+        let Some(daemon) = self.containers[idx].daemon.take() else {
+            return;
+        };
+        self.crashed.insert(idx, daemon);
+        let mut far: Vec<(usize, PeerId)> = self
+            .sessions
+            .iter()
+            .filter_map(|((c, pid), end)| match end {
+                SessionEnd::Internal { container, .. } if *container == idx && *c != idx => {
+                    Some((*c, *pid))
+                }
+                _ => None,
+            })
+            .collect();
+        far.sort();
+        for (c, pid) in far {
+            let Some(d) = self.containers[c].daemon.as_mut() else {
+                continue;
+            };
+            let outputs = d.reset_peer(pid, now);
+            self.route_outputs(c, outputs);
+        }
+    }
+
+    /// Restart a crashed daemon: configuration and local originations
+    /// survived, learned state did not. Sessions restart immediately.
+    pub fn restart_daemon(&mut self, idx: usize) {
+        let now = self.net.now();
+        let Some(mut daemon) = self.crashed.remove(&idx) else {
+            return;
+        };
+        let outputs = daemon.restart(now);
+        self.containers[idx].daemon = Some(daemon);
+        self.route_outputs(idx, outputs);
+        self.start_container(idx);
+    }
+
+    /// Drive the emulation under a scripted fault plan.
+    ///
+    /// A tick fires every `tick_every` of simulated time: due faults are
+    /// applied, then every daemon's timers run (hold/keepalive expiry,
+    /// ConnectRetry reconnects, graceful-restart sweeps). The tick chain
+    /// stops once `until` is reached and the plan is exhausted; remaining
+    /// in-flight messages then drain. Returns deliveries processed,
+    /// bounded by `limit`.
+    pub fn run_with_faults(
+        &mut self,
+        plan: &mut FaultPlan,
+        until: SimTime,
+        tick_every: SimDuration,
+        limit: usize,
+    ) -> usize {
+        assert!(!tick_every.is_zero(), "tick_every must be positive");
+        let mut steps = 0;
+        self.net
+            .set_timer(NodeId(0), SimDuration::ZERO, Payload::Tick);
+        while steps < limit {
+            let Some((now, delivery)) = self.net.next() else {
+                break;
+            };
+            steps += 1;
+            match delivery.msg {
+                Payload::Tick => {
+                    for action in plan.due(now) {
+                        self.apply_fault(action);
+                    }
+                    self.tick_all();
+                    if now < until || !plan.exhausted() {
+                        self.net.set_timer(NodeId(0), tick_every, Payload::Tick);
+                    }
+                }
+                Payload::Bgp { to_peer, msg } => {
+                    self.deliver_bgp(
+                        delivery.from.0 as usize,
+                        delivery.to.0 as usize,
+                        to_peer,
+                        msg,
+                    );
+                }
+            }
         }
         steps
     }
@@ -469,5 +661,190 @@ mod tests {
         emu.start_all();
         let steps = emu.run_until_quiet(1);
         assert_eq!(steps, 1);
+    }
+
+    /// A router whose sessions reconnect by themselves and whose peers
+    /// are retained across restarts (the chaos-ready configuration).
+    fn resilient_router(name: &str, asn: u32, seed: u64) -> Container {
+        Container::router(
+            name,
+            Speaker::new(
+                SpeakerConfig::new(Asn(asn), Ipv4Addr::new(10, 0, 0, (asn % 250) as u8 + 1))
+                    .with_connect_retry(peering_bgp::ConnectRetryConfig::new(seed)),
+            ),
+        )
+    }
+
+    fn resilient_pair_emulation() -> (Emulation, usize, usize) {
+        let mut emu = Emulation::new(SimRng::new(7));
+        let a = emu.add_container(resilient_router("a", 65001, 1));
+        let b = emu.add_container(resilient_router("b", 65002, 2));
+        emu.link(a, b, LinkParams::default());
+        emu.connect_bgp(
+            a,
+            PeerConfig::new(PeerId(0), Asn(65002)).graceful_restart(SimDuration::from_secs(120)),
+            b,
+            PeerConfig::new(PeerId(0), Asn(65001))
+                .passive()
+                .graceful_restart(SimDuration::from_secs(120)),
+        );
+        (emu, a, b)
+    }
+
+    #[test]
+    fn session_reset_fault_recovers_via_retry() {
+        let (mut emu, a, b) = resilient_pair_emulation();
+        emu.start_all();
+        emu.run_until_quiet(10_000);
+        let p = Prefix::v4(10, 50, 0, 0, 16);
+        emu.originate(a, p);
+        emu.run_until_quiet(10_000);
+        assert!(emu.daemon(b).unwrap().loc_rib().get(&p).is_some());
+
+        let mut plan = FaultPlan::new().at(
+            SimTime::from_secs(10),
+            FaultAction::SessionReset(NodeId(a as u32), NodeId(b as u32)),
+        );
+        emu.run_with_faults(
+            &mut plan,
+            SimTime::from_secs(60),
+            SimDuration::from_secs(1),
+            100_000,
+        );
+        assert!(emu.daemon(a).unwrap().peer_established(PeerId(0)));
+        assert!(emu.daemon(b).unwrap().peer_established(PeerId(0)));
+        assert!(
+            emu.daemon(b).unwrap().loc_rib().get(&p).is_some(),
+            "route survives the reset"
+        );
+        // Both ends logged the loss.
+        let downs = emu
+            .events
+            .iter()
+            .filter(|(_, _, e)| matches!(e, SpeakerEvent::PeerDown(_, _)))
+            .count();
+        assert!(downs >= 2, "downs={downs}");
+    }
+
+    #[test]
+    fn corrupt_message_fault_notifies_and_recovers() {
+        let (mut emu, a, b) = resilient_pair_emulation();
+        emu.start_all();
+        emu.run_until_quiet(10_000);
+        let p = Prefix::v4(10, 51, 0, 0, 16);
+        emu.originate(a, p);
+        emu.run_until_quiet(10_000);
+
+        // Corrupt the next a->b message, then originate so one flows.
+        let mut plan = FaultPlan::new()
+            .at(
+                SimTime::from_secs(5),
+                FaultAction::CorruptMessage(NodeId(a as u32), NodeId(b as u32)),
+            )
+            .at(
+                SimTime::from_secs(6),
+                FaultAction::SessionReset(NodeId(a as u32), NodeId(b as u32)),
+            );
+        emu.originate(a, Prefix::v4(10, 52, 0, 0, 16));
+        emu.run_with_faults(
+            &mut plan,
+            SimTime::from_secs(90),
+            SimDuration::from_secs(1),
+            100_000,
+        );
+        assert!(emu.daemon(a).unwrap().peer_established(PeerId(0)));
+        assert!(emu.daemon(b).unwrap().peer_established(PeerId(0)));
+        assert!(emu.daemon(b).unwrap().loc_rib().get(&p).is_some());
+    }
+
+    #[test]
+    fn mux_crash_and_restart_relearns_routes() {
+        let (mut emu, a, b) = resilient_pair_emulation();
+        emu.start_all();
+        emu.run_until_quiet(10_000);
+        let pa = Prefix::v4(10, 53, 0, 0, 16);
+        let pb = Prefix::v4(10, 54, 0, 0, 16);
+        emu.originate(a, pa);
+        emu.originate(b, pb);
+        emu.run_until_quiet(10_000);
+        assert!(emu.daemon(a).unwrap().loc_rib().get(&pb).is_some());
+
+        let mut plan = FaultPlan::new()
+            .at(
+                SimTime::from_secs(10),
+                FaultAction::MuxCrash(NodeId(b as u32)),
+            )
+            .at(
+                SimTime::from_secs(20),
+                FaultAction::MuxRestart(NodeId(b as u32)),
+            );
+        emu.run_with_faults(
+            &mut plan,
+            SimTime::from_secs(120),
+            SimDuration::from_secs(1),
+            200_000,
+        );
+        assert!(emu.daemon(a).unwrap().peer_established(PeerId(0)));
+        assert!(emu.daemon(b).unwrap().peer_established(PeerId(0)));
+        // b relearned a's route after losing everything; a still has b's
+        // (origination persisted across the crash).
+        assert!(emu.daemon(b).unwrap().loc_rib().get(&pa).is_some());
+        assert!(emu.daemon(a).unwrap().loc_rib().get(&pb).is_some());
+    }
+
+    #[test]
+    fn partition_and_heal_reconverges() {
+        let (mut emu, a, b) = resilient_pair_emulation();
+        emu.start_all();
+        emu.run_until_quiet(10_000);
+        let p = Prefix::v4(10, 55, 0, 0, 16);
+        emu.originate(a, p);
+        emu.run_until_quiet(10_000);
+
+        // Partition b long enough for its hold timer (90 s) to expire,
+        // then heal; retry brings the session back.
+        let mut plan = FaultPlan::new()
+            .at(
+                SimTime::from_secs(10),
+                FaultAction::PartitionAs(NodeId(b as u32)),
+            )
+            .at(
+                SimTime::from_secs(150),
+                FaultAction::HealAs(NodeId(b as u32)),
+            );
+        emu.run_with_faults(
+            &mut plan,
+            SimTime::from_secs(400),
+            SimDuration::from_secs(1),
+            500_000,
+        );
+        assert!(emu.daemon(a).unwrap().peer_established(PeerId(0)));
+        assert!(emu.daemon(b).unwrap().peer_established(PeerId(0)));
+        assert!(emu.daemon(b).unwrap().loc_rib().get(&p).is_some());
+    }
+
+    #[test]
+    fn delay_spike_slows_but_does_not_break() {
+        let (mut emu, a, b) = resilient_pair_emulation();
+        emu.start_all();
+        emu.run_until_quiet(10_000);
+        let mut plan = FaultPlan::new().at(
+            SimTime::from_secs(5),
+            FaultAction::DelaySpike(
+                NodeId(a as u32),
+                NodeId(b as u32),
+                SimDuration::from_millis(500),
+            ),
+        );
+        let p = Prefix::v4(10, 56, 0, 0, 16);
+        emu.originate(a, p);
+        emu.run_with_faults(
+            &mut plan,
+            SimTime::from_secs(60),
+            SimDuration::from_secs(1),
+            100_000,
+        );
+        assert!(emu.daemon(a).unwrap().peer_established(PeerId(0)));
+        assert!(emu.daemon(b).unwrap().loc_rib().get(&p).is_some());
     }
 }

@@ -4,8 +4,13 @@
 //! ARROW (tunneling around black holes) need failures to happen *on
 //! schedule*. A [`FaultPlan`] is a time-ordered script of actions the
 //! harness applies to the network as the clock passes each trigger time.
+//!
+//! Link-level actions are applied directly to the `MsgNet`; the
+//! session-level actions (`SessionReset`, `CorruptMessage`,
+//! `MuxCrash`/`MuxRestart`, …) are interpreted by the emulation harness,
+//! which knows which BGP sessions ride which links.
 
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use crate::transport::NodeId;
 use serde::{Deserialize, Serialize};
 
@@ -23,13 +28,40 @@ pub enum FaultAction {
     BlackholeNode(NodeId),
     /// Restore a black-holed node.
     RestoreNode(NodeId),
+    /// Abruptly tear down the BGP session(s) between two nodes without
+    /// any NOTIFICATION on the wire — the simulated equivalent of a TCP
+    /// reset on a flaky tunnel.
+    SessionReset(NodeId, NodeId),
+    /// Take every link touching a node down at once, cutting the node's
+    /// AS off from the rest of the topology.
+    PartitionAs(NodeId),
+    /// Undo a [`FaultAction::PartitionAs`]: bring every link touching the
+    /// node back up.
+    HealAs(NodeId),
+    /// Corrupt the next message delivered from the first node to the
+    /// second: the receiver sees garbage it cannot decode and must send a
+    /// NOTIFICATION and drop the session.
+    CorruptMessage(NodeId, NodeId),
+    /// Permanently add latency to the link between two nodes (a routing
+    /// change under the tunnel, a congested transit hop).
+    DelaySpike(NodeId, NodeId, SimDuration),
+    /// Crash the BGP daemon on a node: volatile state (RIBs, sessions) is
+    /// lost; configuration and locally-originated routes persist.
+    MuxCrash(NodeId),
+    /// Restart a crashed daemon from its persisted configuration.
+    MuxRestart(NodeId),
 }
 
 /// A time-ordered script of fault actions.
+///
+/// Actions may be added in any order; they are stably sorted by trigger
+/// time on first use, so actions scheduled for the same tick fire in
+/// insertion order.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FaultPlan {
     events: Vec<(SimTime, FaultAction)>,
     cursor: usize,
+    sorted: bool,
 }
 
 impl FaultPlan {
@@ -39,15 +71,29 @@ impl FaultPlan {
     }
 
     /// Add an action at the given time. Actions may be added in any order;
-    /// they are sorted on first use.
+    /// they are sorted on first use. Equal-time actions keep insertion
+    /// order (the sort is stable and runs once, not per insert).
     pub fn at(mut self, time: SimTime, action: FaultAction) -> Self {
         self.events.push((time, action));
-        self.events.sort_by_key(|(t, _)| *t);
+        self.sorted = false;
         self
+    }
+
+    /// Stable-sort the not-yet-consumed tail by trigger time. Events the
+    /// cursor already walked past stay put, so adding actions mid-run is
+    /// safe as long as they are in the future.
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            // `sort_by_key` is a stable sort: equal-time actions keep the
+            // order they were inserted in.
+            self.events[self.cursor..].sort_by_key(|(t, _)| *t);
+            self.sorted = true;
+        }
     }
 
     /// Pop all actions due at or before `now`, in schedule order.
     pub fn due(&mut self, now: SimTime) -> Vec<FaultAction> {
+        self.ensure_sorted();
         let mut out = Vec::new();
         while self.cursor < self.events.len() && self.events[self.cursor].0 <= now {
             out.push(self.events[self.cursor].1.clone());
@@ -58,7 +104,8 @@ impl FaultPlan {
 
     /// The time of the next pending action, if any.
     pub fn next_time(&self) -> Option<SimTime> {
-        self.events.get(self.cursor).map(|(t, _)| *t)
+        // The tail may not be sorted yet; scan instead of indexing.
+        self.events[self.cursor..].iter().map(|(t, _)| *t).min()
     }
 
     /// True when every action has been consumed.
@@ -113,6 +160,83 @@ mod tests {
         let due = plan.due(t);
         assert_eq!(due.len(), 2);
         assert_eq!(due[0], FaultAction::BlackholeNode(NodeId(9)));
+    }
+
+    #[test]
+    fn same_tick_ordering_survives_many_out_of_order_inserts() {
+        // Regression test for the lazy stable sort: interleave inserts at
+        // a shared tick with earlier and later events, in scrambled time
+        // order, and check the shared-tick actions still fire in exactly
+        // the order they were inserted.
+        let t = SimTime::from_secs(50);
+        let mut plan = FaultPlan::new();
+        for i in 0..64u32 {
+            // A decoy before and after the shared tick, around each insert.
+            plan = plan
+                .at(
+                    SimTime::from_secs(100 + u64::from(i)),
+                    FaultAction::LinkUp(NodeId(i), NodeId(i + 1)),
+                )
+                .at(t, FaultAction::BlackholeNode(NodeId(i)))
+                .at(
+                    SimTime::from_millis(u64::from(64 - i)),
+                    FaultAction::LinkDown(NodeId(i), NodeId(i + 1)),
+                );
+        }
+        // Everything before the shared tick drains first.
+        let early = plan.due(SimTime::from_secs(49));
+        assert_eq!(early.len(), 64);
+        assert!(early
+            .iter()
+            .all(|a| matches!(a, FaultAction::LinkDown(_, _))));
+        // The shared tick fires in insertion order: node 0, 1, 2, ...
+        let same_tick = plan.due(t);
+        let expect: Vec<FaultAction> = (0..64)
+            .map(|i| FaultAction::BlackholeNode(NodeId(i)))
+            .collect();
+        assert_eq!(same_tick, expect);
+        assert_eq!(plan.due(SimTime::MAX).len(), 64);
+        assert!(plan.exhausted());
+    }
+
+    #[test]
+    fn inserts_after_partial_consumption_sort_into_the_tail() {
+        let mut plan = FaultPlan::new()
+            .at(
+                SimTime::from_secs(10),
+                FaultAction::BlackholeNode(NodeId(1)),
+            )
+            .at(SimTime::from_secs(30), FaultAction::RestoreNode(NodeId(1)));
+        assert_eq!(plan.due(SimTime::from_secs(10)).len(), 1);
+        // Add a future event out of order relative to the remaining tail.
+        plan = plan.at(SimTime::from_secs(20), FaultAction::PartitionAs(NodeId(2)));
+        assert_eq!(plan.next_time(), Some(SimTime::from_secs(20)));
+        let due = plan.due(SimTime::from_secs(40));
+        assert_eq!(
+            due,
+            vec![
+                FaultAction::PartitionAs(NodeId(2)),
+                FaultAction::RestoreNode(NodeId(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn chaos_actions_roundtrip_through_serde() {
+        let actions = vec![
+            FaultAction::SessionReset(NodeId(1), NodeId(2)),
+            FaultAction::PartitionAs(NodeId(3)),
+            FaultAction::HealAs(NodeId(3)),
+            FaultAction::CorruptMessage(NodeId(1), NodeId(2)),
+            FaultAction::DelaySpike(NodeId(1), NodeId(2), SimDuration::from_millis(50)),
+            FaultAction::MuxCrash(NodeId(4)),
+            FaultAction::MuxRestart(NodeId(4)),
+        ];
+        for a in actions {
+            let json = serde_json::to_string(&a).expect("serialize");
+            let back: FaultAction = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(a, back);
+        }
     }
 
     #[test]

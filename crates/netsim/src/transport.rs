@@ -109,6 +109,29 @@ impl<M> MsgNet<M> {
         self.links.get_mut(&(a, b))
     }
 
+    /// Set the operational state of every link touching `node`, in both
+    /// directions. Used by fault injection to partition a node off from
+    /// (or heal it back into) the topology in one action.
+    pub fn set_node_links_up(&mut self, node: NodeId, up: bool) {
+        for ((a, b), link) in self.links.iter_mut() {
+            if *a == node || *b == node {
+                link.set_up(up);
+            }
+        }
+    }
+
+    /// The nodes with a link to `node`, in ascending order.
+    pub fn neighbors_of(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .links
+            .keys()
+            .filter(|(a, _)| *a == node)
+            .map(|(_, b)| *b)
+            .collect();
+        out.sort();
+        out
+    }
+
     /// Send `msg` of `size` bytes from `from` to `to` at the current time.
     ///
     /// Returns `true` if the message was accepted for delivery (it may
@@ -259,6 +282,23 @@ mod tests {
         n.remove_link(NodeId(1), NodeId(2));
         assert!(!n.send(NodeId(1), NodeId(2), 1, "x"));
         assert!(!n.send(NodeId(2), NodeId(1), 1, "x"));
+    }
+
+    #[test]
+    fn node_wide_link_toggle_partitions_and_heals() {
+        let mut n = net();
+        n.add_link(NodeId(1), NodeId(2), LinkParams::default());
+        n.add_link(NodeId(1), NodeId(3), LinkParams::default());
+        n.add_link(NodeId(2), NodeId(3), LinkParams::default());
+        assert_eq!(n.neighbors_of(NodeId(1)), vec![NodeId(2), NodeId(3)]);
+        n.set_node_links_up(NodeId(1), false);
+        assert!(!n.link_up(NodeId(1), NodeId(2)));
+        assert!(!n.link_up(NodeId(3), NodeId(1)));
+        // The unrelated link stays up.
+        assert!(n.link_up(NodeId(2), NodeId(3)));
+        n.set_node_links_up(NodeId(1), true);
+        assert!(n.link_up(NodeId(1), NodeId(2)));
+        assert!(n.link_up(NodeId(1), NodeId(3)));
     }
 
     #[test]

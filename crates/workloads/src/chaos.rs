@@ -1,0 +1,336 @@
+//! Chaos campaign: session resilience under scripted failure.
+//!
+//! PEERING's value rests on sessions that survive the real Internet —
+//! flaky transit, crashing muxes, partitioned sites. This module drives
+//! emulated topologies through *seeded* fault schedules (so every run is
+//! reproducible bit-for-bit) and checks the one property that matters:
+//! after every fault has healed and the clock has run long enough for
+//! ConnectRetry, hold-timer and graceful-restart machinery to do their
+//! jobs, the converged Loc-RIBs are **identical** to a fault-free run.
+//!
+//! The digest deliberately excludes `learned_at` timestamps: chaos
+//! reshuffles *when* routes arrive, and the decision process is
+//! age-independent, so converged content must not depend on timing.
+
+use peering_bgp::{Asn, ConnectRetryConfig, PeerConfig, PeerId, Prefix, Speaker, SpeakerConfig};
+use peering_emulation::{Container, Emulation};
+use peering_netsim::{FaultAction, FaultPlan, LinkParams, NodeId, SimDuration, SimRng, SimTime};
+use std::net::Ipv4Addr;
+
+/// How long graceful restart retains a crashed neighbor's paths.
+const RESTART_TIME: SimDuration = SimDuration::from_secs(120);
+
+/// Simulated horizon for one chaos run: every fault injects before
+/// [`INJECT_WINDOW`] and heals within [`HEAL_WINDOW`], leaving several
+/// retry-backoff cycles plus a hold-timer expiry of slack.
+const HORIZON: SimDuration = SimDuration::from_secs(900);
+/// Faults inject in `[10s, 10s + INJECT_WINDOW)`.
+const INJECT_WINDOW: u64 = 200;
+/// Paired heal actions land at most this many seconds after injection.
+const HEAL_WINDOW: u64 = 60;
+
+/// A small emulated topology the chaos campaign can rebuild at will.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosTopology {
+    /// `n` routers in a cycle; routes propagate both ways around it.
+    Ring(usize),
+    /// A hub (node 0) with `n` leaves; the hub relays between leaves.
+    Star(usize),
+}
+
+impl ChaosTopology {
+    /// Human-readable scenario name.
+    pub fn name(&self) -> String {
+        match self {
+            ChaosTopology::Ring(n) => format!("ring-{n}"),
+            ChaosTopology::Star(n) => format!("star-{n}"),
+        }
+    }
+
+    /// Number of emulation nodes.
+    pub fn node_count(&self) -> usize {
+        match self {
+            ChaosTopology::Ring(n) => *n,
+            ChaosTopology::Star(n) => *n + 1,
+        }
+    }
+
+    /// The adjacency list, as node-index pairs.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        match self {
+            ChaosTopology::Ring(n) => (0..*n).map(|i| (i, (i + 1) % n)).collect(),
+            ChaosTopology::Star(n) => (1..=*n).map(|i| (0, i)).collect(),
+        }
+    }
+
+    /// Build the emulation: one speaker per node (private ASNs), every
+    /// session graceful-restart capable, every speaker armed with a
+    /// seeded ConnectRetry stream so nothing stays down for good. Each
+    /// node originates one unique prefix. Runs to initial convergence.
+    pub fn build(&self, seed: u64) -> Emulation {
+        let n = self.node_count();
+        assert!((2..=200).contains(&n), "topology size out of range");
+        let mut emu = Emulation::new(SimRng::new(seed).fork(&self.name()));
+        let nodes: Vec<usize> = (0..n)
+            .map(|i| {
+                let retry_seed = SimRng::new(seed).fork(&format!("retry/{i}")).seed();
+                emu.add_container(Container::router(
+                    &format!("r{i}"),
+                    Speaker::new(
+                        SpeakerConfig::new(
+                            Asn(65001 + i as u32),
+                            Ipv4Addr::new(10, 0, (i >> 8) as u8, (i & 0xff) as u8),
+                        )
+                        .with_connect_retry(ConnectRetryConfig::new(retry_seed)),
+                    ),
+                ))
+            })
+            .collect();
+        let mut next_peer = vec![0u32; n];
+        for (a, b) in self.edges() {
+            emu.link(nodes[a], nodes[b], LinkParams::default());
+            let pa = PeerId(next_peer[a]);
+            let pb = PeerId(next_peer[b]);
+            next_peer[a] += 1;
+            next_peer[b] += 1;
+            // Lower index connects, higher index listens; both ends keep
+            // the other's paths across restarts.
+            emu.connect_bgp(
+                nodes[a],
+                PeerConfig::new(pa, Asn(65001 + b as u32)).graceful_restart(RESTART_TIME),
+                nodes[b],
+                PeerConfig::new(pb, Asn(65001 + a as u32))
+                    .passive()
+                    .graceful_restart(RESTART_TIME),
+            );
+        }
+        emu.start_all();
+        for (i, &node) in nodes.iter().enumerate() {
+            emu.originate(node, origin_prefix(i));
+        }
+        emu.run_until_quiet(usize::MAX);
+        emu
+    }
+}
+
+/// The prefix node `i` originates.
+fn origin_prefix(i: usize) -> Prefix {
+    Prefix::v4(10, 60, i as u8, 0, 24)
+}
+
+/// Generate a seeded fault schedule for `topology`. Every destructive
+/// action is paired with its heal inside the horizon: links come back
+/// up, partitions heal, crashed daemons restart. Same seed, same plan.
+pub fn chaos_plan(topology: &ChaosTopology, seed: u64) -> FaultPlan {
+    let mut rng = SimRng::new(seed).fork("chaos-plan");
+    let edges = topology.edges();
+    let n = topology.node_count();
+    let n_faults = 3 + rng.index(3);
+    let mut plan = FaultPlan::new();
+    for _ in 0..n_faults {
+        let t = SimTime::from_secs(10 + rng.below(INJECT_WINDOW));
+        let heal = t + SimDuration::from_secs(10 + rng.below(HEAL_WINDOW - 10));
+        let &(a, b) = rng.pick(&edges).expect("topology has edges");
+        let (na, nb) = (NodeId(a as u32), NodeId(b as u32));
+        let victim = NodeId(rng.index(n) as u32);
+        match rng.index(6) {
+            0 => plan = plan.at(t, FaultAction::SessionReset(na, nb)),
+            1 => {
+                // Random direction: either end may see the garbage.
+                let (x, y) = if rng.chance(0.5) { (na, nb) } else { (nb, na) };
+                plan = plan.at(t, FaultAction::CorruptMessage(x, y));
+            }
+            2 => {
+                plan = plan
+                    .at(t, FaultAction::LinkDown(na, nb))
+                    .at(heal, FaultAction::LinkUp(na, nb));
+            }
+            3 => {
+                plan = plan
+                    .at(t, FaultAction::PartitionAs(victim))
+                    .at(heal, FaultAction::HealAs(victim));
+            }
+            4 => {
+                plan = plan
+                    .at(t, FaultAction::MuxCrash(victim))
+                    .at(heal, FaultAction::MuxRestart(victim));
+            }
+            _ => {
+                let extra = SimDuration::from_millis(10 + rng.below(190));
+                plan = plan.at(t, FaultAction::DelaySpike(na, nb, extra));
+            }
+        }
+    }
+    plan
+}
+
+/// FNV-1a digest of every container's converged Loc-RIB, independent of
+/// arrival timing: routes are canonicalized **without** `learned_at`,
+/// sorted per container, then hashed container by container.
+pub fn rib_digest(emu: &Emulation) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x1000_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    let mut mix = |s: &str| {
+        for byte in s.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for idx in 0..emu.container_count() {
+        let Some(d) = emu.daemon(idx) else {
+            mix(&format!("node {idx}: crashed;"));
+            continue;
+        };
+        let mut lines: Vec<String> = d
+            .loc_rib()
+            .iter()
+            .map(|r| {
+                format!(
+                    "{:?} peer={:?} path_id={} source={:?} igp={} attrs={:?}",
+                    r.prefix, r.peer, r.path_id, r.source, r.igp_cost, r.attrs
+                )
+            })
+            .collect();
+        lines.sort();
+        mix(&format!("node {idx}:"));
+        for line in &lines {
+            mix(line);
+            mix(";");
+        }
+    }
+    hash
+}
+
+/// The outcome of one seeded chaos run against one topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Which topology ran.
+    pub scenario: String,
+    /// The schedule seed.
+    pub seed: u64,
+    /// Number of scripted actions applied.
+    pub faults: usize,
+    /// Loc-RIB digest of the fault-free run.
+    pub baseline_digest: u64,
+    /// Loc-RIB digest after chaos plus recovery time.
+    pub chaos_digest: u64,
+}
+
+impl ChaosReport {
+    /// True when chaos left no trace: post-recovery tables match the
+    /// fault-free run exactly.
+    pub fn converged(&self) -> bool {
+        self.baseline_digest == self.chaos_digest
+    }
+}
+
+/// Run one seeded schedule against one topology and compare digests.
+pub fn run_one(topology: &ChaosTopology, seed: u64) -> ChaosReport {
+    let baseline = topology.build(seed);
+    let baseline_digest = rib_digest(&baseline);
+    let mut emu = topology.build(seed);
+    let mut plan = chaos_plan(topology, seed);
+    let faults = plan.len();
+    emu.run_with_faults(
+        &mut plan,
+        SimTime::ZERO + HORIZON,
+        SimDuration::from_secs(1),
+        usize::MAX,
+    );
+    ChaosReport {
+        scenario: topology.name(),
+        seed,
+        faults,
+        baseline_digest,
+        chaos_digest: rib_digest(&emu),
+    }
+}
+
+/// The default campaign matrix: every seed against every topology.
+pub fn run_campaign(topologies: &[ChaosTopology], seeds: &[u64]) -> Vec<ChaosReport> {
+    let mut reports = Vec::with_capacity(topologies.len() * seeds.len());
+    for topology in topologies {
+        for &seed in seeds {
+            reports.push(run_one(topology, seed));
+        }
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOPOLOGIES: [ChaosTopology; 2] = [ChaosTopology::Ring(5), ChaosTopology::Star(4)];
+
+    #[test]
+    fn chaos_smoke() {
+        // The cheap CI gate: one seed per topology, tables must match.
+        for report in run_campaign(&TOPOLOGIES, &[1]) {
+            assert!(
+                report.converged(),
+                "{} seed {} diverged: baseline {:#x} vs chaos {:#x} ({} faults)",
+                report.scenario,
+                report.seed,
+                report.baseline_digest,
+                report.chaos_digest,
+                report.faults,
+            );
+            assert!(report.faults >= 3, "plan should script several faults");
+        }
+    }
+
+    #[test]
+    fn campaign_eight_seeds_recover_identical_tables() {
+        // The full acceptance matrix: 8 seeded schedules over both
+        // scenarios, every run ending bitwise identical to fault-free.
+        let seeds: Vec<u64> = (1..=8).collect();
+        let reports = run_campaign(&TOPOLOGIES, &seeds);
+        assert_eq!(reports.len(), 16);
+        for report in &reports {
+            assert!(
+                report.converged(),
+                "{} seed {} diverged after {} faults",
+                report.scenario,
+                report.seed,
+                report.faults,
+            );
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        let topo = ChaosTopology::Ring(5);
+        let mut p1 = chaos_plan(&topo, 42);
+        let mut p2 = chaos_plan(&topo, 42);
+        assert_eq!(p1.len(), p2.len());
+        assert_eq!(p1.due(SimTime::MAX), p2.due(SimTime::MAX));
+        // A different seed scripts a different schedule.
+        let mut p3 = chaos_plan(&topo, 43);
+        assert_ne!(
+            chaos_plan(&topo, 42).due(SimTime::MAX),
+            p3.due(SimTime::MAX)
+        );
+    }
+
+    #[test]
+    fn digest_is_independent_of_retry_seeds() {
+        // Different build seeds shuffle ConnectRetry jitter and message
+        // interleavings, but converged content must hash identically.
+        let topo = ChaosTopology::Ring(4);
+        let d1 = rib_digest(&topo.build(7));
+        let d2 = rib_digest(&topo.build(8));
+        assert_eq!(d1, d2, "converged digest must not depend on timing");
+    }
+
+    #[test]
+    fn digest_sees_route_differences() {
+        let topo = ChaosTopology::Ring(4);
+        let base = topo.build(7);
+        let mut changed = topo.build(7);
+        changed.originate(0, Prefix::v4(10, 99, 0, 0, 24));
+        changed.run_until_quiet(usize::MAX);
+        assert_ne!(rib_digest(&base), rib_digest(&changed));
+    }
+}

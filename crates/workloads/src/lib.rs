@@ -15,9 +15,11 @@
 
 pub mod alexa;
 pub mod catalog;
+pub mod chaos;
 pub mod scenarios;
 pub mod traffic;
 
 pub use alexa::{CatalogConfig, ContentCatalog, Fqdn, WebSite};
 pub use catalog::ScenarioSpec;
+pub use chaos::{ChaosReport, ChaosTopology};
 pub use traffic::{Flow, TrafficMatrix};

@@ -1,0 +1,106 @@
+//! Golden snapshot tests: the scenario catalog's control-plane plans and
+//! the chaos layer's seeded artifacts, pinned against checked-in JSON.
+//!
+//! Run with `UPDATE_GOLDENS=1 cargo test -p peering-workloads --test
+//! goldens` to refresh the snapshots after an intentional change; the
+//! diff then shows reviewers exactly what the change does to every
+//! shipped scenario.
+
+use peering_netsim::Ipv4Net;
+use peering_workloads::catalog;
+use peering_workloads::chaos::{chaos_plan, rib_digest, ChaosTopology};
+use serde::{Serialize, Value};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The fixed catalog inputs: the canonical test allocation and site
+/// count used across the repo's test suites.
+const PREFIX: &str = "184.164.225.0/24";
+const N_SITES: usize = 4;
+/// The fixed seed for the chaos goldens.
+const SEED: u64 = 1;
+
+/// An ordered JSON object from literal pairs (the vendored `Value` keeps
+/// insertion order, so renders are byte-stable).
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Map(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Adapter so a raw `Value` tree can go through the serializer.
+struct Tree(Value);
+
+impl Serialize for Tree {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+fn render(v: Value) -> String {
+    serde_json::to_string_pretty(&Tree(v)).expect("serialize") + "\n"
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("goldens")
+        .join(name)
+}
+
+/// Compare `current` against the checked-in snapshot, or rewrite it when
+/// `UPDATE_GOLDENS` is set.
+fn check_golden(name: &str, current: Value) {
+    let path = golden_path(name);
+    let rendered = render(current);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        fs::create_dir_all(path.parent().expect("parent")).expect("mkdir goldens");
+        fs::write(&path, rendered).expect("write golden");
+        return;
+    }
+    let on_disk = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name} ({e}); refresh with UPDATE_GOLDENS=1"));
+    assert_eq!(
+        on_disk, rendered,
+        "{name} drifted from its snapshot; if intentional, refresh with UPDATE_GOLDENS=1"
+    );
+}
+
+#[test]
+fn scenario_catalog_matches_golden() {
+    let prefix: Ipv4Net = PREFIX.parse().expect("net");
+    let scenarios: Vec<(String, Value)> = catalog::all()
+        .into_iter()
+        .map(|spec| {
+            let plan =
+                serde_json::to_value(&(spec.plan)(prefix, N_SITES)).expect("plan serializes");
+            (
+                spec.name.to_string(),
+                obj(vec![
+                    ("summary", Value::Str(spec.summary.to_string())),
+                    ("plan", plan),
+                ]),
+            )
+        })
+        .collect();
+    let current = obj(vec![
+        ("prefix", Value::Str(PREFIX.to_string())),
+        ("sites", Value::U64(N_SITES as u64)),
+        ("scenarios", Value::Map(scenarios)),
+    ]);
+    check_golden("catalog.json", current);
+}
+
+#[test]
+fn chaos_artifacts_match_golden() {
+    let mut runs = Vec::new();
+    for topology in [ChaosTopology::Ring(5), ChaosTopology::Star(4)] {
+        let plan = chaos_plan(&topology, SEED);
+        let schedule = serde_json::to_value(&plan).expect("plan serializes");
+        let digest = rib_digest(&topology.build(SEED));
+        runs.push(obj(vec![
+            ("topology", Value::Str(topology.name())),
+            ("seed", Value::U64(SEED)),
+            ("schedule", schedule),
+            ("converged_digest", Value::Str(format!("{digest:#018x}"))),
+        ]));
+    }
+    check_golden("chaos.json", obj(vec![("runs", Value::Seq(runs))]));
+}

@@ -14,6 +14,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> chaos smoke (session resilience under faults)"
+cargo test -q -p peering-workloads chaos_smoke
+
 echo "==> peering-lint (static safety verification)"
 cargo run --release -q -p peering-verify --bin peering-lint
 
