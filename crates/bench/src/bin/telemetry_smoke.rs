@@ -1,0 +1,70 @@
+//! Telemetry smoke check: run one catalog scenario and one chaos
+//! schedule with a shared telemetry registry attached, validate the
+//! snapshot, and write it as JSON.
+//!
+//! ```text
+//! cargo run --release -p peering-bench --bin telemetry_smoke -- out.json [seed]
+//! ```
+//!
+//! The repo gate (`tools/check.sh`) runs this twice with the same seed
+//! and `cmp`s the outputs: the snapshot must be byte-identical across
+//! runs, which is the telemetry layer's whole determinism contract.
+
+use peering_core::{Testbed, TestbedConfig};
+use peering_telemetry::Telemetry;
+use peering_workloads::chaos::{run_one_instrumented, ChaosTopology};
+use peering_workloads::scenarios;
+
+/// Counters every smoke run must produce; missing ones mean a wiring
+/// regression somewhere between the scenario layer and the registry.
+const EXPECTED_COUNTERS: &[&str] = &[
+    "core.testbed.announces",
+    "bgp.speaker.updates_in",
+    "bgp.speaker.updates_out",
+    "bgp.session.established",
+    "bgp.decision.runs",
+    "emulation.faults.applied",
+];
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out = args
+        .next()
+        .unwrap_or_else(|| "results/BENCH_telemetry.json".into());
+    let seed: u64 = args.next().map_or(42, |s| s.parse().expect("seed"));
+
+    // One shared registry across both substrates.
+    let telemetry = Telemetry::new();
+
+    // A catalog scenario on the testbed exercises the `core.*` mirrors.
+    let mut tb = Testbed::build(TestbedConfig::small(seed));
+    tb.telemetry = telemetry.clone();
+    tb.monitor.set_telemetry(telemetry.clone());
+    scenarios::anycast::run(&mut tb).expect("anycast scenario runs");
+
+    // A chaos schedule exercises `bgp.*` / `emulation.*` / `netsim.*`.
+    let report = run_one_instrumented(&ChaosTopology::Ring(4), seed, telemetry.clone());
+    assert!(
+        report.converged(),
+        "chaos run must converge with telemetry attached"
+    );
+
+    let snapshot = telemetry.snapshot();
+    if let Err(e) = snapshot.validate(EXPECTED_COUNTERS) {
+        eprintln!("telemetry snapshot invalid: {e}");
+        std::process::exit(1);
+    }
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+    }
+    std::fs::write(&out, snapshot.to_json_pretty()).expect("write snapshot");
+    println!(
+        "telemetry smoke: {} counters, {} gauges, {} histograms -> {out}",
+        snapshot.counters.len(),
+        snapshot.gauges.len(),
+        snapshot.histograms.len()
+    );
+}

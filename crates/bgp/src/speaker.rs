@@ -24,6 +24,7 @@ use crate::message::{BgpMessage, Nlri, UpdateMessage};
 use crate::policy::Policy;
 use crate::rib::{AdjRibIn, AdjRibOut, AttrInterner, LocRib, PeerId, Route, RouteSource};
 use peering_netsim::{Asn, Prefix, SimDuration, SimRng, SimTime};
+use peering_telemetry::Telemetry;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
@@ -257,6 +258,12 @@ pub struct Speaker {
     pub updates_sent: u64,
     /// Count of UPDATE messages processed.
     pub updates_received: u64,
+    /// Telemetry sink (disabled unless attached; see
+    /// [`set_telemetry`](Self::set_telemetry)).
+    telemetry: Telemetry,
+    /// Sim-time each peer's session was last started, for convergence
+    /// measurement (cleared once Established is observed).
+    session_started: BTreeMap<PeerId, SimTime>,
 }
 
 impl Speaker {
@@ -275,6 +282,40 @@ impl Speaker {
             interner,
             updates_sent: 0,
             updates_received: 0,
+            telemetry: Telemetry::disabled(),
+            session_started: BTreeMap::new(),
+        }
+    }
+
+    /// Attach a telemetry handle. All metrics land under `bgp.*`; the
+    /// default handle is disabled, so un-instrumented use is free.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Record an FSM state change on `peer`'s session between two
+    /// externally observable points.
+    fn note_fsm_transition(&self, before: crate::fsm::FsmState, after: crate::fsm::FsmState) {
+        use crate::fsm::FsmState;
+        if before == after || !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.counter_inc("bgp.fsm.transitions");
+        let to = match after {
+            FsmState::Idle => "bgp.fsm.to_idle",
+            FsmState::Connect => "bgp.fsm.to_connect",
+            FsmState::OpenSent => "bgp.fsm.to_open_sent",
+            FsmState::OpenConfirm => "bgp.fsm.to_open_confirm",
+            FsmState::Established => "bgp.fsm.to_established",
+        };
+        self.telemetry.counter_inc(to);
+    }
+
+    /// Refresh the Loc-RIB size gauge after a decision run.
+    fn note_rib_gauges(&self) {
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .gauge_set("bgp.rib.loc_rib_routes", self.loc_rib.len() as i64);
         }
     }
 
@@ -381,12 +422,17 @@ impl Speaker {
         let Some(state) = self.peers.get_mut(&peer) else {
             return Vec::new();
         };
-        state
+        let before = state.session.state();
+        let out = state
             .session
             .start(now)
             .into_iter()
             .map(|m| Output::Send(peer, m))
-            .collect()
+            .collect();
+        self.session_started.insert(peer, now);
+        let after = self.peers[&peer].session.state();
+        self.note_fsm_transition(before, after);
+        out
     }
 
     /// Administratively stop the session with a peer.
@@ -394,11 +440,14 @@ impl Speaker {
         let Some(state) = self.peers.get_mut(&peer) else {
             return Vec::new();
         };
+        let before = state.session.state();
         let (msgs, events) = state.session.stop(now);
         let mut out: Vec<Output> = msgs.into_iter().map(|m| Output::Send(peer, m)).collect();
         for ev in events {
             out.extend(self.handle_session_event(peer, ev, now));
         }
+        let after = self.peers[&peer].session.state();
+        self.note_fsm_transition(before, after);
         out
     }
 
@@ -442,11 +491,14 @@ impl Speaker {
         let Some(state) = self.peers.get_mut(&from) else {
             return Vec::new();
         };
+        let before = state.session.state();
         let (msgs, events) = state.session.on_message(msg, now);
         let mut out: Vec<Output> = msgs.into_iter().map(|m| Output::Send(from, m)).collect();
         for ev in events {
             out.extend(self.handle_session_event(from, ev, now));
         }
+        let after = self.peers[&from].session.state();
+        self.note_fsm_transition(before, after);
         debug_assert_eq!(
             self.check_invariants(),
             Ok(()),
@@ -461,11 +513,14 @@ impl Speaker {
         let mut out = Vec::new();
         for id in ids {
             let state = self.peers.get_mut(&id).expect("peer exists");
+            let before = state.session.state();
             let (msgs, events) = state.session.tick(now);
             out.extend(msgs.into_iter().map(|m| Output::Send(id, m)));
             for ev in events {
                 out.extend(self.handle_session_event(id, ev, now));
             }
+            let after = self.peers[&id].session.state();
+            self.note_fsm_transition(before, after);
             // Damping release check: re-decide prefixes whose suppression
             // has decayed away.
             if let Some(dcfg) = self.cfg.damping {
@@ -521,11 +576,17 @@ impl Speaker {
     ) -> Vec<Output> {
         match ev {
             SessionEvent::Established(_) => {
+                if let Some(started) = self.session_started.remove(&peer) {
+                    self.telemetry
+                        .observe_duration("bgp.session.convergence_us", now.since(started));
+                }
+                self.telemetry.counter_inc("bgp.session.established");
                 let mut out = vec![Output::Event(SpeakerEvent::PeerUp(peer))];
                 out.extend(self.full_table_to(peer, now));
                 out
             }
             SessionEvent::Down { reason } => {
+                self.telemetry.counter_inc("bgp.session.down");
                 let state = self.peers.get_mut(&peer).expect("peer exists");
                 state.adj_out.clear();
                 state.suppressed.clear();
@@ -556,6 +617,7 @@ impl Speaker {
             }
             SessionEvent::Update(update) => {
                 self.updates_received += 1;
+                self.telemetry.counter_inc("bgp.speaker.updates_in");
                 self.process_update(peer, update, now)
             }
             SessionEvent::RefreshRequested => self.full_table_to(peer, now),
@@ -658,6 +720,19 @@ impl Speaker {
                         st.keys.remove(&(nlri.prefix, nlri.path_id.unwrap_or(0)));
                     }
                     affected.insert(nlri.prefix);
+                }
+            }
+        }
+        if self.telemetry.is_enabled() {
+            for ev in &events {
+                match ev {
+                    SpeakerEvent::Suppressed(..) => {
+                        self.telemetry.counter_inc("bgp.damping.suppressed");
+                    }
+                    SpeakerEvent::ImportRejected(..) => {
+                        self.telemetry.counter_inc("bgp.policy.import_rejected");
+                    }
+                    _ => {}
                 }
             }
         }
@@ -769,6 +844,11 @@ impl Speaker {
 
     /// Re-run the decision process for `prefixes` and propagate changes.
     fn reconsider(&mut self, prefixes: Vec<Prefix>, now: SimTime) -> Vec<Output> {
+        if !prefixes.is_empty() {
+            self.telemetry.counter_inc("bgp.decision.runs");
+            self.telemetry
+                .counter_add("bgp.decision.prefixes", prefixes.len() as u64);
+        }
         let mut out = Vec::new();
         for prefix in prefixes {
             let local = self
@@ -806,6 +886,7 @@ impl Speaker {
             // AllPaths peer cares about every path), so always re-export.
             out.extend(self.export_prefix(prefix, now));
         }
+        self.note_rib_gauges();
         out
     }
 
@@ -952,6 +1033,7 @@ impl Speaker {
             if !withdrawals.is_empty() {
                 state.session.note_update_sent();
                 self.updates_sent += 1;
+                self.telemetry.counter_inc("bgp.speaker.updates_out");
                 out.push(Output::Send(
                     id,
                     BgpMessage::Update(UpdateMessage::withdraw(withdrawals)),
@@ -979,6 +1061,7 @@ impl Speaker {
                 state.adj_out.insert(route);
                 state.session.note_update_sent();
                 self.updates_sent += 1;
+                self.telemetry.counter_inc("bgp.speaker.updates_out");
                 out.push(Output::Send(id, msg));
             }
         }
@@ -1044,6 +1127,7 @@ impl Speaker {
             state.adj_out.insert(route);
             state.session.note_update_sent();
             self.updates_sent += 1;
+            self.telemetry.counter_inc("bgp.speaker.updates_out");
             out.push(Output::Send(id, msg));
         }
         out
@@ -1196,6 +1280,40 @@ mod tests {
         assert_eq!(best.attrs.as_path.to_string(), "1");
         assert_eq!(best.source, RouteSource::Ebgp);
         assert_eq!(b.adj_rib_in(PeerId(0)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn telemetry_tracks_session_and_updates() {
+        use peering_telemetry::Telemetry;
+        let telemetry = Telemetry::new();
+        let mut a = speaker(1);
+        let mut b = speaker(2);
+        a.set_telemetry(telemetry.clone());
+        b.set_telemetry(telemetry.clone());
+        a.add_peer(PeerConfig::new(PeerId(0), Asn(2)));
+        b.add_peer(PeerConfig::new(PeerId(0), Asn(1)).passive());
+        let p = Prefix::v4(10, 10, 0, 0, 16);
+        a.originate(p, SimTime::ZERO);
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::ZERO);
+        let snap = telemetry.snapshot();
+        // Both sessions reached Established, and the UPDATE counters
+        // mirror the speakers' own totals.
+        assert_eq!(snap.counter("bgp.session.established"), 2);
+        assert_eq!(snap.counter("bgp.fsm.to_established"), 2);
+        assert_eq!(
+            snap.counter("bgp.speaker.updates_out"),
+            a.updates_sent + b.updates_sent
+        );
+        assert_eq!(
+            snap.counter("bgp.speaker.updates_in"),
+            a.updates_received + b.updates_received
+        );
+        assert!(snap.counter("bgp.decision.runs") > 0);
+        assert_eq!(snap.gauge("bgp.rib.loc_rib_routes"), Some(1));
+        let conv = snap
+            .histogram("bgp.session.convergence_us")
+            .expect("convergence histogram");
+        assert_eq!(conv.count, 2);
     }
 
     #[test]

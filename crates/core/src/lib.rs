@@ -50,10 +50,12 @@ pub use client::PeeringClient;
 pub use experiment::{
     AnnouncementSpec, Experiment, ExperimentId, PeerSelector, Schedule, ScheduledAction,
 };
-pub use monitor::{Monitor, SessionKind, SessionRecord, UpdateKind};
+pub use monitor::{
+    Monitor, ProbeRecord, SessionKind, SessionRecord, TelemetryEvent, UpdateKind, UpdateRecord,
+};
 pub use mux::{MuxDesign, MuxHarness, MuxStats};
 pub use pktproc::{Backend, PacketProcessor, PktAction, PktMatch, PktVerdict};
-pub use portal::{Portal, Proposal, RequestId, RequestState, VettingPolicy};
+pub use portal::{Portal, Proposal, ProvisionRequest, RequestId, RequestState, VettingPolicy};
 pub use safety::{SafetyConfig, SafetyFilter, SafetyVerdict, Violation};
 pub use server::{PeeringServer, SiteKind, SiteSpec};
 pub use testbed::{Testbed, TestbedConfig, TestbedError};

@@ -1,15 +1,24 @@
 //! Automatic control- and data-plane measurement collection.
 //!
 //! "We also automatically collect regular control and data plane
-//! measurements towards PEERING prefixes" (§3). The monitor records every
-//! announcement/withdrawal the testbed executes (a RouteViews-style
-//! update log) and data-plane probe outcomes, and can produce summaries
-//! for experiment reports.
+//! measurements towards PEERING prefixes" (§3). The monitor keeps one
+//! typed, time-ordered stream of [`TelemetryEvent`]s — announcements and
+//! withdrawals the testbed executes (a RouteViews-style update log),
+//! data-plane probe outcomes, and BGP session lifecycle changes — and
+//! answers queries through filtered views over that stream.
+//!
+//! The monitor is also a thin facade over the shared telemetry registry
+//! (`peering-telemetry`): when a [`Telemetry`] handle is attached, every
+//! recorded event is mirrored into aggregate counters under `core.*`
+//! (per-experiment announce/withdraw/blocked counts, per-mux session
+//! flaps, propagation-reach histograms), so one snapshot carries both the
+//! raw event log and the rolled-up metrics.
 
 use crate::experiment::ExperimentId;
 use peering_netsim::{Prefix, SimDuration, SimTime};
+use peering_telemetry::Telemetry;
 use peering_topology::AsIdx;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Control-plane event type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -77,21 +86,103 @@ pub struct ProbeRecord {
     pub hops: Option<usize>,
 }
 
-/// The measurement store.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// One entry in the monitor's unified measurement stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TelemetryEvent {
+    /// A control-plane update-log entry.
+    Update(UpdateRecord),
+    /// A data-plane probe outcome.
+    Probe(ProbeRecord),
+    /// A BGP session lifecycle change.
+    Session(SessionRecord),
+}
+
+impl TelemetryEvent {
+    /// Sim-time the event was recorded at.
+    pub fn time(&self) -> SimTime {
+        match self {
+            TelemetryEvent::Update(u) => u.time,
+            TelemetryEvent::Probe(p) => p.time,
+            TelemetryEvent::Session(s) => s.time,
+        }
+    }
+}
+
+/// The measurement store: one typed event stream plus a telemetry mirror.
+#[derive(Debug, Clone, Default)]
 pub struct Monitor {
-    updates: Vec<UpdateRecord>,
-    probes: Vec<ProbeRecord>,
-    sessions: Vec<SessionRecord>,
+    events: Vec<TelemetryEvent>,
+    telemetry: Telemetry,
 }
 
 impl Monitor {
-    /// An empty monitor.
+    /// An empty monitor (telemetry mirroring disabled).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Attach a telemetry handle; subsequently recorded events are
+    /// mirrored into `core.*` aggregate metrics.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Record one event. This is the single write path; the old
+    /// `record_*` methods forward here.
+    pub fn record(&mut self, event: TelemetryEvent) {
+        self.mirror(&event);
+        self.events.push(event);
+    }
+
+    /// Mirror an event into the aggregate registry metrics.
+    fn mirror(&self, event: &TelemetryEvent) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let t = &self.telemetry;
+        match event {
+            TelemetryEvent::Update(u) => {
+                let exp = u.experiment.0;
+                match u.kind {
+                    UpdateKind::Announce => {
+                        t.counter_inc("core.testbed.announces");
+                        t.counter_inc(&format!("core.experiment.exp{exp}.announces"));
+                    }
+                    UpdateKind::Withdraw => {
+                        t.counter_inc("core.testbed.withdraws");
+                        t.counter_inc(&format!("core.experiment.exp{exp}.withdraws"));
+                    }
+                    UpdateKind::Blocked => {
+                        t.counter_inc("core.safety.blocked");
+                        t.counter_inc(&format!("core.experiment.exp{exp}.blocked"));
+                    }
+                }
+                if let Some(reach) = u.reach {
+                    t.observe("core.testbed.propagation_reach", reach as u64);
+                }
+            }
+            TelemetryEvent::Probe(p) => {
+                t.counter_inc("core.monitor.probes");
+                match p.rtt {
+                    Some(rtt) => t.observe_duration("core.monitor.probe_rtt_us", rtt),
+                    None => t.counter_inc("core.monitor.probes_lost"),
+                }
+            }
+            TelemetryEvent::Session(s) => match s.kind {
+                SessionKind::Up => {
+                    t.counter_inc("core.mux.sessions_up");
+                    t.counter_inc(&format!("core.mux.node{}.sessions_up", s.node));
+                }
+                SessionKind::Down => {
+                    t.counter_inc("core.mux.sessions_down");
+                    t.counter_inc(&format!("core.mux.node{}.sessions_down", s.node));
+                }
+            },
+        }
+    }
+
     /// Record a control-plane event.
+    #[deprecated(note = "use `record(TelemetryEvent::Update(..))` instead")]
     pub fn record_update(
         &mut self,
         time: SimTime,
@@ -100,16 +191,17 @@ impl Monitor {
         prefix: impl Into<Prefix>,
         reach: Option<usize>,
     ) {
-        self.updates.push(UpdateRecord {
+        self.record(TelemetryEvent::Update(UpdateRecord {
             time,
             experiment,
             kind,
             prefix: prefix.into(),
             reach,
-        });
+        }));
     }
 
     /// Record a data-plane probe.
+    #[deprecated(note = "use `record(TelemetryEvent::Probe(..))` instead")]
     pub fn record_probe(
         &mut self,
         time: SimTime,
@@ -118,16 +210,17 @@ impl Monitor {
         rtt: Option<SimDuration>,
         hops: Option<usize>,
     ) {
-        self.probes.push(ProbeRecord {
+        self.record(TelemetryEvent::Probe(ProbeRecord {
             time,
             from,
             prefix: prefix.into(),
             rtt,
             hops,
-        });
+        }));
     }
 
     /// Record a session lifecycle event.
+    #[deprecated(note = "use `record(TelemetryEvent::Session(..))` instead")]
     pub fn record_session(
         &mut self,
         time: SimTime,
@@ -136,48 +229,60 @@ impl Monitor {
         kind: SessionKind,
         reason: Option<String>,
     ) {
-        self.sessions.push(SessionRecord {
+        self.record(TelemetryEvent::Session(SessionRecord {
             time,
             node,
             peer,
             kind,
             reason,
-        });
+        }));
     }
 
-    /// The full session lifecycle log.
-    pub fn sessions(&self) -> &[SessionRecord] {
-        &self.sessions
+    /// The full unified event stream, in recording order.
+    pub fn events(&self) -> &[TelemetryEvent] {
+        &self.events
+    }
+
+    /// View filtered to session lifecycle records.
+    pub fn sessions(&self) -> impl Iterator<Item = &SessionRecord> {
+        self.events.iter().filter_map(|e| match e {
+            TelemetryEvent::Session(s) => Some(s),
+            _ => None,
+        })
     }
 
     /// Number of session losses a node observed.
     pub fn session_flaps(&self, node: usize) -> usize {
-        self.sessions
-            .iter()
+        self.sessions()
             .filter(|s| s.node == node && s.kind == SessionKind::Down)
             .count()
     }
 
-    /// The full update log.
-    pub fn updates(&self) -> &[UpdateRecord] {
-        &self.updates
+    /// View filtered to control-plane update records.
+    pub fn updates(&self) -> impl Iterator<Item = &UpdateRecord> {
+        self.events.iter().filter_map(|e| match e {
+            TelemetryEvent::Update(u) => Some(u),
+            _ => None,
+        })
     }
 
     /// Update log filtered to one experiment.
     pub fn updates_for(&self, exp: ExperimentId) -> impl Iterator<Item = &UpdateRecord> {
-        self.updates.iter().filter(move |u| u.experiment == exp)
+        self.updates().filter(move |u| u.experiment == exp)
     }
 
-    /// The full probe log.
-    pub fn probes(&self) -> &[ProbeRecord] {
-        &self.probes
+    /// View filtered to data-plane probe records.
+    pub fn probes(&self) -> impl Iterator<Item = &ProbeRecord> {
+        self.events.iter().filter_map(|e| match e {
+            TelemetryEvent::Probe(p) => Some(p),
+            _ => None,
+        })
     }
 
     /// Loss rate over probes toward a prefix.
     pub fn loss_rate(&self, prefix: impl Into<Prefix>) -> Option<f64> {
         let prefix = prefix.into();
-        let relevant: Vec<&ProbeRecord> =
-            self.probes.iter().filter(|p| p.prefix == prefix).collect();
+        let relevant: Vec<&ProbeRecord> = self.probes().filter(|p| p.prefix == prefix).collect();
         if relevant.is_empty() {
             return None;
         }
@@ -189,8 +294,7 @@ impl Monitor {
     pub fn median_rtt(&self, prefix: impl Into<Prefix>) -> Option<SimDuration> {
         let prefix = prefix.into();
         let mut rtts: Vec<SimDuration> = self
-            .probes
-            .iter()
+            .probes()
             .filter(|p| p.prefix == prefix)
             .filter_map(|p| p.rtt)
             .collect();
@@ -209,6 +313,34 @@ impl Monitor {
     }
 }
 
+// Hand-written serde: the telemetry handle is runtime wiring, not data, so
+// only the event stream round-trips (the vendored derive has no `skip`).
+impl Serialize for Monitor {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![("events".to_string(), self.events.to_value())])
+    }
+}
+
+impl Deserialize for Monitor {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(m) => {
+                let events = m
+                    .iter()
+                    .find(|(k, _)| k == "events")
+                    .map(|(_, ev)| Vec::<TelemetryEvent>::from_value(ev))
+                    .transpose()?
+                    .unwrap_or_default();
+                Ok(Monitor {
+                    events,
+                    telemetry: Telemetry::disabled(),
+                })
+            }
+            _ => Err(DeError::expected("Monitor map")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,32 +349,41 @@ mod tests {
         s.parse().unwrap()
     }
 
+    fn update(time: SimTime, exp: u32, kind: UpdateKind, prefix: Prefix) -> TelemetryEvent {
+        TelemetryEvent::Update(UpdateRecord {
+            time,
+            experiment: ExperimentId(exp),
+            kind,
+            prefix,
+            reach: None,
+        })
+    }
+
     #[test]
     fn update_log_records_and_filters() {
         let mut m = Monitor::new();
         let p = net("184.164.225.0/24");
-        m.record_update(
-            SimTime::ZERO,
-            ExperimentId(1),
-            UpdateKind::Announce,
-            p,
-            Some(500),
-        );
-        m.record_update(
+        m.record(TelemetryEvent::Update(UpdateRecord {
+            time: SimTime::ZERO,
+            experiment: ExperimentId(1),
+            kind: UpdateKind::Announce,
+            prefix: p.into(),
+            reach: Some(500),
+        }));
+        m.record(update(
             SimTime::from_secs(60),
-            ExperimentId(2),
+            2,
             UpdateKind::Blocked,
-            net("8.8.8.0/24"),
-            None,
-        );
-        m.record_update(
+            net("8.8.8.0/24").into(),
+        ));
+        m.record(update(
             SimTime::from_secs(120),
-            ExperimentId(1),
+            1,
             UpdateKind::Withdraw,
-            p,
-            None,
-        );
-        assert_eq!(m.updates().len(), 3);
+            p.into(),
+        ));
+        assert_eq!(m.updates().count(), 3);
+        assert_eq!(m.events().len(), 3);
         assert_eq!(m.updates_for(ExperimentId(1)).count(), 2);
         assert_eq!(m.blocked_count(ExperimentId(2)), 1);
         assert_eq!(m.blocked_count(ExperimentId(1)), 0);
@@ -258,7 +399,13 @@ mod tests {
             } else {
                 Some(SimDuration::from_millis(50 + i))
             };
-            m.record_probe(SimTime::from_secs(i), AsIdx(7), p, rtt, rtt.map(|_| 4));
+            m.record(TelemetryEvent::Probe(ProbeRecord {
+                time: SimTime::from_secs(i),
+                from: AsIdx(7),
+                prefix: p.into(),
+                rtt,
+                hops: rtt.map(|_| 4),
+            }));
         }
         assert_eq!(m.loss_rate(p), Some(0.2));
         let med = m.median_rtt(p).unwrap();
@@ -272,27 +419,115 @@ mod tests {
     #[test]
     fn session_log_counts_flaps_per_node() {
         let mut m = Monitor::new();
-        m.record_session(SimTime::ZERO, 3, 0, SessionKind::Up, None);
-        m.record_session(
+        let session = |time, node, peer, kind, reason: Option<&str>| {
+            TelemetryEvent::Session(SessionRecord {
+                time,
+                node,
+                peer,
+                kind,
+                reason: reason.map(String::from),
+            })
+        };
+        m.record(session(SimTime::ZERO, 3, 0, SessionKind::Up, None));
+        m.record(session(
             SimTime::from_secs(10),
             3,
             0,
             SessionKind::Down,
-            Some("connection lost".into()),
-        );
-        m.record_session(SimTime::from_secs(15), 3, 0, SessionKind::Up, None);
-        m.record_session(
+            Some("connection lost"),
+        ));
+        m.record(session(SimTime::from_secs(15), 3, 0, SessionKind::Up, None));
+        m.record(session(
             SimTime::from_secs(40),
             4,
             1,
             SessionKind::Down,
-            Some("hold timer expired".into()),
-        );
-        assert_eq!(m.sessions().len(), 4);
+            Some("hold timer expired"),
+        ));
+        assert_eq!(m.sessions().count(), 4);
         assert_eq!(m.session_flaps(3), 1);
         assert_eq!(m.session_flaps(4), 1);
         assert_eq!(m.session_flaps(9), 0);
-        let down = &m.sessions()[1];
+        let down = m.sessions().nth(1).unwrap();
         assert_eq!(down.reason.as_deref(), Some("connection lost"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_feed_the_unified_stream() {
+        let mut m = Monitor::new();
+        let p = net("184.164.225.0/24");
+        m.record_update(
+            SimTime::ZERO,
+            ExperimentId(1),
+            UpdateKind::Announce,
+            p,
+            None,
+        );
+        m.record_probe(
+            SimTime::from_secs(1),
+            AsIdx(2),
+            p,
+            Some(SimDuration::from_millis(30)),
+            Some(3),
+        );
+        m.record_session(SimTime::from_secs(2), 0, 0, SessionKind::Up, None);
+        assert_eq!(m.events().len(), 3);
+        assert_eq!(m.updates().count(), 1);
+        assert_eq!(m.probes().count(), 1);
+        assert_eq!(m.sessions().count(), 1);
+        // The stream preserves recording order across kinds.
+        assert!(matches!(m.events()[0], TelemetryEvent::Update(_)));
+        assert!(matches!(m.events()[2], TelemetryEvent::Session(_)));
+    }
+
+    #[test]
+    fn mirrors_into_registry_when_attached() {
+        let mut m = Monitor::new();
+        m.set_telemetry(Telemetry::new());
+        let p = net("184.164.225.0/24");
+        m.record(TelemetryEvent::Update(UpdateRecord {
+            time: SimTime::ZERO,
+            experiment: ExperimentId(7),
+            kind: UpdateKind::Announce,
+            prefix: p.into(),
+            reach: Some(120),
+        }));
+        m.record(update(
+            SimTime::from_secs(1),
+            7,
+            UpdateKind::Blocked,
+            net("8.8.8.0/24").into(),
+        ));
+        m.record(TelemetryEvent::Probe(ProbeRecord {
+            time: SimTime::from_secs(2),
+            from: AsIdx(1),
+            prefix: p.into(),
+            rtt: None,
+            hops: None,
+        }));
+        let snap = m.telemetry.snapshot();
+        assert_eq!(snap.counter("core.testbed.announces"), 1);
+        assert_eq!(snap.counter("core.experiment.exp7.announces"), 1);
+        assert_eq!(snap.counter("core.safety.blocked"), 1);
+        assert_eq!(snap.counter("core.monitor.probes_lost"), 1);
+        let reach = snap
+            .histogram("core.testbed.propagation_reach")
+            .expect("reach histogram");
+        assert_eq!((reach.count, reach.max), (1, 120));
+    }
+
+    #[test]
+    fn serde_round_trips_event_stream() {
+        let mut m = Monitor::new();
+        m.record(update(
+            SimTime::ZERO,
+            1,
+            UpdateKind::Announce,
+            net("184.164.225.0/24").into(),
+        ));
+        let v = m.to_value();
+        let back = Monitor::from_value(&v).expect("deserialize");
+        assert_eq!(back.events(), m.events());
     }
 }

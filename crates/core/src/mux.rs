@@ -14,13 +14,14 @@
 //! emulation substrate, so the two designs can be compared on sessions,
 //! memory, and update fan-out — the E7 ablation.
 
-use crate::monitor::{Monitor, SessionKind};
+use crate::monitor::{Monitor, SessionKind, SessionRecord, TelemetryEvent};
 use crate::safety::SafetyConfig;
 use peering_bgp::{
     Asn, ConnectRetryConfig, PeerConfig, PeerId, Prefix, Speaker, SpeakerConfig, SpeakerEvent,
 };
 use peering_emulation::{Container, Emulation};
 use peering_netsim::{FaultPlan, LinkParams, SimDuration, SimRng, SimTime};
+use peering_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
@@ -305,6 +306,24 @@ impl MuxHarness {
         }
     }
 
+    /// Attach a telemetry handle: the emulation substrate and every
+    /// hosted speaker mirror `bgp.*` / `emulation.*` metrics into it.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.emu.set_telemetry(telemetry);
+    }
+
+    /// The attached telemetry handle (disabled unless
+    /// [`set_telemetry`](Self::set_telemetry) was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        self.emu.telemetry()
+    }
+
+    /// Export cumulative transport counters (`netsim.*` gauges) into the
+    /// attached registry.
+    pub fn export_net_stats(&self) {
+        self.emu.export_net_stats();
+    }
+
     /// Verify every configured session reached Established.
     pub fn fully_established(&self) -> bool {
         let all = |idx: usize| {
@@ -350,21 +369,18 @@ impl MuxHarness {
     /// session-lifecycle log.
     pub fn session_log_into(&self, monitor: &mut Monitor) {
         for (time, node, ev) in &self.emu.events {
-            match ev {
-                SpeakerEvent::PeerUp(p) => {
-                    monitor.record_session(*time, *node, p.0, SessionKind::Up, None);
-                }
-                SpeakerEvent::PeerDown(p, reason) => {
-                    monitor.record_session(
-                        *time,
-                        *node,
-                        p.0,
-                        SessionKind::Down,
-                        Some(reason.clone()),
-                    );
-                }
-                _ => {}
-            }
+            let (peer, kind, reason) = match ev {
+                SpeakerEvent::PeerUp(p) => (p.0, SessionKind::Up, None),
+                SpeakerEvent::PeerDown(p, reason) => (p.0, SessionKind::Down, Some(reason.clone())),
+                _ => continue,
+            };
+            monitor.record(TelemetryEvent::Session(SessionRecord {
+                time: *time,
+                node: *node,
+                peer,
+                kind,
+                reason,
+            }));
         }
     }
 }

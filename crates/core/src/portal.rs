@@ -122,6 +122,42 @@ impl VettingPolicy {
     }
 }
 
+/// Parameters for [`Portal::provision`]. Replaces the old positional
+/// `(RequestId, &mut Testbed)` form so provisioning options (site
+/// overrides, operator notes, …) extend without breaking callers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ProvisionRequest {
+    /// The approved account request to provision.
+    pub id: RequestId,
+    /// Override the proposal's requested sites (e.g. when capacity
+    /// forces operators to place the experiment elsewhere).
+    pub sites: Option<Vec<usize>>,
+    /// Operator note appended to the provisioning notification.
+    pub note: Option<String>,
+}
+
+impl ProvisionRequest {
+    /// Provision `id` exactly as proposed.
+    pub fn new(id: RequestId) -> Self {
+        ProvisionRequest {
+            id,
+            ..Default::default()
+        }
+    }
+
+    /// Place the experiment at `sites` instead of the proposed ones.
+    pub fn with_sites(mut self, sites: Vec<usize>) -> Self {
+        self.sites = Some(sites);
+        self
+    }
+
+    /// Append an operator note to the provisioning notification.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.note = Some(note.into());
+        self
+    }
+}
+
 /// The portal: request intake, vetting, provisioning, notifications.
 #[derive(Debug, Default)]
 pub struct Portal {
@@ -196,11 +232,14 @@ impl Portal {
 
     /// Provision an approved request on the testbed: allocates the
     /// prefix, creates the client, applies spoofing approval if granted.
+    /// Takes a [`ProvisionRequest`] so provisioning options can grow
+    /// without changing every call site again.
     pub fn provision(
         &mut self,
-        id: RequestId,
+        req: ProvisionRequest,
         tb: &mut Testbed,
     ) -> Result<ExperimentId, TestbedError> {
+        let id = req.id;
         let Some((proposal, state)) = self.requests.get(&id) else {
             return Err(TestbedError::UnknownExperiment(ExperimentId(0)));
         };
@@ -208,19 +247,21 @@ impl Portal {
             return Err(TestbedError::UnknownExperiment(ExperimentId(0)));
         }
         let proposal = proposal.clone();
-        let exp = tb.new_experiment(&proposal.title, &proposal.email, &proposal.sites)?;
+        let sites = req.sites.as_deref().unwrap_or(&proposal.sites);
+        let exp = tb.new_experiment(&proposal.title, &proposal.email, sites)?;
         let now = tb.now();
         let client = tb.clients[&exp].clone();
         self.requests.get_mut(&id).expect("present").1 = RequestState::Provisioned(exp);
-        self.notify(
-            now,
-            &proposal.email,
-            format!(
-                "{id}: provisioned as {exp} — prefix {}, {} tunnels; client config attached",
-                client.prefix,
-                client.tunnels.len()
-            ),
+        let mut message = format!(
+            "{id}: provisioned as {exp} — prefix {}, {} tunnels; client config attached",
+            client.prefix,
+            client.tunnels.len()
         );
+        if let Some(note) = &req.note {
+            message.push_str(" — ");
+            message.push_str(note);
+        }
+        self.notify(now, &proposal.email, message);
         Ok(exp)
     }
 
@@ -271,7 +312,9 @@ mod tests {
         let mut portal = Portal::new();
         let id = portal.submit(proposal("alice@usc.edu", false), tb.now());
         assert_eq!(portal.state(id), Some(&RequestState::Approved));
-        let exp = portal.provision(id, &mut tb).expect("provisions");
+        let exp = portal
+            .provision(ProvisionRequest::new(id), &mut tb)
+            .expect("provisions");
         assert!(matches!(
             portal.state(id),
             Some(RequestState::Provisioned(e)) if *e == exp
@@ -298,7 +341,9 @@ mod tests {
         assert!(matches!(portal.state(id2), Some(RequestState::Rejected(_))));
         // A rejected request cannot be provisioned.
         let mut tb = Testbed::build(TestbedConfig::small(401));
-        assert!(portal.provision(id, &mut tb).is_err());
+        assert!(portal
+            .provision(ProvisionRequest::new(id), &mut tb)
+            .is_err());
     }
 
     #[test]
@@ -309,11 +354,13 @@ mod tests {
         assert_eq!(portal.state(id), Some(&RequestState::PendingReview));
         assert_eq!(portal.pending_review(), vec![id]);
         // Cannot provision while pending.
-        assert!(portal.provision(id, &mut tb).is_err());
+        assert!(portal
+            .provision(ProvisionRequest::new(id), &mut tb)
+            .is_err());
         // Board approves; provisioning proceeds.
         portal.board_decision(id, true, tb.now());
         assert_eq!(portal.state(id), Some(&RequestState::Approved));
-        assert!(portal.provision(id, &mut tb).is_ok());
+        assert!(portal.provision(ProvisionRequest::new(id), &mut tb).is_ok());
         assert!(portal.pending_review().is_empty());
     }
 

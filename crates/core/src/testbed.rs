@@ -13,12 +13,13 @@ use crate::client::PeeringClient;
 use crate::experiment::{
     AnnouncementSpec, Experiment, ExperimentId, PeerSelector, Schedule, ScheduledAction,
 };
-use crate::monitor::{Monitor, UpdateKind};
+use crate::monitor::{Monitor, ProbeRecord, TelemetryEvent, UpdateKind, UpdateRecord};
 use crate::mux::MuxDesign;
 use crate::safety::{SafetyConfig, SafetyFilter, SafetyVerdict, Violation};
 use crate::server::{PeeringServer, SiteKind, SiteSpec};
 use peering_ixp::{Ixp, PeeringWorkflow};
 use peering_netsim::{Asn, Ipv4Net, Ipv6Net, Prefix, SimDuration, SimRng, SimTime};
+use peering_telemetry::Telemetry;
 use peering_topology::{
     cone::{as_rank, customer_cones},
     routing::{propagate, Announcement, PropagationResult, TraceOutcome},
@@ -141,6 +142,10 @@ pub struct Testbed {
     pub safety: SafetyFilter,
     /// Measurement collection.
     pub monitor: Monitor,
+    /// Shared telemetry registry for the whole testbed; the monitor
+    /// mirrors its event stream into it, and other subsystems can clone
+    /// the handle.
+    pub telemetry: Telemetry,
     /// The announcement calendar.
     pub schedule: Schedule,
     /// Provisioned experiments.
@@ -273,6 +278,9 @@ impl Testbed {
         safety_cfg.pools_v6 = allocator.v6_pool().into_iter().collect();
         let safety = SafetyFilter::new(safety_cfg);
         let cones = customer_cones(&internet.graph);
+        let telemetry = Telemetry::new();
+        let mut monitor = Monitor::new();
+        monitor.set_telemetry(telemetry.clone());
         Testbed {
             internet,
             ixps,
@@ -280,7 +288,8 @@ impl Testbed {
             servers,
             allocator,
             safety,
-            monitor: Monitor::new(),
+            monitor,
+            telemetry,
             schedule: Schedule::new(),
             experiments: BTreeMap::new(),
             clients: BTreeMap::new(),
@@ -312,6 +321,29 @@ impl Testbed {
     /// Customer cones (indexed by AS).
     pub fn cones(&self) -> &[HashSet<AsIdx>] {
         &self.cones
+    }
+
+    /// A deterministic snapshot of the testbed's telemetry registry
+    /// (monitor mirrors plus anything else sharing the handle).
+    pub fn telemetry_snapshot(&self) -> peering_telemetry::Snapshot {
+        self.telemetry.snapshot()
+    }
+
+    /// Append a control-plane record to the monitor's event stream.
+    fn log_update(
+        &mut self,
+        id: ExperimentId,
+        kind: UpdateKind,
+        prefix: impl Into<Prefix>,
+        reach: Option<usize>,
+    ) {
+        self.monitor.record(TelemetryEvent::Update(UpdateRecord {
+            time: self.now,
+            experiment: id,
+            kind,
+            prefix: prefix.into(),
+            reach,
+        }));
     }
 
     // ------------------------------------------------------- experiments
@@ -360,15 +392,13 @@ impl Testbed {
         for p in active {
             self.announcements.remove(&Prefix::V4(p));
             self.safety.note_withdrawal(&p, self.now);
-            self.monitor
-                .record_update(self.now, id, UpdateKind::Withdraw, p, None);
+            self.log_update(id, UpdateKind::Withdraw, p, None);
         }
         let active6: Vec<Ipv6Net> = exp.active_v6.keys().copied().collect();
         for p in active6 {
             self.announcements.remove(&Prefix::V6(p));
             self.safety.note_withdrawal_v6(&p, self.now);
-            self.monitor
-                .record_update(self.now, id, UpdateKind::Withdraw, p, None);
+            self.log_update(id, UpdateKind::Withdraw, p, None);
         }
         if let Some(v6) = exp.v6_prefix {
             self.allocator.release_v6(v6).map_err(TestbedError::Alloc)?;
@@ -451,8 +481,7 @@ impl Testbed {
             "static_check disagrees with the dynamic safety filter"
         );
         if let SafetyVerdict::Blocked(v) = verdict {
-            self.monitor
-                .record_update(self.now, id, UpdateKind::Blocked, spec.prefix, None);
+            self.log_update(id, UpdateKind::Blocked, spec.prefix, None);
             return Err(TestbedError::Safety(v));
         }
         // One topology announcement per site, all from the PEERING node,
@@ -470,8 +499,7 @@ impl Testbed {
         }
         let result = propagate(&self.internet.graph, &anns);
         let reach = result.reach_count().saturating_sub(1); // exclude ourselves
-        self.monitor
-            .record_update(self.now, id, UpdateKind::Announce, spec.prefix, Some(reach));
+        self.log_update(id, UpdateKind::Announce, spec.prefix, Some(reach));
         self.experiments
             .get_mut(&id)
             .ok_or(TestbedError::UnknownExperiment(id))?
@@ -499,8 +527,7 @@ impl Testbed {
         }
         self.announcements.remove(&Prefix::V4(prefix));
         self.safety.note_withdrawal(&prefix, self.now);
-        self.monitor
-            .record_update(self.now, id, UpdateKind::Withdraw, prefix, None);
+        self.log_update(id, UpdateKind::Withdraw, prefix, None);
         Ok(())
     }
 
@@ -562,8 +589,7 @@ impl Testbed {
             .safety
             .check_announcement_v6(id.0, &owned, &owned, origin, 0, 0, self.now);
         if let SafetyVerdict::Blocked(v) = verdict {
-            self.monitor
-                .record_update(self.now, id, UpdateKind::Blocked, owned, None);
+            self.log_update(id, UpdateKind::Blocked, owned, None);
             return Err(TestbedError::Safety(v));
         }
         // Only dual-stacked ASes (plus ourselves) can carry v6 routes.
@@ -591,8 +617,7 @@ impl Testbed {
         }
         let result = propagate(&self.internet.graph, &anns);
         let reach = result.reach_count().saturating_sub(1);
-        self.monitor
-            .record_update(self.now, id, UpdateKind::Announce, owned, Some(reach));
+        self.log_update(id, UpdateKind::Announce, owned, Some(reach));
         let exp = self
             .experiments
             .get_mut(&id)
@@ -622,8 +647,7 @@ impl Testbed {
         }
         self.announcements.remove(&Prefix::V6(owned));
         self.safety.note_withdrawal_v6(&owned, self.now);
-        self.monitor
-            .record_update(self.now, id, UpdateKind::Withdraw, owned, None);
+        self.log_update(id, UpdateKind::Withdraw, owned, None);
         Ok(())
     }
 
@@ -726,8 +750,13 @@ impl Testbed {
             TraceOutcome::Delivered(path) => (Some(self.path_latency(path) * 2), Some(path.len())),
             _ => (None, None),
         };
-        self.monitor
-            .record_probe(self.now, from, *prefix, rtt, hops);
+        self.monitor.record(TelemetryEvent::Probe(ProbeRecord {
+            time: self.now,
+            from,
+            prefix: (*prefix).into(),
+            rtt,
+            hops,
+        }));
         rtt
     }
 
@@ -960,7 +989,7 @@ mod tests {
         tb.set_blackhole(path[1], false);
         assert!(tb.ping(from, &client.prefix).is_some());
         // Probes were recorded.
-        assert_eq!(tb.monitor.probes().len(), 3);
+        assert_eq!(tb.monitor.probes().count(), 3);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use peering_bgp::{BgpMessage, Output, PeerConfig, PeerId, Speaker, SpeakerEvent}
 use peering_netsim::{
     FaultAction, FaultPlan, LinkParams, MsgNet, NodeId, SimDuration, SimRng, SimTime,
 };
+use peering_telemetry::Telemetry;
 
 /// Handle for a session whose far end lives outside the emulation
 /// (e.g. the PEERING server a PoP peers with).
@@ -55,6 +56,9 @@ pub struct Emulation {
     pub resources: ResourceModel,
     /// Log of speaker events `(time, container, event)`.
     pub events: Vec<(SimTime, usize, SpeakerEvent)>,
+    /// Telemetry sink; disabled unless attached with
+    /// [`set_telemetry`](Self::set_telemetry).
+    telemetry: Telemetry,
 }
 
 impl Emulation {
@@ -70,6 +74,54 @@ impl Emulation {
             crashed: std::collections::HashMap::new(),
             resources: ResourceModel::default(),
             events: Vec::new(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attach a telemetry handle to the emulation and every hosted daemon
+    /// (including any currently crashed ones, whose stashed state comes
+    /// back on restart). Containers added later inherit the handle.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        for c in &mut self.containers {
+            if let Some(d) = c.daemon.as_mut() {
+                d.set_telemetry(telemetry.clone());
+            }
+        }
+        for d in self.crashed.values_mut() {
+            d.set_telemetry(telemetry.clone());
+        }
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry handle (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Export transport-level statistics into the telemetry registry as
+    /// gauges (idempotent: the underlying totals are cumulative, so this
+    /// can be called at any point — typically once, after a run).
+    pub fn export_net_stats(&self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let t = &self.telemetry;
+        t.gauge_set("netsim.transport.delivered", self.net.delivered as i64);
+        t.gauge_set(
+            "netsim.transport.timers_fired",
+            self.net.timers_fired as i64,
+        );
+        t.gauge_set("netsim.transport.drops", self.net.drops as i64);
+        t.gauge_set("netsim.transport.no_route", self.net.no_route as i64);
+        t.gauge_set(
+            "netsim.transport.queue_high_water",
+            self.net.queue_high_water as i64,
+        );
+        for ((from, to), stats) in self.net.link_stats() {
+            let base = format!("netsim.link.{}-{}", from.0, to.0);
+            t.gauge_set(&format!("{base}.tx_packets"), stats.tx_packets as i64);
+            t.gauge_set(&format!("{base}.dropped"), stats.dropped as i64);
+            t.gauge_set(&format!("{base}.tx_bytes"), stats.tx_bytes as i64);
         }
     }
 
@@ -79,7 +131,12 @@ impl Emulation {
     }
 
     /// Add a container, returning its index.
-    pub fn add_container(&mut self, c: Container) -> usize {
+    pub fn add_container(&mut self, mut c: Container) -> usize {
+        if self.telemetry.is_enabled() {
+            if let Some(d) = c.daemon.as_mut() {
+                d.set_telemetry(self.telemetry.clone());
+            }
+        }
         self.containers.push(c);
         self.containers.len() - 1
     }
@@ -278,6 +335,10 @@ impl Emulation {
     fn deliver_bgp(&mut self, from: usize, to: usize, to_peer: PeerId, msg: BgpMessage) {
         let now = self.net.now();
         let corrupted = self.corrupt_next.remove(&(from, to));
+        if corrupted {
+            self.telemetry
+                .counter_inc("emulation.net.corrupt_deliveries");
+        }
         let Some(daemon) = self.containers[to].daemon.as_mut() else {
             return;
         };
@@ -322,6 +383,14 @@ impl Emulation {
     /// actions mutate the transport directly; session- and daemon-level
     /// actions are routed to the hosted speakers.
     pub fn apply_fault(&mut self, action: FaultAction) {
+        self.telemetry.counter_inc("emulation.faults.applied");
+        if self.telemetry.is_enabled() {
+            self.telemetry.event(
+                self.net.now(),
+                "emulation.faults.action",
+                &[("action", format!("{action:?}").into())],
+            );
+        }
         match action {
             FaultAction::LinkDown(a, b) => self.net.set_link_up(a, b, false),
             FaultAction::LinkUp(a, b) => self.net.set_link_up(a, b, true),
@@ -393,6 +462,7 @@ impl Emulation {
         let Some(daemon) = self.containers[idx].daemon.take() else {
             return;
         };
+        self.telemetry.counter_inc("emulation.daemon.crashes");
         self.crashed.insert(idx, daemon);
         let mut far: Vec<(usize, PeerId)> = self
             .sessions
@@ -421,6 +491,7 @@ impl Emulation {
         let Some(mut daemon) = self.crashed.remove(&idx) else {
             return;
         };
+        self.telemetry.counter_inc("emulation.daemon.restarts");
         let outputs = daemon.restart(now);
         self.containers[idx].daemon = Some(daemon);
         self.route_outputs(idx, outputs);
@@ -629,6 +700,27 @@ mod tests {
         }
         emu.run_until_quiet(1000);
         assert!(emu.daemon(a).unwrap().loc_rib().get(&p).is_some());
+    }
+
+    #[test]
+    fn telemetry_observes_emulated_session() {
+        let (mut emu, a, _b) = two_router_emulation();
+        let telemetry = Telemetry::new();
+        emu.set_telemetry(telemetry.clone());
+        emu.start_all();
+        emu.run_until_quiet(1000);
+        emu.originate(a, Prefix::v4(10, 50, 0, 0, 16));
+        emu.run_until_quiet(1000);
+        emu.export_net_stats();
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("bgp.session.established"), 2);
+        assert!(snap.counter("bgp.speaker.updates_out") > 0);
+        assert!(snap.gauge("netsim.transport.delivered").unwrap_or(0) > 0);
+        assert!(snap
+            .gauges
+            .keys()
+            .any(|k| k.starts_with("netsim.link.") && k.ends_with(".tx_packets")));
+        assert_eq!(snap.validate(&["bgp.session.established"]), Ok(()));
     }
 
     #[test]

@@ -41,4 +41,4 @@ pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::TraceLog;
-pub use transport::{Delivery, DeliveryKind, MsgNet, NodeId};
+pub use transport::{Delivery, DeliveryKind, LinkStats, MsgNet, NodeId};

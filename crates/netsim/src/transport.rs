@@ -49,6 +49,18 @@ pub struct Delivery<M> {
     pub kind: DeliveryKind,
 }
 
+/// Per-direction link counters exported for telemetry. Snapshot of the
+/// [`Link`] observability fields at the time of the call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Packets successfully transmitted.
+    pub tx_packets: u64,
+    /// Packets dropped for any reason (down, MTU, loss).
+    pub dropped: u64,
+    /// Bytes successfully transmitted.
+    pub tx_bytes: u64,
+}
+
 /// The message network. `M` is the application message type.
 pub struct MsgNet<M> {
     queue: EventQueue<Delivery<M>>,
@@ -58,6 +70,12 @@ pub struct MsgNet<M> {
     pub drops: u64,
     /// Count of sends attempted on nonexistent links.
     pub no_route: u64,
+    /// Count of link messages handed to receivers by [`MsgNet::next`].
+    pub delivered: u64,
+    /// Count of self-timers handed to receivers by [`MsgNet::next`].
+    pub timers_fired: u64,
+    /// Largest number of simultaneously in-flight deliveries seen.
+    pub queue_high_water: usize,
 }
 
 impl<M> MsgNet<M> {
@@ -69,6 +87,9 @@ impl<M> MsgNet<M> {
             rng,
             drops: 0,
             no_route: 0,
+            delivered: 0,
+            timers_fired: 0,
+            queue_high_water: 0,
         }
     }
 
@@ -154,6 +175,7 @@ impl<M> MsgNet<M> {
                         kind: DeliveryKind::Message,
                     },
                 );
+                self.queue_high_water = self.queue_high_water.max(self.queue.len());
                 true
             }
             Err(TxFailure::LinkDown | TxFailure::MtuExceeded | TxFailure::Lost) => {
@@ -175,6 +197,7 @@ impl<M> MsgNet<M> {
                 kind: DeliveryKind::Timer,
             },
         );
+        self.queue_high_water = self.queue_high_water.max(self.queue.len());
     }
 
     /// Pop the next delivery, advancing the clock to its timestamp.
@@ -182,7 +205,35 @@ impl<M> MsgNet<M> {
     // event queue refills between calls.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(SimTime, Delivery<M>)> {
-        self.queue.pop()
+        let popped = self.queue.pop();
+        if let Some((_, d)) = &popped {
+            match d.kind {
+                DeliveryKind::Message => self.delivered += 1,
+                DeliveryKind::Timer => self.timers_fired += 1,
+            }
+        }
+        popped
+    }
+
+    /// Per-direction link counters, sorted by `(from, to)` so iteration is
+    /// deterministic regardless of `HashMap` order.
+    pub fn link_stats(&self) -> Vec<((NodeId, NodeId), LinkStats)> {
+        let mut out: Vec<_> = self
+            .links
+            .iter()
+            .map(|(&key, link)| {
+                (
+                    key,
+                    LinkStats {
+                        tx_packets: link.tx_packets,
+                        dropped: link.dropped,
+                        tx_bytes: link.tx_bytes,
+                    },
+                )
+            })
+            .collect();
+        out.sort_by_key(|(key, _)| *key);
+        out
     }
 
     /// Number of in-flight deliveries (messages plus pending timers).
@@ -299,6 +350,32 @@ mod tests {
         n.set_node_links_up(NodeId(1), true);
         assert!(n.link_up(NodeId(1), NodeId(2)));
         assert!(n.link_up(NodeId(1), NodeId(3)));
+    }
+
+    #[test]
+    fn delivery_counters_and_link_stats() {
+        let mut n = net();
+        n.add_link(NodeId(1), NodeId(2), LinkParams::default());
+        n.send(NodeId(1), NodeId(2), 100, "a");
+        n.send(NodeId(1), NodeId(2), 50, "b");
+        n.set_timer(NodeId(2), SimDuration::from_secs(1), "t");
+        assert_eq!(n.queue_high_water, 3);
+        while n.next().is_some() {}
+        assert_eq!(n.delivered, 2);
+        assert_eq!(n.timers_fired, 1);
+        let stats = n.link_stats();
+        assert_eq!(stats.len(), 2);
+        // Sorted by (from, to): (1,2) before (2,1).
+        assert_eq!(stats[0].0, (NodeId(1), NodeId(2)));
+        assert_eq!(
+            stats[0].1,
+            LinkStats {
+                tx_packets: 2,
+                dropped: 0,
+                tx_bytes: 150
+            }
+        );
+        assert_eq!(stats[1].1.tx_packets, 0);
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Log-2 bucketed histograms.
+//!
+//! Values are `u64` (microseconds, bytes, counts — whatever the metric
+//! measures). Bucket `i` counts observations whose value needs `i`
+//! significant bits: bucket 0 holds the value 0, bucket 1 holds 1, bucket
+//! 2 holds 2–3, bucket 3 holds 4–7, and so on up to bucket 64 for values
+//! with the top bit set. Exponential buckets keep the memory footprint
+//! fixed (65 slots) while resolving distributions that span many orders of
+//! magnitude — convergence times range from microseconds to minutes.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets: one for zero plus one per possible bit length.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-footprint log-2 histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index for a value: 0 for 0, otherwise the value's bit length.
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Integer mean of the observations, if any.
+    pub fn mean(&self) -> Option<u64> {
+        (self.count > 0).then(|| self.sum / self.count)
+    }
+
+    /// Freeze into the serializable form: only non-empty buckets are kept,
+    /// as `(bucket_floor, count)` pairs where `bucket_floor` is the least
+    /// value that lands in the bucket.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let floor = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                (floor, n)
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min().unwrap_or(0),
+            max: self.max().unwrap_or(0),
+            buckets,
+        }
+    }
+}
+
+/// Serializable summary of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Saturating sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// `(bucket_floor, count)` for each non-empty log-2 bucket, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn observe_tracks_stats() {
+        let mut h = Histogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.mean(), None);
+        for v in [0, 1, 5, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1006);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        assert_eq!(h.mean(), Some(251));
+        let snap = h.snapshot();
+        // 0 -> bucket floor 0; 1 -> floor 1; 5 -> floor 4; 1000 -> floor 512.
+        assert_eq!(snap.buckets, vec![(0, 1), (1, 1), (4, 1), (512, 1)]);
+    }
+
+    #[test]
+    fn sum_saturates() {
+        let mut h = Histogram::new();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+}

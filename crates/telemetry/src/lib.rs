@@ -1,0 +1,50 @@
+//! Sim-time telemetry for the PEERING reproduction.
+//!
+//! The testbed's value proposition is *visibility* (PAPER.md §3–4): the mux
+//! gives each client a per-peer view of routes and the operators a
+//! per-experiment view of what was announced and heard. This crate is the
+//! observability substrate that makes that visibility measurable — and it is
+//! built for a discrete-event world, so it never consults `std::time`.
+//! Every timestamp is a [`SimTime`] supplied by the caller; every run of the
+//! same seed produces a byte-identical [`Snapshot`].
+//!
+//! # Model
+//!
+//! A [`Registry`] holds four kinds of instruments, all keyed by a flat
+//! metric name following the `<crate>.<subsystem>.<name>` convention
+//! (e.g. `bgp.speaker.updates_in`, `netsim.transport.delivered`):
+//!
+//! - **Counters** — monotonically increasing `u64` totals.
+//! - **Gauges** — signed point-in-time levels (queue depths, RIB sizes),
+//!   with a high-water helper for peaks.
+//! - **Histograms** — log-2 bucketed `u64` distributions ([`Histogram`])
+//!   recording count/sum/min/max plus per-power-of-two bucket counts, the
+//!   right shape for latency-like quantities spanning orders of magnitude.
+//! - **Events and spans** — a bounded, typed trace stream
+//!   ([`EventRecord`], [`SpanRecord`]) for structured moments ("fault
+//!   applied", "session established") and timed regions.
+//!
+//! Code under measurement never owns a `Registry` directly: it holds a
+//! [`Telemetry`] handle, a cheap `Rc` clone that either points at a shared
+//! registry or is [`Telemetry::disabled`] — a no-op mode with near-zero
+//! cost, so library crates can instrument unconditionally. Handles are
+//! plumbed explicitly (never via globals or thread-locals), which keeps the
+//! determinism story auditable: the registry's state is a pure function of
+//! the calls made against it, in order.
+//!
+//! [`Registry::snapshot`] freezes everything into a [`Snapshot`] whose JSON
+//! rendering is deterministic: `BTreeMap` keys, insertion-ordered event
+//! streams, and no floating-point derived values.
+
+pub mod event;
+pub mod histogram;
+pub mod registry;
+pub mod snapshot;
+
+pub use event::{EventRecord, FieldValue, SpanRecord};
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{Registry, Span, Telemetry};
+pub use snapshot::Snapshot;
+
+/// Re-exported so instrument call sites need only this crate.
+pub use peering_netsim::{SimDuration, SimTime};

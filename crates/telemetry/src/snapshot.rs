@@ -1,0 +1,129 @@
+//! The frozen, serializable view of a registry.
+
+use crate::event::{EventRecord, SpanRecord};
+use crate::histogram::HistogramSnapshot;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Frozen registry state. JSON rendering is deterministic: maps are
+/// `BTreeMap` (sorted keys), event/span streams keep insertion order, and
+/// all values are integers — no floats, so no NaN and no formatting drift.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Monotonic totals, by metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Point-in-time levels, by metric name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Log-2 distributions, by metric name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Trace events in recording order.
+    pub events: Vec<EventRecord>,
+    /// Completed spans in completion order.
+    pub spans: Vec<SpanRecord>,
+    /// Events/spans discarded because the stream bound was hit.
+    pub dropped_events: u64,
+}
+
+impl Snapshot {
+    /// Counter value, 0 if the metric was never touched.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if the metric was ever set.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram summary, if the metric was ever observed.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Pretty JSON rendering with a trailing newline — the byte-stable
+    /// format written to `results/BENCH_telemetry.json` and the goldens.
+    pub fn to_json_pretty(&self) -> String {
+        // The vendored serializer only fails on NaN map keys, which this
+        // all-integer structure cannot contain.
+        serde_json::to_string_pretty(self).unwrap_or_default() + "\n"
+    }
+
+    /// Structural sanity check used by the CI smoke step: histogram
+    /// invariants must hold and every expected metric must be present.
+    /// (Counters/gauges are integers by construction, so NaN or negative
+    /// counters are unrepresentable; this guards the aggregate fields.)
+    pub fn validate(&self, expected_counters: &[&str]) -> Result<(), String> {
+        for name in expected_counters {
+            if !self.counters.contains_key(*name) {
+                return Err(format!("missing expected counter {name:?}"));
+            }
+        }
+        for (name, h) in &self.histograms {
+            let bucket_total: u64 = h.buckets.iter().map(|(_, n)| n).sum();
+            if bucket_total != h.count {
+                return Err(format!(
+                    "histogram {name:?}: bucket total {bucket_total} != count {}",
+                    h.count
+                ));
+            }
+            if h.count > 0 && h.min > h.max {
+                return Err(format!("histogram {name:?}: min {} > max {}", h.min, h.max));
+            }
+            if let Some(prev) = h.buckets.windows(2).find(|w| w[0].0 >= w[1].0) {
+                return Err(format!(
+                    "histogram {name:?}: bucket floors not ascending at {}",
+                    prev[0].0
+                ));
+            }
+        }
+        for span in &self.spans {
+            if span.end_us < span.start_us {
+                return Err(format!("span {:?}: ends before it starts", span.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Telemetry;
+    use peering_netsim::SimTime;
+
+    #[test]
+    fn json_round_trips() {
+        let t = Telemetry::new();
+        t.counter_add("a.b.c", 3);
+        t.gauge_set("a.b.g", -4);
+        t.observe("a.b.h", 17);
+        t.event(SimTime::from_micros(9), "a.b.e", &[("k", "v".into())]);
+        let snap = t.snapshot();
+        let json = snap.to_json_pretty();
+        let back: Snapshot = serde_json::from_str(json.trim_end()).expect("parse");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn validate_accepts_live_registry_output() {
+        let t = Telemetry::new();
+        t.counter_inc("x.y.z");
+        t.observe("x.y.h", 0);
+        t.observe("x.y.h", 1023);
+        let span = t.span("x.y.s", SimTime::from_micros(5));
+        span.end(SimTime::from_micros(6));
+        assert_eq!(t.snapshot().validate(&["x.y.z"]), Ok(()));
+    }
+
+    #[test]
+    fn validate_flags_missing_counter() {
+        let t = Telemetry::new();
+        let err = t.snapshot().validate(&["not.there"]).unwrap_err();
+        assert!(err.contains("not.there"), "{err}");
+    }
+
+    #[test]
+    fn empty_snapshot_is_default() {
+        assert_eq!(Telemetry::disabled().snapshot(), Snapshot::default());
+    }
+}

@@ -15,6 +15,7 @@
 use peering_bgp::{Asn, ConnectRetryConfig, PeerConfig, PeerId, Prefix, Speaker, SpeakerConfig};
 use peering_emulation::{Container, Emulation};
 use peering_netsim::{FaultAction, FaultPlan, LinkParams, NodeId, SimDuration, SimRng, SimTime};
+use peering_telemetry::Telemetry;
 use std::net::Ipv4Addr;
 
 /// How long graceful restart retains a crashed neighbor's paths.
@@ -227,9 +228,22 @@ impl ChaosReport {
 
 /// Run one seeded schedule against one topology and compare digests.
 pub fn run_one(topology: &ChaosTopology, seed: u64) -> ChaosReport {
+    run_one_instrumented(topology, seed, Telemetry::disabled())
+}
+
+/// [`run_one`] with a telemetry handle attached to the faulted
+/// emulation. Telemetry observes but never perturbs: the digests must
+/// match a bare run bit-for-bit (a test below pins this), so chaos
+/// campaigns can ship `emulation.*` / `bgp.*` metrics for free.
+pub fn run_one_instrumented(
+    topology: &ChaosTopology,
+    seed: u64,
+    telemetry: Telemetry,
+) -> ChaosReport {
     let baseline = topology.build(seed);
     let baseline_digest = rib_digest(&baseline);
     let mut emu = topology.build(seed);
+    emu.set_telemetry(telemetry);
     let mut plan = chaos_plan(topology, seed);
     let faults = plan.len();
     emu.run_with_faults(
@@ -238,6 +252,7 @@ pub fn run_one(topology: &ChaosTopology, seed: u64) -> ChaosReport {
         SimDuration::from_secs(1),
         usize::MAX,
     );
+    emu.export_net_stats();
     ChaosReport {
         scenario: topology.name(),
         seed,
@@ -322,6 +337,25 @@ mod tests {
         let d1 = rib_digest(&topo.build(7));
         let d2 = rib_digest(&topo.build(8));
         assert_eq!(d1, d2, "converged digest must not depend on timing");
+    }
+
+    #[test]
+    fn telemetry_observes_without_perturbing() {
+        // The core chaos invariant — fault-free and post-recovery
+        // Loc-RIB digests identical — must survive a live telemetry
+        // handle recording every fault, crash, and session flap.
+        let topo = ChaosTopology::Ring(4);
+        let bare = run_one(&topo, 11);
+        let telemetry = Telemetry::new();
+        let instrumented = run_one_instrumented(&topo, 11, telemetry.clone());
+        assert_eq!(bare, instrumented, "telemetry must not change outcomes");
+        assert!(instrumented.converged());
+        let snap = telemetry.snapshot();
+        assert_eq!(
+            snap.counter("emulation.faults.applied"),
+            instrumented.faults as u64
+        );
+        assert!(snap.gauge("netsim.transport.delivered").is_some());
     }
 
     #[test]

@@ -6,9 +6,11 @@
 //! diff then shows reviewers exactly what the change does to every
 //! shipped scenario.
 
+use peering_core::{Testbed, TestbedConfig};
 use peering_netsim::Ipv4Net;
 use peering_workloads::catalog;
 use peering_workloads::chaos::{chaos_plan, rib_digest, ChaosTopology};
+use peering_workloads::scenarios;
 use serde::{Serialize, Value};
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -48,8 +50,12 @@ fn golden_path(name: &str) -> PathBuf {
 /// Compare `current` against the checked-in snapshot, or rewrite it when
 /// `UPDATE_GOLDENS` is set.
 fn check_golden(name: &str, current: Value) {
+    check_golden_text(name, render(current));
+}
+
+/// [`check_golden`] for content that is already rendered JSON text.
+fn check_golden_text(name: &str, rendered: String) {
     let path = golden_path(name);
-    let rendered = render(current);
     if std::env::var_os("UPDATE_GOLDENS").is_some() {
         fs::create_dir_all(path.parent().expect("parent")).expect("mkdir goldens");
         fs::write(&path, rendered).expect("write golden");
@@ -103,4 +109,24 @@ fn chaos_artifacts_match_golden() {
         ]));
     }
     check_golden("chaos.json", obj(vec![("runs", Value::Seq(runs))]));
+}
+
+#[test]
+fn telemetry_snapshot_is_deterministic_and_matches_golden() {
+    // Two same-seed runs of a catalog scenario must render the exact
+    // same telemetry JSON — the registry is keyed on ordered maps and
+    // fed only by sim-time-driven events, so there is nothing for wall
+    // clocks or hash ordering to perturb.
+    let run = |seed: u64| {
+        let mut tb = Testbed::build(TestbedConfig::small(seed));
+        scenarios::anycast::run(&mut tb).expect("anycast runs");
+        tb.telemetry_snapshot().to_json_pretty()
+    };
+    let first = run(SEED);
+    let second = run(SEED);
+    assert_eq!(
+        first, second,
+        "same seed must render byte-identical telemetry"
+    );
+    check_golden_text("telemetry.json", first);
 }

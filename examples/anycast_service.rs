@@ -7,7 +7,7 @@
 //! cargo run --release --example anycast_service
 //! ```
 
-use peering::core::{Testbed, TestbedConfig};
+use peering::prelude::*;
 use peering::workloads::scenarios::anycast;
 
 fn bar(n: usize, total: usize) -> String {

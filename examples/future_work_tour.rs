@@ -7,7 +7,8 @@
 //! cargo run --release --example future_work_tour
 //! ```
 
-use peering::core::{PeerSelector, Portal, Proposal, SiteSpec, Testbed, TestbedConfig};
+use peering::core::SiteSpec;
+use peering::prelude::*;
 use peering::topology::{InternetConfig, IxpSpec};
 use peering::workloads::scenarios::beacon::{self, BeaconConfig};
 
@@ -54,7 +55,9 @@ fn main() {
         },
         tb.now(),
     );
-    let exp = portal.provision(req, &mut tb).expect("auto-provisioned");
+    let exp = portal
+        .provision(ProvisionRequest::new(req), &mut tb)
+        .expect("auto-provisioned");
     println!("\nportal: {req} approved and provisioned as {exp}");
     for n in &portal.notifications {
         println!("  notify {}: {}", n.email, n.message);

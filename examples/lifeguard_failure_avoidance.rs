@@ -5,7 +5,7 @@
 //! cargo run --release --example lifeguard_failure_avoidance
 //! ```
 
-use peering::core::{Testbed, TestbedConfig};
+use peering::prelude::*;
 use peering::workloads::scenarios::lifeguard;
 
 fn main() {

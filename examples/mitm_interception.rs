@@ -9,7 +9,7 @@
 //! cargo run --release --example mitm_interception
 //! ```
 
-use peering::core::{Testbed, TestbedConfig};
+use peering::prelude::*;
 use peering::workloads::scenarios::hijack;
 
 fn main() {

@@ -9,8 +9,7 @@
 //! announce with per-peer control, and watch the control and data plane
 //! react.
 
-use peering::core::{PeerSelector, Testbed, TestbedConfig};
-use peering::netsim::SimDuration;
+use peering::prelude::*;
 use peering::topology::routing::TraceOutcome;
 
 fn main() {

@@ -20,6 +20,7 @@
 //! | [`ixp`] | IXP: members, policies, route server, peering workflow, remote peering |
 //! | [`emulation`] | MinineXt analog: containers, IGP, hosted daemons, placement |
 //! | [`core`] | PEERING itself: servers, mux, clients, allocation, safety, experiments, monitoring |
+//! | [`telemetry`] | sim-time observability: counters, gauges, log-2 histograms, events/spans, deterministic snapshots |
 //! | [`workloads`] | Alexa-style catalog, traffic, and the LIFEGUARD / PoiRoot / ARROW / PECAN / hijack / sBGP / anycast / decoy scenarios |
 //!
 //! ## Quickstart
@@ -41,5 +42,21 @@ pub use peering_core as core;
 pub use peering_emulation as emulation;
 pub use peering_ixp as ixp;
 pub use peering_netsim as netsim;
+pub use peering_telemetry as telemetry;
 pub use peering_topology as topology;
 pub use peering_workloads as workloads;
+
+/// One-line import for the common researcher workflow: the testbed, the
+/// experiment vocabulary, and the observation surface (monitor stream +
+/// telemetry snapshots). `use peering::prelude::*;` is enough for most
+/// examples and integration tests.
+pub mod prelude {
+    pub use peering_core::{
+        AnnouncementSpec, ExperimentId, Monitor, PeerSelector, Portal, ProbeRecord, Proposal,
+        ProvisionRequest, RequestId, RequestState, Schedule, ScheduledAction, SessionKind,
+        SessionRecord, TelemetryEvent, Testbed, TestbedConfig, TestbedError, UpdateKind,
+        UpdateRecord,
+    };
+    pub use peering_netsim::{Asn, Ipv4Net, Ipv6Net, Prefix, SimDuration, SimTime};
+    pub use peering_telemetry::{Snapshot, Telemetry};
+}

@@ -3,8 +3,9 @@
 //! separate router processes would.
 
 use peering::bgp::wire::{decode_message, encode_message, WireConfig};
-use peering::bgp::{Asn, Output, PeerConfig, PeerId, Prefix, Speaker, SpeakerConfig};
-use peering::netsim::{LinkParams, MsgNet, NodeId, SimDuration, SimRng};
+use peering::bgp::{Output, PeerConfig, PeerId, Speaker, SpeakerConfig};
+use peering::netsim::{LinkParams, MsgNet, NodeId, SimRng};
+use peering::prelude::*;
 use std::net::Ipv4Addr;
 
 /// Two speakers exchanging *encoded* messages over a MsgNet link.

@@ -2,8 +2,9 @@
 //! "controlling intradomain topology and routing" capability, across the
 //! emulation, bgp, and topology crates.
 
-use peering::bgp::{Asn, BgpMessage, Output, PeerConfig, PeerId, Prefix, Speaker, SpeakerConfig};
+use peering::bgp::{BgpMessage, Output, PeerConfig, PeerId, Speaker, SpeakerConfig};
 use peering::emulation::{build_from_pops, place_containers};
+use peering::prelude::*;
 use peering::topology::{hurricane_electric, small_ring};
 use std::net::Ipv4Addr;
 

@@ -1,9 +1,6 @@
 //! End-to-end integration: the full testbed lifecycle across crates.
 
-use peering::core::{
-    AnnouncementSpec, PeerSelector, ScheduledAction, Testbed, TestbedConfig, TestbedError,
-};
-use peering::netsim::SimDuration;
+use peering::prelude::*;
 use peering::topology::routing::TraceOutcome;
 
 #[test]
@@ -106,8 +103,8 @@ fn monitor_collects_control_and_data_plane() {
     for i in 0..5 {
         tb.ping(peering::topology::AsIdx(20 + i), &client.prefix);
     }
-    assert_eq!(tb.monitor.updates().len(), 1);
-    assert_eq!(tb.monitor.probes().len(), 5);
+    assert_eq!(tb.monitor.updates().count(), 1);
+    assert_eq!(tb.monitor.probes().count(), 5);
     assert!(tb.monitor.loss_rate(client.prefix).unwrap() < 1.0);
     assert!(tb.monitor.median_rtt(client.prefix).is_some());
 }

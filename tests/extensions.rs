@@ -2,11 +2,9 @@
 //! peering, multiple public ASNs, the web portal, and the packet
 //! processing API at a server.
 
-use peering::core::{
-    Backend, PacketProcessor, PeerSelector, PktAction, PktMatch, PktVerdict, Portal, Proposal,
-    SiteSpec, Testbed, TestbedConfig,
-};
-use peering::netsim::{IpPacket, Payload, SimTime};
+use peering::core::{Backend, PacketProcessor, PktAction, PktMatch, PktVerdict, SiteSpec};
+use peering::netsim::{IpPacket, Payload};
+use peering::prelude::*;
 use peering::topology::{InternetConfig, IxpSpec};
 
 /// A testbed config with a third, remotely peered IXP.
@@ -109,7 +107,9 @@ fn portal_to_live_experiment() {
         },
         tb.now(),
     );
-    let exp = portal.provision(req, &mut tb).expect("auto-provisioned");
+    let exp = portal
+        .provision(ProvisionRequest::new(req), &mut tb)
+        .expect("auto-provisioned");
     // The provisioned experiment is immediately usable.
     let client = tb.clients[&exp].clone();
     let reach = tb.announce(exp, client.announce_everywhere()).unwrap();

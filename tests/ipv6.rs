@@ -4,8 +4,8 @@
 
 use peering::bgp::wire::{decode_message, encode_message, WireConfig};
 use peering::bgp::{AsPath, BgpMessage, Nlri, PathAttributes, UpdateMessage};
-use peering::core::{PeerSelector, Testbed, TestbedConfig, TestbedError, Violation};
-use peering::netsim::{Asn, Prefix};
+use peering::core::Violation;
+use peering::prelude::*;
 use std::sync::Arc;
 
 #[test]

@@ -1,6 +1,6 @@
 //! All research scenarios, end to end on one testbed build each.
 
-use peering::core::{Testbed, TestbedConfig};
+use peering::prelude::*;
 use peering::topology::{Internet, InternetConfig};
 use peering::workloads::scenarios;
 

@@ -17,6 +17,16 @@ cargo test -q --workspace
 echo "==> chaos smoke (session resilience under faults)"
 cargo test -q -p peering-workloads chaos_smoke
 
+echo "==> telemetry smoke (snapshot validity + determinism)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run --release -q -p peering-bench --bin telemetry_smoke -- "$tmpdir/run1.json" 42
+cargo run --release -q -p peering-bench --bin telemetry_smoke -- "$tmpdir/run2.json" 42
+cmp "$tmpdir/run1.json" "$tmpdir/run2.json" \
+  || { echo "telemetry snapshot differs between same-seed runs"; exit 1; }
+mkdir -p results
+cp "$tmpdir/run1.json" results/BENCH_telemetry.json
+
 echo "==> peering-lint (static safety verification)"
 cargo run --release -q -p peering-verify --bin peering-lint
 
