@@ -28,6 +28,7 @@ fn candidates(n: usize) -> Vec<Route> {
             source: RouteSource::Ebgp,
             igp_cost: (i % 11) as u32,
             learned_at: SimTime::ZERO,
+            trace: None,
         })
         .collect()
 }

@@ -1,0 +1,131 @@
+//! Collector smoke check: run one chaos schedule with a route collector
+//! attached, dump every vantage's update feed and RIB table as one MRT
+//! archive, and write a summary as JSON.
+//!
+//! ```text
+//! cargo run --release -p peering-bench --bin collector_smoke -- \
+//!     out.json archive.mrt [seed]
+//! ```
+//!
+//! The repo gate (`tools/check.sh`) runs this twice with the same seed
+//! and `cmp`s both outputs: the MRT archive must be byte-identical
+//! across runs — the collector's whole determinism contract — and the
+//! summary JSON must match too.
+
+use peering_bgp::wire::WireConfig;
+use peering_collector::{decode_all, Collector};
+use peering_netsim::Asn;
+use peering_telemetry::Telemetry;
+use peering_workloads::chaos::{run_one_collected, ChaosTopology};
+use serde::{Serialize, Value};
+
+/// Counters every smoke run must produce; missing ones mean a wiring
+/// regression between the provenance stream and the archive encoder.
+const EXPECTED_COUNTERS: &[&str] = &[
+    "collector.feed.records",
+    "collector.feed.bytes",
+    "collector.rib.entries",
+    "collector.rib.bytes",
+];
+
+/// Adapter so a raw `Value` tree can go through the serializer.
+struct Tree(Value);
+
+impl Serialize for Tree {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out = args
+        .next()
+        .unwrap_or_else(|| "results/BENCH_collector.json".into());
+    let archive_out = args
+        .next()
+        .unwrap_or_else(|| "results/collector.mrt".into());
+    let seed: u64 = args.next().map_or(42, |s| s.parse().expect("seed"));
+
+    let topology = ChaosTopology::Ring(4);
+    let telemetry = Telemetry::new();
+    let mut collector = Collector::new().with_telemetry(telemetry.clone());
+    for i in 0..topology.node_count() {
+        collector.add_vantage(Asn(65001 + i as u32));
+    }
+
+    // A faulted run with every AS as a vantage: the archive captures the
+    // whole propagation history, faults and heals included.
+    let report = run_one_collected(&topology, seed, &mut collector);
+    assert!(
+        report.converged(),
+        "chaos run must converge with a collector attached"
+    );
+
+    // A second, fault-free build gives the converged tables the RIB dump
+    // snapshots; the same collector keeps archiving so the feed covers
+    // both runs.
+    let emu = topology.build_collected(seed, &mut collector);
+
+    let cfg = WireConfig::default();
+    let mut archive = Vec::new();
+    let mut feed_records = 0usize;
+    for vantage in collector.vantages().collect::<Vec<_>>() {
+        let feed = collector.update_archive(vantage, cfg).expect("feed");
+        feed_records += decode_all(&feed).expect("well-formed feed").len();
+        archive.extend(feed);
+        archive.extend(collector.rib_dump(&emu, vantage, cfg).expect("rib dump"));
+    }
+
+    let snapshot = telemetry.snapshot();
+    if let Err(e) = snapshot.validate(EXPECTED_COUNTERS) {
+        eprintln!("collector telemetry snapshot invalid: {e}");
+        std::process::exit(1);
+    }
+
+    let summary = Value::Map(vec![
+        ("scenario".into(), Value::Str(report.scenario.clone())),
+        ("seed".into(), Value::U64(seed)),
+        ("faults".into(), Value::U64(report.faults as u64)),
+        (
+            "baseline_digest".into(),
+            Value::Str(format!("{:#018x}", report.baseline_digest)),
+        ),
+        (
+            "chaos_digest".into(),
+            Value::Str(format!("{:#018x}", report.chaos_digest)),
+        ),
+        (
+            "vantages".into(),
+            Value::U64(collector.vantages().count() as u64),
+        ),
+        ("feed_records".into(), Value::U64(feed_records as u64)),
+        ("archive_bytes".into(), Value::U64(archive.len() as u64)),
+        (
+            "counters".into(),
+            Value::Map(
+                EXPECTED_COUNTERS
+                    .iter()
+                    .map(|name| ((*name).into(), Value::U64(snapshot.counter(name))))
+                    .collect(),
+            ),
+        ),
+    ]);
+    let rendered = serde_json::to_string_pretty(&Tree(summary)).expect("serialize") + "\n";
+
+    for path in [&out, &archive_out] {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create output dir");
+            }
+        }
+    }
+    std::fs::write(&archive_out, &archive).expect("write archive");
+    std::fs::write(&out, rendered).expect("write summary");
+    println!(
+        "collector smoke: {} vantages, {} feed records, {} archive bytes -> {out} + {archive_out}",
+        collector.vantages().count(),
+        feed_records,
+        archive.len()
+    );
+}

@@ -144,6 +144,7 @@ mod tests {
             source: RouteSource::Ebgp,
             igp_cost: 10,
             learned_at: SimTime::ZERO,
+            trace: None,
         }
     }
 

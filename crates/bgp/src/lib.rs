@@ -38,6 +38,7 @@ pub mod fsm;
 pub mod mem;
 pub mod message;
 pub mod policy;
+pub mod provenance;
 pub mod rib;
 pub mod speaker;
 pub mod wire;
@@ -52,8 +53,11 @@ pub use message::{
     BgpMessage, Capability, Nlri, NotifCode, NotificationMessage, OpenMessage, UpdateMessage,
 };
 pub use policy::{Action, DefaultVerdict, Match, Policy, PolicyRule};
+pub use provenance::{
+    ExportVerdict, ImportVerdict, ProvenanceEvent, ProvenanceLog, ProvenanceRecord,
+};
 pub use rib::{AdjRibIn, AdjRibOut, AttrInterner, LocRib, PeerId, Route, RouteSource};
 pub use speaker::{Output, PeerConfig, Speaker, SpeakerConfig, SpeakerEvent, SpeakerMode};
 
 // Re-export the substrate identifiers so downstream crates can use one path.
-pub use peering_netsim::{Asn, Ipv4Net, Ipv6Net, Prefix};
+pub use peering_netsim::{Asn, Ipv4Net, Ipv6Net, Prefix, TraceId};

@@ -142,6 +142,7 @@ mod tests {
             source: RouteSource::Ebgp,
             igp_cost: 0,
             learned_at: SimTime::ZERO,
+            trace: None,
         }
     }
 

@@ -3,7 +3,7 @@
 //! Messages are plain data; the wire encoding lives in [`crate::wire`].
 
 use crate::attrs::PathAttributes;
-use peering_netsim::{Asn, Prefix};
+use peering_netsim::{Asn, Prefix, TraceId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -160,7 +160,7 @@ impl fmt::Display for Nlri {
 /// Attributes are reference-counted: a speaker fanning one route out to
 /// hundreds of sessions shares a single attribute allocation, exactly the
 /// sharing whose absence would blow up the Figure 2 memory curve.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct UpdateMessage {
     /// Withdrawn routes.
     pub withdrawn: Vec<Nlri>,
@@ -168,6 +168,23 @@ pub struct UpdateMessage {
     pub attrs: Option<Arc<PathAttributes>>,
     /// Announced routes.
     pub announced: Vec<Nlri>,
+    /// Provenance id of the originated change this update descends from.
+    ///
+    /// Out-of-band metadata: it never touches the wire encoding and is
+    /// excluded from equality, so carrying it cannot perturb protocol
+    /// behaviour. The route collector keys propagation DAGs on it.
+    pub trace: Option<TraceId>,
+}
+
+// Equality deliberately ignores `trace`: two updates that would be
+// byte-identical on the wire are the same message regardless of the
+// observational provenance riding along.
+impl PartialEq for UpdateMessage {
+    fn eq(&self, other: &Self) -> bool {
+        self.withdrawn == other.withdrawn
+            && self.attrs == other.attrs
+            && self.announced == other.announced
+    }
 }
 
 impl UpdateMessage {
@@ -177,6 +194,7 @@ impl UpdateMessage {
             withdrawn: Vec::new(),
             attrs: Some(attrs),
             announced: nlri,
+            trace: None,
         }
     }
 
@@ -186,7 +204,14 @@ impl UpdateMessage {
             withdrawn: nlri,
             attrs: None,
             announced: Vec::new(),
+            trace: None,
         }
+    }
+
+    /// Tag the update with a provenance id.
+    pub fn with_trace(mut self, trace: Option<TraceId>) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// True when the update carries nothing (End-of-RIB marker).
@@ -351,6 +376,7 @@ mod tests {
             withdrawn: vec![],
             attrs: None,
             announced: vec![],
+            trace: None,
         };
         assert!(eor.is_end_of_rib());
     }

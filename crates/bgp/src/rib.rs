@@ -8,7 +8,7 @@
 //! sharing real BGP implementations rely on to keep that curve sane.
 
 use crate::attrs::PathAttributes;
-use peering_netsim::{Prefix, SimTime};
+use peering_netsim::{Prefix, SimTime, TraceId};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
@@ -49,7 +49,7 @@ pub enum RouteSource {
 }
 
 /// A route: a prefix plus its path attributes and bookkeeping.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Route {
     /// Destination prefix.
     pub prefix: Prefix,
@@ -65,6 +65,25 @@ pub struct Route {
     pub igp_cost: u32,
     /// When the route was installed.
     pub learned_at: SimTime,
+    /// Provenance id of the originated change this route descends from.
+    /// Minted deterministically at origination and carried through every
+    /// RIB so the collector can rebuild per-prefix propagation DAGs; it
+    /// plays no part in the decision process or convergence digests.
+    pub trace: Option<TraceId>,
+}
+
+// Equality deliberately ignores `trace`: a route is defined by what BGP
+// exchanged and decided, not by the observational provenance riding along.
+impl PartialEq for Route {
+    fn eq(&self, other: &Self) -> bool {
+        self.prefix == other.prefix
+            && self.attrs == other.attrs
+            && self.peer == other.peer
+            && self.path_id == other.path_id
+            && self.source == other.source
+            && self.igp_cost == other.igp_cost
+            && self.learned_at == other.learned_at
+    }
 }
 
 impl Route {
@@ -78,7 +97,14 @@ impl Route {
             source: RouteSource::Local,
             igp_cost: 0,
             learned_at: now,
+            trace: None,
         }
+    }
+
+    /// Tag the route with a provenance id.
+    pub fn with_trace(mut self, trace: Option<TraceId>) -> Self {
+        self.trace = trace;
+        self
     }
 }
 
@@ -406,6 +432,7 @@ mod tests {
             source: RouteSource::Ebgp,
             igp_cost: 0,
             learned_at: SimTime::ZERO,
+            trace: None,
         }
     }
 

@@ -22,8 +22,9 @@ use crate::fsm::{ConnectRetryConfig, Session, SessionConfig, SessionEvent};
 use crate::mem::rib_memory;
 use crate::message::{BgpMessage, Nlri, UpdateMessage};
 use crate::policy::Policy;
+use crate::provenance::{ExportVerdict, ImportVerdict, ProvenanceEvent, ProvenanceLog};
 use crate::rib::{AdjRibIn, AdjRibOut, AttrInterner, LocRib, PeerId, Route, RouteSource};
-use peering_netsim::{Asn, Prefix, SimDuration, SimRng, SimTime};
+use peering_netsim::{Asn, Prefix, SimDuration, SimRng, SimTime, TraceId};
 use peering_telemetry::Telemetry;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet};
@@ -261,6 +262,15 @@ pub struct Speaker {
     /// Telemetry sink (disabled unless attached; see
     /// [`set_telemetry`](Self::set_telemetry)).
     telemetry: Telemetry,
+    /// Provenance sink (disabled unless attached; see
+    /// [`set_provenance`](Self::set_provenance)).
+    provenance: ProvenanceLog,
+    /// Next per-origin sequence number for minted [`TraceId`]s. Minting is
+    /// unconditional and deterministic so attaching a provenance log never
+    /// changes the ids (or anything else) a run produces.
+    origin_seq: u32,
+    /// Trace id of the live origination for each locally originated prefix.
+    local_traces: BTreeMap<Prefix, TraceId>,
     /// Sim-time each peer's session was last started, for convergence
     /// measurement (cleared once Established is observed).
     session_started: BTreeMap<PeerId, SimTime>,
@@ -283,6 +293,9 @@ impl Speaker {
             updates_sent: 0,
             updates_received: 0,
             telemetry: Telemetry::disabled(),
+            provenance: ProvenanceLog::disabled(),
+            origin_seq: 0,
+            local_traces: BTreeMap::new(),
             session_started: BTreeMap::new(),
         }
     }
@@ -291,6 +304,13 @@ impl Speaker {
     /// default handle is disabled, so un-instrumented use is free.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Attach a provenance log. Recording is observational only: trace
+    /// ids are minted whether or not a log is attached, so behaviour is
+    /// bit-identical either way.
+    pub fn set_provenance(&mut self, provenance: ProvenanceLog) {
+        self.provenance = provenance;
     }
 
     /// Record an FSM state change on `peer`'s session between two
@@ -342,6 +362,11 @@ impl Speaker {
     /// Number of configured peers.
     pub fn peer_count(&self) -> usize {
         self.peers.len()
+    }
+
+    /// The configured ASN of a peer.
+    pub fn peer_asn(&self, peer: PeerId) -> Option<Asn> {
+        self.peers.get(&peer).map(|p| p.cfg.asn)
     }
 
     /// The Adj-RIB-In for a peer.
@@ -469,16 +494,45 @@ impl Speaker {
         }
         let attrs = self.interner.intern(attrs);
         self.local_routes.insert(prefix, attrs);
-        self.reconsider(vec![prefix], now)
+        let trace = self.mint_trace();
+        self.local_traces.insert(prefix, trace);
+        self.provenance.record(
+            now,
+            self.cfg.asn,
+            ProvenanceEvent::Originated {
+                prefix,
+                trace,
+                withdraw: false,
+            },
+        );
+        self.reconsider_with(vec![prefix], now, Some(trace))
     }
 
     /// Withdraw a locally originated prefix.
     pub fn withdraw_origin(&mut self, prefix: Prefix, now: SimTime) -> Vec<Output> {
         if self.local_routes.remove(&prefix).is_some() {
-            self.reconsider(vec![prefix], now)
+            self.local_traces.remove(&prefix);
+            let trace = self.mint_trace();
+            self.provenance.record(
+                now,
+                self.cfg.asn,
+                ProvenanceEvent::Originated {
+                    prefix,
+                    trace,
+                    withdraw: true,
+                },
+            );
+            self.reconsider_with(vec![prefix], now, Some(trace))
         } else {
             Vec::new()
         }
+    }
+
+    /// Mint the next deterministic trace id for a local routing change.
+    fn mint_trace(&mut self) -> TraceId {
+        let trace = TraceId::new(self.cfg.asn.0, self.origin_seq);
+        self.origin_seq = self.origin_seq.wrapping_add(1);
+        trace
     }
 
     /// Locally originated prefixes.
@@ -630,6 +684,10 @@ impl Speaker {
         if update.is_end_of_rib() {
             return self.finish_graceful_restart(from, now);
         }
+        // The provenance id carried by this update is the *cause* of every
+        // RIB change (and downstream export) it triggers here.
+        let cause = update.trace;
+        let prov = self.provenance.clone();
         let mut affected: BTreeSet<Prefix> = BTreeSet::new();
         let mut events = Vec::new();
         let local_asn = self.cfg.asn;
@@ -637,6 +695,32 @@ impl Speaker {
         {
             let state = self.peers.get_mut(&from).expect("peer exists");
             let peer_is_ibgp = state.cfg.asn == local_asn;
+            let peer_asn = state.cfg.asn;
+            if prov.is_enabled() {
+                // The vantage-point feed record: the update exactly as
+                // received, stamped with its delivery time.
+                prov.record(
+                    now,
+                    local_asn,
+                    ProvenanceEvent::Feed {
+                        from_peer: from,
+                        from_asn: peer_asn,
+                        update: update.clone(),
+                    },
+                );
+                for nlri in &update.withdrawn {
+                    prov.record(
+                        now,
+                        local_asn,
+                        ProvenanceEvent::WithdrawReceived {
+                            from_peer: from,
+                            from_asn: peer_asn,
+                            prefix: nlri.prefix,
+                            trace: cause,
+                        },
+                    );
+                }
+            }
 
             for nlri in &update.withdrawn {
                 let removed = match nlri.path_id {
@@ -663,6 +747,27 @@ impl Speaker {
             }
 
             if let Some(attrs) = &update.attrs {
+                let heard_path: Vec<Asn> = if prov.is_enabled() {
+                    attrs.as_path.asns().collect()
+                } else {
+                    Vec::new()
+                };
+                let import_verdict = |prov: &ProvenanceLog, prefix: Prefix, v: ImportVerdict| {
+                    if prov.is_enabled() {
+                        prov.record(
+                            now,
+                            local_asn,
+                            ProvenanceEvent::Imported {
+                                from_peer: from,
+                                from_asn: peer_asn,
+                                prefix,
+                                trace: cause,
+                                as_path: heard_path.clone(),
+                                verdict: v,
+                            },
+                        );
+                    }
+                };
                 for nlri in &update.announced {
                     // Receiver-side loop detection: our ASN in the path
                     // means the route already passed through us (this is
@@ -672,11 +777,13 @@ impl Speaker {
                         && !peer_is_ibgp
                     {
                         events.push(SpeakerEvent::ImportRejected(from, nlri.prefix));
+                        import_verdict(&prov, nlri.prefix, ImportVerdict::AsPathLoop);
                         continue;
                     }
                     let mut imported = (**attrs).clone();
                     if !state.cfg.import.apply(&nlri.prefix, &mut imported) {
                         events.push(SpeakerEvent::ImportRejected(from, nlri.prefix));
+                        import_verdict(&prov, nlri.prefix, ImportVerdict::PolicyRejected);
                         // An implicit withdraw of any previous path.
                         let removed = match nlri.path_id {
                             Some(id) => state.adj_in.remove(&nlri.prefix, id).into_iter().collect(),
@@ -695,12 +802,23 @@ impl Speaker {
                         }
                         continue;
                     }
+                    let mut damped = false;
                     if let Some(dcfg) = damping_cfg {
                         if state.damping.on_announce(nlri.prefix, now, &dcfg) {
                             state.suppressed.insert(nlri.prefix);
                             events.push(SpeakerEvent::Suppressed(from, nlri.prefix));
+                            damped = true;
                         }
                     }
+                    import_verdict(
+                        &prov,
+                        nlri.prefix,
+                        if damped {
+                            ImportVerdict::Damped
+                        } else {
+                            ImportVerdict::Accepted
+                        },
+                    );
                     let interned = self.interner.intern(imported);
                     let route = Route {
                         prefix: nlri.prefix,
@@ -714,6 +832,7 @@ impl Speaker {
                         },
                         igp_cost: state.cfg.igp_cost,
                         learned_at: now,
+                        trace: cause,
                     };
                     state.adj_in.insert(route);
                     if let Some(st) = &mut state.stale {
@@ -737,7 +856,7 @@ impl Speaker {
             }
         }
         let mut out: Vec<Output> = events.into_iter().map(Output::Event).collect();
-        out.extend(self.reconsider(affected.into_iter().collect(), now));
+        out.extend(self.reconsider_with(affected.into_iter().collect(), now, cause));
         out
     }
 
@@ -844,6 +963,18 @@ impl Speaker {
 
     /// Re-run the decision process for `prefixes` and propagate changes.
     fn reconsider(&mut self, prefixes: Vec<Prefix>, now: SimTime) -> Vec<Output> {
+        self.reconsider_with(prefixes, now, None)
+    }
+
+    /// Like [`reconsider`](Self::reconsider), threading the provenance id
+    /// of the routing change that triggered the re-decision (used to tag
+    /// propagated withdrawals, which carry no route of their own).
+    fn reconsider_with(
+        &mut self,
+        prefixes: Vec<Prefix>,
+        now: SimTime,
+        cause: Option<TraceId>,
+    ) -> Vec<Output> {
         if !prefixes.is_empty() {
             self.telemetry.counter_inc("bgp.decision.runs");
             self.telemetry
@@ -851,10 +982,10 @@ impl Speaker {
         }
         let mut out = Vec::new();
         for prefix in prefixes {
-            let local = self
-                .local_routes
-                .get(&prefix)
-                .map(|attrs| Route::local(prefix, Arc::clone(attrs), now));
+            let local = self.local_routes.get(&prefix).map(|attrs| {
+                Route::local(prefix, Arc::clone(attrs), now)
+                    .with_trace(self.local_traces.get(&prefix).copied())
+            });
             let new_best: Option<Route> = {
                 let cands = self.candidates(&prefix);
                 let all = cands.into_iter().chain(local.as_ref());
@@ -884,7 +1015,7 @@ impl Speaker {
             }
             // Export state can change even when the best didn't (an
             // AllPaths peer cares about every path), so always re-export.
-            out.extend(self.export_prefix(prefix, now));
+            out.extend(self.export_prefix(prefix, now, cause));
         }
         self.note_rib_gauges();
         out
@@ -896,10 +1027,10 @@ impl Speaker {
         let sources: Vec<Route> = match peer.cfg.advertise {
             AdvertiseMode::BestOnly => self.loc_rib.get(prefix).cloned().into_iter().collect(),
             AdvertiseMode::AllPaths => {
-                let local = self
-                    .local_routes
-                    .get(prefix)
-                    .map(|attrs| Route::local(*prefix, Arc::clone(attrs), now));
+                let local = self.local_routes.get(prefix).map(|attrs| {
+                    Route::local(*prefix, Arc::clone(attrs), now)
+                        .with_trace(self.local_traces.get(prefix).copied())
+                });
                 let mut v: Vec<Route> = self.candidates(prefix).into_iter().cloned().collect();
                 v.extend(local);
                 // Deterministic order: best first.
@@ -908,18 +1039,35 @@ impl Speaker {
             }
         };
         for route in sources {
-            if let Some(exported) = self.export_route(peer, &route) {
-                desired.push(exported);
+            match self.export_route(peer, &route) {
+                Ok(exported) => desired.push(exported),
+                Err(verdict) => {
+                    if self.provenance.is_enabled() {
+                        self.provenance.record(
+                            now,
+                            self.cfg.asn,
+                            ProvenanceEvent::Exported {
+                                to_peer: peer.cfg.id,
+                                to_asn: peer.cfg.asn,
+                                prefix: route.prefix,
+                                trace: route.trace,
+                                as_path: route.attrs.as_path.asns().collect(),
+                                verdict,
+                            },
+                        );
+                    }
+                }
             }
         }
         desired
     }
 
-    /// Apply export semantics for one route toward one peer.
-    fn export_route(&self, peer: &PeerState, route: &Route) -> Option<Route> {
+    /// Apply export semantics for one route toward one peer. `Err` carries
+    /// the reason the route was filtered.
+    fn export_route(&self, peer: &PeerState, route: &Route) -> Result<Route, ExportVerdict> {
         // Split horizon: never back to the peer it came from.
         if route.peer == peer.cfg.id {
-            return None;
+            return Err(ExportVerdict::SplitHorizon);
         }
         let peer_is_ibgp = peer.cfg.asn == self.cfg.asn;
         // iBGP-learned routes are not re-advertised to iBGP peers unless
@@ -934,12 +1082,12 @@ impl Speaker {
                 .unwrap_or(false);
             let reflect = from_client || peer.cfg.rr_client;
             if !reflect {
-                return None;
+                return Err(ExportVerdict::IbgpNoReflect);
             }
         }
         // Well-known communities.
         if route.attrs.has_community(Community::NO_ADVERTISE) {
-            return None;
+            return Err(ExportVerdict::NoAdvertise);
         }
         // NO_EXPORT binds the *receiving* AS: routes we learned must not
         // leave our AS, but a route we originate ourselves is still sent
@@ -948,15 +1096,15 @@ impl Speaker {
             && route.source != RouteSource::Local
             && route.attrs.has_community(Community::NO_EXPORT)
         {
-            return None;
+            return Err(ExportVerdict::NoExport);
         }
         // Sender-side loop check.
         if route.attrs.as_path.contains(peer.cfg.asn) {
-            return None;
+            return Err(ExportVerdict::AsPathLoop);
         }
         let mut attrs = (*route.attrs).clone();
         if !peer.cfg.export.apply(&route.prefix, &mut attrs) {
-            return None;
+            return Err(ExportVerdict::PolicyRejected);
         }
         match self.cfg.mode {
             SpeakerMode::RouteServer => {
@@ -987,7 +1135,7 @@ impl Speaker {
                 }
             }
         };
-        Some(Route {
+        Ok(Route {
             prefix: route.prefix,
             attrs: Arc::new(attrs),
             peer: route.peer,
@@ -995,11 +1143,17 @@ impl Speaker {
             source: route.source,
             igp_cost: route.igp_cost,
             learned_at: route.learned_at,
+            trace: route.trace,
         })
     }
 
     /// Diff desired vs advertised state for one prefix, all peers.
-    fn export_prefix(&mut self, prefix: Prefix, now: SimTime) -> Vec<Output> {
+    fn export_prefix(
+        &mut self,
+        prefix: Prefix,
+        now: SimTime,
+        cause: Option<TraceId>,
+    ) -> Vec<Output> {
         let ids: Vec<PeerId> = self.peers.keys().copied().collect();
         let mut out = Vec::new();
         for id in ids {
@@ -1034,9 +1188,21 @@ impl Speaker {
                 state.session.note_update_sent();
                 self.updates_sent += 1;
                 self.telemetry.counter_inc("bgp.speaker.updates_out");
+                if self.provenance.is_enabled() {
+                    self.provenance.record(
+                        now,
+                        self.cfg.asn,
+                        ProvenanceEvent::WithdrawSent {
+                            to_peer: id,
+                            to_asn: state.cfg.asn,
+                            prefix,
+                            trace: cause,
+                        },
+                    );
+                }
                 out.push(Output::Send(
                     id,
-                    BgpMessage::Update(UpdateMessage::withdraw(withdrawals)),
+                    BgpMessage::Update(UpdateMessage::withdraw(withdrawals).with_trace(cause)),
                 ));
             }
             // Announce new or changed paths.
@@ -1054,10 +1220,24 @@ impl Speaker {
                 } else {
                     Nlri::plain(prefix)
                 };
-                let msg = BgpMessage::Update(UpdateMessage::announce(
-                    Arc::clone(&route.attrs),
-                    vec![nlri],
-                ));
+                let msg = BgpMessage::Update(
+                    UpdateMessage::announce(Arc::clone(&route.attrs), vec![nlri])
+                        .with_trace(route.trace),
+                );
+                if self.provenance.is_enabled() {
+                    self.provenance.record(
+                        now,
+                        self.cfg.asn,
+                        ProvenanceEvent::Exported {
+                            to_peer: id,
+                            to_asn: state.cfg.asn,
+                            prefix,
+                            trace: route.trace,
+                            as_path: route.attrs.as_path.asns().collect(),
+                            verdict: ExportVerdict::Exported,
+                        },
+                    );
+                }
                 state.adj_out.insert(route);
                 state.session.note_update_sent();
                 self.updates_sent += 1;
@@ -1085,6 +1265,7 @@ impl Speaker {
                 withdrawn: vec![],
                 attrs: None,
                 announced: vec![],
+                trace: None,
             }),
         ));
         out
@@ -1120,10 +1301,24 @@ impl Speaker {
             } else {
                 Nlri::plain(prefix)
             };
-            let msg = BgpMessage::Update(UpdateMessage::announce(
-                Arc::clone(&route.attrs),
-                vec![nlri],
-            ));
+            let msg = BgpMessage::Update(
+                UpdateMessage::announce(Arc::clone(&route.attrs), vec![nlri])
+                    .with_trace(route.trace),
+            );
+            if self.provenance.is_enabled() {
+                self.provenance.record(
+                    now,
+                    self.cfg.asn,
+                    ProvenanceEvent::Exported {
+                        to_peer: id,
+                        to_asn: state.cfg.asn,
+                        prefix,
+                        trace: route.trace,
+                        as_path: route.attrs.as_path.asns().collect(),
+                        verdict: ExportVerdict::Exported,
+                    },
+                );
+            }
             state.adj_out.insert(route);
             state.session.note_update_sent();
             self.updates_sent += 1;
@@ -1875,6 +2070,7 @@ mod tests {
             source: RouteSource::Ebgp,
             igp_cost: 0,
             learned_at: SimTime::ZERO,
+            trace: None,
         };
         b.loc_rib.set_best(phantom);
         let err = b.check_invariants().unwrap_err();

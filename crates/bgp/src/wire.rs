@@ -347,6 +347,7 @@ pub fn encode_update_chunked(u: &UpdateMessage, cfg: WireConfig) -> Result<Vec<V
                 withdrawn: vec![],
                 attrs: None,
                 announced: vec![],
+                trace: None,
             }),
             cfg,
         )?);
@@ -699,6 +700,7 @@ fn decode_update(body: &[u8], cfg: WireConfig) -> Result<UpdateMessage, BgpError
         return Err(BgpError::BadUpdate("NLRI without attributes".into()));
     }
     Ok(UpdateMessage {
+        trace: None,
         withdrawn,
         attrs: if have_attrs {
             Some(Arc::new(attrs))
@@ -759,6 +761,7 @@ mod tests {
             communities: vec![Community::new(3356, 100), Community::NO_EXPORT],
         };
         let m = BgpMessage::Update(UpdateMessage {
+            trace: None,
             withdrawn: vec![Nlri::plain(Prefix::v4(198, 51, 100, 0, 24))],
             attrs: Some(Arc::new(attrs.clone())),
             announced: vec![
@@ -786,6 +789,7 @@ mod tests {
             ..Default::default()
         });
         let m = BgpMessage::Update(UpdateMessage {
+            trace: None,
             withdrawn: vec![Nlri::with_path_id(Prefix::v4(10, 0, 0, 0, 8), 3)],
             attrs: Some(attrs),
             announced: vec![Nlri::with_path_id(Prefix::v4(10, 1, 0, 0, 16), 7)],
@@ -807,6 +811,7 @@ mod tests {
             ..Default::default()
         });
         let m = BgpMessage::Update(UpdateMessage {
+            trace: None,
             withdrawn: vec![Nlri::plain("2001:db8:dead::/48".parse().unwrap())],
             attrs: Some(attrs),
             announced: vec![
@@ -959,6 +964,7 @@ mod tests {
             withdrawn: vec![],
             attrs: None,
             announced: vec![],
+            trace: None,
         });
         let got = roundtrip(&m, WireConfig::default());
         if let BgpMessage::Update(u) = got {

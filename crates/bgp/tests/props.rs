@@ -62,6 +62,7 @@ fn arb_update() -> impl Strategy<Value = UpdateMessage> {
             withdrawn: withdrawn.into_iter().map(Nlri::plain).collect(),
             attrs: Some(Arc::new(attrs)),
             announced: announced.into_iter().map(Nlri::plain).collect(),
+            trace: None,
         })
 }
 
@@ -85,6 +86,7 @@ fn arb_route() -> impl Strategy<Value = Route> {
             source,
             igp_cost: igp,
             learned_at: SimTime::ZERO,
+            trace: None,
         })
 }
 
@@ -160,6 +162,7 @@ proptest! {
                               attrs in arb_attrs()) {
         let cfg = WireConfig { add_path: true };
         let update = UpdateMessage {
+            trace: None,
             withdrawn: vec![],
             attrs: Some(Arc::new(attrs)),
             announced: prefixes

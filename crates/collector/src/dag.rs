@@ -1,0 +1,403 @@
+//! Propagation DAG reconstruction: from a provenance record stream to
+//! the causal story of one routing change.
+//!
+//! Every hop in the DAG carries the three things an operator debugging
+//! BGP propagation actually wants: the sim-timestamp the event happened,
+//! the AS path as seen at that hop, and the import/export verdict (was
+//! it accepted, re-exported, or filtered — and why). Export evaluations
+//! repeat whenever a speaker reconsiders, so hops are deduplicated by
+//! (node, neighbor, direction, verdict), keeping the earliest sighting.
+
+use peering_bgp::{ProvenanceEvent, ProvenanceRecord};
+use peering_netsim::{Asn, Prefix, SimTime, TraceId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Which side of a speaker a hop was observed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HopDirection {
+    /// Heard from `neighbor` and run through import processing.
+    Import,
+    /// Evaluated for export toward `neighbor`.
+    Export,
+    /// A withdrawal heard from `neighbor`.
+    WithdrawIn,
+    /// A withdrawal sent toward `neighbor`.
+    WithdrawOut,
+}
+
+/// One observed hop of a routing change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagHop {
+    /// The AS that observed the event.
+    pub node: Asn,
+    /// The neighbor on the other end (sender for imports, receiver for
+    /// exports).
+    pub neighbor: Asn,
+    /// Import or export side.
+    pub direction: HopDirection,
+    /// Sim-time of the observation (delivery time for imports).
+    pub time: SimTime,
+    /// AS path at this hop (as heard on import, as sent on export;
+    /// empty for withdrawals).
+    pub as_path: Vec<Asn>,
+    /// Import/export verdict, kebab-case (`accepted`, `exported`,
+    /// `split-horizon`, ...; `withdraw` for withdrawal hops).
+    pub verdict: String,
+}
+
+/// The reconstructed propagation DAG of one trace id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PropagationDag {
+    /// The routing change this DAG reconstructs.
+    pub trace: TraceId,
+    /// The prefix it concerned.
+    pub prefix: Prefix,
+    /// The AS that originated it.
+    pub origin: Asn,
+    /// When it was originated.
+    pub originated_at: SimTime,
+    /// True if the change was a withdrawal.
+    pub withdraw: bool,
+    /// Every deduplicated hop, ordered by (time, node, neighbor).
+    pub hops: Vec<DagHop>,
+}
+
+/// Trace ids originated for `prefix`, in origination order.
+pub fn traces_for_prefix(records: &[ProvenanceRecord], prefix: Prefix) -> Vec<TraceId> {
+    records
+        .iter()
+        .filter_map(|r| match &r.event {
+            ProvenanceEvent::Originated {
+                prefix: p, trace, ..
+            } if *p == prefix => Some(*trace),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Reconstruct the propagation DAG of `trace` from a record stream.
+/// Returns `None` when no origination with that id was recorded.
+pub fn build_dag(records: &[ProvenanceRecord], trace: TraceId) -> Option<PropagationDag> {
+    let (origin_rec, prefix, withdraw) = records.iter().find_map(|r| match &r.event {
+        ProvenanceEvent::Originated {
+            prefix,
+            trace: t,
+            withdraw,
+        } if *t == trace => Some((r, *prefix, *withdraw)),
+        _ => None,
+    })?;
+
+    // Dedup key → earliest hop. Export evaluation re-runs on every
+    // reconsideration; only the first sighting of each (node, neighbor,
+    // direction, verdict) is causally interesting.
+    let mut hops: BTreeMap<(Asn, Asn, HopDirection, String), DagHop> = BTreeMap::new();
+    let mut keep = |hop: DagHop| {
+        let key = (hop.node, hop.neighbor, hop.direction, hop.verdict.clone());
+        let entry = hops.entry(key).or_insert_with(|| hop.clone());
+        if hop.time < entry.time {
+            *entry = hop;
+        }
+    };
+
+    for r in records {
+        match &r.event {
+            ProvenanceEvent::Imported {
+                from_asn,
+                prefix: p,
+                trace: t,
+                as_path,
+                verdict,
+                ..
+            } if *t == Some(trace) && *p == prefix => keep(DagHop {
+                node: r.node_asn,
+                neighbor: *from_asn,
+                direction: HopDirection::Import,
+                time: r.time,
+                as_path: as_path.clone(),
+                verdict: verdict.to_string(),
+            }),
+            ProvenanceEvent::Exported {
+                to_asn,
+                prefix: p,
+                trace: t,
+                as_path,
+                verdict,
+                ..
+            } if *t == Some(trace) && *p == prefix => keep(DagHop {
+                node: r.node_asn,
+                neighbor: *to_asn,
+                direction: HopDirection::Export,
+                time: r.time,
+                as_path: as_path.clone(),
+                verdict: verdict.to_string(),
+            }),
+            ProvenanceEvent::WithdrawReceived {
+                from_asn,
+                prefix: p,
+                trace: t,
+                ..
+            } if *t == Some(trace) && *p == prefix => keep(DagHop {
+                node: r.node_asn,
+                neighbor: *from_asn,
+                direction: HopDirection::WithdrawIn,
+                time: r.time,
+                as_path: Vec::new(),
+                verdict: "withdraw".to_string(),
+            }),
+            ProvenanceEvent::WithdrawSent {
+                to_asn,
+                prefix: p,
+                trace: t,
+                ..
+            } if *t == Some(trace) && *p == prefix => keep(DagHop {
+                node: r.node_asn,
+                neighbor: *to_asn,
+                direction: HopDirection::WithdrawOut,
+                time: r.time,
+                as_path: Vec::new(),
+                verdict: "withdraw".to_string(),
+            }),
+            _ => {}
+        }
+    }
+
+    let mut hops: Vec<DagHop> = hops.into_values().collect();
+    hops.sort_by(|a, b| {
+        (a.time, a.node, a.neighbor, a.direction).cmp(&(b.time, b.node, b.neighbor, b.direction))
+    });
+    Some(PropagationDag {
+        trace,
+        prefix,
+        origin: origin_rec.node_asn,
+        originated_at: origin_rec.time,
+        withdraw,
+        hops,
+    })
+}
+
+impl PropagationDag {
+    /// Hops observed at `node`, in DAG order.
+    pub fn hops_at(&self, node: Asn) -> impl Iterator<Item = &DagHop> {
+        self.hops.iter().filter(move |h| h.node == node)
+    }
+
+    /// The last sim-time any hop was observed (origination time when the
+    /// change never left the origin).
+    pub fn last_activity(&self) -> SimTime {
+        self.hops
+            .iter()
+            .map(|h| h.time)
+            .max()
+            .unwrap_or(self.originated_at)
+    }
+
+    /// Render the DAG as an indented propagation tree rooted at the
+    /// origin. Exported edges recurse into the receiving AS; filtered
+    /// edges render as terminal annotations. Every line carries the
+    /// sim-timestamp, AS path, and verdict.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        let kind = if self.withdraw {
+            "withdraw"
+        } else {
+            "announce"
+        };
+        let _ = writeln!(
+            out,
+            "{} {} trace {} origin AS{} @ {}ms",
+            self.prefix,
+            kind,
+            self.trace,
+            self.origin.0,
+            self.originated_at.as_millis()
+        );
+        let mut visited = BTreeSet::new();
+        visited.insert(self.origin);
+        self.render_node(&mut out, self.origin, 1, &mut visited);
+        out
+    }
+
+    fn render_node(&self, out: &mut String, node: Asn, depth: usize, visited: &mut BTreeSet<Asn>) {
+        let indent = "  ".repeat(depth);
+        let outbound: Vec<&DagHop> = self
+            .hops_at(node)
+            .filter(|h| {
+                matches!(
+                    h.direction,
+                    HopDirection::Export | HopDirection::WithdrawOut
+                )
+            })
+            .collect();
+        for h in outbound {
+            let _ = writeln!(
+                out,
+                "{indent}-> AS{} @ {}ms path {} {}",
+                h.neighbor.0,
+                h.time.as_millis(),
+                render_path(&h.as_path),
+                h.verdict
+            );
+            if h.verdict != "exported" && h.verdict != "withdraw" {
+                continue; // filtered: the message never left this AS
+            }
+            // The matching inbound hop at the receiver, if it arrived.
+            let inbound = self.hops.iter().find(|i| {
+                i.node == h.neighbor
+                    && i.neighbor == node
+                    && matches!(i.direction, HopDirection::Import | HopDirection::WithdrawIn)
+            });
+            if let Some(i) = inbound {
+                let _ = writeln!(
+                    out,
+                    "{indent}   AS{} heard @ {}ms path {} {}",
+                    i.node.0,
+                    i.time.as_millis(),
+                    render_path(&i.as_path),
+                    i.verdict
+                );
+                let propagates = i.verdict == "accepted" || i.verdict == "withdraw";
+                if propagates && visited.insert(h.neighbor) {
+                    self.render_node(out, h.neighbor, depth + 1, visited);
+                }
+            }
+        }
+    }
+}
+
+/// `[65001 65002]`-style AS path rendering (`[]` for withdrawals).
+pub fn render_path(path: &[Asn]) -> String {
+    let mut s = String::from("[");
+    for (i, asn) in path.iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        let _ = write!(s, "{}", asn.0);
+    }
+    s.push(']');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peering_bgp::{ExportVerdict, ImportVerdict, PeerId};
+
+    fn rec(time_ms: u64, node: u32, event: ProvenanceEvent) -> ProvenanceRecord {
+        ProvenanceRecord {
+            time: SimTime::from_millis(time_ms),
+            node_asn: Asn(node),
+            event,
+        }
+    }
+
+    fn sample_records() -> (Vec<ProvenanceRecord>, TraceId, Prefix) {
+        let trace = TraceId::new(65001, 0);
+        let prefix = Prefix::v4(10, 60, 0, 0, 24);
+        let records = vec![
+            rec(
+                0,
+                65001,
+                ProvenanceEvent::Originated {
+                    prefix,
+                    trace,
+                    withdraw: false,
+                },
+            ),
+            rec(
+                0,
+                65001,
+                ProvenanceEvent::Exported {
+                    to_peer: PeerId(0),
+                    to_asn: Asn(65002),
+                    prefix,
+                    trace: Some(trace),
+                    as_path: vec![Asn(65001)],
+                    verdict: ExportVerdict::Exported,
+                },
+            ),
+            rec(
+                40,
+                65002,
+                ProvenanceEvent::Imported {
+                    from_peer: PeerId(0),
+                    from_asn: Asn(65001),
+                    prefix,
+                    trace: Some(trace),
+                    as_path: vec![Asn(65001)],
+                    verdict: ImportVerdict::Accepted,
+                },
+            ),
+            // Split horizon back toward the origin, evaluated twice —
+            // must dedupe to one hop at the earliest time.
+            rec(
+                40,
+                65002,
+                ProvenanceEvent::Exported {
+                    to_peer: PeerId(0),
+                    to_asn: Asn(65001),
+                    prefix,
+                    trace: Some(trace),
+                    as_path: vec![Asn(65002), Asn(65001)],
+                    verdict: ExportVerdict::SplitHorizon,
+                },
+            ),
+            rec(
+                90,
+                65002,
+                ProvenanceEvent::Exported {
+                    to_peer: PeerId(0),
+                    to_asn: Asn(65001),
+                    prefix,
+                    trace: Some(trace),
+                    as_path: vec![Asn(65002), Asn(65001)],
+                    verdict: ExportVerdict::SplitHorizon,
+                },
+            ),
+        ];
+        (records, trace, prefix)
+    }
+
+    #[test]
+    fn builds_and_dedupes_hops() {
+        let (records, trace, prefix) = sample_records();
+        let dag = build_dag(&records, trace).expect("dag");
+        assert_eq!(dag.prefix, prefix);
+        assert_eq!(dag.origin, Asn(65001));
+        assert!(!dag.withdraw);
+        // Export + import + one deduped split-horizon hop.
+        assert_eq!(dag.hops.len(), 3);
+        let sh = dag
+            .hops
+            .iter()
+            .find(|h| h.verdict == "split-horizon")
+            .expect("split-horizon hop");
+        assert_eq!(sh.time, SimTime::from_millis(40), "earliest kept");
+        assert_eq!(dag.last_activity(), SimTime::from_millis(40));
+    }
+
+    #[test]
+    fn unknown_trace_builds_nothing() {
+        let (records, _, _) = sample_records();
+        assert!(build_dag(&records, TraceId::new(65009, 3)).is_none());
+    }
+
+    #[test]
+    fn traces_index_by_prefix() {
+        let (records, trace, prefix) = sample_records();
+        assert_eq!(traces_for_prefix(&records, prefix), vec![trace]);
+        assert!(traces_for_prefix(&records, Prefix::v4(10, 99, 0, 0, 24)).is_empty());
+    }
+
+    #[test]
+    fn tree_renders_every_hop_with_time_path_verdict() {
+        let (records, trace, _) = sample_records();
+        let dag = build_dag(&records, trace).expect("dag");
+        let tree = dag.render_tree();
+        assert!(tree.contains("10.60.0.0/24 announce trace t65001-0 origin AS65001 @ 0ms"));
+        assert!(tree.contains("-> AS65002 @ 0ms path [65001] exported"));
+        assert!(tree.contains("AS65002 heard @ 40ms path [65001] accepted"));
+        assert!(tree.contains("-> AS65001 @ 40ms path [65002 65001] split-horizon"));
+    }
+}

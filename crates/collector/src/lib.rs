@@ -1,0 +1,33 @@
+//! Route collector and looking glass for the simulated Internet.
+//!
+//! The PEERING testbed gives researchers BGP sessions into the real
+//! Internet; understanding what their announcements *did* out there
+//! means reading route collectors (RouteViews, RIPE RIS) and looking
+//! glasses. This crate closes that loop inside the reproduction:
+//!
+//! * [`collector::Collector`] attaches to an emulation and archives
+//!   designated vantage ASes' update feeds and RIB snapshots in an
+//!   MRT-style binary format ([`mrt`], RFC 6396 subset), byte-
+//!   deterministic for a fixed seed.
+//! * [`dag`] reconstructs the causal propagation DAG of any routing
+//!   change from the provenance stream: every hop with its
+//!   sim-timestamp, AS path, and import/export verdict.
+//! * [`lg::LookingGlass`] (and the `peering-lg` binary) answers
+//!   `show route`, `trace`, and `convergence` queries over a run.
+//!
+//! Collection never perturbs: speakers mint trace ids deterministically
+//! whether or not anyone listens, so instrumented runs converge
+//! bit-identically to bare ones.
+
+pub mod collector;
+pub mod dag;
+pub mod lg;
+pub mod mrt;
+
+pub use collector::Collector;
+pub use dag::{build_dag, traces_for_prefix, DagHop, HopDirection, PropagationDag};
+pub use lg::LookingGlass;
+pub use mrt::{
+    decode_all, Bgp4mpMessage, MrtError, MrtRecord, PeerEntry, PeerIndexTable, RibEntryRecord,
+    RibPath,
+};

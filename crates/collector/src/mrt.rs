@@ -1,0 +1,532 @@
+//! MRT-style binary archives: the RFC 6396 subset the collector writes.
+//!
+//! Real route collectors (RouteViews, RIPE RIS — the infrastructure the
+//! paper's looking-glass integrations lean on) archive BGP in MRT. This
+//! module implements the subset the simulated collector needs, faithfully
+//! where it matters and documented where it deviates:
+//!
+//! * **`BGP4MP_ET` / `BGP4MP_MESSAGE_AS4`** (type 17, subtype 4) for
+//!   update feeds: the extended-timestamp variant, because sim-time is
+//!   microsecond-granular and the plain header only holds seconds.
+//! * **`TABLE_DUMP_V2`** (type 13) for RIB snapshots: `PEER_INDEX_TABLE`
+//!   (subtype 1) plus `RIB_IPV4_UNICAST` (subtype 2) and
+//!   `RIB_IPV6_UNICAST` (subtype 4).
+//!
+//! One deliberate deviation: a RIB entry's attribute blob is a complete
+//! encoded BGP UPDATE announcing the entry's prefix, not a bare path
+//! attribute list. This reuses the wire codec end to end (MP_REACH for
+//! v6, ADD-PATH path ids) and keeps the round trip bitwise exact.
+//!
+//! Everything here is byte-deterministic: encoding the same records in
+//! the same order yields the same archive, which `tools/check.sh` pins by
+//! `cmp`-ing two seeded runs.
+
+use peering_bgp::wire::{decode_message, encode_message, WireConfig};
+use peering_bgp::{BgpError, BgpMessage};
+use peering_netsim::{Asn, SimTime};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// MRT type `BGP4MP_ET` (RFC 6396 §4.4): BGP4MP with an extended
+/// timestamp carrying microseconds.
+pub const MRT_TYPE_BGP4MP_ET: u16 = 17;
+/// BGP4MP subtype `BGP4MP_MESSAGE_AS4` (§4.4.2): 4-byte ASNs.
+pub const BGP4MP_MESSAGE_AS4: u16 = 4;
+/// MRT type `TABLE_DUMP_V2` (§4.3).
+pub const MRT_TYPE_TABLE_DUMP_V2: u16 = 13;
+/// TABLE_DUMP_V2 subtype `PEER_INDEX_TABLE` (§4.3.1).
+pub const TDV2_PEER_INDEX_TABLE: u16 = 1;
+/// TABLE_DUMP_V2 subtype `RIB_IPV4_UNICAST` (§4.3.2).
+pub const TDV2_RIB_IPV4_UNICAST: u16 = 2;
+/// TABLE_DUMP_V2 subtype `RIB_IPV6_UNICAST` (§4.3.2).
+pub const TDV2_RIB_IPV6_UNICAST: u16 = 4;
+
+/// AFI value for IPv4 in the BGP4MP header.
+const AFI_IPV4: u16 = 1;
+
+/// Decode failure for an MRT archive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrtError {
+    /// Ran out of bytes mid-record (`what` names the field).
+    Truncated(&'static str),
+    /// A length field disagrees with the bytes present.
+    BadLength(&'static str),
+    /// Unexpected (type, subtype) pair for the record being decoded.
+    UnexpectedType(u16, u16),
+    /// The embedded BGP message failed to decode.
+    Bgp(BgpError),
+}
+
+impl fmt::Display for MrtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrtError::Truncated(what) => write!(f, "truncated MRT record: {what}"),
+            MrtError::BadLength(what) => write!(f, "bad MRT length field: {what}"),
+            MrtError::UnexpectedType(t, s) => {
+                write!(f, "unexpected MRT record type {t} subtype {s}")
+            }
+            MrtError::Bgp(e) => write!(f, "embedded BGP message: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for MrtError {}
+
+impl From<BgpError> for MrtError {
+    fn from(e: BgpError) -> Self {
+        MrtError::Bgp(e)
+    }
+}
+
+/// One raw MRT record: common header plus opaque body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MrtRecord {
+    /// Header timestamp, whole seconds.
+    pub timestamp_s: u32,
+    /// MRT type.
+    pub rtype: u16,
+    /// MRT subtype.
+    pub subtype: u16,
+    /// Record body (for `*_ET` types this includes the leading
+    /// microseconds field).
+    pub body: Vec<u8>,
+}
+
+impl MrtRecord {
+    /// Append the record to `out` in wire form.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.timestamp_s.to_be_bytes());
+        out.extend_from_slice(&self.rtype.to_be_bytes());
+        out.extend_from_slice(&self.subtype.to_be_bytes());
+        out.extend_from_slice(&(self.body.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.body);
+    }
+
+    /// Decode one record from the front of `data`, returning it and the
+    /// number of bytes consumed.
+    pub fn decode(data: &[u8]) -> Result<(MrtRecord, usize), MrtError> {
+        if data.len() < 12 {
+            return Err(MrtError::Truncated("common header"));
+        }
+        let timestamp_s = u32::from_be_bytes([data[0], data[1], data[2], data[3]]);
+        let rtype = u16::from_be_bytes([data[4], data[5]]);
+        let subtype = u16::from_be_bytes([data[6], data[7]]);
+        let len = u32::from_be_bytes([data[8], data[9], data[10], data[11]]) as usize;
+        if data.len() < 12 + len {
+            return Err(MrtError::Truncated("record body"));
+        }
+        Ok((
+            MrtRecord {
+                timestamp_s,
+                rtype,
+                subtype,
+                body: data[12..12 + len].to_vec(),
+            },
+            12 + len,
+        ))
+    }
+}
+
+/// Split an archive into its raw records.
+pub fn decode_all(mut data: &[u8]) -> Result<Vec<MrtRecord>, MrtError> {
+    let mut records = Vec::new();
+    while !data.is_empty() {
+        let (rec, used) = MrtRecord::decode(data)?;
+        data = &data[used..];
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+/// A BGP message as heard on one session, stamped with sim-time — the
+/// unit of a vantage point's update feed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bgp4mpMessage {
+    /// Delivery sim-time at the vantage.
+    pub time: SimTime,
+    /// ASN of the neighbor the message came from.
+    pub peer_asn: Asn,
+    /// ASN of the vantage (the collector's host).
+    pub local_asn: Asn,
+    /// Neighbor address recorded in the header (router id in this sim).
+    pub peer_ip: Ipv4Addr,
+    /// Vantage address recorded in the header.
+    pub local_ip: Ipv4Addr,
+    /// The BGP message itself.
+    pub msg: BgpMessage,
+}
+
+impl Bgp4mpMessage {
+    /// Encode as a `BGP4MP_ET` / `BGP4MP_MESSAGE_AS4` record.
+    pub fn to_record(&self, cfg: WireConfig) -> Result<MrtRecord, BgpError> {
+        let micros = self.time.as_micros();
+        let mut body = Vec::new();
+        body.extend_from_slice(&((micros % 1_000_000) as u32).to_be_bytes());
+        body.extend_from_slice(&self.peer_asn.0.to_be_bytes());
+        body.extend_from_slice(&self.local_asn.0.to_be_bytes());
+        body.extend_from_slice(&0u16.to_be_bytes()); // interface index
+        body.extend_from_slice(&AFI_IPV4.to_be_bytes());
+        body.extend_from_slice(&self.peer_ip.octets());
+        body.extend_from_slice(&self.local_ip.octets());
+        body.extend_from_slice(&encode_message(&self.msg, cfg)?);
+        Ok(MrtRecord {
+            timestamp_s: (micros / 1_000_000) as u32,
+            rtype: MRT_TYPE_BGP4MP_ET,
+            subtype: BGP4MP_MESSAGE_AS4,
+            body,
+        })
+    }
+
+    /// Decode from a raw record (must be `BGP4MP_ET` / `MESSAGE_AS4`).
+    pub fn from_record(rec: &MrtRecord, cfg: WireConfig) -> Result<Bgp4mpMessage, MrtError> {
+        if rec.rtype != MRT_TYPE_BGP4MP_ET || rec.subtype != BGP4MP_MESSAGE_AS4 {
+            return Err(MrtError::UnexpectedType(rec.rtype, rec.subtype));
+        }
+        let b = &rec.body;
+        if b.len() < 24 {
+            return Err(MrtError::Truncated("BGP4MP header"));
+        }
+        let micros = u32::from_be_bytes([b[0], b[1], b[2], b[3]]);
+        if micros >= 1_000_000 {
+            return Err(MrtError::BadLength("microseconds"));
+        }
+        let peer_asn = Asn(u32::from_be_bytes([b[4], b[5], b[6], b[7]]));
+        let local_asn = Asn(u32::from_be_bytes([b[8], b[9], b[10], b[11]]));
+        // Bytes 12..14: interface index; 14..16: AFI (always v4 here).
+        let afi = u16::from_be_bytes([b[14], b[15]]);
+        if afi != AFI_IPV4 {
+            return Err(MrtError::UnexpectedType(rec.rtype, afi));
+        }
+        let peer_ip = Ipv4Addr::new(b[16], b[17], b[18], b[19]);
+        let local_ip = Ipv4Addr::new(b[20], b[21], b[22], b[23]);
+        let (msg, used) = decode_message(&b[24..], cfg)?;
+        if 24 + used != b.len() {
+            return Err(MrtError::BadLength("trailing bytes after BGP message"));
+        }
+        Ok(Bgp4mpMessage {
+            time: SimTime::from_micros(u64::from(rec.timestamp_s) * 1_000_000 + u64::from(micros)),
+            peer_asn,
+            local_asn,
+            peer_ip,
+            local_ip,
+            msg,
+        })
+    }
+}
+
+/// One neighbor in the peer index table heading a RIB dump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerEntry {
+    /// Neighbor's BGP identifier.
+    pub bgp_id: Ipv4Addr,
+    /// Neighbor's address (router id in this sim).
+    pub ip: Ipv4Addr,
+    /// Neighbor's ASN.
+    pub asn: Asn,
+}
+
+/// The `PEER_INDEX_TABLE` record: who the RIB entries refer to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerIndexTable {
+    /// Collector's BGP identifier.
+    pub collector_id: Ipv4Addr,
+    /// Free-form view name (the vantage label).
+    pub view_name: String,
+    /// Indexed neighbors; RIB entries point into this list.
+    pub peers: Vec<PeerEntry>,
+}
+
+/// Peer type flags: AS number is 4 bytes, address is IPv4.
+const PEER_TYPE_AS4_V4: u8 = 0x02;
+
+impl PeerIndexTable {
+    /// Encode as a `TABLE_DUMP_V2` / `PEER_INDEX_TABLE` record stamped
+    /// with `time` (seconds resolution, as the RFC header allows).
+    pub fn to_record(&self, time: SimTime) -> MrtRecord {
+        let mut body = Vec::new();
+        body.extend_from_slice(&self.collector_id.octets());
+        body.extend_from_slice(&(self.view_name.len() as u16).to_be_bytes());
+        body.extend_from_slice(self.view_name.as_bytes());
+        body.extend_from_slice(&(self.peers.len() as u16).to_be_bytes());
+        for p in &self.peers {
+            body.push(PEER_TYPE_AS4_V4);
+            body.extend_from_slice(&p.bgp_id.octets());
+            body.extend_from_slice(&p.ip.octets());
+            body.extend_from_slice(&p.asn.0.to_be_bytes());
+        }
+        MrtRecord {
+            timestamp_s: (time.as_micros() / 1_000_000) as u32,
+            rtype: MRT_TYPE_TABLE_DUMP_V2,
+            subtype: TDV2_PEER_INDEX_TABLE,
+            body,
+        }
+    }
+
+    /// Decode from a raw record.
+    pub fn from_record(rec: &MrtRecord) -> Result<PeerIndexTable, MrtError> {
+        if rec.rtype != MRT_TYPE_TABLE_DUMP_V2 || rec.subtype != TDV2_PEER_INDEX_TABLE {
+            return Err(MrtError::UnexpectedType(rec.rtype, rec.subtype));
+        }
+        let b = &rec.body;
+        if b.len() < 6 {
+            return Err(MrtError::Truncated("peer index header"));
+        }
+        let collector_id = Ipv4Addr::new(b[0], b[1], b[2], b[3]);
+        let name_len = u16::from_be_bytes([b[4], b[5]]) as usize;
+        if b.len() < 6 + name_len + 2 {
+            return Err(MrtError::Truncated("view name"));
+        }
+        let view_name = String::from_utf8(b[6..6 + name_len].to_vec())
+            .map_err(|_| MrtError::BadLength("view name not UTF-8"))?;
+        let mut off = 6 + name_len;
+        let count = u16::from_be_bytes([b[off], b[off + 1]]) as usize;
+        off += 2;
+        let mut peers = Vec::with_capacity(count);
+        for _ in 0..count {
+            if b.len() < off + 13 {
+                return Err(MrtError::Truncated("peer entry"));
+            }
+            if b[off] != PEER_TYPE_AS4_V4 {
+                return Err(MrtError::BadLength("unsupported peer type"));
+            }
+            let bgp_id = Ipv4Addr::new(b[off + 1], b[off + 2], b[off + 3], b[off + 4]);
+            let ip = Ipv4Addr::new(b[off + 5], b[off + 6], b[off + 7], b[off + 8]);
+            let asn = Asn(u32::from_be_bytes([
+                b[off + 9],
+                b[off + 10],
+                b[off + 11],
+                b[off + 12],
+            ]));
+            peers.push(PeerEntry { bgp_id, ip, asn });
+            off += 13;
+        }
+        if off != b.len() {
+            return Err(MrtError::BadLength("trailing bytes after peer entries"));
+        }
+        Ok(PeerIndexTable {
+            collector_id,
+            view_name,
+            peers,
+        })
+    }
+}
+
+/// One path in a RIB dump entry. The `update` blob is a complete encoded
+/// BGP UPDATE announcing the entry's prefix with the path's attributes
+/// (the module-level deviation note explains why).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibPath {
+    /// Index into the preceding [`PeerIndexTable`].
+    pub peer_index: u16,
+    /// When the path was learned, whole sim-seconds (RFC field width).
+    pub originated_s: u32,
+    /// Encoded UPDATE carrying the path's attributes and NLRI.
+    pub update: Vec<u8>,
+}
+
+/// One `RIB_IPV4_UNICAST` / `RIB_IPV6_UNICAST` record: every path the
+/// vantage holds for one prefix at dump time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibEntryRecord {
+    /// True for `RIB_IPV6_UNICAST`.
+    pub v6: bool,
+    /// Position of this record in the dump sequence.
+    pub seq: u32,
+    /// The paths, in deterministic (peer index, path id) order.
+    pub paths: Vec<RibPath>,
+}
+
+impl RibEntryRecord {
+    /// Encode, stamped with `time` (seconds resolution).
+    ///
+    /// Deviation from §4.3.2: the per-prefix header is carried inside
+    /// each path's embedded UPDATE, so the record goes straight from the
+    /// sequence number to the entry count.
+    pub fn to_record(&self, time: SimTime) -> MrtRecord {
+        let mut body = Vec::new();
+        body.extend_from_slice(&self.seq.to_be_bytes());
+        body.extend_from_slice(&(self.paths.len() as u16).to_be_bytes());
+        for p in &self.paths {
+            body.extend_from_slice(&p.peer_index.to_be_bytes());
+            body.extend_from_slice(&p.originated_s.to_be_bytes());
+            body.extend_from_slice(&(p.update.len() as u16).to_be_bytes());
+            body.extend_from_slice(&p.update);
+        }
+        MrtRecord {
+            timestamp_s: (time.as_micros() / 1_000_000) as u32,
+            rtype: MRT_TYPE_TABLE_DUMP_V2,
+            subtype: if self.v6 {
+                TDV2_RIB_IPV6_UNICAST
+            } else {
+                TDV2_RIB_IPV4_UNICAST
+            },
+            body,
+        }
+    }
+
+    /// Decode from a raw record.
+    pub fn from_record(rec: &MrtRecord) -> Result<RibEntryRecord, MrtError> {
+        let v6 = match (rec.rtype, rec.subtype) {
+            (MRT_TYPE_TABLE_DUMP_V2, TDV2_RIB_IPV4_UNICAST) => false,
+            (MRT_TYPE_TABLE_DUMP_V2, TDV2_RIB_IPV6_UNICAST) => true,
+            (t, s) => return Err(MrtError::UnexpectedType(t, s)),
+        };
+        let b = &rec.body;
+        if b.len() < 6 {
+            return Err(MrtError::Truncated("RIB entry header"));
+        }
+        let seq = u32::from_be_bytes([b[0], b[1], b[2], b[3]]);
+        let count = u16::from_be_bytes([b[4], b[5]]) as usize;
+        let mut off = 6;
+        let mut paths = Vec::with_capacity(count);
+        for _ in 0..count {
+            if b.len() < off + 8 {
+                return Err(MrtError::Truncated("RIB path header"));
+            }
+            let peer_index = u16::from_be_bytes([b[off], b[off + 1]]);
+            let originated_s = u32::from_be_bytes([b[off + 2], b[off + 3], b[off + 4], b[off + 5]]);
+            let len = u16::from_be_bytes([b[off + 6], b[off + 7]]) as usize;
+            off += 8;
+            if b.len() < off + len {
+                return Err(MrtError::Truncated("RIB path update"));
+            }
+            paths.push(RibPath {
+                peer_index,
+                originated_s,
+                update: b[off..off + len].to_vec(),
+            });
+            off += len;
+        }
+        if off != b.len() {
+            return Err(MrtError::BadLength("trailing bytes after RIB paths"));
+        }
+        Ok(RibEntryRecord { v6, seq, paths })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peering_bgp::{Nlri, PathAttributes, UpdateMessage};
+    use peering_netsim::Prefix;
+    use std::sync::Arc;
+
+    fn sample_update() -> BgpMessage {
+        let attrs = Arc::new(PathAttributes::originate(Ipv4Addr::new(10, 0, 0, 1)));
+        BgpMessage::Update(UpdateMessage::announce(
+            attrs,
+            vec![Nlri::plain(Prefix::v4(10, 60, 0, 0, 24))],
+        ))
+    }
+
+    #[test]
+    fn raw_record_roundtrips() {
+        let rec = MrtRecord {
+            timestamp_s: 1234,
+            rtype: MRT_TYPE_BGP4MP_ET,
+            subtype: BGP4MP_MESSAGE_AS4,
+            body: vec![1, 2, 3, 4, 5],
+        };
+        let mut buf = Vec::new();
+        rec.encode(&mut buf);
+        let (back, used) = MrtRecord::decode(&buf).expect("decode");
+        assert_eq!(used, buf.len());
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn truncated_record_is_an_error() {
+        let rec = MrtRecord {
+            timestamp_s: 0,
+            rtype: 13,
+            subtype: 1,
+            body: vec![0; 16],
+        };
+        let mut buf = Vec::new();
+        rec.encode(&mut buf);
+        assert_eq!(
+            MrtRecord::decode(&buf[..buf.len() - 1]),
+            Err(MrtError::Truncated("record body"))
+        );
+        assert_eq!(
+            MrtRecord::decode(&buf[..8]),
+            Err(MrtError::Truncated("common header"))
+        );
+    }
+
+    #[test]
+    fn bgp4mp_roundtrips_with_microsecond_time() {
+        let m = Bgp4mpMessage {
+            time: SimTime::from_micros(12_345_678_901),
+            peer_asn: Asn(65001),
+            local_asn: Asn(65002),
+            peer_ip: Ipv4Addr::new(10, 0, 0, 1),
+            local_ip: Ipv4Addr::new(10, 0, 0, 2),
+            msg: sample_update(),
+        };
+        let cfg = WireConfig::default();
+        let rec = m.to_record(cfg).expect("encode");
+        assert_eq!(rec.timestamp_s, 12_345);
+        let back = Bgp4mpMessage::from_record(&rec, cfg).expect("decode");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn peer_index_table_roundtrips() {
+        let t = PeerIndexTable {
+            collector_id: Ipv4Addr::new(192, 0, 2, 1),
+            view_name: "as65001".to_string(),
+            peers: vec![
+                PeerEntry {
+                    bgp_id: Ipv4Addr::new(10, 0, 0, 1),
+                    ip: Ipv4Addr::new(10, 0, 0, 1),
+                    asn: Asn(65002),
+                },
+                PeerEntry {
+                    bgp_id: Ipv4Addr::new(10, 0, 0, 2),
+                    ip: Ipv4Addr::new(10, 0, 0, 2),
+                    asn: Asn(65003),
+                },
+            ],
+        };
+        let rec = t.to_record(SimTime::from_secs(900));
+        assert_eq!(rec.timestamp_s, 900);
+        assert_eq!(PeerIndexTable::from_record(&rec), Ok(t));
+    }
+
+    #[test]
+    fn rib_entry_roundtrips() {
+        let cfg = WireConfig::default();
+        let update = encode_message(&sample_update(), cfg).expect("encode update");
+        let rec = RibEntryRecord {
+            v6: false,
+            seq: 7,
+            paths: vec![RibPath {
+                peer_index: 1,
+                originated_s: 42,
+                update,
+            }],
+        };
+        let raw = rec.to_record(SimTime::from_secs(900));
+        assert_eq!(RibEntryRecord::from_record(&raw), Ok(rec));
+    }
+
+    #[test]
+    fn decode_all_splits_an_archive() {
+        let cfg = WireConfig::default();
+        let m = Bgp4mpMessage {
+            time: SimTime::from_secs(1),
+            peer_asn: Asn(65001),
+            local_asn: Asn(65002),
+            peer_ip: Ipv4Addr::new(10, 0, 0, 1),
+            local_ip: Ipv4Addr::new(10, 0, 0, 2),
+            msg: sample_update(),
+        };
+        let mut buf = Vec::new();
+        m.to_record(cfg).expect("encode").encode(&mut buf);
+        m.to_record(cfg).expect("encode").encode(&mut buf);
+        let records = decode_all(&buf).expect("split");
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], records[1]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Property tests for the MRT codec: arbitrary update feeds — IPv4 and
+//! IPv6 NLRI, with and without ADD-PATH — must round-trip bitwise
+//! through encode → decode → re-encode.
+
+use peering_bgp::wire::WireConfig;
+use peering_bgp::{AsPath, BgpMessage, Community, Nlri, Origin, PathAttributes, UpdateMessage};
+use peering_collector::mrt::{decode_all, Bgp4mpMessage, MrtRecord};
+use peering_netsim::{Asn, Ipv4Net, Ipv6Net, Prefix, SimTime};
+use proptest::prelude::*;
+use std::net::{Ipv4Addr, Ipv6Addr};
+use std::sync::Arc;
+
+fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
+    (
+        proptest::collection::vec((1u32..400_000).prop_map(Asn), 0..8),
+        any::<u32>(),
+        proptest::option::of(any::<u32>()),
+        proptest::option::of(any::<u32>()),
+        proptest::collection::vec(any::<u32>(), 0..4),
+    )
+        .prop_map(|(path, nh, med, local_pref, communities)| {
+            let mut attrs = PathAttributes {
+                origin: Origin::Igp,
+                as_path: AsPath::from_asns(&path),
+                next_hop: Ipv4Addr::from(nh),
+                med,
+                local_pref,
+                atomic_aggregate: false,
+                aggregator: None,
+                communities: Vec::new(),
+            };
+            for c in communities {
+                attrs.add_community(Community(c));
+            }
+            attrs
+        })
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    prop_oneof![
+        (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Prefix::V4(Ipv4Net::new(Ipv4Addr::from(a), l))),
+        (any::<u64>(), any::<u64>(), 0u8..=128).prop_map(|(hi, lo, l)| {
+            let addr = (u128::from(hi) << 64) | u128::from(lo);
+            Prefix::V6(Ipv6Net::new(Ipv6Addr::from(addr), l))
+        }),
+    ]
+}
+
+fn arb_nlri(add_path: bool) -> impl Strategy<Value = Nlri> {
+    (arb_prefix(), any::<u32>()).prop_map(move |(p, id)| {
+        if add_path {
+            Nlri::with_path_id(p, id)
+        } else {
+            Nlri::plain(p)
+        }
+    })
+}
+
+fn arb_update(add_path: bool) -> impl Strategy<Value = UpdateMessage> {
+    (
+        proptest::collection::vec(arb_nlri(add_path), 0..8),
+        proptest::collection::vec(arb_nlri(add_path), 1..8),
+        arb_attrs(),
+    )
+        .prop_map(|(withdrawn, announced, attrs)| UpdateMessage {
+            withdrawn,
+            attrs: Some(Arc::new(attrs)),
+            announced,
+            trace: None,
+        })
+}
+
+/// Canonicalize NLRI grouping the way the wire format does: v6 reach
+/// rides MP_REACH (decoded before the classic v4 NLRI field at the end
+/// of the message), v6 withdrawals ride MP_UNREACH (decoded after the
+/// classic withdrawn field). Family-stable, order-preserving within a
+/// family — exactly what one encode/decode pass normalizes to.
+fn canon(m: &Bgp4mpMessage) -> Bgp4mpMessage {
+    let mut out = m.clone();
+    if let BgpMessage::Update(u) = &mut out.msg {
+        let (v6a, v4a): (Vec<Nlri>, Vec<Nlri>) =
+            u.announced.drain(..).partition(|n| !n.prefix.is_v4());
+        u.announced = v6a.into_iter().chain(v4a).collect();
+        let (v4w, v6w): (Vec<Nlri>, Vec<Nlri>) =
+            u.withdrawn.drain(..).partition(|n| n.prefix.is_v4());
+        u.withdrawn = v4w.into_iter().chain(v6w).collect();
+    }
+    out
+}
+
+/// A whole feed: sim-times ascending, a neighbor ASN per message.
+fn arb_feed(add_path: bool) -> impl Strategy<Value = Vec<Bgp4mpMessage>> {
+    proptest::collection::vec(
+        (
+            0u64..4_000_000_000_000u64, // micros; seconds fit u32
+            (1u32..400_000).prop_map(Asn),
+            (1u32..400_000).prop_map(Asn),
+            any::<u32>(),
+            any::<u32>(),
+            arb_update(add_path),
+        ),
+        0..10,
+    )
+    .prop_map(|entries| {
+        entries
+            .into_iter()
+            .map(
+                |(us, peer_asn, local_asn, pip, lip, update)| Bgp4mpMessage {
+                    time: SimTime::from_micros(us),
+                    peer_asn,
+                    local_asn,
+                    peer_ip: Ipv4Addr::from(pip),
+                    local_ip: Ipv4Addr::from(lip),
+                    msg: BgpMessage::Update(update),
+                },
+            )
+            .collect()
+    })
+}
+
+proptest! {
+    /// Raw record framing is the identity, whatever the body bytes.
+    #[test]
+    fn raw_record_framing_roundtrips(
+        ts in any::<u32>(),
+        rtype in any::<u16>(),
+        subtype in any::<u16>(),
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let rec = MrtRecord { timestamp_s: ts, rtype, subtype, body };
+        let mut buf = Vec::new();
+        rec.encode(&mut buf);
+        let (back, used) = MrtRecord::decode(&buf).expect("decode");
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(back, rec);
+    }
+
+    /// An arbitrary feed archives and comes back bitwise identical:
+    /// encode → decode → re-encode yields the same bytes, and the
+    /// decoded messages equal the originals (times, ASNs, updates).
+    #[test]
+    fn feed_archives_roundtrip_bitwise(feed in arb_feed(false)) {
+        let cfg = WireConfig::default();
+        let mut archive = Vec::new();
+        let mut kept = Vec::new();
+        for m in &feed {
+            // Oversized updates are a legitimate encode error; skip.
+            if let Ok(rec) = m.to_record(cfg) {
+                rec.encode(&mut archive);
+                kept.push(m.clone());
+            }
+        }
+        let records = decode_all(&archive).expect("well-formed archive");
+        prop_assert_eq!(records.len(), kept.len());
+        let mut reencoded = Vec::new();
+        for (rec, original) in records.iter().zip(&kept) {
+            let m = Bgp4mpMessage::from_record(rec, cfg).expect("decode");
+            prop_assert_eq!(canon(&m), canon(original));
+            m.to_record(cfg).expect("re-encode").encode(&mut reencoded);
+        }
+        prop_assert_eq!(reencoded, archive, "re-encode must be bitwise identical");
+    }
+
+    /// Same law with ADD-PATH in effect: path ids on v4 and v6 NLRI
+    /// survive the archive bitwise.
+    #[test]
+    fn add_path_feed_archives_roundtrip_bitwise(feed in arb_feed(true)) {
+        let cfg = WireConfig { add_path: true };
+        let mut archive = Vec::new();
+        let mut kept = Vec::new();
+        for m in &feed {
+            if let Ok(rec) = m.to_record(cfg) {
+                rec.encode(&mut archive);
+                kept.push(m.clone());
+            }
+        }
+        let records = decode_all(&archive).expect("well-formed archive");
+        prop_assert_eq!(records.len(), kept.len());
+        let mut reencoded = Vec::new();
+        for (rec, original) in records.iter().zip(&kept) {
+            let m = Bgp4mpMessage::from_record(rec, cfg).expect("decode");
+            prop_assert_eq!(canon(&m), canon(original));
+            m.to_record(cfg).expect("re-encode").encode(&mut reencoded);
+        }
+        prop_assert_eq!(reencoded, archive);
+    }
+
+    /// Truncating an archive anywhere strictly inside a record is a
+    /// structured error, never a panic or a silent partial decode.
+    #[test]
+    fn truncated_archives_error_cleanly(feed in arb_feed(false), cut in any::<usize>()) {
+        let cfg = WireConfig::default();
+        let mut archive = Vec::new();
+        for m in &feed {
+            if let Ok(rec) = m.to_record(cfg) {
+                rec.encode(&mut archive);
+            }
+        }
+        prop_assume!(!archive.is_empty());
+        let cut = cut % archive.len();
+        if cut == 0 {
+            prop_assert!(decode_all(&archive[..0]).expect("empty is fine").is_empty());
+        } else {
+            // Either the cut lands on a record boundary (fewer records
+            // decode cleanly) or decoding reports truncation.
+            match decode_all(&archive[..cut]) {
+                Ok(records) => {
+                    let mut len = 0;
+                    for r in &records {
+                        len += 12 + r.body.len();
+                    }
+                    prop_assert_eq!(len, cut, "boundary cut decodes exactly");
+                }
+                Err(e) => prop_assert!(format!("{e}").contains("truncated")),
+            }
+        }
+    }
+}

@@ -181,63 +181,6 @@ impl Monitor {
         }
     }
 
-    /// Record a control-plane event.
-    #[deprecated(note = "use `record(TelemetryEvent::Update(..))` instead")]
-    pub fn record_update(
-        &mut self,
-        time: SimTime,
-        experiment: ExperimentId,
-        kind: UpdateKind,
-        prefix: impl Into<Prefix>,
-        reach: Option<usize>,
-    ) {
-        self.record(TelemetryEvent::Update(UpdateRecord {
-            time,
-            experiment,
-            kind,
-            prefix: prefix.into(),
-            reach,
-        }));
-    }
-
-    /// Record a data-plane probe.
-    #[deprecated(note = "use `record(TelemetryEvent::Probe(..))` instead")]
-    pub fn record_probe(
-        &mut self,
-        time: SimTime,
-        from: AsIdx,
-        prefix: impl Into<Prefix>,
-        rtt: Option<SimDuration>,
-        hops: Option<usize>,
-    ) {
-        self.record(TelemetryEvent::Probe(ProbeRecord {
-            time,
-            from,
-            prefix: prefix.into(),
-            rtt,
-            hops,
-        }));
-    }
-
-    /// Record a session lifecycle event.
-    #[deprecated(note = "use `record(TelemetryEvent::Session(..))` instead")]
-    pub fn record_session(
-        &mut self,
-        time: SimTime,
-        node: usize,
-        peer: u32,
-        kind: SessionKind,
-        reason: Option<String>,
-    ) {
-        self.record(TelemetryEvent::Session(SessionRecord {
-            time,
-            node,
-            peer,
-            kind,
-            reason,
-        }));
-    }
-
     /// The full unified event stream, in recording order.
     pub fn events(&self) -> &[TelemetryEvent] {
         &self.events
@@ -450,35 +393,6 @@ mod tests {
         assert_eq!(m.session_flaps(9), 0);
         let down = m.sessions().nth(1).unwrap();
         assert_eq!(down.reason.as_deref(), Some("connection lost"));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_feed_the_unified_stream() {
-        let mut m = Monitor::new();
-        let p = net("184.164.225.0/24");
-        m.record_update(
-            SimTime::ZERO,
-            ExperimentId(1),
-            UpdateKind::Announce,
-            p,
-            None,
-        );
-        m.record_probe(
-            SimTime::from_secs(1),
-            AsIdx(2),
-            p,
-            Some(SimDuration::from_millis(30)),
-            Some(3),
-        );
-        m.record_session(SimTime::from_secs(2), 0, 0, SessionKind::Up, None);
-        assert_eq!(m.events().len(), 3);
-        assert_eq!(m.updates().count(), 1);
-        assert_eq!(m.probes().count(), 1);
-        assert_eq!(m.sessions().count(), 1);
-        // The stream preserves recording order across kinds.
-        assert!(matches!(m.events()[0], TelemetryEvent::Update(_)));
-        assert!(matches!(m.events()[2], TelemetryEvent::Session(_)));
     }
 
     #[test]

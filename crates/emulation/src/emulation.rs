@@ -2,7 +2,7 @@
 //! loop that moves messages between hosted daemons.
 
 use crate::container::{Container, ResourceModel};
-use peering_bgp::{BgpMessage, Output, PeerConfig, PeerId, Speaker, SpeakerEvent};
+use peering_bgp::{BgpMessage, Output, PeerConfig, PeerId, ProvenanceLog, Speaker, SpeakerEvent};
 use peering_netsim::{
     FaultAction, FaultPlan, LinkParams, MsgNet, NodeId, SimDuration, SimRng, SimTime,
 };
@@ -59,6 +59,9 @@ pub struct Emulation {
     /// Telemetry sink; disabled unless attached with
     /// [`set_telemetry`](Self::set_telemetry).
     telemetry: Telemetry,
+    /// Provenance record stream; disabled unless attached with
+    /// [`set_provenance`](Self::set_provenance).
+    provenance: ProvenanceLog,
 }
 
 impl Emulation {
@@ -75,6 +78,7 @@ impl Emulation {
             resources: ResourceModel::default(),
             events: Vec::new(),
             telemetry: Telemetry::disabled(),
+            provenance: ProvenanceLog::disabled(),
         }
     }
 
@@ -96,6 +100,26 @@ impl Emulation {
     /// The attached telemetry handle (disabled by default).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// Attach a provenance log to the emulation and every hosted daemon
+    /// (including any currently crashed ones). Containers added later
+    /// inherit the handle, so one shared log sees the whole run.
+    pub fn set_provenance(&mut self, provenance: ProvenanceLog) {
+        for c in &mut self.containers {
+            if let Some(d) = c.daemon.as_mut() {
+                d.set_provenance(provenance.clone());
+            }
+        }
+        for d in self.crashed.values_mut() {
+            d.set_provenance(provenance.clone());
+        }
+        self.provenance = provenance;
+    }
+
+    /// The attached provenance log (disabled by default).
+    pub fn provenance(&self) -> &ProvenanceLog {
+        &self.provenance
     }
 
     /// Export transport-level statistics into the telemetry registry as
@@ -135,6 +159,11 @@ impl Emulation {
         if self.telemetry.is_enabled() {
             if let Some(d) = c.daemon.as_mut() {
                 d.set_telemetry(self.telemetry.clone());
+            }
+        }
+        if self.provenance.is_enabled() {
+            if let Some(d) = c.daemon.as_mut() {
+                d.set_provenance(self.provenance.clone());
             }
         }
         self.containers.push(c);

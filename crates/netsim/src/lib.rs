@@ -40,5 +40,5 @@ pub use net::{Asn, Ipv4Net, Ipv6Net, Prefix, PrefixParseError};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
-pub use trace::TraceLog;
+pub use trace::{TraceEvent, TraceId, TraceLog, TraceSink};
 pub use transport::{Delivery, DeliveryKind, LinkStats, MsgNet, NodeId};

@@ -1,13 +1,53 @@
-//! A bounded in-memory event trace for debugging and experiment reports.
+//! A bounded in-memory event trace for debugging and experiment reports,
+//! plus the [`TraceId`] type that threads causal update provenance through
+//! the whole stack.
 //!
 //! The real testbed "automatically collect\[s\] regular control and data
 //! plane measurements"; the trace log is the simulated analog used by the
 //! monitoring layer to record BGP updates, packet events, and operator
-//! actions without unbounded memory growth.
+//! actions without unbounded memory growth. Higher layers (telemetry, the
+//! route collector) attach a [`TraceSink`] so that every record flows
+//! through **one** recording path: the log keeps its bounded ring buffer
+//! while the sink mirrors accepted events into richer streams.
 
 use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
+use std::rc::Rc;
+
+/// Identity of one originated routing change (announcement or withdrawal).
+///
+/// Minted once at the originating speaker and carried — out of band of the
+/// wire messages, so behaviour is unperturbed — through Adj-RIB-In, the
+/// decision process, and Adj-RIB-Out at every hop. The collector keys its
+/// propagation DAGs on it. The packing is deterministic: origin ASN in the
+/// high 32 bits, a per-origin sequence number in the low 32.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// Mint the `seq`-th trace id originated by `origin_asn`.
+    pub fn new(origin_asn: u32, seq: u32) -> Self {
+        TraceId((u64::from(origin_asn) << 32) | u64::from(seq))
+    }
+
+    /// The ASN that originated the traced change.
+    pub fn origin_asn(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// Per-origin sequence number of the traced change.
+    pub fn seq(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}-{}", self.origin_asn(), self.seq())
+    }
+}
 
 /// A single trace record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,14 +66,45 @@ impl fmt::Display for TraceEvent {
     }
 }
 
+/// A mirror for accepted trace records.
+///
+/// Implemented by `peering-telemetry`'s handle so a `TraceLog::record` call
+/// is the one recording path: ring buffer here, structured event stream
+/// there. Sinks only see records the log accepted (enabled, nonzero
+/// capacity), so the log's counters and the mirrored stream agree.
+pub trait TraceSink {
+    /// Observe one accepted trace record.
+    fn trace_event(&self, event: &TraceEvent);
+}
+
 /// A ring buffer of recent trace events.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct TraceLog {
     events: VecDeque<TraceEvent>,
     capacity: usize,
     enabled: bool,
-    /// Total records ever offered, including evicted/suppressed ones.
+    sink: Option<Rc<dyn TraceSink>>,
+    /// Records actually accepted (stored, possibly later evicted).
     pub total: u64,
+    /// Records offered while the log was disabled or zero-capacity.
+    ///
+    /// Kept separate from `total` so that disabling the log mid-run no
+    /// longer drifts the accepted count away from what the buffer (and any
+    /// attached sink) actually saw.
+    pub suppressed: u64,
+}
+
+impl fmt::Debug for TraceLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceLog")
+            .field("events", &self.events)
+            .field("capacity", &self.capacity)
+            .field("enabled", &self.enabled)
+            .field("sink", &self.sink.as_ref().map(|_| "attached"))
+            .field("total", &self.total)
+            .field("suppressed", &self.suppressed)
+            .finish()
+    }
 }
 
 impl TraceLog {
@@ -43,7 +114,9 @@ impl TraceLog {
             events: VecDeque::with_capacity(capacity.min(4096)),
             capacity,
             enabled: true,
+            sink: None,
             total: 0,
+            suppressed: 0,
         }
     }
 
@@ -59,20 +132,35 @@ impl TraceLog {
         self.enabled = on;
     }
 
+    /// Attach a mirror that observes every accepted record.
+    pub fn set_sink(&mut self, sink: Rc<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detach the mirror, if any.
+    pub fn clear_sink(&mut self) {
+        self.sink = None;
+    }
+
     /// Record an event, evicting the oldest when at capacity.
     pub fn record(&mut self, time: SimTime, tag: &'static str, detail: impl Into<String>) {
-        self.total += 1;
         if !self.enabled || self.capacity == 0 {
+            self.suppressed += 1;
             return;
+        }
+        self.total += 1;
+        let event = TraceEvent {
+            time,
+            tag,
+            detail: detail.into(),
+        };
+        if let Some(sink) = &self.sink {
+            sink.trace_event(&event);
         }
         if self.events.len() == self.capacity {
             self.events.pop_front();
         }
-        self.events.push_back(TraceEvent {
-            time,
-            tag,
-            detail: detail.into(),
-        });
+        self.events.push_back(event);
     }
 
     /// All currently retained events, oldest first.
@@ -104,6 +192,7 @@ impl TraceLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::cell::RefCell;
 
     #[test]
     fn records_and_iterates() {
@@ -130,15 +219,58 @@ mod tests {
     }
 
     #[test]
-    fn disabled_log_counts_but_does_not_store() {
+    fn disabled_log_suppresses_without_counting() {
         let mut log = TraceLog::disabled();
         log.record(SimTime::ZERO, "t", "x");
         assert!(log.is_empty());
-        assert_eq!(log.total, 1);
+        assert_eq!(log.total, 0);
+        assert_eq!(log.suppressed, 1);
+        // Toggling the log off mid-run must not drift `total` away from
+        // what was actually accepted.
         let mut log2 = TraceLog::new(5);
+        log2.record(SimTime::ZERO, "t", "a");
         log2.set_enabled(false);
-        log2.record(SimTime::ZERO, "t", "x");
-        assert!(log2.is_empty());
+        log2.record(SimTime::ZERO, "t", "b");
+        log2.set_enabled(true);
+        log2.record(SimTime::ZERO, "t", "c");
+        assert_eq!(log2.total, 2);
+        assert_eq!(log2.suppressed, 1);
+        assert_eq!(log2.len(), 2);
+    }
+
+    #[test]
+    fn sink_mirrors_accepted_records_only() {
+        struct Mirror(RefCell<Vec<String>>);
+        impl TraceSink for Mirror {
+            fn trace_event(&self, event: &TraceEvent) {
+                self.0.borrow_mut().push(event.detail.clone());
+            }
+        }
+        let mirror = Rc::new(Mirror(RefCell::new(Vec::new())));
+        let mut log = TraceLog::new(2);
+        log.set_sink(mirror.clone());
+        log.record(SimTime::ZERO, "t", "a");
+        log.set_enabled(false);
+        log.record(SimTime::ZERO, "t", "hidden");
+        log.set_enabled(true);
+        log.record(SimTime::ZERO, "t", "b");
+        log.record(SimTime::ZERO, "t", "c");
+        // The sink saw every accepted record, even ones later evicted.
+        assert_eq!(*mirror.0.borrow(), vec!["a", "b", "c"]);
+        assert_eq!(log.len(), 2);
+        log.clear_sink();
+        log.record(SimTime::ZERO, "t", "d");
+        assert_eq!(mirror.0.borrow().len(), 3);
+    }
+
+    #[test]
+    fn trace_id_packs_origin_and_sequence() {
+        let id = TraceId::new(65001, 7);
+        assert_eq!(id.origin_asn(), 65001);
+        assert_eq!(id.seq(), 7);
+        assert_eq!(id.to_string(), "t65001-7");
+        assert!(TraceId::new(65001, 7) < TraceId::new(65001, 8));
+        assert!(TraceId::new(65001, 9) < TraceId::new(65002, 0));
     }
 
     #[test]

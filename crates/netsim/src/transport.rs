@@ -47,6 +47,11 @@ pub struct Delivery<M> {
     pub msg: M,
     /// Message vs timer.
     pub kind: DeliveryKind,
+    /// When the sender handed this to the network (timer scheduling time
+    /// for timers). Together with the delivery timestamp this gives the
+    /// collector per-hop propagation latency without re-deriving link
+    /// parameters.
+    pub sent_at: SimTime,
 }
 
 /// Per-direction link counters exported for telemetry. Snapshot of the
@@ -173,6 +178,7 @@ impl<M> MsgNet<M> {
                         to,
                         msg,
                         kind: DeliveryKind::Message,
+                        sent_at: now,
                     },
                 );
                 self.queue_high_water = self.queue_high_water.max(self.queue.len());
@@ -187,14 +193,15 @@ impl<M> MsgNet<M> {
 
     /// Schedule a timer on `node` to fire after `delay`.
     pub fn set_timer(&mut self, node: NodeId, delay: SimDuration, msg: M) {
-        let at = self.queue.now() + delay;
+        let now = self.queue.now();
         self.queue.push(
-            at,
+            now + delay,
             Delivery {
                 from: node,
                 to: node,
                 msg,
                 kind: DeliveryKind::Timer,
+                sent_at: now,
             },
         );
         self.queue_high_water = self.queue_high_water.max(self.queue.len());
@@ -324,6 +331,8 @@ mod tests {
         let (t, d) = n.next().unwrap();
         assert_eq!(t, SimTime::from_millis(14));
         assert_eq!(d.to, NodeId(1));
+        // The delivery remembers when it was handed to the network.
+        assert_eq!(d.sent_at, SimTime::from_millis(7));
     }
 
     #[test]

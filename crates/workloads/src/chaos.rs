@@ -13,6 +13,7 @@
 //! age-independent, so converged content must not depend on timing.
 
 use peering_bgp::{Asn, ConnectRetryConfig, PeerConfig, PeerId, Prefix, Speaker, SpeakerConfig};
+use peering_collector::Collector;
 use peering_emulation::{Container, Emulation};
 use peering_netsim::{FaultAction, FaultPlan, LinkParams, NodeId, SimDuration, SimRng, SimTime};
 use peering_telemetry::Telemetry;
@@ -69,6 +70,25 @@ impl ChaosTopology {
     /// seeded ConnectRetry stream so nothing stays down for good. Each
     /// node originates one unique prefix. Runs to initial convergence.
     pub fn build(&self, seed: u64) -> Emulation {
+        let (mut emu, nodes) = self.assemble(seed);
+        Self::launch(&mut emu, &nodes);
+        emu
+    }
+
+    /// [`build`](Self::build) with a route collector attached before the
+    /// first session comes up, so origination and initial convergence
+    /// land in the provenance stream too. Collection is observational:
+    /// the converged tables are bit-identical to a bare build (a test
+    /// below pins this).
+    pub fn build_collected(&self, seed: u64, collector: &mut Collector) -> Emulation {
+        let (mut emu, nodes) = self.assemble(seed);
+        collector.attach(&mut emu);
+        Self::launch(&mut emu, &nodes);
+        emu
+    }
+
+    /// Containers, links, and sessions — nothing started yet.
+    fn assemble(&self, seed: u64) -> (Emulation, Vec<usize>) {
         let n = self.node_count();
         assert!((2..=200).contains(&n), "topology size out of range");
         let mut emu = Emulation::new(SimRng::new(seed).fork(&self.name()));
@@ -105,17 +125,23 @@ impl ChaosTopology {
                     .graceful_restart(RESTART_TIME),
             );
         }
+        (emu, nodes)
+    }
+
+    /// Start every session, originate each node's prefix, and run to
+    /// initial convergence.
+    fn launch(emu: &mut Emulation, nodes: &[usize]) {
         emu.start_all();
         for (i, &node) in nodes.iter().enumerate() {
             emu.originate(node, origin_prefix(i));
         }
         emu.run_until_quiet(usize::MAX);
-        emu
     }
 }
 
-/// The prefix node `i` originates.
-fn origin_prefix(i: usize) -> Prefix {
+/// The prefix node `i` originates (public so collectors, goldens, and
+/// benches can name the routing changes a run produces).
+pub fn origin_prefix(i: usize) -> Prefix {
     Prefix::v4(10, 60, i as u8, 0, 24)
 }
 
@@ -262,6 +288,35 @@ pub fn run_one_instrumented(
     }
 }
 
+/// [`run_one`] with a route collector archiving the faulted run: every
+/// update the vantages hear, every import/export verdict, the whole
+/// propagation history. Collection must not perturb — the digests match
+/// a bare run bit-for-bit (a test below pins this).
+pub fn run_one_collected(
+    topology: &ChaosTopology,
+    seed: u64,
+    collector: &mut Collector,
+) -> ChaosReport {
+    let baseline = topology.build(seed);
+    let baseline_digest = rib_digest(&baseline);
+    let mut emu = topology.build_collected(seed, collector);
+    let mut plan = chaos_plan(topology, seed);
+    let faults = plan.len();
+    emu.run_with_faults(
+        &mut plan,
+        SimTime::ZERO + HORIZON,
+        SimDuration::from_secs(1),
+        usize::MAX,
+    );
+    ChaosReport {
+        scenario: topology.name(),
+        seed,
+        faults,
+        baseline_digest,
+        chaos_digest: rib_digest(&emu),
+    }
+}
+
 /// The default campaign matrix: every seed against every topology.
 pub fn run_campaign(topologies: &[ChaosTopology], seeds: &[u64]) -> Vec<ChaosReport> {
     let mut reports = Vec::with_capacity(topologies.len() * seeds.len());
@@ -356,6 +411,52 @@ mod tests {
             instrumented.faults as u64
         );
         assert!(snap.gauge("netsim.transport.delivered").is_some());
+    }
+
+    #[test]
+    fn collector_observes_without_perturbing() {
+        // Same invariant for the route collector: a full provenance
+        // stream plus vantage archives must leave the chaos digests
+        // bitwise identical to a bare run, and the archives themselves
+        // must be byte-deterministic across executions.
+        let topo = ChaosTopology::Ring(4);
+        let bare = run_one(&topo, 11);
+        let run = || {
+            let mut collector = Collector::new();
+            collector.add_vantage(Asn(65001));
+            let report = run_one_collected(&topo, 11, &mut collector);
+            let archive = collector
+                .update_archive(Asn(65001), peering_bgp::wire::WireConfig::default())
+                .expect("archive");
+            (report, archive)
+        };
+        let (collected, archive1) = run();
+        let (collected2, archive2) = run();
+        assert_eq!(bare, collected, "collection must not change outcomes");
+        assert!(collected.converged());
+        assert_eq!(collected, collected2);
+        assert!(!archive1.is_empty(), "vantage heard updates during chaos");
+        assert_eq!(archive1, archive2, "same seed, same archive bytes");
+    }
+
+    #[test]
+    fn collected_build_reconstructs_origination_dags() {
+        // The initial convergence of a collected build yields a
+        // propagation DAG for every originated prefix, rooted at its
+        // origin AS.
+        let topo = ChaosTopology::Ring(4);
+        let mut collector = Collector::new();
+        let _emu = topo.build_collected(3, &mut collector);
+        let records = collector.records();
+        for i in 0..4 {
+            let traces = peering_collector::traces_for_prefix(&records, origin_prefix(i));
+            assert_eq!(traces.len(), 1, "one origination for node {i}");
+            let dag = peering_collector::build_dag(&records, traces[0]).expect("dag");
+            assert_eq!(dag.origin, Asn(65001 + i as u32));
+            assert!(!dag.withdraw);
+            // The change reached beyond the origin.
+            assert!(dag.hops.iter().any(|h| h.verdict == "accepted"));
+        }
     }
 
     #[test]

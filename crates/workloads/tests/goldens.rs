@@ -6,10 +6,11 @@
 //! diff then shows reviewers exactly what the change does to every
 //! shipped scenario.
 
+use peering_collector::{Collector, LookingGlass};
 use peering_core::{Testbed, TestbedConfig};
 use peering_netsim::Ipv4Net;
 use peering_workloads::catalog;
-use peering_workloads::chaos::{chaos_plan, rib_digest, ChaosTopology};
+use peering_workloads::chaos::{chaos_plan, origin_prefix, rib_digest, ChaosTopology};
 use peering_workloads::scenarios;
 use serde::{Serialize, Value};
 use std::fs;
@@ -109,6 +110,31 @@ fn chaos_artifacts_match_golden() {
         ]));
     }
     check_golden("chaos.json", obj(vec![("runs", Value::Seq(runs))]));
+}
+
+#[test]
+fn propagation_dag_matches_golden() {
+    // The causal story of one routing change on a small topology,
+    // pinned hop by hop: every line carries the sim-timestamp, the AS
+    // path at that hop, and the import/export verdict. Two same-seed
+    // runs must render identically before either is compared to the
+    // snapshot.
+    let render = || {
+        let topo = ChaosTopology::Ring(4);
+        let mut collector = Collector::new();
+        let emu = topo.build_collected(SEED, &mut collector);
+        let lg = LookingGlass::new(&emu, &collector);
+        let prefix = origin_prefix(0);
+        format!(
+            "{}\n{}\n{}",
+            lg.trace(prefix),
+            lg.convergence(prefix),
+            lg.show_route(prefix)
+        )
+    };
+    let first = render();
+    assert_eq!(first, render(), "same seed, same DAG text");
+    check_golden_text("propagation_dag.txt", first);
 }
 
 #[test]

@@ -21,6 +21,7 @@
 //! | [`emulation`] | MinineXt analog: containers, IGP, hosted daemons, placement |
 //! | [`core`] | PEERING itself: servers, mux, clients, allocation, safety, experiments, monitoring |
 //! | [`telemetry`] | sim-time observability: counters, gauges, log-2 histograms, events/spans, deterministic snapshots |
+//! | [`collector`] | route collector: update provenance, MRT archives, propagation DAGs, the `peering-lg` looking glass |
 //! | [`workloads`] | Alexa-style catalog, traffic, and the LIFEGUARD / PoiRoot / ARROW / PECAN / hijack / sBGP / anycast / decoy scenarios |
 //!
 //! ## Quickstart
@@ -38,6 +39,7 @@
 //! ```
 
 pub use peering_bgp as bgp;
+pub use peering_collector as collector;
 pub use peering_core as core;
 pub use peering_emulation as emulation;
 pub use peering_ixp as ixp;

@@ -27,6 +27,17 @@ cmp "$tmpdir/run1.json" "$tmpdir/run2.json" \
 mkdir -p results
 cp "$tmpdir/run1.json" results/BENCH_telemetry.json
 
+echo "==> collector smoke (MRT archive byte-determinism)"
+cargo run --release -q -p peering-bench --bin collector_smoke -- \
+  "$tmpdir/collector1.json" "$tmpdir/collector1.mrt" 42
+cargo run --release -q -p peering-bench --bin collector_smoke -- \
+  "$tmpdir/collector2.json" "$tmpdir/collector2.mrt" 42
+cmp "$tmpdir/collector1.mrt" "$tmpdir/collector2.mrt" \
+  || { echo "collector MRT archive differs between same-seed runs"; exit 1; }
+cmp "$tmpdir/collector1.json" "$tmpdir/collector2.json" \
+  || { echo "collector summary differs between same-seed runs"; exit 1; }
+cp "$tmpdir/collector1.json" results/BENCH_collector.json
+
 echo "==> peering-lint (static safety verification)"
 cargo run --release -q -p peering-verify --bin peering-lint
 
