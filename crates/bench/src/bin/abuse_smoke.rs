@@ -1,0 +1,70 @@
+//! Abuse-containment smoke check: run every seeded abuser scenario,
+//! assert the abuser was contained and the bystanders untouched, and
+//! write the reports as JSON.
+//!
+//! ```text
+//! cargo run --release -p peering-bench --bin abuse_smoke -- out.json [seed]
+//! ```
+//!
+//! The repo gate (`tools/check.sh`) runs this twice with the same seed
+//! and `cmp`s the outputs: containment — state transitions, quarantine
+//! instants, final Loc-RIB digests — must be byte-identical across runs.
+
+use peering_telemetry::Telemetry;
+use peering_workloads::abuse::{self, AbuseScenario};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out = args
+        .next()
+        .unwrap_or_else(|| "results/BENCH_abuse.json".into());
+    let seed: u64 = args.next().map_or(42, |s| s.parse().expect("seed"));
+
+    let mut lines = Vec::new();
+    for scenario in AbuseScenario::all() {
+        let artifacts = abuse::run_one_with_artifacts(scenario, seed, Telemetry::new());
+        let r = &artifacts.report;
+        assert!(
+            r.contained,
+            "{} seed {seed}: abuser not contained (final state {})",
+            r.scenario, r.final_state
+        );
+        assert!(
+            r.healthy_unaffected(),
+            "{} seed {seed}: healthy clients diverged from baseline",
+            r.scenario
+        );
+        let digests: Vec<String> = artifacts
+            .client_digests
+            .iter()
+            .map(|d| format!("\"{d:#018x}\""))
+            .collect();
+        lines.push(format!(
+            concat!(
+                "  {{\"scenario\": \"{}\", \"seed\": {}, \"final_state\": \"{}\", ",
+                "\"transitions\": {}, \"treat_as_withdraw\": {}, \"tail_drops\": {}, ",
+                "\"client_rib_digests\": [{}]}}"
+            ),
+            r.scenario,
+            r.seed,
+            r.final_state,
+            r.transitions,
+            r.treat_as_withdraw,
+            r.tail_drops,
+            digests.join(", ")
+        ));
+        println!(
+            "abuse smoke: {} -> {} ({} transitions, {} treat-as-withdraw, {} tail drops)",
+            r.scenario, r.final_state, r.transitions, r.treat_as_withdraw, r.tail_drops
+        );
+    }
+
+    let json = format!("[\n{}\n]\n", lines.join(",\n"));
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+    }
+    std::fs::write(&out, json).expect("write report");
+    println!("abuse smoke: 4 scenarios contained -> {out}");
+}

@@ -12,6 +12,7 @@
 
 use peering_core::{Testbed, TestbedConfig};
 use peering_telemetry::Telemetry;
+use peering_workloads::abuse::{self, AbuseScenario};
 use peering_workloads::chaos::{run_one_instrumented, ChaosTopology};
 use peering_workloads::scenarios;
 
@@ -24,6 +25,10 @@ const EXPECTED_COUNTERS: &[&str] = &[
     "bgp.session.established",
     "bgp.decision.runs",
     "emulation.faults.applied",
+    "bgp.session.treat_as_withdraw",
+    "bgp.session.max_prefix_warn",
+    "core.containment.state_transitions",
+    "netsim.queue.tail_drops",
 ];
 
 fn main() {
@@ -48,6 +53,23 @@ fn main() {
         report.converged(),
         "chaos run must converge with telemetry attached"
     );
+
+    // Abuse scenarios exercise the containment counters: the flood hits
+    // the rate limiter and the bounded queue, the blowup trips the
+    // max-prefix warning, the corrupt storm exercises RFC 7606
+    // treat-as-withdraw.
+    for scenario in [
+        AbuseScenario::UpdateFlood,
+        AbuseScenario::PrefixBlowup,
+        AbuseScenario::CorruptStorm,
+    ] {
+        let abuse_report = abuse::run_one_instrumented(scenario, seed, telemetry.clone());
+        assert!(
+            abuse_report.contained,
+            "abuse run {} must contain the abuser with telemetry attached",
+            abuse_report.scenario
+        );
+    }
 
     let snapshot = telemetry.snapshot();
     if let Err(e) = snapshot.validate(EXPECTED_COUNTERS) {

@@ -194,6 +194,10 @@ pub struct Session {
     retry_deadline: SimTime,
     retry_attempt: u32,
     retry_rng: Option<SimRng>,
+    /// While set, the session dwells in `Idle` until this instant before
+    /// automatically re-entering the handshake — the deterministic
+    /// idle-hold penalty served after a max-prefix Cease (RFC 4486 §4).
+    idle_hold_until: SimTime,
     /// Counters.
     pub stats: SessionStats,
 }
@@ -214,6 +218,7 @@ impl Session {
             retry_deadline: SimTime::MAX,
             retry_attempt: 0,
             retry_rng,
+            idle_hold_until: SimTime::MAX,
             stats: SessionStats::default(),
         }
     }
@@ -246,9 +251,13 @@ impl Session {
     /// * a zero hold time never arms the hold timer;
     /// * the ConnectRetry timer is armed only while reconnecting
     ///   (`Connect`/`OpenSent`) and only on active, retry-enabled
-    ///   endpoints.
+    ///   endpoints;
+    /// * an idle-hold penalty is served only while `Idle`.
     pub fn check_invariants(&self) -> Result<(), String> {
         let negotiated = self.negotiated.is_some();
+        if self.idle_hold_until != SimTime::MAX && self.state != FsmState::Idle {
+            return Err(format!("idle-hold penalty armed in {:?}", self.state));
+        }
         if self.retry_deadline != SimTime::MAX {
             if self.cfg.connect_retry.is_none() || self.cfg.passive {
                 return Err("retry timer armed without an active retry policy".into());
@@ -328,6 +337,8 @@ impl Session {
         if self.state != FsmState::Idle {
             return Vec::new();
         }
+        // A manual start overrides any idle-hold penalty still pending.
+        self.idle_hold_until = SimTime::MAX;
         if self.cfg.passive {
             self.state = FsmState::Connect;
             Vec::new()
@@ -392,12 +403,102 @@ impl Session {
         (out, events)
     }
 
+    /// An UPDATE arrived whose attributes are malformed in a way RFC 7606
+    /// classifies as *treat-as-withdraw*: the NLRI parsed, so instead of
+    /// tearing the session down the announced routes are handled as if
+    /// they had been withdrawn, and the session stays Established.
+    ///
+    /// Outside Established the message is an FSM error exactly as a
+    /// well-formed UPDATE would be (RFC 7606 does not soften §8 rules).
+    pub fn on_malformed_update(
+        &mut self,
+        update: UpdateMessage,
+        now: SimTime,
+    ) -> (Vec<BgpMessage>, Vec<SessionEvent>) {
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+        self.stats.msgs_in += 1;
+        match self.state {
+            FsmState::Idle => {}
+            FsmState::Established => {
+                if self.hold_deadline != SimTime::MAX {
+                    if let Some(n) = &self.negotiated {
+                        self.hold_deadline = now + n.hold_time;
+                    }
+                }
+                self.stats.updates_in += 1;
+                let mut withdrawn = update.withdrawn;
+                withdrawn.extend(update.announced);
+                // An empty treated update would alias End-of-RIB; there is
+                // nothing to withdraw, so surface nothing.
+                if !withdrawn.is_empty() {
+                    events.push(SessionEvent::Update(UpdateMessage {
+                        withdrawn,
+                        attrs: None,
+                        announced: Vec::new(),
+                        trace: update.trace,
+                    }));
+                }
+            }
+            state => {
+                let e = BgpError::FsmViolation(format!("update in {state:?}"));
+                let (code, sub) = e.notification();
+                out.push(BgpMessage::Notification(NotificationMessage::new(
+                    code, sub,
+                )));
+                self.stats.msgs_out += 1;
+                self.go_down(e.to_string(), now, &mut events);
+            }
+        }
+        (out, events)
+    }
+
+    /// The peer exceeded its configured maximum prefix count: emit a
+    /// Cease NOTIFICATION with subcode 1 ("maximum number of prefixes
+    /// reached", RFC 4486) and fall back to Idle, where the session
+    /// serves a deterministic idle-hold `penalty` before `tick`
+    /// automatically re-enters the handshake.
+    pub fn max_prefix_cease(
+        &mut self,
+        now: SimTime,
+        penalty: SimDuration,
+    ) -> (Vec<BgpMessage>, Vec<SessionEvent>) {
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+        if self.state == FsmState::Idle {
+            return (out, events);
+        }
+        let was_established = self.state == FsmState::Established;
+        out.push(BgpMessage::Notification(NotificationMessage::new(
+            NotifCode::Cease,
+            1, // maximum number of prefixes reached
+        )));
+        self.stats.msgs_out += 1;
+        self.reset();
+        // The penalty is a fixed duration — no jitter — so seeded runs
+        // re-establish at exactly the same virtual instant.
+        self.idle_hold_until = now + penalty;
+        self.retry_attempt = 0;
+        if was_established {
+            events.push(SessionEvent::Down {
+                reason: "max prefixes reached".into(),
+            });
+        }
+        (out, events)
+    }
+
+    /// The idle-hold deadline, if a max-prefix penalty is being served.
+    pub fn idle_penalty_until(&self) -> Option<SimTime> {
+        (self.idle_hold_until != SimTime::MAX).then_some(self.idle_hold_until)
+    }
+
     fn reset(&mut self) {
         self.state = FsmState::Idle;
         self.negotiated = None;
         self.hold_deadline = SimTime::MAX;
         self.keepalive_due = SimTime::MAX;
         self.retry_deadline = SimTime::MAX;
+        self.idle_hold_until = SimTime::MAX;
     }
 
     fn go_down(&mut self, reason: impl Into<String>, now: SimTime, events: &mut Vec<SessionEvent>) {
@@ -558,6 +659,22 @@ impl Session {
     pub fn tick(&mut self, now: SimTime) -> (Vec<BgpMessage>, Vec<SessionEvent>) {
         let mut out = Vec::new();
         let mut events = Vec::new();
+        // Idle-hold: a session serving a max-prefix penalty automatically
+        // re-enters the handshake once the penalty expires.
+        if self.state == FsmState::Idle && self.idle_hold_until != SimTime::MAX {
+            if now >= self.idle_hold_until {
+                self.idle_hold_until = SimTime::MAX;
+                if self.cfg.passive {
+                    self.state = FsmState::Connect;
+                } else {
+                    self.state = FsmState::OpenSent;
+                    out.push(self.open_message());
+                    self.stats.msgs_out += 1;
+                    self.arm_retry(now);
+                }
+            }
+            return (out, events);
+        }
         // ConnectRetry: an active endpoint stuck reconnecting re-sends its
         // OPEN and doubles the backoff.
         if matches!(self.state, FsmState::Connect | FsmState::OpenSent)
@@ -598,6 +715,7 @@ impl Session {
         self.hold_deadline
             .min(self.keepalive_due)
             .min(self.retry_deadline)
+            .min(self.idle_hold_until)
     }
 
     /// The ConnectRetry deadline, if the retry timer is armed.
@@ -963,6 +1081,132 @@ mod tests {
         // Idle sessions have nothing to corrupt.
         let mut idle = Session::new(SessionConfig::new(Asn(9), Ipv4Addr::new(9, 9, 9, 9)));
         let (out, ev) = idle.on_corrupt(SimTime::ZERO);
+        assert!(out.is_empty() && ev.is_empty());
+    }
+
+    #[test]
+    fn malformed_update_is_treated_as_withdraw() {
+        let (mut a, mut b) = pair();
+        establish(&mut a, &mut b, SimTime::ZERO);
+        let attrs = Arc::new(PathAttributes {
+            as_path: AsPath::from_asns(&[Asn(100)]),
+            ..Default::default()
+        });
+        let p = Prefix::v4(10, 0, 0, 0, 8);
+        let u = UpdateMessage::announce(attrs, vec![Nlri::plain(p)]);
+        let (out, events) = b.on_malformed_update(u, SimTime::from_secs(1));
+        // RFC 7606: no NOTIFICATION, the session stays up, and the
+        // announced routes come back as withdrawals.
+        assert!(out.is_empty());
+        assert!(b.is_established());
+        match &events[0] {
+            SessionEvent::Update(treated) => {
+                assert_eq!(treated.withdrawn, vec![Nlri::plain(p)]);
+                assert!(treated.announced.is_empty());
+                assert!(treated.attrs.is_none());
+            }
+            other => panic!("expected treated update, got {other:?}"),
+        }
+        assert_eq!(b.stats.updates_in, 1);
+    }
+
+    #[test]
+    fn empty_malformed_update_does_not_alias_end_of_rib() {
+        let (mut a, mut b) = pair();
+        establish(&mut a, &mut b, SimTime::ZERO);
+        let empty = UpdateMessage {
+            withdrawn: vec![],
+            attrs: None,
+            announced: vec![],
+            trace: None,
+        };
+        let (out, events) = b.on_malformed_update(empty, SimTime::from_secs(1));
+        assert!(out.is_empty() && events.is_empty());
+        assert!(b.is_established());
+    }
+
+    #[test]
+    fn malformed_update_before_established_is_fsm_error() {
+        let (mut a, _b) = pair();
+        a.start(SimTime::ZERO);
+        let u = UpdateMessage::withdraw(vec![Nlri::plain(Prefix::v4(10, 0, 0, 0, 8))]);
+        let (out, _) = a.on_malformed_update(u, SimTime::ZERO);
+        assert!(matches!(out[0], BgpMessage::Notification(_)));
+        assert_eq!(a.state(), FsmState::Idle);
+    }
+
+    #[test]
+    fn max_prefix_cease_serves_penalty_then_reestablishes() {
+        let (mut a, mut b) = retry_pair();
+        establish(&mut a, &mut b, SimTime::ZERO);
+        let t1 = SimTime::from_secs(10);
+        let penalty = SimDuration::from_secs(60);
+        let (out, ev) = a.max_prefix_cease(t1, penalty);
+        match &out[0] {
+            BgpMessage::Notification(n) => {
+                assert_eq!(n.code, NotifCode::Cease);
+                assert_eq!(n.subcode, 1);
+            }
+            other => panic!("expected Cease, got {other:?}"),
+        }
+        assert!(matches!(ev[0], SessionEvent::Down { .. }));
+        // The session dwells in Idle — no retry timer races the penalty.
+        assert_eq!(a.state(), FsmState::Idle);
+        assert_eq!(a.retry_deadline(), None);
+        assert_eq!(a.idle_penalty_until(), Some(t1 + penalty));
+        assert_eq!(a.next_deadline(), t1 + penalty);
+        a.check_invariants().unwrap();
+        // Ticking before the deadline does nothing.
+        let (out, ev) = a.tick(t1 + SimDuration::from_secs(30));
+        assert!(out.is_empty() && ev.is_empty());
+        assert_eq!(a.state(), FsmState::Idle);
+        // At the deadline the active side re-sends its OPEN.
+        let t2 = t1 + penalty;
+        let (out, _) = a.tick(t2);
+        assert!(matches!(out[0], BgpMessage::Open(_)));
+        assert_eq!(a.state(), FsmState::OpenSent);
+        assert_eq!(a.idle_penalty_until(), None);
+        a.check_invariants().unwrap();
+        // The peer dropped its side when the Cease arrived; restart it and
+        // deliver the re-sent OPEN to prove re-establishment works.
+        b.reset();
+        b.start(t2);
+        let mut a_to_b = out;
+        let mut b_to_a: Vec<BgpMessage> = Vec::new();
+        for _ in 0..8 {
+            if a_to_b.is_empty() && b_to_a.is_empty() {
+                break;
+            }
+            let mut next_a_to_b = Vec::new();
+            let mut next_b_to_a = Vec::new();
+            for m in a_to_b.drain(..) {
+                next_b_to_a.extend(b.on_message(m, t2).0);
+            }
+            for m in b_to_a.drain(..) {
+                next_a_to_b.extend(a.on_message(m, t2).0);
+            }
+            a_to_b = next_a_to_b;
+            b_to_a = next_b_to_a;
+        }
+        assert!(a.is_established() && b.is_established());
+    }
+
+    #[test]
+    fn max_prefix_cease_on_passive_side_waits_in_connect() {
+        let (mut a, mut b) = retry_pair();
+        establish(&mut a, &mut b, SimTime::ZERO);
+        let t1 = SimTime::from_secs(10);
+        let penalty = SimDuration::from_secs(45);
+        let (out, _) = b.max_prefix_cease(t1, penalty);
+        assert!(matches!(out[0], BgpMessage::Notification(_)));
+        assert_eq!(b.state(), FsmState::Idle);
+        let (out, ev) = b.tick(t1 + penalty);
+        assert!(out.is_empty() && ev.is_empty());
+        assert_eq!(b.state(), FsmState::Connect);
+        b.check_invariants().unwrap();
+        // Idle sessions with no penalty have nothing to cease.
+        let mut idle = Session::new(SessionConfig::new(Asn(9), Ipv4Addr::new(9, 9, 9, 9)));
+        let (out, ev) = idle.max_prefix_cease(SimTime::ZERO, penalty);
         assert!(out.is_empty() && ev.is_empty());
     }
 

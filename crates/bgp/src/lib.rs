@@ -57,7 +57,9 @@ pub use provenance::{
     ExportVerdict, ImportVerdict, ProvenanceEvent, ProvenanceLog, ProvenanceRecord,
 };
 pub use rib::{AdjRibIn, AdjRibOut, AttrInterner, LocRib, PeerId, Route, RouteSource};
-pub use speaker::{Output, PeerConfig, Speaker, SpeakerConfig, SpeakerEvent, SpeakerMode};
+pub use speaker::{
+    MaxPrefixConfig, Output, PeerConfig, Speaker, SpeakerConfig, SpeakerEvent, SpeakerMode,
+};
 
 // Re-export the substrate identifiers so downstream crates can use one path.
 pub use peering_netsim::{Asn, Ipv4Net, Ipv6Net, Prefix, TraceId};

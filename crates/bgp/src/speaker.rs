@@ -111,6 +111,49 @@ impl SpeakerConfig {
     }
 }
 
+/// Per-session prefix-count limits (RFC 4486 §4 "maximum number of
+/// prefixes reached").
+///
+/// Crossing `warn` raises a one-shot telemetry warning; exceeding
+/// `limit` answers with a Cease NOTIFICATION, flushes the peer's
+/// Adj-RIB-In (graceful restart is deliberately bypassed — retaining a
+/// flooder's paths would preserve the very table pressure the limit
+/// exists to shed), and serves an `idle_hold` penalty before the
+/// session re-establishes on its own.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxPrefixConfig {
+    /// Soft threshold: warn (once per session) at this many prefixes.
+    pub warn: usize,
+    /// Hard limit: tear the session down above this many prefixes.
+    pub limit: usize,
+    /// Idle-hold penalty served before automatic re-establishment.
+    pub idle_hold: SimDuration,
+}
+
+impl MaxPrefixConfig {
+    /// Limits with a warning threshold at 80% of `limit` and a 60 s
+    /// idle-hold penalty.
+    pub fn new(limit: usize) -> Self {
+        MaxPrefixConfig {
+            warn: limit - limit / 5,
+            limit,
+            idle_hold: SimDuration::from_secs(60),
+        }
+    }
+
+    /// Builder: override the warning threshold.
+    pub fn warn_at(mut self, warn: usize) -> Self {
+        self.warn = warn;
+        self
+    }
+
+    /// Builder: override the idle-hold penalty.
+    pub fn idle_hold(mut self, penalty: SimDuration) -> Self {
+        self.idle_hold = penalty;
+        self
+    }
+}
+
 /// Per-peer configuration.
 #[derive(Debug, Clone)]
 pub struct PeerConfig {
@@ -137,6 +180,8 @@ pub struct PeerConfig {
     /// as stale (still forwarding) for this long, sweeping whatever was
     /// not re-announced once the peer signals End-of-RIB.
     pub graceful_restart: Option<SimDuration>,
+    /// Per-session prefix-count limits; `None` disables enforcement.
+    pub max_prefix: Option<MaxPrefixConfig>,
 }
 
 impl PeerConfig {
@@ -152,6 +197,7 @@ impl PeerConfig {
             igp_cost: 0,
             rr_client: false,
             graceful_restart: None,
+            max_prefix: None,
         }
     }
 
@@ -194,6 +240,12 @@ impl PeerConfig {
     /// Builder: retain this peer's paths as stale across restarts.
     pub fn graceful_restart(mut self, restart_time: SimDuration) -> Self {
         self.graceful_restart = Some(restart_time);
+        self
+    }
+
+    /// Builder: enforce per-session prefix-count limits.
+    pub fn with_max_prefix(mut self, mp: MaxPrefixConfig) -> Self {
+        self.max_prefix = Some(mp);
         self
     }
 }
@@ -246,6 +298,8 @@ struct PeerState {
     suppressed: BTreeSet<Prefix>,
     /// Present while the peer is in a graceful-restart window.
     stale: Option<StaleState>,
+    /// The max-prefix warning threshold already fired this session.
+    max_prefix_warned: bool,
 }
 
 /// A complete BGP router.
@@ -425,6 +479,7 @@ impl Speaker {
             damping: DampingState::new(),
             suppressed: BTreeSet::new(),
             stale: None,
+            max_prefix_warned: false,
             cfg,
         };
         self.peers.insert(state.cfg.id, state);
@@ -644,6 +699,7 @@ impl Speaker {
                 let state = self.peers.get_mut(&peer).expect("peer exists");
                 state.adj_out.clear();
                 state.suppressed.clear();
+                state.max_prefix_warned = false;
                 if let Some(restart_time) = state.cfg.graceful_restart {
                     // RFC 4724: mark the peer's paths stale but keep
                     // forwarding along them. A second loss inside the
@@ -674,7 +730,14 @@ impl Speaker {
                 self.telemetry.counter_inc("bgp.speaker.updates_in");
                 self.process_update(peer, update, now)
             }
-            SessionEvent::RefreshRequested => self.full_table_to(peer, now),
+            SessionEvent::RefreshRequested => {
+                // RFC 2918: re-advertise the whole Adj-RIB-Out. Forget
+                // what was already sent so the diffing export resends it.
+                if let Some(state) = self.peers.get_mut(&peer) {
+                    state.adj_out.clear();
+                }
+                self.full_table_to(peer, now)
+            }
         }
     }
 
@@ -842,6 +905,37 @@ impl Speaker {
                 }
             }
         }
+        // Max-prefix enforcement (RFC 4486 §4): count what the peer now
+        // occupies in Adj-RIB-In, warn once per session at the soft
+        // threshold, Cease above the hard limit. The Cease path bypasses
+        // graceful restart — retaining a flooder's paths would preserve
+        // the very table pressure the limit exists to shed.
+        let mut cease: Vec<Output> = Vec::new();
+        {
+            let state = self.peers.get_mut(&from).expect("peer exists");
+            if let Some(mp) = state.cfg.max_prefix {
+                let count = state.adj_in.prefixes().count();
+                if count >= mp.warn && count <= mp.limit && !state.max_prefix_warned {
+                    state.max_prefix_warned = true;
+                    self.telemetry.counter_inc("bgp.session.max_prefix_warn");
+                }
+                if count > mp.limit {
+                    let (msgs, sess_events) = state.session.max_prefix_cease(now, mp.idle_hold);
+                    cease.extend(msgs.into_iter().map(|m| Output::Send(from, m)));
+                    affected.extend(state.adj_in.clear());
+                    state.adj_out.clear();
+                    state.suppressed.clear();
+                    state.stale = None;
+                    state.max_prefix_warned = false;
+                    self.telemetry.counter_inc("bgp.session.down");
+                    for ev in sess_events {
+                        if let SessionEvent::Down { reason } = ev {
+                            cease.push(Output::Event(SpeakerEvent::PeerDown(from, reason)));
+                        }
+                    }
+                }
+            }
+        }
         if self.telemetry.is_enabled() {
             for ev in &events {
                 match ev {
@@ -856,6 +950,7 @@ impl Speaker {
             }
         }
         let mut out: Vec<Output> = events.into_iter().map(Output::Event).collect();
+        out.extend(cease);
         out.extend(self.reconsider_with(affected.into_iter().collect(), now, cause));
         out
     }
@@ -918,6 +1013,88 @@ impl Speaker {
         out
     }
 
+    /// React to an UPDATE whose attributes are malformed in a way RFC
+    /// 7606 classifies as recoverable: the session stays Established and
+    /// the announced routes are handled as withdrawn (treat-as-withdraw)
+    /// instead of answering with a NOTIFICATION. Contrast with
+    /// [`on_corrupt_message`](Self::on_corrupt_message), which remains
+    /// the path for unrecoverable (framing-level) corruption.
+    pub fn on_malformed_update(
+        &mut self,
+        from: PeerId,
+        update: UpdateMessage,
+        now: SimTime,
+    ) -> Vec<Output> {
+        let Some(state) = self.peers.get_mut(&from) else {
+            return Vec::new();
+        };
+        if state.session.is_established() {
+            self.telemetry.counter_inc("bgp.session.treat_as_withdraw");
+        }
+        let (msgs, events) = state.session.on_malformed_update(update, now);
+        let mut out: Vec<Output> = msgs.into_iter().map(|m| Output::Send(from, m)).collect();
+        for ev in events {
+            out.extend(self.handle_session_event(from, ev, now));
+        }
+        debug_assert_eq!(
+            self.check_invariants(),
+            Ok(()),
+            "speaker invariant violated after on_malformed_update"
+        );
+        out
+    }
+
+    /// Replace a peer's import policy at runtime and re-filter the
+    /// peer's Adj-RIB-In under it, withdrawing anything the new policy
+    /// rejects. This is the quarantine lever: the containment engine
+    /// swaps in a reject-all policy and every route the peer had placed
+    /// is withdrawn from downstream peers.
+    pub fn set_peer_import(&mut self, peer: PeerId, policy: Policy, now: SimTime) -> Vec<Output> {
+        let Some(state) = self.peers.get_mut(&peer) else {
+            return Vec::new();
+        };
+        state.cfg.import = policy;
+        let mut affected: Vec<Prefix> = Vec::new();
+        let prefixes: Vec<Prefix> = state.adj_in.prefixes().copied().collect();
+        for p in prefixes {
+            let paths: Vec<(u32, Arc<PathAttributes>)> = state
+                .adj_in
+                .paths(&p)
+                .map(|r| (r.path_id, r.attrs.clone()))
+                .collect();
+            for (path_id, attrs) in paths {
+                let mut candidate = (*attrs).clone();
+                if !state.cfg.import.apply(&p, &mut candidate)
+                    && state.adj_in.remove(&p, path_id).is_some()
+                {
+                    if let Some(st) = &mut state.stale {
+                        st.keys.remove(&(p, path_id));
+                    }
+                    affected.push(p);
+                }
+            }
+        }
+        let out = self.reconsider(affected, now);
+        debug_assert_eq!(
+            self.check_invariants(),
+            Ok(()),
+            "speaker invariant violated after set_peer_import"
+        );
+        out
+    }
+
+    /// Ask an established peer to re-send its table (ROUTE-REFRESH, RFC
+    /// 2918). Used when lifting a quarantine: the re-filtered routes were
+    /// dropped from Adj-RIB-In, so the peer must offer them again.
+    pub fn request_refresh(&mut self, peer: PeerId) -> Vec<Output> {
+        match self.peers.get(&peer) {
+            Some(state) if state.session.is_established() => {
+                vec![Output::Send(peer, BgpMessage::RouteRefresh)]
+            }
+            _ => Vec::new(),
+        }
+    }
+
     /// Cold restart after a crash: every session drops to Idle, all
     /// learned state is gone, only local originations survive (they live
     /// in configuration). Callers restart sessions via
@@ -937,6 +1114,7 @@ impl Speaker {
             state.suppressed.clear();
             state.damping = DampingState::new();
             state.stale = None;
+            state.max_prefix_warned = false;
         }
         self.loc_rib = LocRib::new();
         let locals: Vec<Prefix> = self.local_routes.keys().copied().collect();
@@ -1417,6 +1595,8 @@ impl Speaker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::attrs::AsPath;
+    use crate::message::NotifCode;
 
     /// Deliver all queued outputs between two speakers until quiescent.
     fn settle(a: &mut Speaker, b: &mut Speaker, a_peer: PeerId, b_peer: PeerId, now: SimTime) {
@@ -2206,7 +2386,63 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_message_drops_session_and_recovers() {
+    fn recoverable_corruption_is_treated_as_withdraw_not_reset() {
+        // RFC 7606: a malformed attribute on an otherwise-parsable UPDATE
+        // must NOT be answered with a NOTIFICATION — the session stays
+        // Established and the affected routes are withdrawn.
+        let (mut a, mut b) = resilient_pair();
+        let p = Prefix::v4(10, 10, 0, 0, 16);
+        a.originate(p, SimTime::ZERO);
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::ZERO);
+        assert!(b.loc_rib().get(&p).is_some());
+        let t1 = SimTime::from_secs(5);
+        // The re-announcement arrives with attributes mangled in a
+        // treat-as-withdraw-recoverable way.
+        let attrs = Arc::new(PathAttributes {
+            as_path: AsPath::from_asns(&[Asn(1)]),
+            ..Default::default()
+        });
+        let mangled = UpdateMessage::announce(attrs, vec![Nlri::plain(p)]);
+        let outs = b.on_malformed_update(PeerId(0), mangled, t1);
+        assert!(
+            !outs
+                .iter()
+                .any(|o| matches!(o, Output::Send(_, BgpMessage::Notification(_)))),
+            "recoverable corruption must not trigger a NOTIFICATION"
+        );
+        assert!(
+            b.peer_established(PeerId(0)),
+            "treat-as-withdraw keeps the session up"
+        );
+        // The announced route was handled as withdrawn.
+        assert!(b.loc_rib().get(&p).is_none());
+        assert!(b.adj_rib_in(PeerId(0)).unwrap().is_empty());
+        assert_eq!(b.check_invariants(), Ok(()));
+        // The peer can simply re-announce — no session recycling needed.
+        let t2 = SimTime::from_secs(6);
+        let mut msgs: Vec<BgpMessage> = Vec::new();
+        msgs.extend(
+            a.withdraw_origin(p, t1)
+                .into_iter()
+                .filter_map(|o| match o {
+                    Output::Send(_, m) => Some(m),
+                    _ => None,
+                }),
+        );
+        msgs.extend(a.originate(p, t2).into_iter().filter_map(|o| match o {
+            Output::Send(_, m) => Some(m),
+            _ => None,
+        }));
+        for m in msgs {
+            b.on_message(PeerId(0), m, t2);
+        }
+        assert!(b.loc_rib().get(&p).is_some());
+    }
+
+    #[test]
+    fn unrecoverable_corruption_still_notifies_and_drops() {
+        // Framing-level corruption has no recoverable interpretation:
+        // the blanket NOTIFICATION-and-drop path remains.
         let (mut a, mut b) = resilient_pair();
         let p = Prefix::v4(10, 10, 0, 0, 16);
         a.originate(p, SimTime::ZERO);
@@ -2216,7 +2452,7 @@ mod tests {
         assert!(
             outs.iter()
                 .any(|o| matches!(o, Output::Send(_, BgpMessage::Notification(_)))),
-            "corruption must be answered with a NOTIFICATION"
+            "unrecoverable corruption must be answered with a NOTIFICATION"
         );
         assert!(!b.peer_established(PeerId(0)));
         // GR keeps the path while the session recycles.
@@ -2225,6 +2461,101 @@ mod tests {
         settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::from_secs(20));
         assert!(b.peer_established(PeerId(0)));
         assert!(b.loc_rib().get(&p).is_some());
+    }
+
+    #[test]
+    fn max_prefix_limit_ceases_session_and_flushes_routes() {
+        let mut a = speaker(1);
+        let mut b = speaker(2);
+        a.add_peer(PeerConfig::new(PeerId(0), Asn(2)));
+        b.add_peer(
+            PeerConfig::new(PeerId(0), Asn(1))
+                .passive()
+                .with_max_prefix(MaxPrefixConfig::new(4).warn_at(3)),
+        );
+        for i in 0..3u8 {
+            a.originate(Prefix::v4(10, i, 0, 0, 16), SimTime::ZERO);
+        }
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::ZERO);
+        assert!(b.peer_established(PeerId(0)), "at the warn threshold");
+        assert_eq!(b.loc_rib().len(), 3);
+        // Two more prefixes push the count past the hard limit.
+        let t1 = SimTime::from_secs(5);
+        let mut pending: Vec<BgpMessage> = Vec::new();
+        for pfx in [Prefix::v4(10, 10, 0, 0, 16), Prefix::v4(10, 11, 0, 0, 16)] {
+            pending.extend(a.originate(pfx, t1).into_iter().filter_map(|o| match o {
+                Output::Send(_, m) => Some(m),
+                _ => None,
+            }));
+        }
+        let mut ceased = Vec::new();
+        for m in pending {
+            ceased.extend(b.on_message(PeerId(0), m, t1));
+        }
+        assert!(
+            ceased.iter().any(|o| matches!(
+                o,
+                Output::Send(_, BgpMessage::Notification(n)) if n.code == NotifCode::Cease && n.subcode == 1
+            )),
+            "hard limit must be answered with Cease subcode 1"
+        );
+        assert!(!b.peer_established(PeerId(0)));
+        assert!(b.loc_rib().is_empty(), "the flooder's routes are flushed");
+        assert!(b.adj_rib_in(PeerId(0)).unwrap().is_empty());
+        assert_eq!(b.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn set_peer_import_refilters_adj_rib_in() {
+        let (mut a, mut b) = resilient_pair();
+        let p1 = Prefix::v4(10, 10, 0, 0, 16);
+        let p2 = Prefix::v4(10, 20, 0, 0, 16);
+        a.originate(p1, SimTime::ZERO);
+        a.originate(p2, SimTime::ZERO);
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::ZERO);
+        assert_eq!(b.loc_rib().len(), 2);
+        // Quarantine: reject everything the peer offers.
+        let t1 = SimTime::from_secs(5);
+        let outs = b.set_peer_import(PeerId(0), Policy::reject_all(), t1);
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            Output::Event(SpeakerEvent::BestChanged { new: None, .. })
+        )));
+        assert!(b.loc_rib().is_empty());
+        assert!(
+            b.peer_established(PeerId(0)),
+            "quarantine keeps the session"
+        );
+        // Lift the quarantine: restore the policy and ask for a refresh.
+        let t2 = SimTime::from_secs(10);
+        b.set_peer_import(PeerId(0), Policy::accept_all(), t2);
+        let refresh = b.request_refresh(PeerId(0));
+        assert_eq!(
+            refresh,
+            vec![Output::Send(PeerId(0), BgpMessage::RouteRefresh)]
+        );
+        let mut pending: Vec<BgpMessage> = vec![BgpMessage::RouteRefresh];
+        for _ in 0..8 {
+            if pending.is_empty() {
+                break;
+            }
+            let mut back: Vec<BgpMessage> = Vec::new();
+            for m in pending.drain(..) {
+                back.extend(
+                    a.on_message(PeerId(0), m, t2)
+                        .into_iter()
+                        .filter_map(|o| match o {
+                            Output::Send(_, m) => Some(m),
+                            _ => None,
+                        }),
+                );
+            }
+            for m in back {
+                b.on_message(PeerId(0), m, t2);
+            }
+        }
+        assert_eq!(b.loc_rib().len(), 2, "refresh restores the routes");
+        assert_eq!(b.check_invariants(), Ok(()));
     }
 
     #[test]

@@ -570,7 +570,177 @@ fn decode_open(mut body: &[u8]) -> Result<OpenMessage, BgpError> {
     })
 }
 
+/// How a malformed path attribute is handled under RFC 7606.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorTreatment {
+    /// The error poisons message framing (or an MP attribute carrying
+    /// NLRI): the session must be reset (RFC 7606 §2 last resort).
+    SessionReset,
+    /// The NLRI parsed, so the routes in the UPDATE are handled as if
+    /// they had been withdrawn; the session stays up (RFC 7606 §2).
+    TreatAsWithdraw,
+    /// The attribute cannot affect route selection: drop it, keep the
+    /// route (RFC 7606 §2, e.g. ATOMIC_AGGREGATE / AGGREGATOR).
+    AttributeDiscard,
+}
+
+/// The RFC 7606 classification for a malformed attribute of type `ty`.
+///
+/// ORIGIN, AS_PATH, NEXT_HOP, MED, LOCAL_PREF, and COMMUNITY errors are
+/// treat-as-withdraw (§7.1–§7.5, RFC 7606-updated community handling);
+/// ATOMIC_AGGREGATE and AGGREGATOR are attribute-discard (§7.6–§7.7);
+/// MP_REACH/MP_UNREACH errors compromise the NLRI itself and stay
+/// session-reset (§5.1). Unrecognized well-known attributes are demoted
+/// to treat-as-withdraw: the NLRI is intact, only the attributes are
+/// suspect.
+pub fn treatment_for_attr(ty: u8) -> ErrorTreatment {
+    match ty {
+        ATTR_ATOMIC_AGGREGATE | ATTR_AGGREGATOR => ErrorTreatment::AttributeDiscard,
+        ATTR_MP_REACH | ATTR_MP_UNREACH => ErrorTreatment::SessionReset,
+        _ => ErrorTreatment::TreatAsWithdraw,
+    }
+}
+
+/// An UPDATE decoded under RFC 7606 revised error handling.
+#[derive(Debug, Clone)]
+pub struct RevisedUpdate {
+    /// The decoded message. When `treat_as_withdraw` is set the attrs
+    /// are partial and must not be used for route selection.
+    pub update: UpdateMessage,
+    /// A treat-as-withdraw-class attribute was malformed: the caller
+    /// must handle every announced route as withdrawn.
+    pub treat_as_withdraw: bool,
+    /// Attribute type codes dropped under attribute-discard.
+    pub discarded: Vec<u8>,
+}
+
+/// Decode one attribute body into `attrs`/`withdrawn`/`v6_announced`.
+/// Errors are attribute-scoped: the value slice is already framed, so a
+/// failure here never desynchronizes the surrounding attribute stream.
+#[allow(clippy::too_many_arguments)]
+fn decode_one_attr(
+    flags: u8,
+    ty: u8,
+    val: &[u8],
+    cfg: WireConfig,
+    attrs: &mut PathAttributes,
+    withdrawn: &mut Vec<Nlri>,
+    v6_announced: &mut Vec<Nlri>,
+) -> Result<(), BgpError> {
+    match ty {
+        ATTR_ORIGIN => {
+            if val.len() != 1 {
+                return Err(BgpError::BadAttribute("origin length".into()));
+            }
+            attrs.origin = Origin::from_code(val[0])
+                .ok_or_else(|| BgpError::BadAttribute(format!("origin {}", val[0])))?;
+        }
+        ATTR_AS_PATH => attrs.as_path = decode_as_path(val)?,
+        ATTR_NEXT_HOP => {
+            if val.len() != 4 {
+                return Err(BgpError::BadAttribute("next-hop length".into()));
+            }
+            attrs.next_hop = Ipv4Addr::new(val[0], val[1], val[2], val[3]);
+        }
+        ATTR_MED => {
+            if val.len() != 4 {
+                return Err(BgpError::BadAttribute("med length".into()));
+            }
+            attrs.med = Some(u32::from_be_bytes([val[0], val[1], val[2], val[3]]));
+        }
+        ATTR_LOCAL_PREF => {
+            if val.len() != 4 {
+                return Err(BgpError::BadAttribute("local-pref length".into()));
+            }
+            attrs.local_pref = Some(u32::from_be_bytes([val[0], val[1], val[2], val[3]]));
+        }
+        ATTR_ATOMIC_AGGREGATE => {
+            if !val.is_empty() {
+                return Err(BgpError::BadAttribute("atomic-aggregate length".into()));
+            }
+            attrs.atomic_aggregate = true;
+        }
+        ATTR_AGGREGATOR => {
+            if val.len() != 8 {
+                return Err(BgpError::BadAttribute("aggregator length".into()));
+            }
+            attrs.aggregator = Some((
+                Asn(u32::from_be_bytes([val[0], val[1], val[2], val[3]])),
+                Ipv4Addr::new(val[4], val[5], val[6], val[7]),
+            ));
+        }
+        ATTR_COMMUNITY => {
+            if !val.len().is_multiple_of(4) {
+                return Err(BgpError::BadAttribute("community length".into()));
+            }
+            for c in val.chunks(4) {
+                attrs.add_community(Community(u32::from_be_bytes([c[0], c[1], c[2], c[3]])));
+            }
+        }
+        ATTR_MP_REACH => {
+            let mut v = val;
+            need(v, 5, "mp-reach header")?;
+            let afi = v.get_u16();
+            let _safi = v.get_u8();
+            let nh_len = v.get_u8() as usize;
+            need(v, nh_len + 1, "mp-reach next hop")?;
+            if afi == 2 && nh_len == 16 {
+                let mut nh = [0u8; 16];
+                nh.copy_from_slice(&v[..16]);
+                if let Some(v4) = Ipv6Addr::from(nh).to_ipv4_mapped() {
+                    attrs.next_hop = v4;
+                }
+            }
+            v.advance(nh_len);
+            v.advance(1); // reserved
+            if afi == 2 {
+                while !v.is_empty() {
+                    v6_announced.push(get_v6_nlri(&mut v, cfg)?);
+                }
+            }
+        }
+        ATTR_MP_UNREACH => {
+            let mut v = val;
+            need(v, 3, "mp-unreach header")?;
+            let afi = v.get_u16();
+            let _safi = v.get_u8();
+            if afi == 2 {
+                while !v.is_empty() {
+                    withdrawn.push(get_v6_nlri(&mut v, cfg)?);
+                }
+            }
+        }
+        _ => {
+            // Unknown optional attributes are tolerated (and dropped);
+            // unknown well-known attributes are an error.
+            if flags & FLAG_OPTIONAL == 0 {
+                return Err(BgpError::BadAttribute(format!("unknown well-known {ty}")));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn decode_update(body: &[u8], cfg: WireConfig) -> Result<UpdateMessage, BgpError> {
+    decode_update_impl(body, cfg, false).map(|r| r.update)
+}
+
+/// Decode an UPDATE body under RFC 7606 revised error handling.
+///
+/// Framing errors — truncated sections, attribute headers overrunning
+/// the attribute block, unparsable NLRI, malformed MP attributes — still
+/// return `Err` (session-reset): once framing is suspect nothing behind
+/// it can be trusted. Attribute-scoped semantic errors are downgraded
+/// per [`treatment_for_attr`] and reported in the [`RevisedUpdate`].
+pub fn decode_update_revised(body: &[u8], cfg: WireConfig) -> Result<RevisedUpdate, BgpError> {
+    decode_update_impl(body, cfg, true)
+}
+
+fn decode_update_impl(
+    body: &[u8],
+    cfg: WireConfig,
+    revised: bool,
+) -> Result<RevisedUpdate, BgpError> {
     let mut buf = body;
     need(buf, 2, "withdrawn length")?;
     let wd_len = buf.get_u16() as usize;
@@ -589,6 +759,8 @@ fn decode_update(body: &[u8], cfg: WireConfig) -> Result<UpdateMessage, BgpError
     let mut attrs = PathAttributes::default();
     let mut have_attrs = false;
     let mut v6_announced: Vec<Nlri> = Vec::new();
+    let mut treat_as_withdraw = false;
+    let mut discarded: Vec<u8> = Vec::new();
     while !attr_buf.is_empty() {
         need(attr_buf, 2, "attribute header")?;
         let flags = attr_buf.get_u8();
@@ -604,90 +776,22 @@ fn decode_update(body: &[u8], cfg: WireConfig) -> Result<UpdateMessage, BgpError
         let (val, rest) = attr_buf.split_at(vlen);
         attr_buf = rest;
         have_attrs = true;
-        match ty {
-            ATTR_ORIGIN => {
-                if val.len() != 1 {
-                    return Err(BgpError::BadAttribute("origin length".into()));
-                }
-                attrs.origin = Origin::from_code(val[0])
-                    .ok_or_else(|| BgpError::BadAttribute(format!("origin {}", val[0])))?;
+        if let Err(e) = decode_one_attr(
+            flags,
+            ty,
+            val,
+            cfg,
+            &mut attrs,
+            &mut withdrawn,
+            &mut v6_announced,
+        ) {
+            if !revised {
+                return Err(e);
             }
-            ATTR_AS_PATH => attrs.as_path = decode_as_path(val)?,
-            ATTR_NEXT_HOP => {
-                if val.len() != 4 {
-                    return Err(BgpError::BadAttribute("next-hop length".into()));
-                }
-                attrs.next_hop = Ipv4Addr::new(val[0], val[1], val[2], val[3]);
-            }
-            ATTR_MED => {
-                if val.len() != 4 {
-                    return Err(BgpError::BadAttribute("med length".into()));
-                }
-                attrs.med = Some(u32::from_be_bytes([val[0], val[1], val[2], val[3]]));
-            }
-            ATTR_LOCAL_PREF => {
-                if val.len() != 4 {
-                    return Err(BgpError::BadAttribute("local-pref length".into()));
-                }
-                attrs.local_pref = Some(u32::from_be_bytes([val[0], val[1], val[2], val[3]]));
-            }
-            ATTR_ATOMIC_AGGREGATE => attrs.atomic_aggregate = true,
-            ATTR_AGGREGATOR => {
-                if val.len() != 8 {
-                    return Err(BgpError::BadAttribute("aggregator length".into()));
-                }
-                attrs.aggregator = Some((
-                    Asn(u32::from_be_bytes([val[0], val[1], val[2], val[3]])),
-                    Ipv4Addr::new(val[4], val[5], val[6], val[7]),
-                ));
-            }
-            ATTR_COMMUNITY => {
-                if val.len() % 4 != 0 {
-                    return Err(BgpError::BadAttribute("community length".into()));
-                }
-                for c in val.chunks(4) {
-                    attrs.add_community(Community(u32::from_be_bytes([c[0], c[1], c[2], c[3]])));
-                }
-            }
-            ATTR_MP_REACH => {
-                let mut v = val;
-                need(v, 5, "mp-reach header")?;
-                let afi = v.get_u16();
-                let _safi = v.get_u8();
-                let nh_len = v.get_u8() as usize;
-                need(v, nh_len + 1, "mp-reach next hop")?;
-                if afi == 2 && nh_len == 16 {
-                    let mut nh = [0u8; 16];
-                    nh.copy_from_slice(&v[..16]);
-                    if let Some(v4) = Ipv6Addr::from(nh).to_ipv4_mapped() {
-                        attrs.next_hop = v4;
-                    }
-                }
-                v.advance(nh_len);
-                v.advance(1); // reserved
-                if afi == 2 {
-                    while !v.is_empty() {
-                        v6_announced.push(get_v6_nlri(&mut v, cfg)?);
-                    }
-                }
-            }
-            ATTR_MP_UNREACH => {
-                let mut v = val;
-                need(v, 3, "mp-unreach header")?;
-                let afi = v.get_u16();
-                let _safi = v.get_u8();
-                if afi == 2 {
-                    while !v.is_empty() {
-                        withdrawn.push(get_v6_nlri(&mut v, cfg)?);
-                    }
-                }
-            }
-            _ => {
-                // Unknown optional attributes are tolerated (and dropped);
-                // unknown well-known attributes are an error.
-                if flags & FLAG_OPTIONAL == 0 {
-                    return Err(BgpError::BadAttribute(format!("unknown well-known {ty}")));
-                }
+            match treatment_for_attr(ty) {
+                ErrorTreatment::SessionReset => return Err(e),
+                ErrorTreatment::TreatAsWithdraw => treat_as_withdraw = true,
+                ErrorTreatment::AttributeDiscard => discarded.push(ty),
             }
         }
     }
@@ -697,17 +801,27 @@ fn decode_update(body: &[u8], cfg: WireConfig) -> Result<UpdateMessage, BgpError
         announced.push(get_v4_nlri(&mut nlri_buf, cfg)?);
     }
     if !announced.is_empty() && !have_attrs {
-        return Err(BgpError::BadUpdate("NLRI without attributes".into()));
-    }
-    Ok(UpdateMessage {
-        trace: None,
-        withdrawn,
-        attrs: if have_attrs {
-            Some(Arc::new(attrs))
+        // RFC 7606 §5.3: NLRI with no attributes at all still parsed, so
+        // the routes can be handled as withdrawn instead of resetting.
+        if revised {
+            treat_as_withdraw = true;
         } else {
-            None
+            return Err(BgpError::BadUpdate("NLRI without attributes".into()));
+        }
+    }
+    Ok(RevisedUpdate {
+        update: UpdateMessage {
+            trace: None,
+            withdrawn,
+            attrs: if have_attrs {
+                Some(Arc::new(attrs))
+            } else {
+                None
+            },
+            announced,
         },
-        announced,
+        treat_as_withdraw,
+        discarded,
     })
 }
 
@@ -956,6 +1070,128 @@ mod tests {
             .collect();
         let m = BgpMessage::Update(UpdateMessage::announce(attrs, nlri));
         assert!(encode_message(&m, WireConfig::default()).is_err());
+    }
+
+    /// Assemble a raw UPDATE body from its three sections.
+    fn update_body(withdrawn: &[u8], attrs: &[u8], nlri: &[u8]) -> Vec<u8> {
+        let mut body = Vec::new();
+        body.extend_from_slice(&(withdrawn.len() as u16).to_be_bytes());
+        body.extend_from_slice(withdrawn);
+        body.extend_from_slice(&(attrs.len() as u16).to_be_bytes());
+        body.extend_from_slice(attrs);
+        body.extend_from_slice(nlri);
+        body
+    }
+
+    #[test]
+    fn revised_decode_treats_bad_origin_as_withdraw() {
+        // ORIGIN with length 2 is malformed; the NLRI still parses.
+        let attrs = [FLAG_TRANSITIVE, ATTR_ORIGIN, 2, 0, 0];
+        let body = update_body(&[], &attrs, &[8, 10]);
+        assert!(matches!(
+            decode_update(&body, WireConfig::default()),
+            Err(BgpError::BadAttribute(_))
+        ));
+        let r = decode_update_revised(&body, WireConfig::default()).unwrap();
+        assert!(r.treat_as_withdraw);
+        assert!(r.discarded.is_empty());
+        assert_eq!(
+            r.update.announced,
+            vec![Nlri::plain(Prefix::v4(10, 0, 0, 0, 8))]
+        );
+    }
+
+    #[test]
+    fn revised_decode_discards_bad_aggregator() {
+        let mut attrs = Vec::new();
+        attrs.extend_from_slice(&[FLAG_TRANSITIVE, ATTR_ORIGIN, 1, 0]);
+        attrs.extend_from_slice(&[FLAG_TRANSITIVE, ATTR_AS_PATH, 6, 2, 1, 0, 0, 0, 9]);
+        attrs.extend_from_slice(&[FLAG_TRANSITIVE, ATTR_NEXT_HOP, 4, 192, 0, 2, 1]);
+        // AGGREGATOR must be 8 bytes; 3 is attribute-discard territory.
+        attrs.extend_from_slice(&[FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_AGGREGATOR, 3, 1, 2, 3]);
+        let body = update_body(&[], &attrs, &[8, 10]);
+        assert!(decode_update(&body, WireConfig::default()).is_err());
+        let r = decode_update_revised(&body, WireConfig::default()).unwrap();
+        assert!(!r.treat_as_withdraw);
+        assert_eq!(r.discarded, vec![ATTR_AGGREGATOR]);
+        // The route survives with the good attributes intact.
+        assert_eq!(r.update.announced.len(), 1);
+        let a = r.update.attrs.as_ref().unwrap();
+        assert_eq!(a.next_hop, Ipv4Addr::new(192, 0, 2, 1));
+        assert_eq!(a.aggregator, None);
+    }
+
+    #[test]
+    fn revised_decode_discards_nonempty_atomic_aggregate() {
+        let mut attrs = Vec::new();
+        attrs.extend_from_slice(&[FLAG_TRANSITIVE, ATTR_ORIGIN, 1, 0]);
+        attrs.extend_from_slice(&[FLAG_TRANSITIVE, ATTR_AS_PATH, 6, 2, 1, 0, 0, 0, 9]);
+        attrs.extend_from_slice(&[FLAG_TRANSITIVE, ATTR_NEXT_HOP, 4, 192, 0, 2, 1]);
+        attrs.extend_from_slice(&[FLAG_TRANSITIVE, ATTR_ATOMIC_AGGREGATE, 1, 0xAA]);
+        let body = update_body(&[], &attrs, &[8, 10]);
+        assert!(decode_update(&body, WireConfig::default()).is_err());
+        let r = decode_update_revised(&body, WireConfig::default()).unwrap();
+        assert!(!r.treat_as_withdraw);
+        assert_eq!(r.discarded, vec![ATTR_ATOMIC_AGGREGATE]);
+        assert!(!r.update.attrs.as_ref().unwrap().atomic_aggregate);
+    }
+
+    #[test]
+    fn revised_decode_still_resets_on_bad_mp_reach() {
+        // A truncated MP_REACH poisons NLRI framing: session reset even
+        // under revised handling.
+        let attrs = [FLAG_OPTIONAL, ATTR_MP_REACH, 2, 0, 2];
+        let body = update_body(&[], &attrs, &[]);
+        assert!(decode_update_revised(&body, WireConfig::default()).is_err());
+        // So does a truncated attribute header.
+        let body = update_body(&[], &[FLAG_TRANSITIVE], &[]);
+        assert!(decode_update_revised(&body, WireConfig::default()).is_err());
+    }
+
+    #[test]
+    fn revised_decode_handles_nlri_without_attributes() {
+        let body = update_body(&[], &[], &[8, 10]);
+        assert!(matches!(
+            decode_update(&body, WireConfig::default()),
+            Err(BgpError::BadUpdate(_))
+        ));
+        let r = decode_update_revised(&body, WireConfig::default()).unwrap();
+        assert!(r.treat_as_withdraw);
+        assert_eq!(r.update.announced.len(), 1);
+    }
+
+    #[test]
+    fn revised_decode_of_well_formed_update_is_clean() {
+        let attrs = Arc::new(PathAttributes {
+            as_path: AsPath::from_asns(&[Asn(9)]),
+            next_hop: Ipv4Addr::new(192, 0, 2, 1),
+            ..Default::default()
+        });
+        let m = UpdateMessage::announce(attrs, vec![Nlri::plain(Prefix::v4(10, 0, 0, 0, 8))]);
+        let bytes = encode_message(&BgpMessage::Update(m.clone()), WireConfig::default()).unwrap();
+        let r = decode_update_revised(&bytes[HEADER_LEN..], WireConfig::default()).unwrap();
+        assert!(!r.treat_as_withdraw);
+        assert!(r.discarded.is_empty());
+        assert_eq!(r.update.announced, m.announced);
+    }
+
+    #[test]
+    fn treatment_classification_matches_rfc7606() {
+        use ErrorTreatment::*;
+        for ty in [
+            ATTR_ORIGIN,
+            ATTR_AS_PATH,
+            ATTR_NEXT_HOP,
+            ATTR_MED,
+            ATTR_LOCAL_PREF,
+            ATTR_COMMUNITY,
+        ] {
+            assert_eq!(treatment_for_attr(ty), TreatAsWithdraw);
+        }
+        assert_eq!(treatment_for_attr(ATTR_ATOMIC_AGGREGATE), AttributeDiscard);
+        assert_eq!(treatment_for_attr(ATTR_AGGREGATOR), AttributeDiscard);
+        assert_eq!(treatment_for_attr(ATTR_MP_REACH), SessionReset);
+        assert_eq!(treatment_for_attr(ATTR_MP_UNREACH), SessionReset);
     }
 
     #[test]

@@ -318,6 +318,74 @@ fn table_covers_every_state_event_pair_exactly_once() {
     );
 }
 
+/// RFC 4486 §4 max-prefix teardown: a lone Cease (subcode 1) from any
+/// non-Idle state, then a fixed idle-hold penalty in Idle that `tick`
+/// ends with an automatic re-handshake at exactly the deadline — and
+/// not an instant before.
+#[test]
+fn max_prefix_cease_serves_a_fixed_idle_hold_from_every_state() {
+    let penalty = SimDuration::from_secs(60);
+    for state in [
+        FsmState::Connect,
+        FsmState::OpenSent,
+        FsmState::OpenConfirm,
+        FsmState::Established,
+    ] {
+        let (mut s, now) = reach(state);
+        let (out, events) = s.max_prefix_cease(now, penalty);
+        match out.as_slice() {
+            [BgpMessage::Notification(n)] => {
+                assert_eq!((n.code, n.subcode), (NotifCode::Cease, 1), "{state:?}");
+            }
+            other => panic!("{state:?}: expected a lone Cease, got {other:?}"),
+        }
+        // Only a torn-down *established* session surfaces Down.
+        let want = if state == FsmState::Established {
+            Surfaced::Down
+        } else {
+            Surfaced::None
+        };
+        assert_eq!(surfaced(&events), want, "{state:?}");
+        assert_eq!(s.state(), FsmState::Idle, "{state:?}");
+        assert_eq!(s.idle_penalty_until(), Some(now + penalty), "{state:?}");
+        // One instant shy of the deadline: still idle, nothing emitted.
+        let (out, ev) = s.tick(now + penalty - SimDuration::from_millis(1));
+        assert!(
+            out.is_empty() && ev.is_empty(),
+            "{state:?}: the penalty must hold to the deadline"
+        );
+        assert_eq!(s.state(), FsmState::Idle, "{state:?}");
+        // At the deadline: the active endpoint re-opens by itself.
+        let (out, _) = s.tick(now + penalty);
+        assert!(
+            matches!(out.as_slice(), [BgpMessage::Open(_)]),
+            "{state:?}: re-open at the deadline, got {out:?}"
+        );
+        assert_eq!(s.state(), FsmState::OpenSent, "{state:?}");
+        assert_eq!(s.idle_penalty_until(), None, "{state:?}");
+        s.check_invariants().unwrap();
+    }
+    // From Idle the cease is a no-op: nothing to tear down, no penalty.
+    let (mut s, now) = reach(FsmState::Idle);
+    let (out, events) = s.max_prefix_cease(now, penalty);
+    assert!(out.is_empty() && events.is_empty());
+    assert_eq!(s.idle_penalty_until(), None);
+}
+
+/// A ManualStart overrides a pending idle-hold penalty: the operator
+/// clearing the session beats the automatic timer.
+#[test]
+fn manual_start_overrides_idle_hold_penalty() {
+    let (mut s, now) = reach(FsmState::Established);
+    s.max_prefix_cease(now, SimDuration::from_secs(300));
+    let restart = now + SimDuration::from_secs(5);
+    let out = s.start(restart);
+    assert!(matches!(out.as_slice(), [BgpMessage::Open(_)]));
+    assert_eq!(s.state(), FsmState::OpenSent);
+    assert_eq!(s.idle_penalty_until(), None);
+    s.check_invariants().unwrap();
+}
+
 /// The classic retry-less endpoint: any non-administrative loss lands in
 /// `Idle` and stays there until a ManualStart.
 #[test]

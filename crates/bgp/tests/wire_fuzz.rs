@@ -9,7 +9,10 @@
 //! throughout: `decode_message` returns `Err` on bad input — it never
 //! panics and never reads out of bounds.
 
-use peering_bgp::wire::{decode_message, encode_message, WireConfig, MAX_MESSAGE};
+use peering_bgp::wire::{
+    decode_message, decode_update_revised, encode_message, treatment_for_attr, ErrorTreatment,
+    WireConfig, MAX_MESSAGE,
+};
 use peering_bgp::{
     AsPath, Asn, BgpMessage, Nlri, NotifCode, NotificationMessage, OpenMessage, PathAttributes,
     Prefix, UpdateMessage,
@@ -225,6 +228,150 @@ fn degenerate_nlri_lengths() {
         WireConfig { add_path: true }
     )
     .is_err());
+}
+
+/// Raw UPDATE body (no header) from the three sections — the input
+/// shape `decode_update_revised` takes.
+fn update_body(withdrawn: &[u8], attrs: &[u8], nlri: &[u8]) -> Vec<u8> {
+    let mut body = (withdrawn.len() as u16).to_be_bytes().to_vec();
+    body.extend_from_slice(withdrawn);
+    body.extend_from_slice(&(attrs.len() as u16).to_be_bytes());
+    body.extend_from_slice(attrs);
+    body.extend_from_slice(nlri);
+    body
+}
+
+/// A well-formed mandatory attribute set: ORIGIN IGP, empty AS_PATH,
+/// NEXT_HOP 10.0.0.1 — the base the corpus corrupts one attribute at a
+/// time.
+fn base_attrs() -> Vec<u8> {
+    let mut attrs = Vec::new();
+    attrs.extend_from_slice(&[0x40, 1, 1, 0]); // ORIGIN
+    attrs.extend_from_slice(&[0x40, 2, 0]); // AS_PATH
+    attrs.extend_from_slice(&[0x40, 3, 4, 10, 0, 0, 1]); // NEXT_HOP
+    attrs
+}
+
+/// RFC 7606 corpus: each entry is (name, extra attribute bytes appended
+/// after the valid mandatory set, expected classification).
+#[test]
+fn revised_decode_classifies_the_malformed_attribute_corpus() {
+    let cfg = WireConfig::default();
+    let nlri = [24, 10, 1, 2];
+    let corpus: &[(&str, &[u8], ErrorTreatment)] = &[
+        // ORIGIN with an undefined value: affects selection, routes go.
+        (
+            "origin value 9",
+            &[0x40, 1, 1, 9],
+            ErrorTreatment::TreatAsWithdraw,
+        ),
+        // ORIGIN with a wrong length claim inside a framed value.
+        (
+            "origin length 2",
+            &[0x40, 1, 2, 0, 0],
+            ErrorTreatment::TreatAsWithdraw,
+        ),
+        // MED shorter than 4 bytes.
+        (
+            "short med",
+            &[0x80, 4, 2, 0, 1],
+            ErrorTreatment::TreatAsWithdraw,
+        ),
+        // ATOMIC_AGGREGATE must be empty; a body is discardable noise.
+        (
+            "fat atomic-aggregate",
+            &[0xC0, 6, 1, 7],
+            ErrorTreatment::AttributeDiscard,
+        ),
+        // AGGREGATOR with a truncated body cannot affect selection.
+        (
+            "short aggregator",
+            &[0xC0, 7, 3, 0, 1, 10],
+            ErrorTreatment::AttributeDiscard,
+        ),
+    ];
+    for (name, extra, want) in corpus {
+        assert_eq!(
+            treatment_for_attr(extra[1]),
+            *want,
+            "{name}: classification"
+        );
+        let mut attrs = base_attrs();
+        attrs.extend_from_slice(extra);
+        let body = update_body(&[], &attrs, &nlri);
+        let revised = decode_update_revised(&body, cfg)
+            .unwrap_or_else(|e| panic!("{name}: revised decode must not reset: {e}"));
+        match want {
+            ErrorTreatment::TreatAsWithdraw => {
+                assert!(revised.treat_as_withdraw, "{name}: must treat as withdraw");
+            }
+            ErrorTreatment::AttributeDiscard => {
+                assert!(!revised.treat_as_withdraw, "{name}: route must survive");
+                assert_eq!(revised.discarded, vec![extra[1]], "{name}: discard list");
+            }
+            ErrorTreatment::SessionReset => unreachable!("corpus is recoverable-only"),
+        }
+        // Either way the NLRI itself parsed: the announced set is intact
+        // so the receiver knows exactly which routes to drop or keep.
+        assert_eq!(revised.update.announced.len(), 1, "{name}: NLRI preserved");
+        // The strict decoder must refuse the same bytes — that is the
+        // pre-7606 behavior the revised path exists to replace.
+        assert!(
+            decode_message(&frame_update(&[], &attrs, &nlri), cfg).is_err(),
+            "{name}: strict decode accepted malformed input"
+        );
+    }
+}
+
+/// Framing damage stays fatal under RFC 7606: a lying attribute-section
+/// length desynchronizes the NLRI and only a session reset is safe.
+#[test]
+fn revised_decode_still_resets_on_framing_errors() {
+    let cfg = WireConfig::default();
+    // Attribute section length overruns the body.
+    let mut body = 0u16.to_be_bytes().to_vec();
+    body.extend_from_slice(&500u16.to_be_bytes());
+    body.push(0);
+    assert!(decode_update_revised(&body, cfg).is_err());
+    // An attribute whose own length claim overruns the section.
+    let mut attrs = base_attrs();
+    attrs.extend_from_slice(&[0x40, 2, 60, 2, 1]);
+    assert!(decode_update_revised(&update_body(&[], &attrs, &[24, 10, 1, 2]), cfg).is_err());
+}
+
+proptest! {
+    /// Random attribute-section garbage behind valid framing: the
+    /// revised decoder never panics, and when it accepts, announced
+    /// routes only ride along with intact framing.
+    #[test]
+    fn revised_decode_never_panics_on_attr_garbage(
+        garbage in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let body = update_body(&[], &garbage, &[24, 10, 1, 2]);
+        let _ = decode_update_revised(&body, WireConfig::default());
+        let _ = decode_update_revised(&body, WireConfig { add_path: true });
+    }
+
+    /// On well-formed input the revised path is a no-op: no withdraw
+    /// flag, no discards, same announced set as the strict decoder.
+    #[test]
+    fn revised_decode_agrees_with_strict_on_valid_updates(n_routes in 1usize..4) {
+        let attrs = Arc::new(PathAttributes {
+            as_path: AsPath::from_asns(&[Asn(65000)]),
+            ..Default::default()
+        });
+        let routes: Vec<Nlri> = (0..n_routes)
+            .map(|i| Nlri::plain(Prefix::v4(10, i as u8, 0, 0, 16)))
+            .collect();
+        let update = UpdateMessage::announce(attrs, routes);
+        let cfg = WireConfig::default();
+        let bytes = encode_message(&BgpMessage::Update(update.clone()), cfg).expect("encode");
+        // Strip the 19-byte header to get the body the revised API takes.
+        let revised = decode_update_revised(&bytes[19..], cfg).expect("valid update");
+        prop_assert!(!revised.treat_as_withdraw);
+        prop_assert!(revised.discarded.is_empty());
+        prop_assert_eq!(revised.update.announced.len(), update.announced.len());
+    }
 }
 
 #[test]

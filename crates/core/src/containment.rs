@@ -1,0 +1,622 @@
+//! Runtime abuse containment: the escalating quarantine engine.
+//!
+//! PEERING's safety layer (`safety.rs`) vets each announcement *before*
+//! it leaves an experiment. Containment is the complementary runtime
+//! defense: it watches how a client session actually behaves — safety
+//! violations, update churn, session flaps, max-prefix blowups — and
+//! walks an escalation ladder per client:
+//!
+//! ```text
+//! Healthy -> Warned -> Throttled -> Quarantined -> Probation -> Healthy
+//!                                       ^................|
+//!                                 (offense during probation)
+//! ```
+//!
+//! * **Healthy / Warned** — offenses accumulate a score; nothing is
+//!   enforced yet, but the warning is visible in telemetry.
+//! * **Throttled** — a token-bucket UPDATE rate limiter engages at the
+//!   mux: updates beyond the refill rate are policed, and each policed
+//!   update raises the score further.
+//! * **Quarantined** — the client's announcements are withheld and
+//!   withdrawn upstream (the mux swaps the session's import policy to
+//!   reject-all); other clients on the same mux keep converging.
+//! * **Probation** — after a clean quarantine hold, routes are restored
+//!   (import policy back, ROUTE-REFRESH re-learns the table). Any
+//!   offense during probation drops the client straight back to
+//!   Quarantined; a clean probation hold returns it to Healthy.
+//!
+//! Everything is integer arithmetic over [`SimTime`] — the token bucket
+//! refills in whole micro-tokens per elapsed microsecond, scores decay in
+//! whole steps per elapsed interval — so identically-seeded runs take
+//! identical escalation paths.
+
+use crate::safety::Violation;
+use peering_netsim::{SimDuration, SimTime};
+use peering_telemetry::Telemetry;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Where a client sits on the escalation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ContainmentState {
+    /// No recent offenses.
+    Healthy,
+    /// Offense score crossed the warning threshold; not yet enforced.
+    Warned,
+    /// The token-bucket rate limiter polices this client's updates.
+    Throttled,
+    /// Announcements withheld and withdrawn upstream.
+    Quarantined,
+    /// Restored after quarantine; one offense sends it straight back.
+    Probation,
+}
+
+impl fmt::Display for ContainmentState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ContainmentState::Healthy => "healthy",
+            ContainmentState::Warned => "warned",
+            ContainmentState::Throttled => "throttled",
+            ContainmentState::Quarantined => "quarantined",
+            ContainmentState::Probation => "probation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Token bucket parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenBucketConfig {
+    /// Burst capacity in whole tokens (updates).
+    pub capacity: u32,
+    /// Sustained refill rate in tokens per simulated second.
+    pub refill_per_sec: u32,
+}
+
+impl Default for TokenBucketConfig {
+    fn default() -> Self {
+        TokenBucketConfig {
+            capacity: 20,
+            refill_per_sec: 2,
+        }
+    }
+}
+
+/// A deterministic token bucket in simulated time.
+///
+/// Tokens are stored in micro-tokens so the refill is exact integer
+/// arithmetic: `refill_per_sec` tokens/second is precisely
+/// `refill_per_sec` micro-tokens per elapsed microsecond.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    micro: u64,
+    capacity_micro: u64,
+    refill_per_sec: u64,
+    last: SimTime,
+}
+
+const MICRO: u64 = 1_000_000;
+
+impl TokenBucket {
+    /// A full bucket at time zero.
+    pub fn new(cfg: TokenBucketConfig) -> Self {
+        let capacity_micro = u64::from(cfg.capacity) * MICRO;
+        TokenBucket {
+            micro: capacity_micro,
+            capacity_micro,
+            refill_per_sec: u64::from(cfg.refill_per_sec),
+            last: SimTime::ZERO,
+        }
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        let elapsed = now.as_micros().saturating_sub(self.last.as_micros());
+        let gained = u128::from(elapsed) * u128::from(self.refill_per_sec);
+        self.micro = self
+            .micro
+            .saturating_add(gained.min(u128::from(u64::MAX)) as u64)
+            .min(self.capacity_micro);
+        self.last = self.last.max(now);
+    }
+
+    /// Take one token if available. Never blocks; `false` means the
+    /// caller is over rate.
+    pub fn try_take(&mut self, now: SimTime) -> bool {
+        self.refill(now);
+        if self.micro >= MICRO {
+            self.micro -= MICRO;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whole tokens currently available (after an implicit refill).
+    pub fn tokens(&mut self, now: SimTime) -> u64 {
+        self.refill(now);
+        self.micro / MICRO
+    }
+}
+
+/// Thresholds and weights for the escalation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContainmentConfig {
+    /// Score at which Healthy becomes Warned.
+    pub warn_score: u32,
+    /// Score at which the rate limiter engages.
+    pub throttle_score: u32,
+    /// Score at which the client is quarantined.
+    pub quarantine_score: u32,
+    /// Score added per safety violation.
+    pub violation_weight: u32,
+    /// Score added per session flap observed at the mux.
+    pub flap_weight: u32,
+    /// Score added when a session hits its max-prefix limit.
+    pub max_prefix_weight: u32,
+    /// Score added each time the rate limiter polices an update.
+    pub policed_weight: u32,
+    /// One point of score decays per this much offense-free time.
+    pub decay_interval: SimDuration,
+    /// Clean time in Quarantined before the client enters Probation.
+    pub quarantine_hold: SimDuration,
+    /// Clean time in Probation before the client returns to Healthy.
+    pub probation_hold: SimDuration,
+    /// UPDATE rate limiter parameters.
+    pub bucket: TokenBucketConfig,
+}
+
+impl Default for ContainmentConfig {
+    fn default() -> Self {
+        ContainmentConfig {
+            warn_score: 2,
+            throttle_score: 4,
+            quarantine_score: 8,
+            violation_weight: 2,
+            flap_weight: 1,
+            max_prefix_weight: 4,
+            policed_weight: 1,
+            decay_interval: SimDuration::from_secs(60),
+            quarantine_hold: SimDuration::from_secs(120),
+            probation_hold: SimDuration::from_secs(180),
+            bucket: TokenBucketConfig::default(),
+        }
+    }
+}
+
+/// What the mux should do with one client UPDATE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateVerdict {
+    /// Deliver normally.
+    Forward,
+    /// Policed by the rate limiter: the update is dropped at the mux.
+    Policed,
+    /// The client is quarantined: nothing it says propagates.
+    Quarantined,
+}
+
+impl UpdateVerdict {
+    /// True when the update may proceed.
+    pub fn admitted(&self) -> bool {
+        matches!(self, UpdateVerdict::Forward)
+    }
+}
+
+/// One recorded state change on the ladder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// When.
+    pub time: SimTime,
+    /// Which client lane.
+    pub client: usize,
+    /// State before.
+    pub from: ContainmentState,
+    /// State after.
+    pub to: ContainmentState,
+    /// Human-readable trigger (violation text, "session flap", ...).
+    pub cause: String,
+}
+
+/// Per-client ladder position.
+#[derive(Debug, Clone)]
+struct Lane {
+    state: ContainmentState,
+    score: u32,
+    bucket: TokenBucket,
+    last_offense: SimTime,
+    last_decay: SimTime,
+}
+
+/// The per-client escalation engine.
+#[derive(Debug, Clone)]
+pub struct ContainmentEngine {
+    cfg: ContainmentConfig,
+    lanes: Vec<Lane>,
+    transitions: Vec<Transition>,
+    telemetry: Telemetry,
+}
+
+impl ContainmentEngine {
+    /// An engine with one Healthy lane per client.
+    pub fn new(n_clients: usize, cfg: ContainmentConfig) -> Self {
+        let lanes = (0..n_clients)
+            .map(|_| Lane {
+                state: ContainmentState::Healthy,
+                score: 0,
+                bucket: TokenBucket::new(cfg.bucket),
+                last_offense: SimTime::ZERO,
+                last_decay: SimTime::ZERO,
+            })
+            .collect();
+        ContainmentEngine {
+            cfg,
+            lanes,
+            transitions: Vec::new(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attach a telemetry handle; state changes bump
+    /// `core.containment.state_transitions`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Number of client lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// True when the engine tracks no clients.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Current ladder state of client `c`.
+    pub fn state(&self, c: usize) -> ContainmentState {
+        self.lanes[c].state
+    }
+
+    /// Current offense score of client `c`.
+    pub fn score(&self, c: usize) -> u32 {
+        self.lanes[c].score
+    }
+
+    /// The full state-change log, in recording order.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    fn goto(&mut self, c: usize, to: ContainmentState, cause: &str, now: SimTime) {
+        let from = self.lanes[c].state;
+        if from == to {
+            return;
+        }
+        self.lanes[c].state = to;
+        self.telemetry
+            .counter_inc("core.containment.state_transitions");
+        self.transitions.push(Transition {
+            time: now,
+            client: c,
+            from,
+            to,
+            cause: cause.to_string(),
+        });
+    }
+
+    /// Ladder state implied by `score` for the score-driven states.
+    fn score_state(&self, score: u32) -> ContainmentState {
+        if score >= self.cfg.throttle_score {
+            ContainmentState::Throttled
+        } else if score >= self.cfg.warn_score {
+            ContainmentState::Warned
+        } else {
+            ContainmentState::Healthy
+        }
+    }
+
+    fn offend(&mut self, c: usize, weight: u32, cause: &str, now: SimTime) {
+        self.lanes[c].last_offense = now;
+        match self.lanes[c].state {
+            // One strike during probation and the client is back in
+            // quarantine — no re-climbing of the lower rungs.
+            ContainmentState::Probation => {
+                self.lanes[c].score = self.cfg.quarantine_score;
+                self.goto(c, ContainmentState::Quarantined, cause, now);
+            }
+            ContainmentState::Quarantined => {
+                // Already contained; the offense only refreshes the
+                // clean-time clock (done above) and caps the score.
+                self.lanes[c].score = self.lanes[c]
+                    .score
+                    .saturating_add(weight)
+                    .min(self.cfg.quarantine_score * 2);
+            }
+            _ => {
+                let score = self.lanes[c]
+                    .score
+                    .saturating_add(weight)
+                    .min(self.cfg.quarantine_score * 2);
+                self.lanes[c].score = score;
+                if score >= self.cfg.quarantine_score {
+                    self.goto(c, ContainmentState::Quarantined, cause, now);
+                } else {
+                    let target = self.score_state(score);
+                    // Offenses only ever move up the ladder.
+                    if target > self.lanes[c].state {
+                        self.goto(c, target, cause, now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Feed one safety violation attributed to client `c`.
+    pub fn on_violation(&mut self, c: usize, v: &Violation, now: SimTime) {
+        let cause = format!("safety violation: {v}");
+        self.offend(c, self.cfg.violation_weight, &cause, now);
+    }
+
+    /// Feed one session flap (the mux saw the client's session drop).
+    pub fn on_flap(&mut self, c: usize, now: SimTime) {
+        self.offend(c, self.cfg.flap_weight, "session flap", now);
+    }
+
+    /// Feed one max-prefix limit event on the client's session.
+    pub fn on_max_prefix(&mut self, c: usize, now: SimTime) {
+        self.offend(c, self.cfg.max_prefix_weight, "max prefixes reached", now);
+    }
+
+    /// Charge one UPDATE from client `c` against its token bucket and
+    /// decide its fate. The bucket is charged in every state so a flood
+    /// is visible before the ladder reaches Throttled; policing (and the
+    /// score it adds) only engages from Throttled upward.
+    pub fn on_update(&mut self, c: usize, now: SimTime) -> UpdateVerdict {
+        if self.lanes[c].state == ContainmentState::Quarantined {
+            return UpdateVerdict::Quarantined;
+        }
+        let in_rate = self.lanes[c].bucket.try_take(now);
+        if in_rate {
+            return UpdateVerdict::Forward;
+        }
+        match self.lanes[c].state {
+            ContainmentState::Throttled => {
+                self.offend(c, self.cfg.policed_weight, "update rate policed", now);
+                // The offense may have escalated to Quarantined.
+                if self.lanes[c].state == ContainmentState::Quarantined {
+                    UpdateVerdict::Quarantined
+                } else {
+                    UpdateVerdict::Policed
+                }
+            }
+            // Below Throttled the limiter observes but does not police;
+            // the over-rate strike still climbs the ladder.
+            _ => {
+                self.offend(c, self.cfg.policed_weight, "update rate exceeded", now);
+                if self.lanes[c].state == ContainmentState::Quarantined {
+                    UpdateVerdict::Quarantined
+                } else {
+                    UpdateVerdict::Forward
+                }
+            }
+        }
+    }
+
+    /// Advance clean-time machinery: decay scores, promote Quarantined
+    /// lanes to Probation after a clean hold, and Probation lanes back to
+    /// Healthy. Call at least once per simulated tick.
+    pub fn tick(&mut self, now: SimTime) {
+        for c in 0..self.lanes.len() {
+            // Integer decay: one point per whole elapsed interval.
+            let interval = self.cfg.decay_interval.as_micros();
+            if let Some(steps) = now
+                .as_micros()
+                .saturating_sub(self.lanes[c].last_decay.as_micros())
+                .checked_div(interval)
+            {
+                let lane = &mut self.lanes[c];
+                if steps > 0 {
+                    lane.score = lane
+                        .score
+                        .saturating_sub(steps.min(u64::from(u32::MAX)) as u32);
+                    lane.last_decay =
+                        SimTime::from_micros(lane.last_decay.as_micros() + steps * interval);
+                }
+            }
+            let clean_for = now
+                .as_micros()
+                .saturating_sub(self.lanes[c].last_offense.as_micros());
+            match self.lanes[c].state {
+                ContainmentState::Quarantined => {
+                    if clean_for >= self.cfg.quarantine_hold.as_micros() {
+                        self.lanes[c].score = 0;
+                        self.goto(c, ContainmentState::Probation, "clean quarantine hold", now);
+                    }
+                }
+                ContainmentState::Probation => {
+                    if clean_for >= self.cfg.probation_hold.as_micros() {
+                        self.goto(c, ContainmentState::Healthy, "clean probation hold", now);
+                    }
+                }
+                _ => {
+                    // Decay may demote Throttled -> Warned -> Healthy.
+                    let target = self.score_state(self.lanes[c].score);
+                    if target < self.lanes[c].state {
+                        self.goto(c, target, "score decay", now);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn engine() -> ContainmentEngine {
+        ContainmentEngine::new(2, ContainmentConfig::default())
+    }
+
+    fn violation() -> Violation {
+        Violation::RouteLeak
+    }
+
+    #[test]
+    fn token_bucket_refills_deterministically() {
+        let cfg = TokenBucketConfig {
+            capacity: 2,
+            refill_per_sec: 1,
+        };
+        let mut b = TokenBucket::new(cfg);
+        assert!(b.try_take(t(0)));
+        assert!(b.try_take(t(0)));
+        assert!(!b.try_take(t(0)), "burst exhausted");
+        // Half a second refills half a token: still empty.
+        assert!(!b.try_take(SimTime::from_millis(500)));
+        // The two halves add up to a whole token at t=1s.
+        assert!(b.try_take(t(1)));
+        assert!(!b.try_take(t(1)));
+        // Refill caps at capacity.
+        let mut b2 = TokenBucket::new(cfg);
+        assert_eq!(b2.tokens(t(1000)), 2);
+    }
+
+    #[test]
+    fn offenses_climb_the_ladder_in_order() {
+        let mut e = engine();
+        assert_eq!(e.state(0), ContainmentState::Healthy);
+        e.on_violation(0, &violation(), t(1)); // score 2 -> Warned
+        assert_eq!(e.state(0), ContainmentState::Warned);
+        e.on_violation(0, &violation(), t(2)); // score 4 -> Throttled
+        assert_eq!(e.state(0), ContainmentState::Throttled);
+        e.on_violation(0, &violation(), t(3)); // score 6
+        e.on_violation(0, &violation(), t(4)); // score 8 -> Quarantined
+        assert_eq!(e.state(0), ContainmentState::Quarantined);
+        // The other lane is untouched.
+        assert_eq!(e.state(1), ContainmentState::Healthy);
+        let states: Vec<ContainmentState> = e.transitions().iter().map(|tr| tr.to).collect();
+        assert_eq!(
+            states,
+            vec![
+                ContainmentState::Warned,
+                ContainmentState::Throttled,
+                ContainmentState::Quarantined
+            ]
+        );
+    }
+
+    #[test]
+    fn quarantine_recovers_through_probation() {
+        let mut e = engine();
+        for i in 0..4 {
+            e.on_violation(0, &violation(), t(i));
+        }
+        assert_eq!(e.state(0), ContainmentState::Quarantined);
+        // Still quarantined before the hold elapses.
+        e.tick(t(3 + 119));
+        assert_eq!(e.state(0), ContainmentState::Quarantined);
+        // Clean hold -> Probation.
+        e.tick(t(3 + 120));
+        assert_eq!(e.state(0), ContainmentState::Probation);
+        assert_eq!(e.score(0), 0);
+        // Clean probation -> Healthy.
+        e.tick(t(3 + 120 + 180));
+        assert_eq!(e.state(0), ContainmentState::Healthy);
+    }
+
+    #[test]
+    fn offense_during_probation_requarantines_immediately() {
+        let mut e = engine();
+        for i in 0..4 {
+            e.on_violation(0, &violation(), t(i));
+        }
+        e.tick(t(200));
+        assert_eq!(e.state(0), ContainmentState::Probation);
+        e.on_flap(0, t(201));
+        assert_eq!(e.state(0), ContainmentState::Quarantined);
+    }
+
+    #[test]
+    fn score_decay_demotes_without_offenses() {
+        let mut e = engine();
+        e.on_violation(0, &violation(), t(1)); // score 2 -> Warned
+        assert_eq!(e.state(0), ContainmentState::Warned);
+        // Two decay intervals drain the score; the lane demotes.
+        e.tick(t(121));
+        assert_eq!(e.score(0), 0);
+        assert_eq!(e.state(0), ContainmentState::Healthy);
+    }
+
+    #[test]
+    fn throttled_lane_polices_over_rate_updates() {
+        let cfg = ContainmentConfig {
+            bucket: TokenBucketConfig {
+                capacity: 2,
+                refill_per_sec: 1,
+            },
+            ..ContainmentConfig::default()
+        };
+        let mut e = ContainmentEngine::new(1, cfg);
+        // Push the lane to Throttled.
+        e.on_violation(0, &violation(), t(0));
+        e.on_violation(0, &violation(), t(0));
+        assert_eq!(e.state(0), ContainmentState::Throttled);
+        // Burst passes, then policing engages.
+        assert_eq!(e.on_update(0, t(1)), UpdateVerdict::Forward);
+        assert_eq!(e.on_update(0, t(1)), UpdateVerdict::Forward);
+        assert_eq!(e.on_update(0, t(1)), UpdateVerdict::Policed);
+        // Each policed update raises the score toward quarantine.
+        let mut last = UpdateVerdict::Policed;
+        for _ in 0..8 {
+            last = e.on_update(0, t(1));
+        }
+        assert_eq!(last, UpdateVerdict::Quarantined);
+        assert_eq!(e.state(0), ContainmentState::Quarantined);
+        assert_eq!(e.on_update(0, t(2)), UpdateVerdict::Quarantined);
+    }
+
+    #[test]
+    fn healthy_lane_forwards_even_over_rate() {
+        let cfg = ContainmentConfig {
+            bucket: TokenBucketConfig {
+                capacity: 1,
+                refill_per_sec: 1,
+            },
+            ..ContainmentConfig::default()
+        };
+        let mut e = ContainmentEngine::new(1, cfg);
+        assert_eq!(e.on_update(0, t(0)), UpdateVerdict::Forward);
+        // Over rate but still below Throttled: forwarded, score climbs.
+        assert_eq!(e.on_update(0, t(0)), UpdateVerdict::Forward);
+        assert!(e.score(0) > 0);
+    }
+
+    #[test]
+    fn transitions_counter_mirrors_into_telemetry() {
+        let mut e = engine();
+        e.set_telemetry(Telemetry::new());
+        e.on_violation(0, &violation(), t(1));
+        e.on_violation(0, &violation(), t(2));
+        let snap = e.telemetry.snapshot();
+        assert_eq!(snap.counter("core.containment.state_transitions"), 2);
+        assert_eq!(e.transitions().len(), 2);
+    }
+
+    #[test]
+    fn transition_log_serde_round_trips() {
+        let tr = Transition {
+            time: t(5),
+            client: 1,
+            from: ContainmentState::Warned,
+            to: ContainmentState::Throttled,
+            cause: "safety violation: re-exporting non-PEERING routes (leak)".to_string(),
+        };
+        let json = serde_json::to_string(&tr).expect("serialize");
+        let back: Transition = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(tr, back);
+    }
+}

@@ -35,6 +35,7 @@
 pub mod alloc;
 pub mod capability;
 pub mod client;
+pub mod containment;
 pub mod experiment;
 pub mod monitor;
 pub mod mux;
@@ -47,13 +48,18 @@ pub mod testbed;
 pub use alloc::{AllocError, PrefixAllocator};
 pub use capability::{peering_row, testbed_matrix, Capabilities, Support, GOALS};
 pub use client::PeeringClient;
+pub use containment::{
+    ContainmentConfig, ContainmentEngine, ContainmentState, TokenBucket, TokenBucketConfig,
+    Transition, UpdateVerdict,
+};
 pub use experiment::{
     AnnouncementSpec, Experiment, ExperimentId, PeerSelector, Schedule, ScheduledAction,
 };
 pub use monitor::{
-    Monitor, ProbeRecord, SessionKind, SessionRecord, TelemetryEvent, UpdateKind, UpdateRecord,
+    ContainmentRecord, Monitor, ProbeRecord, SessionKind, SessionRecord, TelemetryEvent,
+    UpdateKind, UpdateRecord,
 };
-pub use mux::{MuxDesign, MuxHarness, MuxStats};
+pub use mux::{MuxDesign, MuxHarness, MuxOptions, MuxStats};
 pub use pktproc::{Backend, PacketProcessor, PktAction, PktMatch, PktVerdict};
 pub use portal::{Portal, Proposal, ProvisionRequest, RequestId, RequestState, VettingPolicy};
 pub use safety::{SafetyConfig, SafetyFilter, SafetyVerdict, Violation};

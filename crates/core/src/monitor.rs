@@ -14,6 +14,7 @@
 //! flaps, propagation-reach histograms), so one snapshot carries both the
 //! raw event log and the rolled-up metrics.
 
+use crate::containment::ContainmentState;
 use crate::experiment::ExperimentId;
 use peering_netsim::{Prefix, SimDuration, SimTime};
 use peering_telemetry::Telemetry;
@@ -71,6 +72,25 @@ pub struct SessionRecord {
     pub reason: Option<String>,
 }
 
+/// One containment-ladder state change: client `client` moved from
+/// `from` to `to` on the abuse escalation ladder. Mirrors the
+/// [`Transition`](crate::containment::Transition) log into the monitor's
+/// unified stream so operators see quarantines next to the session and
+/// update history that triggered them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContainmentRecord {
+    /// When.
+    pub time: SimTime,
+    /// Which client lane.
+    pub client: usize,
+    /// Ladder state before.
+    pub from: ContainmentState,
+    /// Ladder state after.
+    pub to: ContainmentState,
+    /// What triggered the move.
+    pub cause: String,
+}
+
 /// One data-plane probe record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProbeRecord {
@@ -95,6 +115,8 @@ pub enum TelemetryEvent {
     Probe(ProbeRecord),
     /// A BGP session lifecycle change.
     Session(SessionRecord),
+    /// A containment-ladder state change.
+    Containment(ContainmentRecord),
 }
 
 impl TelemetryEvent {
@@ -104,6 +126,7 @@ impl TelemetryEvent {
             TelemetryEvent::Update(u) => u.time,
             TelemetryEvent::Probe(p) => p.time,
             TelemetryEvent::Session(s) => s.time,
+            TelemetryEvent::Containment(c) => c.time,
         }
     }
 }
@@ -178,6 +201,12 @@ impl Monitor {
                     t.counter_inc(&format!("core.mux.node{}.sessions_down", s.node));
                 }
             },
+            TelemetryEvent::Containment(c) => {
+                t.counter_inc("core.monitor.containment_events");
+                if c.to == ContainmentState::Quarantined {
+                    t.counter_inc("core.monitor.quarantines");
+                }
+            }
         }
     }
 
@@ -212,6 +241,21 @@ impl Monitor {
     /// Update log filtered to one experiment.
     pub fn updates_for(&self, exp: ExperimentId) -> impl Iterator<Item = &UpdateRecord> {
         self.updates().filter(move |u| u.experiment == exp)
+    }
+
+    /// View filtered to containment-ladder records.
+    pub fn containments(&self) -> impl Iterator<Item = &ContainmentRecord> {
+        self.events.iter().filter_map(|e| match e {
+            TelemetryEvent::Containment(c) => Some(c),
+            _ => None,
+        })
+    }
+
+    /// How many times a client entered quarantine.
+    pub fn quarantine_count(&self, client: usize) -> usize {
+        self.containments()
+            .filter(|c| c.client == client && c.to == ContainmentState::Quarantined)
+            .count()
     }
 
     /// View filtered to data-plane probe records.
@@ -429,6 +473,55 @@ mod tests {
             .histogram("core.testbed.propagation_reach")
             .expect("reach histogram");
         assert_eq!((reach.count, reach.max), (1, 120));
+    }
+
+    #[test]
+    fn containment_view_filters_and_counts_quarantines() {
+        let mut m = Monitor::new();
+        m.set_telemetry(Telemetry::new());
+        let step = |time, client, from, to| {
+            TelemetryEvent::Containment(ContainmentRecord {
+                time,
+                client,
+                from,
+                to,
+                cause: "test".to_string(),
+            })
+        };
+        m.record(step(
+            SimTime::from_secs(1),
+            0,
+            ContainmentState::Healthy,
+            ContainmentState::Warned,
+        ));
+        m.record(step(
+            SimTime::from_secs(2),
+            0,
+            ContainmentState::Warned,
+            ContainmentState::Quarantined,
+        ));
+        m.record(step(
+            SimTime::from_secs(3),
+            1,
+            ContainmentState::Healthy,
+            ContainmentState::Warned,
+        ));
+        // Unrelated events do not leak into the filtered view.
+        m.record(update(
+            SimTime::from_secs(4),
+            1,
+            UpdateKind::Announce,
+            net("184.164.225.0/24").into(),
+        ));
+        assert_eq!(m.containments().count(), 3);
+        assert_eq!(m.quarantine_count(0), 1);
+        assert_eq!(m.quarantine_count(1), 0);
+        let snap = m.telemetry.snapshot();
+        assert_eq!(snap.counter("core.monitor.containment_events"), 3);
+        assert_eq!(snap.counter("core.monitor.quarantines"), 1);
+        // The variant round-trips through the stream serde.
+        let back = Monitor::from_value(&m.to_value()).expect("deserialize");
+        assert_eq!(back.events(), m.events());
     }
 
     #[test]

@@ -14,10 +14,12 @@
 //! emulation substrate, so the two designs can be compared on sessions,
 //! memory, and update fan-out — the E7 ablation.
 
-use crate::monitor::{Monitor, SessionKind, SessionRecord, TelemetryEvent};
-use crate::safety::SafetyConfig;
+use crate::containment::{ContainmentConfig, ContainmentEngine, ContainmentState, UpdateVerdict};
+use crate::monitor::{ContainmentRecord, Monitor, SessionKind, SessionRecord, TelemetryEvent};
+use crate::safety::{SafetyConfig, Violation};
 use peering_bgp::{
-    Asn, ConnectRetryConfig, PeerConfig, PeerId, Prefix, Speaker, SpeakerConfig, SpeakerEvent,
+    Asn, ConnectRetryConfig, MaxPrefixConfig, PeerConfig, PeerId, Policy, Prefix, Speaker,
+    SpeakerConfig, SpeakerEvent,
 };
 use peering_emulation::{Container, Emulation};
 use peering_netsim::{FaultPlan, LinkParams, SimDuration, SimRng, SimTime};
@@ -49,6 +51,16 @@ pub struct MuxStats {
     pub server_updates_sent: u64,
 }
 
+/// Optional knobs for [`MuxHarness::build_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MuxOptions {
+    /// Max-prefix limit enforced on every client-facing session.
+    pub client_max_prefix: Option<MaxPrefixConfig>,
+    /// Link parameters for client<->mux links (bandwidth and a queue
+    /// bound here make flood scenarios exercise tail-drop).
+    pub client_link: LinkParams,
+}
+
 /// A live mux deployment: upstream speakers, the mux, and clients.
 pub struct MuxHarness {
     /// The architecture built.
@@ -59,6 +71,18 @@ pub struct MuxHarness {
     client_nodes: Vec<usize>,
     n_upstreams: usize,
     n_clients: usize,
+    /// The safety import policy client sessions normally run; restored
+    /// when a quarantined client is paroled.
+    client_import: Policy,
+    /// Escalation engine, present once
+    /// [`enable_containment`](Self::enable_containment) is called.
+    containment: Option<ContainmentEngine>,
+    /// Whether the quarantine lever (reject-all import at the mux) is
+    /// currently applied to each client.
+    quarantine_applied: Vec<bool>,
+    /// How far [`containment_step`](Self::containment_step) has scanned
+    /// the emulation's speaker event log.
+    events_cursor: usize,
 }
 
 /// Upstream neighbor ASNs start here (public range).
@@ -68,8 +92,19 @@ const CLIENT_ASN_BASE: u32 = 65001;
 
 impl MuxHarness {
     /// Build and establish a mux with `n_upstreams` peers and
-    /// `n_clients` clients.
+    /// `n_clients` clients, using default options.
     pub fn build(design: MuxDesign, n_upstreams: usize, n_clients: usize, seed: u64) -> Self {
+        Self::build_with(design, n_upstreams, n_clients, seed, MuxOptions::default())
+    }
+
+    /// Build and establish a mux with explicit [`MuxOptions`].
+    pub fn build_with(
+        design: MuxDesign,
+        n_upstreams: usize,
+        n_clients: usize,
+        seed: u64,
+        opts: MuxOptions,
+    ) -> Self {
         let mut emu = Emulation::new(SimRng::new(seed).fork("mux"));
         // The mux is where clients touch the real Internet, so the
         // server-side sessions carry the safety policies: client-facing
@@ -83,6 +118,11 @@ impl MuxHarness {
         // per-container jitter stream so a mux crash does not make the
         // whole fleet retry in lockstep.
         let retry = |label: String| ConnectRetryConfig::new(SimRng::new(seed).fork(&label).seed());
+        // Client-facing sessions optionally carry a max-prefix limit.
+        let clientside = |cfg: PeerConfig| match opts.client_max_prefix {
+            Some(mp) => cfg.with_max_prefix(mp),
+            None => cfg,
+        };
         // Upstream neighbor routers.
         let upstream_nodes: Vec<usize> = (0..n_upstreams)
             .map(|u| {
@@ -149,14 +189,19 @@ impl MuxHarness {
                 // Wire every client to every mux instance.
                 for (c, &cn) in client_nodes.iter().enumerate() {
                     for (u, &mn) in nodes.iter().enumerate() {
-                        emu.link(cn, mn, LinkParams::default());
+                        emu.link(cn, mn, opts.client_link);
                         emu.connect_bgp(
                             cn,
                             PeerConfig::new(PeerId(u as u32), Asn::PEERING),
                             mn,
-                            PeerConfig::new(PeerId(1 + c as u32), Asn(CLIENT_ASN_BASE + c as u32))
+                            clientside(
+                                PeerConfig::new(
+                                    PeerId(1 + c as u32),
+                                    Asn(CLIENT_ASN_BASE + c as u32),
+                                )
                                 .passive()
                                 .import(client_import.clone()),
+                            ),
                         );
                     }
                 }
@@ -183,15 +228,20 @@ impl MuxHarness {
                     );
                 }
                 for (c, &cn) in client_nodes.iter().enumerate() {
-                    emu.link(cn, node, LinkParams::default());
+                    emu.link(cn, node, opts.client_link);
                     emu.connect_bgp(
                         cn,
                         PeerConfig::new(PeerId(0), Asn::PEERING),
                         node,
-                        PeerConfig::new(PeerId(1000 + c as u32), Asn(CLIENT_ASN_BASE + c as u32))
+                        clientside(
+                            PeerConfig::new(
+                                PeerId(1000 + c as u32),
+                                Asn(CLIENT_ASN_BASE + c as u32),
+                            )
                             .passive()
                             .all_paths()
                             .import(client_import.clone()),
+                        ),
                     );
                 }
                 vec![node]
@@ -206,6 +256,10 @@ impl MuxHarness {
             client_nodes,
             n_upstreams,
             n_clients,
+            client_import,
+            containment: None,
+            quarantine_applied: vec![false; n_clients],
+            events_cursor: 0,
         };
         harness.emu.start_all();
         harness.emu.run_until_quiet(usize::MAX);
@@ -309,6 +363,9 @@ impl MuxHarness {
     /// Attach a telemetry handle: the emulation substrate and every
     /// hosted speaker mirror `bgp.*` / `emulation.*` metrics into it.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        if let Some(engine) = self.containment.as_mut() {
+            engine.set_telemetry(telemetry.clone());
+        }
         self.emu.set_telemetry(telemetry);
     }
 
@@ -342,6 +399,28 @@ impl MuxHarness {
         self.mux_nodes[i]
     }
 
+    /// Emulation node index of client `c`.
+    pub fn client_node(&self, c: usize) -> usize {
+        self.client_nodes[c]
+    }
+
+    /// Emulation node index of upstream `u`.
+    pub fn upstream_node(&self, u: usize) -> usize {
+        self.upstream_nodes[u]
+    }
+
+    /// Read-only access to the underlying emulation, for digests and
+    /// RIB inspection by workload drivers.
+    pub fn emulation(&self) -> &Emulation {
+        &self.emu
+    }
+
+    /// Mutable access to the underlying emulation, for workload drivers
+    /// that need raw fault injection or wire-level bursts.
+    pub fn emulation_mut(&mut self) -> &mut Emulation {
+        &mut self.emu
+    }
+
     /// Crash mux instance `i`: the daemon process dies, every session it
     /// terminated drops at the far end.
     pub fn crash_mux(&mut self, i: usize) {
@@ -363,6 +442,156 @@ impl MuxHarness {
     pub fn run_faults(&mut self, plan: &mut FaultPlan, until: SimTime) {
         self.emu
             .run_with_faults(plan, until, SimDuration::from_secs(1), usize::MAX);
+    }
+
+    /// Arm the abuse containment engine: one escalation lane per client.
+    /// The event-log scan starts from "now" so establishment churn during
+    /// build is not held against anyone.
+    pub fn enable_containment(&mut self, cfg: ContainmentConfig) {
+        let mut engine = ContainmentEngine::new(self.n_clients, cfg);
+        engine.set_telemetry(self.emu.telemetry().clone());
+        self.containment = Some(engine);
+        self.events_cursor = self.emu.events.len();
+    }
+
+    /// The containment engine, if armed.
+    pub fn containment(&self) -> Option<&ContainmentEngine> {
+        self.containment.as_ref()
+    }
+
+    /// The client's peer id on a mux node (the mux side of its session).
+    fn client_peer(&self, c: usize) -> PeerId {
+        match self.design {
+            MuxDesign::PerPeerSessions => PeerId(1 + c as u32),
+            MuxDesign::AddPathMux => PeerId(1000 + c as u32),
+        }
+    }
+
+    /// The client index behind a mux-side peer id, if it names a client.
+    fn client_for_peer(design: MuxDesign, n_clients: usize, peer: PeerId) -> Option<usize> {
+        let c = match design {
+            MuxDesign::PerPeerSessions => (peer.0 as usize).checked_sub(1)?,
+            MuxDesign::AddPathMux => (peer.0 as usize).checked_sub(1000)?,
+        };
+        (c < n_clients).then_some(c)
+    }
+
+    /// Feed a safety violation attributed to client `c` into the engine
+    /// and apply any resulting quarantine immediately.
+    pub fn report_violation(&mut self, c: usize, v: &Violation) {
+        let now = self.emu.now();
+        if let Some(engine) = self.containment.as_mut() {
+            engine.on_violation(c, v, now);
+        }
+        self.apply_containment();
+    }
+
+    /// Originate `prefix` at client `c` under containment: the engine's
+    /// rate limiter sees the update first, and a policed or quarantined
+    /// update never reaches the wire. Without an engine this behaves
+    /// like [`announce_from_client`](Self::announce_from_client).
+    pub fn guarded_announce_from_client(&mut self, c: usize, prefix: Prefix) -> UpdateVerdict {
+        let now = self.emu.now();
+        let verdict = match self.containment.as_mut() {
+            Some(engine) => engine.on_update(c, now),
+            None => UpdateVerdict::Forward,
+        };
+        if verdict.admitted() {
+            self.emu.originate(self.client_nodes[c], prefix);
+            self.emu.run_until_quiet(usize::MAX);
+        }
+        self.apply_containment();
+        verdict
+    }
+
+    /// Withdraw `prefix` at client `c` under containment; same policing
+    /// as [`guarded_announce_from_client`](Self::guarded_announce_from_client).
+    pub fn guarded_withdraw_from_client(&mut self, c: usize, prefix: Prefix) -> UpdateVerdict {
+        let now = self.emu.now();
+        let verdict = match self.containment.as_mut() {
+            Some(engine) => engine.on_update(c, now),
+            None => UpdateVerdict::Forward,
+        };
+        if verdict.admitted() {
+            self.emu.withdraw(self.client_nodes[c], prefix);
+            self.emu.run_until_quiet(usize::MAX);
+        }
+        self.apply_containment();
+        verdict
+    }
+
+    /// Advance containment: ingest new mux-side session events (flaps,
+    /// max-prefix ceases) into the engine, run its clean-time machinery,
+    /// and apply or lift quarantines.
+    pub fn containment_step(&mut self) {
+        let now = self.emu.now();
+        if let Some(engine) = self.containment.as_mut() {
+            // Scan the speaker event log for client sessions dropping at
+            // the mux side; a Cease for max prefixes weighs more than an
+            // ordinary flap.
+            while self.events_cursor < self.emu.events.len() {
+                let (time, node, ev) = &self.emu.events[self.events_cursor];
+                self.events_cursor += 1;
+                if !self.mux_nodes.contains(node) {
+                    continue;
+                }
+                if let SpeakerEvent::PeerDown(peer, reason) = ev {
+                    if let Some(c) = Self::client_for_peer(self.design, self.n_clients, *peer) {
+                        if reason.contains("max prefixes") {
+                            engine.on_max_prefix(c, *time);
+                        } else {
+                            engine.on_flap(c, *time);
+                        }
+                    }
+                }
+            }
+            engine.tick(now);
+        }
+        self.apply_containment();
+    }
+
+    /// Bring the mux's import policies in line with the engine's ladder:
+    /// newly quarantined clients get a reject-all import (their routes
+    /// are withdrawn upstream); paroled clients get the safety policy
+    /// back plus a ROUTE-REFRESH to re-learn their table.
+    fn apply_containment(&mut self) {
+        let Some(engine) = self.containment.as_ref() else {
+            return;
+        };
+        let changes: Vec<(usize, bool)> = (0..self.n_clients)
+            .map(|c| (c, engine.state(c) == ContainmentState::Quarantined))
+            .filter(|&(c, q)| q != self.quarantine_applied[c])
+            .collect();
+        for (c, quarantine) in changes {
+            let peer = self.client_peer(c);
+            for m in self.mux_nodes.clone() {
+                if quarantine {
+                    self.emu.set_peer_import(m, peer, Policy::reject_all());
+                } else {
+                    self.emu
+                        .set_peer_import(m, peer, self.client_import.clone());
+                    self.emu.request_refresh(m, peer);
+                }
+            }
+            self.quarantine_applied[c] = quarantine;
+            self.emu.run_until_quiet(usize::MAX);
+        }
+    }
+
+    /// Replay the engine's transition log into a [`Monitor`] stream.
+    pub fn containment_log_into(&self, monitor: &mut Monitor) {
+        let Some(engine) = self.containment.as_ref() else {
+            return;
+        };
+        for tr in engine.transitions() {
+            monitor.record(TelemetryEvent::Containment(ContainmentRecord {
+                time: tr.time,
+                client: tr.client,
+                from: tr.from,
+                to: tr.to,
+                cause: tr.cause.clone(),
+            }));
+        }
     }
 
     /// Replay the emulation's speaker event log into a [`Monitor`]
@@ -522,6 +751,108 @@ mod tests {
                 "{design:?}: far ends logged the session loss"
             );
         }
+    }
+
+    #[test]
+    fn update_flood_walks_ladder_to_quarantine_and_back() {
+        use crate::containment::TokenBucketConfig;
+        let mut h = MuxHarness::build(MuxDesign::AddPathMux, 2, 2, 11);
+        assert!(h.fully_established());
+        let cfg = ContainmentConfig {
+            bucket: TokenBucketConfig {
+                capacity: 4,
+                refill_per_sec: 1,
+            },
+            ..ContainmentConfig::default()
+        };
+        h.enable_containment(cfg);
+        let abuser = Prefix::v4(184, 164, 225, 0, 24);
+        let healthy = Prefix::v4(184, 164, 226, 0, 24);
+        // Client 0 floods announce/withdraw churn until the ladder stops
+        // it; the burst passes, then strikes accumulate.
+        let mut verdicts = Vec::new();
+        for _ in 0..20 {
+            verdicts.push(h.guarded_announce_from_client(0, abuser));
+            verdicts.push(h.guarded_withdraw_from_client(0, abuser));
+        }
+        let engine = h.containment().expect("engine");
+        assert_eq!(engine.state(0), ContainmentState::Quarantined);
+        assert_eq!(engine.state(1), ContainmentState::Healthy);
+        assert!(verdicts.contains(&UpdateVerdict::Quarantined));
+        // The quarantine lever withdrew whatever the abuser had placed.
+        assert!(!h.mux_has_route(&abuser), "abuser routes withheld");
+        // A healthy client on the same mux still converges.
+        h.guarded_announce_from_client(1, healthy);
+        assert!(h.mux_has_route(&healthy));
+        assert_eq!(h.upstream_paths(0, &healthy), 1);
+        // The ladder was climbed in order.
+        let path: Vec<ContainmentState> = h
+            .containment()
+            .expect("engine")
+            .transitions()
+            .iter()
+            .filter(|tr| tr.client == 0)
+            .map(|tr| tr.to)
+            .collect();
+        assert_eq!(
+            path,
+            vec![
+                ContainmentState::Warned,
+                ContainmentState::Throttled,
+                ContainmentState::Quarantined
+            ]
+        );
+        // Clean time paroles the client; ROUTE-REFRESH restores the
+        // table it still holds on its side.
+        h.emu.originate(h.client_nodes[0], abuser);
+        h.emu.run_until_quiet(usize::MAX);
+        assert!(!h.mux_has_route(&abuser), "still quarantined");
+        let mut plan = FaultPlan::new();
+        h.run_faults(&mut plan, h.emu.now() + SimDuration::from_secs(130));
+        h.containment_step();
+        assert_eq!(
+            h.containment().expect("engine").state(0),
+            ContainmentState::Probation
+        );
+        assert!(
+            h.mux_has_route(&abuser),
+            "parole restores the client's routes via refresh"
+        );
+    }
+
+    #[test]
+    fn max_prefix_cease_feeds_the_containment_ladder() {
+        use peering_bgp::MaxPrefixConfig;
+        let opts = MuxOptions {
+            client_max_prefix: Some(MaxPrefixConfig::new(3)),
+            ..MuxOptions::default()
+        };
+        let mut h = MuxHarness::build_with(MuxDesign::AddPathMux, 2, 2, 13, opts);
+        assert!(h.fully_established());
+        h.enable_containment(ContainmentConfig::default());
+        // A prefix-count blowup: the 4th pool prefix trips the limit and
+        // the mux ceases the session.
+        for i in 0..4u8 {
+            h.announce_from_client(0, Prefix::v4(184, 164, 224 + i, 0, 24));
+        }
+        h.containment_step();
+        let engine = h.containment().expect("engine");
+        assert!(
+            engine.score(0) >= 4,
+            "max-prefix cease weighed in (score {})",
+            engine.score(0)
+        );
+        assert!(engine.state(0) >= ContainmentState::Throttled);
+        assert!(engine
+            .transitions()
+            .iter()
+            .any(|tr| tr.cause.contains("max prefixes")));
+        // The flushed session left no abuser routes behind.
+        for i in 0..4u8 {
+            assert!(!h.mux_has_route(&Prefix::v4(184, 164, 224 + i, 0, 24)));
+        }
+        // The other client is untouched.
+        assert_eq!(engine.state(1), ContainmentState::Healthy);
     }
 
     #[test]

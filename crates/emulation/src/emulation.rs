@@ -49,6 +49,15 @@ pub struct Emulation {
     /// `(from, to)` container pairs whose next delivered message arrives
     /// corrupted (the receiver cannot parse it).
     corrupt_next: std::collections::HashSet<(usize, usize)>,
+    /// `(from, to)` container pairs whose next delivered UPDATE arrives
+    /// with attributes corrupted in an RFC 7606-recoverable way: the
+    /// receiver treats the announced routes as withdrawn but keeps the
+    /// session up. Non-UPDATE deliveries pass through untouched.
+    corrupt_attrs_next: std::collections::HashSet<(usize, usize)>,
+    /// Tail-drop total already folded into the `netsim.queue.tail_drops`
+    /// counter, so repeated [`export_net_stats`](Self::export_net_stats)
+    /// calls add only the delta.
+    tail_drops_exported: std::cell::Cell<u64>,
     /// Daemons taken down by [`FaultAction::MuxCrash`], keyed by
     /// container, waiting for a restart.
     crashed: std::collections::HashMap<usize, Speaker>,
@@ -74,6 +83,8 @@ impl Emulation {
             external_out: Vec::new(),
             external_home: Vec::new(),
             corrupt_next: std::collections::HashSet::new(),
+            corrupt_attrs_next: std::collections::HashSet::new(),
+            tail_drops_exported: std::cell::Cell::new(0),
             crashed: std::collections::HashMap::new(),
             resources: ResourceModel::default(),
             events: Vec::new(),
@@ -146,7 +157,17 @@ impl Emulation {
             t.gauge_set(&format!("{base}.tx_packets"), stats.tx_packets as i64);
             t.gauge_set(&format!("{base}.dropped"), stats.dropped as i64);
             t.gauge_set(&format!("{base}.tx_bytes"), stats.tx_bytes as i64);
+            if stats.tail_drops > 0 || stats.queue_peak > 0 {
+                t.gauge_set(&format!("{base}.tail_drops"), stats.tail_drops as i64);
+                t.gauge_set(&format!("{base}.queue_peak"), stats.queue_peak as i64);
+            }
         }
+        // Tail drops are a counter (snapshot validation checks counters),
+        // so export the delta since the previous call; `counter_add`
+        // creates the key even on a zero delta.
+        let total = self.net.tail_drops();
+        let prev = self.tail_drops_exported.replace(total);
+        t.counter_add("netsim.queue.tail_drops", total.saturating_sub(prev));
     }
 
     /// Current simulated time.
@@ -342,6 +363,31 @@ impl Emulation {
         self.route_outputs(idx, outputs);
     }
 
+    /// Swap the import policy a container's daemon applies on `peer` and
+    /// re-filter what that peer already advertised, routing any resulting
+    /// withdrawals through the network. The containment engine uses this
+    /// to quarantine (and later reinstate) a client session.
+    pub fn set_peer_import(&mut self, idx: usize, peer: PeerId, policy: peering_bgp::Policy) {
+        let now = self.net.now();
+        let outputs = self.containers[idx]
+            .daemon
+            .as_mut()
+            .expect("daemon")
+            .set_peer_import(peer, policy, now);
+        self.route_outputs(idx, outputs);
+    }
+
+    /// Ask `peer` to re-advertise its table (RFC 2918 ROUTE-REFRESH),
+    /// routing the request through the network.
+    pub fn request_refresh(&mut self, idx: usize, peer: PeerId) {
+        let outputs = self.containers[idx]
+            .daemon
+            .as_mut()
+            .expect("daemon")
+            .request_refresh(peer);
+        self.route_outputs(idx, outputs);
+    }
+
     /// Inject a message arriving from outside on an external session.
     pub fn inject_external(&mut self, h: ExternalHandle, msg: BgpMessage) {
         let (container, peer) = self.external_home[h.0];
@@ -368,11 +414,26 @@ impl Emulation {
             self.telemetry
                 .counter_inc("emulation.net.corrupt_deliveries");
         }
+        // Attribute corruption only makes sense on an UPDATE; the marker
+        // stays armed until one actually passes (a KEEPALIVE in between
+        // must not consume it).
+        let corrupt_attrs = !corrupted
+            && matches!(&msg, BgpMessage::Update(_))
+            && self.corrupt_attrs_next.remove(&(from, to));
+        if corrupt_attrs {
+            self.telemetry
+                .counter_inc("emulation.net.corrupt_attr_deliveries");
+        }
         let Some(daemon) = self.containers[to].daemon.as_mut() else {
             return;
         };
         let outputs = if corrupted {
             daemon.on_corrupt_message(to_peer, now)
+        } else if corrupt_attrs {
+            let BgpMessage::Update(update) = msg else {
+                unreachable!("corrupt_attrs implies an UPDATE payload");
+            };
+            daemon.on_malformed_update(to_peer, update, now)
         } else {
             daemon.on_message(to_peer, msg, now)
         };
@@ -450,6 +511,9 @@ impl Emulation {
             }
             FaultAction::CorruptMessage(a, b) => {
                 self.corrupt_next.insert((a.0 as usize, b.0 as usize));
+            }
+            FaultAction::CorruptAttributes(a, b) => {
+                self.corrupt_attrs_next.insert((a.0 as usize, b.0 as usize));
             }
             FaultAction::MuxCrash(n) => self.crash_daemon(n.0 as usize),
             FaultAction::MuxRestart(n) => self.restart_daemon(n.0 as usize),

@@ -42,6 +42,12 @@ pub enum FaultAction {
     /// second: the receiver sees garbage it cannot decode and must send a
     /// NOTIFICATION and drop the session.
     CorruptMessage(NodeId, NodeId),
+    /// Corrupt the *attributes* of the next UPDATE delivered from the
+    /// first node to the second, in a way RFC 7606 classifies as
+    /// recoverable: the receiver treats the announced routes as withdrawn
+    /// and keeps the session Established (contrast with
+    /// [`FaultAction::CorruptMessage`]).
+    CorruptAttributes(NodeId, NodeId),
     /// Permanently add latency to the link between two nodes (a routing
     /// change under the tunnel, a congested transit hop).
     DelaySpike(NodeId, NodeId, SimDuration),
@@ -228,6 +234,7 @@ mod tests {
             FaultAction::PartitionAs(NodeId(3)),
             FaultAction::HealAs(NodeId(3)),
             FaultAction::CorruptMessage(NodeId(1), NodeId(2)),
+            FaultAction::CorruptAttributes(NodeId(1), NodeId(2)),
             FaultAction::DelaySpike(NodeId(1), NodeId(2), SimDuration::from_millis(50)),
             FaultAction::MuxCrash(NodeId(4)),
             FaultAction::MuxRestart(NodeId(4)),

@@ -10,6 +10,7 @@
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// Static characteristics of a link.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -24,6 +25,11 @@ pub struct LinkParams {
     pub bandwidth_bps: Option<u64>,
     /// Maximum transmission unit in bytes; larger packets are dropped.
     pub mtu: usize,
+    /// Bound on packets queued awaiting serialization; `None` is
+    /// unbounded. Only meaningful on rate-limited links — with infinite
+    /// bandwidth nothing ever waits. A full queue tail-drops: floods
+    /// degrade deterministically instead of growing memory without bound.
+    pub queue_limit: Option<usize>,
 }
 
 impl Default for LinkParams {
@@ -34,6 +40,7 @@ impl Default for LinkParams {
             loss: 0.0,
             bandwidth_bps: None,
             mtu: 1500,
+            queue_limit: None,
         }
     }
 }
@@ -70,6 +77,12 @@ impl LinkParams {
         self.mtu = mtu;
         self
     }
+
+    /// Builder-style queue bound.
+    pub fn queue_limit(mut self, packets: usize) -> Self {
+        self.queue_limit = Some(packets);
+        self
+    }
 }
 
 /// Why a transmission did not produce a delivery.
@@ -81,6 +94,8 @@ pub enum TxFailure {
     MtuExceeded,
     /// The packet was randomly lost.
     Lost,
+    /// The bounded transmit queue was full (deterministic tail-drop).
+    QueueFull,
 }
 
 /// One direction of a link, with its dynamic state.
@@ -90,10 +105,18 @@ pub struct Link {
     pub params: LinkParams,
     up: bool,
     next_free_tx: SimTime,
+    /// Serialization-completion times of packets still occupying the
+    /// transmit queue, oldest first. Only maintained when a
+    /// `queue_limit` is configured.
+    queued: VecDeque<SimTime>,
     /// Counters for observability.
     pub tx_packets: u64,
     /// Packets dropped for any reason.
     pub dropped: u64,
+    /// Of `dropped`, those tail-dropped by the bounded queue.
+    pub tail_drops: u64,
+    /// Deepest the bounded transmit queue ever got (packets).
+    pub queue_peak: usize,
     /// Bytes successfully transmitted.
     pub tx_bytes: u64,
 }
@@ -105,8 +128,11 @@ impl Link {
             params,
             up: true,
             next_free_tx: SimTime::ZERO,
+            queued: VecDeque::new(),
             tx_packets: 0,
             dropped: 0,
+            tail_drops: 0,
+            queue_peak: 0,
             tx_bytes: 0,
         }
     }
@@ -144,6 +170,17 @@ impl Link {
             self.dropped += 1;
             return Err(TxFailure::Lost);
         }
+        if let Some(limit) = self.params.queue_limit {
+            // Packets leave the queue when their serialization finishes.
+            while self.queued.front().is_some_and(|&t| t <= now) {
+                self.queued.pop_front();
+            }
+            if self.queued.len() >= limit {
+                self.dropped += 1;
+                self.tail_drops += 1;
+                return Err(TxFailure::QueueFull);
+            }
+        }
         let start = now.max(self.next_free_tx);
         let ser = match self.params.bandwidth_bps {
             Some(bps) if bps > 0 => {
@@ -152,6 +189,10 @@ impl Link {
             _ => SimDuration::ZERO,
         };
         self.next_free_tx = start + ser;
+        if self.params.queue_limit.is_some() {
+            self.queued.push_back(self.next_free_tx);
+            self.queue_peak = self.queue_peak.max(self.queued.len());
+        }
         let jitter = if self.params.jitter.is_zero() {
             SimDuration::ZERO
         } else {
@@ -160,6 +201,12 @@ impl Link {
         self.tx_packets += 1;
         self.tx_bytes += size as u64;
         Ok(self.next_free_tx + self.params.delay + jitter)
+    }
+
+    /// Packets currently occupying the transmit queue at `now`. Always 0
+    /// without a configured `queue_limit`.
+    pub fn queue_depth(&self, now: SimTime) -> usize {
+        self.queued.iter().filter(|&&t| t > now).count()
     }
 }
 
@@ -242,6 +289,47 @@ mod tests {
             assert!(t >= SimTime::from_millis(10));
             assert!(t <= SimTime::from_millis(15));
         }
+    }
+
+    #[test]
+    fn bounded_queue_tail_drops_deterministically() {
+        // 1 Mbit/s, 1250-byte packets = 10 ms serialization each; a
+        // 2-packet queue holds the one being serialized plus one more.
+        let params = LinkParams::with_delay(SimDuration::from_millis(5))
+            .bandwidth(1_000_000)
+            .queue_limit(2);
+        let mut l = Link::new(params);
+        let mut r = rng();
+        let t0 = SimTime::ZERO;
+        assert!(l.transmit(t0, 1250, &mut r).is_ok());
+        assert!(l.transmit(t0, 1250, &mut r).is_ok());
+        assert_eq!(l.queue_depth(t0), 2);
+        // Third back-to-back packet finds the queue full.
+        assert_eq!(l.transmit(t0, 1250, &mut r), Err(TxFailure::QueueFull));
+        assert_eq!(l.tail_drops, 1);
+        assert_eq!(l.dropped, 1);
+        // After the first packet drains (10 ms), capacity returns.
+        let t1 = SimTime::from_millis(10);
+        assert!(l.transmit(t1, 1250, &mut r).is_ok());
+        assert_eq!(l.queue_depth(t1), 2);
+        // A second run with the same inputs tail-drops identically.
+        let mut l2 = Link::new(params);
+        let mut r2 = rng();
+        assert!(l2.transmit(t0, 1250, &mut r2).is_ok());
+        assert!(l2.transmit(t0, 1250, &mut r2).is_ok());
+        assert_eq!(l2.transmit(t0, 1250, &mut r2), Err(TxFailure::QueueFull));
+    }
+
+    #[test]
+    fn unbounded_queue_never_tail_drops() {
+        let params = LinkParams::with_delay(SimDuration::from_millis(5)).bandwidth(1_000_000);
+        let mut l = Link::new(params);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(l.transmit(SimTime::ZERO, 1250, &mut r).is_ok());
+        }
+        assert_eq!(l.tail_drops, 0);
+        assert_eq!(l.queue_depth(SimTime::ZERO), 0);
     }
 
     #[test]

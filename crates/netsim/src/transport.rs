@@ -60,8 +60,12 @@ pub struct Delivery<M> {
 pub struct LinkStats {
     /// Packets successfully transmitted.
     pub tx_packets: u64,
-    /// Packets dropped for any reason (down, MTU, loss).
+    /// Packets dropped for any reason (down, MTU, loss, queue full).
     pub dropped: u64,
+    /// Of `dropped`, those tail-dropped by a bounded transmit queue.
+    pub tail_drops: u64,
+    /// Deepest the bounded transmit queue ever got (packets).
+    pub queue_peak: usize,
     /// Bytes successfully transmitted.
     pub tx_bytes: u64,
 }
@@ -184,7 +188,12 @@ impl<M> MsgNet<M> {
                 self.queue_high_water = self.queue_high_water.max(self.queue.len());
                 true
             }
-            Err(TxFailure::LinkDown | TxFailure::MtuExceeded | TxFailure::Lost) => {
+            Err(
+                TxFailure::LinkDown
+                | TxFailure::MtuExceeded
+                | TxFailure::Lost
+                | TxFailure::QueueFull,
+            ) => {
                 self.drops += 1;
                 false
             }
@@ -234,6 +243,8 @@ impl<M> MsgNet<M> {
                     LinkStats {
                         tx_packets: link.tx_packets,
                         dropped: link.dropped,
+                        tail_drops: link.tail_drops,
+                        queue_peak: link.queue_peak,
                         tx_bytes: link.tx_bytes,
                     },
                 )
@@ -241,6 +252,11 @@ impl<M> MsgNet<M> {
             .collect();
         out.sort_by_key(|(key, _)| *key);
         out
+    }
+
+    /// Total bounded-queue tail-drops across all links.
+    pub fn tail_drops(&self) -> u64 {
+        self.links.values().map(|l| l.tail_drops).sum()
     }
 
     /// Number of in-flight deliveries (messages plus pending timers).
@@ -381,6 +397,8 @@ mod tests {
             LinkStats {
                 tx_packets: 2,
                 dropped: 0,
+                tail_drops: 0,
+                queue_peak: 0,
                 tx_bytes: 150
             }
         );

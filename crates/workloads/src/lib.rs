@@ -12,13 +12,19 @@
 //!   joint content/network routing, man-in-the-middle hijack emulation,
 //!   secure-BGP partial deployment, anycast catchment mapping, and a
 //!   decoy-routing service.
+//!
+//! Plus two adversarial campaigns: [`chaos`] (sessions must survive the
+//! network misbehaving) and [`abuse`] (the testbed must contain a
+//! *client* misbehaving while bystanders converge untouched).
 
+pub mod abuse;
 pub mod alexa;
 pub mod catalog;
 pub mod chaos;
 pub mod scenarios;
 pub mod traffic;
 
+pub use abuse::{AbuseReport, AbuseScenario};
 pub use alexa::{CatalogConfig, ContentCatalog, Fqdn, WebSite};
 pub use catalog::ScenarioSpec;
 pub use chaos::{ChaosReport, ChaosTopology};

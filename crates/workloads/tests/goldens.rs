@@ -9,6 +9,8 @@
 use peering_collector::{Collector, LookingGlass};
 use peering_core::{Testbed, TestbedConfig};
 use peering_netsim::Ipv4Net;
+use peering_telemetry::Telemetry;
+use peering_workloads::abuse::{self, AbuseScenario};
 use peering_workloads::catalog;
 use peering_workloads::chaos::{chaos_plan, origin_prefix, rib_digest, ChaosTopology};
 use peering_workloads::scenarios;
@@ -135,6 +137,44 @@ fn propagation_dag_matches_golden() {
     let first = render();
     assert_eq!(first, render(), "same seed, same DAG text");
     check_golden_text("propagation_dag.txt", first);
+}
+
+#[test]
+fn abuse_containment_matches_golden() {
+    // The update-flood abuser's escalation story, pinned end to end: the
+    // exact ladder the containment engine walked (timestamps, rungs,
+    // causes) and where every client's Loc-RIB landed once the dust
+    // settled. A drift here means containment fired earlier, later, or
+    // differently than the reviewed behavior.
+    let artifacts =
+        abuse::run_one_with_artifacts(AbuseScenario::UpdateFlood, SEED, Telemetry::new());
+    assert!(
+        artifacts.report.contained,
+        "golden run must contain the abuser"
+    );
+    assert!(
+        artifacts.report.healthy_unaffected(),
+        "golden run must leave healthy clients untouched"
+    );
+    let transitions = serde_json::to_value(&artifacts.transitions).expect("transitions serialize");
+    let digests = Value::Seq(
+        artifacts
+            .client_digests
+            .iter()
+            .map(|d| Value::Str(format!("{d:#018x}")))
+            .collect(),
+    );
+    let current = obj(vec![
+        ("scenario", Value::Str(artifacts.report.scenario.clone())),
+        ("seed", Value::U64(SEED)),
+        (
+            "final_state",
+            Value::Str(artifacts.report.final_state.to_string()),
+        ),
+        ("transitions", transitions),
+        ("client_rib_digests", digests),
+    ]);
+    check_golden("abuse.json", current);
 }
 
 #[test]

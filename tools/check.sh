@@ -38,6 +38,13 @@ cmp "$tmpdir/collector1.json" "$tmpdir/collector2.json" \
   || { echo "collector summary differs between same-seed runs"; exit 1; }
 cp "$tmpdir/collector1.json" results/BENCH_collector.json
 
+echo "==> abuse smoke (containment + bystander-isolation determinism)"
+cargo run --release -q -p peering-bench --bin abuse_smoke -- "$tmpdir/abuse1.json" 42
+cargo run --release -q -p peering-bench --bin abuse_smoke -- "$tmpdir/abuse2.json" 42
+cmp "$tmpdir/abuse1.json" "$tmpdir/abuse2.json" \
+  || { echo "abuse containment report differs between same-seed runs"; exit 1; }
+cp "$tmpdir/abuse1.json" results/BENCH_abuse.json
+
 echo "==> peering-lint (static safety verification)"
 cargo run --release -q -p peering-verify --bin peering-lint
 
