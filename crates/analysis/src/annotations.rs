@@ -1,0 +1,197 @@
+//! The allowlist: inline `peering-analysis: allow(...)` annotations.
+//!
+//! Syntax (inside any comment):
+//!
+//! ```text
+//! // peering-analysis: allow(nd-hash-iter, reason = "order feeds an order-insensitive sum")
+//! ```
+//!
+//! An annotation covers exactly one code line: the line it trails, or —
+//! when it stands on a comment-only line — the next line that carries
+//! code. Every annotation is machine-checked: the lint id must exist,
+//! the reason must be substantive (at least [`MIN_REASON_LEN`] chars),
+//! and the covered line must actually trigger the named lint — a stale
+//! entry is an error, so the allowlist can only shrink as sites are
+//! fixed.
+
+use crate::source::SourceFile;
+
+/// Minimum length of a trimmed `reason` string.
+pub const MIN_REASON_LEN: usize = 10;
+
+/// One parsed allow annotation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AllowEntry {
+    /// File the annotation lives in (workspace-relative).
+    pub file: String,
+    /// Line the annotation text appears on (1-indexed).
+    pub line: usize,
+    /// Code line the annotation covers (1-indexed).
+    pub target_line: usize,
+    /// Lint id being allowed.
+    pub lint: String,
+    /// Human justification (machine-checked to be non-trivial).
+    pub reason: String,
+}
+
+/// A malformed annotation (always an error).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AnnotationError {
+    /// File containing the malformed annotation.
+    pub file: String,
+    /// Line of the annotation.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+const MARKER: &str = "peering-analysis:";
+
+/// Extract every annotation in a file and resolve its target line.
+pub fn parse_annotations(file: &SourceFile) -> (Vec<AllowEntry>, Vec<AnnotationError>) {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, comment) in file.comment_lines.iter().enumerate() {
+        let Some(pos) = comment.find(MARKER) else {
+            continue;
+        };
+        // Only a plain `// peering-analysis: ...` comment is an
+        // annotation: anything before the marker (doc-comment `!`/`/`
+        // sigils, quoted examples in prose) disarms it.
+        if !comment[..pos].trim().is_empty() {
+            continue;
+        }
+        let line = idx + 1;
+        let rest = comment[pos + MARKER.len()..].trim_start();
+        match parse_allow(rest) {
+            Ok((lint, reason)) => {
+                if reason.trim().len() < MIN_REASON_LEN {
+                    errors.push(AnnotationError {
+                        file: file.rel_path.clone(),
+                        line,
+                        message: format!(
+                            "reason too short (< {MIN_REASON_LEN} chars): {:?}",
+                            reason.trim()
+                        ),
+                    });
+                    continue;
+                }
+                let target_line = resolve_target(file, idx);
+                entries.push(AllowEntry {
+                    file: file.rel_path.clone(),
+                    line,
+                    target_line,
+                    lint,
+                    reason: reason.trim().to_string(),
+                });
+            }
+            Err(msg) => errors.push(AnnotationError {
+                file: file.rel_path.clone(),
+                line,
+                message: msg,
+            }),
+        }
+    }
+    (entries, errors)
+}
+
+/// The code line an annotation on comment-line `idx` covers: the same
+/// line when it carries code, else the next line with code on it.
+fn resolve_target(file: &SourceFile, idx: usize) -> usize {
+    if !file.code_lines[idx].trim().is_empty() {
+        return idx + 1;
+    }
+    for (j, code) in file.code_lines.iter().enumerate().skip(idx + 1) {
+        if !code.trim().is_empty() {
+            return j + 1;
+        }
+    }
+    idx + 1
+}
+
+/// Parse `allow(<lint>, reason = "<text>")`.
+fn parse_allow(rest: &str) -> Result<(String, String), String> {
+    let rest = rest
+        .strip_prefix("allow(")
+        .ok_or_else(|| format!("expected `allow(...)`, found {:?}", clip(rest)))?;
+    let comma = rest
+        .find(',')
+        .ok_or_else(|| "missing `, reason = \"...\"`".to_string())?;
+    let lint = rest[..comma].trim().to_string();
+    if lint.is_empty() || !lint.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+        return Err(format!("bad lint id {:?}", lint));
+    }
+    let after = rest[comma + 1..].trim_start();
+    let after = after
+        .strip_prefix("reason")
+        .ok_or_else(|| "missing `reason = \"...\"`".to_string())?
+        .trim_start();
+    let after = after
+        .strip_prefix('=')
+        .ok_or_else(|| "missing `=` after `reason`".to_string())?
+        .trim_start();
+    let after = after
+        .strip_prefix('"')
+        .ok_or_else(|| "reason must be a double-quoted string".to_string())?;
+    let end = after
+        .find('"')
+        .ok_or_else(|| "unterminated reason string".to_string())?;
+    let reason = after[..end].to_string();
+    let tail = after[end + 1..].trim_start();
+    if !tail.starts_with(')') {
+        return Err("expected `)` closing the annotation".to_string());
+    }
+    Ok((lint, reason))
+}
+
+fn clip(s: &str) -> String {
+    s.chars().take(40).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("t.rs", src)
+    }
+
+    #[test]
+    fn trailing_annotation_targets_its_own_line() {
+        let f = file(
+            "let m = std_map(); // peering-analysis: allow(nd-hash-iter, reason = \"membership only, never iterated\")\n",
+        );
+        let (entries, errors) = parse_annotations(&f);
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].target_line, 1);
+        assert_eq!(entries[0].lint, "nd-hash-iter");
+    }
+
+    #[test]
+    fn standalone_annotation_targets_next_code_line() {
+        let f = file(
+            "// peering-analysis: allow(nd-time, reason = \"wall clock used for operator logs only\")\n// more prose\nlet t = 1;\n",
+        );
+        let (entries, errors) = parse_annotations(&f);
+        assert!(errors.is_empty());
+        assert_eq!(entries[0].target_line, 3);
+    }
+
+    #[test]
+    fn short_reason_is_rejected() {
+        let f = file("// peering-analysis: allow(nd-time, reason = \"ok\")\nlet t = 1;\n");
+        let (entries, errors) = parse_annotations(&f);
+        assert!(entries.is_empty());
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].message.contains("too short"));
+    }
+
+    #[test]
+    fn malformed_annotation_is_rejected() {
+        let f = file("// peering-analysis: allow(nd-time)\nlet t = 1;\n");
+        let (entries, errors) = parse_annotations(&f);
+        assert!(entries.is_empty());
+        assert_eq!(errors.len(), 1);
+    }
+}

@@ -1,0 +1,513 @@
+//! The lint catalog and the textual matchers behind each lint.
+//!
+//! Matchers run over the blanked code view from [`crate::source`], so
+//! comments and string literals can never trigger them. They are
+//! deliberately conservative heuristics — false negatives are accepted
+//! (clippy's `disallowed-types`/`disallowed-methods` backstops the
+//! cheap cases with real name resolution), while every positive is
+//! either fixed or carries a reviewed `allow` annotation.
+
+use crate::source::SourceFile;
+
+/// How a lint's findings are treated by the gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Must be fixed or explicitly allowlisted; otherwise the run fails.
+    Deny,
+    /// Inventory only: counted and reported, never fatal. Used for the
+    /// concurrency-readiness audit ahead of the parallel event engine.
+    Audit,
+}
+
+/// Static description of one lint.
+#[derive(Debug, Clone, Copy)]
+pub struct LintInfo {
+    /// Stable kebab-case id (used in annotations and the JSON report).
+    pub id: &'static str,
+    /// One-line description for reports and docs.
+    pub summary: &'static str,
+    /// Deny or audit.
+    pub severity: Severity,
+}
+
+/// The full catalog, in report order.
+pub const CATALOG: &[LintInfo] = &[
+    LintInfo {
+        id: "nd-time",
+        summary: "wall-clock time source (std::time::Instant / SystemTime); \
+                  simulation code must use SimTime",
+        severity: Severity::Deny,
+    },
+    LintInfo {
+        id: "nd-rand",
+        summary: "ambient randomness (thread_rng / from_entropy / OsRng / rand::random); \
+                  all randomness must come from an explicit seed",
+        severity: Severity::Deny,
+    },
+    LintInfo {
+        id: "nd-hash-iter",
+        summary: "iteration over a HashMap/HashSet binding; iteration order is \
+                  nondeterministic across processes — use BTreeMap/BTreeSet or sort",
+        severity: Severity::Deny,
+    },
+    LintInfo {
+        id: "nd-hash-serde",
+        summary: "HashMap/HashSet field in a #[derive(Serialize)] container; \
+                  serialization iterates in hash order and breaks byte-stable snapshots",
+        severity: Severity::Deny,
+    },
+    LintInfo {
+        id: "nd-float-acc",
+        summary: "float accumulation (.sum/.product/fold over f32/f64); \
+                  result depends on reduction order — unsafe for digests and \
+                  for the sharded parallel engine",
+        severity: Severity::Deny,
+    },
+    LintInfo {
+        id: "cc-shared",
+        summary: "shared-state inventory for the parallel-engine readiness audit: \
+                  static mut, RefCell, Rc, Cell, thread_local!, raw pointers \
+                  (non-Send/Sync state that cannot cross shard boundaries)",
+        severity: Severity::Audit,
+    },
+];
+
+/// Look up a lint by id.
+pub fn lint_by_id(id: &str) -> Option<&'static LintInfo> {
+    CATALOG.iter().find(|l| l.id == id)
+}
+
+/// One raw finding, before allowlist matching.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// File (workspace-relative).
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Lint id.
+    pub lint: &'static str,
+    /// For `cc-shared`: which construct was inventoried.
+    pub detail: String,
+}
+
+/// Run every lint over one file.
+pub fn check_file(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let hash_names = collect_hash_bindings(file);
+    let serde_fields = serde_hash_fields(file);
+    for (idx, code) in file.code_lines.iter().enumerate() {
+        if file.in_test[idx] {
+            continue;
+        }
+        let line = idx + 1;
+        let mut push = |lint: &'static str, detail: &str| {
+            findings.push(Finding {
+                file: file.rel_path.clone(),
+                line,
+                lint,
+                detail: detail.to_string(),
+            });
+        };
+
+        // nd-time
+        if code.contains("std::time::") || has_word(code, "SystemTime") || has_word(code, "Instant")
+        {
+            push("nd-time", "wall-clock reference");
+        }
+
+        // nd-rand
+        if has_word(code, "thread_rng")
+            || has_word(code, "from_entropy")
+            || has_word(code, "OsRng")
+            || code.contains("rand::random")
+        {
+            push("nd-rand", "ambient randomness");
+        }
+
+        // nd-hash-iter. Method chains may break across lines
+        // (`self.sessions\n    .iter()`), so the receiver's line is
+        // matched against itself joined with its successor.
+        let next_code = file
+            .code_lines
+            .get(idx + 1)
+            .map(|s| s.as_str())
+            .unwrap_or("");
+        for name in &hash_names {
+            if let Some(kind) = iteration_site(code, next_code, name) {
+                push("nd-hash-iter", &format!("{name}.{kind}"));
+                break; // one finding per line is enough
+            }
+        }
+
+        // nd-hash-serde
+        if serde_fields.contains(&line) {
+            push("nd-hash-serde", "hash container in Serialize derive");
+        }
+
+        // nd-float-acc
+        for pat in [
+            ".sum::<f32>",
+            ".sum::<f64>",
+            ".product::<f32>",
+            ".product::<f64>",
+            "fold(0.0",
+            "fold(0f32",
+            "fold(0f64",
+        ] {
+            if code.contains(pat) {
+                push("nd-float-acc", pat);
+                break;
+            }
+        }
+
+        // cc-shared inventory
+        for (pat, kind, word) in [
+            ("static mut ", "static-mut", false),
+            ("RefCell", "ref-cell", true),
+            ("Rc", "rc", true),
+            ("Cell", "cell", true),
+            ("thread_local!", "thread-local", false),
+            ("*const ", "raw-pointer", false),
+            ("*mut ", "raw-pointer", false),
+        ] {
+            let hit = if word {
+                // Type position only: `Rc<` / `Rc::`.
+                word_followed_by(code, pat, &["<", "::"])
+            } else {
+                code.contains(pat)
+            };
+            if hit {
+                push("cc-shared", kind);
+            }
+        }
+    }
+    findings
+}
+
+/// True if `word` occurs with non-identifier chars (or edges) around it.
+fn has_word(line: &str, word: &str) -> bool {
+    find_words(line, word).next().is_some()
+}
+
+/// True if `word` occurs (word-boundary) immediately followed by one of
+/// `suffixes`.
+fn word_followed_by(line: &str, word: &str, suffixes: &[&str]) -> bool {
+    find_words(line, word).any(|pos| {
+        let rest = &line[pos + word.len()..];
+        suffixes.iter().any(|s| rest.starts_with(s))
+    })
+}
+
+/// Word-boundary occurrences of `word` in `line`.
+fn find_words<'a>(line: &'a str, word: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let bytes = line.as_bytes();
+    let wlen = word.len();
+    line.match_indices(word).filter_map(move |(pos, _)| {
+        let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+        let after_ok = pos + wlen >= bytes.len() || !is_ident_byte(bytes[pos + wlen]);
+        (before_ok && after_ok).then_some(pos)
+    })
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Pass A of `nd-hash-iter`: names bound to HashMap/HashSet in this file
+/// (struct fields, typed lets/params, and `= HashMap::new()` forms).
+fn collect_hash_bindings(file: &SourceFile) -> Vec<String> {
+    let mut names = Vec::new();
+    for (idx, code) in file.code_lines.iter().enumerate() {
+        if file.in_test[idx] {
+            continue;
+        }
+        for ty in ["HashMap", "HashSet"] {
+            for pos in find_words(code, ty) {
+                let rest = &code[pos + ty.len()..];
+                if let Some(name) = if rest.starts_with('<') {
+                    // `name: [&[mut]] [std::collections::]HashMap<...>`
+                    ident_before_colon(&code[..pos])
+                } else if rest.starts_with("::new")
+                    || rest.starts_with("::with_capacity")
+                    || rest.starts_with("::default")
+                    || rest.starts_with("::from")
+                {
+                    // `let [mut] name = HashMap::new()`
+                    ident_before_assign(&code[..pos])
+                } else {
+                    None
+                } {
+                    if !names.contains(&name) {
+                        names.push(name);
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+/// From text ending just before a hash type, extract `name` in
+/// `... name : [&][mut ][std::collections::]`.
+fn ident_before_colon(prefix: &str) -> Option<String> {
+    let mut s = prefix.trim_end();
+    for strip in ["std::collections::", "collections::", "std::"] {
+        s = s.strip_suffix(strip).unwrap_or(s).trim_end();
+    }
+    s = s.strip_suffix("mut").unwrap_or(s).trim_end();
+    s = s.strip_suffix('&').unwrap_or(s).trim_end();
+    let s = s.strip_suffix(':')?.trim_end();
+    take_trailing_ident(s)
+}
+
+/// From text ending just before `HashMap::new`-style constructors,
+/// extract `name` in `let [mut] name [: _] = `.
+fn ident_before_assign(prefix: &str) -> Option<String> {
+    let s = prefix.trim_end();
+    let s = s.strip_suffix('=')?.trim_end();
+    // Skip an optional inferred-type ascription like `: _`.
+    let s = s.strip_suffix(": _").unwrap_or(s).trim_end();
+    take_trailing_ident(s)
+}
+
+fn take_trailing_ident(s: &str) -> Option<String> {
+    let end = s.len();
+    let start = s
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| c.is_ascii_alphanumeric() || *c == '_')
+        .map(|(i, _)| i)
+        .last()?;
+    let ident = &s[start..end];
+    let first = ident.chars().next()?;
+    if first.is_ascii_digit() {
+        return None;
+    }
+    // Keywords / self are not bindings we can track.
+    if matches!(ident, "self" | "pub" | "let" | "mut" | "fn" | "impl") {
+        return None;
+    }
+    Some(ident.to_string())
+}
+
+const ITER_METHODS: &[&str] = &[
+    "iter()",
+    "iter_mut()",
+    "keys()",
+    "values()",
+    "values_mut()",
+    "into_iter()",
+    "into_keys()",
+    "into_values()",
+    "drain(",
+    "retain(",
+];
+
+/// Pass B of `nd-hash-iter`: does `line` iterate the binding `name`?
+/// `next_line` extends the view so a chained method on the following
+/// line is still attributed to the receiver's line. Returns the matched
+/// method (or `for-in`) for the finding detail.
+fn iteration_site(line: &str, next_line: &str, name: &str) -> Option<&'static str> {
+    let joined = format!("{} {}", line, next_line.trim_start());
+    for pos in find_words(line, name) {
+        let rest = &joined[pos + name.len()..];
+        if let Some(stripped) = rest.strip_prefix('.') {
+            for m in ITER_METHODS {
+                if stripped.starts_with(m) {
+                    return Some(m);
+                }
+            }
+        }
+        // `name\n    .iter()` — receiver alone at end of line.
+        if rest.starts_with(' ') {
+            let cont = rest.trim_start();
+            if let Some(stripped) = cont.strip_prefix('.') {
+                if line[pos + name.len()..].trim().is_empty() {
+                    for m in ITER_METHODS {
+                        if stripped.starts_with(m) {
+                            return Some(m);
+                        }
+                    }
+                }
+            }
+        }
+        // `for x in [&[mut ]]name` (including `in name {`).
+        let before = line[..pos].trim_end();
+        let before = before.strip_suffix('&').unwrap_or(before).trim_end();
+        let before = before.strip_suffix("&mut").unwrap_or(before).trim_end();
+        if before.ends_with(" in") || before.ends_with("(in") {
+            // Only a real iteration when the loop body / adapter follows,
+            // not an index expression like `name[key]`.
+            if rest.trim_start().starts_with('{') || rest.trim_start().is_empty() {
+                return Some("for-in");
+            }
+        }
+    }
+    None
+}
+
+/// Lines holding HashMap/HashSet fields inside `#[derive(.. Serialize ..)]`
+/// containers.
+fn serde_hash_fields(file: &SourceFile) -> Vec<usize> {
+    let mut out = Vec::new();
+    let n = file.code_lines.len();
+    let mut idx = 0usize;
+    while idx < n {
+        if file.in_test[idx] {
+            idx += 1;
+            continue;
+        }
+        let code = &file.code_lines[idx];
+        if !(code.contains("#[derive(") || code.contains("#[derive (")) {
+            idx += 1;
+            continue;
+        }
+        // Collect the (possibly multi-line) derive list.
+        let mut derive_text = String::new();
+        let mut j = idx;
+        loop {
+            derive_text.push_str(&file.code_lines[j]);
+            if file.code_lines[j].contains(")]") || j + 1 >= n {
+                break;
+            }
+            j += 1;
+        }
+        if !has_word(&derive_text, "Serialize") {
+            idx = j + 1;
+            continue;
+        }
+        // Find the container item (skipping further attributes / docs).
+        let mut k = j + 1;
+        while k < n {
+            let l = &file.code_lines[k];
+            if has_word(l, "struct") || has_word(l, "enum") {
+                break;
+            }
+            if !l.trim().is_empty() && !l.trim_start().starts_with("#[") {
+                break; // not a container after all
+            }
+            k += 1;
+        }
+        if k >= n
+            || !(has_word(&file.code_lines[k], "struct") || has_word(&file.code_lines[k], "enum"))
+        {
+            idx = j + 1;
+            continue;
+        }
+        // Walk the container body to its closing brace.
+        let mut depth: i64 = 0;
+        let mut seen_open = false;
+        let mut m = k;
+        while m < n {
+            let l = &file.code_lines[m];
+            if seen_open && (has_word(l, "HashMap") || has_word(l, "HashSet")) && l.contains(':') {
+                out.push(m + 1);
+            }
+            for ch in l.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        seen_open = true;
+                    }
+                    '}' => depth -= 1,
+                    ';' if !seen_open => depth = -1, // tuple/unit struct
+                    _ => {}
+                }
+            }
+            if seen_open && depth <= 0 {
+                break;
+            }
+            if depth < 0 {
+                break;
+            }
+            m += 1;
+        }
+        idx = m + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        check_file(&SourceFile::parse("t.rs", src))
+    }
+
+    fn ids(src: &str) -> Vec<&'static str> {
+        findings(src).into_iter().map(|f| f.lint).collect()
+    }
+
+    #[test]
+    fn time_and_rand_hazards() {
+        assert_eq!(ids("let t = std::time::Instant::now();"), vec!["nd-time"]);
+        assert_eq!(ids("let r = thread_rng();"), vec!["nd-rand"]);
+        assert!(ids("let t = SimTime::ZERO;").is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_is_flagged_lookup_is_not() {
+        let src = "struct S { m: HashMap<u32, u32> }\n\
+                   fn f(s: &S) { for v in s.m.values() { let _ = v; } }\n\
+                   fn g(s: &S) -> Option<&u32> { s.m.get(&1) }\n";
+        let f = findings(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, "nd-hash-iter");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn let_binding_iteration_is_flagged() {
+        let src = "fn f() { let mut m = HashMap::new(); m.insert(1, 2);\n\
+                   for (k, v) in &m { let _ = (k, v); } }\n";
+        let f = findings(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn serde_hash_field_is_flagged() {
+        let src = "#[derive(Debug, Serialize)]\n\
+                   struct S {\n    m: HashMap<u32, u32>,\n}\n";
+        let f = findings(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, "nd-hash-serde");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn non_serde_hash_field_is_not_serde_flagged() {
+        let src = "#[derive(Debug, Clone)]\nstruct S {\n    m: HashMap<u32, u32>,\n}\n";
+        assert!(ids(src).is_empty());
+    }
+
+    #[test]
+    fn float_accumulation() {
+        assert_eq!(
+            ids("let s: f64 = xs.iter().sum::<f64>();"),
+            vec!["nd-float-acc"]
+        );
+    }
+
+    #[test]
+    fn shared_state_inventory() {
+        let f = findings("struct S { c: RefCell<u32>, r: Rc<String> }");
+        let kinds: Vec<&str> = f.iter().map(|x| x.detail.as_str()).collect();
+        assert!(kinds.contains(&"ref-cell"));
+        assert!(kinds.contains(&"rc"));
+        assert!(f.iter().all(|x| x.lint == "cc-shared"));
+    }
+
+    #[test]
+    fn arc_is_not_rc() {
+        assert!(ids("let a: Arc<u32> = Arc::new(1);").is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_skipped() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn f() { let t = std::time::Instant::now(); }\n}\n";
+        assert!(ids(src).is_empty());
+    }
+}

@@ -1,0 +1,20 @@
+//! Known-clean via annotation: a genuine hash-container iteration whose
+//! result is order-insensitive, carrying a reviewed allow entry. The
+//! gate must accept it and record one allowlist entry.
+
+use std::collections::HashMap;
+
+pub struct Interner {
+    buckets: HashMap<u64, Vec<u32>>,
+}
+
+impl Interner {
+    pub fn len(&self) -> usize {
+        // peering-analysis: allow(nd-hash-iter, reason = "order-insensitive integer sum over buckets")
+        self.buckets.values().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,16 @@
+//! Audit-only fixture: shared-state constructs the concurrency audit
+//! must inventory without failing the gate (`cc-shared` is Severity::Audit).
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+pub struct Scratch {
+    pub cache: RefCell<Vec<u32>>,
+    pub shared: Rc<Vec<u8>>,
+    pub hits: Cell<u64>,
+}
+
+pub fn tail(ptr: *const u8, len: usize) -> usize {
+    let _ = ptr;
+    len
+}

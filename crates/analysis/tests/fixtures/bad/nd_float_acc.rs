@@ -1,0 +1,12 @@
+//! Known-bad: order-sensitive float reduction. Must trigger
+//! `nd-float-acc` — the sum depends on reduction order, which a sharded
+//! engine would not preserve.
+
+pub fn mean_latency(samples: &[f64]) -> f64 {
+    let total = samples.iter().sum::<f64>();
+    total / samples.len().max(1) as f64
+}
+
+pub fn folded(samples: &[f32]) -> f32 {
+    samples.iter().fold(0.0, |acc, s| acc + s)
+}

@@ -1,0 +1,22 @@
+//! Known-bad: iterates a hash-ordered container. Must trigger
+//! `nd-hash-iter` (twice: a for-in and a chained method call).
+
+use std::collections::HashMap;
+
+pub fn route_lines(tbl: &HashMap<u32, u32>) -> Vec<String> {
+    let mut out = Vec::new();
+    for (k, v) in tbl.iter() {
+        out.push(format!("{k}={v}"));
+    }
+    out
+}
+
+pub struct Rib {
+    best: HashMap<u32, u64>,
+}
+
+impl Rib {
+    pub fn digest_input(&self) -> Vec<u64> {
+        self.best.values().copied().collect()
+    }
+}

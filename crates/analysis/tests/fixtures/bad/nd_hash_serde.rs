@@ -1,0 +1,11 @@
+//! Known-bad: hash container inside a `Serialize` derive. Must trigger
+//! `nd-hash-serde` — serialization walks the map in hash order, so the
+//! emitted bytes differ across processes.
+
+use std::collections::HashMap;
+
+#[derive(Debug, Serialize)]
+pub struct Snapshot {
+    pub seed: u64,
+    pub counts: HashMap<u32, u64>,
+}

@@ -1,0 +1,11 @@
+//! Known-bad: ambient randomness. Must trigger `nd-rand`.
+
+pub fn jitter_ms() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..1000)
+}
+
+pub fn reseed() -> u64 {
+    let rng = SmallRng::from_entropy();
+    rng.next_u64()
+}

@@ -1,0 +1,12 @@
+//! Known-bad: reads the wall clock. Must trigger `nd-time`.
+
+pub fn stamp() -> u128 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0)
+}
+
+pub fn elapsed_ms(start: std::time::Instant) -> u128 {
+    start.elapsed().as_millis()
+}

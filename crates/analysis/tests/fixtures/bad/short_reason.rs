@@ -1,0 +1,9 @@
+//! Known-bad: the annotation's reason is below the minimum length, so
+//! the annotation is rejected and the finding stays unallowlisted.
+
+use std::collections::HashMap;
+
+pub fn count(m: &HashMap<u32, u32>) -> usize {
+    // peering-analysis: allow(nd-hash-iter, reason = "short")
+    m.keys().count()
+}

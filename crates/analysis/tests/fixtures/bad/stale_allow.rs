@@ -1,0 +1,8 @@
+//! Known-bad: a stale allowlist entry. The annotated line no longer
+//! triggers `nd-time`, so the gate must demand the entry's deletion —
+//! this is what makes the allowlist shrink-only.
+
+pub fn stable() -> u32 {
+    // peering-analysis: allow(nd-time, reason = "this line used to read the wall clock")
+    42
+}

@@ -1,0 +1,7 @@
+//! Known-bad: the annotation names a lint id that is not in the
+//! catalog; the gate must reject it instead of silently ignoring it.
+
+pub fn g() -> u32 {
+    // peering-analysis: allow(nd-nonexistent, reason = "there is no such lint in the catalog")
+    7
+}

@@ -1,0 +1,8 @@
+//! Known-clean counterpart of `bad/nd_float_acc.rs`: measurements are
+//! kept in integer units (nanoseconds), where addition is associative
+//! and any reduction order yields identical bits.
+
+pub fn mean_latency_nanos(samples: &[u64]) -> u64 {
+    let total = samples.iter().sum::<u64>();
+    total / samples.len().max(1) as u64
+}

@@ -1,0 +1,18 @@
+//! Known-clean counterpart of `bad/nd_hash_iter.rs`: the ordered
+//! container iterates in key order, so downstream digests are stable.
+
+use std::collections::BTreeMap;
+
+pub fn route_lines(tbl: &BTreeMap<u32, u32>) -> Vec<String> {
+    tbl.iter().map(|(k, v)| format!("{k}={v}")).collect()
+}
+
+pub struct Rib {
+    best: BTreeMap<u32, u64>,
+}
+
+impl Rib {
+    pub fn digest_input(&self) -> Vec<u64> {
+        self.best.values().copied().collect()
+    }
+}

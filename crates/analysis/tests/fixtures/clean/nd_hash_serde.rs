@@ -1,0 +1,10 @@
+//! Known-clean counterpart of `bad/nd_hash_serde.rs`: ordered map in
+//! the snapshot keeps serialized bytes identical across runs.
+
+use std::collections::BTreeMap;
+
+#[derive(Debug, Serialize)]
+pub struct Snapshot {
+    pub seed: u64,
+    pub counts: BTreeMap<u32, u64>,
+}

@@ -1,0 +1,9 @@
+//! Known-clean counterpart of `bad/nd_rand.rs`: all randomness is
+//! derived from an explicit seed, so every run reproduces.
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+pub fn jitter_ms(seed: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.gen_range(0..1000)
+}

@@ -1,0 +1,10 @@
+//! Known-clean counterpart of `bad/nd_time.rs`: time flows in from the
+//! simulation clock instead of the host's wall clock.
+
+pub fn stamp(sim_now_nanos: u64) -> u64 {
+    sim_now_nanos
+}
+
+pub fn elapsed_ms(start_ms: u64, now_ms: u64) -> u64 {
+    now_ms.saturating_sub(start_ms)
+}

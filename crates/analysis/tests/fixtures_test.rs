@@ -1,0 +1,168 @@
+//! Corpus tests over `tests/fixtures/`: every known-bad snippet must
+//! fail the gate with the expected lint, every known-clean / allowed /
+//! audit snippet must pass, and every Deny lint in the catalog must
+//! have both a bad and a clean fixture — so a new lint cannot land
+//! without corpus coverage.
+
+use peering_analysis::analyze_str;
+use peering_analysis::lints::{lint_by_id, Severity, CATALOG};
+use peering_analysis::report::AnalysisReport;
+use std::path::{Path, PathBuf};
+
+fn fixture_dir(sub: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(sub)
+}
+
+/// `(file_stem, contents)` for every `.rs` fixture in a subdirectory.
+fn fixtures(sub: &str) -> Vec<(String, String)> {
+    let dir = fixture_dir(sub);
+    let entries =
+        std::fs::read_dir(&dir).unwrap_or_else(|e| panic!("read_dir {}: {e}", dir.display()));
+    let mut out: Vec<(String, String)> = entries
+        .map(|e| e.expect("directory entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .map(|p| {
+            let stem = p
+                .file_stem()
+                .expect("fixture has a stem")
+                .to_string_lossy()
+                .into_owned();
+            let text = std::fs::read_to_string(&p).expect("read fixture");
+            (stem, text)
+        })
+        .collect();
+    out.sort();
+    assert!(!out.is_empty(), "no fixtures under {}", dir.display());
+    out
+}
+
+fn analyze(sub: &str, stem: &str, text: &str) -> AnalysisReport {
+    analyze_str(&format!("fixtures/{sub}/{stem}.rs"), text)
+}
+
+#[test]
+fn every_bad_fixture_fails_the_gate() {
+    for (stem, text) in fixtures("bad") {
+        let r = analyze("bad", &stem, &text);
+        assert!(!r.ok, "bad fixture {stem} unexpectedly passed: {r:?}");
+    }
+}
+
+#[test]
+fn bad_fixtures_trigger_exactly_their_lint() {
+    for (stem, text) in fixtures("bad") {
+        let expected = stem.replace('_', "-");
+        if lint_by_id(&expected).is_none() {
+            // Annotation-machinery fixtures (stale_allow, short_reason,
+            // unknown_lint) are asserted individually below.
+            continue;
+        }
+        let r = analyze("bad", &stem, &text);
+        assert!(
+            r.lints[&expected].findings > 0,
+            "{stem}: expected at least one {expected} finding: {r:?}"
+        );
+        assert!(
+            r.unallowlisted.iter().all(|f| f.lint == expected),
+            "{stem}: stray findings beyond {expected}: {r:?}"
+        );
+    }
+}
+
+#[test]
+fn clean_and_allowed_fixtures_pass() {
+    for sub in ["clean", "allowed"] {
+        for (stem, text) in fixtures(sub) {
+            let r = analyze(sub, &stem, &text);
+            assert!(r.ok, "{sub}/{stem} failed the gate: {r:?}");
+            assert!(r.unallowlisted.is_empty(), "{sub}/{stem}: {r:?}");
+            assert!(r.allowlist_problems.is_empty(), "{sub}/{stem}: {r:?}");
+        }
+    }
+}
+
+#[test]
+fn allowed_fixture_records_a_checked_entry() {
+    let all = fixtures("allowed");
+    let (stem, text) = &all[0];
+    let r = analyze("allowed", stem, text);
+    assert_eq!(r.allowlist_size, 1);
+    assert_eq!(r.lints["nd-hash-iter"].findings, 1);
+    assert_eq!(r.lints["nd-hash-iter"].allowed, 1);
+}
+
+#[test]
+fn audit_fixtures_inventory_without_failing() {
+    for (stem, text) in fixtures("audit") {
+        let r = analyze("audit", &stem, &text);
+        assert!(r.ok, "audit/{stem} must not fail the gate: {r:?}");
+        assert!(!r.shared_state.is_empty(), "audit/{stem}: empty inventory");
+    }
+}
+
+#[test]
+fn audit_fixture_covers_the_shared_state_kinds() {
+    let text = std::fs::read_to_string(fixture_dir("audit").join("cc_shared.rs"))
+        .expect("read cc_shared fixture");
+    let r = analyze("audit", "cc_shared", &text);
+    let kinds: Vec<&str> = r.shared_state.iter().map(|f| f.detail.as_str()).collect();
+    for kind in ["ref-cell", "rc", "cell", "raw-pointer"] {
+        assert!(kinds.contains(&kind), "missing {kind} in {kinds:?}");
+    }
+}
+
+#[test]
+fn stale_allow_fixture_demands_deletion() {
+    let text = std::fs::read_to_string(fixture_dir("bad").join("stale_allow.rs"))
+        .expect("read stale_allow fixture");
+    let r = analyze("bad", "stale_allow", &text);
+    assert!(!r.ok);
+    assert!(
+        r.allowlist_problems
+            .iter()
+            .any(|p| p.message.contains("stale")),
+        "{r:?}"
+    );
+}
+
+#[test]
+fn short_reason_fixture_is_rejected_and_stays_unallowlisted() {
+    let text = std::fs::read_to_string(fixture_dir("bad").join("short_reason.rs"))
+        .expect("read short_reason fixture");
+    let r = analyze("bad", "short_reason", &text);
+    assert!(!r.ok);
+    assert!(
+        r.allowlist_problems
+            .iter()
+            .any(|p| p.message.contains("too short")),
+        "{r:?}"
+    );
+    assert_eq!(r.unallowlisted.len(), 1, "finding must remain uncovered");
+}
+
+#[test]
+fn unknown_lint_fixture_is_rejected() {
+    let text = std::fs::read_to_string(fixture_dir("bad").join("unknown_lint.rs"))
+        .expect("read unknown_lint fixture");
+    let r = analyze("bad", "unknown_lint", &text);
+    assert!(!r.ok);
+    assert!(
+        r.allowlist_problems
+            .iter()
+            .any(|p| p.message.contains("unknown lint id")),
+        "{r:?}"
+    );
+}
+
+#[test]
+fn every_deny_lint_has_bad_and_clean_coverage() {
+    let bad: Vec<String> = fixtures("bad").into_iter().map(|(s, _)| s).collect();
+    let clean: Vec<String> = fixtures("clean").into_iter().map(|(s, _)| s).collect();
+    for lint in CATALOG.iter().filter(|l| l.severity == Severity::Deny) {
+        let stem = lint.id.replace('-', "_");
+        assert!(bad.contains(&stem), "no bad fixture for {}", lint.id);
+        assert!(clean.contains(&stem), "no clean fixture for {}", lint.id);
+    }
+}

@@ -1,0 +1,58 @@
+//! The analyzer run as a test: scanning the workspace this crate lives
+//! in must uphold the determinism contract. This is the same check
+//! `tools/check.sh` performs via the `peering-analyze` binary, kept as
+//! a test so `cargo test --workspace` alone enforces the contract.
+
+use peering_analysis::analyze_workspace;
+use peering_analysis::annotations::MIN_REASON_LEN;
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/analysis -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root exists")
+}
+
+#[test]
+fn workspace_upholds_the_determinism_contract() {
+    let report = analyze_workspace(workspace_root()).expect("scan workspace");
+    assert!(report.files_scanned > 50, "suspiciously small scan");
+    assert!(
+        report.ok,
+        "determinism contract violated:\nunallowlisted: {:#?}\nproblems: {:#?}",
+        report.unallowlisted, report.allowlist_problems
+    );
+}
+
+#[test]
+fn workspace_allowlist_entries_are_justified_and_live() {
+    let report = analyze_workspace(workspace_root()).expect("scan workspace");
+    // `ok` already implies no stale entries; restate the per-entry
+    // properties so a regression names the offending entry directly.
+    assert!(
+        report.allowlist_problems.is_empty(),
+        "{:#?}",
+        report.allowlist_problems
+    );
+    for entry in &report.allowlist {
+        assert!(
+            entry.reason.trim().len() >= MIN_REASON_LEN,
+            "{}: reason too short: {:?}",
+            entry.file,
+            entry.reason
+        );
+    }
+}
+
+#[test]
+fn workspace_report_is_deterministic() {
+    let a = analyze_workspace(workspace_root())
+        .expect("scan 1")
+        .to_json();
+    let b = analyze_workspace(workspace_root())
+        .expect("scan 2")
+        .to_json();
+    assert_eq!(a, b, "same tree must produce byte-identical reports");
+}

@@ -8,7 +8,7 @@
 
 use peering_netsim::{Prefix, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Damping parameters (defaults follow common vendor settings).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -51,7 +51,7 @@ struct PenaltyEntry {
 /// Damping state for one peer (typically one PEERING client).
 #[derive(Debug, Clone, Default)]
 pub struct DampingState {
-    entries: HashMap<Prefix, PenaltyEntry>,
+    entries: BTreeMap<Prefix, PenaltyEntry>,
     /// Count of flap events observed.
     pub flaps: u64,
     /// Count of suppression transitions.

@@ -59,8 +59,8 @@ impl DeepSize for Route {
 impl DeepSize for AdjRib {
     fn deep_size(&self) -> usize {
         let mut sz = size_of::<AdjRib>();
-        // prefix -> BTreeMap entries in the outer HashMap
-        sz += self.prefix_count() * (size_of::<peering_netsim::Prefix>() + HASH_ENTRY_OVERHEAD);
+        // prefix -> BTreeMap entries in the outer BTreeMap
+        sz += self.prefix_count() * (size_of::<peering_netsim::Prefix>() + BTREE_ENTRY_OVERHEAD);
         // (path_id, Route) entries in the inner BTreeMaps
         sz += self.len() * (size_of::<u32>() + size_of::<Route>() + BTREE_ENTRY_OVERHEAD);
         sz
@@ -71,7 +71,7 @@ impl DeepSize for LocRib {
     fn deep_size(&self) -> usize {
         size_of::<LocRib>()
             + self.len()
-                * (size_of::<peering_netsim::Prefix>() + size_of::<Route>() + HASH_ENTRY_OVERHEAD)
+                * (size_of::<peering_netsim::Prefix>() + size_of::<Route>() + BTREE_ENTRY_OVERHEAD)
     }
 }
 

@@ -110,9 +110,15 @@ impl Route {
 
 /// One peer's Adj-RIB (used for both In and Out directions): the set of
 /// routes exchanged with that peer, keyed by prefix and ADD-PATH id.
+///
+/// Both levels are `BTreeMap` so every iteration surface
+/// ([`iter`](Self::iter), [`prefixes`](Self::prefixes),
+/// [`clear`](Self::clear)) yields prefix-then-path-id order — a
+/// determinism-contract requirement (`nd-hash-iter`): Adj-RIB walks
+/// feed digests, MRT dumps, and the decision process.
 #[derive(Debug, Clone, Default)]
 pub struct AdjRib {
-    routes: HashMap<Prefix, BTreeMap<u32, Route>>,
+    routes: BTreeMap<Prefix, BTreeMap<u32, Route>>,
     entries: usize,
 }
 
@@ -243,9 +249,13 @@ impl AdjRib {
 }
 
 /// The Loc-RIB: the best route per prefix after the decision process.
+///
+/// A `BTreeMap` so [`iter`](Self::iter) yields prefix order: Loc-RIB
+/// walks are the source of convergence digests and collector RIB dumps
+/// (`nd-hash-iter` contract).
 #[derive(Debug, Clone, Default)]
 pub struct LocRib {
-    best: HashMap<Prefix, Route>,
+    best: BTreeMap<Prefix, Route>,
 }
 
 impl LocRib {
@@ -385,6 +395,7 @@ impl AttrInterner {
     /// Drop interned entries no longer referenced anywhere else.
     pub fn gc(&mut self) -> usize {
         let mut freed = 0;
+        // peering-analysis: allow(nd-hash-iter, reason = "retain visits every bucket exactly once; per-bucket decisions depend only on refcounts, so visit order cannot alter the surviving set")
         self.buckets.retain(|_, bucket| {
             bucket.retain(|arc| {
                 let keep = Arc::strong_count(arc) > 1;
@@ -400,6 +411,7 @@ impl AttrInterner {
 
     /// Number of distinct attribute sets currently interned.
     pub fn len(&self) -> usize {
+        // peering-analysis: allow(nd-hash-iter, reason = "order-insensitive integer sum of bucket sizes; iteration order cannot reach the result")
         self.buckets.values().map(Vec::len).sum()
     }
 
@@ -409,7 +421,10 @@ impl AttrInterner {
     }
 
     /// Iterate the interned attribute sets (for memory accounting).
+    /// Order is unspecified: the sole consumer is `DeepSize`, an
+    /// order-insensitive byte sum that never reaches a digest.
     pub fn iter(&self) -> impl Iterator<Item = &Arc<PathAttributes>> {
+        // peering-analysis: allow(nd-hash-iter, reason = "memory-accounting walk; consumers sum per-entry byte charges, an order-insensitive reduction")
         self.buckets.values().flatten()
     }
 }

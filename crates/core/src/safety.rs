@@ -11,7 +11,7 @@ use crate::experiment::AnnouncementSpec;
 use peering_bgp::{Action, AsPath, DampingConfig, DampingState, Match, Policy};
 use peering_netsim::{Asn, Ipv4Net, Ipv6Net, Prefix, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -222,9 +222,9 @@ pub struct SafetyFilter {
     /// The active limits.
     pub cfg: SafetyConfig,
     damping: DampingState,
-    rate: HashMap<Ipv4Net, (SimTime, u32)>,
+    rate: BTreeMap<Ipv4Net, (SimTime, u32)>,
     /// Count of blocked actions, by experiment tag.
-    pub blocked: HashMap<u32, u32>,
+    pub blocked: BTreeMap<u32, u32>,
 }
 
 impl SafetyFilter {
@@ -233,8 +233,8 @@ impl SafetyFilter {
         SafetyFilter {
             cfg,
             damping: DampingState::new(),
-            rate: HashMap::new(),
-            blocked: HashMap::new(),
+            rate: BTreeMap::new(),
+            blocked: BTreeMap::new(),
         }
     }
 

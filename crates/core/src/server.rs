@@ -10,7 +10,7 @@
 use crate::mux::MuxDesign;
 use peering_topology::{AsGraph, AsIdx};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// What kind of site a server is deployed at.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -145,7 +145,7 @@ impl PeeringServer {
     /// routes). This is what §4.2's closing observation measures: "only
     /// our 5 largest peers give us more than 10K routes, and 307 give us
     /// fewer than 100 routes."
-    pub fn peer_route_counts(&self, g: &AsGraph, cones: &[HashSet<AsIdx>]) -> Vec<(AsIdx, usize)> {
+    pub fn peer_route_counts(&self, g: &AsGraph, cones: &[BTreeSet<AsIdx>]) -> Vec<(AsIdx, usize)> {
         self.peers()
             .iter()
             .map(|&p| {

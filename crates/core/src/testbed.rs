@@ -25,7 +25,7 @@ use peering_topology::{
     routing::{propagate, Announcement, PropagationResult, TraceOutcome},
     AsGraph, AsIdx, AsInfo, AsKind, Internet, InternetConfig, PeeringPolicy, Relationship,
 };
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Testbed-level errors.
@@ -153,10 +153,10 @@ pub struct Testbed {
     /// Clients, one per experiment.
     pub clients: BTreeMap<ExperimentId, PeeringClient>,
     /// ASes currently black-holing traffic (fault injection).
-    pub blackholes: HashSet<AsIdx>,
+    pub blackholes: BTreeSet<AsIdx>,
     /// Bilateral workflows per IXP site (site index -> workflow).
     pub workflows: BTreeMap<usize, PeeringWorkflow>,
-    cones: Vec<HashSet<AsIdx>>,
+    cones: Vec<BTreeSet<AsIdx>>,
     announcements: BTreeMap<Prefix, ActiveAnnouncement>,
     now: SimTime,
     rng: SimRng,
@@ -205,7 +205,7 @@ impl Testbed {
                         .filter(|(_, i)| i.kind == AsKind::Access)
                         .map(|(idx, _)| idx)
                         .collect();
-                    let mut chosen = HashSet::new();
+                    let mut chosen = BTreeSet::new();
                     let mut guard = 0;
                     while chosen.len() < *n_transits && guard < 2000 {
                         guard += 1;
@@ -293,7 +293,7 @@ impl Testbed {
             schedule: Schedule::new(),
             experiments: BTreeMap::new(),
             clients: BTreeMap::new(),
-            blackholes: HashSet::new(),
+            blackholes: BTreeSet::new(),
             workflows,
             cones,
             announcements: BTreeMap::new(),
@@ -319,7 +319,7 @@ impl Testbed {
     }
 
     /// Customer cones (indexed by AS).
-    pub fn cones(&self) -> &[HashSet<AsIdx>] {
+    pub fn cones(&self) -> &[BTreeSet<AsIdx>] {
         &self.cones
     }
 
@@ -422,11 +422,11 @@ impl Testbed {
             PeerSelector::TransitOnly => server.transits.clone(),
             PeerSelector::PeersOnly => server.peers(),
             PeerSelector::Specific(list) => {
-                let all: HashSet<AsIdx> = server.neighbors().into_iter().collect();
+                let all: BTreeSet<AsIdx> = server.neighbors().into_iter().collect();
                 list.iter().copied().filter(|a| all.contains(a)).collect()
             }
             PeerSelector::Excluding(list) => {
-                let excl: HashSet<AsIdx> = list.iter().copied().collect();
+                let excl: BTreeSet<AsIdx> = list.iter().copied().collect();
                 server
                     .neighbors()
                     .into_iter()
@@ -802,12 +802,12 @@ impl Testbed {
     // ------------------------------------------------------- peer stats
 
     /// Distinct peers (route-server + bilateral) across all servers.
-    pub fn all_peers(&self) -> HashSet<AsIdx> {
+    pub fn all_peers(&self) -> BTreeSet<AsIdx> {
         self.servers.iter().flat_map(|s| s.peers()).collect()
     }
 
     /// Distinct transit providers across all servers.
-    pub fn all_transits(&self) -> HashSet<AsIdx> {
+    pub fn all_transits(&self) -> BTreeSet<AsIdx> {
         self.servers
             .iter()
             .flat_map(|s| s.transits.iter().copied())
@@ -815,7 +815,7 @@ impl Testbed {
     }
 
     /// Countries spanned by our peers.
-    pub fn peer_countries(&self) -> HashSet<[u8; 2]> {
+    pub fn peer_countries(&self) -> BTreeSet<[u8; 2]> {
         self.all_peers()
             .iter()
             .map(|&p| self.internet.graph.info(p).country)
@@ -832,7 +832,7 @@ impl Testbed {
     /// Prefixes reachable via peer routes alone ("ignoring transit"):
     /// everything originated inside any peer's customer cone.
     pub fn peer_reachable_prefixes(&self) -> usize {
-        let mut ases: HashSet<AsIdx> = HashSet::new();
+        let mut ases: BTreeSet<AsIdx> = BTreeSet::new();
         for p in self.all_peers() {
             ases.extend(self.cones[p.i()].iter().copied());
         }
@@ -842,8 +842,8 @@ impl Testbed {
     }
 
     /// The set of ASes whose prefixes are reachable via peers.
-    pub fn peer_reachable_ases(&self) -> HashSet<AsIdx> {
-        let mut ases: HashSet<AsIdx> = HashSet::new();
+    pub fn peer_reachable_ases(&self) -> BTreeSet<AsIdx> {
+        let mut ases: BTreeSet<AsIdx> = BTreeSet::new();
         for p in self.all_peers() {
             ases.extend(self.cones[p.i()].iter().copied());
         }

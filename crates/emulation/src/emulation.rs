@@ -43,24 +43,24 @@ enum Payload {
 pub struct Emulation {
     containers: Vec<Container>,
     net: MsgNet<Payload>,
-    sessions: std::collections::HashMap<(usize, PeerId), SessionEnd>,
+    sessions: std::collections::BTreeMap<(usize, PeerId), SessionEnd>,
     external_out: Vec<Vec<BgpMessage>>,
     external_home: Vec<(usize, PeerId)>,
     /// `(from, to)` container pairs whose next delivered message arrives
     /// corrupted (the receiver cannot parse it).
-    corrupt_next: std::collections::HashSet<(usize, usize)>,
+    corrupt_next: std::collections::BTreeSet<(usize, usize)>,
     /// `(from, to)` container pairs whose next delivered UPDATE arrives
     /// with attributes corrupted in an RFC 7606-recoverable way: the
     /// receiver treats the announced routes as withdrawn but keeps the
     /// session up. Non-UPDATE deliveries pass through untouched.
-    corrupt_attrs_next: std::collections::HashSet<(usize, usize)>,
+    corrupt_attrs_next: std::collections::BTreeSet<(usize, usize)>,
     /// Tail-drop total already folded into the `netsim.queue.tail_drops`
     /// counter, so repeated [`export_net_stats`](Self::export_net_stats)
     /// calls add only the delta.
     tail_drops_exported: std::cell::Cell<u64>,
     /// Daemons taken down by [`FaultAction::MuxCrash`], keyed by
     /// container, waiting for a restart.
-    crashed: std::collections::HashMap<usize, Speaker>,
+    crashed: std::collections::BTreeMap<usize, Speaker>,
     /// Resource model used for memory accounting.
     pub resources: ResourceModel,
     /// Log of speaker events `(time, container, event)`.
@@ -79,13 +79,13 @@ impl Emulation {
         Emulation {
             containers: Vec::new(),
             net: MsgNet::new(rng),
-            sessions: std::collections::HashMap::new(),
+            sessions: std::collections::BTreeMap::new(),
             external_out: Vec::new(),
             external_home: Vec::new(),
-            corrupt_next: std::collections::HashSet::new(),
-            corrupt_attrs_next: std::collections::HashSet::new(),
+            corrupt_next: std::collections::BTreeSet::new(),
+            corrupt_attrs_next: std::collections::BTreeSet::new(),
             tail_drops_exported: std::cell::Cell::new(0),
-            crashed: std::collections::HashMap::new(),
+            crashed: std::collections::BTreeMap::new(),
             resources: ResourceModel::default(),
             events: Vec::new(),
             telemetry: Telemetry::disabled(),

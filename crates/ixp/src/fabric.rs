@@ -9,7 +9,7 @@
 use crate::member::MemberId;
 use peering_netsim::{LinkParams, SimDuration};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A port on the fabric.
 #[derive(
@@ -22,7 +22,7 @@ pub struct PortId(pub u32);
 pub struct Fabric {
     /// IXP name, for traces.
     pub name: String,
-    ports: HashMap<MemberId, PortId>,
+    ports: BTreeMap<MemberId, PortId>,
     next_port: u32,
     /// One-way latency across the fabric.
     pub latency: SimDuration,
@@ -35,7 +35,7 @@ impl Fabric {
     pub fn new(name: &str) -> Self {
         Fabric {
             name: name.to_string(),
-            ports: HashMap::new(),
+            ports: BTreeMap::new(),
             next_port: 0,
             latency: SimDuration::from_micros(300),
             port_bandwidth: 10_000_000_000,

@@ -9,7 +9,7 @@
 
 use crate::net::Ipv4Net;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -156,8 +156,10 @@ impl fmt::Display for IpPacket {
 /// upstream peer identifiers.
 #[derive(Debug, Clone)]
 pub struct ForwardingTable<T> {
-    // One map per prefix length; lens kept sorted descending for LPM scans.
-    by_len: HashMap<u8, HashMap<u32, T>>,
+    // One map per prefix length; lens kept sorted descending for LPM
+    // scans. BTreeMaps so `iter` yields (length, address) order — FIB
+    // walks feed compiled forwarding snapshots (`nd-hash-iter`).
+    by_len: BTreeMap<u8, BTreeMap<u32, T>>,
     lens_desc: Vec<u8>,
     entries: usize,
 }
@@ -172,7 +174,7 @@ impl<T> ForwardingTable<T> {
     /// Create an empty table.
     pub fn new() -> Self {
         ForwardingTable {
-            by_len: HashMap::new(),
+            by_len: BTreeMap::new(),
             lens_desc: Vec::new(),
             entries: 0,
         }
@@ -239,7 +241,8 @@ impl<T> ForwardingTable<T> {
         self.entries == 0
     }
 
-    /// Iterate all `(prefix, next_hop)` entries in unspecified order.
+    /// Iterate all `(prefix, next_hop)` entries in ascending
+    /// `(length, address)` order.
     pub fn iter(&self) -> impl Iterator<Item = (Ipv4Net, &T)> {
         self.by_len.iter().flat_map(|(&len, map)| {
             map.iter()

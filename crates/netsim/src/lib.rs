@@ -29,6 +29,7 @@ pub mod link;
 pub mod net;
 pub mod queue;
 pub mod rng;
+pub mod sync;
 pub mod time;
 pub mod trace;
 pub mod transport;
@@ -37,7 +38,7 @@ pub use fault::{FaultAction, FaultPlan};
 pub use ip::{ForwardingTable, IpPacket, IpProto, Payload};
 pub use link::{Link, LinkParams};
 pub use net::{Asn, Ipv4Net, Ipv6Net, Prefix, PrefixParseError};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, SharedEventQueue};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceId, TraceLog, TraceSink};

@@ -12,7 +12,7 @@ use crate::queue::EventQueue;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifier of a node attached to the message network.
@@ -73,7 +73,7 @@ pub struct LinkStats {
 /// The message network. `M` is the application message type.
 pub struct MsgNet<M> {
     queue: EventQueue<Delivery<M>>,
-    links: HashMap<(NodeId, NodeId), Link>,
+    links: BTreeMap<(NodeId, NodeId), Link>,
     rng: SimRng,
     /// Count of messages dropped by links (loss, down, MTU).
     pub drops: u64,
@@ -92,7 +92,7 @@ impl<M> MsgNet<M> {
     pub fn new(rng: SimRng) -> Self {
         MsgNet {
             queue: EventQueue::new(),
-            links: HashMap::new(),
+            links: BTreeMap::new(),
             rng,
             drops: 0,
             no_route: 0,

@@ -8,7 +8,7 @@
 //! that is how "peer routes to 131,000 prefixes" is computed.
 
 use crate::graph::{AsGraph, AsIdx};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Compute every AS's customer cone (the set of ASes reachable by
 /// descending customer edges, including itself).
@@ -16,11 +16,11 @@ use std::collections::HashSet;
 /// Returns a vector indexed by [`AsIdx`]. Cycles in c2p edges (which a
 /// well-formed topology should not have) are tolerated: members are
 /// accumulated to a fixed point.
-pub fn customer_cones(g: &AsGraph) -> Vec<HashSet<AsIdx>> {
+pub fn customer_cones(g: &AsGraph) -> Vec<BTreeSet<AsIdx>> {
     let n = g.len();
-    let mut cones: Vec<HashSet<AsIdx>> = (0..n)
+    let mut cones: Vec<BTreeSet<AsIdx>> = (0..n)
         .map(|i| {
-            let mut s = HashSet::new();
+            let mut s = BTreeSet::new();
             s.insert(AsIdx(i as u32));
             s
         })
@@ -52,7 +52,7 @@ pub fn customer_cones(g: &AsGraph) -> Vec<HashSet<AsIdx>> {
 
 /// Cone sizes only (cheaper to keep around).
 pub fn cone_sizes(g: &AsGraph) -> Vec<usize> {
-    customer_cones(g).iter().map(HashSet::len).collect()
+    customer_cones(g).iter().map(BTreeSet::len).collect()
 }
 
 /// ASes ranked by descending customer-cone size (CAIDA AS Rank style).
@@ -69,16 +69,16 @@ pub fn as_rank(g: &AsGraph) -> Vec<AsIdx> {
 }
 
 /// The number of *prefixes* originated inside an AS's customer cone.
-pub fn cone_prefix_count(g: &AsGraph, cone: &HashSet<AsIdx>) -> usize {
+pub fn cone_prefix_count(g: &AsGraph, cone: &BTreeSet<AsIdx>) -> usize {
     cone.iter().map(|&m| g.info(m).prefixes.len()).sum()
 }
 
 /// Union of the customer cones of `peers`: the set of ASes whose prefixes
 /// a vantage point can reach via those peers *without transit* —
 /// the §4.1 "ignoring transit, routes to ¼ of the Internet" computation.
-pub fn peer_reachable_ases(g: &AsGraph, peers: &[AsIdx]) -> HashSet<AsIdx> {
+pub fn peer_reachable_ases(g: &AsGraph, peers: &[AsIdx]) -> BTreeSet<AsIdx> {
     let cones = customer_cones(g);
-    let mut union = HashSet::new();
+    let mut union = BTreeSet::new();
     for &p in peers {
         union.extend(cones[p.i()].iter().copied());
     }

@@ -2,7 +2,7 @@
 
 use peering_netsim::{Asn, Prefix};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Dense index of an AS within a graph (stable for the graph's lifetime).
@@ -112,7 +112,7 @@ impl AsInfo {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct AsGraph {
     nodes: Vec<AsInfo>,
-    by_asn: HashMap<Asn, AsIdx>,
+    by_asn: BTreeMap<Asn, AsIdx>,
     /// providers[u] = ASes u buys transit from.
     providers: Vec<Vec<AsIdx>>,
     /// customers[u] = ASes buying transit from u.

@@ -18,7 +18,7 @@ use crate::graph::{AsGraph, AsIdx};
 use peering_netsim::{Asn, Prefix};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// How a route was learned, in preference order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -167,7 +167,7 @@ impl PropagationResult {
     }
 
     /// Trace a packet from `from` toward the prefix, honoring black holes.
-    pub fn trace(&self, from: AsIdx, blackholes: &HashSet<AsIdx>) -> TraceOutcome {
+    pub fn trace(&self, from: AsIdx, blackholes: &BTreeSet<AsIdx>) -> TraceOutcome {
         let Some(entry) = self.route(from) else {
             return TraceOutcome::NoRoute;
         };
@@ -213,14 +213,14 @@ fn better(g: &AsGraph, a: &RibEntry, b: &RibEntry) -> bool {
 }
 
 /// Per-announcement participant sets, precomputed for O(1) checks.
-type ParticipantSets = Vec<Option<HashSet<AsIdx>>>;
+type ParticipantSets = Vec<Option<BTreeSet<AsIdx>>>;
 
 fn participant_sets(anns: &[Announcement]) -> ParticipantSets {
     anns.iter()
         .map(|a| {
             a.participants
                 .as_ref()
-                .map(|v| v.iter().copied().collect::<HashSet<AsIdx>>())
+                .map(|v| v.iter().copied().collect::<BTreeSet<AsIdx>>())
         })
         .collect()
 }
@@ -674,14 +674,14 @@ mod tests {
     fn trace_and_blackhole() {
         let w = world();
         let r = propagate(&w.g, &[Announcement::simple(w.s2, pfx())]);
-        match r.trace(w.s1, &HashSet::new()) {
+        match r.trace(w.s1, &BTreeSet::new()) {
             TraceOutcome::Delivered(path) => {
                 assert_eq!(path.first(), Some(&w.s1));
                 assert_eq!(path.last(), Some(&w.s2));
             }
             other => panic!("expected delivery, got {other:?}"),
         }
-        let mut holes = HashSet::new();
+        let mut holes = BTreeSet::new();
         holes.insert(w.t1a);
         match r.trace(w.s1, &holes) {
             TraceOutcome::Dropped { at, path } => {
@@ -691,7 +691,7 @@ mod tests {
             other => panic!("expected drop, got {other:?}"),
         }
         let empty = propagate(&w.g, &[]);
-        assert_eq!(empty.trace(w.s1, &HashSet::new()), TraceOutcome::NoRoute);
+        assert_eq!(empty.trace(w.s1, &BTreeSet::new()), TraceOutcome::NoRoute);
     }
 
     #[test]
@@ -717,7 +717,7 @@ mod tests {
         let w = world();
         let r = propagate(&w.g, &[Announcement::simple(w.s2, pfx())]);
         for (_, e) in r.iter() {
-            let mut seen = HashSet::new();
+            let mut seen = BTreeSet::new();
             for hop in &e.path {
                 assert!(seen.insert(*hop), "loop in {:?}", e.path);
             }

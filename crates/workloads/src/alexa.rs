@@ -16,7 +16,7 @@
 use peering_netsim::{Prefix, SimRng};
 use peering_topology::{AsGraph, AsIdx, AsKind};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
 /// Catalog generator parameters.
@@ -173,7 +173,7 @@ impl ContentCatalog {
 
     /// Distinct FQDNs actually referenced by any page (front or resource).
     pub fn distinct_fqdns_used(&self) -> usize {
-        let mut used: HashSet<usize> = HashSet::new();
+        let mut used: BTreeSet<usize> = BTreeSet::new();
         for s in &self.sites {
             used.insert(s.main_fqdn);
             used.extend(s.resources.iter().copied());
@@ -182,8 +182,8 @@ impl ContentCatalog {
     }
 
     /// Distinct addresses behind the referenced FQDNs.
-    pub fn distinct_addresses(&self) -> HashSet<Ipv4Addr> {
-        let mut used: HashSet<usize> = HashSet::new();
+    pub fn distinct_addresses(&self) -> BTreeSet<Ipv4Addr> {
+        let mut used: BTreeSet<usize> = BTreeSet::new();
         for s in &self.sites {
             used.insert(s.main_fqdn);
             used.extend(s.resources.iter().copied());
@@ -196,18 +196,18 @@ impl ContentCatalog {
     /// §4.1 coverage stats against a set of peer-reachable ASes:
     /// `(sites_covered, resources, distinct_fqdns, distinct_ips,
     /// ips_covered)`.
-    pub fn coverage(&self, reachable: &HashSet<AsIdx>) -> CatalogCoverage {
+    pub fn coverage(&self, reachable: &BTreeSet<AsIdx>) -> CatalogCoverage {
         let sites_covered = self
             .sites
             .iter()
             .filter(|s| reachable.contains(&self.fqdns[s.main_fqdn].host_as))
             .count();
-        let mut used: HashSet<usize> = HashSet::new();
+        let mut used: BTreeSet<usize> = BTreeSet::new();
         for s in &self.sites {
             used.insert(s.main_fqdn);
             used.extend(s.resources.iter().copied());
         }
-        let mut ip_host: HashMap<Ipv4Addr, AsIdx> = HashMap::new();
+        let mut ip_host: BTreeMap<Ipv4Addr, AsIdx> = BTreeMap::new();
         for &f in &used {
             for &a in &self.fqdns[f].addrs {
                 ip_host.insert(a, self.fqdns[f].host_as);
@@ -315,8 +315,8 @@ mod tests {
     #[test]
     fn coverage_monotone_in_reachable_set() {
         let (net, cat) = catalog();
-        let nothing: HashSet<AsIdx> = HashSet::new();
-        let everything: HashSet<AsIdx> = net.graph.indices().collect();
+        let nothing: BTreeSet<AsIdx> = BTreeSet::new();
+        let everything: BTreeSet<AsIdx> = net.graph.indices().collect();
         let none = cat.coverage(&nothing);
         let all = cat.coverage(&everything);
         assert_eq!(none.sites_covered, 0);
@@ -324,7 +324,7 @@ mod tests {
         assert_eq!(all.sites_covered, cat.sites.len());
         assert_eq!(all.ips_covered, all.distinct_ips);
         // Partial set: cover only content ASes.
-        let cdns: HashSet<AsIdx> = net
+        let cdns: BTreeSet<AsIdx> = net
             .graph
             .infos()
             .filter(|(_, i)| i.kind == AsKind::Content)

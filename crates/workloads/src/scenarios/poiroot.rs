@@ -17,7 +17,7 @@ use peering_core::{Testbed, TestbedError};
 use peering_topology::routing::TraceOutcome;
 use peering_topology::AsIdx;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Results of the inference study.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -67,7 +67,7 @@ pub fn run(tb: &mut Testbed) -> Result<PoirootReport, TestbedError> {
     tb.announce(id, client.announce_everywhere())?;
 
     let vantages = pick_vantages(tb, 60);
-    let mut before: HashMap<AsIdx, Vec<AsIdx>> = HashMap::new();
+    let mut before: BTreeMap<AsIdx, Vec<AsIdx>> = BTreeMap::new();
     for &v in &vantages {
         if let TraceOutcome::Delivered(p) = tb.traceroute(v, &client.prefix) {
             before.insert(v, p);

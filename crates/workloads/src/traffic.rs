@@ -77,7 +77,7 @@ impl TrafficMatrix {
 
     /// The remotes ranked by received bytes, heaviest first.
     pub fn top_remotes(&self, k: usize) -> Vec<(AsIdx, u64)> {
-        let mut agg: std::collections::HashMap<AsIdx, u64> = std::collections::HashMap::new();
+        let mut agg: std::collections::BTreeMap<AsIdx, u64> = std::collections::BTreeMap::new();
         for f in &self.flows {
             *agg.entry(f.remote).or_insert(0) += f.rx_bytes;
         }

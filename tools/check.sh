@@ -48,4 +48,24 @@ cp "$tmpdir/abuse1.json" results/BENCH_abuse.json
 echo "==> peering-lint (static safety verification)"
 cargo run --release -q -p peering-verify --bin peering-lint
 
+echo "==> peering-analyze (determinism & concurrency contract)"
+cargo run --release -q -p peering-analysis --bin peering-analyze -- \
+  --root . --json "$tmpdir/analysis1.json"
+cargo run --release -q -p peering-analysis --bin peering-analyze -- \
+  --root . --json "$tmpdir/analysis2.json" --quiet
+cmp "$tmpdir/analysis1.json" "$tmpdir/analysis2.json" \
+  || { echo "analysis report differs between runs (nondeterministic analyzer)"; exit 1; }
+cp "$tmpdir/analysis1.json" results/BENCH_analysis.json
+
+echo "==> loom model tests (shared event queue interleavings)"
+cargo test -q -p peering-netsim --features loom --test loom_queue
+
+echo "==> miri (wire codec + RIB unit tests under the interpreter)"
+if cargo miri --version >/dev/null 2>&1; then
+  MIRIFLAGS="-Zmiri-deterministic-concurrency" \
+    cargo miri test -q -p peering-bgp -- wire:: rib::
+else
+  echo "    cargo-miri not installed; skipping (gate still enforced where available)"
+fi
+
 echo "==> all checks passed"
