@@ -1,24 +1,55 @@
-//! Measure the paper's Internet-scale Figure 2 point: 500K prefixes.
-//! (Run standalone: `cargo run --release -p peering-bench --example
-//! fig2_internet_scale`.)
+//! Measure the paper's Internet-scale Figure 2 point at the full-scale
+//! preset's table size (~524k prefixes), and record bytes/route in
+//! `results/fig2.json`.
+//!
+//! Run standalone: `cargo run --release -p peering-bench --example
+//! fig2_internet_scale`.
 
-// A benchmark that reports real elapsed wall time is the one legitimate
-// wall-clock consumer; nothing downstream of the measurement is pinned.
-#![allow(clippy::disallowed_types)]
+use peering_bench::{fmt_bytes, scale};
+use peering_topology::InternetConfig;
 
-use peering_bench::{fig2, fmt_bytes};
+/// Wall-clock milliseconds around `f` — the scoped wall-clock consumer;
+/// everything written to `results/fig2.json` is deterministic.
+#[allow(clippy::disallowed_types)]
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let v = f();
+    (v, start.elapsed().as_secs_f64() * 1e3)
+}
+
 fn main() {
-    for (peers, routes) in [(2usize, 500_000usize), (5, 500_000)] {
-        let t = std::time::Instant::now();
-        let p = fig2::measure(peers, routes);
+    // The route count the full 2014 preset targets, without paying to
+    // generate the graph itself.
+    let routes = InternetConfig::full(0).total_prefixes;
+    let mut points = Vec::new();
+    for peers in [2usize, 5] {
+        let (p, ms) = timed(|| scale::bytes_per_route(peers, routes));
         println!(
-            "{} peers x {} routes: shared {}, naive {}, distinct attrs {} ({:?})",
+            "{} peers x {} routes: shared {} ({:.1} B/route), naive {} ({:.1} B/route), \
+             {} distinct attrs ({ms:.0} ms)",
             p.peers,
             p.routes,
             fmt_bytes(p.bytes_interned),
+            p.per_route_interned,
             fmt_bytes(p.bytes_uninterned),
-            p.distinct_attrs,
-            t.elapsed()
+            p.per_route_uninterned,
+            p.distinct_attrs
         );
+        points.push(p);
     }
+
+    let report = serde_json::Value::Map(vec![
+        (
+            "full_scale_prefixes".to_string(),
+            serde_json::Value::U64(routes as u64),
+        ),
+        (
+            "points".to_string(),
+            serde_json::to_value(&points).expect("points serialize"),
+        ),
+    ]);
+    let rendered = serde_json::to_string_pretty(&report).expect("render") + "\n";
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/fig2.json", rendered).expect("write results/fig2.json");
+    println!("wrote results/fig2.json");
 }

@@ -1,0 +1,116 @@
+//! E10 driver — the full-scale fast-path benchmark.
+//!
+//! Builds a generated-Internet preset, converges it on the sequential
+//! engine, pins the parallel engine against it shard count by shard
+//! count (bitwise digest equality, checkpoints included), measures
+//! Fig. 2-style bytes/route at the preset's table size, and writes the
+//! combined report as JSON.
+//!
+//! Usage: `scale_bench [out.json] [seed] [preset] [beacons]`
+//!
+//! Wall-clock timing lives here, in an example, because the repo's
+//! determinism contract (`peering-analyze`, DESIGN.md §13) keeps
+//! `src/` clock-free. Every nondeterministic output key is prefixed
+//! `timing_` so `tools/check.sh` can strip them and byte-compare
+//! double runs.
+
+use peering_bench::scale;
+use peering_netsim::SimTime;
+use peering_topology::Internet;
+use serde_json::Value;
+
+/// Wall-clock milliseconds around `f`. The only clock in the bench.
+#[allow(clippy::disallowed_types)]
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let v = f();
+    (v, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_scale.json".to_string());
+    let seed: u64 = args.get(2).map_or(42, |s| s.parse().expect("seed"));
+    let preset_name = args.get(3).cloned().unwrap_or_else(|| "full".to_string());
+    let beacons: usize = args.get(4).map_or(6, |s| s.parse().expect("beacons"));
+    let shard_counts = [2usize, 4, 8];
+
+    eprintln!("scale_bench: building preset {preset_name:?} (seed {seed})");
+    let (net, ms_build) = timed(|| Internet::build(scale::preset(&preset_name, seed)));
+    let topo = scale::build_topo(&net, beacons);
+    eprintln!(
+        "  {} ASes, {} sessions, {} prefixes in table, {} beacons ({ms_build:.0} ms)",
+        net.graph.len(),
+        topo.session_count(),
+        net.graph.total_prefixes(),
+        topo.beacon_count()
+    );
+
+    let cks = scale::standard_checkpoints();
+    let (seq, ms_seq) = timed(|| topo.run_engine_sequential(&cks, SimTime::MAX));
+    let events_per_sec = seq.events as f64 / (ms_seq / 1e3);
+    eprintln!(
+        "  sequential: {} events, quiesced at {} us sim-time ({ms_seq:.0} ms wall, {events_per_sec:.0} events/s)",
+        seq.events,
+        seq.end_time.as_micros()
+    );
+
+    let mut all_match = true;
+    let mut parallel_ms = Vec::new();
+    for &shards in &shard_counts {
+        let (run, ms) = timed(|| topo.run_engine_parallel(shards, &cks, SimTime::MAX));
+        let ok = run == seq;
+        all_match &= ok;
+        eprintln!(
+            "  parallel x{shards}: {} events ({ms:.0} ms wall) — {}",
+            run.events,
+            if ok { "digests match" } else { "DIVERGED" }
+        );
+        parallel_ms.push((shards, ms));
+    }
+    assert!(
+        all_match,
+        "parallel engine diverged from the sequential reference"
+    );
+
+    let routes = net.graph.total_prefixes();
+    let (bytes, ms_bytes) = timed(|| scale::bytes_per_route(4, routes));
+    eprintln!(
+        "  bytes/route @ {routes} routes x 4 peers: {:.1} interned vs {:.1} naive, {} distinct attrs ({ms_bytes:.0} ms)",
+        bytes.per_route_interned, bytes.per_route_uninterned, bytes.distinct_attrs
+    );
+
+    let report = scale::report(
+        &preset_name,
+        seed,
+        &net,
+        &topo,
+        &shard_counts,
+        all_match,
+        &seq,
+        bytes,
+    );
+    let Value::Map(mut obj) = serde_json::to_value(&report).expect("report serializes") else {
+        unreachable!("a struct serializes to a map");
+    };
+    obj.push(("timing_wall_ms_build".to_string(), Value::F64(ms_build)));
+    obj.push(("timing_wall_ms_sequential".to_string(), Value::F64(ms_seq)));
+    obj.push((
+        "timing_events_per_sec_sequential".to_string(),
+        Value::F64(events_per_sec),
+    ));
+    for (shards, ms) in parallel_ms {
+        obj.push((format!("timing_wall_ms_parallel_{shards}"), Value::F64(ms)));
+    }
+    obj.push((
+        "timing_wall_ms_bytes_per_route".to_string(),
+        Value::F64(ms_bytes),
+    ));
+
+    let rendered = serde_json::to_string_pretty(&Value::Map(obj)).expect("render") + "\n";
+    std::fs::write(&out, rendered).expect("write report");
+    eprintln!("wrote {out}");
+}

@@ -170,9 +170,19 @@ mod tests {
 
     #[test]
     fn memory_grows_with_peers() {
+        // The Loc-RIB (a radix trie since the full-scale fast path
+        // landed) is a peer-independent constant in this measurement,
+        // and a bigger one than the old BTreeMap — so 5 peers vs 1
+        // yields >2x, not the >3x the flat-map era produced. The
+        // peer-linear term is the Adj-RIBs plus per-peer attributes.
         let a = measure(1, 2_000);
         let b = measure(5, 2_000);
-        assert!(b.bytes_interned > a.bytes_interned * 3);
+        assert!(
+            b.bytes_interned > a.bytes_interned * 2,
+            "5 peers {} vs 1 peer {}",
+            b.bytes_interned,
+            a.bytes_interned
+        );
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! * E8 [`safety8`] — safety-filter ablation.
 //! * E9 [`pktproc9`] — packet-processing backend ablation (VM vs the
 //!   planned lightweight API).
+//! * E10 [`scale`] — the full-scale fast path: 2014-Internet engine
+//!   convergence, sequential-vs-parallel digest pinning, bytes/route.
 
 pub mod emu42;
 pub mod fig2;
@@ -25,6 +27,7 @@ pub mod pktproc9;
 pub mod reach41;
 pub mod routedist41;
 pub mod safety8;
+pub mod scale;
 pub mod table1;
 
 /// Render a markdown table from a header and rows.

@@ -227,7 +227,7 @@ impl Community {
     pub const NO_EXPORT_SUBCONFED: Community = Community(0xFFFF_FF03);
 
     /// Build from `asn:value` halves.
-    pub fn new(asn: u16, value: u16) -> Self {
+    pub const fn new(asn: u16, value: u16) -> Self {
         Community(((asn as u32) << 16) | value as u32)
     }
 

@@ -68,10 +68,10 @@ impl DeepSize for AdjRib {
 }
 
 impl DeepSize for LocRib {
+    /// The Loc-RIB is trie-backed: charge every heap node (which embeds
+    /// its `Option<Route>` slot inline) plus an allocator header each.
     fn deep_size(&self) -> usize {
-        size_of::<LocRib>()
-            + self.len()
-                * (size_of::<peering_netsim::Prefix>() + size_of::<Route>() + BTREE_ENTRY_OVERHEAD)
+        size_of::<LocRib>() + self.node_bytes() + self.node_count() * ALLOC_HEADER
     }
 }
 

@@ -8,7 +8,7 @@
 //! sharing real BGP implementations rely on to keep that curve sane.
 
 use crate::attrs::PathAttributes;
-use peering_netsim::{Prefix, SimTime, TraceId};
+use peering_netsim::{Prefix, PrefixTrie, SimTime, TraceId};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
@@ -250,12 +250,15 @@ impl AdjRib {
 
 /// The Loc-RIB: the best route per prefix after the decision process.
 ///
-/// A `BTreeMap` so [`iter`](Self::iter) yields prefix order: Loc-RIB
-/// walks are the source of convergence digests and collector RIB dumps
-/// (`nd-hash-iter` contract).
+/// Backed by a binary radix trie ([`PrefixTrie`]) so exact lookup,
+/// longest-prefix match, and covered-range walks are `O(prefix length)`
+/// instead of map scans at full-table scale. The trie's preorder
+/// iteration equals the old `BTreeMap<Prefix, Route>` order bit for bit,
+/// so [`iter`](Self::iter) — the source of convergence digests and
+/// collector RIB dumps (`nd-hash-iter` contract) — is unchanged.
 #[derive(Debug, Clone, Default)]
 pub struct LocRib {
-    best: BTreeMap<Prefix, Route>,
+    best: PrefixTrie<Route>,
 }
 
 impl LocRib {
@@ -279,7 +282,27 @@ impl LocRib {
         self.best.get(prefix)
     }
 
-    /// All best routes.
+    /// The most specific best route covering `addr`.
+    pub fn longest_match(&self, addr: std::net::IpAddr) -> Option<&Route> {
+        self.best.longest_match(addr).map(|(_, r)| r)
+    }
+
+    /// All best routes covered by `prefix` (including the exact entry),
+    /// in prefix order.
+    pub fn covered<'a>(&'a self, prefix: &Prefix) -> impl Iterator<Item = &'a Route> {
+        self.best.covered(prefix).map(|(_, r)| r)
+    }
+
+    /// All best routes whose prefix covers `prefix`, shortest first.
+    pub fn covering(&self, prefix: &Prefix) -> Vec<&Route> {
+        self.best
+            .covering(prefix)
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect()
+    }
+
+    /// All best routes, in prefix order.
     pub fn iter(&self) -> impl Iterator<Item = &Route> {
         self.best.values()
     }
@@ -294,11 +317,22 @@ impl LocRib {
         self.best.is_empty()
     }
 
+    /// Trie nodes backing the table (memory accounting).
+    pub fn node_count(&self) -> usize {
+        self.best.node_count()
+    }
+
+    /// Bytes held in trie nodes (memory accounting, excluding allocator
+    /// headers).
+    pub fn node_bytes(&self) -> usize {
+        self.best.node_bytes()
+    }
+
     /// Structural invariants: every best route is stored under its own
     /// prefix.
     pub fn check_invariants(&self) -> Result<(), String> {
-        for (prefix, route) in &self.best {
-            if route.prefix != *prefix {
+        for (prefix, route) in self.best.iter() {
+            if route.prefix != prefix {
                 return Err(format!(
                     "best route keyed under {prefix} carries prefix {}",
                     route.prefix

@@ -69,6 +69,12 @@ pub struct SpeakerConfig {
     /// Automatic reconnection after session loss. Each peer session gets
     /// its own deterministic jitter stream forked from this seed.
     pub connect_retry: Option<ConnectRetryConfig>,
+    /// MRAI-style update packing (RFC 4271 §9.2.1.1, simplified to a
+    /// per-peer batch timer): export deltas are staged per peer and
+    /// flushed as packed multi-NLRI UPDATEs when the interval expires.
+    /// `None` (the default) emits every delta immediately, which is the
+    /// historical behaviour every golden is pinned to.
+    pub mrai: Option<SimDuration>,
 }
 
 impl SpeakerConfig {
@@ -83,7 +89,14 @@ impl SpeakerConfig {
             intern_attrs: true,
             hold_time: SimDuration::from_secs(90),
             connect_retry: None,
+            mrai: None,
         }
+    }
+
+    /// Enable MRAI-style update packing with the given interval.
+    pub fn with_mrai(mut self, interval: SimDuration) -> Self {
+        self.mrai = Some(interval);
+        self
     }
 
     /// Enable automatic reconnection with backed-off retries.
@@ -288,6 +301,26 @@ struct StaleState {
     keys: BTreeSet<(Prefix, u32)>,
 }
 
+/// One staged export delta awaiting an MRAI flush. Keyed by [`Nlri`] in
+/// `PeerState::pending`, so a later delta for the same NLRI supersedes an
+/// earlier one — packing never changes the peer's final state, only how
+/// many UPDATE messages carry it.
+#[derive(Debug, Clone)]
+enum PendingDelta {
+    /// Withdraw the NLRI.
+    Withdraw {
+        /// Provenance cause of the withdrawal.
+        trace: Option<TraceId>,
+    },
+    /// Announce the NLRI with these (already exported) attributes.
+    Announce {
+        /// Attributes as they will appear on the wire.
+        attrs: Arc<PathAttributes>,
+        /// Provenance id of the announcement.
+        trace: Option<TraceId>,
+    },
+}
+
 struct PeerState {
     cfg: PeerConfig,
     session: Session,
@@ -300,6 +333,10 @@ struct PeerState {
     stale: Option<StaleState>,
     /// The max-prefix warning threshold already fired this session.
     max_prefix_warned: bool,
+    /// Staged export deltas (MRAI packing); empty when `cfg.mrai` is off.
+    pending: BTreeMap<Nlri, PendingDelta>,
+    /// When the pending batch flushes; `None` when nothing is staged.
+    mrai_deadline: Option<SimTime>,
 }
 
 /// A complete BGP router.
@@ -480,6 +517,8 @@ impl Speaker {
             suppressed: BTreeSet::new(),
             stale: None,
             max_prefix_warned: false,
+            pending: BTreeMap::new(),
+            mrai_deadline: None,
             cfg,
         };
         self.peers.insert(state.cfg.id, state);
@@ -652,6 +691,11 @@ impl Speaker {
             if state.stale.as_ref().is_some_and(|st| now >= st.deadline) {
                 out.extend(self.finish_graceful_restart(id, now));
             }
+            // MRAI timer: flush the staged batch once the interval is up.
+            let state = self.peers.get_mut(&id).expect("peer exists");
+            if state.mrai_deadline.is_some_and(|d| now >= d) {
+                out.extend(self.flush_mrai(id));
+            }
         }
         debug_assert_eq!(
             self.check_invariants(),
@@ -667,11 +711,14 @@ impl Speaker {
         self.peers
             .values()
             .map(|p| {
-                let s = p.session.next_deadline();
-                match &p.stale {
-                    Some(st) => s.min(st.deadline),
-                    None => s,
+                let mut s = p.session.next_deadline();
+                if let Some(st) = &p.stale {
+                    s = s.min(st.deadline);
                 }
+                if let Some(d) = p.mrai_deadline {
+                    s = s.min(d);
+                }
+                s
             })
             .min()
             .unwrap_or(SimTime::MAX)
@@ -700,6 +747,9 @@ impl Speaker {
                 state.adj_out.clear();
                 state.suppressed.clear();
                 state.max_prefix_warned = false;
+                // Staged deltas are for the dead session; drop them.
+                state.pending.clear();
+                state.mrai_deadline = None;
                 if let Some(restart_time) = state.cfg.graceful_restart {
                     // RFC 4724: mark the peer's paths stale but keep
                     // forwarding along them. A second loss inside the
@@ -1345,6 +1395,7 @@ impl Speaker {
                 .map(|n| n.add_path_tx)
                 .unwrap_or(false);
             let desired = self.desired_exports(state, &prefix, now);
+            let desired = self.intern_exports(desired);
             let state = self.peers.get_mut(&id).expect("peer exists");
 
             let current_ids: Vec<u32> = state.adj_out.paths(&prefix).map(|r| r.path_id).collect();
@@ -1362,28 +1413,20 @@ impl Speaker {
                     });
                 }
             }
-            if !withdrawals.is_empty() {
-                state.session.note_update_sent();
-                self.updates_sent += 1;
-                self.telemetry.counter_inc("bgp.speaker.updates_out");
-                if self.provenance.is_enabled() {
-                    self.provenance.record(
-                        now,
-                        self.cfg.asn,
-                        ProvenanceEvent::WithdrawSent {
-                            to_peer: id,
-                            to_asn: state.cfg.asn,
-                            prefix,
-                            trace: cause,
-                        },
-                    );
-                }
-                out.push(Output::Send(
-                    id,
-                    BgpMessage::Update(UpdateMessage::withdraw(withdrawals).with_trace(cause)),
-                ));
+            if !withdrawals.is_empty() && self.provenance.is_enabled() {
+                self.provenance.record(
+                    now,
+                    self.cfg.asn,
+                    ProvenanceEvent::WithdrawSent {
+                        to_peer: id,
+                        to_asn: state.cfg.asn,
+                        prefix,
+                        trace: cause,
+                    },
+                );
             }
             // Announce new or changed paths.
+            let mut announces = Vec::new();
             for route in desired {
                 let unchanged = state
                     .adj_out
@@ -1398,10 +1441,6 @@ impl Speaker {
                 } else {
                     Nlri::plain(prefix)
                 };
-                let msg = BgpMessage::Update(
-                    UpdateMessage::announce(Arc::clone(&route.attrs), vec![nlri])
-                        .with_trace(route.trace),
-                );
                 if self.provenance.is_enabled() {
                     self.provenance.record(
                         now,
@@ -1416,12 +1455,153 @@ impl Speaker {
                         },
                     );
                 }
+                announces.push((nlri, Arc::clone(&route.attrs), route.trace));
                 state.adj_out.insert(route);
-                state.session.note_update_sent();
-                self.updates_sent += 1;
-                self.telemetry.counter_inc("bgp.speaker.updates_out");
-                out.push(Output::Send(id, msg));
             }
+            out.extend(self.emit_or_stage(id, withdrawals, cause, announces, now));
+        }
+        out
+    }
+
+    /// Canonicalize exported attribute allocations through the interner:
+    /// identical attribute sets across Adj-RIB-Out entries (and the
+    /// receiving speakers' Adj-RIB-Ins, which hold the same `Arc`s) share
+    /// one allocation. Values are untouched, so behaviour and digests are
+    /// bit-identical with interning on or off.
+    fn intern_exports(&mut self, mut desired: Vec<Route>) -> Vec<Route> {
+        for route in &mut desired {
+            route.attrs = self.interner.intern_arc(Arc::clone(&route.attrs));
+        }
+        desired
+    }
+
+    /// Emit export deltas toward `id` immediately, or stage them for the
+    /// peer's MRAI flush when packing is configured. Counters track
+    /// emitted UPDATE messages, so they move to the flush in packed mode.
+    fn emit_or_stage(
+        &mut self,
+        id: PeerId,
+        withdrawals: Vec<Nlri>,
+        withdraw_trace: Option<TraceId>,
+        announces: Vec<(Nlri, Arc<PathAttributes>, Option<TraceId>)>,
+        now: SimTime,
+    ) -> Vec<Output> {
+        if withdrawals.is_empty() && announces.is_empty() {
+            return Vec::new();
+        }
+        match self.cfg.mrai {
+            None => {
+                let state = self.peers.get_mut(&id).expect("peer exists");
+                let mut out = Vec::new();
+                if !withdrawals.is_empty() {
+                    state.session.note_update_sent();
+                    self.updates_sent += 1;
+                    self.telemetry.counter_inc("bgp.speaker.updates_out");
+                    out.push(Output::Send(
+                        id,
+                        BgpMessage::Update(
+                            UpdateMessage::withdraw(withdrawals).with_trace(withdraw_trace),
+                        ),
+                    ));
+                }
+                for (nlri, attrs, trace) in announces {
+                    state.session.note_update_sent();
+                    self.updates_sent += 1;
+                    self.telemetry.counter_inc("bgp.speaker.updates_out");
+                    out.push(Output::Send(
+                        id,
+                        BgpMessage::Update(
+                            UpdateMessage::announce(attrs, vec![nlri]).with_trace(trace),
+                        ),
+                    ));
+                }
+                out
+            }
+            Some(interval) => {
+                let state = self.peers.get_mut(&id).expect("peer exists");
+                for nlri in withdrawals {
+                    state.pending.insert(
+                        nlri,
+                        PendingDelta::Withdraw {
+                            trace: withdraw_trace,
+                        },
+                    );
+                }
+                for (nlri, attrs, trace) in announces {
+                    state
+                        .pending
+                        .insert(nlri, PendingDelta::Announce { attrs, trace });
+                }
+                // First staged delta arms the timer; later ones ride the
+                // existing deadline so a busy peer still flushes.
+                if state.mrai_deadline.is_none() {
+                    state.mrai_deadline = Some(now + interval);
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    /// Flush `id`'s staged export deltas as packed UPDATEs: withdrawals
+    /// grouped by provenance trace, announcements grouped by (attribute
+    /// allocation, trace), each group one multi-NLRI message. Iteration
+    /// is over a `BTreeMap` keyed by [`Nlri`] and group order is
+    /// first-seen, so the packing is deterministic.
+    fn flush_mrai(&mut self, id: PeerId) -> Vec<Output> {
+        let Some(state) = self.peers.get_mut(&id) else {
+            return Vec::new();
+        };
+        state.mrai_deadline = None;
+        if state.pending.is_empty() {
+            return Vec::new();
+        }
+        let pending = std::mem::take(&mut state.pending);
+        let mut withdraw_groups: Vec<(Option<TraceId>, Vec<Nlri>)> = Vec::new();
+        let mut announce_groups: Vec<(Arc<PathAttributes>, Option<TraceId>, Vec<Nlri>)> =
+            Vec::new();
+        // Indexes are lookup-only (never iterated), so the HashMap does
+        // not enter any ordered output; group order comes from the Vecs.
+        let mut wd_index: std::collections::HashMap<Option<u64>, usize> =
+            std::collections::HashMap::new();
+        let mut ann_index: std::collections::HashMap<(usize, Option<u64>), usize> =
+            std::collections::HashMap::new();
+        for (nlri, delta) in pending {
+            match delta {
+                PendingDelta::Withdraw { trace } => {
+                    let slot = *wd_index.entry(trace.map(|t| t.0)).or_insert_with(|| {
+                        withdraw_groups.push((trace, Vec::new()));
+                        withdraw_groups.len() - 1
+                    });
+                    withdraw_groups[slot].1.push(nlri);
+                }
+                PendingDelta::Announce { attrs, trace } => {
+                    let key = (Arc::as_ptr(&attrs) as usize, trace.map(|t| t.0));
+                    let slot = *ann_index.entry(key).or_insert_with(|| {
+                        announce_groups.push((attrs, trace, Vec::new()));
+                        announce_groups.len() - 1
+                    });
+                    announce_groups[slot].2.push(nlri);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for (trace, nlris) in withdraw_groups {
+            state.session.note_update_sent();
+            self.updates_sent += 1;
+            self.telemetry.counter_inc("bgp.speaker.updates_out");
+            out.push(Output::Send(
+                id,
+                BgpMessage::Update(UpdateMessage::withdraw(nlris).with_trace(trace)),
+            ));
+        }
+        for (attrs, trace, nlris) in announce_groups {
+            state.session.note_update_sent();
+            self.updates_sent += 1;
+            self.telemetry.counter_inc("bgp.speaker.updates_out");
+            out.push(Output::Send(
+                id,
+                BgpMessage::Update(UpdateMessage::announce(attrs, nlris).with_trace(trace)),
+            ));
         }
         out
     }
@@ -1436,6 +1616,9 @@ impl Speaker {
         for prefix in prefixes {
             out.extend(self.export_one_peer(prefix, peer, now));
         }
+        // Initial sync is not rate-limited: flush anything the per-prefix
+        // exports staged so the full table precedes the End-of-RIB marker.
+        out.extend(self.flush_mrai(peer));
         // End-of-RIB marker.
         out.push(Output::Send(
             peer,
@@ -1463,8 +1646,9 @@ impl Speaker {
             .map(|n| n.add_path_tx)
             .unwrap_or(false);
         let desired = self.desired_exports(state, &prefix, now);
+        let desired = self.intern_exports(desired);
         let state = self.peers.get_mut(&id).expect("peer exists");
-        let mut out = Vec::new();
+        let mut announces = Vec::new();
         for route in desired {
             let unchanged = state
                 .adj_out
@@ -1479,10 +1663,6 @@ impl Speaker {
             } else {
                 Nlri::plain(prefix)
             };
-            let msg = BgpMessage::Update(
-                UpdateMessage::announce(Arc::clone(&route.attrs), vec![nlri])
-                    .with_trace(route.trace),
-            );
             if self.provenance.is_enabled() {
                 self.provenance.record(
                     now,
@@ -1497,13 +1677,10 @@ impl Speaker {
                     },
                 );
             }
+            announces.push((nlri, Arc::clone(&route.attrs), route.trace));
             state.adj_out.insert(route);
-            state.session.note_update_sent();
-            self.updates_sent += 1;
-            self.telemetry.counter_inc("bgp.speaker.updates_out");
-            out.push(Output::Send(id, msg));
         }
-        out
+        self.emit_or_stage(id, Vec::new(), None, announces, now)
     }
 
     /// Check cross-structure consistency: every per-peer session, RIB and

@@ -1,0 +1,764 @@
+//! Deterministic event engines: sequential reference and sharded parallel.
+//!
+//! The parallel engine partitions nodes across worker shards behind a
+//! *conservative sim-time barrier* (classic conservative parallel DES):
+//! each round, the shards agree on the global minimum pending event time
+//! `T` and then independently process only the window `[T, T + L)`, where
+//! the lookahead `L` is a lower bound on every cross-shard delivery
+//! delay. A message sent while processing that window is delivered no
+//! earlier than `T + L`, i.e. never inside the window being processed —
+//! so no shard can receive an event "from the past", and every shard's
+//! pop sequence equals the sequential engine's global pop sequence
+//! restricted to that shard's nodes. An end-of-round barrier fences the
+//! window against the next round's minimum computation: every
+//! cross-shard send must land in its inbox before any shard measures
+//! its pending minimum, or an in-flight event could undercut the agreed
+//! window start.
+//!
+//! Determinism does not come for free from the barrier alone; two more
+//! choices pin it down:
+//!
+//! * **Total event order.** Every event is keyed `(time, from, seq)`
+//!   where `seq` is a per-source counter. Unlike the global push-order
+//!   `seq` in [`EventQueue`](crate::queue::EventQueue), this key is a
+//!   pure function of simulation history, not of thread interleaving.
+//!   Both engines pop in this key order, so per-destination delivery
+//!   order — the only thing node state can depend on — is identical.
+//! * **Re-sort on drain.** Cross-shard envelopes travel through
+//!   [`SharedEventQueue`] inboxes whose internal order depends on lock
+//!   acquisition; the receiving shard drains its inbox into its local
+//!   heap (keyed by the full `(time, from, seq)`) before each window,
+//!   erasing the arrival interleaving.
+//!
+//! The primary oracle for all of this is differential: `run_parallel`
+//! must produce bitwise-identical checkpoint and final digests to
+//! `run_sequential` for every topology, seed, and shard count (see
+//! `peering-workloads`' differential tests and the scale bench).
+
+use crate::queue::SharedEventQueue;
+use crate::sync::{Condvar, Mutex};
+use crate::time::{SimDuration, SimTime};
+use crate::transport::NodeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A node hosted by an engine. Implementations must be deterministic:
+/// outputs a pure function of construction arguments and the sequence of
+/// `(now, from, msg)` deliveries.
+pub trait EngineNode {
+    /// Message type exchanged between nodes. `Send` because cross-shard
+    /// envelopes migrate between worker threads (nodes themselves never
+    /// do — each is built and dropped on its owning shard's thread).
+    type Msg: Send;
+
+    /// Called once at `SimTime::ZERO`, before any event, to seed the
+    /// initial schedule (session starts, originations, first timers).
+    fn on_start(&mut self, out: &mut Outbox<Self::Msg>);
+
+    /// Deliver one event.
+    fn on_event(&mut self, now: SimTime, from: NodeId, msg: Self::Msg, out: &mut Outbox<Self::Msg>);
+
+    /// A deterministic 64-bit digest of the node's externally-relevant
+    /// state (for BGP nodes: the Loc-RIB digest).
+    fn digest(&self) -> u64;
+}
+
+/// Messages staged by a node during one callback, in emission order.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    staged: Vec<(NodeId, SimDuration, M)>,
+}
+
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Outbox<M> {
+    /// An empty outbox.
+    pub fn new() -> Self {
+        Outbox { staged: Vec::new() }
+    }
+
+    /// Schedule `msg` for delivery to `to` after `delay`. A node may send
+    /// to itself (timers); cross-shard sends must respect the engine's
+    /// lookahead (enforced by `run_parallel`).
+    pub fn send(&mut self, to: NodeId, delay: SimDuration, msg: M) {
+        self.staged.push((to, delay, msg));
+    }
+
+    fn drain(&mut self) -> std::vec::Drain<'_, (NodeId, SimDuration, M)> {
+        self.staged.drain(..)
+    }
+}
+
+/// One scheduled event, totally ordered by `(time, from, seq)`.
+#[derive(Debug)]
+pub struct SimEvent<M> {
+    /// Delivery time.
+    pub time: SimTime,
+    /// Emitting node.
+    pub from: NodeId,
+    /// Per-source emission counter (unique per `from`).
+    pub seq: u64,
+    /// Destination node.
+    pub to: NodeId,
+    /// Payload.
+    pub msg: M,
+}
+
+impl<M> SimEvent<M> {
+    fn key(&self) -> (SimTime, NodeId, u64) {
+        (self.time, self.from, self.seq)
+    }
+}
+
+impl<M> PartialEq for SimEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<M> Eq for SimEvent<M> {}
+impl<M> PartialOrd for SimEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for SimEvent<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so BinaryHeap pops the smallest key first.
+        other.key().cmp(&self.key())
+    }
+}
+
+/// The observable outcome of an engine run. Two runs over the same nodes
+/// agree iff these compare equal — this is what the differential harness
+/// asserts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineRun {
+    /// Events delivered (`on_event` invocations).
+    pub events: u64,
+    /// Time of the last delivered event.
+    pub end_time: SimTime,
+    /// `(checkpoint time, digest)` pairs: the fold of all node digests
+    /// after every event strictly before the checkpoint time, in request
+    /// order.
+    pub checkpoints: Vec<(SimTime, u64)>,
+    /// Digest fold at quiescence.
+    pub final_digest: u64,
+}
+
+/// FNV-1a fold of per-node digests in `NodeId` order. FNV is sequential
+/// by construction, so the fold is always computed centrally from the
+/// ordered per-node values rather than merged pairwise.
+fn fold_digests(digests: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for d in digests {
+        for b in d.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> crate::sync::MutexGuard<'a, T> {
+    // A poisoned lock means a sibling shard panicked; state under these
+    // locks is only ever replaced wholesale, so recover rather than
+    // cascade the panic into an opaque PoisonError.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Run the reference sequential engine over `n` nodes built by
+/// `make_node`, recording a digest at each requested checkpoint time and
+/// stopping at quiescence (or after `max_time`).
+pub fn run_sequential<N, F>(
+    n: usize,
+    make_node: F,
+    checkpoints: &[SimTime],
+    max_time: SimTime,
+) -> EngineRun
+where
+    N: EngineNode,
+    F: Fn(NodeId) -> N,
+{
+    let mut nodes: Vec<N> = (0..n).map(|i| make_node(NodeId(i as u32))).collect();
+    let mut seqs: Vec<u64> = vec![0; n];
+    let mut heap: BinaryHeap<SimEvent<N::Msg>> = BinaryHeap::new();
+    let mut out = Outbox::new();
+
+    for (i, node) in nodes.iter_mut().enumerate() {
+        node.on_start(&mut out);
+        for (to, delay, msg) in out.drain() {
+            let seq = seqs[i];
+            seqs[i] += 1;
+            heap.push(SimEvent {
+                time: SimTime::ZERO + delay,
+                from: NodeId(i as u32),
+                seq,
+                to,
+                msg,
+            });
+        }
+    }
+
+    let mut run = EngineRun {
+        events: 0,
+        end_time: SimTime::ZERO,
+        checkpoints: Vec::new(),
+        final_digest: 0,
+    };
+    let mut next_ck = 0;
+    loop {
+        let pending = heap.peek().map(|e| e.time);
+        let horizon = match pending {
+            Some(t) if t <= max_time => t,
+            _ => SimTime::MAX,
+        };
+        while next_ck < checkpoints.len() && checkpoints[next_ck] <= horizon {
+            let digests: Vec<u64> = nodes.iter().map(EngineNode::digest).collect();
+            run.checkpoints
+                .push((checkpoints[next_ck], fold_digests(&digests)));
+            next_ck += 1;
+        }
+        if horizon == SimTime::MAX {
+            break;
+        }
+        let ev = heap.pop().expect("horizon came from a pending event");
+        run.events += 1;
+        run.end_time = ev.time;
+        let dst = ev.to.0 as usize;
+        nodes[dst].on_event(ev.time, ev.from, ev.msg, &mut out);
+        for (to, delay, msg) in out.drain() {
+            let seq = seqs[dst];
+            seqs[dst] += 1;
+            heap.push(SimEvent {
+                time: ev.time + delay,
+                from: ev.to,
+                seq,
+                to,
+                msg,
+            });
+        }
+    }
+    let digests: Vec<u64> = nodes.iter().map(EngineNode::digest).collect();
+    run.final_digest = fold_digests(&digests);
+    run
+}
+
+/// A reusable all-shards barrier whose last arriver runs a decision
+/// closure under the barrier lock; every party returns a clone of the
+/// decision. This is the only control-flow synchronization the parallel
+/// engine uses, and it is built on [`crate::sync`] so the loom tests can
+/// model-check it.
+pub struct EpochBarrier<T> {
+    state: Mutex<BarrierState<T>>,
+    cv: Condvar,
+    parties: usize,
+}
+
+#[derive(Debug)]
+struct BarrierState<T> {
+    arrived: usize,
+    generation: u64,
+    result: Option<T>,
+    poisoned: bool,
+}
+
+impl<T: Clone> EpochBarrier<T> {
+    /// A barrier for `parties` participants (must be nonzero).
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "a barrier needs at least one party");
+        EpochBarrier {
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                result: None,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+            parties,
+        }
+    }
+
+    /// Block until all parties have arrived; the last arriver evaluates
+    /// `decide` (exactly once per epoch, under the barrier lock) and all
+    /// parties return its value.
+    ///
+    /// Panics if the barrier was [`poison`](Self::poison)ed — a party
+    /// died, so the epoch can never complete.
+    pub fn arrive_and_decide<F: FnOnce() -> T>(&self, decide: F) -> T {
+        let mut g = lock(&self.state);
+        assert!(!g.poisoned, "epoch barrier poisoned: a party died");
+        let gen = g.generation;
+        g.arrived += 1;
+        if g.arrived == self.parties {
+            let value = decide();
+            g.result = Some(value.clone());
+            g.arrived = 0;
+            g.generation += 1;
+            self.cv.notify_all();
+            return value;
+        }
+        while g.generation == gen {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+            assert!(!g.poisoned, "epoch barrier poisoned: a party died");
+        }
+        g.result.clone().expect("deciding arriver stored a result")
+    }
+
+    /// Mark the barrier unusable and wake every waiter: a party is never
+    /// going to arrive (it panicked), so blocked siblings must abort
+    /// instead of waiting forever.
+    pub fn poison(&self) {
+        let mut g = lock(&self.state);
+        g.poisoned = true;
+        self.cv.notify_all();
+    }
+}
+
+/// One round's plan, decided at the first barrier of the round.
+#[derive(Debug, Clone, Copy)]
+struct RoundPlan {
+    /// Global minimum pending event time (window start), `SimTime::MAX`
+    /// at quiescence.
+    window_start: SimTime,
+    /// All shards must publish digests this round (a checkpoint fires or
+    /// the run is finishing).
+    need_digests: bool,
+    /// The run is over (quiescent or past `max_time`).
+    done: bool,
+}
+
+/// Coordination state shared by all shards of one parallel run.
+struct ParShared<M> {
+    /// Per-shard cross-shard inboxes (the `SharedEventQueue` seam).
+    inboxes: Vec<SharedEventQueue<SimEvent<M>>>,
+    /// Per-shard minimum pending event time, republished every round.
+    mins: Mutex<Vec<SimTime>>,
+    /// Per-node digest slots, written only on `need_digests` rounds.
+    digests: Mutex<Vec<u64>>,
+    /// Accumulated run record.
+    record: Mutex<RunRecord>,
+    /// Round-plan barrier (drain + min-publish complete ⇒ decide plan).
+    plan: EpochBarrier<RoundPlan>,
+    /// Digest barrier (digest slots written ⇒ fold and record).
+    fold: EpochBarrier<()>,
+    /// End-of-round barrier: every cross-shard send of round `k` must be
+    /// in its destination inbox before any shard drains for round `k+1`.
+    /// Without it, an in-flight event below the next global minimum is
+    /// invisible to the round plan and gets processed out of order.
+    round_end: EpochBarrier<()>,
+    /// First engine-detected protocol violation (lookahead breach),
+    /// re-raised by `run_parallel` with its original message after the
+    /// shard panic has been contained.
+    violation: Mutex<Option<String>>,
+}
+
+impl<M> ParShared<M> {
+    /// Wake every sibling blocked on any engine barrier; called when a
+    /// shard dies so the run aborts instead of deadlocking.
+    fn poison_all(&self) {
+        self.plan.poison();
+        self.fold.poison();
+        self.round_end.poison();
+    }
+}
+
+#[derive(Debug)]
+struct RunRecord {
+    events: u64,
+    end_time: SimTime,
+    checkpoints: Vec<(SimTime, u64)>,
+    next_ck: usize,
+    final_digest: u64,
+}
+
+/// Run the sharded parallel engine. Must produce an [`EngineRun`] equal
+/// to [`run_sequential`]'s for the same `n`/`make_node`/`checkpoints`.
+///
+/// `make_node` is called on the owning shard's worker thread (nodes need
+/// not be `Send`); `lookahead` must be positive and no larger than every
+/// cross-shard delivery delay — a cross-shard send below it panics,
+/// because it would break the barrier invariant silently otherwise.
+pub fn run_parallel<N, F>(
+    n: usize,
+    make_node: F,
+    shards: usize,
+    lookahead: SimDuration,
+    checkpoints: &[SimTime],
+    max_time: SimTime,
+) -> EngineRun
+where
+    N: EngineNode,
+    F: Fn(NodeId) -> N + Sync,
+    N::Msg: Send,
+{
+    assert!(shards > 0, "need at least one shard");
+    assert!(
+        lookahead > SimDuration::ZERO,
+        "conservative windows need a positive lookahead"
+    );
+    let shards = shards.min(n.max(1));
+    // Contiguous node partition: shard s owns [s*n/shards, (s+1)*n/shards).
+    let bounds: Vec<usize> = (0..=shards).map(|s| s * n / shards).collect();
+    let shard_of: Vec<usize> = (0..n)
+        .map(|i| bounds.partition_point(|&b| b <= i) - 1)
+        .collect();
+
+    let shared: ParShared<N::Msg> = ParShared {
+        inboxes: (0..shards).map(|_| SharedEventQueue::new()).collect(),
+        mins: Mutex::new(vec![SimTime::MAX; shards]),
+        digests: Mutex::new(vec![0; n]),
+        record: Mutex::new(RunRecord {
+            events: 0,
+            end_time: SimTime::ZERO,
+            checkpoints: Vec::new(),
+            next_ck: 0,
+            final_digest: 0,
+        }),
+        plan: EpochBarrier::new(shards),
+        fold: EpochBarrier::new(shards),
+        round_end: EpochBarrier::new(shards),
+        violation: Mutex::new(None),
+    };
+
+    let scope_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|scope| {
+            for s in 0..shards {
+                let shared = &shared;
+                let make_node = &make_node;
+                let shard_of = &shard_of;
+                let range = bounds[s]..bounds[s + 1];
+                scope.spawn(move || {
+                    // A shard that dies (node panic, invariant breach)
+                    // must poison the barriers on its way out, or its
+                    // siblings block forever waiting for it to arrive.
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_shard(
+                            s,
+                            range,
+                            make_node,
+                            shared,
+                            shard_of,
+                            lookahead,
+                            checkpoints,
+                            max_time,
+                        );
+                    }));
+                    if let Err(payload) = r {
+                        shared.poison_all();
+                        std::panic::resume_unwind(payload);
+                    }
+                });
+            }
+        });
+    }));
+    if let Err(payload) = scope_result {
+        // `thread::scope` replaces scoped-thread panics with a generic
+        // payload; surface the engine's own diagnosis when there is one.
+        match lock(&shared.violation).take() {
+            Some(msg) => panic!("{msg}"),
+            None => std::panic::resume_unwind(payload),
+        }
+    }
+
+    let rec = lock(&shared.record);
+    EngineRun {
+        events: rec.events,
+        end_time: rec.end_time,
+        checkpoints: rec.checkpoints.clone(),
+        final_digest: rec.final_digest,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_shard<N, F>(
+    shard: usize,
+    range: std::ops::Range<usize>,
+    make_node: &F,
+    shared: &ParShared<N::Msg>,
+    shard_of: &[usize],
+    lookahead: SimDuration,
+    checkpoints: &[SimTime],
+    max_time: SimTime,
+) where
+    N: EngineNode,
+    F: Fn(NodeId) -> N,
+{
+    let base = range.start;
+    let mut nodes: Vec<N> = range.clone().map(|i| make_node(NodeId(i as u32))).collect();
+    let mut seqs: Vec<u64> = vec![0; nodes.len()];
+    let mut heap: BinaryHeap<SimEvent<N::Msg>> = BinaryHeap::new();
+    let mut out = Outbox::new();
+    let mut local_events: u64 = 0;
+    let mut local_end = SimTime::ZERO;
+
+    let route = |from_local: usize,
+                 now: SimTime,
+                 out: &mut Outbox<N::Msg>,
+                 seqs: &mut Vec<u64>,
+                 heap: &mut BinaryHeap<SimEvent<N::Msg>>| {
+        for (to, delay, msg) in out.drain() {
+            let seq = seqs[from_local];
+            seqs[from_local] += 1;
+            let ev = SimEvent {
+                time: now + delay,
+                from: NodeId((base + from_local) as u32),
+                seq,
+                to,
+                msg,
+            };
+            let dest_shard = shard_of[to.0 as usize];
+            if dest_shard == shard {
+                heap.push(ev);
+            } else {
+                if delay < lookahead {
+                    let msg = format!(
+                        "cross-shard send below the lookahead breaks the barrier invariant \
+                         ({from} -> {to} delay {delay:?} < {lookahead:?})",
+                        from = ev.from,
+                        to = ev.to,
+                    );
+                    lock(&shared.violation).get_or_insert(msg.clone());
+                    panic!("{msg}");
+                }
+                shared.inboxes[dest_shard].push(ev.time, ev);
+            }
+        }
+    };
+
+    for (li, node) in nodes.iter_mut().enumerate() {
+        node.on_start(&mut out);
+        route(li, SimTime::ZERO, &mut out, &mut seqs, &mut heap);
+    }
+
+    loop {
+        // Drain the inbox into the locally-ordered heap: arrival
+        // interleaving is erased by the (time, from, seq) re-sort.
+        while let Some((_, ev)) = shared.inboxes[shard].pop() {
+            heap.push(ev);
+        }
+        let local_min = heap.peek().map_or(SimTime::MAX, |e| e.time);
+        lock(&shared.mins)[shard] = local_min;
+
+        let plan = shared.plan.arrive_and_decide(|| {
+            let mins = lock(&shared.mins);
+            let window_start = mins.iter().copied().min().unwrap_or(SimTime::MAX);
+            let done = window_start == SimTime::MAX || window_start > max_time;
+            let horizon = if done { SimTime::MAX } else { window_start };
+            let rec = lock(&shared.record);
+            let need_digests =
+                done || (rec.next_ck < checkpoints.len() && checkpoints[rec.next_ck] <= horizon);
+            RoundPlan {
+                window_start,
+                need_digests,
+                done,
+            }
+        });
+
+        if plan.need_digests {
+            {
+                let mut slots = lock(&shared.digests);
+                for (li, node) in nodes.iter().enumerate() {
+                    slots[base + li] = node.digest();
+                }
+            }
+            shared.fold.arrive_and_decide(|| {
+                let slots = lock(&shared.digests);
+                let folded = fold_digests(&slots);
+                let mut rec = lock(&shared.record);
+                let horizon = if plan.done {
+                    SimTime::MAX
+                } else {
+                    plan.window_start
+                };
+                while rec.next_ck < checkpoints.len() && checkpoints[rec.next_ck] <= horizon {
+                    let at = checkpoints[rec.next_ck];
+                    rec.checkpoints.push((at, folded));
+                    rec.next_ck += 1;
+                }
+                if plan.done {
+                    rec.final_digest = folded;
+                }
+            });
+        }
+
+        if plan.done {
+            break;
+        }
+
+        // Process the conservative window [T, T + L).
+        let window_end = plan.window_start + lookahead;
+        while heap.peek().is_some_and(|e| e.time < window_end) {
+            let ev = heap.pop().expect("peek said so");
+            local_events += 1;
+            local_end = ev.time;
+            let li = ev.to.0 as usize - base;
+            nodes[li].on_event(ev.time, ev.from, ev.msg, &mut out);
+            route(li, ev.time, &mut out, &mut seqs, &mut heap);
+        }
+
+        // Publish-before-drain fence: the next round's minima must see
+        // every event this round emitted, or the plan undercounts.
+        shared.round_end.arrive_and_decide(|| ());
+    }
+
+    let mut rec = lock(&shared.record);
+    rec.events += local_events;
+    rec.end_time = rec.end_time.max(local_end);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A token-passing ring: node i forwards a counter to (i+1) % n with
+    /// a fixed delay, `hops` times, folding everything it saw into a
+    /// little state hash.
+    struct RingNode {
+        id: NodeId,
+        n: u32,
+        hops: u32,
+        acc: u64,
+    }
+
+    impl EngineNode for RingNode {
+        type Msg = u32;
+
+        fn on_start(&mut self, out: &mut Outbox<u32>) {
+            if self.id.0 == 0 {
+                out.send(self.id, SimDuration::from_millis(1), 0);
+            }
+        }
+
+        fn on_event(&mut self, now: SimTime, from: NodeId, hop: u32, out: &mut Outbox<u32>) {
+            self.acc = self
+                .acc
+                .wrapping_mul(0x100_0000_01b3)
+                .wrapping_add(u64::from(hop))
+                .wrapping_add(u64::from(from.0))
+                .wrapping_add(now.since(SimTime::ZERO).as_millis());
+            if hop < self.hops {
+                let next = NodeId((self.id.0 + 1) % self.n);
+                out.send(next, SimDuration::from_millis(10), hop + 1);
+            }
+        }
+
+        fn digest(&self) -> u64 {
+            self.acc ^ u64::from(self.id.0)
+        }
+    }
+
+    fn ring(n: u32, hops: u32) -> impl Fn(NodeId) -> RingNode + Sync {
+        move |id| RingNode {
+            id,
+            n,
+            hops,
+            acc: 0,
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_ring() {
+        let cks = [
+            SimTime::from_millis(50),
+            SimTime::from_millis(200),
+            SimTime::from_secs(100),
+        ];
+        let seq = run_sequential(8, ring(8, 40), &cks, SimTime::MAX);
+        assert_eq!(seq.events, 41);
+        for shards in [1, 2, 3, 4, 8] {
+            let par = run_parallel(
+                8,
+                ring(8, 40),
+                shards,
+                SimDuration::from_millis(10),
+                &cks,
+                SimTime::MAX,
+            );
+            assert_eq!(seq, par, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn checkpoints_cover_quiescence() {
+        let cks = [SimTime::from_secs(1_000_000)];
+        let seq = run_sequential(4, ring(4, 5), &cks, SimTime::MAX);
+        assert_eq!(seq.checkpoints.len(), 1);
+        assert_eq!(seq.checkpoints[0].1, seq.final_digest);
+    }
+
+    #[test]
+    #[should_panic(expected = "breaks the barrier invariant")]
+    fn cross_shard_send_below_lookahead_panics() {
+        run_parallel(
+            2,
+            ring(2, 3),
+            2,
+            SimDuration::from_millis(50),
+            &[],
+            SimTime::MAX,
+        );
+    }
+
+    #[test]
+    fn sibling_shard_panic_does_not_deadlock() {
+        // A node that dies mid-window must abort the whole run (via
+        // barrier poisoning), not leave sibling shards blocked forever
+        // at the next epoch.
+        struct Bomb {
+            id: NodeId,
+        }
+        impl EngineNode for Bomb {
+            type Msg = ();
+            fn on_start(&mut self, out: &mut Outbox<()>) {
+                if self.id.0 == 0 {
+                    out.send(self.id, SimDuration::from_millis(1), ());
+                }
+            }
+            fn on_event(&mut self, _now: SimTime, _from: NodeId, _msg: (), _out: &mut Outbox<()>) {
+                panic!("node blew up");
+            }
+            fn digest(&self) -> u64 {
+                0
+            }
+        }
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_parallel(
+                4,
+                |id| Bomb { id },
+                2,
+                SimDuration::from_millis(1),
+                &[],
+                SimTime::MAX,
+            )
+        }));
+        assert!(r.is_err(), "the run must abort, not hang or succeed");
+    }
+
+    #[test]
+    fn empty_engine_is_quiescent() {
+        struct Idle;
+        impl EngineNode for Idle {
+            type Msg = ();
+            fn on_start(&mut self, _out: &mut Outbox<()>) {}
+            fn on_event(&mut self, _now: SimTime, _from: NodeId, _msg: (), _out: &mut Outbox<()>) {}
+            fn digest(&self) -> u64 {
+                7
+            }
+        }
+        let seq = run_sequential(3, |_| Idle, &[SimTime::from_secs(1)], SimTime::MAX);
+        let par = run_parallel(
+            3,
+            |_| Idle,
+            2,
+            SimDuration::from_millis(1),
+            &[SimTime::from_secs(1)],
+            SimTime::MAX,
+        );
+        assert_eq!(seq, par);
+        assert_eq!(seq.events, 0);
+    }
+}

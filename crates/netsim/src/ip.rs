@@ -8,8 +8,8 @@
 //! and for ARROW-style detour tunnels.
 
 use crate::net::Ipv4Net;
+use crate::trie::RadixTrie;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -156,12 +156,11 @@ impl fmt::Display for IpPacket {
 /// upstream peer identifiers.
 #[derive(Debug, Clone)]
 pub struct ForwardingTable<T> {
-    // One map per prefix length; lens kept sorted descending for LPM
-    // scans. BTreeMaps so `iter` yields (length, address) order — FIB
-    // walks feed compiled forwarding snapshots (`nd-hash-iter`).
-    by_len: BTreeMap<u8, BTreeMap<u32, T>>,
-    lens_desc: Vec<u8>,
-    entries: usize,
+    // A binary radix trie: one masked descent per lookup instead of a
+    // scan over every populated prefix length. `iter` yields the trie's
+    // preorder — deterministic (address, length) order — so FIB walks
+    // can still feed compiled forwarding snapshots (`nd-hash-iter`).
+    trie: RadixTrie<u32, T>,
 }
 
 impl<T> Default for ForwardingTable<T> {
@@ -174,87 +173,62 @@ impl<T> ForwardingTable<T> {
     /// Create an empty table.
     pub fn new() -> Self {
         ForwardingTable {
-            by_len: BTreeMap::new(),
-            lens_desc: Vec::new(),
-            entries: 0,
+            trie: RadixTrie::new(),
         }
     }
 
     /// Insert or replace the entry for `net`. Returns the old value if the
     /// exact prefix was already present.
     pub fn insert(&mut self, net: Ipv4Net, next_hop: T) -> Option<T> {
-        let len = net.len();
-        let map = self.by_len.entry(len).or_default();
-        let old = map.insert(net.network_u32(), next_hop);
-        if old.is_none() {
-            self.entries += 1;
-            if !self.lens_desc.contains(&len) {
-                self.lens_desc.push(len);
-                self.lens_desc.sort_unstable_by(|a, b| b.cmp(a));
-            }
-        }
-        old
+        self.trie.insert(net.network_u32(), net.len(), next_hop)
     }
 
     /// Remove the exact-match entry for `net`.
     pub fn remove(&mut self, net: &Ipv4Net) -> Option<T> {
-        let map = self.by_len.get_mut(&net.len())?;
-        let old = map.remove(&net.network_u32());
-        if old.is_some() {
-            self.entries -= 1;
-            if map.is_empty() {
-                self.by_len.remove(&net.len());
-                self.lens_desc.retain(|&l| l != net.len());
-            }
-        }
-        old
+        self.trie.remove(net.network_u32(), net.len())
     }
 
     /// Longest-prefix-match lookup: the most specific covering entry.
     pub fn lookup(&self, ip: Ipv4Addr) -> Option<(Ipv4Net, &T)> {
-        let raw = u32::from(ip);
-        for &len in &self.lens_desc {
-            let masked = if len == 0 {
-                0
-            } else {
-                raw & (u32::MAX << (32 - len))
-            };
-            if let Some(t) = self.by_len[&len].get(&masked) {
-                return Some((Ipv4Net::new(Ipv4Addr::from(masked), len), t));
-            }
-        }
-        None
+        self.trie
+            .longest_match(u32::from(ip))
+            .map(|(addr, len, t)| (Ipv4Net::new(Ipv4Addr::from(addr), len), t))
     }
 
     /// Exact-match lookup.
     pub fn get(&self, net: &Ipv4Net) -> Option<&T> {
-        self.by_len.get(&net.len())?.get(&net.network_u32())
+        self.trie.get(net.network_u32(), net.len())
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.entries
+        self.trie.len()
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.entries == 0
+        self.trie.is_empty()
     }
 
     /// Iterate all `(prefix, next_hop)` entries in ascending
-    /// `(length, address)` order.
+    /// `(address, length)` order.
     pub fn iter(&self) -> impl Iterator<Item = (Ipv4Net, &T)> {
-        self.by_len.iter().flat_map(|(&len, map)| {
-            map.iter()
-                .map(move |(&addr, t)| (Ipv4Net::new(Ipv4Addr::from(addr), len), t))
-        })
+        self.trie
+            .iter()
+            .map(|(addr, len, t)| (Ipv4Net::new(Ipv4Addr::from(addr), len), t))
+    }
+
+    /// Iterate the entries covered by `net` (including the exact entry),
+    /// in ascending `(address, length)` order.
+    pub fn covered(&self, net: &Ipv4Net) -> impl Iterator<Item = (Ipv4Net, &T)> {
+        self.trie
+            .covered(net.network_u32(), net.len())
+            .map(|(addr, len, t)| (Ipv4Net::new(Ipv4Addr::from(addr), len), t))
     }
 
     /// Remove every entry.
     pub fn clear(&mut self) {
-        self.by_len.clear();
-        self.lens_desc.clear();
-        self.entries = 0;
+        self.trie.clear();
     }
 }
 

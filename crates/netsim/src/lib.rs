@@ -23,6 +23,7 @@
 //! Everything is synchronous and deterministic: there are no threads, no
 //! sockets, and no wall-clock reads anywhere in the simulation core.
 
+pub mod engine;
 pub mod fault;
 pub mod ip;
 pub mod link;
@@ -33,7 +34,11 @@ pub mod sync;
 pub mod time;
 pub mod trace;
 pub mod transport;
+pub mod trie;
 
+pub use engine::{
+    run_parallel, run_sequential, EngineNode, EngineRun, EpochBarrier, Outbox, SimEvent,
+};
 pub use fault::{FaultAction, FaultPlan};
 pub use ip::{ForwardingTable, IpPacket, IpProto, Payload};
 pub use link::{Link, LinkParams};
@@ -43,3 +48,4 @@ pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceId, TraceLog, TraceSink};
 pub use transport::{Delivery, DeliveryKind, LinkStats, MsgNet, NodeId};
+pub use trie::{PrefixTrie, RadixTrie, TrieKey};

@@ -9,7 +9,7 @@
 //! parallel engine lands. See DESIGN.md §13 for the gating rules.
 
 #[cfg(feature = "loom")]
-pub use loom::sync::{Arc, Mutex};
+pub use loom::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 #[cfg(not(feature = "loom"))]
-pub use std::sync::{Arc, Mutex};
+pub use std::sync::{Arc, Condvar, Mutex, MutexGuard};

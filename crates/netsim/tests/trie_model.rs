@@ -1,0 +1,200 @@
+//! Property tests for the binary radix trie, cross-checked against a
+//! naive `BTreeMap<Prefix, _>` model: any operation sequence must leave
+//! the trie and the model agreeing on contents, order, exact lookups,
+//! longest-prefix match, and covered/covering range queries — including
+//! the v4/v6 boundary cases (default routes, host routes) and
+//! ADD-PATH-style multi-valued entries.
+
+use peering_netsim::{Ipv4Net, Ipv6Net, Prefix, PrefixTrie};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// Dense v4 prefixes: four top nibbles, every length, so sequences
+/// collide, nest, and split trie nodes constantly.
+fn arb_v4_prefix() -> impl Strategy<Value = Prefix> {
+    (0u32..4, any::<u32>(), 0u8..=32).prop_map(|(hi, bits, len)| {
+        let addr = (hi << 28) | (bits & 0x0fff_ffff);
+        Prefix::V4(Ipv4Net::new(Ipv4Addr::from(addr), len))
+    })
+}
+
+/// Dense v6 prefixes covering the full 0..=128 length range.
+fn arb_v6_prefix() -> impl Strategy<Value = Prefix> {
+    (0u32..4, any::<u64>(), 0u8..=128).prop_map(|(hi, bits, len)| {
+        let addr = ((hi as u128) << 124) | ((bits as u128) << 30);
+        Prefix::V6(Ipv6Net::new(Ipv6Addr::from(addr), len))
+    })
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    prop_oneof![arb_v4_prefix(), arb_v6_prefix()]
+}
+
+/// One mutation against both trie and model.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Prefix, i32),
+    Remove(Prefix),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (arb_prefix(), any::<i32>()).prop_map(|(p, v)| Op::Insert(p, v)),
+            1 => arb_prefix().prop_map(Op::Remove),
+        ],
+        0..100,
+    )
+}
+
+fn apply(ops: &[Op]) -> (PrefixTrie<i32>, BTreeMap<Prefix, i32>) {
+    let mut trie = PrefixTrie::new();
+    let mut model = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Insert(p, v) => {
+                assert_eq!(trie.insert(*p, *v), model.insert(*p, *v), "insert {p:?}");
+            }
+            Op::Remove(p) => {
+                assert_eq!(trie.remove(p), model.remove(p), "remove {p:?}");
+            }
+        }
+    }
+    (trie, model)
+}
+
+fn contains_ip(p: &Prefix, ip: IpAddr) -> bool {
+    match (p, ip) {
+        (Prefix::V4(n), IpAddr::V4(a)) => n.contains(a),
+        (Prefix::V6(n), IpAddr::V6(a)) => n.contains(a),
+        _ => false,
+    }
+}
+
+proptest! {
+    /// Contents and iteration order match the model exactly after any
+    /// operation sequence (iter order is the model's sort order — that
+    /// is what keeps Loc-RIB digests stable across the trie swap).
+    #[test]
+    fn trie_matches_model(ops in arb_ops()) {
+        let (trie, model) = apply(&ops);
+        prop_assert_eq!(trie.len(), model.len());
+        prop_assert_eq!(trie.is_empty(), model.is_empty());
+        let got: Vec<(Prefix, i32)> = trie.iter().map(|(p, v)| (p, *v)).collect();
+        let want: Vec<(Prefix, i32)> = model.iter().map(|(p, v)| (*p, *v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Exact-match get agrees with the model for present and absent keys.
+    #[test]
+    fn get_matches_model(ops in arb_ops(), probe in proptest::collection::vec(arb_prefix(), 8)) {
+        let (trie, model) = apply(&ops);
+        for p in model.keys() {
+            prop_assert_eq!(trie.get(p), model.get(p));
+        }
+        for p in &probe {
+            prop_assert_eq!(trie.get(p), model.get(p));
+        }
+    }
+
+    /// Longest-prefix match equals the naive "most specific covering
+    /// entry" over the model, for both families.
+    #[test]
+    fn lpm_matches_model(ops in arb_ops(), v4 in any::<u32>(), v6 in any::<u64>()) {
+        let (trie, model) = apply(&ops);
+        let probes = [
+            IpAddr::V4(Ipv4Addr::from(v4 & 0x3fff_ffff)),
+            IpAddr::V4(Ipv4Addr::from(v4)),
+            IpAddr::V6(Ipv6Addr::from(((v6 as u128) << 30) | 1)),
+        ];
+        for ip in probes {
+            let want = model
+                .iter()
+                .filter(|(p, _)| contains_ip(p, ip))
+                .max_by_key(|(p, _)| p.len())
+                .map(|(p, v)| (*p, *v));
+            let got = trie.longest_match(ip).map(|(p, v)| (p, *v));
+            prop_assert_eq!(got, want, "lpm for {}", ip);
+        }
+    }
+
+    /// `covered` returns exactly the model entries under the query, in
+    /// sorted order; `covering` returns exactly the chain above it,
+    /// shortest first.
+    #[test]
+    fn range_queries_match_model(ops in arb_ops(), q in arb_prefix()) {
+        let (trie, model) = apply(&ops);
+        let got: Vec<(Prefix, i32)> = trie.covered(&q).map(|(p, v)| (p, *v)).collect();
+        let want: Vec<(Prefix, i32)> = model
+            .iter()
+            .filter(|(p, _)| q.covers(p))
+            .map(|(p, v)| (*p, *v))
+            .collect();
+        prop_assert_eq!(got, want, "covered({:?})", q);
+
+        let got: Vec<(Prefix, i32)> = trie.covering(&q).into_iter().map(|(p, v)| (p, *v)).collect();
+        let mut want: Vec<(Prefix, i32)> = model
+            .iter()
+            .filter(|(p, _)| p.covers(&q))
+            .map(|(p, v)| (*p, *v))
+            .collect();
+        want.sort_by_key(|(p, _)| p.len());
+        prop_assert_eq!(got, want, "covering({:?})", q);
+    }
+}
+
+#[test]
+fn default_routes_and_host_routes_coexist() {
+    let mut t = PrefixTrie::new();
+    let v4_default = Prefix::V4(Ipv4Net::new(Ipv4Addr::UNSPECIFIED, 0));
+    let v6_default = Prefix::V6(Ipv6Net::new(Ipv6Addr::UNSPECIFIED, 0));
+    let v4_host = Prefix::v4(192, 0, 2, 1, 32);
+    let v6_host = Prefix::V6(Ipv6Net::new(Ipv6Addr::from(1u128), 128));
+    t.insert(v4_default, 1);
+    t.insert(v6_default, 2);
+    t.insert(v4_host, 3);
+    t.insert(v6_host, 4);
+    assert_eq!(t.len(), 4);
+
+    // Host routes win LPM over defaults; defaults catch everything else.
+    fn lpm(t: &PrefixTrie<i32>, ip: IpAddr) -> Option<(Prefix, i32)> {
+        t.longest_match(ip).map(|(p, v)| (p, *v))
+    }
+    assert_eq!(lpm(&t, "192.0.2.1".parse().unwrap()), Some((v4_host, 3)));
+    assert_eq!(lpm(&t, "8.8.8.8".parse().unwrap()), Some((v4_default, 1)));
+    assert_eq!(
+        lpm(&t, IpAddr::V6(Ipv6Addr::from(1u128))),
+        Some((v6_host, 4))
+    );
+    assert_eq!(
+        lpm(&t, IpAddr::V6(Ipv6Addr::from(2u128))),
+        Some((v6_default, 2))
+    );
+
+    // The v4 default covers every v4 entry and no v6 entry.
+    let under: Vec<Prefix> = t.covered(&v4_default).map(|(p, _)| p).collect();
+    assert_eq!(under, vec![v4_default, v4_host]);
+
+    // Removing the defaults leaves host routes reachable.
+    assert_eq!(t.remove(&v4_default), Some(1));
+    assert_eq!(t.remove(&v6_default), Some(2));
+    assert_eq!(lpm(&t, "8.8.8.8".parse().unwrap()), None);
+    assert_eq!(lpm(&t, "192.0.2.1".parse().unwrap()), Some((v4_host, 3)));
+}
+
+#[test]
+fn add_path_style_multivalued_entries() {
+    // ADD-PATH RIBs hang several paths off one NLRI: model that as a
+    // Vec value and mutate it in place through `get_mut`.
+    let mut t: PrefixTrie<Vec<(u32, &str)>> = PrefixTrie::new();
+    let p = Prefix::v4(203, 0, 113, 0, 24);
+    t.insert(p, vec![(0, "primary")]);
+    t.get_mut(&p).unwrap().push((1, "backup"));
+    t.get_mut(&p).unwrap().push((2, "anycast"));
+    assert_eq!(t.get(&p).unwrap().len(), 3);
+    // Replacement returns the whole path set.
+    let old = t.insert(p, vec![(0, "fresh")]).unwrap();
+    assert_eq!(old.len(), 3);
+    assert_eq!(t.get(&p).unwrap()[0].1, "fresh");
+}

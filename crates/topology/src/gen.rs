@@ -717,6 +717,27 @@ impl Internet {
     pub fn countries_of(&self, ases: &[AsIdx]) -> HashSet<[u8; 2]> {
         ases.iter().map(|&a| self.graph.info(a).country).collect()
     }
+
+    /// Deterministic BGP session list for message-level harnesses:
+    /// every transit edge exactly once as `(customer, provider,
+    /// CustomerToProvider)`, every settlement-free edge exactly once
+    /// with the lower graph index first. Order is a pure function of
+    /// the graph, so engine runs built from it are reproducible.
+    pub fn sessions(&self) -> Vec<(AsIdx, AsIdx, Relationship)> {
+        let g = &self.graph;
+        let mut out = Vec::new();
+        for u in g.indices() {
+            for &p in g.providers(u) {
+                out.push((u, p, Relationship::CustomerToProvider));
+            }
+            for &v in g.peers(u) {
+                if u.i() < v.i() {
+                    out.push((u, v, Relationship::PeerToPeer));
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

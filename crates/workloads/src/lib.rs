@@ -15,12 +15,16 @@
 //!
 //! Plus two adversarial campaigns: [`chaos`] (sessions must survive the
 //! network misbehaving) and [`abuse`] (the testbed must contain a
-//! *client* misbehaving while bystanders converge untouched).
+//! *client* misbehaving while bystanders converge untouched), and the
+//! [`scale`] differential harness that pins the parallel event engine
+//! to the sequential engine's Loc-RIB digests, checkpoint by
+//! checkpoint, on topologies up to the full 2014 Internet.
 
 pub mod abuse;
 pub mod alexa;
 pub mod catalog;
 pub mod chaos;
+pub mod scale;
 pub mod scenarios;
 pub mod traffic;
 
@@ -28,4 +32,5 @@ pub use abuse::{AbuseReport, AbuseScenario};
 pub use alexa::{CatalogConfig, ContentCatalog, Fqdn, WebSite};
 pub use catalog::ScenarioSpec;
 pub use chaos::{ChaosReport, ChaosTopology};
+pub use scale::{differential, spaced_checkpoints, ScaleMsg, ScaleTopo};
 pub use traffic::{Flow, TrafficMatrix};

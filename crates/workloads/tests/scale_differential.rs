@@ -1,0 +1,153 @@
+//! The parallel-engine acceptance matrix (ISSUE 7): sequential vs.
+//! sharded runs over ring, star, and generated-Internet topologies,
+//! every shard count, asserting complete [`EngineRun`] equality —
+//! event counts, quiescence times, every checkpoint digest, and the
+//! final digest, bitwise.
+//!
+//! Plus the interner leak check: a full converge-then-withdraw-all
+//! cycle must return every speaker's attribute arena to empty, and
+//! disabling interning entirely must not change any digest.
+
+use peering_bgp::Asn;
+use peering_netsim::{SimDuration, SimTime};
+use peering_topology::{Internet, InternetConfig};
+use peering_workloads::chaos::origin_prefix;
+use peering_workloads::{differential, spaced_checkpoints, ChaosTopology, ScaleTopo};
+
+const HORIZON: SimTime = SimTime::from_secs(600);
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+fn assert_matrix(name: &str, topo: &ScaleTopo) {
+    let cks = spaced_checkpoints(HORIZON, 4);
+    let (reference, verdicts) = differential(topo, &SHARDS, &cks, SimTime::MAX);
+    assert!(reference.events > 0, "{name}: no events processed");
+    assert!(
+        reference.end_time < HORIZON,
+        "{name}: did not quiesce inside the horizon"
+    );
+    assert_eq!(reference.checkpoints.len(), cks.len());
+    for (shards, ok) in verdicts {
+        assert!(
+            ok,
+            "{name}: {shards}-shard run diverged from the sequential engine"
+        );
+    }
+}
+
+#[test]
+fn ring_matrix_matches_sequential() {
+    assert_matrix("ring-6", &ScaleTopo::from_chaos(&ChaosTopology::Ring(6)));
+}
+
+#[test]
+fn star_matrix_matches_sequential() {
+    assert_matrix("star-5", &ScaleTopo::from_chaos(&ChaosTopology::Star(5)));
+}
+
+#[test]
+fn internet_matrix_matches_sequential() {
+    // A generated Internet with Gao-Rexford policies; two seeds so the
+    // matrix covers different graphs, not just different schedules.
+    for seed in [1, 2] {
+        let net = Internet::build(InternetConfig::small(seed));
+        let topo = ScaleTopo::from_internet(&net, 6);
+        assert!(topo.beacon_count() > 0, "seed {seed}: no beacons");
+        assert_matrix(&format!("internet-small-{seed}"), &topo);
+    }
+}
+
+#[test]
+fn eval_scale_matrix_matches_sequential() {
+    // The ~6k-AS evaluation preset: the scale where the missing
+    // end-of-round fence first showed up as divergence. Two beacons
+    // keep debug-mode runtime bounded; the full preset runs in release
+    // via the scale bench in tools/check.sh.
+    let net = Internet::build(InternetConfig::eval(1));
+    let topo = ScaleTopo::from_internet(&net, 2);
+    assert_matrix("internet-eval-1", &topo);
+}
+
+#[test]
+fn internet_matrix_with_mrai_matches_sequential() {
+    // MRAI packing introduces per-peer batch timers — exactly the kind
+    // of node-local deadline that could diverge under sharding if tick
+    // scheduling weren't deterministic.
+    let net = Internet::build(InternetConfig::small(3));
+    let topo = ScaleTopo::from_internet(&net, 6).with_mrai(SimDuration::from_secs(15));
+    assert_matrix("internet-small-3-mrai", &topo);
+}
+
+#[test]
+fn interner_arena_returns_to_baseline_after_withdraw_all() {
+    // Converge a ring, note per-speaker arena occupancy, withdraw every
+    // origin, re-converge: tables empty out and a GC pass returns every
+    // arena to zero live entries — shared attributes don't leak.
+    let topo = ChaosTopology::Ring(5);
+    let mut emu = topo.build(11);
+    let n = emu.container_count();
+    let occupied: Vec<usize> = (0..n)
+        .map(|i| emu.daemon(i).expect("daemon up").interner_stats().0)
+        .collect();
+    assert!(
+        occupied.iter().any(|&d| d > 0),
+        "converged ring should intern at least one attribute set"
+    );
+
+    for i in 0..n {
+        emu.withdraw(i, origin_prefix(i));
+    }
+    emu.run_until_quiet(usize::MAX);
+
+    // The emulation's event log intentionally snapshots every
+    // `BestChanged` route (attrs `Arc` included) — an external observer,
+    // not a speaker leak. Drop those snapshots so the arena check sees
+    // only what the speakers themselves still hold.
+    emu.events.clear();
+
+    for i in 0..n {
+        let daemon = emu.daemon_mut(i).expect("daemon up");
+        assert_eq!(
+            daemon.loc_rib().iter().count(),
+            0,
+            "node {i}: Loc-RIB must be empty after withdraw-all"
+        );
+        daemon.gc();
+        let (distinct, hits, misses) = daemon.interner_stats();
+        assert_eq!(
+            distinct, 0,
+            "node {i}: arena still holds {distinct} entries after withdraw-all + gc"
+        );
+        assert!(hits + misses > 0, "node {i}: interner was never consulted");
+    }
+}
+
+#[test]
+fn interning_ablation_is_digest_invariant_on_internet() {
+    // The Fig. 2 ablation at the engine level: sharing attribute
+    // allocations must be observationally invisible.
+    let net = Internet::build(InternetConfig::small(4));
+    let on = ScaleTopo::from_internet(&net, 5);
+    let off = on.clone().without_interning();
+    let a = on.run_engine_sequential(&[], SimTime::MAX);
+    let b = off.run_engine_sequential(&[], SimTime::MAX);
+    assert_eq!(a, b, "interning changed an engine-observable outcome");
+}
+
+#[test]
+fn beacons_propagate_valley_free() {
+    // Sanity on the Gao-Rexford wiring itself: with beacons originated
+    // and the graph connected through providers, the run does real work
+    // (sessions all handshake, updates flow) and quiesces.
+    let net = Internet::build(InternetConfig::small(5));
+    let topo = ScaleTopo::from_internet(&net, 4);
+    let run = topo.run_engine_sequential(&[], SimTime::MAX);
+    // Every session handshakes (2 OPENs + 2 KEEPALIVEs minimum), and
+    // beacon updates propagate beyond that floor.
+    let floor = 4 * topo.session_count() as u64;
+    assert!(
+        run.events > floor,
+        "expected update propagation beyond handshakes: {} <= {floor}",
+        run.events
+    );
+    let _ = Asn(0); // keep the import meaningful if assertions change
+}

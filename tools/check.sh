@@ -45,6 +45,18 @@ cmp "$tmpdir/abuse1.json" "$tmpdir/abuse2.json" \
   || { echo "abuse containment report differs between same-seed runs"; exit 1; }
 cp "$tmpdir/abuse1.json" results/BENCH_abuse.json
 
+echo "==> differential engine matrix (sequential vs sharded digests)"
+cargo test -q -p peering-workloads --test scale_differential
+
+echo "==> scale bench (full-scale fast path; wall-clock keys stripped)"
+cargo run --release -q -p peering-bench --example scale_bench -- "$tmpdir/scale1.json" 42 full 6
+cargo run --release -q -p peering-bench --example scale_bench -- "$tmpdir/scale2.json" 42 full 6
+grep -v '"timing_' "$tmpdir/scale1.json" > "$tmpdir/scale1.stable"
+grep -v '"timing_' "$tmpdir/scale2.json" > "$tmpdir/scale2.stable"
+cmp "$tmpdir/scale1.stable" "$tmpdir/scale2.stable" \
+  || { echo "scale report differs between same-seed runs (beyond timing)"; exit 1; }
+cp "$tmpdir/scale1.json" results/BENCH_scale.json
+
 echo "==> peering-lint (static safety verification)"
 cargo run --release -q -p peering-verify --bin peering-lint
 

@@ -61,6 +61,12 @@ impl Value {
     }
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
 /// Deserialization error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeError(pub String);
