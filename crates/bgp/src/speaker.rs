@@ -694,7 +694,7 @@ impl Speaker {
             // MRAI timer: flush the staged batch once the interval is up.
             let state = self.peers.get_mut(&id).expect("peer exists");
             if state.mrai_deadline.is_some_and(|d| now >= d) {
-                out.extend(self.flush_mrai(id));
+                out.extend(self.flush_mrai(id, now));
             }
         }
         debug_assert_eq!(
@@ -1413,7 +1413,12 @@ impl Speaker {
                     });
                 }
             }
-            if !withdrawals.is_empty() && self.provenance.is_enabled() {
+            // `WithdrawSent` means the withdrawal hit the wire. Unpacked,
+            // that is right here; with MRAI packing the delta is only
+            // *staged* (and may be superseded by a later announce or
+            // dropped by a session reset before the flush), so the
+            // record is made in `flush_mrai` at actual emission time.
+            if !withdrawals.is_empty() && self.cfg.mrai.is_none() && self.provenance.is_enabled() {
                 self.provenance.record(
                     now,
                     self.cfg.asn,
@@ -1546,8 +1551,11 @@ impl Speaker {
     /// grouped by provenance trace, announcements grouped by (attribute
     /// allocation, trace), each group one multi-NLRI message. Iteration
     /// is over a `BTreeMap` keyed by [`Nlri`] and group order is
-    /// first-seen, so the packing is deterministic.
-    fn flush_mrai(&mut self, id: PeerId) -> Vec<Output> {
+    /// first-seen, so the packing is deterministic. Send-side provenance
+    /// ([`ProvenanceEvent::WithdrawSent`]) is recorded here, at `now`,
+    /// because this is when the packed UPDATEs actually hit the wire —
+    /// a staged withdraw superseded before the flush is never recorded.
+    fn flush_mrai(&mut self, id: PeerId, now: SimTime) -> Vec<Output> {
         let Some(state) = self.peers.get_mut(&id) else {
             return Vec::new();
         };
@@ -1589,6 +1597,28 @@ impl Speaker {
             state.session.note_update_sent();
             self.updates_sent += 1;
             self.telemetry.counter_inc("bgp.speaker.updates_out");
+            if self.provenance.is_enabled() {
+                // One record per distinct prefix, mirroring the unpacked
+                // path's per-prefix granularity (ADD-PATH can put several
+                // NLRIs of one prefix in a group).
+                let mut last: Option<Prefix> = None;
+                for nlri in &nlris {
+                    if last == Some(nlri.prefix) {
+                        continue;
+                    }
+                    last = Some(nlri.prefix);
+                    self.provenance.record(
+                        now,
+                        self.cfg.asn,
+                        ProvenanceEvent::WithdrawSent {
+                            to_peer: id,
+                            to_asn: state.cfg.asn,
+                            prefix: nlri.prefix,
+                            trace,
+                        },
+                    );
+                }
+            }
             out.push(Output::Send(
                 id,
                 BgpMessage::Update(UpdateMessage::withdraw(nlris).with_trace(trace)),
@@ -1618,7 +1648,7 @@ impl Speaker {
         }
         // Initial sync is not rate-limited: flush anything the per-prefix
         // exports staged so the full table precedes the End-of-RIB marker.
-        out.extend(self.flush_mrai(peer));
+        out.extend(self.flush_mrai(peer, now));
         // End-of-RIB marker.
         out.push(Output::Send(
             peer,
@@ -2750,5 +2780,76 @@ mod tests {
             .iter()
             .any(|o| matches!(o, Output::Event(SpeakerEvent::PeerDown(_, _)))));
         assert!(b.loc_rib().get(&p).is_none());
+    }
+
+    /// Under MRAI packing, `WithdrawSent` must be recorded when the
+    /// packed UPDATE actually hits the wire (at the flush), not when the
+    /// delta is staged — and never for a staged withdraw that a later
+    /// announce supersedes before the flush.
+    #[test]
+    fn mrai_records_withdraw_sent_at_flush_only() {
+        let mrai = SimDuration::from_secs(10);
+        let mut a =
+            Speaker::new(SpeakerConfig::new(Asn(1), Ipv4Addr::new(10, 0, 0, 1)).with_mrai(mrai));
+        let mut b = speaker(2);
+        a.add_peer(PeerConfig::new(PeerId(0), Asn(2)));
+        b.add_peer(PeerConfig::new(PeerId(0), Asn(1)).passive());
+        let p = Prefix::v4(10, 10, 0, 0, 16);
+        a.originate(p, SimTime::ZERO);
+        settle(&mut a, &mut b, PeerId(0), PeerId(0), SimTime::ZERO);
+
+        let log = ProvenanceLog::new();
+        a.set_provenance(log.clone());
+        let withdraw_sent = |log: &ProvenanceLog| {
+            log.records()
+                .into_iter()
+                .filter(|r| matches!(r.event, ProvenanceEvent::WithdrawSent { .. }))
+                .collect::<Vec<_>>()
+        };
+
+        // Staging records nothing: the withdrawal has not been sent.
+        // (All times stay well inside the 90 s hold timer.)
+        let t1 = SimTime::from_secs(1);
+        let outs = a.withdraw_origin(p, t1);
+        assert!(
+            !outs.iter().any(|o| matches!(o, Output::Send(_, _))),
+            "packed withdraw must stage, not send"
+        );
+        assert!(withdraw_sent(&log).is_empty());
+
+        // Flushing records it, stamped with the flush time.
+        let t2 = t1 + mrai;
+        let outs = a.tick(t2);
+        assert!(outs.iter().any(
+            |o| matches!(o, Output::Send(_, BgpMessage::Update(u)) if !u.withdrawn.is_empty())
+        ));
+        let sent = withdraw_sent(&log);
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].time, t2);
+        assert!(matches!(
+            sent[0].event,
+            ProvenanceEvent::WithdrawSent { prefix, .. } if prefix == p
+        ));
+
+        // A withdraw superseded by a re-announce before the deadline
+        // never hits the wire, so it is never recorded as sent.
+        let t3 = SimTime::from_secs(20);
+        a.originate(p, t3);
+        a.tick(t3 + mrai);
+        let t4 = SimTime::from_secs(40);
+        a.withdraw_origin(p, t4);
+        a.originate(p, t4 + SimDuration::from_secs(1));
+        let outs = a.tick(t4 + mrai + SimDuration::from_secs(1));
+        assert!(
+            outs.iter().any(
+                |o| matches!(o, Output::Send(_, BgpMessage::Update(u)) if !u.announced.is_empty())
+            ),
+            "the superseding announce flushes"
+        );
+        assert_eq!(
+            withdraw_sent(&log).len(),
+            1,
+            "no WithdrawSent for the superseded staged withdraw"
+        );
     }
 }

@@ -324,6 +324,14 @@ struct RoundPlan {
     /// Global minimum pending event time (window start), `SimTime::MAX`
     /// at quiescence.
     window_start: SimTime,
+    /// Exclusive end of the conservative window: `window_start +
+    /// lookahead`, clamped down to the first checkpoint that is still
+    /// unfired after this round's digest pass. A checkpoint strictly
+    /// inside an unclamped window would see events at/after it applied
+    /// before its digest is recorded — diverging from the sequential
+    /// engine, which records every checkpoint digest before popping any
+    /// event at or beyond it.
+    window_end: SimTime,
     /// All shards must publish digests this round (a checkpoint fires or
     /// the run is finishing).
     need_digests: bool,
@@ -534,6 +542,15 @@ fn run_shard<N, F>(
         route(li, SimTime::ZERO, &mut out, &mut seqs, &mut heap);
     }
 
+    // Startup fence: every shard's `on_start` cross-shard sends must be
+    // in their destination inboxes before any shard drains and measures
+    // its first pending minimum — the same publish-before-drain
+    // invariant `round_end` enforces between rounds, applied to round
+    // zero. Without it a fast shard can agree on a window start that is
+    // blind to a sibling's still-in-flight startup event and deliver it
+    // a round late, out of `(time, from, seq)` order.
+    shared.round_end.arrive_and_decide(|| ());
+
     loop {
         // Drain the inbox into the locally-ordered heap: arrival
         // interleaving is erased by the (time, from, seq) re-sort.
@@ -551,8 +568,25 @@ fn run_shard<N, F>(
             let rec = lock(&shared.record);
             let need_digests =
                 done || (rec.next_ck < checkpoints.len() && checkpoints[rec.next_ck] <= horizon);
+            let window_end = if done {
+                SimTime::MAX
+            } else {
+                // Checkpoints at or before `horizon` fire this round's
+                // digest pass; the first one after it bounds how far the
+                // window may advance.
+                let mut end = window_start + lookahead;
+                let mut k = rec.next_ck;
+                while k < checkpoints.len() && checkpoints[k] <= horizon {
+                    k += 1;
+                }
+                if k < checkpoints.len() {
+                    end = end.min(checkpoints[k]);
+                }
+                end
+            };
             RoundPlan {
                 window_start,
+                window_end,
                 need_digests,
                 done,
             }
@@ -589,9 +623,16 @@ fn run_shard<N, F>(
             break;
         }
 
-        // Process the conservative window [T, T + L).
-        let window_end = plan.window_start + lookahead;
-        while heap.peek().is_some_and(|e| e.time < window_end) {
+        // Process the conservative window [T, window_end), never past
+        // `max_time`: the sequential engine treats a pending event after
+        // `max_time` as quiescence, so an event inside the window but
+        // beyond `max_time` must stay unpopped here too (it then drives
+        // the next round's minimum above `max_time`, ending the run).
+        let window_end = plan.window_end;
+        while heap
+            .peek()
+            .is_some_and(|e| e.time < window_end && e.time <= max_time)
+        {
             let ev = heap.pop().expect("peek said so");
             local_events += 1;
             local_end = ev.time;
@@ -677,6 +718,124 @@ mod tests {
                 SimDuration::from_millis(10),
                 &cks,
                 SimTime::MAX,
+            );
+            assert_eq!(seq, par, "shards={shards}");
+        }
+    }
+
+    /// Like [`RingNode`] but every ring delivery also schedules two
+    /// short local self-echoes. Self-sends are exempt from the lookahead
+    /// bound, so one conservative window holds events at several
+    /// distinct times — the shape that exercises window clamping.
+    struct EchoNode {
+        id: NodeId,
+        n: u32,
+        hops: u32,
+        acc: u64,
+    }
+
+    const ECHO: u32 = u32::MAX;
+
+    impl EngineNode for EchoNode {
+        type Msg = u32;
+
+        fn on_start(&mut self, out: &mut Outbox<u32>) {
+            if self.id.0 == 0 {
+                out.send(self.id, SimDuration::from_millis(1), 0);
+            }
+        }
+
+        fn on_event(&mut self, now: SimTime, from: NodeId, hop: u32, out: &mut Outbox<u32>) {
+            self.acc = self
+                .acc
+                .wrapping_mul(0x100_0000_01b3)
+                .wrapping_add(u64::from(hop))
+                .wrapping_add(u64::from(from.0))
+                .wrapping_add(now.since(SimTime::ZERO).as_millis());
+            if hop == ECHO {
+                return;
+            }
+            out.send(self.id, SimDuration::from_millis(1), ECHO);
+            out.send(self.id, SimDuration::from_millis(2), ECHO);
+            if hop < self.hops {
+                let next = NodeId((self.id.0 + 1) % self.n);
+                out.send(next, SimDuration::from_millis(10), hop + 1);
+            }
+        }
+
+        fn digest(&self) -> u64 {
+            self.acc ^ u64::from(self.id.0)
+        }
+    }
+
+    fn echo_ring(n: u32, hops: u32) -> impl Fn(NodeId) -> EchoNode + Sync {
+        move |id| EchoNode {
+            id,
+            n,
+            hops,
+            acc: 0,
+        }
+    }
+
+    #[test]
+    fn checkpoint_inside_window_matches_sequential() {
+        // Ring hops land at 1, 11, 21, …; each spawns echoes at +1/+2.
+        // Checkpoints at 12 and 13 fall strictly inside the window
+        // starting at 11, with events at/after them in the same window:
+        // without clamping, those events are applied before the digest
+        // is recorded and the parallel run diverges.
+        let cks = [
+            SimTime::from_millis(12),
+            SimTime::from_millis(13),
+            SimTime::from_millis(45),
+        ];
+        let seq = run_sequential(4, echo_ring(4, 40), &cks, SimTime::MAX);
+        for shards in [1, 2, 4] {
+            let par = run_parallel(
+                4,
+                echo_ring(4, 40),
+                shards,
+                SimDuration::from_millis(10),
+                &cks,
+                SimTime::MAX,
+            );
+            assert_eq!(seq, par, "shards={shards}");
+        }
+        // Single shard with a huge lookahead: the whole run is one
+        // window unless checkpoints clamp it.
+        let par = run_parallel(
+            4,
+            echo_ring(4, 40),
+            1,
+            SimDuration::from_secs(3600),
+            &cks,
+            SimTime::MAX,
+        );
+        assert_eq!(seq, par, "one shard, horizon-sized window");
+    }
+
+    #[test]
+    fn max_time_mid_window_matches_sequential() {
+        // max_time = 42 cuts through the window starting at 41 (ring
+        // hop at 41, echoes at 42 and 43): the echo at 43 must stay
+        // unpopped, exactly as the sequential engine leaves it, and the
+        // late checkpoint then fires with the truncated final digest.
+        let cks = [SimTime::from_millis(30), SimTime::from_secs(10)];
+        let max = SimTime::from_millis(42);
+        let seq = run_sequential(4, echo_ring(4, 40), &cks, max);
+        let full = run_sequential(4, echo_ring(4, 40), &cks, SimTime::MAX);
+        assert!(
+            seq.events < full.events,
+            "max_time must actually truncate the run"
+        );
+        for shards in [1, 2, 4] {
+            let par = run_parallel(
+                4,
+                echo_ring(4, 40),
+                shards,
+                SimDuration::from_millis(10),
+                &cks,
+                max,
             );
             assert_eq!(seq, par, "shards={shards}");
         }

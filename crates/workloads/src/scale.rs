@@ -363,9 +363,15 @@ impl BgpNode {
                 if outputs.is_empty() && self.speaker.next_deadline() <= now {
                     // A due deadline `tick` cannot clear would spin; the
                     // speaker never does this (every timer fires or
-                    // re-arms strictly later), so bail defensively.
-                    debug_assert!(false, "speaker deadline did not advance past now");
-                    break;
+                    // re-arms strictly later). Fail loudly in every build
+                    // profile: a silent `break` would stop scheduling
+                    // Ticks and freeze this node's timers, and the engine
+                    // already contains shard panics cleanly.
+                    panic!(
+                        "node {:?}: speaker deadline {:?} did not advance past now {now:?}",
+                        self.me,
+                        self.speaker.next_deadline(),
+                    );
                 }
             } else {
                 if deadline != SimTime::MAX && self.ticks.insert(deadline) {
